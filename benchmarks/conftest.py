@@ -1,0 +1,118 @@
+"""Shared fixtures for the table/figure reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, writes the
+regenerated rows to ``benchmarks/results/<name>.txt``, and asserts the
+*shape* of the result (orderings, crossovers, rough factors) rather than
+absolute numbers — our substrate is a Python simulator, not the authors'
+28nm testbed (see DESIGN.md §2/§3).
+
+Heavy artefacts (the seven compiled datasets, their input streams, and
+per-architecture simulations) are computed once per session and shared.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.compiler import CompiledRuleset, compile_ruleset
+from repro.hardware.report import SimulationReport
+from repro.hardware.simulator import (
+    BaselineRuleset,
+    BaselineSimulator,
+    BVAPSimulator,
+    compile_baseline,
+)
+from repro.hardware.specs import CA_SPEC, CAMA_SPEC, EAP_SPEC
+from repro.workloads.datasets import DATASET_NAMES, PROFILES, load_dataset
+from repro.workloads.inputs import dataset_stream
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Evaluation scale (kept modest so the whole harness runs in minutes;
+#: the paper similarly samples >300 regexes per dataset, §8).
+REGEXES_PER_DATASET = 30
+INPUT_LENGTH = 3000
+SEED = 1
+
+
+def write_result(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@dataclass
+class DatasetBundle:
+    """One dataset compiled for every architecture plus its input."""
+
+    name: str
+    patterns: list
+    data: bytes
+    bvap: CompiledRuleset
+    baseline: BaselineRuleset
+
+
+@pytest.fixture(scope="session")
+def bundles() -> Dict[str, DatasetBundle]:
+    out: Dict[str, DatasetBundle] = {}
+    for name in DATASET_NAMES:
+        patterns = load_dataset(name, REGEXES_PER_DATASET, seed=SEED)
+        data = dataset_stream(
+            patterns,
+            random.Random(7),
+            INPUT_LENGTH,
+            PROFILES[name].literal_pool,
+        )
+        out[name] = DatasetBundle(
+            name=name,
+            patterns=patterns,
+            data=data,
+            bvap=compile_ruleset(patterns),
+            baseline=compile_baseline(patterns),
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def fig14_reports(bundles) -> Dict[str, Dict[str, SimulationReport]]:
+    """Dataset -> architecture -> simulation report (shared by several
+    benchmarks)."""
+    out: Dict[str, Dict[str, SimulationReport]] = {}
+    for name, bundle in bundles.items():
+        out[name] = {
+            "BVAP": BVAPSimulator(bundle.bvap).run(bundle.data),
+            "BVAP-S": BVAPSimulator(bundle.bvap, streaming=True).run(
+                bundle.data
+            ),
+            "CAMA": BaselineSimulator(CAMA_SPEC, bundle.baseline).run(
+                bundle.data
+            ),
+            "eAP": BaselineSimulator(EAP_SPEC, bundle.baseline).run(
+                bundle.data
+            ),
+            "CA": BaselineSimulator(CA_SPEC, bundle.baseline).run(bundle.data),
+        }
+    return out
+
+
+@pytest.fixture(scope="session")
+def dse_results():
+    """Full Fig. 13 sweep, shared with the Table 5 benchmark."""
+    from repro.analysis.dse import explore_dataset
+
+    out = {}
+    for name in DATASET_NAMES:
+        out[name] = explore_dataset(
+            name,
+            regex_count=20,
+            input_length=1500,
+            seed=SEED,
+        )
+    return out

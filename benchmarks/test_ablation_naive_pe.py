@@ -1,0 +1,68 @@
+"""Ablation — why not the naïve per-transition PE array? (§3)
+
+The naïve bit-vector design needs a processing element at every crossing
+point, so its PE array grows quadratically with the STEs per tile, while
+BVAP's AH design attaches one instruction per BV-STE (linear).  This
+ablation quantifies both on compiled rule sets and on the worst case.
+"""
+
+from repro.analysis.report import format_table
+from repro.compiler import compile_pattern
+from repro.hardware import circuits
+from repro.hardware.naive import NaiveMachine
+from repro.workloads.datasets import load_dataset
+from conftest import write_result
+
+#: A 4-port MFCB cross-point is ~0.79 um2 (1818 um2 / 48x48); a PE that
+#: must *transform* vectors (mux + shifter slice + gating) is several
+#: times that.  Conservative per-PE estimate:
+PE_AREA_UM2 = 4.0
+
+
+def run_ablation():
+    rows = []
+    patterns = load_dataset("Snort", 12, seed=2) + [
+        "a(.a){30}b",
+        "ab{2,114}c",
+    ]
+    for pattern in patterns:
+        try:
+            compiled = compile_pattern(pattern)
+        except ValueError:
+            continue
+        machine = NaiveMachine(compiled.nbva)
+        rows.append(
+            (
+                pattern[:32],
+                compiled.nbva.num_states,
+                machine.num_pes(),
+                compiled.ah.num_states,
+                compiled.ah.num_bv_stes(),
+            )
+        )
+    return rows
+
+
+def test_ablation_naive_pe_array(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    write_result(
+        "ablation_naive_pe",
+        format_table(
+            ["pattern", "NBVA states", "naive PEs", "AH states", "AH BV-STEs"],
+            rows,
+        ),
+    )
+
+    # Worst case per tile: 256^2 PEs vs 48 BVs + one MFCB.
+    naive_tile_area = NaiveMachine.pe_array_size(256) * PE_AREA_UM2
+    bvap_tile_bv_area = circuits.BVM_AREA_UM2
+    assert naive_tile_area > 50 * bvap_tile_bv_area
+
+    # On real rule sets the AH transformation costs only a small state
+    # increase while eliminating per-transition PEs entirely.
+    for pattern, nbva_states, pes, ah_states, _ in rows:
+        assert ah_states <= 3 * nbva_states, pattern
+    total_pes = sum(r[2] for r in rows)
+    total_bv_stes = sum(r[4] for r in rows)
+    assert total_pes > total_bv_stes  # transitions outnumber states

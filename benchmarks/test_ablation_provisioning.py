@@ -1,0 +1,88 @@
+"""Ablations — BV provisioning (48 per tile) and stall-model sensitivity.
+
+§6 sizes each 256-STE tile with 48 BVs "based on the observation that
+the ratio of BV-STEs is typically below 18% across our benchmarks, which
+covers over 99% of regexes in our datasets".  The first benchmark
+measures that coverage.  The second sweeps the stall model's hidden
+cycles — the one calibrated parameter in our timing model — to show the
+throughput conclusion is robust to it.
+"""
+
+import random
+
+from repro.analysis.report import format_table
+from repro.compiler import compile_pattern
+from repro.compiler.mapping import ArchParams
+from repro.hardware.simulator import BVAPSimulator, SimOptions
+from repro.hardware.specs import StallModel
+from repro.workloads import PROFILES, dataset_stream, load_dataset
+from repro.workloads.datasets import DATASET_NAMES
+from conftest import write_result
+
+
+def coverage_sweep():
+    """Per dataset: fraction of regexes fitting N BVs per tile."""
+    budgets = (16, 32, 48, 64)
+    rows = []
+    for name in DATASET_NAMES:
+        demands = []
+        for pattern in load_dataset(name, 40, seed=8):
+            try:
+                compiled = compile_pattern(pattern)
+            except ValueError:
+                continue
+            demands.append(compiled.num_bv_stes)
+        row = [name]
+        for budget in budgets:
+            fitting = sum(1 for d in demands if d <= budget)
+            row.append(fitting / len(demands))
+        rows.append(row)
+    return budgets, rows
+
+
+def test_ablation_bv_provisioning(benchmark):
+    budgets, rows = benchmark.pedantic(coverage_sweep, rounds=1, iterations=1)
+    write_result(
+        "ablation_bv_provisioning",
+        format_table(
+            ["dataset"] + [f"<= {b} BVs" for b in budgets], rows
+        ),
+    )
+    # §6: 48 BVs per tile covers the overwhelming majority of regexes.
+    for row in rows:
+        coverage_48 = row[3]
+        assert coverage_48 >= 0.9, row
+    # The budget matters: 16 BVs covers strictly less somewhere.
+    assert any(row[1] < row[3] for row in rows)
+
+
+def stall_sensitivity():
+    patterns = load_dataset("Snort", 20, seed=8)
+    data = dataset_stream(
+        patterns, random.Random(4), 2500, PROFILES["Snort"].literal_pool
+    )
+    from repro.compiler import compile_ruleset
+
+    ruleset = compile_ruleset(patterns)
+    rows = []
+    for hidden in (0, 1, 2, 3, 4, 5):
+        options = SimOptions(stall_model=StallModel(hidden_cycles=hidden))
+        report = BVAPSimulator(ruleset, options=options).run(data)
+        rows.append((hidden, report.stall_cycles, report.throughput_gbps))
+    return rows
+
+
+def test_ablation_stall_sensitivity(benchmark):
+    rows = benchmark.pedantic(stall_sensitivity, rounds=1, iterations=1)
+    write_result(
+        "ablation_stall_sensitivity",
+        format_table(["hidden cycles", "stall cycles", "throughput (Gbps)"], rows),
+    )
+    stalls = [row[1] for row in rows]
+    throughputs = [row[2] for row in rows]
+    # More buffering -> monotonically fewer stalls, higher throughput.
+    assert stalls == sorted(stalls, reverse=True)
+    assert throughputs == sorted(throughputs)
+    # Even with zero hiding, BVAP stays within 2.5x of its peak rate on a
+    # realistic stream — the conclusion is not an artefact of the knob.
+    assert throughputs[0] > throughputs[-1] / 2.5

@@ -1,0 +1,63 @@
+"""Figure 1 — NCA and NBVA execution for ``Σ* a Σ{3}``.
+
+Regenerates both configuration columns of the paper's Fig. 1 table and
+checks them cell-for-cell against the published values.
+"""
+
+from repro.analysis.report import format_table
+from repro.automata.nca import NCAMatcher
+from repro.compiler import CompilerOptions, compile_pattern
+from conftest import write_result
+
+OPTIONS = CompilerOptions(bv_size=8, unfold_threshold=2)
+STREAM = "babaabaaa"
+
+#: The paper's Fig. 1 rows (q2 column): NCA counter-value sets, NBVA bit
+#: vectors, and the output bit.
+EXPECTED = [
+    ("b", set(), [0, 0, 0], 0),
+    ("a", set(), [0, 0, 0], 0),
+    ("b", {1}, [1, 0, 0], 0),
+    ("a", {2}, [0, 1, 0], 0),
+    ("a", {1, 3}, [1, 0, 1], 1),
+    ("b", {1, 2}, [1, 1, 0], 0),
+    ("a", {2, 3}, [0, 1, 1], 1),
+    ("a", {1, 3}, [1, 0, 1], 1),
+    ("a", {1, 2}, [1, 1, 0], 0),
+]
+
+
+def regenerate():
+    compiled = compile_pattern("a.{3}", options=OPTIONS)
+    nbva = compiled.nbva
+    counting = next(q for q, s in enumerate(nbva.states) if s.is_counting())
+    nca = NCAMatcher(nbva)
+    bv = nbva.matcher()
+    rows = []
+    for symbol in STREAM:
+        nca_matched = nca.step(ord(symbol))
+        bv_matched = bv.step(ord(symbol))
+        assert nca_matched == bv_matched
+        value = bv.vectors[counting]
+        rows.append(
+            (
+                symbol,
+                set(nca.values[counting]),
+                [(value >> i) & 1 for i in range(3)],
+                int(bv_matched),
+            )
+        )
+    return rows
+
+
+def test_fig01_nca_nbva_trace(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert rows == EXPECTED
+    table = format_table(
+        ["input", "NCA q2 counters", "NBVA q2 vector", "output"],
+        [
+            (sym, sorted(counters), bits, out)
+            for sym, counters, bits, out in rows
+        ],
+    )
+    write_result("fig01_trace", table)

@@ -1,0 +1,89 @@
+"""Figure 11 — micro-benchmark ``r a{n}`` (r = a^16) vs CAMA.
+
+Sweeps the repetition bound n and the bit-vector activation ratio alpha,
+with per-regex customised memory (pro-rated area/energy, §8).  Shape
+targets from the paper:
+
+* BVAP's energy per symbol is consistently lower than CAMA's for n >= 16;
+* BVAP's compute density is higher for n >= 16 and grows with n;
+* larger alpha worsens both metrics (more frequent BV-STE activations).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.compiler import compile_ruleset
+from repro.hardware.simulator import (
+    BaselineSimulator,
+    BVAPSimulator,
+    SimOptions,
+    compile_baseline,
+)
+from repro.hardware.specs import CAMA_SPEC
+from repro.workloads.inputs import activation_stream
+from conftest import write_result
+
+ALPHAS = (0.05, 0.10, 0.15, 0.20)
+BOUNDS = (16, 64, 256, 1024)
+STREAM_LENGTH = 4000
+OPTIONS = SimOptions(prorate_area=True)
+
+
+def run_sweep():
+    rng = random.Random(0)
+    rows = {}
+    for alpha in ALPHAS:
+        data = activation_stream(
+            rng, STREAM_LENGTH, alpha, prefix=b"a" * 17, body=b"a" * 64
+        )
+        for n in BOUNDS:
+            pattern = "a" * 16 + f"a{{{n}}}"
+            bvap = BVAPSimulator(
+                compile_ruleset([pattern]), options=OPTIONS
+            ).run(data)
+            cama = BaselineSimulator(
+                CAMA_SPEC, compile_baseline([pattern]), options=OPTIONS
+            ).run(data)
+            rows[(alpha, n)] = (
+                bvap.energy_per_symbol_j / cama.energy_per_symbol_j,
+                bvap.compute_density_gbps_mm2 / cama.compute_density_gbps_mm2,
+            )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    return run_sweep()
+
+
+def test_fig11_energy_and_density(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = format_table(
+        ["alpha", "n", "energy/symbol (vs CAMA)", "compute density (vs CAMA)"],
+        [
+            [alpha, n, energy, density]
+            for (alpha, n), (energy, density) in sorted(rows.items())
+        ],
+    )
+    write_result("fig11_microbench", table)
+
+    for alpha in ALPHAS:
+        energies = [rows[(alpha, n)][0] for n in BOUNDS]
+        densities = [rows[(alpha, n)][1] for n in BOUNDS]
+        # Consistently better than CAMA for n >= 16.
+        assert all(e < 1.0 for e in energies), (alpha, energies)
+        assert all(d > 1.0 for d in densities), (alpha, densities)
+        # Both metrics improve as n grows (each BV-STE replaces more STEs).
+        assert energies == sorted(energies, reverse=True), (alpha, energies)
+        assert densities == sorted(densities), (alpha, densities)
+
+    # Higher alpha worsens compute density and energy (at large n, where
+    # the BVM is actually exercised).
+    for n in (256, 1024):
+        dens_by_alpha = [rows[(alpha, n)][1] for alpha in ALPHAS]
+        assert dens_by_alpha == sorted(dens_by_alpha, reverse=True), n
+        energy_by_alpha = [rows[(alpha, n)][0] for alpha in ALPHAS]
+        assert energy_by_alpha == sorted(energy_by_alpha), n

@@ -1,0 +1,90 @@
+"""Figure 13 — design-space exploration over (bv_size, unfold_threshold).
+
+For each of the seven datasets, sweeps bv_size in {16, 32, 64} and the
+unfolding threshold in {4, 8, 12}, reporting compute density, EDP, and
+FoM normalised to CAMA (the grids the paper plots as heat maps).
+"""
+
+import pytest
+
+from repro.analysis.dse import DEFAULT_BV_SIZES, DEFAULT_UNFOLD_THRESHOLDS
+from repro.analysis.report import format_table
+from repro.workloads.datasets import DATASET_NAMES
+from conftest import write_result
+
+
+def test_fig13_dse_grids(benchmark, dse_results):
+    results = benchmark.pedantic(
+        lambda: dse_results, rounds=1, iterations=1
+    )
+    lines = []
+    for name in DATASET_NAMES:
+        result = results[name]
+        rows = [
+            [
+                point.bv_size,
+                point.unfold_threshold,
+                point.compute_density_norm,
+                point.edp_norm,
+                point.fom_norm,
+            ]
+            for point in result.points
+        ]
+        lines.append(f"== {name} ==")
+        lines.append(
+            format_table(
+                [
+                    "bv_size",
+                    "unfold_th",
+                    "density (vs CAMA)",
+                    "EDP (vs CAMA)",
+                    "FoM (vs CAMA)",
+                ],
+                rows,
+            )
+        )
+        lines.append("")
+    write_result("fig13_dse", "\n".join(lines))
+
+    for name in DATASET_NAMES:
+        result = results[name]
+        # Full grid evaluated.
+        assert len(result.points) == len(DEFAULT_BV_SIZES) * len(
+            DEFAULT_UNFOLD_THRESHOLDS
+        )
+        # Every point produces positive, finite normalised metrics.
+        for point in result.points:
+            assert 0 < point.fom_norm < float("inf")
+            assert 0 < point.edp_norm
+            assert 0 < point.compute_density_norm
+
+    # The knobs matter: on the counting-heavy datasets the spread across
+    # the grid is substantial (the paper's heat maps are far from flat).
+    for name in ("Snort", "ClamAV"):
+        foms = [p.fom_norm for p in results[name].points]
+        assert max(foms) / min(foms) > 1.2, name
+
+    # FoM beats CAMA on the counting-heavy datasets at the best point.
+    for name in ("Snort", "Suricata", "ClamAV", "YARA"):
+        assert results[name].best_by_fom().fom_norm < 0.6, name
+
+
+def test_fig13_best_metrics_can_disagree(benchmark, dse_results):
+    """§8: the best density and best EDP points are not always the same
+    parameter combination — the motivation for the combined FoM."""
+
+    def collect():
+        disagreements = 0
+        for name in DATASET_NAMES:
+            result = dse_results[name]
+            best_density = result.best_by_density()
+            best_edp = result.best_by_edp()
+            if (best_density.bv_size, best_density.unfold_threshold) != (
+                best_edp.bv_size,
+                best_edp.unfold_threshold,
+            ):
+                disagreements += 1
+        return disagreements
+
+    disagreements = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert disagreements >= 1

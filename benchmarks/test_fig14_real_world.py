@@ -1,0 +1,153 @@
+"""Figure 14 — the headline comparison: BVAP, BVAP-S, CAMA, eAP, CA on
+the seven real-world datasets (area, energy/symbol, power, compute
+density, throughput, FoM — all normalised to CA, as in the paper).
+
+Shape targets (paper §1/§8, geometric means across datasets):
+
+* energy per symbol: BVAP saves ~67% vs CAMA, ~95% vs CA, ~94% vs eAP;
+* area: BVAP is 42-68% smaller than the baselines;
+* compute density: BVAP beats CA (by ~134%) and eAP (~62%), is broadly
+  comparable to CAMA — above it on Snort/Suricata/ClamAV/YARA, *below*
+  it on Prosite and SpamAssassin;
+* throughput: BVAP trails CAMA slightly; BVAP-S trades ~2/3 of its
+  throughput for ~39% energy and ~79% power savings;
+* FoM: BVAP improves on CAMA (~4.3x), CA (~50x), and eAP (~33x).
+
+Tolerances are generous (the substrate is a simulator over synthetic
+corpora); EXPERIMENTS.md records measured-vs-paper numbers.
+"""
+
+import pytest
+
+from repro.analysis.metrics import METRIC_NAMES, average_normalized, geometric_mean
+from repro.analysis.report import format_table
+from repro.workloads.datasets import DATASET_NAMES
+from conftest import write_result
+
+ARCHITECTURES = ("CA", "eAP", "CAMA", "BVAP", "BVAP-S")
+
+
+def normalise(fig14_reports):
+    """dataset -> architecture -> the six metrics normalised to CA."""
+    out = {}
+    for name, reports in fig14_reports.items():
+        base = reports["CA"]
+        out[name] = {
+            arch: reports[arch].normalized_to(base) for arch in ARCHITECTURES
+        }
+    return out
+
+
+def test_fig14_comparison(benchmark, fig14_reports):
+    normalised = benchmark.pedantic(
+        lambda: normalise(fig14_reports), rounds=1, iterations=1
+    )
+
+    lines = []
+    for name in DATASET_NAMES:
+        lines.append(f"== {name} (normalised to CA) ==")
+        rows = [
+            [arch] + [normalised[name][arch][m] for m in METRIC_NAMES]
+            for arch in ARCHITECTURES
+        ]
+        lines.append(format_table(["architecture"] + list(METRIC_NAMES), rows))
+        ca = fig14_reports[name]["CA"]
+        lines.append(
+            f"CA absolute: area={ca.area_mm2:.3f} mm2, "
+            f"E/sym={ca.energy_per_symbol_nj:.4f} nJ, "
+            f"power={ca.power_w:.4f} W, thr={ca.throughput_gbps:.1f} Gbps"
+        )
+        lines.append("")
+
+    # Machine-readable companion artefacts for re-plotting.
+    from repro.analysis.figures import normalized_to_csv, reports_to_csv
+    from conftest import RESULTS_DIR
+    import os
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for name in DATASET_NAMES:
+        reports_to_csv(
+            fig14_reports[name],
+            os.path.join(RESULTS_DIR, f"fig14_{name.lower()}.csv"),
+        )
+        normalized_to_csv(
+            normalised[name],
+            os.path.join(RESULTS_DIR, f"fig14_{name.lower()}_normalized.csv"),
+        )
+
+    mean = {
+        arch: average_normalized(
+            {name: normalised[name][arch] for name in DATASET_NAMES}
+        )
+        for arch in ARCHITECTURES
+    }
+    lines.append("== geometric mean across datasets (normalised to CA) ==")
+    lines.append(
+        format_table(
+            ["architecture"] + list(METRIC_NAMES),
+            [[arch] + [mean[arch][m] for m in METRIC_NAMES] for arch in ARCHITECTURES],
+        )
+    )
+    write_result("fig14_real_world", "\n".join(lines))
+
+    bvap, bvaps, cama, eap = (
+        mean["BVAP"],
+        mean["BVAP-S"],
+        mean["CAMA"],
+        mean["eAP"],
+    )
+
+    # --- energy per symbol ---
+    saving_vs_cama = 1 - bvap["energy_per_symbol"] / cama["energy_per_symbol"]
+    saving_vs_ca = 1 - bvap["energy_per_symbol"]
+    saving_vs_eap = 1 - bvap["energy_per_symbol"] / eap["energy_per_symbol"]
+    assert 0.40 <= saving_vs_cama <= 0.80  # paper: 0.67
+    assert 0.85 <= saving_vs_ca <= 0.99  # paper: 0.95
+    assert 0.85 <= saving_vs_eap <= 0.99  # paper: 0.94
+
+    # --- area ---
+    area_saving_vs_cama = 1 - bvap["area"] / cama["area"]
+    assert 0.30 <= area_saving_vs_cama <= 0.70  # paper band: 0.42-0.68
+    assert bvap["area"] < eap["area"] < 1.0  # CA largest
+
+    # --- compute density ---
+    assert bvap["compute_density"] > 1.5  # +134% over CA in the paper
+    assert bvap["compute_density"] > 1.2 * eap["compute_density"]
+    per_dataset_density = {
+        name: normalised[name]["BVAP"]["compute_density"]
+        / normalised[name]["CAMA"]["compute_density"]
+        for name in DATASET_NAMES
+    }
+    for name in ("Snort", "Suricata", "ClamAV", "YARA"):
+        assert per_dataset_density[name] > 1.0, (name, per_dataset_density)
+    for name in ("Prosite", "SpamAssassin"):
+        assert per_dataset_density[name] < 1.0, (name, per_dataset_density)
+
+    # --- throughput ---
+    assert 0.5 <= bvap["throughput"] / cama["throughput"] <= 1.0
+    streaming_loss = 1 - bvaps["throughput"] / bvap["throughput"]
+    assert 0.5 <= streaming_loss <= 0.85  # paper: 0.67
+
+    # --- BVAP-S energy & power ---
+    assert 0.25 <= 1 - bvaps["energy_per_symbol"] / bvap["energy_per_symbol"] <= 0.55
+    assert 0.6 <= 1 - bvaps["power"] / bvap["power"] <= 0.95  # paper: 0.79
+
+    # --- figure of merit ---
+    assert 2.0 <= cama["fom"] / bvap["fom"] <= 12.0  # paper: 4.3x
+    assert 1 / bvap["fom"] >= 20  # paper: 50x vs CA
+    assert eap["fom"] / bvap["fom"] >= 15  # paper: 33x vs eAP
+
+
+def test_fig14_match_consistency(benchmark, fig14_reports):
+    """All five simulators report identical match counts per dataset —
+    the §8 functional cross-check at system level."""
+
+    def collect():
+        return {
+            name: {arch: reports[arch].matches for arch in ARCHITECTURES}
+            for name, reports in fig14_reports.items()
+        }
+
+    counts = benchmark.pedantic(collect, rounds=1, iterations=1)
+    for name, per_arch in counts.items():
+        assert len(set(per_arch.values())) == 1, (name, per_arch)

@@ -1,0 +1,88 @@
+"""Extension — multi-array / multi-bank scale-out (§6).
+
+Maps a large rule set (hundreds of regexes) across several arrays and
+checks the hierarchy-level behaviour: arrays consume the stream through
+independent FIFOs so the bank finishes with the *slowest* array, BV
+capacity is honoured everywhere, and functional results are preserved at
+scale.
+"""
+
+import random
+
+from repro.analysis.report import format_table
+from repro.compiler import compile_ruleset
+from repro.hardware.simulator import BVAPSimulator
+from repro.workloads import PROFILES, dataset_stream, load_dataset
+from conftest import write_result
+
+REGEX_COUNT = 150
+
+
+def build():
+    patterns = []
+    for name in ("Snort", "ClamAV", "YARA"):
+        patterns.extend(load_dataset(name, REGEX_COUNT // 3, seed=13))
+    ruleset = compile_ruleset(patterns)
+    data = dataset_stream(
+        patterns, random.Random(6), 2000, PROFILES["Snort"].literal_pool
+    )
+    return patterns, ruleset, data
+
+
+def test_scaleout_across_arrays(benchmark):
+    patterns, ruleset, data = benchmark.pedantic(build, rounds=1, iterations=1)
+    mapping = ruleset.mapping
+    assert mapping.num_arrays >= 2  # genuinely multi-array
+
+    simulator = BVAPSimulator(ruleset)
+    report = simulator.run(data)
+
+    # Capacity invariants hold on every tile.
+    for tile in mapping.tiles:
+        assert tile.stes_used <= mapping.params.stes_per_tile
+        assert tile.bvs_used <= mapping.params.bvs_per_tile
+
+    # Every regex is placed, and placements point at real tiles.
+    for regex in ruleset.regexes:
+        for tile_index in mapping.placements[regex.regex_id]:
+            assert 0 <= tile_index < mapping.num_tiles
+
+    # Functional equivalence at scale.
+    functional = sum(len(r.ah.match_ends(data)) for r in ruleset.regexes)
+    assert report.matches == functional
+
+    # The bank's finishing time is the slowest array's cycle count, so
+    # total cycles never exceed symbols x (1 + worst LUT stall).
+    worst_stall = max(
+        (entry for c in simulator.controllers for entry in c.lut), default=0
+    )
+    assert len(data) <= report.system_cycles <= len(data) * (1 + worst_stall)
+
+    write_result(
+        "scaleout",
+        format_table(
+            ["metric", "value"],
+            [
+                ["regexes", len(ruleset.regexes)],
+                ["rejected", len(ruleset.rejected)],
+                ["tiles", mapping.num_tiles],
+                ["arrays", mapping.num_arrays],
+                ["banks", mapping.num_banks],
+                ["STE utilisation", mapping.ste_utilization()],
+                ["BV utilisation", mapping.bv_utilization()],
+                ["matches", report.matches],
+                ["stall cycles", report.stall_cycles],
+                ["throughput (Gbps)", report.throughput_gbps],
+            ],
+        ),
+    )
+
+
+def test_scaleout_utilisation(benchmark):
+    def measure():
+        _, ruleset, _ = build()
+        return ruleset.mapping
+
+    mapping = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # Greedy FFD keeps packing reasonable even with mixed demands.
+    assert mapping.ste_utilization() > 0.5

@@ -1,0 +1,100 @@
+"""Software-engine throughput (real timing via pytest-benchmark).
+
+Not a paper figure — engineering due diligence for the repository: the
+functional engines must be fast enough to drive the cycle-level
+simulations.  Measures bytes/second of the bitset NFA engine, the
+AH-NBVA engine, and the instrumented hardware stepper on a Snort-profile
+workload.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler import compile_ruleset
+from repro.compiler.pipeline import build_unfolded_nfa
+from repro.hardware.activity import AHStepper, StepStats
+from repro.regex.parser import parse
+from repro.workloads import PROFILES, dataset_stream, load_dataset
+
+PATTERNS = load_dataset("Snort", 10, seed=21)
+DATA = dataset_stream(
+    PATTERNS, random.Random(2), 2000, PROFILES["Snort"].literal_pool
+)
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    return compile_ruleset(PATTERNS)
+
+
+def test_throughput_ah_matcher(benchmark, ruleset):
+    matchers = [regex.ah.matcher() for regex in ruleset.regexes]
+
+    def scan():
+        total = 0
+        for matcher in matchers:
+            matcher.reset()
+        for symbol in DATA:
+            for matcher in matchers:
+                if matcher.step(symbol):
+                    total += 1
+        return total
+
+    result = benchmark(scan)
+    assert result >= 0
+
+
+def test_throughput_hardware_stepper(benchmark, ruleset):
+    steppers = [AHStepper(regex.ah) for regex in ruleset.regexes]
+
+    def scan():
+        total = 0
+        for stepper in steppers:
+            stepper.reset()
+        for symbol in DATA:
+            stats = StepStats()
+            for stepper in steppers:
+                if stepper.step(symbol, stats):
+                    total += 1
+        return total
+
+    result = benchmark(scan)
+    assert result >= 0
+
+
+def test_throughput_bitset_nfa(benchmark):
+    nfas = []
+    for pattern in PATTERNS:
+        try:
+            nfas.append(build_unfolded_nfa(parse(pattern)).matcher())
+        except ValueError:
+            continue
+
+    def scan():
+        total = 0
+        for matcher in nfas:
+            matcher.reset()
+        for symbol in DATA:
+            for matcher in nfas:
+                if matcher.step(symbol):
+                    total += 1
+        return total
+
+    result = benchmark(scan)
+    assert result >= 0
+
+
+def test_steppers_agree_with_matchers(benchmark, ruleset):
+    """The optimised stepper must not diverge from the reference engine
+    while being at least comparable in speed."""
+
+    def compare():
+        for regex in ruleset.regexes[:4]:
+            assert (
+                AHStepper(regex.ah).match_ends(DATA[:500])
+                == regex.ah.match_ends(DATA[:500])
+            )
+        return True
+
+    assert benchmark.pedantic(compare, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+"""Table 3 — the BVM instruction set.
+
+Regenerates the instruction table (opcode, pointer use, phase) and checks
+that the compiler only ever emits instructions from it.
+"""
+
+from repro.analysis.report import format_table
+from repro.compiler import CompilerOptions, compile_pattern, virtual_width
+from repro.hardware.bvm import Instruction, Opcode, instruction_for
+from repro.workloads.datasets import DATASET_NAMES, load_dataset
+from conftest import write_result
+
+#: The paper's instruction set (§4, Table 3): mnemonics and whether each
+#: instruction reads in the Read step / moves data in the Swap step.
+TABLE3 = [
+    ("nop", Opcode.NOP, False, False),
+    ("set1", Opcode.SET1, False, False),
+    ("copy", Opcode.COPY, False, True),
+    ("shift", Opcode.SHIFT, False, True),
+    ("r(n)", Opcode.READ, True, False),
+    ("rAll", Opcode.RALL, True, False),
+    ("rHalf", Opcode.RHALF, True, False),
+    ("rQuarter", Opcode.RQUARTER, True, False),
+    ("r(n).set1", Opcode.READ_SET1, True, False),
+    ("rAll.set1", Opcode.RALL_SET1, True, False),
+    ("rHalf.set1", Opcode.RHALF_SET1, True, False),
+    ("rQuarter.set1", Opcode.RQUARTER_SET1, True, False),
+]
+
+
+def compile_and_collect_instructions():
+    """Compile a slice of every dataset and collect the emitted opcodes."""
+    seen = set()
+    options = CompilerOptions()
+    # Multi-position counting bodies exercise the copy instruction.
+    extra = ["x(ab){40}y", "p(cd?e){12}q"]
+    for name in DATASET_NAMES:
+        for pattern in load_dataset(name, 8, seed=3) + extra:
+            try:
+                compiled = compile_pattern(pattern, options=options)
+            except ValueError:
+                continue
+            for state in compiled.ah.states:
+                if not state.is_bv_ste():
+                    continue
+                if state.action.reads_source:
+                    # Reads execute at the source BV (§5): the rAll/rHalf/
+                    # rQuarter choice follows the source's virtual size.
+                    virtual = virtual_width(state.in_width)
+                else:
+                    virtual = virtual_width(
+                        compiled.ah.scopes[state.scope].high
+                    )
+                seen.add(instruction_for(state.action, virtual).opcode)
+    return seen
+
+
+def test_table3_instruction_set(benchmark):
+    seen = benchmark.pedantic(
+        compile_and_collect_instructions, rounds=1, iterations=1
+    )
+    legal = {opcode for _, opcode, _, _ in TABLE3}
+    assert seen <= legal
+    # The core instructions all appear in real rule sets.
+    assert {Opcode.SET1, Opcode.COPY, Opcode.SHIFT} <= seen
+    assert any(
+        op in seen for op in (Opcode.READ, Opcode.READ_SET1)
+    )
+
+    rows = []
+    for mnemonic, opcode, is_read, is_swap in TABLE3:
+        pointer = 7 if opcode in (Opcode.READ, Opcode.READ_SET1) else 0
+        inst = Instruction(opcode, pointer)
+        assert inst.is_read == is_read
+        assert inst.is_swap == is_swap
+        rows.append(
+            [
+                mnemonic,
+                opcode.value,
+                "6-bit" if pointer else "-",
+                "Read" if is_read else ("Swap" if is_swap else "-"),
+                "yes" if opcode in seen else "unused here",
+            ]
+        )
+    write_result(
+        "table3_isa",
+        format_table(
+            ["instruction", "opcode", "pointer", "phase", "emitted"], rows
+        ),
+    )
+
+
+def test_table3_encoding_roundtrip(benchmark):
+    def roundtrip():
+        out = []
+        for _, opcode, _, _ in TABLE3:
+            pointer = 7 if opcode in (Opcode.READ, Opcode.READ_SET1) else 0
+            inst = Instruction(opcode, pointer)
+            out.append(Instruction.decode(inst.encode()))
+        return out
+
+    decoded = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    assert [d.opcode for d in decoded] == [op for _, op, _, _ in TABLE3]

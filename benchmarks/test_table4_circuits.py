@@ -1,0 +1,75 @@
+"""Table 4 — the 28nm circuit models.
+
+Regenerates the table from the constants the simulators actually use and
+checks the published values plus the §8 derived facts (BVM area, clock
+frequencies, BVAP/CAMA tile ratio).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.hardware import circuits
+from repro.hardware.specs import BVAP_SPEC, CAMA_SPEC
+from conftest import write_result
+
+EXPECTED_ROWS = [
+    ("8T SRAM", "128x128", 1.0, 14.2, 298.0, 5655.0, 57.0),
+    ("routing switch", "256x256", 2.0, 55.0, 410.0, 18153.0, 228.0),
+    ("8T CAM", "32x256", 33.56, 33.56, 336.0, 7838.0, 28.5),
+    ("4-port SRAM routing switch", "48x48", 0.76, 3.25, 173.0, 1818.0, 25.0),
+    ("Bit Vector", "64", 1.37, 1.37, 178.0, 17.7, 0.56),
+    ("Global wire", "1 mm", 0.07, 0.07, 66.0, 50.0, 0.0),
+]
+
+
+def regenerate():
+    return [
+        (
+            m.name,
+            m.size,
+            m.energy_min_pj,
+            m.energy_max_pj,
+            m.delay_ps,
+            m.area_um2,
+            m.leakage_ua,
+        )
+        for m in circuits.TABLE4
+    ]
+
+
+def test_table4_circuit_models(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert rows == EXPECTED_ROWS
+    write_result(
+        "table4_circuits",
+        format_table(
+            [
+                "type",
+                "size",
+                "E_min (pJ)",
+                "E_max (pJ)",
+                "delay (ps)",
+                "area (um2)",
+                "leakage (uA)",
+            ],
+            rows,
+        ),
+    )
+
+
+def test_table4_derived_facts(benchmark):
+    def derive():
+        return {
+            "bvm_area": circuits.BVM_AREA_UM2,
+            "tile_ratio": BVAP_SPEC.area_um2 / CAMA_SPEC.area_um2,
+            "system_clock": circuits.BVAP_SYSTEM_CLOCK_HZ,
+            "bvm_clock": circuits.BVM_CLOCK_HZ,
+        }
+
+    facts = benchmark.pedantic(derive, rounds=1, iterations=1)
+    # §8: the BVM occupies 4490 um2; BVAP tile ~1.5x a CAMA tile;
+    # 2 GHz system clock, 5 GHz BVM clock.
+    assert facts["bvm_area"] == 4490.0
+    assert 1.25 <= facts["tile_ratio"] <= 1.6
+    assert facts["system_clock"] == pytest.approx(2e9)
+    assert facts["bvm_clock"] == pytest.approx(5e9)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Edge streaming with BVAP-S: constant-rate matching at low power.
+
+§6 introduces BVAP-S for direct sensor connection: the BVM runs on every
+symbol so the system clock is constant (no input buffering needed) and
+the state-matching/transition rails drop to 0.65 V.  This example
+monitors a simulated sensor log for alert patterns and compares the two
+modes.
+
+Run:  python examples/edge_streaming.py
+"""
+
+import random
+
+from repro.compiler import compile_ruleset
+from repro.hardware.simulator import BVAPSimulator
+from repro.matching import PatternSet
+
+ALERT_PATTERNS = [
+    # temperature spike: 8+ consecutive high readings
+    "H{8,64}",
+    # sustained vibration: bursts of v separated by short gaps, 6 times
+    "(v{3,8}-){6}",
+    # watchdog silence: 32 idle ticks then an error marker
+    "\\.{32}E",
+    # checksum failure burst
+    "X{4}",
+]
+
+
+def sensor_log(rng: random.Random, length: int) -> bytes:
+    """A plausible sensor event stream: mostly idle, a few incidents."""
+    out = bytearray()
+    while len(out) < length:
+        roll = rng.random()
+        if roll < 0.93:
+            out.append(ord("."))  # idle tick
+        elif roll < 0.96:
+            out.extend(b"H" * rng.randint(1, 12))
+        elif roll < 0.98:
+            burst = b"v" * rng.randint(2, 8) + b"-"
+            out.extend(burst * rng.randint(1, 7))
+        elif roll < 0.995:
+            out.append(ord("E"))
+        else:
+            out.extend(b"X" * rng.randint(1, 5))
+    return bytes(out[:length])
+
+
+def main() -> None:
+    rng = random.Random(7)
+    log = sensor_log(rng, 5000)
+
+    matcher = PatternSet(ALERT_PATTERNS)
+    alerts = matcher.scan(log)
+    by_pattern = {}
+    for alert in alerts:
+        by_pattern[alert.pattern_id] = by_pattern.get(alert.pattern_id, 0) + 1
+    print(f"scanned {len(log)} sensor ticks, {len(alerts)} alert events:")
+    for pattern_id, count in sorted(by_pattern.items()):
+        print(f"  {ALERT_PATTERNS[pattern_id]!r:16s} {count:5d} events")
+
+    ruleset = compile_ruleset(ALERT_PATTERNS)
+    normal = BVAPSimulator(ruleset).run(log)
+    streaming = BVAPSimulator(ruleset, streaming=True).run(log)
+
+    print("\nBVAP vs BVAP-S on this stream (§6/§8):")
+    rows = [
+        ("clock (GHz)", normal.clock_hz / 1e9, streaming.clock_hz / 1e9),
+        ("throughput (Gbps)", normal.throughput_gbps, streaming.throughput_gbps),
+        ("energy/symbol (pJ)", normal.energy_per_symbol_nj * 1e3,
+         streaming.energy_per_symbol_nj * 1e3),
+        ("power (mW)", normal.power_w * 1e3, streaming.power_w * 1e3),
+        ("stall cycles", normal.stall_cycles, streaming.stall_cycles),
+    ]
+    print(f"  {'metric':20s} {'BVAP':>10s} {'BVAP-S':>10s}")
+    for label, a, b in rows:
+        print(f"  {label:20s} {a:10.3f} {b:10.3f}")
+
+    print(
+        f"\nBVAP-S: constant 1-symbol-per-cycle rate, "
+        f"{1 - streaming.power_w / normal.power_w:.0%} lower power — "
+        f"the right trade for an always-on edge sensor."
+    )
+    assert normal.matches == streaming.matches == len(alerts)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs in offline environments without the
+``wheel`` package; configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

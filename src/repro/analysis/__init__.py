@@ -1,0 +1,50 @@
+"""Evaluation drivers: metrics, design-space exploration, reporting."""
+
+from .characterize import RulesetCharacterization, characterize
+from .compare import ALL_ARCHITECTURES, compare_architectures, normalized_comparison
+from .figures import dse_to_csv, normalized_to_csv, reports_to_csv, sweep_to_csv
+from .dse import (
+    DEFAULT_BV_SIZES,
+    DEFAULT_UNFOLD_THRESHOLDS,
+    DSEPoint,
+    DSEResult,
+    best_parameters,
+    explore_dataset,
+)
+from .metrics import (
+    LOWER_IS_BETTER,
+    METRIC_NAMES,
+    average_normalized,
+    geometric_mean,
+    improvement_factor,
+    normalized_metrics,
+    savings_percent,
+)
+from .report import format_table, normalized_table
+
+__all__ = [
+    "DEFAULT_BV_SIZES",
+    "DEFAULT_UNFOLD_THRESHOLDS",
+    "DSEPoint",
+    "DSEResult",
+    "LOWER_IS_BETTER",
+    "ALL_ARCHITECTURES",
+    "METRIC_NAMES",
+    "RulesetCharacterization",
+    "average_normalized",
+    "characterize",
+    "compare_architectures",
+    "best_parameters",
+    "dse_to_csv",
+    "explore_dataset",
+    "format_table",
+    "geometric_mean",
+    "improvement_factor",
+    "normalized_comparison",
+    "normalized_metrics",
+    "normalized_table",
+    "normalized_to_csv",
+    "reports_to_csv",
+    "sweep_to_csv",
+    "savings_percent",
+]

@@ -1,0 +1,73 @@
+"""Head-to-head architecture comparison (the Fig. 14 driver).
+
+Compiles one rule set for BVAP (bit vectors) and for the unfolding
+baselines, runs every requested architecture over the same input, and
+returns the reports plus CA-normalised metric tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..compiler.pipeline import CompilerOptions, compile_ruleset
+from ..hardware.report import SimulationReport
+from ..hardware.simulator import (
+    BaselineRuleset,
+    BaselineSimulator,
+    BVAPSimulator,
+    SimOptions,
+    compile_baseline,
+)
+from ..hardware.specs import CA_SPEC, CAMA_SPEC, EAP_SPEC
+from .metrics import METRIC_NAMES
+
+ALL_ARCHITECTURES = ("CA", "eAP", "CAMA", "BVAP", "BVAP-S")
+
+
+def compare_architectures(
+    patterns: Sequence[str],
+    data: bytes,
+    options: CompilerOptions = CompilerOptions(),
+    sim_options: SimOptions = SimOptions(),
+    architectures: Sequence[str] = ALL_ARCHITECTURES,
+) -> Dict[str, SimulationReport]:
+    """Simulate the rule set on each architecture over the same input."""
+    unknown = set(architectures) - set(ALL_ARCHITECTURES)
+    if unknown:
+        raise ValueError(f"unknown architectures: {sorted(unknown)}")
+
+    reports: Dict[str, SimulationReport] = {}
+    bvap_ruleset = None
+    baseline_ruleset: Optional[BaselineRuleset] = None
+    specs = {"CA": CA_SPEC, "eAP": EAP_SPEC, "CAMA": CAMA_SPEC}
+
+    for arch in architectures:
+        if arch in ("BVAP", "BVAP-S"):
+            if bvap_ruleset is None:
+                bvap_ruleset = compile_ruleset(patterns, options)
+            simulator = BVAPSimulator(
+                bvap_ruleset,
+                streaming=arch == "BVAP-S",
+                options=sim_options,
+            )
+            reports[arch] = simulator.run(data)
+        else:
+            if baseline_ruleset is None:
+                baseline_ruleset = compile_baseline(patterns)
+            reports[arch] = BaselineSimulator(
+                specs[arch], baseline_ruleset, options=sim_options
+            ).run(data)
+    return reports
+
+
+def normalized_comparison(
+    reports: Dict[str, SimulationReport], base: str = "CA"
+) -> Dict[str, Dict[str, float]]:
+    """Each architecture's six Fig. 14 metrics normalised to ``base``."""
+    if base not in reports:
+        raise KeyError(f"base architecture {base!r} not in reports")
+    reference = reports[base]
+    return {
+        arch: report.normalized_to(reference)
+        for arch, report in reports.items()
+    }

@@ -1,0 +1,136 @@
+"""Design-space exploration over (bv_size, unfold_threshold) — §8/Fig. 13.
+
+For each parameter combination the dataset is compiled and simulated on
+BVAP; compute density, EDP, and the figure of merit are normalised to a
+CAMA run of the same dataset and input.  ``best_by_fom`` reproduces the
+Table 5 selection of per-dataset optimal parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.pipeline import CompilerOptions, compile_ruleset
+from ..hardware.report import SimulationReport
+from ..hardware.simulator import (
+    BaselineSimulator,
+    BVAPSimulator,
+    SimOptions,
+    compile_baseline,
+)
+from ..hardware.specs import CAMA_SPEC
+from ..workloads.datasets import PROFILES, load_dataset
+from ..workloads.inputs import dataset_stream
+
+DEFAULT_BV_SIZES = (16, 32, 64)
+DEFAULT_UNFOLD_THRESHOLDS = (4, 8, 12)
+
+
+@dataclass
+class DSEPoint:
+    """One (bv_size, unfold_th) evaluation, normalised to CAMA."""
+
+    dataset: str
+    bv_size: int
+    unfold_threshold: int
+    report: SimulationReport
+    baseline: SimulationReport
+
+    @property
+    def compute_density_norm(self) -> float:
+        return (
+            self.report.compute_density_gbps_mm2
+            / self.baseline.compute_density_gbps_mm2
+        )
+
+    @property
+    def edp_norm(self) -> float:
+        return self.report.edp / self.baseline.edp
+
+    @property
+    def fom_norm(self) -> float:
+        return self.report.fom / self.baseline.fom
+
+
+@dataclass
+class DSEResult:
+    dataset: str
+    points: List[DSEPoint] = field(default_factory=list)
+
+    def best_by_fom(self) -> DSEPoint:
+        return min(self.points, key=lambda p: p.fom_norm)
+
+    def best_by_density(self) -> DSEPoint:
+        return max(self.points, key=lambda p: p.compute_density_norm)
+
+    def best_by_edp(self) -> DSEPoint:
+        return min(self.points, key=lambda p: p.edp_norm)
+
+    def grid(self, metric: str) -> Dict[Tuple[int, int], float]:
+        """(bv_size, unfold_th) -> normalised metric value."""
+        attr = {
+            "compute_density": "compute_density_norm",
+            "edp": "edp_norm",
+            "fom": "fom_norm",
+        }[metric]
+        return {
+            (p.bv_size, p.unfold_threshold): getattr(p, attr)
+            for p in self.points
+        }
+
+
+def explore_dataset(
+    dataset: str,
+    regex_count: int = 30,
+    input_length: int = 2000,
+    seed: int = 0,
+    bv_sizes: Sequence[int] = DEFAULT_BV_SIZES,
+    unfold_thresholds: Sequence[int] = DEFAULT_UNFOLD_THRESHOLDS,
+    patterns: Optional[Sequence[str]] = None,
+    data: Optional[bytes] = None,
+) -> DSEResult:
+    """Sweep the two compiler knobs on one dataset (Fig. 13)."""
+    if patterns is None:
+        patterns = load_dataset(dataset, regex_count, seed)
+    if data is None:
+        rng = random.Random(seed + 1)
+        data = dataset_stream(
+            patterns, rng, input_length, PROFILES[dataset].literal_pool
+        )
+
+    baseline_ruleset = compile_baseline(patterns)
+    baseline = BaselineSimulator(CAMA_SPEC, baseline_ruleset).run(data)
+
+    result = DSEResult(dataset=dataset)
+    for bv_size in bv_sizes:
+        for unfold_th in unfold_thresholds:
+            options = CompilerOptions(bv_size=bv_size, unfold_threshold=unfold_th)
+            ruleset = compile_ruleset(patterns, options)
+            report = BVAPSimulator(ruleset).run(data)
+            result.points.append(
+                DSEPoint(
+                    dataset=dataset,
+                    bv_size=bv_size,
+                    unfold_threshold=unfold_th,
+                    report=report,
+                    baseline=baseline,
+                )
+            )
+    return result
+
+
+def best_parameters(
+    datasets: Sequence[str],
+    regex_count: int = 30,
+    input_length: int = 2000,
+    seed: int = 0,
+) -> Dict[str, Tuple[int, int]]:
+    """Table 5: per-dataset (bv_size, unfold_th) minimising the FoM."""
+    out: Dict[str, Tuple[int, int]] = {}
+    for dataset in datasets:
+        result = explore_dataset(dataset, regex_count, input_length, seed)
+        best = result.best_by_fom()
+        out[dataset] = (best.bv_size, best.unfold_threshold)
+    return out

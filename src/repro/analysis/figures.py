@@ -1,0 +1,118 @@
+"""CSV export of figure data for external plotting.
+
+The benchmark harness writes human-readable tables to
+``benchmarks/results``; these helpers produce machine-readable CSV from
+the same objects so the paper's figures can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Mapping, Sequence
+
+from ..hardware.report import SimulationReport
+from .dse import DSEResult
+from .metrics import METRIC_NAMES
+
+
+def reports_to_csv(
+    reports: Mapping[str, SimulationReport], path: str = None
+) -> str:
+    """One row per architecture with the absolute evaluation metrics."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "architecture",
+            "symbols",
+            "matches",
+            "tiles",
+            "area_mm2",
+            "energy_per_symbol_nj",
+            "throughput_gbps",
+            "compute_density_gbps_mm2",
+            "power_w",
+            "edp",
+            "fom",
+        ]
+    )
+    for arch, report in reports.items():
+        writer.writerow(
+            [
+                arch,
+                report.symbols,
+                report.matches,
+                report.num_tiles,
+                report.area_mm2,
+                report.energy_per_symbol_nj,
+                report.throughput_gbps,
+                report.compute_density_gbps_mm2,
+                report.power_w,
+                report.edp,
+                report.fom,
+            ]
+        )
+    return _finish(buffer, path)
+
+
+def normalized_to_csv(
+    per_arch: Mapping[str, Mapping[str, float]], path: str = None
+) -> str:
+    """Fig. 14-style normalised metrics, one row per architecture."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["architecture"] + list(METRIC_NAMES))
+    for arch, metrics in per_arch.items():
+        writer.writerow([arch] + [metrics[name] for name in METRIC_NAMES])
+    return _finish(buffer, path)
+
+
+def dse_to_csv(result: DSEResult, path: str = None) -> str:
+    """Fig. 13 grid: one row per (bv_size, unfold_th) point."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "dataset",
+            "bv_size",
+            "unfold_threshold",
+            "compute_density_vs_cama",
+            "edp_vs_cama",
+            "fom_vs_cama",
+        ]
+    )
+    for point in result.points:
+        writer.writerow(
+            [
+                point.dataset,
+                point.bv_size,
+                point.unfold_threshold,
+                point.compute_density_norm,
+                point.edp_norm,
+                point.fom_norm,
+            ]
+        )
+    return _finish(buffer, path)
+
+
+def sweep_to_csv(
+    rows: Sequence[Mapping[str, object]], path: str = None
+) -> str:
+    """Generic sweep export (micro-benchmarks): list of dict rows."""
+    if not rows:
+        raise ValueError("no rows to export")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return _finish(buffer, path)
+
+
+def _finish(buffer: io.StringIO, path: str) -> str:
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,61 @@
+"""Aggregation helpers over simulation reports (§8)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..hardware.report import SimulationReport
+
+METRIC_NAMES = (
+    "area",
+    "energy_per_symbol",
+    "power",
+    "compute_density",
+    "throughput",
+    "fom",
+)
+
+#: Metrics where lower is better (the rest are higher-is-better).
+LOWER_IS_BETTER = ("area", "energy_per_symbol", "power", "fom")
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalized_metrics(
+    report: SimulationReport, base: SimulationReport
+) -> Dict[str, float]:
+    """The six Fig. 14 metrics of ``report`` normalised to ``base``."""
+    return report.normalized_to(base)
+
+
+def average_normalized(
+    per_dataset: Mapping[str, Mapping[str, float]]
+) -> Dict[str, float]:
+    """Geometric mean of each normalised metric across datasets."""
+    out: Dict[str, float] = {}
+    for metric in METRIC_NAMES:
+        out[metric] = geometric_mean(
+            [metrics[metric] for metrics in per_dataset.values()]
+        )
+    return out
+
+
+def savings_percent(ratio: float) -> float:
+    """A normalised ratio expressed as percentage saved (lower-is-better
+    metrics): 0.33 → 67%."""
+    return (1.0 - ratio) * 100.0
+
+
+def improvement_factor(ratio: float) -> float:
+    """A lower-is-better ratio expressed as an improvement factor:
+    0.25 → 4x better."""
+    if ratio <= 0:
+        return float("inf")
+    return 1.0 / ratio

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A simple aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(value.rjust(width) for value, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def normalized_table(
+    per_arch: Mapping[str, Mapping[str, float]], metrics: Sequence[str]
+) -> str:
+    """Architectures × metrics table of normalised values (Fig. 14)."""
+    headers = ["architecture"] + list(metrics)
+    rows = [
+        [arch] + [values[m] for m in metrics] for arch, values in per_arch.items()
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,216 @@
+"""Bit-vector actions — the transition operations of NBVAs (§4).
+
+The paper shows that this small set suffices for regexes::
+
+    set1, shift, copy, r(n), r(1, n), r(n).set1, r(1, n).set1
+
+Every action here is *linear* with respect to bitwise OR —
+``f(v1 | v2) == f(v1) | f(v2)`` — which is the property (§3) that makes the
+AH design (aggregate first, then act) equivalent to the naïve design (act
+first, then aggregate).  ``tests/automata/test_actions.py`` property-checks
+this for every action.
+
+Each action maps a source vector of ``in_width`` bits to a destination
+vector of ``out_width`` bits via :meth:`Action.apply`.  Plain (non-counting)
+NFA states are modelled as width-1 vectors whose single bit is the state's
+activity, so ordinary NFA edges are just ``Copy`` on width 1.
+"""
+
+from __future__ import annotations
+
+from . import bitvector as bv
+
+
+class Action:
+    """Abstract linear operation from ``B^in_width`` to ``B^out_width``."""
+
+    __slots__ = ()
+
+    #: True when the action reads the source vector through the BVM Read
+    #: step (``r(n)`` / ``r(1, n)`` families) — used by the hardware model.
+    reads_source = False
+
+    #: Mnemonic used in configuration files and traces.
+    mnemonic = "?"
+
+    def apply(self, value: int, in_width: int, out_width: int) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return self.mnemonic
+
+
+class Copy(Action):
+    """``copy`` — the destination inherits the source vector unchanged."""
+
+    __slots__ = ()
+    mnemonic = "copy"
+
+    def apply(self, value: int, in_width: int, out_width: int) -> int:
+        if in_width != out_width:
+            raise ValueError(f"copy across widths {in_width} -> {out_width}")
+        return value
+
+
+class Shift(Action):
+    """``shift`` — advance every active counter value by one (§2)."""
+
+    __slots__ = ()
+    mnemonic = "shift"
+
+    def apply(self, value: int, in_width: int, out_width: int) -> int:
+        if in_width != out_width:
+            raise ValueError(f"shift across widths {in_width} -> {out_width}")
+        return bv.shift(value, out_width)
+
+
+class Set1(Action):
+    """``set1`` — start a new count at 1 when the source is active."""
+
+    __slots__ = ()
+    mnemonic = "set1"
+
+    def apply(self, value: int, in_width: int, out_width: int) -> int:
+        return bv.set1(out_width) if value else 0
+
+
+class ReadBit(Action):
+    """``r(n)`` — emit the bit at position ``n`` as a width-1 activity."""
+
+    __slots__ = ("position",)
+    reads_source = True
+
+    def __init__(self, position: int) -> None:
+        if position < 1:
+            raise ValueError("positions are 1-indexed")
+        object.__setattr__(self, "position", position)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("actions are immutable")
+
+    @property
+    def mnemonic(self) -> str:  # type: ignore[override]
+        return f"r({self.position})"
+
+    def _key(self) -> tuple:
+        return (self.position,)
+
+    def apply(self, value: int, in_width: int, out_width: int) -> int:
+        if self.position > in_width:
+            raise ValueError(f"r({self.position}) on width {in_width}")
+        if out_width != 1:
+            raise ValueError("read actions produce a width-1 activity")
+        return bv.read_bit(value, self.position)
+
+
+class ReadRange(Action):
+    """``r(1, n)`` — emit 1 iff any of the first ``n`` bits is set."""
+
+    __slots__ = ("high",)
+    reads_source = True
+
+    def __init__(self, high: int) -> None:
+        if high < 1:
+            raise ValueError("positions are 1-indexed")
+        object.__setattr__(self, "high", high)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("actions are immutable")
+
+    @property
+    def mnemonic(self) -> str:  # type: ignore[override]
+        return f"r(1,{self.high})"
+
+    def _key(self) -> tuple:
+        return (self.high,)
+
+    def apply(self, value: int, in_width: int, out_width: int) -> int:
+        if self.high > in_width:
+            raise ValueError(f"r(1,{self.high}) on width {in_width}")
+        if out_width != 1:
+            raise ValueError("read actions produce a width-1 activity")
+        return bv.read_range(value, self.high)
+
+
+class ReadBitSet1(Action):
+    """``r(n).set1`` — start a fresh count when the read succeeds (§4)."""
+
+    __slots__ = ("position",)
+    reads_source = True
+
+    def __init__(self, position: int) -> None:
+        if position < 1:
+            raise ValueError("positions are 1-indexed")
+        object.__setattr__(self, "position", position)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("actions are immutable")
+
+    @property
+    def mnemonic(self) -> str:  # type: ignore[override]
+        return f"r({self.position}).set1"
+
+    def _key(self) -> tuple:
+        return (self.position,)
+
+    def apply(self, value: int, in_width: int, out_width: int) -> int:
+        if self.position > in_width:
+            raise ValueError(f"r({self.position}) on width {in_width}")
+        return bv.set1(out_width) if bv.read_bit(value, self.position) else 0
+
+
+class ReadRangeSet1(Action):
+    """``r(1, n).set1`` — fresh count when any of the first n bits is set."""
+
+    __slots__ = ("high",)
+    reads_source = True
+
+    def __init__(self, high: int) -> None:
+        if high < 1:
+            raise ValueError("positions are 1-indexed")
+        object.__setattr__(self, "high", high)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("actions are immutable")
+
+    @property
+    def mnemonic(self) -> str:  # type: ignore[override]
+        return f"r(1,{self.high}).set1"
+
+    def _key(self) -> tuple:
+        return (self.high,)
+
+    def apply(self, value: int, in_width: int, out_width: int) -> int:
+        if self.high > in_width:
+            raise ValueError(f"r(1,{self.high}) on width {in_width}")
+        return bv.set1(out_width) if bv.read_range(value, self.high) else 0
+
+
+COPY = Copy()
+SHIFT = Shift()
+SET1 = Set1()
+
+
+def read_action(low: int, high: int) -> Action:
+    """The exit-read for a counting block ``{low, high}`` (post-rewrite).
+
+    Exact counts read a single bit, ranges read a prefix.
+    """
+    if low == high:
+        return ReadBit(low)
+    return ReadRange(high)
+
+
+def read_set1_action(low: int, high: int) -> Action:
+    if low == high:
+        return ReadBitSet1(low)
+    return ReadRangeSet1(high)

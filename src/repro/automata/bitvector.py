@@ -1,0 +1,144 @@
+"""Fixed-width bit vectors with the paper's 1-indexed convention.
+
+A bit vector of width ``n`` represents a set of active counter values in
+``{1, ..., n}`` (§1): ``v[i] = 1`` iff counter value ``i`` is active.  The
+implementation stores the bits in a Python int — bit ``i`` of the paper maps
+to int bit ``i - 1`` — so bitwise OR (the aggregation operator of NBVAs) is
+a single machine operation.
+
+The module-level helpers (:func:`shift`, :func:`set1`, ...) operate on raw
+ints and are what the simulators use on their hot paths; the
+:class:`BitVector` wrapper adds width checking and pretty printing for the
+public API, examples, and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def width_mask(width: int) -> int:
+    """Mask with the low ``width`` bits set."""
+    return (1 << width) - 1
+
+
+def set1(width: int) -> int:
+    """The vector ``[1, 0, ..., 0]`` — counter value 1 active."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    return 1
+
+
+def shift(value: int, width: int) -> int:
+    """Shift by one position, dropping the bit at position ``width``.
+
+    ``shft(v)[1] = 0`` and ``shft(v)[i] = v[i-1]`` (§2, Example 2.2).
+    """
+    return (value << 1) & width_mask(width)
+
+
+def read_bit(value: int, position: int) -> int:
+    """``r(n)``: the bit at 1-indexed ``position``."""
+    if position < 1:
+        raise ValueError("positions are 1-indexed")
+    return value >> (position - 1) & 1
+
+
+def read_range(value: int, high: int) -> int:
+    """``r(1, n)``: 1 iff any of ``v[1..high]`` is set."""
+    if high < 1:
+        raise ValueError("positions are 1-indexed")
+    return 1 if value & width_mask(high) else 0
+
+
+def from_bits(bits: Iterable[int]) -> int:
+    """Build a raw vector from bits listed lowest position first."""
+    value = 0
+    for index, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        value |= bit << index
+    return value
+
+
+def to_bits(value: int, width: int) -> List[int]:
+    """Inverse of :func:`from_bits` with explicit width."""
+    return [value >> i & 1 for i in range(width)]
+
+
+class BitVector:
+    """An immutable fixed-width bit vector.
+
+    >>> v = BitVector.zeros(3).with_set1()
+    >>> v.shifted().bits()
+    [0, 1, 0]
+    >>> (v | v.shifted())[1]
+    1
+    """
+
+    __slots__ = ("value", "width")
+
+    def __init__(self, value: int, width: int) -> None:
+        if width < 1:
+            raise ValueError("width must be positive")
+        if value < 0 or value > width_mask(width):
+            raise ValueError(f"value {value:#x} does not fit in width {width}")
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "width", width)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("BitVector is immutable")
+
+    @classmethod
+    def zeros(cls, width: int) -> "BitVector":
+        return cls(0, width)
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitVector":
+        bit_list = list(bits)
+        return cls(from_bits(bit_list), len(bit_list))
+
+    def with_set1(self) -> "BitVector":
+        """The constant ``[1, 0, ..., 0]`` of the same width."""
+        return BitVector(set1(self.width), self.width)
+
+    def shifted(self) -> "BitVector":
+        return BitVector(shift(self.value, self.width), self.width)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+        return BitVector(self.value | other.value, self.width)
+
+    def __getitem__(self, position: int) -> int:
+        """1-indexed read ``v[i]`` as in the paper."""
+        if not 1 <= position <= self.width:
+            raise IndexError(f"position {position} not in [1, {self.width}]")
+        return read_bit(self.value, position)
+
+    def read_range(self, high: int) -> int:
+        if not 1 <= high <= self.width:
+            raise IndexError(f"position {high} not in [1, {self.width}]")
+        return read_range(self.value, high)
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def popcount(self) -> int:
+        return bin(self.value).count("1")
+
+    def bits(self) -> List[int]:
+        return to_bits(self.value, self.width)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BitVector)
+            and self.value == other.value
+            and self.width == other.width
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.width))
+
+    def __repr__(self) -> str:
+        return f"BitVector([{', '.join(str(b) for b in self.bits())}])"

@@ -1,0 +1,103 @@
+"""Glushkov construction: regex AST → homogeneous ε-free NFA (§2).
+
+The construction linearises the regex (one *position* per character-class
+occurrence) and computes the classical ``nullable`` / ``first`` / ``last`` /
+``follow`` sets.  The resulting automaton has exactly one state per
+position, is ε-free, and is homogeneous — all incoming transitions of a
+position carry that position's character class — which is the property
+AP-style hardware exploits by storing the predicate in the STE.
+
+Bounded repetitions must be removed (unfolded) before calling
+:func:`glushkov`; this mirrors the baseline processors' compilation flow.
+The counting-aware generalisation lives in ``repro.compiler.translate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from ..regex import ast
+from ..regex.charclass import CharClass
+from .nfa import NFA
+
+
+@dataclass
+class _Fragment:
+    """Glushkov data for a subtree: nullability and boundary positions."""
+
+    nullable: bool
+    first: Set[int]
+    last: Set[int]
+
+
+def glushkov(node: ast.Regex) -> NFA:
+    """Build the Glushkov NFA of a Repeat-free regex AST.
+
+    Raises ``ValueError`` if a bounded repetition survives in the AST.
+
+    The NFA's start-anywhere initial set is ``first`` and its reporting set
+    is ``last``; a nullable regex matches the empty string, which AP-style
+    reporting cannot express, so nullability is surfaced via the
+    ``match_empty`` attribute set on the returned NFA.
+    """
+    positions: List[CharClass] = []
+    follow: List[List[int]] = []
+
+    def visit(sub: ast.Regex) -> _Fragment:
+        if isinstance(sub, ast.Epsilon):
+            return _Fragment(True, set(), set())
+        if isinstance(sub, ast.Symbol):
+            index = len(positions)
+            positions.append(sub.cc)
+            follow.append([])
+            return _Fragment(False, {index}, {index})
+        if isinstance(sub, ast.Concat):
+            left = visit(sub.left)
+            right = visit(sub.right)
+            _link(follow, left.last, right.first)
+            return _Fragment(
+                left.nullable and right.nullable,
+                left.first | (right.first if left.nullable else set()),
+                right.last | (left.last if right.nullable else set()),
+            )
+        if isinstance(sub, ast.Alternation):
+            left = visit(sub.left)
+            right = visit(sub.right)
+            return _Fragment(
+                left.nullable or right.nullable,
+                left.first | right.first,
+                left.last | right.last,
+            )
+        if isinstance(sub, ast.Star):
+            inner = visit(sub.inner)
+            _link(follow, inner.last, inner.first)
+            return _Fragment(True, inner.first, inner.last)
+        if isinstance(sub, ast.Plus):
+            inner = visit(sub.inner)
+            _link(follow, inner.last, inner.first)
+            return _Fragment(inner.nullable, inner.first, inner.last)
+        if isinstance(sub, ast.Optional_):
+            inner = visit(sub.inner)
+            return _Fragment(True, inner.first, inner.last)
+        if isinstance(sub, ast.Repeat):
+            raise ValueError(
+                "glushkov() requires an unfolded AST; "
+                f"found bounded repetition {sub}"
+            )
+        raise TypeError(f"unknown node: {sub!r}")
+
+    fragment = visit(node)
+    nfa = NFA(
+        classes=positions,
+        transitions=[sorted(set(dsts)) for dsts in follow],
+        initial=fragment.first,
+        final=fragment.last,
+    )
+    nfa.match_empty = fragment.nullable  # type: ignore[attr-defined]
+    return nfa
+
+
+def _link(follow: List[List[int]], sources: Set[int], targets: Set[int]) -> None:
+    for src in sources:
+        follow[src].extend(targets)

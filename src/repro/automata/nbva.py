@@ -1,0 +1,185 @@
+"""Nondeterministic Bit Vector Automata (NBVA) and their simulation (§2).
+
+An NBVA state carries a bit vector of a fixed width; a transition
+``(p, sigma, q, theta)`` applies the linear action ``theta`` to the source
+vector, and vectors arriving at the same destination are aggregated with
+bitwise OR.  Plain NFA states are modelled as width-1 vectors (the single
+bit is the state's activity), which keeps one uniform semantics for the
+whole automaton.
+
+Our NBVAs are produced by a Glushkov-style translation
+(``repro.compiler.translate``) and are therefore *character-homogeneous*:
+every transition entering a state carries the state's own character class,
+so the class is stored on the state and transitions carry only the action.
+
+Matching semantics is the hardware's start-anywhere / report-all-ends:
+initial injections are re-applied on every symbol and the automaton reports
+each input index at which some final condition holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..regex.charclass import CharClass
+from .actions import Action
+
+
+@dataclass(frozen=True)
+class Scope:
+    """A counting block: the positions of one rewritten ``X{low,high}``."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError(f"bad scope bounds {{{self.low},{self.high}}}")
+
+    @property
+    def width(self) -> int:
+        """Bit-vector width needed to track this block's counter."""
+        return self.high
+
+
+@dataclass
+class State:
+    """One NBVA control state.
+
+    ``width == 1`` states are plain (their vector is just an activity bit);
+    wider states belong to a counting ``scope``.
+    """
+
+    cc: CharClass
+    width: int = 1
+    scope: Optional[int] = None  # index into NBVA.scopes
+
+    def is_counting(self) -> bool:
+        return self.width > 1
+
+
+@dataclass
+class Transition:
+    src: int
+    dst: int
+    action: Action
+
+
+@dataclass
+class NBVA:
+    """A nondeterministic bit vector automaton.
+
+    Attributes:
+        states: control states with their class/width/scope.
+        transitions: action-labelled edges.
+        scopes: counting-block metadata, indexed by ``State.scope``.
+        initial: state -> injection vector, re-applied every symbol.
+        final: state -> finalisation action (a read producing one bit).
+    """
+
+    states: List[State]
+    transitions: List[Transition]
+    scopes: List[Scope] = field(default_factory=list)
+    initial: Dict[int, int] = field(default_factory=dict)
+    final: Dict[int, Action] = field(default_factory=dict)
+    match_empty: bool = False
+
+    def __post_init__(self) -> None:
+        count = len(self.states)
+        for t in self.transitions:
+            if not (0 <= t.src < count and 0 <= t.dst < count):
+                raise ValueError(f"transition {t.src}->{t.dst} out of range")
+        for state in list(self.initial) + list(self.final):
+            if not 0 <= state < count:
+                raise ValueError(f"state {state} out of range")
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def num_counting_states(self) -> int:
+        return sum(1 for s in self.states if s.is_counting())
+
+    def total_bv_bits(self) -> int:
+        return sum(s.width for s in self.states if s.is_counting())
+
+    def incoming(self) -> List[List[Transition]]:
+        by_dst: List[List[Transition]] = [[] for _ in self.states]
+        for t in self.transitions:
+            by_dst[t.dst].append(t)
+        return by_dst
+
+    def outgoing(self) -> List[List[Transition]]:
+        by_src: List[List[Transition]] = [[] for _ in self.states]
+        for t in self.transitions:
+            by_src[t.src].append(t)
+        return by_src
+
+    def is_action_homogeneous(self) -> bool:
+        """True iff every state has at most one distinct incoming action
+        (counting the initial injection as an incoming ``set1``/``copy``)."""
+        from .ah import incoming_action_kinds  # local import to avoid cycle
+
+        return all(
+            len(incoming_action_kinds(self, state)) <= 1
+            for state in range(self.num_states)
+        )
+
+    def matcher(self) -> "NBVAMatcher":
+        return NBVAMatcher(self)
+
+    def match_ends(self, data: bytes) -> List[int]:
+        return self.matcher().match_ends(data)
+
+
+class NBVAMatcher:
+    """Symbol-at-a-time simulator for an NBVA."""
+
+    def __init__(self, nbva: NBVA) -> None:
+        self.nbva = nbva
+        self._incoming = nbva.incoming()
+        self._widths = [s.width for s in nbva.states]
+        self._final = list(nbva.final.items())
+        self.reset()
+
+    def reset(self) -> None:
+        self.vectors = [0] * self.nbva.num_states
+
+    def step(self, symbol: int) -> bool:
+        """Consume one symbol; True iff a match ends here."""
+        nbva = self.nbva
+        widths = self._widths
+        old = self.vectors
+        new = [0] * len(old)
+        for dst, state in enumerate(nbva.states):
+            if symbol not in state.cc:
+                continue
+            agg = nbva.initial.get(dst, 0)
+            dst_width = widths[dst]
+            for t in self._incoming[dst]:
+                src_value = old[t.src]
+                if src_value:
+                    agg |= t.action.apply(src_value, widths[t.src], dst_width)
+            new[dst] = agg
+        self.vectors = new
+        return self.matched()
+
+    def matched(self) -> bool:
+        widths = self._widths
+        for state, condition in self._final:
+            value = self.vectors[state]
+            if value and condition.apply(value, widths[state], 1):
+                return True
+        return False
+
+    def match_ends(self, data: bytes) -> List[int]:
+        self.reset()
+        out = []
+        for index, symbol in enumerate(data):
+            if self.step(symbol):
+                out.append(index)
+        return out
+
+    def active_states(self) -> List[int]:
+        return [q for q, v in enumerate(self.vectors) if v]

@@ -1,0 +1,139 @@
+"""Nondeterministic Counter Automata (NCA) simulation (§2).
+
+An NCA extends an NFA with counter registers; a counting state's
+configuration is the *set* of counter values active at that state, because
+nondeterministic execution may need several values simultaneously (Fig. 1).
+An NBVA encodes exactly the characteristic function of that set, so an NCA
+is derived mechanically from an NBVA by reading each bit-vector action as
+its set-level counterpart:
+
+====================  =========================================
+NBVA action           NCA guard / assignment
+====================  =========================================
+``set1``              ``x := 1``
+``copy``              ``x := x``
+``shift``             ``x < n / x := x + 1``  (values past n die)
+``r(c)``              guard ``x = c``
+``r(1, s)``           guard ``x <= s``
+``r(c).set1``         guard ``x = c`` then ``x := 1``
+``r(1, s).set1``      guard ``x <= s`` then ``x := 1``
+====================  =========================================
+
+The simulator manipulates explicit sets of counter values; it exists as an
+executable specification to cross-check the bit-vector engines (the paper's
+Fig. 1 shows the two side by side) and to reproduce that figure's trace.
+Plain states are width-1: their value set is ``{1}`` when active.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .actions import (
+    Action,
+    Copy,
+    ReadBit,
+    ReadBitSet1,
+    ReadRange,
+    ReadRangeSet1,
+    Set1,
+    Shift,
+)
+from .nbva import NBVA
+
+
+def apply_action_to_set(
+    action: Action, values: Set[int], src_bound: int, dst_bound: int
+) -> Set[int]:
+    """The set-level counterpart of a bit-vector action."""
+    if not values:
+        return set()
+    if isinstance(action, Copy):
+        return set(values)
+    if isinstance(action, Shift):
+        return {value + 1 for value in values if value < dst_bound}
+    if isinstance(action, Set1):
+        return {1}
+    if isinstance(action, ReadBit):
+        return {1} if action.position in values else set()
+    if isinstance(action, ReadRange):
+        return {1} if any(value <= action.high for value in values) else set()
+    if isinstance(action, ReadBitSet1):
+        return {1} if action.position in values else set()
+    if isinstance(action, ReadRangeSet1):
+        return {1} if any(value <= action.high for value in values) else set()
+    raise TypeError(f"unknown action: {action!r}")
+
+
+def final_condition_holds(condition: Action, values: Set[int]) -> bool:
+    """Evaluate a finalisation read over a set of counter values."""
+    if isinstance(condition, (ReadBit, ReadBitSet1)):
+        return condition.position in values
+    if isinstance(condition, (ReadRange, ReadRangeSet1)):
+        return any(value <= condition.high for value in values)
+    raise TypeError(f"unsupported final condition: {condition!r}")
+
+
+class NCAMatcher:
+    """Set-based NCA simulator mirroring an NBVA state-for-state."""
+
+    def __init__(self, nbva: NBVA) -> None:
+        self.nbva = nbva
+        self._incoming = nbva.incoming()
+        self._bounds = [s.width for s in nbva.states]
+        self._initial_sets = {
+            state: _vector_to_set(vector) for state, vector in nbva.initial.items()
+        }
+        self.reset()
+
+    def reset(self) -> None:
+        self.values: List[Set[int]] = [set() for _ in self.nbva.states]
+
+    def step(self, symbol: int) -> bool:
+        nbva = self.nbva
+        old = self.values
+        new: List[Set[int]] = [set() for _ in old]
+        for dst, state in enumerate(nbva.states):
+            if symbol not in state.cc:
+                continue
+            agg: Set[int] = set(self._initial_sets.get(dst, ()))
+            for t in self._incoming[dst]:
+                agg |= apply_action_to_set(
+                    t.action, old[t.src], self._bounds[t.src], self._bounds[dst]
+                )
+            new[dst] = agg
+        self.values = new
+        return self.matched()
+
+    def matched(self) -> bool:
+        for state, condition in self.nbva.final.items():
+            if final_condition_holds(condition, self.values[state]):
+                return True
+        return False
+
+    def match_ends(self, data: bytes) -> List[int]:
+        self.reset()
+        out = []
+        for index, symbol in enumerate(data):
+            if self.step(symbol):
+                out.append(index)
+        return out
+
+    def configuration(self) -> List[Tuple[int, FrozenSet[int]]]:
+        """Active states with their counter-value sets, as in Fig. 1."""
+        return [
+            (state, frozenset(values))
+            for state, values in enumerate(self.values)
+            if values
+        ]
+
+
+def _vector_to_set(vector: int) -> Set[int]:
+    values = set()
+    position = 1
+    while vector:
+        if vector & 1:
+            values.add(position)
+        vector >>= 1
+        position += 1
+    return values

@@ -1,0 +1,152 @@
+"""Homogeneous (Glushkov-style) NFAs and their simulation.
+
+A Glushkov NFA (§2) is ε-free and *homogeneous*: every transition entering a
+state carries the same character class, so the class can be pushed onto the
+state itself (the hardware's STE predicate, Fig. 2(b)).  States are dense
+integers and state sets are represented as int bitsets, which makes a
+simulation step two or three big-int operations.
+
+These NFAs are the execution substrate of the baseline processors (AP, CA,
+eAP, CAMA), which handle bounded repetitions by unfolding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..regex.charclass import ALPHABET_SIZE, CharClass
+
+
+@dataclass
+class NFA:
+    """A homogeneous NFA with integer states.
+
+    Attributes:
+        classes: per-state character class (the STE predicate).
+        transitions: per-state list of successor states.
+        initial: states re-activated for start-anywhere matching.
+        final: reporting states.
+    """
+
+    classes: List[CharClass]
+    transitions: List[List[int]]
+    initial: Set[int]
+    final: Set[int]
+
+    def __post_init__(self) -> None:
+        count = len(self.classes)
+        if len(self.transitions) != count:
+            raise ValueError("transitions length must match state count")
+        for src, dsts in enumerate(self.transitions):
+            for dst in dsts:
+                if not 0 <= dst < count:
+                    raise ValueError(f"transition {src}->{dst} out of range")
+        for state in self.initial | self.final:
+            if not 0 <= state < count:
+                raise ValueError(f"state {state} out of range")
+
+    @property
+    def num_states(self) -> int:
+        return len(self.classes)
+
+    def num_transitions(self) -> int:
+        return sum(len(dsts) for dsts in self.transitions)
+
+    def predecessors(self) -> List[List[int]]:
+        preds: List[List[int]] = [[] for _ in range(self.num_states)]
+        for src, dsts in enumerate(self.transitions):
+            for dst in dsts:
+                preds[dst].append(src)
+        return preds
+
+    def is_homogeneous(self) -> bool:
+        """Always true by construction; verified for arbitrary instances."""
+        return True
+
+    def matcher(self) -> "NFAMatcher":
+        return NFAMatcher(self)
+
+    def match_ends(self, data: bytes) -> List[int]:
+        """Indices ``i`` such that some match ends at ``data[i]`` (0-based).
+
+        Start-anywhere, report-all semantics: this is what an AP-style
+        reporting STE produces (§3).
+        """
+        return self.matcher().match_ends(data)
+
+
+class NFAMatcher:
+    """Bitset-based simulator for a homogeneous NFA."""
+
+    def __init__(self, nfa: NFA) -> None:
+        self.nfa = nfa
+        # symbol -> bitset of states whose class matches the symbol
+        self._match_masks = _build_match_masks(nfa.classes)
+        self._initial_mask = _to_mask(nfa.initial)
+        self._final_mask = _to_mask(nfa.final)
+        # successor mask per state (who becomes available when I am active)
+        self._succ_masks = [_to_mask(dsts) for dsts in nfa.transitions]
+        self.reset()
+
+    def reset(self) -> None:
+        self.active = 0
+
+    def step(self, symbol: int) -> bool:
+        """Consume one input symbol; True iff a match ends here.
+
+        Implements the two-phase cycle of AP-style processors (§3): the
+        available set is the union of successors of active states plus the
+        always-available initial states; intersecting with the states whose
+        predicate matches the symbol yields the new active set.
+        """
+        available = self._initial_mask
+        active = self.active
+        succ = self._succ_masks
+        while active:
+            low = active & -active
+            available |= succ[low.bit_length() - 1]
+            active ^= low
+        self.active = available & self._match_masks[symbol]
+        return bool(self.active & self._final_mask)
+
+    def match_ends(self, data: bytes) -> List[int]:
+        self.reset()
+        out = []
+        for index, symbol in enumerate(data):
+            if self.step(symbol):
+                out.append(index)
+        return out
+
+    def active_states(self) -> Set[int]:
+        return _from_mask(self.active)
+
+    def active_count(self) -> int:
+        return bin(self.active).count("1")
+
+
+def _to_mask(states: Iterable[int]) -> int:
+    mask = 0
+    for state in states:
+        mask |= 1 << state
+    return mask
+
+
+def _from_mask(mask: int) -> Set[int]:
+    out = set()
+    index = 0
+    while mask:
+        if mask & 1:
+            out.add(index)
+        mask >>= 1
+        index += 1
+    return out
+
+
+def _build_match_masks(classes: Sequence[CharClass]) -> List[int]:
+    masks = [0] * ALPHABET_SIZE
+    for state, cc in enumerate(classes):
+        bit = 1 << state
+        for symbol in cc:
+            masks[symbol] |= bit
+    return masks

@@ -1,0 +1,92 @@
+"""AH-NBVA clean-up passes: dead-state elimination.
+
+The translation and AH transformation can leave states that never
+influence matching:
+
+* states with an **unsatisfiable predicate** (an empty character class,
+  e.g. from ``[^\\x00-\\xff]``-style contradictions);
+* **unreachable** states — no activation path from an injected state;
+* **useless** states — no path to any reporting state.
+
+Each such state would still occupy an STE (and possibly a BV slot), so
+pruning them before mapping saves hardware.  The pass preserves the
+match stream exactly (tested property).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .ah import AHNBVA, AHState
+
+
+def prune(ah: AHNBVA) -> AHNBVA:
+    """Remove dead states; returns a new, equivalent AH-NBVA."""
+    keep = _live_states(ah)
+    if len(keep) == ah.num_states:
+        return ah
+    remap: Dict[int, int] = {}
+    states: List[AHState] = []
+    for old_index in sorted(keep):
+        remap[old_index] = len(states)
+        states.append(ah.states[old_index])
+    preds = [
+        [remap[p] for p in ah.preds[old_index] if p in keep]
+        for old_index in sorted(keep)
+    ]
+    return AHNBVA(
+        states=states,
+        preds=preds,
+        scopes=list(ah.scopes),
+        injected={remap[q] for q in ah.injected if q in keep},
+        final={
+            remap[q]: condition
+            for q, condition in ah.final.items()
+            if q in keep
+        },
+        match_empty=ah.match_empty,
+    )
+
+
+def _live_states(ah: AHNBVA) -> Set[int]:
+    satisfiable = {
+        q for q, state in enumerate(ah.states) if not state.cc.is_empty()
+    }
+    # Forward reachability from the injected states.
+    successors: Dict[int, List[int]] = {q: [] for q in range(ah.num_states)}
+    for dst, sources in enumerate(ah.preds):
+        for src in sources:
+            successors[src].append(dst)
+    reachable: Set[int] = set()
+    frontier = [q for q in ah.injected if q in satisfiable]
+    while frontier:
+        state = frontier.pop()
+        if state in reachable:
+            continue
+        reachable.add(state)
+        for nxt in successors[state]:
+            if nxt in satisfiable and nxt not in reachable:
+                frontier.append(nxt)
+
+    # Backward co-reachability from the reporting states.
+    useful: Set[int] = set()
+    frontier = [q for q in ah.final if q in reachable]
+    while frontier:
+        state = frontier.pop()
+        if state in useful:
+            continue
+        useful.add(state)
+        for prev in ah.preds[state]:
+            if prev in reachable and prev not in useful:
+                frontier.append(prev)
+    return useful
+
+
+def pruning_summary(before: AHNBVA, after: AHNBVA) -> Dict[str, int]:
+    """How much the pass saved."""
+    return {
+        "states_before": before.num_states,
+        "states_after": after.num_states,
+        "bv_stes_before": before.num_bv_stes(),
+        "bv_stes_after": after.num_bv_stes(),
+    }

@@ -1,0 +1,209 @@
+"""Command-line interface: compile, scan, simulate, and generate.
+
+Usage::
+
+    python -m repro.cli compile  PATTERNS... -o config.json
+    python -m repro.cli scan     PATTERNS... -i input.bin
+    python -m repro.cli simulate PATTERNS... -i input.bin --arch BVAP
+    python -m repro.cli dataset  Snort -n 20
+
+``PATTERNS...`` are PCRE-subset regexes, or ``@file`` to read one pattern
+per line from a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from .compiler import CompilerOptions, compile_ruleset, dump_config
+from .hardware.simulator import (
+    BaselineSimulator,
+    BVAPSimulator,
+    compile_baseline,
+)
+from .hardware.specs import CA_SPEC, CAMA_SPEC, EAP_SPEC
+from .matching import PatternSet
+from .workloads import DATASET_NAMES, PROFILES, dataset_stream, load_dataset
+
+ARCH_CHOICES = ("BVAP", "BVAP-S", "CAMA", "eAP", "CA")
+
+
+def _load_patterns(
+    arguments: Sequence[str], fmt: str = "pcre"
+) -> List[str]:
+    patterns: List[str] = []
+    for argument in arguments:
+        if argument.startswith("@"):
+            with open(argument[1:]) as handle:
+                patterns.extend(
+                    line.rstrip("\n") for line in handle if line.strip()
+                )
+        else:
+            patterns.append(argument)
+    if fmt == "prosite":
+        from .workloads.prosite import prosite_to_pcre
+
+        patterns = [prosite_to_pcre(p) for p in patterns]
+    elif fmt == "snort":
+        from .workloads.snort import rules_to_patterns
+
+        patterns = rules_to_patterns(patterns)
+    if not patterns:
+        raise SystemExit("no patterns given")
+    return patterns
+
+
+def _read_input(path: Optional[str]) -> bytes:
+    if path is None or path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _compiler_options(args: argparse.Namespace) -> CompilerOptions:
+    return CompilerOptions(
+        bv_size=args.bv_size, unfold_threshold=args.unfold_threshold
+    )
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    patterns = _load_patterns(args.patterns, args.fmt)
+    ruleset = compile_ruleset(patterns, _compiler_options(args))
+    for regex_id, why in sorted(ruleset.rejected.items()):
+        print(f"rejected pattern {regex_id}: {why}", file=sys.stderr)
+    dump_config(ruleset, args.output)
+    print(
+        f"compiled {len(ruleset.regexes)} patterns -> {args.output}  "
+        f"({ruleset.num_stes} STEs, {ruleset.num_bv_stes} BV-STEs, "
+        f"{ruleset.mapping.num_tiles} tiles)"
+    )
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    patterns = _load_patterns(args.patterns, args.fmt)
+    data = _read_input(args.input)
+    matcher = PatternSet(
+        patterns, options=_compiler_options(args), engine=args.engine
+    )
+    matches = matcher.scan(data)
+    for match in matches:
+        print(f"{match.end}\t{patterns[match.pattern_id]}")
+    print(f"{len(matches)} matches in {len(data)} bytes", file=sys.stderr)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    data = _read_input(args.input)
+    if args.config:
+        if args.arch not in ("BVAP", "BVAP-S"):
+            raise SystemExit("--config only programs BVAP / BVAP-S")
+        from .hardware.simulator import simulator_from_config
+
+        report = simulator_from_config(
+            args.config, streaming=args.arch == "BVAP-S"
+        ).run(data)
+    elif args.arch in ("BVAP", "BVAP-S"):
+        patterns = _load_patterns(args.patterns, args.fmt)
+        ruleset = compile_ruleset(patterns, _compiler_options(args))
+        simulator = BVAPSimulator(ruleset, streaming=args.arch == "BVAP-S")
+        report = simulator.run(data)
+    else:
+        patterns = _load_patterns(args.patterns, args.fmt)
+        spec = {"CAMA": CAMA_SPEC, "eAP": EAP_SPEC, "CA": CA_SPEC}[args.arch]
+        report = BaselineSimulator(spec, compile_baseline(patterns)).run(data)
+    print(f"architecture     : {report.architecture}")
+    print(f"symbols          : {report.symbols}")
+    print(f"matches          : {report.matches}")
+    print(f"tiles            : {report.num_tiles}")
+    print(f"area             : {report.area_mm2:.4f} mm2")
+    print(f"energy/symbol    : {report.energy_per_symbol_nj * 1e3:.3f} pJ")
+    print(f"throughput       : {report.throughput_gbps:.2f} Gbps")
+    print(f"compute density  : {report.compute_density_gbps_mm2:.1f} Gbps/mm2")
+    print(f"power            : {report.power_w * 1e3:.2f} mW")
+    print(f"FoM              : {report.fom:.3e} mJ*mm2/Gbps")
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    patterns = load_dataset(args.name, args.count, args.seed)
+    for pattern in patterns:
+        print(pattern)
+    if args.stream:
+        data = dataset_stream(
+            patterns,
+            random.Random(args.seed),
+            args.stream,
+            PROFILES[args.name].literal_pool,
+        )
+        with open(args.stream_output, "wb") as handle:
+            handle.write(data)
+        print(
+            f"wrote {len(data)} input bytes -> {args.stream_output}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BVAP compiler / matcher / simulator"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_compiler_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--bv-size", type=int, default=64, dest="bv_size",
+                       choices=(8, 16, 32, 64))
+        p.add_argument("--unfold-threshold", type=int, default=4,
+                       dest="unfold_threshold")
+        p.add_argument("--format", default="pcre", dest="fmt",
+                       choices=("pcre", "prosite", "snort"),
+                       help="pattern syntax of PATTERNS/@files")
+
+    p_compile = sub.add_parser("compile", help="emit a JSON hardware config")
+    p_compile.add_argument("patterns", nargs="+")
+    p_compile.add_argument("-o", "--output", default="bvap_config.json")
+    add_compiler_flags(p_compile)
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_scan = sub.add_parser("scan", help="match patterns over input bytes")
+    p_scan.add_argument("patterns", nargs="+")
+    p_scan.add_argument("-i", "--input", default="-",
+                        help="input file ('-' = stdin)")
+    p_scan.add_argument("--engine", default="ah",
+                        choices=("ah", "nbva", "nca", "nfa"))
+    add_compiler_flags(p_scan)
+    p_scan.set_defaults(func=cmd_scan)
+
+    p_sim = sub.add_parser("simulate", help="cycle-level simulation")
+    p_sim.add_argument("patterns", nargs="*")
+    p_sim.add_argument("-i", "--input", default="-")
+    p_sim.add_argument("--arch", default="BVAP", choices=ARCH_CHOICES)
+    p_sim.add_argument("--config", default=None,
+                       help="program the simulator from a JSON config "
+                            "instead of compiling PATTERNS")
+    add_compiler_flags(p_sim)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_data = sub.add_parser("dataset", help="generate a synthetic dataset")
+    p_data.add_argument("name", choices=DATASET_NAMES)
+    p_data.add_argument("-n", "--count", type=int, default=20)
+    p_data.add_argument("--seed", type=int, default=0)
+    p_data.add_argument("--stream", type=int, default=0,
+                        help="also generate this many input bytes")
+    p_data.add_argument("--stream-output", default="stream.bin")
+    p_data.set_defaults(func=cmd_dataset)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

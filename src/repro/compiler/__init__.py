@@ -1,0 +1,75 @@
+"""Regex-to-hardware compiler (§7): translation, encoding, mapping, config."""
+
+from .cam import CamRow, decode_rows, encode_class, rows_for_class, rows_for_ruleset
+from .config import (
+    LoadedConfig,
+    action_from_mnemonic,
+    action_to_mnemonic,
+    dump_config,
+    load_config,
+    ruleset_to_config,
+)
+from .encoding import EncodingSchema, build_encoding
+from .mapping import (
+    ArchParams,
+    AutomatonDemand,
+    MappingError,
+    MappingResult,
+    Tile,
+    map_automata,
+)
+from .sparsity import (
+    SparsityProfile,
+    decide_fcb_tiles,
+    fcb_pairs_for_ruleset,
+    profile_automaton,
+)
+from .pipeline import (
+    CompiledRegex,
+    CompiledRuleset,
+    CompilerOptions,
+    build_unfolded_nfa,
+    compile_ast,
+    compile_pattern,
+    compile_ruleset,
+    swap_words,
+    virtual_width,
+)
+from .translate import TranslationError, translate
+
+__all__ = [
+    "ArchParams",
+    "AutomatonDemand",
+    "CamRow",
+    "CompiledRegex",
+    "CompiledRuleset",
+    "CompilerOptions",
+    "decode_rows",
+    "encode_class",
+    "rows_for_class",
+    "rows_for_ruleset",
+    "EncodingSchema",
+    "LoadedConfig",
+    "MappingError",
+    "MappingResult",
+    "SparsityProfile",
+    "Tile",
+    "TranslationError",
+    "action_from_mnemonic",
+    "action_to_mnemonic",
+    "build_encoding",
+    "build_unfolded_nfa",
+    "compile_ast",
+    "compile_pattern",
+    "compile_ruleset",
+    "decide_fcb_tiles",
+    "dump_config",
+    "fcb_pairs_for_ruleset",
+    "load_config",
+    "map_automata",
+    "profile_automaton",
+    "ruleset_to_config",
+    "swap_words",
+    "translate",
+    "virtual_width",
+]

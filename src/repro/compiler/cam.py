@@ -1,0 +1,114 @@
+"""CAM row generation — CAMA's nibble-product encoding ([16], §5/§6).
+
+CAMA stores each STE's predicate in a 32-bit CAM row: the input byte is
+split into its low and high nibbles, each one-hot over 16 bits, and the
+row holds a 16-bit mask per nibble.  A row matches byte ``b`` iff
+
+    low_mask[b & 0xF] == 1  and  high_mask[b >> 4] == 1
+
+i.e. a single row represents exactly a *product* class
+``L × H = {b : low(b) in L, high(b) in H}``.  Arbitrary character
+classes decompose into several product rows; the decomposition below
+groups high nibbles by their low-nibble sets, which yields the minimum
+number of product rows for the class (one row per distinct non-empty
+low-set).
+
+This is why the Table 4 CAM is 32×256: 32 bits per row, 256 rows per
+tile; STEs whose class needs multiple rows consume extra rows, which
+:func:`rows_for_ruleset` surfaces as CAM pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..regex.charclass import CharClass
+
+NIBBLE_BITS = 16
+
+
+@dataclass(frozen=True)
+class CamRow:
+    """One 32-bit CAM row: a product of low- and high-nibble sets."""
+
+    low_mask: int  # 16 bits, one per low-nibble value
+    high_mask: int  # 16 bits, one per high-nibble value
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low_mask < (1 << NIBBLE_BITS):
+            raise ValueError(f"low mask out of range: {self.low_mask:#x}")
+        if not 0 < self.high_mask < (1 << NIBBLE_BITS) + 0:
+            raise ValueError(f"high mask out of range: {self.high_mask:#x}")
+
+    def matches(self, byte: int) -> bool:
+        return bool(
+            self.low_mask >> (byte & 0xF) & 1
+            and self.high_mask >> (byte >> 4) & 1
+        )
+
+    def to_class(self) -> CharClass:
+        mask = 0
+        for high in range(16):
+            if not self.high_mask >> high & 1:
+                continue
+            for low in range(16):
+                if self.low_mask >> low & 1:
+                    mask |= 1 << ((high << 4) | low)
+        return CharClass(mask)
+
+    def encode(self) -> int:
+        """The packed 32-bit row image."""
+        return (self.high_mask << NIBBLE_BITS) | self.low_mask
+
+    @classmethod
+    def decode(cls, word: int) -> "CamRow":
+        return cls(
+            low_mask=word & ((1 << NIBBLE_BITS) - 1),
+            high_mask=word >> NIBBLE_BITS,
+        )
+
+
+def encode_class(cc: CharClass) -> List[CamRow]:
+    """Decompose a character class into product CAM rows.
+
+    Groups high nibbles by their exact low-nibble sets; each group forms
+    one row, which is the minimal product-row decomposition.
+    """
+    if cc.is_empty():
+        raise ValueError("cannot encode the empty class")
+    low_sets: Dict[int, int] = {}  # low-nibble mask -> high-nibble mask
+    for high in range(16):
+        low_mask = 0
+        base = high << 4
+        for low in range(16):
+            if (base | low) in cc:
+                low_mask |= 1 << low
+        if low_mask:
+            low_sets[low_mask] = low_sets.get(low_mask, 0) | (1 << high)
+    return [
+        CamRow(low_mask=low_mask, high_mask=high_mask)
+        for low_mask, high_mask in sorted(low_sets.items())
+    ]
+
+
+def decode_rows(rows: Iterable[CamRow]) -> CharClass:
+    """Inverse of :func:`encode_class` (union of the product rows)."""
+    out = CharClass.empty()
+    for row in rows:
+        out = out | row.to_class()
+    return out
+
+
+def rows_for_class(cc: CharClass) -> int:
+    return len(encode_class(cc))
+
+
+def rows_for_ruleset(classes: Iterable[CharClass]) -> Tuple[int, int]:
+    """(STE count, CAM rows needed) — multi-row classes add CAM pressure."""
+    stes = 0
+    rows = 0
+    for cc in classes:
+        stes += 1
+        rows += rows_for_class(cc)
+    return stes, rows

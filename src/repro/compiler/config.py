@@ -1,0 +1,226 @@
+"""JSON hardware-configuration files (§7 step 5).
+
+The compiler's output is a JSON document describing, for each regex, its
+AH-NBVA (states with predicates and actions, edges, injection, reporting)
+together with the symbol-encoding schema and the tile mapping.  The
+simulator (and, in the paper, the physical BVAP) is programmed from this
+file; :func:`load_config` reconstructs the automata so a configuration can
+round-trip through disk.
+"""
+
+from __future__ import annotations
+
+import json
+import re as _re
+from typing import Any, Dict, List
+
+from ..automata.actions import (
+    COPY,
+    SET1,
+    SHIFT,
+    Action,
+    ReadBit,
+    ReadBitSet1,
+    ReadRange,
+    ReadRangeSet1,
+)
+from ..automata.ah import AHNBVA, AHState
+from ..automata.nbva import Scope
+from ..regex.charclass import CharClass
+from .encoding import EncodingSchema
+from .mapping import ArchParams, MappingResult, Tile
+from .pipeline import CompiledRuleset
+
+FORMAT_VERSION = 2
+
+_READ_RE = _re.compile(r"^r\((?:1,)?(\d+)\)(\.set1)?$")
+
+
+def action_to_mnemonic(action: Action) -> str:
+    return action.mnemonic
+
+
+def action_from_mnemonic(text: str) -> Action:
+    if text == "copy":
+        return COPY
+    if text == "shift":
+        return SHIFT
+    if text == "set1":
+        return SET1
+    match = _READ_RE.match(text)
+    if match:
+        value = int(match.group(1))
+        is_range = text.startswith("r(1,")
+        has_set1 = match.group(2) is not None
+        if is_range:
+            return ReadRangeSet1(value) if has_set1 else ReadRange(value)
+        return ReadBitSet1(value) if has_set1 else ReadBit(value)
+    raise ValueError(f"unknown action mnemonic: {text!r}")
+
+
+def _cc_to_json(cc: CharClass) -> str:
+    return format(cc.mask, "x")
+
+
+def _cc_from_json(text: str) -> CharClass:
+    return CharClass(int(text, 16))
+
+
+def _ah_to_json(ah: AHNBVA) -> Dict[str, Any]:
+    return {
+        "states": [
+            {
+                "cc": _cc_to_json(state.cc),
+                "action": action_to_mnemonic(state.action),
+                "width": state.width,
+                "in_width": state.in_width,
+                "scope": state.scope,
+                "origin": state.origin,
+            }
+            for state in ah.states
+        ],
+        "preds": ah.preds,
+        "scopes": [{"low": s.low, "high": s.high} for s in ah.scopes],
+        "injected": sorted(ah.injected),
+        "final": {
+            str(state): action_to_mnemonic(cond) for state, cond in ah.final.items()
+        },
+        "match_empty": ah.match_empty,
+    }
+
+
+def _ah_from_json(doc: Dict[str, Any]) -> AHNBVA:
+    states = [
+        AHState(
+            cc=_cc_from_json(s["cc"]),
+            action=action_from_mnemonic(s["action"]),
+            width=s["width"],
+            in_width=s["in_width"],
+            scope=s["scope"],
+            origin=s["origin"],
+        )
+        for s in doc["states"]
+    ]
+    return AHNBVA(
+        states=states,
+        preds=[list(p) for p in doc["preds"]],
+        scopes=[Scope(s["low"], s["high"]) for s in doc["scopes"]],
+        injected=set(doc["injected"]),
+        final={
+            int(state): action_from_mnemonic(text)
+            for state, text in doc["final"].items()
+        },
+        match_empty=doc["match_empty"],
+    )
+
+
+def ruleset_to_config(ruleset: CompiledRuleset) -> Dict[str, Any]:
+    """Serialise a compiled rule set to a JSON-ready dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "options": {
+            "bv_size": ruleset.options.bv_size,
+            "unfold_threshold": ruleset.options.unfold_threshold,
+            "arch": {
+                "stes_per_tile": ruleset.options.arch.stes_per_tile,
+                "bvs_per_tile": ruleset.options.arch.bvs_per_tile,
+                "tiles_per_array": ruleset.options.arch.tiles_per_array,
+                "arrays_per_bank": ruleset.options.arch.arrays_per_bank,
+                "hardware_bv_bits": ruleset.options.arch.hardware_bv_bits,
+            },
+        },
+        "encoding": {
+            "group_masks": [format(m, "x") for m in ruleset.encoding.group_masks],
+        },
+        "regexes": [
+            {
+                "regex_id": regex.regex_id,
+                "pattern": regex.pattern,
+                "rewritten": str(regex.rewritten),
+                "automaton": _ah_to_json(regex.ah),
+                "unfolded_states": regex.unfolded_states,
+            }
+            for regex in ruleset.regexes
+        ],
+        "mapping": {
+            "tiles": [
+                {
+                    "index": tile.index,
+                    "stes_used": tile.stes_used,
+                    "bvs_used": tile.bvs_used,
+                    "regex_ids": tile.regex_ids,
+                    "max_swap_words": tile.max_swap_words,
+                }
+                for tile in ruleset.mapping.tiles
+            ],
+            "placements": {
+                str(rid): tiles for rid, tiles in ruleset.mapping.placements.items()
+            },
+        },
+        "rejected": {str(rid): why for rid, why in ruleset.rejected.items()},
+    }
+
+
+def dump_config(ruleset: CompiledRuleset, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(ruleset_to_config(ruleset), handle, indent=1)
+
+
+class LoadedConfig:
+    """A configuration reconstructed from JSON — enough to program the
+    simulator: automata, encoding, mapping, and per-regex metadata."""
+
+    def __init__(self, doc: Dict[str, Any]) -> None:
+        if doc.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported config version {doc.get('format_version')!r}"
+            )
+        arch_doc = doc["options"]["arch"]
+        self.arch = ArchParams(
+            stes_per_tile=arch_doc["stes_per_tile"],
+            bvs_per_tile=arch_doc["bvs_per_tile"],
+            tiles_per_array=arch_doc["tiles_per_array"],
+            arrays_per_bank=arch_doc["arrays_per_bank"],
+            hardware_bv_bits=arch_doc["hardware_bv_bits"],
+        )
+        self.bv_size = doc["options"]["bv_size"]
+        self.unfold_threshold = doc["options"]["unfold_threshold"]
+        group_masks = tuple(int(m, 16) for m in doc["encoding"]["group_masks"])
+        code_of_byte = [0] * 256
+        for code, mask in enumerate(group_masks):
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                code_of_byte[low.bit_length() - 1] = code
+                remaining ^= low
+        self.encoding = EncodingSchema(tuple(code_of_byte), group_masks)
+        self.patterns: List[str] = []
+        self.automata: List[AHNBVA] = []
+        self.regex_ids: List[int] = []
+        for entry in doc["regexes"]:
+            self.regex_ids.append(entry["regex_id"])
+            self.patterns.append(entry["pattern"])
+            self.automata.append(_ah_from_json(entry["automaton"]))
+        tiles = [
+            Tile(
+                index=t["index"],
+                stes_used=t["stes_used"],
+                bvs_used=t["bvs_used"],
+                regex_ids=list(t["regex_ids"]),
+                max_swap_words=t["max_swap_words"],
+            )
+            for t in doc["mapping"]["tiles"]
+        ]
+        placements = {
+            int(rid): list(tile_ids)
+            for rid, tile_ids in doc["mapping"]["placements"].items()
+        }
+        self.mapping = MappingResult(
+            params=self.arch, tiles=tiles, placements=placements
+        )
+        self.rejected = {int(rid): why for rid, why in doc["rejected"].items()}
+
+
+def load_config(path: str) -> LoadedConfig:
+    with open(path) as handle:
+        return LoadedConfig(json.load(handle))

@@ -1,0 +1,98 @@
+"""Symbol encoding schema (§7 step 2, after CAMA [16]).
+
+CAMA reduces CAM memory by not matching raw bytes: the 256-byte alphabet is
+partitioned into equivalence classes induced by the rule set's character
+classes (two bytes are equivalent iff exactly the same character classes
+contain them), and each equivalence class receives a code.  An STE then
+stores the (usually tiny) set of codes of its predicate instead of a
+256-bit predicate row.
+
+The partition is computed by the standard mask-refinement algorithm over
+the 256-bit class masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..regex.charclass import ALPHABET_SIZE, CharClass
+
+
+@dataclass(frozen=True)
+class EncodingSchema:
+    """Byte → code mapping plus the inverse code → byte-mask table."""
+
+    code_of_byte: Tuple[int, ...]  # length 256
+    group_masks: Tuple[int, ...]  # per code, 256-bit mask of member bytes
+
+    @property
+    def num_codes(self) -> int:
+        return len(self.group_masks)
+
+    @property
+    def code_bits(self) -> int:
+        """Bits needed to transmit one encoded symbol."""
+        return max(1, (self.num_codes - 1).bit_length())
+
+    def encode_byte(self, byte: int) -> int:
+        return self.code_of_byte[byte]
+
+    def encode(self, data: bytes) -> List[int]:
+        code_of = self.code_of_byte
+        return [code_of[b] for b in data]
+
+    def encode_class(self, cc: CharClass) -> FrozenSet[int]:
+        """The codes whose byte groups intersect the class.
+
+        For classes drawn from the schema's generating set, each group is
+        either fully inside or fully outside the class, so membership of
+        one representative byte decides the group.
+        """
+        codes = set()
+        for code, mask in enumerate(self.group_masks):
+            if mask & cc.mask:
+                codes.add(code)
+        return frozenset(codes)
+
+    def is_exact_for(self, cc: CharClass) -> bool:
+        """True iff the class is a union of whole encoding groups."""
+        union = 0
+        for code, mask in enumerate(self.group_masks):
+            if mask & cc.mask:
+                union |= mask
+        return union == cc.mask
+
+
+def build_encoding(classes: Iterable[CharClass]) -> EncodingSchema:
+    """Partition the alphabet by the given character classes.
+
+    The resulting number of codes equals the number of distinct
+    intersection cells, bounded by ``min(256, 2**len(classes))``.
+    """
+    full = CharClass.any().mask
+    groups: List[int] = [full]
+    for cc in classes:
+        refined: List[int] = []
+        for group in groups:
+            inside = group & cc.mask
+            outside = group & ~cc.mask
+            if inside:
+                refined.append(inside)
+            if outside:
+                refined.append(outside)
+        groups = refined
+    # Deterministic code order: by smallest member byte.
+    groups.sort(key=_lowest_bit)
+    code_of_byte = [0] * ALPHABET_SIZE
+    for code, mask in enumerate(groups):
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            code_of_byte[low.bit_length() - 1] = code
+            remaining ^= low
+    return EncodingSchema(tuple(code_of_byte), tuple(groups))
+
+
+def _lowest_bit(mask: int) -> int:
+    return (mask & -mask).bit_length()

@@ -1,0 +1,247 @@
+"""Greedy mapping of compiled automata onto the BVAP hierarchy (§6, §8).
+
+The hierarchy is bank → 4 arrays → 16 tiles → 256 STEs + 48 BVs.  Two
+hardware constraints shape the mapping:
+
+* ``copy``/``shift`` bit-vector routing happens inside a tile's MFCB, so a
+  *counting scope* (a BV cluster exchanging whole vectors) must stay within
+  one tile — scopes are at most 64 bits wide post-rewrite, so this always
+  holds.  Chains of scopes communicate through ``r(.).set1`` reads, which
+  travel through the Active Vector like ordinary state transitions and may
+  therefore cross tiles (this is how ``url=.{8000}`` fits in 270 STEs, §3).
+* The state-transition global switch spans one array, so one regex may use
+  at most 16 x 256 = 4096 STEs (the per-regex limit the paper quotes for
+  AP-style designs) and 16 x 48 BVs.
+
+The mapper is the greedy first-fit-decreasing scheme the paper adopts from
+CAMA: automata are placed in decreasing order of BV demand, each into the
+first tile that still has room; large automata spill plain STEs and BV
+clusters into sibling tiles of the same array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Capacity parameters of the processor hierarchy (§6)."""
+
+    stes_per_tile: int = 256
+    bvs_per_tile: int = 48
+    tiles_per_array: int = 16
+    arrays_per_bank: int = 4
+    hardware_bv_bits: int = 64
+
+    @property
+    def stes_per_array(self) -> int:
+        return self.stes_per_tile * self.tiles_per_array
+
+    @property
+    def bvs_per_array(self) -> int:
+        return self.bvs_per_tile * self.tiles_per_array
+
+    @property
+    def stes_per_bank(self) -> int:
+        return self.stes_per_array * self.arrays_per_bank
+
+    @property
+    def bvs_per_bank(self) -> int:
+        return self.bvs_per_array * self.arrays_per_bank
+
+    @property
+    def max_tile_repetition_bound(self) -> int:
+        """Largest repetition bound one tile's BVM can track (§6: 3072)."""
+        return self.bvs_per_tile * self.hardware_bv_bits
+
+
+@dataclass(frozen=True)
+class AutomatonDemand:
+    """Resource demand of one compiled automaton."""
+
+    regex_id: int
+    plain_stes: int
+    bv_stes: int
+    #: Swap-step words of the widest virtual BV (drives tile BVM latency).
+    max_swap_words: int = 0
+
+    @property
+    def total_stes(self) -> int:
+        return self.plain_stes + self.bv_stes
+
+
+class MappingError(ValueError):
+    """An automaton exceeds what the hardware can hold."""
+
+
+@dataclass
+class Tile:
+    index: int
+    stes_used: int = 0
+    bvs_used: int = 0
+    regex_ids: List[int] = field(default_factory=list)
+    max_swap_words: int = 0
+
+    def bvm_active(self) -> bool:
+        return self.bvs_used > 0
+
+
+@dataclass
+class MappingResult:
+    """Placement of a rule set onto tiles/arrays/banks plus utilisation."""
+
+    params: ArchParams
+    tiles: List[Tile]
+    placements: Dict[int, List[int]]  # regex id -> tile indexes
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def num_arrays(self) -> int:
+        per = self.params.tiles_per_array
+        return (self.num_tiles + per - 1) // per
+
+    @property
+    def num_banks(self) -> int:
+        per = self.params.arrays_per_bank
+        return (self.num_arrays + per - 1) // per
+
+    def ste_utilization(self) -> float:
+        capacity = self.num_tiles * self.params.stes_per_tile
+        used = sum(t.stes_used for t in self.tiles)
+        return used / capacity if capacity else 0.0
+
+    def bv_utilization(self) -> float:
+        capacity = self.num_tiles * self.params.bvs_per_tile
+        used = sum(t.bvs_used for t in self.tiles)
+        return used / capacity if capacity else 0.0
+
+    def tiles_of_array(self, array_index: int) -> List[Tile]:
+        per = self.params.tiles_per_array
+        return self.tiles[array_index * per : (array_index + 1) * per]
+
+
+def map_automata(
+    demands: Sequence[AutomatonDemand], params: ArchParams = ArchParams()
+) -> MappingResult:
+    """Place automata onto tiles with greedy first-fit-decreasing.
+
+    Raises :class:`MappingError` for automata that violate the per-regex
+    array limits; the caller decides whether to partially unfold or drop
+    such regexes (§6).
+    """
+    for demand in demands:
+        if demand.total_stes > params.stes_per_array:
+            raise MappingError(
+                f"regex {demand.regex_id} needs {demand.total_stes} STEs; "
+                f"an array has {params.stes_per_array}"
+            )
+        if demand.bv_stes > params.bvs_per_array:
+            raise MappingError(
+                f"regex {demand.regex_id} needs {demand.bv_stes} BVs; "
+                f"an array has {params.bvs_per_array}"
+            )
+
+    tiles: List[Tile] = []
+    placements: Dict[int, List[int]] = {}
+
+    def new_tile() -> Tile:
+        tile = Tile(index=len(tiles))
+        tiles.append(tile)
+        return tile
+
+    ordered = sorted(demands, key=lambda d: (d.bv_stes, d.total_stes), reverse=True)
+    for demand in ordered:
+        if (
+            demand.total_stes <= params.stes_per_tile
+            and demand.bv_stes <= params.bvs_per_tile
+        ):
+            home = _find_home_tile(tiles, demand, params)
+            if home is None:
+                home = new_tile()
+            home.stes_used += demand.total_stes
+            home.bvs_used += demand.bv_stes
+            home.max_swap_words = max(home.max_swap_words, demand.max_swap_words)
+            home.regex_ids.append(demand.regex_id)
+            placements[demand.regex_id] = [home.index]
+            continue
+        placements[demand.regex_id] = _place_large(
+            tiles, new_tile, demand, params
+        )
+
+    return MappingResult(params=params, tiles=tiles, placements=placements)
+
+
+def _find_home_tile(
+    tiles: List[Tile], demand: AutomatonDemand, params: ArchParams
+) -> Optional[Tile]:
+    """First existing tile with room for the whole (small) automaton."""
+    for tile in tiles:
+        if (
+            tile.bvs_used + demand.bv_stes <= params.bvs_per_tile
+            and tile.stes_used + demand.total_stes <= params.stes_per_tile
+        ):
+            return tile
+    return None
+
+
+def _place_large(
+    tiles: List[Tile], new_tile, demand: AutomatonDemand, params: ArchParams
+) -> List[int]:
+    """Spill a multi-tile automaton across one array's tiles."""
+    array = _find_host_array(tiles, demand, params)
+    if array is None:
+        while len(tiles) % params.tiles_per_array != 0:
+            new_tile()  # pad: large automata start at an array boundary
+        array = len(tiles) // params.tiles_per_array
+
+    used_tiles: List[int] = []
+    ste_left = demand.total_stes
+    bv_left = demand.bv_stes
+    index = array * params.tiles_per_array
+    end = index + params.tiles_per_array
+    while (ste_left > 0 or bv_left > 0) and index < end:
+        tile = tiles[index] if index < len(tiles) else new_tile()
+        ste_take = min(ste_left, params.stes_per_tile - tile.stes_used)
+        bv_take = min(bv_left, params.bvs_per_tile - tile.bvs_used)
+        if ste_take or bv_take:
+            tile.stes_used += ste_take
+            tile.bvs_used += bv_take
+            ste_left -= ste_take
+            bv_left -= bv_take
+            if bv_take:
+                tile.max_swap_words = max(
+                    tile.max_swap_words, demand.max_swap_words
+                )
+            tile.regex_ids.append(demand.regex_id)
+            used_tiles.append(tile.index)
+        index += 1
+    if ste_left > 0 or bv_left > 0:
+        raise MappingError(
+            f"regex {demand.regex_id} does not fit in array {array}"
+        )
+    return used_tiles
+
+
+def _find_host_array(
+    tiles: List[Tile], demand: AutomatonDemand, params: ArchParams
+) -> Optional[int]:
+    num_arrays = (len(tiles) + params.tiles_per_array - 1) // params.tiles_per_array
+    per = params.tiles_per_array
+    for array in range(num_arrays):
+        members = tiles[array * per : (array + 1) * per]
+        # Only the trailing (incomplete) array can still grow new tiles.
+        can_grow = array == num_arrays - 1 and len(members) < per
+        ste_slack = sum(params.stes_per_tile - t.stes_used for t in members)
+        bv_slack = sum(params.bvs_per_tile - t.bvs_used for t in members)
+        if can_grow:
+            missing = per - len(members)
+            ste_slack += missing * params.stes_per_tile
+            bv_slack += missing * params.bvs_per_tile
+        if ste_slack >= demand.total_stes and bv_slack >= demand.bv_stes:
+            return array
+    return None

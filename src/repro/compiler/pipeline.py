@@ -1,0 +1,268 @@
+"""End-to-end regex-to-hardware compilation (§7).
+
+The pipeline follows the paper's five steps:
+
+1. parse the regex (unfolding of bounds <= 2 is subsumed by step 3);
+2. analyse the character classes and build the symbol encoding schema;
+3. rewrite: unfold small repetitions, split large ones (Examples 7.1/7.2);
+4. construct the NBVA and transform it into an AH-NBVA;
+5. emit a JSON configuration describing the automata and their mapping
+   (``repro.compiler.config``).
+
+The result objects also carry the statistics the evaluation needs: STE and
+BV-STE counts, virtual BV widths and their Swap-word counts, and the
+unfolded baseline size for CAMA/CA/eAP comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..automata.ah import AHNBVA, to_action_homogeneous
+from ..automata.optimize import prune
+from ..automata.glushkov import glushkov
+from ..automata.nbva import NBVA
+from ..automata.nfa import NFA
+from ..regex import ast as ast_mod
+from ..regex.parser import parse
+from ..regex.rewrite import VIRTUAL_SIZES, RewriteParams, rewrite, unfold_all
+from .encoding import EncodingSchema, build_encoding
+from .mapping import ArchParams, AutomatonDemand, MappingError, MappingResult, map_automata
+from .translate import translate
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """All user-facing compiler knobs."""
+
+    bv_size: int = 64
+    unfold_threshold: int = 4
+    arch: ArchParams = ArchParams()
+
+    def __post_init__(self) -> None:
+        self.rewrite_params  # validate bv_size / threshold eagerly
+
+    @property
+    def rewrite_params(self) -> RewriteParams:
+        return RewriteParams(
+            bv_size=self.bv_size, unfold_threshold=self.unfold_threshold
+        )
+
+
+def virtual_width(scope_high: int) -> int:
+    """Smallest realisable virtual BV size covering a scope (§5)."""
+    for size in VIRTUAL_SIZES:
+        if size >= scope_high:
+            return size
+    raise ValueError(f"scope bound {scope_high} exceeds the hardware BV")
+
+
+def swap_words(virtual_size: int, word_bits: int = 8) -> int:
+    """Swap-step word count for a virtual BV (§5 semi-parallel routing)."""
+    return (virtual_size + word_bits - 1) // word_bits
+
+
+@dataclass
+class CompiledRegex:
+    """One regex compiled through the whole pipeline."""
+
+    regex_id: int
+    pattern: str
+    parsed: ast_mod.Regex
+    rewritten: ast_mod.Regex
+    nbva: NBVA
+    ah: AHNBVA
+    #: Size of the Glushkov NFA of the fully unfolded regex (the footprint
+    #: on unfolding-based baselines); None if unfolding would exceed `cap`.
+    unfolded_states: Optional[int] = None
+
+    @property
+    def num_stes(self) -> int:
+        return self.ah.num_states
+
+    @property
+    def num_bv_stes(self) -> int:
+        return self.ah.num_bv_stes()
+
+    @property
+    def num_plain_stes(self) -> int:
+        return self.ah.num_plain_stes()
+
+    def virtual_widths(self) -> List[int]:
+        return [virtual_width(scope.high) for scope in self.ah.scopes]
+
+    def max_swap_words(self) -> int:
+        widths = self.virtual_widths()
+        return max((swap_words(w) for w in widths), default=0)
+
+    def demand(self) -> AutomatonDemand:
+        return AutomatonDemand(
+            regex_id=self.regex_id,
+            plain_stes=self.num_plain_stes,
+            bv_stes=self.num_bv_stes,
+            max_swap_words=self.max_swap_words(),
+        )
+
+
+@dataclass
+class CompiledRuleset:
+    """A full rule set compiled and mapped onto the hardware."""
+
+    options: CompilerOptions
+    regexes: List[CompiledRegex]
+    encoding: EncodingSchema
+    mapping: MappingResult
+    #: Patterns rejected by the mapper (too large even after rewriting).
+    rejected: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def num_stes(self) -> int:
+        return sum(r.num_stes for r in self.regexes)
+
+    @property
+    def num_bv_stes(self) -> int:
+        return sum(r.num_bv_stes for r in self.regexes)
+
+    def bv_ste_ratio(self) -> float:
+        total = self.num_stes
+        return self.num_bv_stes / total if total else 0.0
+
+
+def compile_pattern(
+    pattern: str,
+    regex_id: int = 0,
+    options: CompilerOptions = CompilerOptions(),
+    unfolded_cap: int = 200_000,
+) -> CompiledRegex:
+    """Compile one pattern string into its AH-NBVA."""
+    parsed = parse(pattern)
+    return compile_ast(parsed, pattern, regex_id, options, unfolded_cap)
+
+
+def compile_ast(
+    parsed: ast_mod.Regex,
+    pattern: str,
+    regex_id: int = 0,
+    options: CompilerOptions = CompilerOptions(),
+    unfolded_cap: int = 200_000,
+    force_unfold: bool = False,
+) -> CompiledRegex:
+    """Compile an already-parsed AST (used by the workload generators).
+
+    ``force_unfold`` compiles with every bounded repetition unfolded —
+    the §6 fallback for regexes whose bit-vector demand exceeds the
+    hardware ("unsupported regexes can be executed via partial
+    unfolding").
+    """
+    params = options.rewrite_params
+    rewritten = unfold_all(parsed) if force_unfold else rewrite(parsed, params)
+    nbva = translate(rewritten, params)
+    ah = prune(to_action_homogeneous(nbva))
+    unfolded_states = _unfolded_size(parsed, unfolded_cap)
+    return CompiledRegex(
+        regex_id=regex_id,
+        pattern=pattern,
+        parsed=parsed,
+        rewritten=rewritten,
+        nbva=nbva,
+        ah=ah,
+        unfolded_states=unfolded_states,
+    )
+
+
+def compile_ruleset(
+    patterns: Sequence[str],
+    options: CompilerOptions = CompilerOptions(),
+) -> CompiledRuleset:
+    """Compile and map a whole rule set; oversized regexes are recorded in
+    ``rejected`` rather than aborting the compilation (§6)."""
+    compiled: List[CompiledRegex] = []
+    rejected: Dict[int, str] = {}
+    for regex_id, pattern in enumerate(patterns):
+        try:
+            compiled.append(compile_pattern(pattern, regex_id, options))
+        except (ValueError, MappingError) as error:
+            rejected[regex_id] = str(error)
+
+    classes = [
+        state.cc for regex in compiled for state in regex.ah.states
+    ]
+    encoding = build_encoding(classes)
+
+    demands = []
+    mappable = []
+    for regex in compiled:
+        demand = regex.demand()
+        if demand.bv_stes > options.arch.bvs_per_array:
+            # §6 fallback: more BVs than an array holds — re-compile
+            # with the repetitions unfolded into plain STEs.
+            unfolded = _try_unfold_fallback(regex, options)
+            if unfolded is not None:
+                regex = unfolded
+                demand = regex.demand()
+        if (
+            demand.total_stes > options.arch.stes_per_array
+            or demand.bv_stes > options.arch.bvs_per_array
+        ):
+            rejected[regex.regex_id] = (
+                f"automaton too large: {demand.total_stes} STEs / "
+                f"{demand.bv_stes} BVs"
+            )
+            continue
+        demands.append(demand)
+        mappable.append(regex)
+    mapping = map_automata(demands, options.arch)
+
+    return CompiledRuleset(
+        options=options,
+        regexes=mappable,
+        encoding=encoding,
+        mapping=mapping,
+        rejected=rejected,
+    )
+
+
+def _try_unfold_fallback(
+    regex: CompiledRegex, options: CompilerOptions
+) -> Optional[CompiledRegex]:
+    """Re-compile with full unfolding when that fits the hardware."""
+    if (
+        regex.unfolded_states is None
+        or regex.unfolded_states > options.arch.stes_per_array
+    ):
+        return None
+    return compile_ast(
+        regex.parsed,
+        regex.pattern,
+        regex.regex_id,
+        options,
+        force_unfold=True,
+    )
+
+
+def _unfolded_size(parsed: ast_mod.Regex, cap: int) -> Optional[int]:
+    """Glushkov size after full unfolding, or None when it would exceed cap.
+
+    The symbol count of the unfolded AST *is* the Glushkov state count, so
+    the NFA itself need not be built for large regexes.
+    """
+    estimated = _unfolded_symbols(parsed)
+    if estimated > cap:
+        return None
+    return estimated
+
+
+def _unfolded_symbols(node: ast_mod.Regex) -> int:
+    if isinstance(node, ast_mod.Symbol):
+        return 1
+    if isinstance(node, ast_mod.Repeat):
+        inner = _unfolded_symbols(node.inner)
+        bound = node.high if node.high is not None else node.low + 1
+        return inner * max(bound, 1)
+    return sum(_unfolded_symbols(child) for child in node.children())
+
+
+def build_unfolded_nfa(parsed: ast_mod.Regex) -> NFA:
+    """The baseline processors' automaton: unfold, then Glushkov (§2)."""
+    return glushkov(unfold_all(parsed))

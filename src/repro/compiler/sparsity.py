@@ -1,0 +1,92 @@
+"""Transition-sparsity analysis for RCB/FCB tile reconfiguration (§6).
+
+Tiles are grouped in pairs that can reconfigure between two modes:
+
+* **RCB mode** (default) — each tile runs its own 128×128 Reduced
+  CrossBar, which suffices for the sparse transition matrices typical of
+  compiled rule sets;
+* **FCB mode** — the pair fuses into one 128×128 *fully connected*
+  crossbar spanning both tiles (one CAM sub-array and one BVM power-gate)
+  for regexes whose transition structure is too dense for an RCB.
+
+A Reduced CrossBar works by time-multiplexing / compacting a sparse
+switch matrix; following eAP [31], a tile is RCB-compatible while each
+state's fan-in stays within a small budget and the total crossing-point
+count stays below the reduced switch's capacity.  This module scores
+compiled automata and decides the FCB pairs for a mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..automata.ah import AHNBVA
+
+#: RCB capacity model: a 128x128 reduced switch serving 256 STEs keeps
+#: half a crossing point per STE pair, i.e. a quarter of the full 256x256
+#: matrix; fan-in above this budget forces FCB mode.
+RCB_MAX_MEAN_FANIN = 8.0
+RCB_MAX_SINGLE_FANIN = 64
+
+
+@dataclass(frozen=True)
+class SparsityProfile:
+    """Transition-density statistics of one automaton."""
+
+    states: int
+    edges: int
+    max_fanin: int
+
+    @property
+    def mean_fanin(self) -> float:
+        return self.edges / self.states if self.states else 0.0
+
+    @property
+    def density(self) -> float:
+        """Fraction of the full crossbar's crossing points used."""
+        if not self.states:
+            return 0.0
+        return self.edges / (self.states * self.states)
+
+    @property
+    def needs_fcb(self) -> bool:
+        return (
+            self.mean_fanin > RCB_MAX_MEAN_FANIN
+            or self.max_fanin > RCB_MAX_SINGLE_FANIN
+        )
+
+
+def profile_automaton(ah: AHNBVA) -> SparsityProfile:
+    fanins = [len(p) for p in ah.preds]
+    return SparsityProfile(
+        states=ah.num_states,
+        edges=sum(fanins),
+        max_fanin=max(fanins, default=0),
+    )
+
+
+def decide_fcb_tiles(
+    profiles_by_tile: Dict[int, List[SparsityProfile]]
+) -> List[int]:
+    """Tiles whose automata need FCB mode (their pair reconfigures).
+
+    ``profiles_by_tile`` maps tile index to the profiles of the automata
+    placed there.
+    """
+    return sorted(
+        tile
+        for tile, profiles in profiles_by_tile.items()
+        if any(profile.needs_fcb for profile in profiles)
+    )
+
+
+def fcb_pairs_for_ruleset(ruleset) -> List[int]:
+    """Pair indices (tile_index // 2) that must run in FCB mode."""
+    by_tile: Dict[int, List[SparsityProfile]] = {}
+    for regex in ruleset.regexes:
+        profile = profile_automaton(regex.ah)
+        for tile in ruleset.mapping.placements[regex.regex_id]:
+            by_tile.setdefault(tile, []).append(profile)
+    tiles = decide_fcb_tiles(by_tile)
+    return sorted({tile // 2 for tile in tiles})

@@ -1,0 +1,168 @@
+"""Regex → NBVA translation (§3, §4).
+
+This is a Glushkov-style construction generalised to *counting scopes*: a
+supported bounded repetition ``X{m,n}`` (see
+:func:`repro.regex.rewrite.is_supported_repeat`) is not unfolded — its
+positions are linearised once and carry a bit vector of width ``n``.  The
+automaton's state space is therefore linear in the size of the regex, the
+key succinctness property of the paper.
+
+Action assignment follows the paper's examples (Fig. 2(e), §4):
+
+* edges created *inside* a scope's body stay within one iteration → ``copy``
+* the scope's own iteration loop-back (last(X) → first(X)) → ``shift``
+* an edge entering a scope from outside starts a count → ``set1``
+* an edge leaving a scope is guarded by the exit read — ``r(c)`` for an
+  exact count, ``r(1, s)`` for a range — and becomes ``r(·).set1`` when it
+  enters another scope directly.
+
+The resulting NBVA is character-homogeneous (classes live on states) but
+generally *not* action-homogeneous; apply
+:func:`repro.automata.ah.to_action_homogeneous` for the hardware form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..automata.actions import (
+    COPY,
+    SET1,
+    SHIFT,
+    Action,
+    read_action,
+    read_set1_action,
+)
+from ..automata.nbva import NBVA, Scope, State, Transition
+from ..regex import ast
+from ..regex.rewrite import RewriteParams, is_supported_repeat
+
+
+class TranslationError(ValueError):
+    """Raised when the AST contains an unsupported bounded repetition."""
+
+
+@dataclass
+class _Fragment:
+    nullable: bool
+    first: Set[int]
+    last: Set[int]
+
+
+def translate(node: ast.Regex, params: RewriteParams = RewriteParams()) -> NBVA:
+    """Translate a rewritten regex AST into an NBVA.
+
+    Every ``Repeat`` node in ``node`` must already be in hardware-supported
+    form (run :func:`repro.regex.rewrite.rewrite` first); otherwise
+    :class:`TranslationError` is raised.
+    """
+    states: List[State] = []
+    scopes: List[Scope] = []
+    edges: Set[Tuple[int, int, Action]] = set()
+
+    def exit_read(scope_id: int) -> Action:
+        scope = scopes[scope_id]
+        return read_action(scope.low, scope.high)
+
+    def link(sources: Set[int], targets: Set[int], inside: Optional[int]) -> None:
+        """Create follow edges with the scope-rule action assignment."""
+        for src in sources:
+            for dst in targets:
+                edges.add((src, dst, _edge_action(src, dst, inside)))
+
+    def _edge_action(src: int, dst: int, inside: Optional[int]) -> Action:
+        if inside is not None:
+            # Within one iteration of a scope's body: counters unchanged.
+            return COPY
+        src_scope = states[src].scope
+        dst_scope = states[dst].scope
+        if src_scope is None and dst_scope is None:
+            return COPY
+        if src_scope is None:
+            return SET1
+        if dst_scope is None:
+            return exit_read(src_scope)
+        # Leaving one scope and entering another (possibly the same one
+        # through an outer construct): the exit read gates a fresh count.
+        scope = scopes[src_scope]
+        return read_set1_action(scope.low, scope.high)
+
+    def visit(sub: ast.Regex, scope_id: Optional[int]) -> _Fragment:
+        if isinstance(sub, ast.Epsilon):
+            return _Fragment(True, set(), set())
+        if isinstance(sub, ast.Symbol):
+            index = len(states)
+            width = scopes[scope_id].width if scope_id is not None else 1
+            states.append(State(cc=sub.cc, width=width, scope=scope_id))
+            return _Fragment(False, {index}, {index})
+        if isinstance(sub, ast.Concat):
+            left = visit(sub.left, scope_id)
+            right = visit(sub.right, scope_id)
+            link(left.last, right.first, scope_id)
+            return _Fragment(
+                left.nullable and right.nullable,
+                left.first | (right.first if left.nullable else set()),
+                right.last | (left.last if right.nullable else set()),
+            )
+        if isinstance(sub, ast.Alternation):
+            left = visit(sub.left, scope_id)
+            right = visit(sub.right, scope_id)
+            return _Fragment(
+                left.nullable or right.nullable,
+                left.first | right.first,
+                left.last | right.last,
+            )
+        if isinstance(sub, ast.Star):
+            inner = visit(sub.inner, scope_id)
+            link(inner.last, inner.first, scope_id)
+            return _Fragment(True, inner.first, inner.last)
+        if isinstance(sub, ast.Plus):
+            inner = visit(sub.inner, scope_id)
+            link(inner.last, inner.first, scope_id)
+            return _Fragment(inner.nullable, inner.first, inner.last)
+        if isinstance(sub, ast.Optional_):
+            inner = visit(sub.inner, scope_id)
+            return _Fragment(True, inner.first, inner.last)
+        if isinstance(sub, ast.Repeat):
+            if scope_id is not None:
+                raise TranslationError(
+                    f"nested counting block {sub} (rewrite should flatten it)"
+                )
+            if not is_supported_repeat(sub, params):
+                raise TranslationError(
+                    f"unsupported bounded repetition {sub}; "
+                    "run repro.regex.rewrite.rewrite first"
+                )
+            new_scope = len(scopes)
+            scopes.append(Scope(low=sub.low, high=sub.high))
+            inner = visit(sub.inner, new_scope)
+            # Iteration boundary: advance every in-flight count.
+            for src in inner.last:
+                for dst in inner.first:
+                    edges.add((src, dst, SHIFT))
+            return _Fragment(sub.low == 0, inner.first, inner.last)
+        raise TypeError(f"unknown node: {sub!r}")
+
+    fragment = visit(node, None)
+
+    transitions = [Transition(src, dst, action) for src, dst, action in sorted(
+        edges, key=lambda e: (e[0], e[1], repr(e[2]))
+    )]
+    initial = {index: 1 for index in fragment.first}
+    final = {}
+    for index in fragment.last:
+        scope_id = states[index].scope
+        if scope_id is None:
+            final[index] = read_action(1, 1)  # "v[1] = 1": plain activity
+        else:
+            final[index] = exit_read(scope_id)
+
+    return NBVA(
+        states=states,
+        transitions=transitions,
+        scopes=scopes,
+        initial=initial,
+        final=final,
+        match_empty=fragment.nullable,
+    )

@@ -1,0 +1,55 @@
+"""Hardware models: circuits (Table 4), BVM, simulators, and baselines."""
+
+from . import baselines, circuits
+from .activity import AHStepper, NFAStepper, StepStats
+from .bvm import Instruction, Opcode, instruction_for
+from .controller import ArrayController, build_controllers
+from .iobuffer import IOStatistics, replay_io
+from .naive import NaiveMachine
+from .structure import ArrayStructure, BankStructure, TileStructure, bank_for_mapping
+from .tile import TileCapacityError, TileEngine
+from .report import SimulationReport
+from .simulator import (
+    BaselineRuleset,
+    BaselineSimulator,
+    BVAPSimulator,
+    SimOptions,
+    compile_baseline,
+    simulator_from_config,
+)
+from .specs import BVAP_SPEC, CA_SPEC, CAMA_SPEC, EAP_SPEC, StallModel, TileSpec
+
+__all__ = [
+    "AHStepper",
+    "ArrayController",
+    "ArrayStructure",
+    "BVAPSimulator",
+    "BVAP_SPEC",
+    "BankStructure",
+    "BaselineRuleset",
+    "BaselineSimulator",
+    "CAMA_SPEC",
+    "CA_SPEC",
+    "EAP_SPEC",
+    "IOStatistics",
+    "Instruction",
+    "NFAStepper",
+    "NaiveMachine",
+    "Opcode",
+    "SimOptions",
+    "SimulationReport",
+    "StallModel",
+    "StepStats",
+    "TileCapacityError",
+    "TileEngine",
+    "TileSpec",
+    "TileStructure",
+    "bank_for_mapping",
+    "baselines",
+    "build_controllers",
+    "circuits",
+    "compile_baseline",
+    "instruction_for",
+    "replay_io",
+    "simulator_from_config",
+]

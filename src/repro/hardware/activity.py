@@ -1,0 +1,193 @@
+"""Fast activity-collecting steppers for the cycle-level simulators.
+
+The simulators need, for every input symbol, the quantities that drive
+timing and energy: how many STEs are active (switch/CAM activity), which
+BV-STEs are active and what their instructions move (Swap words, reads,
+set1 constants), and whether a reporting state fired.  These steppers are
+specialised, allocation-light re-implementations of the functional
+matchers in ``repro.automata``; the test suite checks they produce
+bit-identical match streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..automata.actions import (
+    Copy,
+    ReadBit,
+    ReadBitSet1,
+    ReadRange,
+    ReadRangeSet1,
+    Set1,
+    Shift,
+)
+from ..automata.ah import AHNBVA
+from ..automata.nfa import NFA, NFAMatcher
+from ..compiler.pipeline import swap_words as scope_swap_words
+from ..compiler.pipeline import virtual_width
+from ..regex.charclass import ALPHABET_SIZE
+
+_KIND_COPY = 0
+_KIND_SHIFT = 1
+_KIND_SET1 = 2
+_KIND_READ = 3
+
+
+@dataclass
+class StepStats:
+    """Per-symbol activity of one automaton."""
+
+    active_states: int = 0
+    active_bv_states: int = 0
+    #: Total set bits across active counting vectors — the number of STEs
+    #: the same configuration would keep active after unfolding (used by
+    #: the CNT model, whose ambiguous blocks *are* unfolded).
+    active_bits: int = 0
+    moving_words: int = 0  # total Swap words of active copy/shift BVs
+    max_words: int = 0  # widest active moving BV (tile latency driver)
+    reads: int = 0
+    set1s: int = 0
+
+    @property
+    def bvm_activated(self) -> bool:
+        return self.active_bv_states > 0
+
+
+class AHStepper:
+    """Activity-instrumented simulator for one AH-NBVA."""
+
+    def __init__(self, ah: AHNBVA) -> None:
+        self.ah = ah
+        count = ah.num_states
+        self._preds: List[Tuple[int, ...]] = [tuple(p) for p in ah.preds]
+        self._kind = [0] * count
+        self._mask = [0] * count  # shift width mask or read mask
+        self._is_bv = [False] * count
+        self._words = [0] * count
+        self._injected = [q in ah.injected for q in range(count)]
+        for q, state in enumerate(ah.states):
+            action = state.action
+            if isinstance(action, Copy):
+                self._kind[q] = _KIND_COPY
+            elif isinstance(action, Shift):
+                self._kind[q] = _KIND_SHIFT
+                self._mask[q] = (1 << state.width) - 1
+            elif isinstance(action, Set1):
+                self._kind[q] = _KIND_SET1
+            elif isinstance(action, (ReadBit, ReadBitSet1)):
+                self._kind[q] = _KIND_READ
+                self._mask[q] = 1 << (action.position - 1)
+            elif isinstance(action, (ReadRange, ReadRangeSet1)):
+                self._kind[q] = _KIND_READ
+                self._mask[q] = (1 << action.high) - 1
+            else:
+                raise TypeError(f"unknown action {action!r}")
+            self._is_bv[q] = state.is_bv_ste()
+            if state.scope is not None and self._kind[q] in (
+                _KIND_COPY,
+                _KIND_SHIFT,
+            ):
+                scope = ah.scopes[state.scope]
+                self._words[q] = scope_swap_words(virtual_width(scope.high))
+        # Final conditions as any-bit masks: r(c) -> single bit, r(1,s) ->
+        # prefix, plain activity -> bit 1.
+        self._final: List[Tuple[int, int]] = []
+        for q, condition in ah.final.items():
+            if isinstance(condition, (ReadBit, ReadBitSet1)):
+                self._final.append((q, 1 << (condition.position - 1)))
+            elif isinstance(condition, (ReadRange, ReadRangeSet1)):
+                self._final.append((q, (1 << condition.high) - 1))
+            else:
+                raise TypeError(f"unsupported final condition {condition!r}")
+        # Per-symbol list of states whose predicate matches.
+        self._by_symbol: List[Tuple[int, ...]] = [()] * ALPHABET_SIZE
+        buckets: List[List[int]] = [[] for _ in range(ALPHABET_SIZE)]
+        for q, state in enumerate(ah.states):
+            for symbol in state.cc:
+                buckets[symbol].append(q)
+        self._by_symbol = [tuple(b) for b in buckets]
+        self.reset()
+
+    def reset(self) -> None:
+        self.values = [0] * self.ah.num_states
+
+    def step(self, symbol: int, stats: StepStats) -> bool:
+        """Advance one symbol, accumulating into ``stats``.
+
+        Returns True iff this automaton reports a match at this symbol.
+        ``stats`` is shared across automata within one symbol, so it only
+        accumulates counts.
+        """
+        old = self.values
+        new = [0] * len(old)
+        kind = self._kind
+        mask = self._mask
+        preds = self._preds
+        injected = self._injected
+        is_bv = self._is_bv
+        words = self._words
+        for q in self._by_symbol[symbol]:
+            agg = 1 if injected[q] else 0
+            for p in preds[q]:
+                agg |= old[p]
+            if not agg:
+                continue
+            k = kind[q]
+            if k == _KIND_COPY:
+                value = agg
+            elif k == _KIND_SHIFT:
+                value = (agg << 1) & mask[q]
+            elif k == _KIND_SET1:
+                value = 1
+            else:  # read families: emit 1 iff any masked bit is set
+                value = 1 if agg & mask[q] else 0
+            if not value:
+                continue
+            new[q] = value
+            stats.active_states += 1
+            if is_bv[q]:
+                stats.active_bv_states += 1
+                stats.active_bits += bin(value).count("1")
+                if k == _KIND_READ:
+                    stats.reads += 1
+                elif k == _KIND_SET1:
+                    stats.set1s += 1
+                else:
+                    moved = words[q]
+                    stats.moving_words += moved
+                    if moved > stats.max_words:
+                        stats.max_words = moved
+        self.values = new
+        for q, fmask in self._final:
+            if new[q] & fmask:
+                return True
+        return False
+
+    def match_ends(self, data: bytes) -> List[int]:
+        """Match stream (for equivalence tests against AHMatcher)."""
+        self.reset()
+        out = []
+        for index, symbol in enumerate(data):
+            if self.step(symbol, StepStats()):
+                out.append(index)
+        return out
+
+
+class NFAStepper:
+    """Activity-instrumented wrapper over the bitset NFA matcher."""
+
+    def __init__(self, nfa: NFA) -> None:
+        self._matcher = NFAMatcher(nfa)
+
+    def reset(self) -> None:
+        self._matcher.reset()
+
+    def step(self, symbol: int, stats: StepStats) -> bool:
+        matched = self._matcher.step(symbol)
+        stats.active_states += bin(self._matcher.active).count("1")
+        return matched
+
+    def match_ends(self, data: bytes) -> List[int]:
+        return self._matcher.match_ends(data)

@@ -1,0 +1,16 @@
+"""Baseline automata processors: CA, eAP, CAMA, and counter-based CNT."""
+
+from .ca import simulate_ca
+from .cama import simulate_cama
+from .cnt import CNTSimulator, classify_repeats, compile_cnt, simulate_cnt
+from .eap import simulate_eap
+
+__all__ = [
+    "CNTSimulator",
+    "classify_repeats",
+    "compile_cnt",
+    "simulate_ca",
+    "simulate_cama",
+    "simulate_cnt",
+    "simulate_eap",
+]

@@ -1,0 +1,28 @@
+"""CA (Cache Automaton) [37] — SRAM-based processor with a full crossbar.
+
+State matching reads a full 256-bit predicate row from four 128×128 8T
+SRAM arrays per tile; state transitions use the Fully-connected CrossBar
+whose 8T cross-points CA introduced.  Like all AP-style designs it unfolds
+bounded repetitions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...compiler.mapping import ArchParams
+from ..report import SimulationReport
+from ..simulator import BaselineRuleset, BaselineSimulator, SimOptions, compile_baseline
+from ..specs import CA_SPEC
+
+
+def simulate_ca(
+    patterns: Sequence[str],
+    data: bytes,
+    options: SimOptions = SimOptions(),
+    ruleset: BaselineRuleset = None,
+) -> SimulationReport:
+    """Compile (unfold + Glushkov + map) and simulate on CA."""
+    if ruleset is None:
+        ruleset = compile_baseline(patterns, ArchParams(bvs_per_tile=0))
+    return BaselineSimulator(CA_SPEC, ruleset, options).run(data)

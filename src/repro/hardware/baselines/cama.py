@@ -1,0 +1,32 @@
+"""CAMA [16] — CAM-based in-memory automata processor (the paper's base).
+
+CAMA matches states in an 8T CAM (only the sub-banks addressed by the
+encoded symbol search) and routes transitions through a 128×128 Reduced
+CrossBar.  Bounded repetitions must be unfolded, so its STE demand grows
+linearly with the repetition bounds — the inefficiency BVAP removes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...compiler.mapping import ArchParams
+from ..report import SimulationReport
+from ..simulator import BaselineRuleset, BaselineSimulator, SimOptions, compile_baseline
+from ..specs import CAMA_SPEC
+
+
+def simulate_cama(
+    patterns: Sequence[str],
+    data: bytes,
+    options: SimOptions = SimOptions(),
+    ruleset: BaselineRuleset = None,
+) -> SimulationReport:
+    """Compile (unfold + Glushkov + map) and simulate on CAMA."""
+    if ruleset is None:
+        ruleset = compile_baseline(patterns, _cama_arch())
+    return BaselineSimulator(CAMA_SPEC, ruleset, options).run(data)
+
+
+def _cama_arch() -> ArchParams:
+    return ArchParams(bvs_per_tile=0)

@@ -1,0 +1,314 @@
+"""CNT — CAMA extended with scalar counter elements (§8, Fig. 12).
+
+The paper builds this strawman to show why plain counters (as in AP [10])
+are not enough: a counter element holds a *single* counter value, so it can
+only implement a bounded repetition that is **counter-unambiguous** — one
+whose NCA never needs two counter values alive at the same control state
+[17].  Ambiguous repetitions (e.g. ``a{64}`` reachable while already
+counting ``a``s) must still be unfolded.
+
+Ambiguity test (documented heuristic, sufficient for the paper's
+micro-benchmarks): a repetition ``X{m,n}`` is ambiguous iff a new entry
+can fire while a count is in flight, i.e. the character classes that
+precede the block overlap the block body's first classes (a fresh entry
+re-triggers mid-count), or the block starts the (start-anywhere) regex.
+
+Hardware model: a counter element is a 14-bit register + comparator +
+bound/configuration latches attached to an STE.  The paper gives no
+Table 4 row for it; the constants below are standard-cell estimates for
+28nm including the config/routing overhead such an element carries in an
+AP-style tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...compiler.mapping import ArchParams, AutomatonDemand, MappingError, map_automata
+from ...compiler.pipeline import CompiledRegex, CompilerOptions, compile_ast
+from ...regex import ast
+from ...regex.charclass import CharClass
+from ...regex.parser import parse
+from ...regex.rewrite import unfold_repeat
+from ..activity import AHStepper, StepStats
+from ..report import SimulationReport
+from ..simulator import SimOptions, UM2_PER_MM2
+from ..specs import CAMA_SPEC, wire_energy_pj
+
+#: Counter element circuit constants (14-bit counter + comparator +
+#: configuration latches, 28nm standard cells).
+COUNTER_AREA_UM2 = 450.0
+COUNTER_ENERGY_PJ = 0.3  # per update
+COUNTER_LEAKAGE_UA = 2.0
+
+
+def _first_classes(node: ast.Regex) -> Set[CharClass]:
+    if isinstance(node, ast.Epsilon):
+        return set()
+    if isinstance(node, ast.Symbol):
+        return {node.cc}
+    if isinstance(node, ast.Concat):
+        out = _first_classes(node.left)
+        if ast.nullable(node.left):
+            out |= _first_classes(node.right)
+        return out
+    if isinstance(node, ast.Alternation):
+        return _first_classes(node.left) | _first_classes(node.right)
+    if isinstance(node, (ast.Star, ast.Plus, ast.Optional_, ast.Repeat)):
+        return _first_classes(node.inner)
+    raise TypeError(f"unknown node: {node!r}")
+
+
+def _last_classes(node: ast.Regex) -> Set[CharClass]:
+    if isinstance(node, ast.Epsilon):
+        return set()
+    if isinstance(node, ast.Symbol):
+        return {node.cc}
+    if isinstance(node, ast.Concat):
+        out = _last_classes(node.right)
+        if ast.nullable(node.right):
+            out |= _last_classes(node.left)
+        return out
+    if isinstance(node, ast.Alternation):
+        return _last_classes(node.left) | _last_classes(node.right)
+    if isinstance(node, (ast.Star, ast.Plus, ast.Optional_, ast.Repeat)):
+        return _last_classes(node.inner)
+    raise TypeError(f"unknown node: {node!r}")
+
+
+def classify_repeats(node: ast.Regex) -> List[Tuple[ast.Repeat, bool]]:
+    """Each Repeat with its ambiguity verdict (True = counter-ambiguous)."""
+    verdicts: List[Tuple[ast.Repeat, bool]] = []
+
+    def visit(sub: ast.Regex, preceding: Set[CharClass], at_start: bool) -> None:
+        if isinstance(sub, ast.Concat):
+            visit(sub.left, preceding, at_start)
+            left_last = _last_classes(sub.left)
+            left_nullable = ast.nullable(sub.left)
+            next_preceding = left_last | (preceding if left_nullable else set())
+            visit(sub.right, next_preceding, at_start and left_nullable)
+            return
+        if isinstance(sub, ast.Alternation):
+            visit(sub.left, preceding, at_start)
+            visit(sub.right, preceding, at_start)
+            return
+        if isinstance(sub, (ast.Star, ast.Plus, ast.Optional_)):
+            looped = preceding | _last_classes(sub.inner)
+            visit(sub.inner, looped, at_start)
+            return
+        if isinstance(sub, ast.Repeat):
+            body_first = _first_classes(sub.inner)
+            ambiguous = at_start or any(
+                p.overlaps(f) for p in preceding for f in body_first
+            )
+            verdicts.append((sub, ambiguous))
+            visit(sub.inner, _last_classes(sub.inner), False)
+            return
+        # Epsilon / Symbol: nothing to do.
+
+    visit(node, set(), True)
+    return verdicts
+
+
+@dataclass
+class CNTRegex:
+    """One pattern's CNT resource footprint plus its functional model."""
+
+    compiled: CompiledRegex  # functional AH model (matching only)
+    stes: int
+    counters: int
+    unfolded_ambiguous: int  # STEs spent unfolding ambiguous repeats
+
+
+@dataclass
+class CNTRuleset:
+    regexes: List[CNTRegex]
+    rejected: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def total_stes(self) -> int:
+        return sum(r.stes for r in self.regexes)
+
+    @property
+    def total_counters(self) -> int:
+        return sum(r.counters for r in self.regexes)
+
+
+def _cnt_resources(node: ast.Regex) -> Tuple[int, int]:
+    """(STEs, counters) for CNT: ambiguous repeats unfolded, unambiguous
+    ones implemented with the body's states plus one counter."""
+    ambiguity = {id(rep): amb for rep, amb in classify_repeats(node)}
+
+    def stes(sub: ast.Regex) -> Tuple[int, int]:
+        if isinstance(sub, ast.Symbol):
+            return 1, 0
+        if isinstance(sub, ast.Epsilon):
+            return 0, 0
+        if isinstance(sub, ast.Repeat):
+            inner_stes, inner_counters = stes(sub.inner)
+            bound = sub.high if sub.high is not None else sub.low + 1
+            if ambiguity.get(id(sub), True) or inner_counters:
+                return inner_stes * max(1, bound), inner_counters * max(1, bound)
+            return inner_stes, inner_counters + 1
+        total_s = 0
+        total_c = 0
+        for child in sub.children():
+            s, c = stes(child)
+            total_s += s
+            total_c += c
+        return total_s, total_c
+
+    return stes(node)
+
+
+def compile_cnt(
+    patterns: Sequence[str],
+    options: CompilerOptions = CompilerOptions(),
+) -> CNTRuleset:
+    """Compile patterns for the CNT design.
+
+    Functional matching reuses the AH model (identical match semantics);
+    hardware resources are the CNT footprint: unfold ambiguous repetitions,
+    one counter element per unambiguous repetition.
+    """
+    regexes: List[CNTRegex] = []
+    rejected: Dict[int, str] = {}
+    for regex_id, pattern in enumerate(patterns):
+        try:
+            parsed = parse(pattern)
+            compiled = compile_ast(parsed, pattern, regex_id, options)
+            cnt_stes, counters = _cnt_resources(parsed)
+            plain, _ = _cnt_resources(_strip_repeats(parsed))
+            regexes.append(
+                CNTRegex(
+                    compiled=compiled,
+                    stes=cnt_stes,
+                    counters=counters,
+                    unfolded_ambiguous=cnt_stes - plain,
+                )
+            )
+        except (ValueError, MappingError) as error:
+            rejected[regex_id] = str(error)
+    return CNTRuleset(regexes=regexes, rejected=rejected)
+
+
+def _strip_repeats(node: ast.Regex) -> ast.Regex:
+    """The regex with every repetition replaced by one body copy (for the
+    'how many STEs are counting overhead' statistic)."""
+    if isinstance(node, (ast.Epsilon, ast.Symbol)):
+        return node
+    if isinstance(node, ast.Repeat):
+        return _strip_repeats(node.inner)
+    if isinstance(node, ast.Concat):
+        return ast.concat(_strip_repeats(node.left), _strip_repeats(node.right))
+    if isinstance(node, ast.Alternation):
+        return ast.alternation(
+            _strip_repeats(node.left), _strip_repeats(node.right)
+        )
+    if isinstance(node, ast.Star):
+        return ast.star(_strip_repeats(node.inner))
+    if isinstance(node, ast.Plus):
+        return ast.plus(_strip_repeats(node.inner))
+    if isinstance(node, ast.Optional_):
+        return ast.optional(_strip_repeats(node.inner))
+    raise TypeError(f"unknown node: {node!r}")
+
+
+class CNTSimulator:
+    """CAMA-style accounting over the CNT resource footprint."""
+
+    def __init__(
+        self, ruleset: CNTRuleset, options: SimOptions = SimOptions()
+    ) -> None:
+        self.ruleset = ruleset
+        self.options = options
+        self.steppers = [AHStepper(r.compiled.ah) for r in ruleset.regexes]
+        arch = ArchParams(bvs_per_tile=0)
+        demands = [
+            AutomatonDemand(regex_id=i, plain_stes=r.stes, bv_stes=0)
+            for i, r in enumerate(ruleset.regexes)
+        ]
+        self.mapping = map_automata(demands, arch)
+        self.num_tiles = max(1, self.mapping.num_tiles)
+        if options.prorate_area:
+            used = max(1, ruleset.total_stes)
+            self._ste_capacity = used
+            self._energy_tiles = used / arch.stes_per_tile
+        else:
+            self._ste_capacity = self.num_tiles * arch.stes_per_tile
+            self._energy_tiles = float(self.num_tiles)
+
+    def area_mm2(self) -> float:
+        counters_area = self.ruleset.total_counters * COUNTER_AREA_UM2
+        if self.options.prorate_area:
+            stes = self.ruleset.total_stes
+            tile_fraction = stes / self.mapping.params.stes_per_tile
+            return (
+                CAMA_SPEC.area_um2 * tile_fraction + counters_area
+            ) / UM2_PER_MM2
+        return (
+            self.num_tiles * CAMA_SPEC.area_um2 + counters_area
+        ) / UM2_PER_MM2
+
+    def leakage_w(self) -> float:
+        tiles = self.num_tiles
+        scale = 1.0
+        if self.options.prorate_area:
+            scale = self.ruleset.total_stes / self._ste_capacity
+        return (
+            tiles * CAMA_SPEC.leakage_w() * scale
+            + self.ruleset.total_counters * COUNTER_LEAKAGE_UA * 1e-6 * 0.9
+        )
+
+    def run(self, data: bytes) -> SimulationReport:
+        for stepper in self.steppers:
+            stepper.reset()
+        matches = 0
+        activity_sum = 0.0
+        active_sum = 0.0
+        counter_updates = 0
+        for symbol in data:
+            stats = StepStats()
+            for index, stepper in enumerate(self.steppers):
+                before = stats.active_bv_states
+                if stepper.step(symbol, stats):
+                    matches += 1
+                if stats.active_bv_states > before:
+                    # A real CNT keeps one counter per block; approximate
+                    # its activity with "any counting state active".
+                    counter_updates += 1
+            # Ambiguous blocks are *unfolded* on CNT, so every set bit of
+            # the functional model's vectors is a live STE there.
+            active = stats.active_states - stats.active_bv_states + stats.active_bits
+            activity_sum += min(1.0, active / self._ste_capacity)
+            active_sum += active
+
+        symbols = len(data)
+        spec = CAMA_SPEC
+        dynamic_pj = self._energy_tiles * symbols * spec.symbol_energy_pj(0.0)
+        span = spec.symbol_energy_pj(1.0) - spec.symbol_energy_pj(0.0)
+        dynamic_pj += self._energy_tiles * span * activity_sum
+        dynamic_pj += wire_energy_pj(active_sum)
+        dynamic_pj += counter_updates * COUNTER_ENERGY_PJ
+
+        time_s = symbols / spec.clock_hz
+        return SimulationReport(
+            architecture="CNT",
+            symbols=symbols,
+            system_cycles=symbols,
+            clock_hz=spec.clock_hz,
+            dynamic_energy_j=dynamic_pj * 1e-12,
+            leakage_energy_j=self.leakage_w() * time_s,
+            area_mm2=self.area_mm2(),
+            matches=matches,
+            num_tiles=self.num_tiles,
+        )
+
+
+def simulate_cnt(
+    patterns: Sequence[str],
+    data: bytes,
+    options: SimOptions = SimOptions(),
+) -> SimulationReport:
+    return CNTSimulator(compile_cnt(patterns), options).run(data)

@@ -1,0 +1,27 @@
+"""eAP [31] — SRAM matching with a sparsity-exploiting Reduced CrossBar.
+
+eAP keeps CA's SRAM-based state matching but halves the switch area by
+exploiting the sparsity of real transition matrices (modelled here as a
+256×128 reduced switch).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...compiler.mapping import ArchParams
+from ..report import SimulationReport
+from ..simulator import BaselineRuleset, BaselineSimulator, SimOptions, compile_baseline
+from ..specs import EAP_SPEC
+
+
+def simulate_eap(
+    patterns: Sequence[str],
+    data: bytes,
+    options: SimOptions = SimOptions(),
+    ruleset: BaselineRuleset = None,
+) -> SimulationReport:
+    """Compile (unfold + Glushkov + map) and simulate on eAP."""
+    if ruleset is None:
+        ruleset = compile_baseline(patterns, ArchParams(bvs_per_tile=0))
+    return BaselineSimulator(EAP_SPEC, ruleset, options).run(data)

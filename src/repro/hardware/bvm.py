@@ -1,0 +1,230 @@
+"""The Bit Vector Module (BVM): instruction set, timing, and energy (§5).
+
+A BVM is a cluster of 48 SRAM-based Bit Vectors (BVs) plus a Multi-bit
+Fully-connected CrossBar (MFCB, two 48×48 4-port switches processing 8 bits
+per cycle) and a local controller.  Each BV holds one 64-bit vector in an
+8×8 8T-SRAM array and executes one instruction from the small custom ISA
+(Table 3).
+
+The bit-vector-processing phase runs in two steps (Fig. 5):
+
+* **Read** — read actions execute at the *source* BVs; only the 1-bit
+  results route through the MFCB (saving routing energy), are OR-aggregated
+  per destination, and deactivate BV-STEs whose reads failed.  Inactive BVs
+  are reset in parallel.
+* **Swap** — ``copy``/``shift``/``set1`` move whole vectors, word by word
+  (semi-parallel routing, 8 bits per BV-clock cycle), through a 3-stage
+  pipeline that absorbs the shift data hazard.  A *virtual* BV size below
+  64 simply runs fewer Swap words (§5).
+
+This module provides the instruction encoding used in configuration files
+and the per-activation cycle/energy cost model used by the simulator.
+Functional bit-vector semantics live in ``repro.automata``; the hardware
+behaves identically by the linearity argument of §3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..automata.actions import (
+    Action,
+    Copy,
+    ReadBit,
+    ReadBitSet1,
+    ReadRange,
+    ReadRangeSet1,
+    Set1,
+    Shift,
+)
+from . import circuits
+
+#: MFCB datapath width: two 4-port cross-points process 8 bits/cycle (§5).
+WORD_BITS = 8
+#: Swap pipeline depth (§5: 3-cycle latency, hazard-free for shift).
+SWAP_PIPELINE_FILL = 2
+#: Read step: SRAM bit/bitline-OR read, then MFCB routing + aggregation.
+READ_STEP_CYCLES = 2
+#: Physical BV capacity.
+HARDWARE_BV_BITS = 64
+
+
+class Opcode(enum.Enum):
+    """Table 3 — the BVAP instruction set."""
+
+    NOP = 0
+    SET1 = 1
+    COPY = 2
+    SHIFT = 3
+    READ = 4  # r(n), n in the pointer field
+    RALL = 5  # r(1, K)
+    RHALF = 6  # r(1, K/2)
+    RQUARTER = 7  # r(1, K/4)
+    READ_SET1 = 8
+    RALL_SET1 = 9
+    RHALF_SET1 = 10
+    RQUARTER_SET1 = 11
+
+
+#: Pointer field width: addresses one bit of the 64-bit BV (§5 notes the
+#: working example shrinks it to 2 bits for illustration; hardware has 6).
+POINTER_BITS = 6
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One BV's programmed instruction: opcode plus optional bit pointer.
+
+    ``pointer`` is the 1-based bit position of ``r(n)``/``r(n).set1``;
+    the 6-bit field stores ``pointer - 1``, addressing all 64 BV bits.
+    """
+
+    opcode: Opcode
+    pointer: int = 0
+
+    def __post_init__(self) -> None:
+        needs_pointer = self.opcode in (Opcode.READ, Opcode.READ_SET1)
+        if needs_pointer and not 1 <= self.pointer <= (1 << POINTER_BITS):
+            raise ValueError(
+                f"{self.opcode.name} pointer must be in "
+                f"[1, {1 << POINTER_BITS}], got {self.pointer}"
+            )
+        if not needs_pointer and self.pointer != 0:
+            raise ValueError(f"{self.opcode.name} takes no pointer")
+
+    def encode(self) -> int:
+        """Pack into the (4 + 6)-bit instruction word."""
+        field = self.pointer - 1 if self.pointer else 0
+        return (self.opcode.value << POINTER_BITS) | field
+
+    @classmethod
+    def decode(cls, word: int) -> "Instruction":
+        opcode = Opcode(word >> POINTER_BITS)
+        field = word & ((1 << POINTER_BITS) - 1)
+        if opcode in (Opcode.READ, Opcode.READ_SET1):
+            return cls(opcode, field + 1)
+        return cls(opcode, 0)
+
+    @property
+    def is_read(self) -> bool:
+        return self.opcode not in (
+            Opcode.NOP,
+            Opcode.SET1,
+            Opcode.COPY,
+            Opcode.SHIFT,
+        )
+
+    @property
+    def is_swap(self) -> bool:
+        """True if the instruction moves vector data in the Swap step."""
+        return self.opcode in (Opcode.COPY, Opcode.SHIFT)
+
+    @property
+    def is_set1(self) -> bool:
+        return self.opcode in (
+            Opcode.SET1,
+            Opcode.READ_SET1,
+            Opcode.RALL_SET1,
+            Opcode.RHALF_SET1,
+            Opcode.RQUARTER_SET1,
+        )
+
+
+def instruction_for(action: Action, virtual_size: int) -> Instruction:
+    """Map an AH-NBVA action to its instruction given the virtual BV size.
+
+    Range reads must align with rAll/rHalf/rQuarter of the virtual size —
+    the compiler's rewrite guarantees this (§4).
+    """
+    if isinstance(action, Set1):
+        return Instruction(Opcode.SET1)
+    if isinstance(action, Copy):
+        return Instruction(Opcode.COPY)
+    if isinstance(action, Shift):
+        return Instruction(Opcode.SHIFT)
+    if isinstance(action, ReadBit):
+        return Instruction(Opcode.READ, action.position)
+    if isinstance(action, ReadBitSet1):
+        return Instruction(Opcode.READ_SET1, action.position)
+    if isinstance(action, (ReadRange, ReadRangeSet1)):
+        with_set1 = isinstance(action, ReadRangeSet1)
+        if action.high == virtual_size:
+            opcode = Opcode.RALL_SET1 if with_set1 else Opcode.RALL
+        elif action.high * 2 == virtual_size:
+            opcode = Opcode.RHALF_SET1 if with_set1 else Opcode.RHALF
+        elif action.high * 4 == virtual_size:
+            opcode = Opcode.RQUARTER_SET1 if with_set1 else Opcode.RQUARTER
+        else:
+            raise ValueError(
+                f"range read r(1,{action.high}) incompatible with virtual "
+                f"size {virtual_size}"
+            )
+        return Instruction(opcode)
+    raise TypeError(f"unknown action: {action!r}")
+
+
+def swap_words(virtual_size: int) -> int:
+    """Words moved per Swap for a virtual BV size (§5 semi-parallel plan)."""
+    if not 1 <= virtual_size <= HARDWARE_BV_BITS:
+        raise ValueError(f"virtual size {virtual_size} out of range")
+    return (virtual_size + WORD_BITS - 1) // WORD_BITS
+
+
+@dataclass(frozen=True)
+class BVMActivation:
+    """Cost of one bit-vector-processing phase in a tile.
+
+    ``bv_cycles`` are BVM-clock (5 GHz) cycles; energy is in picojoules.
+    """
+
+    bv_cycles: int
+    energy_pj: float
+
+
+def activation_cost(
+    active_swap_words: Sequence[int],
+    num_reads: int = 0,
+    num_set1: int = 0,
+    vdd: float = circuits.NOMINAL_VDD,
+) -> BVMActivation:
+    """Cycles and energy for one BVM activation.
+
+    Args:
+        active_swap_words: Swap word counts of the BVs executing
+            copy/shift this phase (one entry per moving BV).
+        num_reads: BVs executing a read this phase.
+        num_set1: BVs sending only their set1 constant (power-gated, §5).
+    """
+    words = max(active_swap_words, default=0)
+    cycles = 0
+    if num_reads or num_set1 or words:
+        cycles += READ_STEP_CYCLES  # read + reset happen even for swaps
+    if words or num_set1:
+        cycles += words + SWAP_PIPELINE_FILL
+
+    bv = circuits.BIT_VECTOR_64
+    mfcb = circuits.MFCB_4PORT_48x48
+    energy = 0.0
+    # Whole-vector moves: SRAM read+write per word, plus one MFCB access
+    # per Swap phase whose energy scales with the routed word traffic.
+    total_words = sum(active_swap_words)
+    energy += bv.energy_pj(vdd=vdd) * (total_words / swap_words(HARDWARE_BV_BITS))
+    if total_words:
+        energy += mfcb.energy_pj(min(1.0, total_words / 48), vdd=vdd)
+    # Reads: one SRAM access each plus a single-bit MFCB route.
+    if num_reads:
+        energy += num_reads * bv.energy_pj(vdd=vdd) / swap_words(HARDWARE_BV_BITS)
+        energy += mfcb.energy_pj(min(1.0, num_reads / 48), vdd=vdd)
+    # set1 senders are power-gated except the constant driver (§5).
+    energy += 0.1 * num_set1 * bv.energy_pj(vdd=vdd) / swap_words(HARDWARE_BV_BITS)
+    return BVMActivation(bv_cycles=cycles, energy_pj=energy)
+
+
+def bvm_leakage_w(num_bvs: int = 48, vdd: float = circuits.NOMINAL_VDD) -> float:
+    """Static power of one BVM (48 BVs + the MFCB pair)."""
+    return (
+        num_bvs * circuits.BIT_VECTOR_64.leakage_w(vdd)
+        + 2 * circuits.MFCB_4PORT_48x48.leakage_w(vdd)
+    )

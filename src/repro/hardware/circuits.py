@@ -1,0 +1,154 @@
+"""28nm circuit models — the paper's Table 4, reproduced as constants.
+
+Every energy/delay/area/leakage figure used by the simulators comes from
+this table (the paper derives them from SPICE on TSMC 28nm; we take the
+published values verbatim).  Activity-dependent energies — the table gives
+ranges like 1–14.2 pJ for the SRAM — are interpolated linearly with the
+switching activity of the access, matching the paper's note that "the
+energy of routing switches scales up with both the number of activated
+wordlines and the number of '1' on OBLs".
+
+Voltage scaling: dynamic energy scales with (V/V_nom)^2; BVAP-S runs its
+state-matching/transition logic at 0.65 V instead of the nominal 0.9 V
+(§8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NOMINAL_VDD = 0.9  # volts
+BVAP_S_VDD = 0.65  # volts (§6/§8 streaming mode)
+
+#: Clock frequencies (§8): the largest BVAP pipeline stage delay of
+#: 449.1 ps sets the 2 GHz system clock; the BVM runs at 5 GHz.
+BVAP_SYSTEM_CLOCK_HZ = 2.0e9
+BVM_CLOCK_HZ = 5.0e9
+#: CAMA's shorter global wire (26.1 ps vs 39.1 ps) lets it clock higher.
+CAMA_CLOCK_HZ = 2.25e9
+#: CA and eAP pay SRAM-read state matching plus a full-size crossbar.
+CA_CLOCK_HZ = 1.8e9
+EAP_CLOCK_HZ = 1.8e9
+
+
+@dataclass(frozen=True)
+class CircuitModel:
+    """One row of Table 4."""
+
+    name: str
+    size: str
+    energy_min_pj: float
+    energy_max_pj: float
+    delay_ps: float
+    area_um2: float
+    leakage_ua: float
+
+    def energy_pj(self, activity: float = 1.0, vdd: float = NOMINAL_VDD) -> float:
+        """Access energy at a switching activity in [0, 1]."""
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must be in [0, 1], got {activity}")
+        base = self.energy_min_pj + (self.energy_max_pj - self.energy_min_pj) * activity
+        return base * (vdd / NOMINAL_VDD) ** 2
+
+    def leakage_w(self, vdd: float = NOMINAL_VDD) -> float:
+        """Static power in watts (I_leak × VDD)."""
+        return self.leakage_ua * 1e-6 * vdd
+
+
+SRAM_8T_128x128 = CircuitModel(
+    name="8T SRAM",
+    size="128x128",
+    energy_min_pj=1.0,
+    energy_max_pj=14.2,
+    delay_ps=298.0,
+    area_um2=5655.0,
+    leakage_ua=57.0,
+)
+
+ROUTING_SWITCH_256 = CircuitModel(
+    name="routing switch",
+    size="256x256",
+    energy_min_pj=2.0,
+    energy_max_pj=55.0,
+    delay_ps=410.0,
+    area_um2=18153.0,
+    leakage_ua=228.0,
+)
+
+CAM_8T_32x256 = CircuitModel(
+    name="8T CAM",
+    size="32x256",
+    energy_min_pj=33.56,
+    energy_max_pj=33.56,
+    delay_ps=336.0,
+    area_um2=7838.0,
+    leakage_ua=28.5,
+)
+
+MFCB_4PORT_48x48 = CircuitModel(
+    name="4-port SRAM routing switch",
+    size="48x48",
+    energy_min_pj=0.76,
+    energy_max_pj=3.25,
+    delay_ps=173.0,
+    area_um2=1818.0,
+    leakage_ua=25.0,
+)
+
+BIT_VECTOR_64 = CircuitModel(
+    name="Bit Vector",
+    size="64",
+    energy_min_pj=1.37,
+    energy_max_pj=1.37,
+    delay_ps=178.0,
+    area_um2=17.7,
+    leakage_ua=0.56,
+)
+
+GLOBAL_WIRE_MM = CircuitModel(
+    name="Global wire",
+    size="1 mm",
+    energy_min_pj=0.07,
+    energy_max_pj=0.07,
+    delay_ps=66.0,
+    area_um2=50.0,
+    leakage_ua=0.0,
+)
+
+TABLE4 = (
+    SRAM_8T_128x128,
+    ROUTING_SWITCH_256,
+    CAM_8T_32x256,
+    MFCB_4PORT_48x48,
+    BIT_VECTOR_64,
+    GLOBAL_WIRE_MM,
+)
+
+
+def scaled_switch(rows: int, cols: int) -> CircuitModel:
+    """A routing switch scaled down from the 256×256 reference.
+
+    Crossbar area and energy scale with the cross-point count; delay with
+    the wire length (~linear in the dimension); leakage with area.
+    """
+    if rows > 256 or cols > 256:
+        raise ValueError("reference switch is 256x256; cannot scale up")
+    fraction = (rows * cols) / (256 * 256)
+    dimension = max(rows, cols) / 256
+    ref = ROUTING_SWITCH_256
+    return CircuitModel(
+        name=f"routing switch",
+        size=f"{rows}x{cols}",
+        energy_min_pj=ref.energy_min_pj * fraction,
+        energy_max_pj=ref.energy_max_pj * fraction,
+        delay_ps=ref.delay_ps * dimension,
+        area_um2=ref.area_um2 * fraction,
+        leakage_ua=ref.leakage_ua * fraction,
+    )
+
+
+#: CAMA's reduced crossbar: 128×128 (§6).
+RCB_128x128 = scaled_switch(128, 128)
+
+#: The paper reports the complete BVM at 4490 µm², "20% smaller than RRCB".
+BVM_AREA_UM2 = 4490.0

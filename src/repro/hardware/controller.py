@@ -1,0 +1,83 @@
+"""The Global Controller and its latency look-up table (§6, Fig. 9).
+
+When the BVM of any tile is activated, the Global Controller stalls the
+other tiles of the same array, because the Array Input Buffer broadcasts
+with low bandwidth.  To find the stall length it consults an **8-entry
+look-up table** in the Array Input Buffer that stores the maximum
+bit-vector-processing latency of each tile (tiles are grouped in pairs,
+16 tiles → 8 LUT entries), picks the activated tile with the longest
+latency, and stalls the array for the cycles the input buffering cannot
+hide.  The paper reports this dynamic-stall logic costs <1% of array
+area/energy; it is treated as free here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from .specs import StallModel
+
+LUT_ENTRIES = 8
+
+
+@dataclass
+class ArrayController:
+    """Per-array dynamic stall logic with the 8-entry latency LUT."""
+
+    tile_swap_words: Sequence[int]  # per tile in this array (up to 16)
+    stall_model: StallModel
+
+    def __post_init__(self) -> None:
+        if len(self.tile_swap_words) > 2 * LUT_ENTRIES:
+            raise ValueError(
+                f"an array holds at most {2 * LUT_ENTRIES} tiles, got "
+                f"{len(self.tile_swap_words)}"
+            )
+        # LUT entry per tile pair: the pair's worst-case latency.
+        self.lut: List[int] = []
+        words = list(self.tile_swap_words)
+        for pair_start in range(0, len(words), 2):
+            pair = words[pair_start : pair_start + 2]
+            self.lut.append(
+                self.stall_model.stall_cycles(max(pair, default=0))
+            )
+        self.stall_events = 0
+        self.stall_cycles_total = 0
+
+    def lut_entry(self, tile_in_array: int) -> int:
+        return self.lut[tile_in_array // 2]
+
+    def stall_for(self, activated_tiles: Iterable[int]) -> int:
+        """Stall cycles for one symbol given the activated tiles
+        (indices local to this array).  Zero when no BVM activated."""
+        worst = 0
+        any_activated = False
+        for tile in activated_tiles:
+            any_activated = True
+            entry = self.lut_entry(tile)
+            if entry > worst:
+                worst = entry
+        if any_activated:
+            self.stall_events += 1
+            self.stall_cycles_total += worst
+        return worst
+
+
+def build_controllers(
+    tile_words: Sequence[int],
+    tiles_per_array: int,
+    stall_model: StallModel,
+) -> List[ArrayController]:
+    """One controller per array for a mapped rule set."""
+    controllers = []
+    for start in range(0, len(tile_words), tiles_per_array):
+        controllers.append(
+            ArrayController(
+                tile_swap_words=tile_words[start : start + tiles_per_array],
+                stall_model=stall_model,
+            )
+        )
+    return controllers or [
+        ArrayController(tile_swap_words=[], stall_model=stall_model)
+    ]

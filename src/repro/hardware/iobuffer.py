@@ -1,0 +1,235 @@
+"""The two-level I/O buffer hierarchy of a BVAP bank (§6, Fig. 8).
+
+Input path: DMA fills a 128-entry ping-pong **Bank Input Buffer**; a
+polling arbiter serves four symbols at a time to each array's 8-entry
+input FIFO; a FIFO requests new data whenever it holds fewer than four
+symbols, and broadcasts one symbol per system cycle to its tiles unless
+the Global Controller stalls the array for bit-vector processing.
+
+Output path: each tile raises a report flag; the per-array 2-entry FIFO
+collects (index) events and drains into the 64-entry bank output FIFO,
+which DMAs out when full.  A full array FIFO stalls its array (§6 calls
+this unlikely; the model makes it observable).
+
+These components are a cycle-accurate queueing model driven by the
+simulator's per-cycle schedule; they surface occupancancy/underrun/stall
+statistics and enforce the §6 sizing rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+
+#: §6 sizing.
+BANK_INPUT_ENTRIES = 128  # ping-pong buffer
+ARRAY_FIFO_ENTRIES = 8
+ARRAY_FIFO_REFILL_THRESHOLD = 4
+BANK_SERVE_CHUNK = 4  # symbols per arbiter grant
+ARRAY_OUTPUT_ENTRIES = 2
+BANK_OUTPUT_ENTRIES = 64
+
+
+@dataclass
+class BankInputBuffer:
+    """128-entry ping-pong input buffer filled by DMA.
+
+    The ping-pong organisation hides DMA latency: one half serves the
+    arrays while the other refills.  ``dma_latency`` is the cycle count
+    to refill a half.
+    """
+
+    dma_latency: int = 32
+    half: int = BANK_INPUT_ENTRIES // 2
+
+    def __post_init__(self) -> None:
+        self.available = 0  # symbols ready to serve
+        self.pending_refill = 0  # cycles until the refilling half lands
+        self.total_supplied = 0
+        self.dma_transfers = 0
+        self.source_remaining = 0
+
+    def attach_source(self, total_symbols: int) -> None:
+        self.source_remaining = total_symbols
+        self.available = min(self.half, total_symbols)
+        self.source_remaining -= self.available
+        self.pending_refill = self.dma_latency if self.source_remaining else 0
+        self.dma_transfers = 1 if self.available else 0
+
+    def tick(self) -> None:
+        """One system cycle: progress any in-flight DMA refill."""
+        if self.pending_refill > 0:
+            self.pending_refill -= 1
+            if self.pending_refill == 0 and self.source_remaining > 0:
+                chunk = min(self.half, self.source_remaining)
+                self.available += chunk
+                self.source_remaining -= chunk
+                self.dma_transfers += 1
+                if self.source_remaining > 0:
+                    self.pending_refill = self.dma_latency
+
+    def serve(self, count: int) -> int:
+        """Grant up to ``count`` symbols to an array FIFO."""
+        granted = min(count, self.available)
+        self.available -= granted
+        self.total_supplied += granted
+        if (
+            self.pending_refill == 0
+            and self.source_remaining > 0
+            and self.available <= self.half
+        ):
+            self.pending_refill = self.dma_latency
+        return granted
+
+
+@dataclass
+class ArrayInputFIFO:
+    """8-entry per-array FIFO broadcasting one symbol per unstalled cycle."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        self.occupancy = 0
+        self.underrun_cycles = 0
+        self.broadcast_count = 0
+        self.max_occupancy = 0
+
+    @property
+    def wants_refill(self) -> bool:
+        return self.occupancy < ARRAY_FIFO_REFILL_THRESHOLD
+
+    def refill(self, granted: int) -> None:
+        if self.occupancy + granted > ARRAY_FIFO_ENTRIES:
+            raise ValueError(
+                f"array FIFO {self.index} overflow: "
+                f"{self.occupancy} + {granted}"
+            )
+        self.occupancy += granted
+        self.max_occupancy = max(self.max_occupancy, self.occupancy)
+
+    def broadcast(self, stalled: bool) -> bool:
+        """Attempt to broadcast one symbol; returns True on success."""
+        if stalled:
+            return False
+        if self.occupancy == 0:
+            self.underrun_cycles += 1
+            return False
+        self.occupancy -= 1
+        self.broadcast_count += 1
+        return True
+
+
+@dataclass
+class OutputPath:
+    """Per-array 2-entry report FIFO draining into the 64-entry bank FIFO."""
+
+    num_arrays: int
+
+    def __post_init__(self) -> None:
+        self.array_fifos = [0] * self.num_arrays
+        self.bank_fifo = 0
+        self.reports_out = 0
+        self.dma_flushes = 0
+        self.full_stalls = [0] * self.num_arrays
+
+    def push(self, array: int, reports: int) -> bool:
+        """Record match reports from an array this cycle.
+
+        Returns False (stall the array) when its FIFO cannot take the
+        reports — the §6 "full alert" to the Global Controller.
+        """
+        if self.array_fifos[array] + reports > ARRAY_OUTPUT_ENTRIES:
+            self.full_stalls[array] += 1
+            return False
+        self.array_fifos[array] += reports
+        return True
+
+    def tick(self) -> None:
+        """Drain one entry per array into the bank FIFO; DMA when full."""
+        for array in range(self.num_arrays):
+            if self.array_fifos[array] and self.bank_fifo < BANK_OUTPUT_ENTRIES:
+                self.array_fifos[array] -= 1
+                self.bank_fifo += 1
+        if self.bank_fifo >= BANK_OUTPUT_ENTRIES:
+            self.reports_out += self.bank_fifo
+            self.bank_fifo = 0
+            self.dma_flushes += 1
+
+    def flush(self) -> None:
+        self.reports_out += self.bank_fifo + sum(self.array_fifos)
+        self.bank_fifo = 0
+        self.array_fifos = [0] * self.num_arrays
+
+
+@dataclass
+class IOStatistics:
+    """Aggregate statistics of an I/O replay."""
+
+    cycles: int
+    symbols_broadcast: int
+    underrun_cycles: int
+    dma_transfers: int
+    output_dma_flushes: int
+    output_full_stalls: int
+    max_fifo_occupancy: int
+
+
+def replay_io(
+    symbol_count: int,
+    stall_schedule: Sequence[int],
+    report_schedule: Optional[Dict[int, int]] = None,
+    num_arrays: int = 1,
+    dma_latency: int = 32,
+) -> IOStatistics:
+    """Replay a simulation's schedule through the I/O hierarchy.
+
+    Args:
+        symbol_count: symbols the stream contains.
+        stall_schedule: per-symbol extra stall cycles (from the Global
+            Controller) for the observed array.
+        report_schedule: symbol index -> number of match reports raised.
+        num_arrays: arrays sharing the bank buffer.
+        dma_latency: cycles for one input DMA half-refill.
+
+    The replay drives one array in detail (the others contribute only
+    arbiter load) and returns aggregate statistics.
+    """
+    reports = report_schedule or {}
+    bank = BankInputBuffer(dma_latency=dma_latency)
+    bank.attach_source(symbol_count * num_arrays)
+    fifo = ArrayInputFIFO(index=0)
+    output = OutputPath(num_arrays=num_arrays)
+
+    consumed = 0
+    stall_left = 0
+    cycles = 0
+    # Cap the replay to a generous bound to guarantee termination even
+    # under pathological schedules.
+    limit = (symbol_count + 1) * (dma_latency + 4) * 4
+    while consumed < symbol_count and cycles < limit:
+        cycles += 1
+        bank.tick()
+        output.tick()
+        if fifo.wants_refill:
+            fifo.refill(bank.serve(BANK_SERVE_CHUNK))
+        stalled = stall_left > 0
+        if stalled:
+            stall_left -= 1
+        if fifo.broadcast(stalled):
+            raised = reports.get(consumed, 0)
+            if raised and not output.push(0, raised):
+                stall_left += 1  # output-full stall (§6)
+            if consumed < len(stall_schedule):
+                stall_left += stall_schedule[consumed]
+            consumed += 1
+    output.flush()
+    return IOStatistics(
+        cycles=cycles,
+        symbols_broadcast=fifo.broadcast_count,
+        underrun_cycles=fifo.underrun_cycles,
+        dma_transfers=bank.dma_transfers,
+        output_dma_flushes=output.dma_flushes,
+        output_full_stalls=sum(output.full_stalls),
+        max_fifo_occupancy=fifo.max_occupancy,
+    )

@@ -1,0 +1,186 @@
+"""The naïve bit-vector design — Fig. 3(b) and Table 1 (§3).
+
+This is the strawman BVAP improves on: bit vectors are attached to STEs,
+but actions live on *transitions*, so routing needs a PE (processing
+element) at every crossing point of the switch network — the PE array
+grows quadratically with the STEs per tile, which is what motivates the
+action-homogeneous transformation.
+
+Semantics (from §3 and Table 1):
+
+* STE availability propagates through the ordinary state-transition
+  crossbar — reads do **not** gate availability in this design;
+* each transition's PE transforms the source's start-of-cycle vector
+  (``set1``/``copy``/``shift``, and ``r(n)`` which forwards the vector only
+  when bit *n* is set); results with the same destination are
+  OR-aggregated into the destination's stored vector;
+* a reporting STE fires when it is active **and** its stored vector has a
+  '1' at the reporting bit *at the beginning of the cycle*.
+
+The machine is built from the same NBVA the BVAP compiler produces and is
+functionally equivalent to it (the tests check the match streams agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..automata.actions import (
+    Action,
+    Copy,
+    ReadBit,
+    ReadBitSet1,
+    ReadRange,
+    ReadRangeSet1,
+    Set1,
+    Shift,
+)
+from ..automata.nbva import NBVA
+
+
+@dataclass
+class NaiveTraceRow:
+    """One Table 1 row: activity, initial BVs, PE outputs, updated BVs."""
+
+    symbol: int
+    active: List[bool]
+    bv_in: List[int]  # per state, start-of-cycle vector (0 if inactive)
+    pe_outputs: List[Tuple[int, int, str, int]]  # (src, dst, op, value)
+    bv_out: List[int]  # per state, aggregated next vector
+    report: bool
+
+
+class NaiveMachine:
+    """Execute an NBVA with the naïve act-then-aggregate PE array."""
+
+    def __init__(self, nbva: NBVA) -> None:
+        self.nbva = nbva
+        self.full_width = max(s.width for s in nbva.states)
+        self._succ: Dict[int, List[int]] = {}
+        for t in nbva.transitions:
+            self._succ.setdefault(t.src, []).append(t.dst)
+        self._report_masks = self._build_report_masks()
+        self.reset()
+
+    def _build_report_masks(self) -> Dict[int, int]:
+        """Reporting bit masks per final state (Table 1's 'bv4[3]').
+
+        Counting states check their own exit-read bit(s).  Plain reporting
+        states check their stored vector for *any* set bit: the vector is
+        the validity token forwarded by the incoming PEs (a failed ``r(n)``
+        gate forwards all zeros), so non-zero means a genuinely completed
+        path — exactly Table 1's "bv4 has '1' on the third bit" check,
+        since the gated copy forwards the whole vector.
+        """
+        full = (1 << self.full_width) - 1
+        masks: Dict[int, int] = {}
+        for state, condition in self.nbva.final.items():
+            if self.nbva.states[state].width > 1:
+                masks[state] = _condition_mask(condition)
+            else:
+                masks[state] = full
+        return masks
+
+    def reset(self) -> None:
+        self.available = set(self.nbva.initial)
+        self.vectors = [0] * self.nbva.num_states
+
+    def step(self, symbol: int) -> NaiveTraceRow:
+        nbva = self.nbva
+        active = [
+            q in self.available and symbol in state.cc
+            for q, state in enumerate(nbva.states)
+        ]
+        bv_in = [
+            self.vectors[q] if active[q] else 0 for q in range(nbva.num_states)
+        ]
+        # Injected (initial) states behave as freshly activated: their
+        # stored vector contributes an activity/set1 seed.
+        for q in nbva.initial:
+            if active[q]:
+                bv_in[q] |= 1
+
+        # Reporting uses start-of-cycle values (§3, Table 1's last row).
+        report = any(
+            active[state] and bv_in[state] & mask
+            for state, mask in self._report_masks.items()
+        )
+
+        pe_outputs: List[Tuple[int, int, str, int]] = []
+        bv_out = [0] * nbva.num_states
+        next_available = set(nbva.initial)
+        for t in nbva.transitions:
+            if not active[t.src]:
+                continue
+            # The source's vector doubles as the validity token: a state
+            # activated through a failed read gate holds all zeros and
+            # contributes nothing downstream.
+            op, value = _pe(t.action, bv_in[t.src], self.full_width)
+            pe_outputs.append((t.src, t.dst, op, value))
+            bv_out[t.dst] |= value
+            next_available.add(t.dst)
+        self.available = next_available
+        self.vectors = bv_out
+        return NaiveTraceRow(
+            symbol=symbol,
+            active=active,
+            bv_in=bv_in,
+            pe_outputs=pe_outputs,
+            bv_out=bv_out,
+            report=report,
+        )
+
+    def match_ends(self, data: bytes) -> List[int]:
+        """End indices of matches (same stream as the NBVA engines)."""
+        self.reset()
+        out = []
+        for index, symbol in enumerate(data):
+            row = self.step(symbol)
+            if row.report:
+                out.append(index)
+        return out
+
+    # ------------------------------------------------------------------
+    # Cost model (§3): one PE per crossing point.
+    # ------------------------------------------------------------------
+
+    def num_pes(self) -> int:
+        """PEs required: one per transition crossing point."""
+        return len(self.nbva.transitions)
+
+    @staticmethod
+    def pe_array_size(stes_per_tile: int) -> int:
+        """Worst-case PE count for a fully connected tile (quadratic)."""
+        return stes_per_tile * stes_per_tile
+
+
+def _condition_mask(condition: Action) -> int:
+    if isinstance(condition, (ReadBit, ReadBitSet1)):
+        return 1 << (condition.position - 1)
+    if isinstance(condition, (ReadRange, ReadRangeSet1)):
+        return (1 << condition.high) - 1
+    raise TypeError(f"unsupported final condition {condition!r}")
+
+
+def _pe(action: Action, value: int, width: int) -> Tuple[str, int]:
+    """One processing element: (mnemonic, output vector)."""
+    if isinstance(action, Set1):
+        return "set1", 1 if value else 0
+    if isinstance(action, Copy):
+        return "copy", value
+    if isinstance(action, Shift):
+        return "shift", (value << 1) & ((1 << width) - 1)
+    if isinstance(action, ReadBit):
+        hit = value >> (action.position - 1) & 1
+        return f"r({action.position})", value if hit else 0
+    if isinstance(action, ReadBitSet1):
+        hit = value >> (action.position - 1) & 1
+        return f"r({action.position}).set1", 1 if hit else 0
+    if isinstance(action, ReadRange):
+        hit = value & ((1 << action.high) - 1)
+        return f"r(1,{action.high})", value if hit else 0
+    if isinstance(action, ReadRangeSet1):
+        hit = value & ((1 << action.high) - 1)
+        return f"r(1,{action.high}).set1", 1 if hit else 0
+    raise TypeError(f"unknown action: {action!r}")

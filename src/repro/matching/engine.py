@@ -1,0 +1,104 @@
+"""High-level pattern-matching API over the compiled automata.
+
+:class:`PatternSet` is the library's front door: compile a list of PCRE
+patterns once, then scan byte streams with any of the four execution
+engines (functional models, not the cycle-accurate simulator):
+
+* ``"ah"``    — AH-NBVA, the model BVAP executes (default);
+* ``"nbva"``  — the pre-transformation NBVA (naïve design, Fig. 3(b));
+* ``"nca"``   — counter automaton with explicit counter-value sets;
+* ``"nfa"``   — fully unfolded Glushkov NFA (the baselines' model).
+
+All four produce identical match streams; the test suite enforces this and
+checks them against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..automata.nca import NCAMatcher
+from ..compiler.pipeline import (
+    CompiledRegex,
+    CompilerOptions,
+    build_unfolded_nfa,
+    compile_pattern,
+)
+
+ENGINES = ("ah", "nbva", "nca", "nfa")
+
+
+@dataclass(frozen=True)
+class Match:
+    """One reported match: which pattern matched ending at which index."""
+
+    pattern_id: int
+    end: int  # 0-based index of the last matched byte
+
+
+class PatternSet:
+    """A set of compiled patterns with a uniform scanning interface.
+
+    >>> ps = PatternSet(["ab{3}c", "xy"])
+    >>> [(m.pattern_id, m.end) for m in ps.scan(b"zabbbc xy")]
+    [(0, 5), (1, 8)]
+    """
+
+    def __init__(
+        self,
+        patterns: Sequence[str],
+        options: CompilerOptions = CompilerOptions(),
+        engine: str = "ah",
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        self.options = options
+        self.engine = engine
+        self.compiled: List[CompiledRegex] = [
+            compile_pattern(pattern, regex_id, options)
+            for regex_id, pattern in enumerate(patterns)
+        ]
+        self._matchers = [self._make_matcher(c) for c in self.compiled]
+
+    def _make_matcher(self, compiled: CompiledRegex):
+        if self.engine == "ah":
+            return compiled.ah.matcher()
+        if self.engine == "nbva":
+            return compiled.nbva.matcher()
+        if self.engine == "nca":
+            return NCAMatcher(compiled.nbva)
+        return build_unfolded_nfa(compiled.parsed).matcher()
+
+    @property
+    def patterns(self) -> List[str]:
+        return [c.pattern for c in self.compiled]
+
+    def reset(self) -> None:
+        for matcher in self._matchers:
+            matcher.reset()
+
+    def scan(self, data: bytes) -> List[Match]:
+        """Scan from a fresh state; report every (pattern, end) event."""
+        self.reset()
+        return self.feed(data)
+
+    def feed(self, data: bytes) -> List[Match]:
+        """Continue scanning from the current state (streaming use)."""
+        out: List[Match] = []
+        matchers = self._matchers
+        for offset, symbol in enumerate(data):
+            for pattern_id, matcher in enumerate(matchers):
+                if matcher.step(symbol):
+                    out.append(Match(pattern_id, offset))
+        return out
+
+    def match_ends(self, data: bytes, pattern_id: int = 0) -> List[int]:
+        """End indices for one pattern (fresh scan)."""
+        return [m.end for m in self.scan(data) if m.pattern_id == pattern_id]
+
+    def count_matches(self, data: bytes) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for match in self.scan(data):
+            counts[match.pattern_id] = counts.get(match.pattern_id, 0) + 1
+        return counts

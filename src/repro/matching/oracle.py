@@ -1,0 +1,113 @@
+"""Brute-force regex oracle, independent of every automaton engine.
+
+The paper validates its simulator "by comparing its matching results
+against a reliable software matcher" (§8).  This module is that matcher: a
+direct dynamic-programming evaluation of the regex *denotation* over spans
+of the input.  It shares no code with the Glushkov/NBVA constructions —
+it interprets the AST itself — so agreement with the automata engines is
+meaningful evidence of correctness.
+
+Complexity is O(|regex| * n^3)-ish; it is meant for test inputs, not for
+throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..regex import ast
+
+Span = Tuple[int, int]
+
+
+def match_spans(node: ast.Regex, data: bytes) -> Set[Span]:
+    """All ``(i, j)`` with ``data[i:j]`` in the language of ``node``."""
+    length = len(data)
+    cache: Dict[int, Set[Span]] = {}
+
+    def spans(sub: ast.Regex) -> Set[Span]:
+        key = id(sub)
+        if key in cache:
+            return cache[key]
+        result = _compute(sub)
+        cache[key] = result
+        return result
+
+    def _compute(sub: ast.Regex) -> Set[Span]:
+        if isinstance(sub, ast.Epsilon):
+            return {(i, i) for i in range(length + 1)}
+        if isinstance(sub, ast.Symbol):
+            return {(i, i + 1) for i in range(length) if data[i] in sub.cc}
+        if isinstance(sub, ast.Concat):
+            return _join(spans(sub.left), spans(sub.right))
+        if isinstance(sub, ast.Alternation):
+            return spans(sub.left) | spans(sub.right)
+        if isinstance(sub, ast.Star):
+            return _closure(spans(sub.inner), length, include_empty=True)
+        if isinstance(sub, ast.Plus):
+            return _closure(spans(sub.inner), length, include_empty=False)
+        if isinstance(sub, ast.Optional_):
+            return spans(sub.inner) | {(i, i) for i in range(length + 1)}
+        if isinstance(sub, ast.Repeat):
+            return _repeat(spans(sub.inner), sub.low, sub.high, length)
+        raise TypeError(f"unknown node: {sub!r}")
+
+    return spans(node)
+
+
+def match_ends(node: ast.Regex, data: bytes) -> List[int]:
+    """Start-anywhere / report-all-ends semantics (0-based end indices).
+
+    A match ending at ``data[i]`` (inclusive) yields index ``i``; empty
+    matches are excluded, mirroring the reporting-STE behaviour (§3).
+    """
+    ends = {j - 1 for (i, j) in match_spans(node, data) if j > i}
+    return sorted(ends)
+
+
+def _join(left: Set[Span], right: Set[Span]) -> Set[Span]:
+    by_start: Dict[int, List[int]] = {}
+    for i, j in right:
+        by_start.setdefault(i, []).append(j)
+    out: Set[Span] = set()
+    for i, j in left:
+        for k in by_start.get(j, ()):
+            out.add((i, k))
+    return out
+
+
+def _closure(base: Set[Span], length: int, include_empty: bool) -> Set[Span]:
+    """Transitive closure under concatenation (Kleene plus), optionally
+    with the empty spans added (Kleene star)."""
+    result = set(base)
+    frontier = set(base)
+    while frontier:
+        extended = _join(frontier, base) - result
+        result |= extended
+        frontier = extended
+    if include_empty:
+        result |= {(i, i) for i in range(length + 1)}
+    return result
+
+
+def _repeat(base: Set[Span], low: int, high, length: int) -> Set[Span]:
+    if high is None:
+        tail = _closure(base, length, include_empty=True)
+        return _join(_power(base, low, length), tail) if low else tail
+    result: Set[Span] = set()
+    current = {(i, i) for i in range(length + 1)}  # 0 repetitions
+    for count in range(high + 1):
+        if count >= low:
+            result |= current
+        if count < high:
+            current = _join(current, base)
+            if not current:
+                break
+    return result
+
+
+def _power(base: Set[Span], exponent: int, length: int) -> Set[Span]:
+    current = {(i, i) for i in range(length + 1)}
+    for _ in range(exponent):
+        current = _join(current, base)
+    return current

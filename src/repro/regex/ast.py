@@ -1,0 +1,319 @@
+"""Abstract syntax trees for regexes with bounded repetitions.
+
+The grammar follows the paper (§2)::
+
+    r ::= eps | sigma | r|r | r.r | r* | r? | r+ | r{m,n}
+
+``sigma`` is a :class:`~repro.regex.charclass.CharClass`.  Bounded repetition
+``r{m,n}`` keeps its bounds symbolically (the whole point of the paper is to
+*not* unfold it); ``n = None`` encodes an unbounded upper limit ``r{m,}``.
+
+Nodes are immutable and hashable so rewrite passes can memoise on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from .charclass import CharClass, pretty
+
+
+class Regex:
+    """Base class for all regex AST nodes."""
+
+    __slots__ = ()
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return alternation(self, other)
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return concat(self, other)
+
+    def walk(self) -> Iterator["Regex"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> Tuple["Regex", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """Matches the empty string only."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        # Printed as an empty non-capturing group so every printed AST
+        # re-parses (the smart constructors eliminate most Epsilons).
+        return "(?:)"
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """A character-class leaf."""
+
+    cc: CharClass
+
+    __slots__ = ("cc",)
+
+    def __str__(self) -> str:
+        return pretty(self.cc)
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    left: Regex
+    right: Regex
+
+    __slots__ = ("left", "right")
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left, self)}{_wrap(self.right, self)}"
+
+
+@dataclass(frozen=True)
+class Alternation(Regex):
+    left: Regex
+    right: Regex
+
+    __slots__ = ("left", "right")
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left}|{self.right}"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star ``r*``."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner, self)}*"
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    """``r+`` — one or more repetitions."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner, self)}+"
+
+
+@dataclass(frozen=True)
+class Optional_(Regex):
+    """``r?`` — zero or one occurrence."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner, self)}?"
+
+
+@dataclass(frozen=True)
+class Repeat(Regex):
+    """Bounded repetition ``r{low, high}``; ``high=None`` means unbounded."""
+
+    inner: Regex
+    low: int
+    high: Optional[int]
+
+    __slots__ = ("inner", "low", "high")
+
+    def __post_init__(self) -> None:
+        if self.low < 0:
+            raise ValueError(f"negative lower bound: {self.low}")
+        if self.high is not None and self.high < self.low:
+            raise ValueError(f"bounds out of order: {{{self.low},{self.high}}}")
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.inner,)
+
+    def is_exact(self) -> bool:
+        """True for ``r{n}`` i.e. low == high."""
+        return self.high == self.low
+
+    def __str__(self) -> str:
+        body = _wrap(self.inner, self)
+        if self.high is None:
+            return f"{body}{{{self.low},}}"
+        if self.is_exact():
+            return f"{body}{{{self.low}}}"
+        return f"{body}{{{self.low},{self.high}}}"
+
+
+def _wrap(child: Regex, parent: Regex) -> str:
+    """Parenthesise a child when required for faithful printing."""
+    needs = isinstance(child, Alternation) or (
+        isinstance(parent, (Star, Plus, Optional_, Repeat))
+        and isinstance(child, (Concat, Star, Plus, Optional_, Repeat))
+    )
+    text = str(child)
+    return f"({text})" if needs else text
+
+
+# ----------------------------------------------------------------------
+# Smart constructors — light algebraic simplification at build time.
+# ----------------------------------------------------------------------
+
+EPSILON = Epsilon()
+
+
+def symbol(cc: CharClass) -> Regex:
+    return Symbol(cc)
+
+
+def literal(text: str) -> Regex:
+    """Concatenation of singleton classes for each byte of ``text``."""
+    return balanced_concat(
+        [Symbol(CharClass.from_char(byte)) for byte in text.encode("latin-1")]
+    )
+
+
+def concat(left: Regex, right: Regex) -> Regex:
+    if isinstance(left, Epsilon):
+        return right
+    if isinstance(right, Epsilon):
+        return left
+    return Concat(left, right)
+
+
+def concat_all(*parts: Regex) -> Regex:
+    return balanced_concat(list(parts))
+
+
+def balanced_concat(parts: "list[Regex]") -> Regex:
+    """Concatenate a list as a balanced tree.
+
+    Long literal patterns (e.g. multi-kilobyte malware signatures) and
+    unfolded repetitions would otherwise produce concatenation chains deep
+    enough to exhaust Python's recursion limit in the tree-walking passes.
+    """
+    parts = [part for part in parts if not isinstance(part, Epsilon)]
+    if not parts:
+        return EPSILON
+    while len(parts) > 1:
+        paired = [
+            concat(parts[i], parts[i + 1]) if i + 1 < len(parts) else parts[i]
+            for i in range(0, len(parts), 2)
+        ]
+        parts = paired
+    return parts[0]
+
+
+def alternation(left: Regex, right: Regex) -> Regex:
+    if left == right:
+        return left
+    return Alternation(left, right)
+
+
+def star(inner: Regex) -> Regex:
+    if isinstance(inner, (Star, Epsilon)):
+        return inner if isinstance(inner, Star) else Star(inner)
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    return Plus(inner)
+
+
+def optional(inner: Regex) -> Regex:
+    if isinstance(inner, (Optional_, Star, Epsilon)):
+        return inner if not isinstance(inner, Epsilon) else EPSILON
+    return Optional_(inner)
+
+
+def repeat(inner: Regex, low: int, high: Optional[int]) -> Regex:
+    """Bounded repetition with trivial-case collapsing."""
+    if high == 0:
+        return EPSILON
+    if (low, high) == (1, 1):
+        return inner
+    if (low, high) == (0, 1):
+        return optional(inner)
+    if high is None and low == 0:
+        return star(inner)
+    if high is None and low == 1:
+        return plus(inner)
+    return Repeat(inner, low, high)
+
+
+def nullable(node: Regex) -> bool:
+    """True iff the node's language contains the empty string."""
+    if isinstance(node, Epsilon):
+        return True
+    if isinstance(node, Symbol):
+        return False
+    if isinstance(node, Concat):
+        return nullable(node.left) and nullable(node.right)
+    if isinstance(node, Alternation):
+        return nullable(node.left) or nullable(node.right)
+    if isinstance(node, (Star, Optional_)):
+        return True
+    if isinstance(node, Plus):
+        return nullable(node.inner)
+    if isinstance(node, Repeat):
+        return node.low == 0 or nullable(node.inner)
+    raise TypeError(f"unknown node: {node!r}")
+
+
+def size(node: Regex) -> int:
+    """Number of AST nodes — the paper's notion of regex size up to Θ."""
+    return sum(1 for _ in node.walk())
+
+
+def symbol_count(node: Regex) -> int:
+    """Number of character-class occurrences (Glushkov positions if unfolded
+    repetitions are counted once)."""
+    return sum(1 for n in node.walk() if isinstance(n, Symbol))
+
+
+def max_repeat_bound(node: Regex) -> int:
+    """Largest finite repetition upper bound anywhere in the AST (0 if none)."""
+    best = 0
+    for sub in node.walk():
+        if isinstance(sub, Repeat):
+            bound = sub.high if sub.high is not None else sub.low
+            best = max(best, bound)
+    return best
+
+
+def has_bounded_repetition(node: Regex, threshold: int = 0) -> bool:
+    """True iff the AST contains a Repeat with finite upper bound > threshold.
+
+    The paper calls a bounded repetition *non-trivial* when its maximum
+    upper bound exceeds 4; pass ``threshold=4`` for that notion.
+    """
+    for sub in node.walk():
+        if isinstance(sub, Repeat):
+            bound = sub.high if sub.high is not None else sub.low
+            if bound > threshold:
+                return True
+    return False

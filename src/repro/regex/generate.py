@@ -1,0 +1,124 @@
+"""Random generation utilities: matching strings and random regexes.
+
+``random_match`` walks an AST and produces a string in the regex's
+language — used by the workload generators to plant (partial) matches in
+synthetic input streams and by the tests as positive examples.
+
+``random_regex`` produces a random AST from a seeded RNG; the property
+tests use it (alongside Hypothesis) to fuzz the compiler pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from . import ast
+from .charclass import CharClass
+
+
+def random_match(
+    node: ast.Regex,
+    rng: random.Random,
+    max_unbounded: int = 3,
+) -> bytes:
+    """A random member of the regex's language.
+
+    ``max_unbounded`` caps the iterations chosen for ``*``/``+``/``{m,}``.
+    """
+    if isinstance(node, ast.Epsilon):
+        return b""
+    if isinstance(node, ast.Symbol):
+        choices = list(node.cc)
+        if not choices:
+            raise ValueError("cannot sample from an empty character class")
+        return bytes([rng.choice(choices)])
+    if isinstance(node, ast.Concat):
+        return random_match(node.left, rng, max_unbounded) + random_match(
+            node.right, rng, max_unbounded
+        )
+    if isinstance(node, ast.Alternation):
+        picked = node.left if rng.random() < 0.5 else node.right
+        return random_match(picked, rng, max_unbounded)
+    if isinstance(node, ast.Star):
+        count = rng.randint(0, max_unbounded)
+        return b"".join(
+            random_match(node.inner, rng, max_unbounded) for _ in range(count)
+        )
+    if isinstance(node, ast.Plus):
+        count = rng.randint(1, max(1, max_unbounded))
+        return b"".join(
+            random_match(node.inner, rng, max_unbounded) for _ in range(count)
+        )
+    if isinstance(node, ast.Optional_):
+        if rng.random() < 0.5:
+            return random_match(node.inner, rng, max_unbounded)
+        return b""
+    if isinstance(node, ast.Repeat):
+        high = node.high
+        if high is None:
+            high = node.low + max_unbounded
+        count = rng.randint(node.low, high)
+        return b"".join(
+            random_match(node.inner, rng, max_unbounded) for _ in range(count)
+        )
+    raise TypeError(f"unknown node: {node!r}")
+
+
+def random_charclass(rng: random.Random, alphabet: bytes) -> CharClass:
+    """A random predicate over a restricted alphabet."""
+    roll = rng.random()
+    if roll < 0.55:
+        return CharClass.from_char(rng.choice(alphabet))
+    if roll < 0.8:
+        size = rng.randint(2, min(4, len(alphabet)))
+        return CharClass.from_chars(rng.sample(list(alphabet), size))
+    return CharClass.any()
+
+
+def random_regex(
+    rng: random.Random,
+    alphabet: bytes = b"abc",
+    depth: int = 3,
+    allow_counting: bool = True,
+    max_bound: int = 12,
+) -> ast.Regex:
+    """A random regex AST for fuzz testing the pipeline."""
+    if depth <= 0:
+        return ast.symbol(random_charclass(rng, alphabet))
+    roll = rng.random()
+    if roll < 0.35:
+        return ast.symbol(random_charclass(rng, alphabet))
+    if roll < 0.6:
+        return ast.concat(
+            random_regex(rng, alphabet, depth - 1, allow_counting, max_bound),
+            random_regex(rng, alphabet, depth - 1, allow_counting, max_bound),
+        )
+    if roll < 0.72:
+        return ast.alternation(
+            random_regex(rng, alphabet, depth - 1, allow_counting, max_bound),
+            random_regex(rng, alphabet, depth - 1, allow_counting, max_bound),
+        )
+    if roll < 0.8:
+        return ast.star(
+            random_regex(rng, alphabet, depth - 1, allow_counting, max_bound)
+        )
+    if roll < 0.86:
+        return ast.optional(
+            random_regex(rng, alphabet, depth - 1, allow_counting, max_bound)
+        )
+    if roll < 0.9 or not allow_counting:
+        return ast.plus(
+            random_regex(rng, alphabet, depth - 1, allow_counting, max_bound)
+        )
+    low = rng.randint(0, max_bound)
+    high: Optional[int]
+    if rng.random() < 0.4:
+        high = low if low > 0 else 1
+        low = high
+    else:
+        high = rng.randint(low, max_bound)
+        if high == 0:
+            high = 1
+    inner = random_regex(rng, alphabet, depth - 1, False, max_bound)
+    return ast.repeat(inner, low, high)

@@ -1,0 +1,315 @@
+"""Regex rewriting for the BVAP compiler (paper §7).
+
+Three rewrites are implemented:
+
+1. **Unfolding** (Example 7.1): bounded repetitions with a small upper bound
+   are expanded, e.g. ``(bc){2} -> bcbc`` and ``d{1,3} -> d d? d?``;
+   ``f{2,} -> f f f*``.
+
+2. **Bound splitting** (Example 7.2): repetitions whose bounds exceed the
+   (virtual) bit-vector size are split, e.g. with ``bv_size=64``::
+
+       b{147}    -> b{64} b{64} b{19}
+       b{2,114}  -> b{1} b{1,64} b{0,32} b{0,16} b?
+       a{1,100}  -> a{1,64} a{0,32} a? a? a? a?
+
+   Range pieces are restricted to the widths the hardware can read with its
+   ``rAll``/``rHalf``/``rQuarter`` instructions over virtual BV sizes
+   (powers of two times 8, up to ``bv_size``), i.e. ``{2,4,8,16,32,64}``.
+
+3. **Flattening**: nested counting cannot map onto the flat per-state bit
+   vectors of the BVM, so when a repetition body itself contains a counting
+   block the inner (smaller-bound) block is unfolded.  Likewise a repetition
+   over a *nullable* body is normalised to a non-nullable body first
+   (``r{m,n}`` with nullable ``r`` accepts the same language as
+   ``(denull(r)){0,n}``).
+
+The output of :func:`rewrite` contains ``Repeat`` nodes only in *supported*
+form: exact ``X{c}`` with ``2 < c <= bv_size`` or ranges ``X{0|1, s}`` with
+``s`` a supported read width, in both cases with a non-nullable,
+counting-free ``X``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from . import ast
+from .ast import (
+    Alternation,
+    Concat,
+    Epsilon,
+    Optional_,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    Symbol,
+)
+
+#: Virtual bit-vector sizes realisable on the 8x8 SRAM BV array (§5): the
+#: number of Swap words is configurable, so widths are multiples of 8.
+VIRTUAL_SIZES = (8, 16, 32, 64)
+
+
+def supported_range_widths(bv_size: int) -> Tuple[int, ...]:
+    """Range-read widths realisable via rAll/rHalf/rQuarter (§4, §5).
+
+    For each virtual size ``v <= bv_size`` the hardware reads ``r(1, v)``,
+    ``r(1, v/2)`` and ``r(1, v/4)``.
+    """
+    widths = set()
+    for v in VIRTUAL_SIZES:
+        if v <= bv_size:
+            widths.update((v, v // 2, v // 4))
+    return tuple(sorted(widths, reverse=True))
+
+
+@dataclass(frozen=True)
+class RewriteParams:
+    """User-controlled compiler parameters (§7, §8 design-space knobs)."""
+
+    bv_size: int = 64
+    unfold_threshold: int = 4
+
+    def __post_init__(self) -> None:
+        if self.bv_size not in VIRTUAL_SIZES:
+            raise ValueError(
+                f"bv_size must be one of {VIRTUAL_SIZES}, got {self.bv_size}"
+            )
+        if self.unfold_threshold < 2:
+            raise ValueError("unfold_threshold must be >= 2 (paper step 1)")
+
+
+# ----------------------------------------------------------------------
+# Unfolding
+# ----------------------------------------------------------------------
+
+
+def unfold_repeat(inner: Regex, low: int, high: Optional[int]) -> Regex:
+    """Expand ``inner{low,high}`` with concatenation/?/* only (§2).
+
+    ``r{m,n} == r^m (r?)^(n-m)`` and ``r{m,} == r^m r*``.
+
+    The result is a *balanced* concatenation so that unfolding large
+    bounds (the baseline processors unfold everything) keeps the AST
+    shallow enough for the recursive passes.
+    """
+    parts: List[Regex] = [inner] * low
+    if high is None:
+        parts.append(ast.star(inner))
+    else:
+        parts.extend([ast.optional(inner)] * (high - low))
+    return ast.balanced_concat(parts)
+
+
+def unfold_all(node: Regex) -> Regex:
+    """Unfold every bounded repetition (the baseline processors' strategy)."""
+    return _map_repeats(node, lambda inner, lo, hi: unfold_repeat(inner, lo, hi))
+
+
+def unfold_small(node: Regex, threshold: int) -> Regex:
+    """Unfold repetitions whose finite upper bound is <= ``threshold``."""
+
+    def visit(inner: Regex, low: int, high: Optional[int]) -> Regex:
+        bound = high if high is not None else low
+        if bound <= threshold:
+            return unfold_repeat(inner, low, high)
+        return ast.repeat(inner, low, high)
+
+    return _map_repeats(node, visit)
+
+
+def _map_repeats(node: Regex, fn) -> Regex:
+    """Rebuild the AST bottom-up, passing each Repeat through ``fn``."""
+    if isinstance(node, (Epsilon, Symbol)):
+        return node
+    if isinstance(node, Concat):
+        return ast.concat(_map_repeats(node.left, fn), _map_repeats(node.right, fn))
+    if isinstance(node, Alternation):
+        return ast.alternation(_map_repeats(node.left, fn), _map_repeats(node.right, fn))
+    if isinstance(node, Star):
+        return ast.star(_map_repeats(node.inner, fn))
+    if isinstance(node, Plus):
+        return ast.plus(_map_repeats(node.inner, fn))
+    if isinstance(node, Optional_):
+        return ast.optional(_map_repeats(node.inner, fn))
+    if isinstance(node, Repeat):
+        return fn(_map_repeats(node.inner, fn), node.low, node.high)
+    raise TypeError(f"unknown node: {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Nullability normalisation
+# ----------------------------------------------------------------------
+
+
+def denull(node: Regex) -> Optional[Regex]:
+    """The regex for ``L(node) \\ {epsilon}``; ``None`` if that is empty."""
+    if isinstance(node, Epsilon):
+        return None
+    if isinstance(node, Symbol):
+        return node
+    if isinstance(node, Alternation):
+        left = denull(node.left)
+        right = denull(node.right)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return ast.alternation(left, right)
+    if isinstance(node, Concat):
+        if not ast.nullable(node.left) or not ast.nullable(node.right):
+            return node  # already epsilon-free as a whole
+        left = denull(node.left)
+        right = denull(node.right)
+        parts: List[Regex] = []
+        if left is not None:
+            parts.append(ast.concat(left, node.right))
+        if right is not None:
+            parts.append(ast.concat(node.left, right))
+        if not parts:
+            return None
+        out = parts[0]
+        for part in parts[1:]:
+            out = ast.alternation(out, part)
+        return out
+    if isinstance(node, (Star, Plus)):
+        inner = denull(node.inner)
+        return None if inner is None else ast.plus(inner)
+    if isinstance(node, Optional_):
+        return denull(node.inner)
+    if isinstance(node, Repeat):
+        inner = denull(node.inner)
+        if inner is None:
+            return None
+        if not ast.nullable(node.inner) and node.low >= 1:
+            return node
+        return ast.repeat(inner, 1, node.high)
+    raise TypeError(f"unknown node: {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Bound decomposition
+# ----------------------------------------------------------------------
+
+
+def decompose_bounds(
+    low: int, high: int, params: RewriteParams
+) -> List[Tuple[int, int]]:
+    """Split ``{low, high}`` into hardware-supported pieces (Example 7.2).
+
+    Returns ``(lo_i, hi_i)`` pieces whose mins sum to ``low`` and whose maxes
+    sum to ``high``.  Each piece is an exact count ``<= bv_size``, a range
+    ``{0|1, s}`` with ``s`` a supported read width, or a small range
+    ``<= unfold_threshold`` destined for unfolding.
+    """
+    if high < low:
+        raise ValueError(f"bounds out of order: {{{low},{high}}}")
+    pieces: List[Tuple[int, int]] = []
+    bv = params.bv_size
+
+    if low == high:
+        count = low
+        while count > bv:
+            pieces.append((bv, bv))
+            count -= bv
+        if count > 0:
+            pieces.append((count, count))
+        return pieces
+
+    # r{m,n} -> r{m-1} . r{1, n-m+1}   (paper §4)
+    if low >= 2:
+        pieces.extend(decompose_bounds(low - 1, low - 1, params))
+        high -= low - 1
+        low = 1
+
+    widths = supported_range_widths(bv)
+    remaining_min = low  # 0 or 1, absorbed into the first range piece
+    remaining_max = high
+    while remaining_max > 0:
+        if remaining_max <= params.unfold_threshold:
+            pieces.append((remaining_min, remaining_max))
+            break
+        fit = [w for w in widths if w <= remaining_max]
+        if not fit:
+            pieces.append((remaining_min, remaining_max))
+            break
+        width = fit[0]
+        pieces.append((remaining_min, width))
+        remaining_max -= width
+        remaining_min = 0
+    return pieces
+
+
+def is_supported_repeat(node: Repeat, params: RewriteParams) -> bool:
+    """True iff the hardware can run this Repeat on a single BV chain."""
+    if node.high is None:
+        return False
+    if ast.nullable(node.inner) or ast.has_bounded_repetition(node.inner):
+        return False
+    if node.is_exact():
+        return params.unfold_threshold < node.low <= params.bv_size
+    return (
+        node.low in (0, 1)
+        and node.high in supported_range_widths(params.bv_size)
+        and node.high > params.unfold_threshold
+    )
+
+
+# ----------------------------------------------------------------------
+# Full rewrite pipeline
+# ----------------------------------------------------------------------
+
+
+def rewrite(node: Regex, params: RewriteParams = RewriteParams()) -> Regex:
+    """Apply the full §7 rewrite pipeline.
+
+    After this pass every remaining ``Repeat`` satisfies
+    :func:`is_supported_repeat`.
+    """
+    node = _flatten_nesting(node, params)
+    node = _split_and_unfold(node, params)
+    return node
+
+
+def _flatten_nesting(node: Regex, params: RewriteParams) -> Regex:
+    """Remove nested counting and nullable repetition bodies (bottom-up)."""
+
+    def visit(inner: Regex, low: int, high: Optional[int]) -> Regex:
+        if ast.nullable(inner):
+            # L(r{m,n}) with nullable r == L(denull(r){0,n})
+            stripped = denull(inner)
+            if stripped is None:
+                return ast.EPSILON
+            inner = stripped
+            low = 0
+        if ast.has_bounded_repetition(inner, threshold=params.unfold_threshold):
+            # Inner counting survived its own rewrite only if large; a BV
+            # cannot nest, so the inner block is unfolded here.
+            inner = unfold_all(inner)
+        return ast.repeat(inner, low, high)
+
+    return _map_repeats(node, visit)
+
+
+def _split_and_unfold(node: Regex, params: RewriteParams) -> Regex:
+    def visit(inner: Regex, low: int, high: Optional[int]) -> Regex:
+        if high is None:
+            # r{m,} == r{m} r*   (§2)
+            head = visit(inner, low, low) if low > 0 else ast.EPSILON
+            return ast.concat(head, ast.star(inner))
+        bound = high
+        if bound <= params.unfold_threshold:
+            return unfold_repeat(inner, low, high)
+        pieces = decompose_bounds(low, high, params)
+        out: Regex = ast.EPSILON
+        for lo, hi in pieces:
+            if hi <= params.unfold_threshold:
+                out = ast.concat(out, unfold_repeat(inner, lo, hi))
+            else:
+                out = ast.concat(out, ast.repeat(inner, lo, hi))
+        return out
+
+    return _map_repeats(node, visit)

@@ -1,0 +1,32 @@
+"""Synthetic workloads: dataset profiles, pattern and input generators."""
+
+from .datasets import DATASET_NAMES, PROFILES, load_dataset
+from .generator import DatasetProfile, generate_dataset, generate_pattern
+from .prosite import PrositeSyntaxError, prosite_to_pcre, translate_collection
+from .snort import content_to_pcre, extract_contents, extract_pcre, rules_to_patterns
+from .inputs import (
+    activation_stream,
+    alpha_stream,
+    background_bytes,
+    dataset_stream,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetProfile",
+    "PROFILES",
+    "PrositeSyntaxError",
+    "activation_stream",
+    "alpha_stream",
+    "background_bytes",
+    "dataset_stream",
+    "generate_dataset",
+    "generate_pattern",
+    "content_to_pcre",
+    "extract_contents",
+    "extract_pcre",
+    "load_dataset",
+    "prosite_to_pcre",
+    "rules_to_patterns",
+    "translate_collection",
+]

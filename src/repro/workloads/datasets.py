@@ -1,0 +1,145 @@
+"""The seven benchmark dataset profiles (§8, Datasets).
+
+Each profile captures what the paper reports about the corresponding real
+rule set:
+
+* **Snort / Suricata** — network-intrusion rules: ASCII payload literals
+  interleaved with large ``.{n}`` gaps (bounds into the thousands; the
+  optimal design point is bv_size 64 with a high unfold threshold).
+* **Prosite** — protein motifs over the 20-letter amino-acid alphabet with
+  many *small* bounded repetitions (``x(2,5)``-style gaps); best served by
+  bv_size 16.
+* **ClamAV / YARA** — malware byte signatures: hex-ish literals with
+  medium-to-large jumps (``{100}``–``{2000}``).
+* **SpamAssassin** — e-mail text rules, mostly literal words; only ~5% of
+  STEs are BV-STEs.
+* **RegexLib** — community regexes (emails, phones, URLs): moderate
+  counting with small bounds; the paper measures an average of 16 plain
+  STEs per regex here.
+
+Bounds are capped so the unfolded automata still fit one array (4096
+STEs), keeping every regex runnable on the CA/eAP/CAMA baselines for the
+head-to-head comparisons (Fig. 13/14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .generator import DatasetProfile, generate_dataset
+
+_WORDY = "abcdefghijklmnopqrstuvwxyz"
+_AMINO = "ACDEFGHIKLMNPQRSTVWY"
+_HEXISH = "0123456789abcdef"
+
+SNORT = DatasetProfile(
+    name="Snort",
+    literal_pool=_WORDY + "/=_",
+    class_tokens=("[a-z]", "[0-9]", "\\w", "[a-f0-9]"),
+    counting_prob=0.45,
+    blocks=(1, 2),
+    bound_range=(8, 1600),
+    bound_kind_weights=(0.55, 0.35, 0.1),
+    run_length=(8, 22),
+    segments=(2, 3),
+    dot_body_prob=0.7,
+)
+
+SURICATA = DatasetProfile(
+    name="Suricata",
+    literal_pool=_WORDY + ".:/",
+    class_tokens=("[a-z]", "[0-9]", "\\d", "[^ ]"),
+    counting_prob=0.42,
+    blocks=(1, 2),
+    bound_range=(8, 1200),
+    bound_kind_weights=(0.5, 0.4, 0.1),
+    run_length=(8, 20),
+    segments=(2, 3),
+    dot_body_prob=0.65,
+)
+
+PROSITE = DatasetProfile(
+    name="Prosite",
+    literal_pool=_AMINO,
+    class_tokens=(
+        "[LIVM]",
+        "[KRH]",
+        "[DE]",
+        "[FYW]",
+        "[AG]",
+        "[ST]",
+    ),
+    counting_prob=0.75,
+    blocks=(1, 3),
+    bound_range=(2, 24),
+    bound_kind_weights=(0.45, 0.5, 0.05),
+    run_length=(2, 8),
+    dot_body_prob=0.55,
+    segments=(1, 2),
+)
+
+CLAMAV = DatasetProfile(
+    name="ClamAV",
+    literal_pool=_HEXISH,
+    class_tokens=("[0-9a-f]", "[0-4]", "[89ab]"),
+    counting_prob=0.5,
+    blocks=(1, 1),
+    bound_range=(32, 2000),
+    bound_kind_weights=(0.7, 0.25, 0.05),
+    run_length=(10, 26),
+    segments=(2, 3),
+    dot_body_prob=0.8,
+)
+
+YARA = DatasetProfile(
+    name="YARA",
+    literal_pool=_HEXISH + "_",
+    class_tokens=("[0-9a-f]", "\\w", "[0-9]"),
+    counting_prob=0.4,
+    blocks=(1, 2),
+    bound_range=(16, 1000),
+    bound_kind_weights=(0.6, 0.3, 0.1),
+    run_length=(8, 22),
+    segments=(2, 3),
+    dot_body_prob=0.7,
+)
+
+SPAMASSASSIN = DatasetProfile(
+    name="SpamAssassin",
+    literal_pool=_WORDY + " ",
+    class_tokens=("[a-z]", "\\d", "\\s", "[a-z0-9]"),
+    counting_prob=0.18,
+    blocks=(1, 1),
+    bound_range=(4, 120),
+    bound_kind_weights=(0.35, 0.55, 0.1),
+    run_length=(6, 20),
+    segments=(2, 4),
+    dot_body_prob=0.4,
+)
+
+REGEXLIB = DatasetProfile(
+    name="RegexLib",
+    literal_pool=_WORDY + "@.-",
+    class_tokens=("[a-z]", "[0-9]", "\\w", "\\d", "[a-z0-9]"),
+    counting_prob=0.37,
+    blocks=(1, 2),
+    bound_range=(2, 60),
+    bound_kind_weights=(0.4, 0.5, 0.1),
+    run_length=(3, 10),
+    segments=(2, 3),
+    dot_body_prob=0.35,
+)
+
+PROFILES: Dict[str, DatasetProfile] = {
+    profile.name: profile
+    for profile in (SNORT, SURICATA, PROSITE, CLAMAV, YARA, SPAMASSASSIN, REGEXLIB)
+}
+
+DATASET_NAMES = tuple(PROFILES)
+
+
+def load_dataset(name: str, count: int = 50, seed: int = 0) -> List[str]:
+    """Generate the named synthetic dataset (deterministic in ``seed``)."""
+    if name not in PROFILES:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    return generate_dataset(PROFILES[name], count, seed)

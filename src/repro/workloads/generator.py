@@ -1,0 +1,121 @@
+"""Profile-driven synthetic regex generation.
+
+The paper's seven benchmark rule sets (Snort, Suricata, Prosite, ClamAV,
+YARA, SpamAssassin, RegexLib) are proprietary or unavailable offline, so
+the evaluation here runs on *synthetic corpora generated to match the
+statistics the paper reports*: the fraction of regexes with bounded
+repetition (37% across all datasets), the share of NFA states contributed
+by repetitions after unfolding (85%), the average plain-STE run length
+(16, from the paper's RegexLib analysis), per-dataset repetition-bound
+distributions, and per-dataset BV-STE ratios (≤18%, ~5% for
+SpamAssassin).  See DESIGN.md §2 for the substitution rationale.
+
+Generation is fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Shape parameters of one synthetic rule set."""
+
+    name: str
+    #: Bytes used for literal runs (regex-safe characters only).
+    literal_pool: str
+    #: Character-class tokens for class positions and counting bodies.
+    class_tokens: Tuple[str, ...]
+    #: Probability that a regex contains bounded repetition at all.
+    counting_prob: float
+    #: Counting blocks per counting regex (inclusive range).
+    blocks: Tuple[int, int]
+    #: Repetition bounds are sampled log-uniformly from this range.
+    bound_range: Tuple[int, int]
+    #: Weights for exact {n} / range {m,n} / at-least {n,} blocks.
+    bound_kind_weights: Tuple[float, float, float] = (0.5, 0.4, 0.1)
+    #: Literal-run length (inclusive range); paper average is 16 plain
+    #: STEs per regex overall.
+    run_length: Tuple[int, int] = (3, 12)
+    #: Number of literal/class segments per regex.
+    segments: Tuple[int, int] = (1, 3)
+    #: Probability of a '.' (any-byte) counting body vs a class token.
+    dot_body_prob: float = 0.5
+    #: Probability of decorating a segment with an alternation group.
+    alternation_prob: float = 0.1
+    #: Probability of a trailing optional/star decoration on a segment.
+    decoration_prob: float = 0.15
+
+
+def _sample_bound(rng: random.Random, lo: int, hi: int) -> int:
+    """Log-uniform integer in [lo, hi] — matches the heavy right tail of
+    real rule sets (a few huge bounds, many small ones)."""
+    import math
+
+    value = math.exp(rng.uniform(math.log(lo), math.log(hi)))
+    return max(lo, min(hi, int(round(value))))
+
+
+def _literal_run(rng: random.Random, profile: DatasetProfile) -> str:
+    length = rng.randint(*profile.run_length)
+    return "".join(rng.choice(profile.literal_pool) for _ in range(length))
+
+
+def _segment(rng: random.Random, profile: DatasetProfile) -> str:
+    text = _literal_run(rng, profile)
+    if rng.random() < profile.alternation_prob:
+        other = _literal_run(rng, profile)
+        text = f"({text}|{other})"
+    if rng.random() < profile.decoration_prob:
+        token = rng.choice(profile.class_tokens)
+        text += token + rng.choice("*?+")
+    return text
+
+
+def _counting_block(rng: random.Random, profile: DatasetProfile) -> str:
+    if rng.random() < profile.dot_body_prob:
+        body = "."
+    else:
+        body = rng.choice(profile.class_tokens)
+    lo_bound, hi_bound = profile.bound_range
+    kind = rng.choices(
+        ("exact", "range", "atleast"), weights=profile.bound_kind_weights
+    )[0]
+    if kind == "exact":
+        bound = _sample_bound(rng, lo_bound, hi_bound)
+        return f"{body}{{{bound}}}"
+    if kind == "range":
+        high = _sample_bound(rng, max(2, lo_bound), hi_bound)
+        low = rng.randint(0, max(0, high - 1)) if rng.random() < 0.5 else 1
+        return f"{body}{{{low},{high}}}"
+    bound = _sample_bound(rng, lo_bound, min(hi_bound, 64))
+    return f"{body}{{{bound},}}"
+
+
+def generate_pattern(rng: random.Random, profile: DatasetProfile) -> str:
+    """One synthetic rule in the profile's style."""
+    parts: List[str] = [_segment(rng, profile)]
+    if rng.random() < profile.counting_prob:
+        blocks = rng.randint(*profile.blocks)
+        for _ in range(blocks):
+            parts.append(_counting_block(rng, profile))
+            parts.append(_segment(rng, profile))
+    else:
+        extra = rng.randint(*profile.segments) - 1
+        for _ in range(extra):
+            token = rng.choice(profile.class_tokens)
+            parts.append(token)
+            parts.append(_segment(rng, profile))
+    return "".join(parts)
+
+
+def generate_dataset(
+    profile: DatasetProfile, count: int, seed: int = 0
+) -> List[str]:
+    """A reproducible list of ``count`` patterns for one profile."""
+    rng = random.Random(zlib.crc32(profile.name.encode()) ^ seed)
+    return [generate_pattern(rng, profile) for _ in range(count)]

@@ -1,0 +1,110 @@
+"""Synthetic input streams with controlled activity (§8).
+
+Two kinds of streams are needed:
+
+* the micro-benchmarks (Fig. 11/12) control the *bit-vector activation
+  ratio* α directly — the fraction of input symbols that keep the counting
+  block's STEs firing — via a Bernoulli choice between a hot and a cold
+  symbol;
+* the real-world benchmarks draw background bytes from the dataset's
+  alphabet and *plant* fragments of actual rule matches so the match rate
+  and STE activity resemble production traffic (the paper notes match
+  rates are typically below 10% and α rarely exceeds 10%).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..regex import ast as ast_mod
+from ..regex.generate import random_match
+from ..regex.parser import parse
+
+
+def alpha_stream(
+    rng: random.Random,
+    length: int,
+    alpha: float,
+    hot: int = ord("a"),
+    cold: int = ord("b"),
+) -> bytes:
+    """Bernoulli stream: ``hot`` with probability alpha, else ``cold``."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    return bytes(hot if rng.random() < alpha else cold for _ in range(length))
+
+
+def activation_stream(
+    rng: random.Random,
+    length: int,
+    alpha: float,
+    prefix: bytes,
+    body: bytes,
+    cold: int = ord("z"),
+) -> bytes:
+    """A burst stream holding the BV activation ratio near ``alpha``.
+
+    Fig. 11's micro-benchmark regex is ``r . a{n}`` with ``r = a^16``; its
+    counting block only activates after the full prefix matches and stays
+    active while the body keeps matching.  The stream therefore emits
+    bursts ``prefix + body`` separated by cold gaps sized so that body
+    symbols (the ones during which BV-STEs are active) are an ``alpha``
+    fraction of the stream.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    burst = prefix + body
+    gap = max(0, int(round(len(body) / alpha)) - len(burst))
+    out = bytearray()
+    while len(out) < length:
+        out.extend(burst)
+        for _ in range(gap):
+            out.append(cold)
+    return bytes(out[:length])
+
+
+def background_bytes(rng: random.Random, length: int, alphabet: bytes) -> bytes:
+    return bytes(rng.choice(alphabet) for _ in range(length))
+
+
+def dataset_stream(
+    patterns: Sequence[str],
+    rng: random.Random,
+    length: int,
+    alphabet: str,
+    plant_rate: float = 0.0005,
+    truncate_prob: float = 0.9,
+    max_unbounded: int = 2,
+) -> bytes:
+    """Background bytes with planted (often partial) rule matches.
+
+    ``plant_rate`` is the per-position probability of starting a planted
+    fragment; ``truncate_prob`` cuts fragments short, which exercises the
+    counting machinery without completing the match.  The defaults keep
+    the bit-vector activation ratio in the single-digit percent range the
+    paper reports for production traffic (match rate < 10%, alpha rarely
+    above 10%) — note that entering one ``.{n}`` gap keeps its BV chain
+    live for ~n symbols, so plants must be rare.
+    """
+    parsed: List[ast_mod.Regex] = []
+    for pattern in patterns:
+        try:
+            parsed.append(parse(pattern))
+        except ValueError:
+            continue
+    pool = alphabet.encode("latin-1")
+    out = bytearray()
+    while len(out) < length:
+        if parsed and rng.random() < plant_rate:
+            node = rng.choice(parsed)
+            try:
+                fragment = random_match(node, rng, max_unbounded)
+            except ValueError:
+                fragment = b""
+            if fragment and rng.random() < truncate_prob:
+                fragment = fragment[: rng.randint(1, len(fragment))]
+            out.extend(fragment)
+        else:
+            out.append(rng.choice(pool))
+    return bytes(out[:length])

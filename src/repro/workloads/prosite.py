@@ -1,0 +1,116 @@
+"""PROSITE motif syntax → PCRE translation.
+
+The Prosite dataset (§8) consists of protein motifs written in PROSITE's
+own pattern syntax [29, 32], e.g.::
+
+    C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H.
+
+Elements are separated by ``-`` and terminated by ``.``:
+
+* ``A``            a residue letter (any of the 20 amino acids)
+* ``[ALT]``        any of the listed residues
+* ``{ALT}``        any residue *except* the listed ones
+* ``x``            any residue
+* ``e(n)``, ``e(m,n)``  bounded repetition of element ``e``
+* ``<`` / ``>``    anchors to the sequence ends
+* ``e*``           unbounded repetition (rare; used with ``x``)
+
+Bounded ``x(m,n)`` gaps are exactly the bounded repetitions BVAP
+accelerates, which is why PROSITE is one of the paper's benchmarks.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from typing import List
+
+AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+
+_ELEMENT_RE = _re.compile(
+    r"""
+    (?P<body>
+        [A-Za-z]            # single residue or x
+      | \[[A-Za-z]+\]       # any-of
+      | \{[A-Za-z]+\}       # none-of
+    )
+    (?P<star>\*)?
+    (?:\((?P<low>\d+)(?:,(?P<high>\d+))?\))?
+    $
+    """,
+    _re.VERBOSE,
+)
+
+
+class PrositeSyntaxError(ValueError):
+    """Raised on malformed PROSITE patterns."""
+
+
+def prosite_to_pcre(motif: str) -> str:
+    """Translate one PROSITE pattern into the PCRE subset.
+
+    >>> prosite_to_pcre("C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H.")
+    'C.{2,4}C.{3}[LIVMFYWC].{8}H.{3,5}H'
+    """
+    text = motif.strip()
+    if text.endswith("."):
+        text = text[:-1]
+    if not text:
+        raise PrositeSyntaxError("empty PROSITE pattern")
+
+    anchored_start = text.startswith("<")
+    anchored_end = text.endswith(">")
+    text = text.lstrip("<").rstrip(">")
+
+    parts: List[str] = []
+    for element in text.split("-"):
+        element = element.strip()
+        if not element:
+            raise PrositeSyntaxError(f"empty element in {motif!r}")
+        parts.append(_translate_element(element, motif))
+    # Anchors are accepted and stripped (automata processors match
+    # anywhere, §3); the parser does the same for ^/$.
+    prefix = "^" if anchored_start else ""
+    suffix = "$" if anchored_end else ""
+    return prefix + "".join(parts) + suffix
+
+
+def _translate_element(element: str, motif: str) -> str:
+    match = _ELEMENT_RE.match(element)
+    if not match:
+        raise PrositeSyntaxError(f"bad element {element!r} in {motif!r}")
+    body = match.group("body")
+    if body in ("x", "X"):
+        base = "."
+    elif len(body) == 1:
+        if body.upper() not in AMINO_ACIDS:
+            raise PrositeSyntaxError(
+                f"unknown residue {body!r} in {motif!r}"
+            )
+        base = body.upper()
+    elif body.startswith("["):
+        base = "[" + body[1:-1].upper() + "]"
+    else:  # {...} = none-of
+        base = "[^" + body[1:-1].upper() + "]"
+
+    if match.group("star"):
+        return base + "*"
+    low = match.group("low")
+    high = match.group("high")
+    if low is None:
+        return base
+    if high is None:
+        return f"{base}{{{int(low)}}}"
+    if int(high) < int(low):
+        raise PrositeSyntaxError(f"bounds out of order in {element!r}")
+    return f"{base}{{{int(low)},{int(high)}}}"
+
+
+def translate_collection(motifs: List[str]) -> List[str]:
+    """Translate a list of motifs, skipping malformed ones."""
+    out = []
+    for motif in motifs:
+        try:
+            out.append(prosite_to_pcre(motif))
+        except PrositeSyntaxError:
+            continue
+    return out

@@ -1,0 +1,56 @@
+"""Rule-set characterisation tests."""
+
+import pytest
+
+from repro.analysis.characterize import characterize
+
+
+class TestCounts:
+    def test_plain_ruleset(self):
+        stats = characterize(["abc", "de|f"])
+        assert stats.counting_fraction == 0.0
+        assert stats.counting_state_fraction == 0.0
+        assert stats.total_unfolded_states == 6
+
+    def test_counting_detected(self):
+        stats = characterize(["ab{10}c", "plain"])
+        assert stats.counting_patterns == 1
+        assert stats.counting_fraction == 0.5
+
+    def test_state_attribution(self):
+        stats = characterize(["ab{10}c"])
+        # unfolded: 12 states; plain footprint: a b c = 3
+        assert stats.total_unfolded_states == 12
+        assert stats.counting_unfolded_states == 9
+        assert stats.counting_state_fraction == pytest.approx(9 / 12)
+
+    def test_parse_failures_counted(self):
+        stats = characterize(["(((", "ok"])
+        assert stats.parse_failures == 1
+        assert stats.counting_fraction == 0.0
+
+    def test_mean_plain_states(self):
+        stats = characterize(["abcd", "ab"])
+        assert stats.mean_plain_states == 3.0
+
+    def test_empty_collection(self):
+        stats = characterize([])
+        assert stats.counting_fraction == 0.0
+        assert stats.mean_plain_states == 0.0
+
+
+class TestHistogram:
+    def test_buckets(self):
+        stats = characterize(["a{3}b{30}c{300}d{3000}"])
+        assert stats.bound_histogram["2-4"] == 1
+        assert stats.bound_histogram["17-64"] == 1
+        assert stats.bound_histogram["257-1024"] == 1
+        assert stats.bound_histogram[">1024"] == 1
+
+    def test_unbounded_uses_low(self):
+        stats = characterize(["a{40,}"])
+        assert stats.bound_histogram["17-64"] == 1
+
+    def test_trivial_bounds_ignored(self):
+        stats = characterize(["a{0,1}b"])  # collapses to optional
+        assert all(count == 0 for count in stats.bound_histogram.values())

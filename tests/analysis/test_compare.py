@@ -1,0 +1,52 @@
+"""Architecture-comparison driver tests."""
+
+import random
+
+import pytest
+
+from repro.analysis.compare import (
+    ALL_ARCHITECTURES,
+    compare_architectures,
+    normalized_comparison,
+)
+
+PATTERNS = ["ab{40}c", "hello"]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    rng = random.Random(0)
+    data = bytes(rng.choice(b"abchelo ") for _ in range(800))
+    return compare_architectures(PATTERNS, data)
+
+
+class TestCompare:
+    def test_all_architectures_present(self, reports):
+        assert set(reports) == set(ALL_ARCHITECTURES)
+
+    def test_identical_match_counts(self, reports):
+        assert len({r.matches for r in reports.values()}) == 1
+
+    def test_subset_selection(self):
+        out = compare_architectures(PATTERNS, b"abc", architectures=("CAMA",))
+        assert set(out) == {"CAMA"}
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError):
+            compare_architectures(PATTERNS, b"abc", architectures=("TPU",))
+
+
+class TestNormalisation:
+    def test_base_is_unity(self, reports):
+        normalised = normalized_comparison(reports)
+        for value in normalised["CA"].values():
+            assert value == pytest.approx(1.0)
+
+    def test_custom_base(self, reports):
+        normalised = normalized_comparison(reports, base="CAMA")
+        for value in normalised["CAMA"].values():
+            assert value == pytest.approx(1.0)
+
+    def test_missing_base_rejected(self, reports):
+        with pytest.raises(KeyError):
+            normalized_comparison(reports, base="GPU")

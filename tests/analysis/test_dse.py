@@ -1,0 +1,67 @@
+"""Design-space exploration driver tests (kept small: 2x2 sweeps)."""
+
+import pytest
+
+from repro.analysis.dse import DSEResult, explore_dataset
+
+
+@pytest.fixture(scope="module")
+def result():
+    return explore_dataset(
+        "RegexLib",
+        regex_count=10,
+        input_length=600,
+        seed=0,
+        bv_sizes=(16, 64),
+        unfold_thresholds=(4, 12),
+    )
+
+
+class TestSweep:
+    def test_point_count(self, result):
+        assert len(result.points) == 4
+
+    def test_all_combinations_present(self, result):
+        combos = {(p.bv_size, p.unfold_threshold) for p in result.points}
+        assert combos == {(16, 4), (16, 12), (64, 4), (64, 12)}
+
+    def test_normalisation_positive(self, result):
+        for point in result.points:
+            assert point.compute_density_norm > 0
+            assert point.edp_norm > 0
+            assert point.fom_norm > 0
+
+    def test_shared_baseline(self, result):
+        baselines = {id(p.baseline) for p in result.points}
+        assert len(baselines) == 1
+
+
+class TestSelection:
+    def test_best_by_fom_is_minimum(self, result):
+        best = result.best_by_fom()
+        assert all(best.fom_norm <= p.fom_norm for p in result.points)
+
+    def test_best_by_density_is_maximum(self, result):
+        best = result.best_by_density()
+        assert all(
+            best.compute_density_norm >= p.compute_density_norm
+            for p in result.points
+        )
+
+    def test_best_by_edp_is_minimum(self, result):
+        best = result.best_by_edp()
+        assert all(best.edp_norm <= p.edp_norm for p in result.points)
+
+    def test_grid_lookup(self, result):
+        grid = result.grid("fom")
+        assert grid[(16, 4)] == pytest.approx(
+            next(
+                p.fom_norm
+                for p in result.points
+                if (p.bv_size, p.unfold_threshold) == (16, 4)
+            )
+        )
+
+    def test_grid_rejects_unknown_metric(self, result):
+        with pytest.raises(KeyError):
+            result.grid("latency")

@@ -1,0 +1,73 @@
+"""CSV figure-export tests."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.compare import compare_architectures, normalized_comparison
+from repro.analysis.dse import explore_dataset
+from repro.analysis.figures import (
+    dse_to_csv,
+    normalized_to_csv,
+    reports_to_csv,
+    sweep_to_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return compare_architectures(
+        ["ab{30}c"], b"a" + b"b" * 30 + b"c" + b"z" * 100,
+        architectures=("CA", "CAMA", "BVAP"),
+    )
+
+
+def parse_csv(text):
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+class TestReportsCsv:
+    def test_row_per_architecture(self, reports):
+        rows = parse_csv(reports_to_csv(reports))
+        assert {row["architecture"] for row in rows} == {"CA", "CAMA", "BVAP"}
+
+    def test_values_numeric(self, reports):
+        rows = parse_csv(reports_to_csv(reports))
+        for row in rows:
+            assert float(row["area_mm2"]) > 0
+            assert int(row["matches"]) == 1
+
+    def test_writes_file(self, reports, tmp_path):
+        path = tmp_path / "out.csv"
+        reports_to_csv(reports, str(path))
+        assert path.read_text().startswith("architecture")
+
+
+class TestNormalizedCsv:
+    def test_metrics_columns(self, reports):
+        rows = parse_csv(normalized_to_csv(normalized_comparison(reports)))
+        ca = next(row for row in rows if row["architecture"] == "CA")
+        assert float(ca["fom"]) == pytest.approx(1.0)
+
+
+class TestDseCsv:
+    def test_grid_rows(self):
+        result = explore_dataset(
+            "RegexLib", regex_count=5, input_length=300, seed=0,
+            bv_sizes=(16,), unfold_thresholds=(4, 8),
+        )
+        rows = parse_csv(dse_to_csv(result))
+        assert len(rows) == 2
+        assert rows[0]["dataset"] == "RegexLib"
+
+
+class TestSweepCsv:
+    def test_dict_rows(self):
+        text = sweep_to_csv([{"n": 16, "ratio": 0.5}, {"n": 64, "ratio": 0.2}])
+        rows = parse_csv(text)
+        assert [row["n"] for row in rows] == ["16", "64"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_to_csv([])

@@ -1,0 +1,48 @@
+"""Metric aggregation tests."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    METRIC_NAMES,
+    average_normalized,
+    geometric_mean,
+    improvement_factor,
+    savings_percent,
+)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestAverages:
+    def test_average_normalized(self):
+        per_dataset = {
+            "A": {m: 0.5 for m in METRIC_NAMES},
+            "B": {m: 2.0 for m in METRIC_NAMES},
+        }
+        averaged = average_normalized(per_dataset)
+        for metric in METRIC_NAMES:
+            assert averaged[metric] == pytest.approx(1.0)
+
+
+class TestConversions:
+    def test_savings_percent(self):
+        assert savings_percent(0.33) == pytest.approx(67.0)
+        assert savings_percent(1.0) == 0.0
+
+    def test_improvement_factor(self):
+        assert improvement_factor(0.25) == pytest.approx(4.0)
+        assert improvement_factor(0.0) == float("inf")

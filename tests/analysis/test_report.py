@@ -1,0 +1,30 @@
+"""ASCII table rendering tests."""
+
+from repro.analysis.report import format_table, normalized_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [12345.6], [0.0000001]])
+        assert "0.123" in text
+        assert "1.23e+04" in text or "12345" in text.replace(",", "")
+
+    def test_zero(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+
+class TestNormalizedTable:
+    def test_shape(self):
+        per_arch = {
+            "BVAP": {"area": 0.5, "fom": 0.2},
+            "CAMA": {"area": 1.0, "fom": 1.0},
+        }
+        text = normalized_table(per_arch, ["area", "fom"])
+        assert "BVAP" in text and "CAMA" in text
+        assert "architecture" in text

@@ -1,0 +1,133 @@
+"""Action semantics and the linearity property (§3).
+
+Linearity — f(v1 | v2) == f(v1) | f(v2) — is what makes the BVAP order
+(aggregate, then act) equivalent to the naïve order (act, then aggregate);
+every action must satisfy it.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.automata.actions import (
+    COPY,
+    SET1,
+    SHIFT,
+    Copy,
+    ReadBit,
+    ReadBitSet1,
+    ReadRange,
+    ReadRangeSet1,
+    Set1,
+    Shift,
+    read_action,
+    read_set1_action,
+)
+
+WIDTH = 8
+ALL_ACTIONS = [
+    (COPY, WIDTH, WIDTH),
+    (SHIFT, WIDTH, WIDTH),
+    (SET1, WIDTH, WIDTH),
+    (SET1, WIDTH, 1),
+    (ReadBit(3), WIDTH, 1),
+    (ReadRange(4), WIDTH, 1),
+    (ReadBitSet1(3), WIDTH, WIDTH),
+    (ReadRangeSet1(4), WIDTH, WIDTH),
+]
+
+
+class TestSemantics:
+    def test_copy_identity(self):
+        assert COPY.apply(0b1011, 4, 4) == 0b1011
+
+    def test_copy_rejects_width_change(self):
+        with pytest.raises(ValueError):
+            COPY.apply(1, 4, 5)
+
+    def test_shift(self):
+        assert SHIFT.apply(0b0101, 4, 4) == 0b1010
+        assert SHIFT.apply(0b1000, 4, 4) == 0
+
+    def test_set1_only_when_active(self):
+        assert SET1.apply(0, 4, 4) == 0
+        assert SET1.apply(0b100, 4, 4) == 1
+
+    def test_read_bit(self):
+        assert ReadBit(3).apply(0b100, 4, 1) == 1
+        assert ReadBit(2).apply(0b100, 4, 1) == 0
+
+    def test_read_bit_bounds(self):
+        with pytest.raises(ValueError):
+            ReadBit(5).apply(1, 4, 1)
+        with pytest.raises(ValueError):
+            ReadBit(0)
+
+    def test_read_requires_width_one_output(self):
+        with pytest.raises(ValueError):
+            ReadBit(1).apply(1, 4, 4)
+
+    def test_read_range(self):
+        assert ReadRange(2).apply(0b100, 4, 1) == 0
+        assert ReadRange(3).apply(0b100, 4, 1) == 1
+
+    def test_read_set1_combos(self):
+        assert ReadBitSet1(3).apply(0b100, 4, 6) == 1
+        assert ReadBitSet1(3).apply(0b010, 4, 6) == 0
+        assert ReadRangeSet1(2).apply(0b010, 4, 6) == 1
+        assert ReadRangeSet1(2).apply(0b100, 4, 6) == 0
+
+
+class TestFactories:
+    def test_read_action_exact_vs_range(self):
+        assert read_action(5, 5) == ReadBit(5)
+        assert read_action(1, 8) == ReadRange(8)
+        assert read_action(0, 8) == ReadRange(8)
+
+    def test_read_set1_action(self):
+        assert read_set1_action(5, 5) == ReadBitSet1(5)
+        assert read_set1_action(1, 8) == ReadRangeSet1(8)
+
+
+class TestIdentity:
+    def test_equality_by_type_and_params(self):
+        assert ReadBit(3) == ReadBit(3)
+        assert ReadBit(3) != ReadBit(4)
+        assert ReadBit(3) != ReadBitSet1(3)
+        assert Copy() == COPY
+        assert COPY != SHIFT
+
+    def test_hashable(self):
+        assert len({ReadBit(3), ReadBit(3), ReadRange(3)}) == 2
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            ReadBit(3).position = 4
+
+    def test_mnemonics(self):
+        assert COPY.mnemonic == "copy"
+        assert ReadBit(7).mnemonic == "r(7)"
+        assert ReadRange(8).mnemonic == "r(1,8)"
+        assert ReadBitSet1(7).mnemonic == "r(7).set1"
+
+    def test_reads_source_flag(self):
+        assert not COPY.reads_source and not SHIFT.reads_source
+        assert not SET1.reads_source
+        assert ReadBit(1).reads_source and ReadRangeSet1(2).reads_source
+
+
+@pytest.mark.parametrize("action,in_w,out_w", ALL_ACTIONS)
+@given(data=st.data())
+def test_linearity(action, in_w, out_w, data):
+    """f(v1 | v2) == f(v1) | f(v2) for every action (§3)."""
+    v1 = data.draw(st.integers(min_value=0, max_value=(1 << in_w) - 1))
+    v2 = data.draw(st.integers(min_value=0, max_value=(1 << in_w) - 1))
+    assert action.apply(v1 | v2, in_w, out_w) == (
+        action.apply(v1, in_w, out_w) | action.apply(v2, in_w, out_w)
+    )
+
+
+@pytest.mark.parametrize("action,in_w,out_w", ALL_ACTIONS)
+def test_strictness(action, in_w, out_w):
+    """f(0) == 0: an inactive source contributes nothing."""
+    assert action.apply(0, in_w, out_w) == 0

@@ -1,0 +1,110 @@
+"""Unit tests for bit vectors (1-indexed, paper §2 conventions)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.automata import bitvector as bv
+from repro.automata.bitvector import BitVector
+
+
+class TestRawHelpers:
+    def test_set1_is_position_one(self):
+        assert bv.set1(5) == 1
+
+    def test_set1_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            bv.set1(0)
+
+    def test_shift_moves_up_one(self):
+        # [1,0,1] -> [0,1,0,1...] within width 3 -> [0,1,0]? bit3 drops
+        assert bv.shift(0b101, 3) == 0b010
+
+    def test_shift_drops_top_bit(self):
+        assert bv.shift(1 << 63, 64) == 0
+
+    def test_shift_fills_zero_at_bottom(self):
+        assert bv.shift(0b1, 4) & 1 == 0
+
+    def test_read_bit_one_indexed(self):
+        assert bv.read_bit(0b100, 3) == 1
+        assert bv.read_bit(0b100, 1) == 0
+        with pytest.raises(ValueError):
+            bv.read_bit(1, 0)
+
+    def test_read_range_prefix(self):
+        assert bv.read_range(0b1000, 3) == 0
+        assert bv.read_range(0b1000, 4) == 1
+
+    def test_from_to_bits_roundtrip(self):
+        bits = [1, 0, 1, 1, 0]
+        assert bv.to_bits(bv.from_bits(bits), 5) == bits
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bv.from_bits([0, 2])
+
+
+class TestBitVectorClass:
+    def test_example_2_2_execution(self):
+        """The q2 vector sequence from Fig. 1 for sigma* a sigma{3}."""
+        v = BitVector.zeros(3)
+        v = v.with_set1()  # after 'b' following 'a': [1,0,0]
+        assert v.bits() == [1, 0, 0]
+        v = v.shifted() | BitVector.zeros(3)  # 'a': [0,1,0]
+        assert v.bits() == [0, 1, 0]
+        v = v.shifted() | v.with_set1()  # 'a' while q1 active: [1,0,1]
+        assert v.bits() == [1, 0, 1]
+        assert v[3] == 1  # match reported
+
+    def test_getitem_is_one_indexed(self):
+        v = BitVector.from_bits([0, 1, 0])
+        assert v[2] == 1
+        with pytest.raises(IndexError):
+            v[0]
+        with pytest.raises(IndexError):
+            v[4]
+
+    def test_or_requires_same_width(self):
+        with pytest.raises(ValueError):
+            BitVector.zeros(3) | BitVector.zeros(4)
+
+    def test_value_must_fit(self):
+        with pytest.raises(ValueError):
+            BitVector(8, 3)
+
+    def test_immutable(self):
+        v = BitVector.zeros(3)
+        with pytest.raises(AttributeError):
+            v.value = 1
+
+    def test_read_range(self):
+        v = BitVector.from_bits([0, 0, 1, 0])
+        assert v.read_range(2) == 0
+        assert v.read_range(3) == 1
+
+    def test_popcount_and_zero(self):
+        assert BitVector.from_bits([1, 0, 1]).popcount() == 2
+        assert BitVector.zeros(2).is_zero()
+
+    def test_hash_eq(self):
+        assert BitVector.from_bits([1, 0]) == BitVector.from_bits([1, 0])
+        assert BitVector.from_bits([1, 0]) != BitVector.from_bits([1, 0, 0])
+        assert hash(BitVector(1, 2)) == hash(BitVector(1, 2))
+
+
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_shift_matches_paper_definition(width, data):
+    """shft(v)[1] = 0 and shft(v)[i] = v[i-1] (§2)."""
+    value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    shifted = bv.shift(value, width)
+    assert bv.read_bit(shifted, 1) == 0
+    for i in range(2, width + 1):
+        assert bv.read_bit(shifted, i) == bv.read_bit(value, i - 1)
+
+
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_shift_distributes_over_or(width, data):
+    v1 = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    v2 = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    assert bv.shift(v1 | v2, width) == bv.shift(v1, width) | bv.shift(v2, width)

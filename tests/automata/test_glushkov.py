@@ -1,0 +1,106 @@
+"""Glushkov construction tests (§2, Example 2.1)."""
+
+import pytest
+
+from repro.automata.glushkov import glushkov
+from repro.regex import ast
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse
+from repro.regex.rewrite import unfold_all
+
+
+def sym(ch):
+    return ast.symbol(CharClass.from_char(ord(ch)))
+
+
+class TestConstruction:
+    def test_one_state_per_position(self):
+        nfa = glushkov(parse("ab(c|d)e*"))
+        assert nfa.num_states == 5
+
+    def test_example_2_1_shape(self):
+        """sigma* s1 (s2 s3 | s4)* s5: six positions (including sigma*),
+        one final state — the paper's Example 2.1 topology."""
+        nfa = glushkov(parse(".*a(bc|d)*e"))
+        assert nfa.num_states == 6
+        assert len(nfa.final) == 1
+        # Homogeneity: every state keeps a single predicate; edges carry none.
+        (final_state,) = nfa.final
+        assert ord("e") in nfa.classes[final_state]
+
+    def test_initial_is_first_set(self):
+        nfa = glushkov(parse("a|bc"))
+        assert nfa.initial == {0, 1}
+
+    def test_final_is_last_set(self):
+        nfa = glushkov(parse("a(b|c)"))
+        assert nfa.final == {1, 2}
+
+    def test_star_loops_back(self):
+        nfa = glushkov(parse("(ab)*"))
+        assert 0 in nfa.transitions[1]  # b -> a
+
+    def test_nullable_flag(self):
+        assert glushkov(parse("a*")).match_empty
+        assert not glushkov(parse("a")).match_empty
+
+    def test_rejects_repeat_nodes(self):
+        with pytest.raises(ValueError):
+            glushkov(parse("a{5}"))
+
+    def test_unfolded_repeat_size(self):
+        nfa = glushkov(unfold_all(parse("a{100}")))
+        assert nfa.num_states == 100
+
+
+class TestMatching:
+    def test_simple_literal(self):
+        nfa = glushkov(parse("abc"))
+        assert nfa.match_ends(b"zabcabc") == [3, 6]
+
+    def test_start_anywhere(self):
+        nfa = glushkov(parse("aa"))
+        assert nfa.match_ends(b"aaaa") == [1, 2, 3]
+
+    def test_alternation(self):
+        nfa = glushkov(parse("ab|ba"))
+        assert nfa.match_ends(b"aba") == [1, 2]
+
+    def test_dot_matches_everything(self):
+        nfa = glushkov(parse("a.c"))
+        assert nfa.match_ends(b"a\x00c axc") == [2, 6]
+
+    def test_unfolded_bounded_repetition(self):
+        nfa = glushkov(unfold_all(parse("ab{2,4}c")))
+        assert nfa.match_ends(b"abbc abbbbc abc abbbbbc") == [3, 10]
+
+
+class TestStructure:
+    def test_transitions_validated(self):
+        from repro.automata.nfa import NFA
+
+        with pytest.raises(ValueError):
+            NFA(
+                classes=[CharClass.any()],
+                transitions=[[2]],
+                initial={0},
+                final={0},
+            )
+
+    def test_predecessors_inverse_of_successors(self):
+        nfa = glushkov(parse("(ab|cd)*e"))
+        preds = nfa.predecessors()
+        for src, dsts in enumerate(nfa.transitions):
+            for dst in dsts:
+                assert src in preds[dst]
+
+    def test_num_transitions(self):
+        nfa = glushkov(parse("ab"))
+        assert nfa.num_transitions() == 1
+
+    def test_active_count_tracks_states(self):
+        nfa = glushkov(parse("a*"))
+        matcher = nfa.matcher()
+        matcher.step(ord("a"))
+        assert matcher.active_count() == 1
+        assert matcher.active_states() == {0}

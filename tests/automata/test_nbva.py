@@ -1,0 +1,128 @@
+"""NBVA model and simulation tests, including the paper's Fig. 1 trace."""
+
+import pytest
+
+from repro.automata.actions import ReadBit, ReadRange
+from repro.automata.nbva import NBVA, Scope, State, Transition
+from repro.compiler.translate import translate
+from repro.regex.parser import parse
+from repro.regex.rewrite import RewriteParams, rewrite
+
+P = RewriteParams(bv_size=8, unfold_threshold=2)
+
+
+def build(pattern: str) -> NBVA:
+    return translate(rewrite(parse(pattern), P), P)
+
+
+class TestFig1Trace:
+    """Execution of the NBVA for sigma* a sigma{3} (paper Fig. 1)."""
+
+    INPUT = b"baabaaabaaaa"[:0]  # placeholder, see test body
+
+    def test_vector_sequence(self):
+        nbva = build("a.{3}")
+        matcher = nbva.matcher()
+        # Fig. 1 input: b a b a a b a a a  (prefix of the table's stream)
+        expected = [
+            ("b", [0, 0, 0], 0),
+            ("a", [0, 0, 0], 0),
+            ("b", [1, 0, 0], 0),
+            ("a", [0, 1, 0], 0),
+            ("a", [1, 0, 1], 1),
+            ("b", [1, 1, 0], 0),
+            ("a", [0, 1, 1], 1),
+            ("a", [1, 0, 1], 1),
+            ("a", [1, 1, 0], 0),
+        ]
+        # state index of the counting state:
+        counting = next(
+            q for q, s in enumerate(nbva.states) if s.is_counting()
+        )
+        for symbol, bits, out in expected:
+            matched = matcher.step(ord(symbol))
+            value = matcher.vectors[counting]
+            got_bits = [(value >> i) & 1 for i in range(3)]
+            assert got_bits == bits, (symbol, got_bits, bits)
+            assert int(matched) == out
+
+    def test_match_ends(self):
+        nbva = build("a.{3}")
+        # 'a' then any three symbols.
+        assert nbva.match_ends(b"abbbz") == [3]
+        assert nbva.match_ends(b"aaaaa") == [3, 4]
+
+
+class TestStructure:
+    def test_counting_state_count(self):
+        nbva = build("ab{8}c")
+        assert nbva.num_counting_states() == 1
+        assert nbva.total_bv_bits() == 8
+
+    def test_scope_width(self):
+        assert Scope(low=2, high=7).width == 7
+
+    def test_scope_validation(self):
+        with pytest.raises(ValueError):
+            Scope(low=5, high=3)
+
+    def test_transition_validation(self):
+        from repro.automata.actions import COPY
+        from repro.regex.charclass import CharClass
+
+        with pytest.raises(ValueError):
+            NBVA(
+                states=[State(cc=CharClass.any())],
+                transitions=[Transition(0, 3, COPY)],
+            )
+
+    def test_incoming_outgoing(self):
+        nbva = build("ab{8}c")
+        incoming = nbva.incoming()
+        outgoing = nbva.outgoing()
+        assert sum(len(x) for x in incoming) == sum(len(x) for x in outgoing)
+        for t in nbva.transitions:
+            assert t in incoming[t.dst]
+            assert t in outgoing[t.src]
+
+    def test_initial_reinjected_every_symbol(self):
+        nbva = build("ab")
+        assert nbva.match_ends(b"abab") == [1, 3]
+
+    def test_final_conditions_are_reads(self):
+        nbva = build("ab{8}")
+        for condition in nbva.final.values():
+            assert isinstance(condition, (ReadBit, ReadRange))
+
+    def test_match_empty_flag(self):
+        assert build("a*").match_empty
+        assert not build("ab{3}").match_empty
+
+
+class TestSemantics:
+    def test_overlapping_counts(self):
+        """Two overlapping runs tracked by one bit vector (the NCA needs
+        two counter values here — the paper's motivating case)."""
+        nbva = build("ab{4}c")
+        #        a b a b b b b c  -> outer 'a' at 0 needs 4 b's: no.
+        data = b"aababbbbc"
+        # match: a at index 4-4? 'a' at 1: bbbb? positions 1 a,2 b,3 a...
+        # Use the ground-truth oracle instead of hand counting:
+        from repro.matching.oracle import match_ends
+
+        assert nbva.match_ends(data) == match_ends(parse("ab{4}c"), data)
+
+    def test_active_states_listing(self):
+        nbva = build("ab{8}c")
+        matcher = nbva.matcher()
+        matcher.step(ord("a"))
+        assert matcher.active_states() != []
+
+    def test_is_action_homogeneous_detects_violations(self):
+        nbva = build("a(.a){3}b".replace("{3}", "{5}"))
+        # The sigma state has set1 and shift incoming: not homogeneous.
+        assert not nbva.is_action_homogeneous()
+
+    def test_plain_regex_is_homogeneous_already(self):
+        nbva = build("abc")
+        assert nbva.is_action_homogeneous()

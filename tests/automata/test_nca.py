@@ -1,0 +1,117 @@
+"""NCA simulation tests: set-of-counter-values semantics (§2, Fig. 1)."""
+
+import pytest
+
+from repro.automata.actions import (
+    COPY,
+    SET1,
+    SHIFT,
+    ReadBit,
+    ReadBitSet1,
+    ReadRange,
+    ReadRangeSet1,
+)
+from repro.automata.nca import (
+    NCAMatcher,
+    apply_action_to_set,
+    final_condition_holds,
+)
+from repro.compiler.translate import translate
+from repro.regex.parser import parse
+from repro.regex.rewrite import RewriteParams, rewrite
+
+P = RewriteParams(bv_size=8, unfold_threshold=2)
+
+
+def build(pattern):
+    return translate(rewrite(parse(pattern), P), P)
+
+
+class TestActionSetSemantics:
+    def test_copy(self):
+        assert apply_action_to_set(COPY, {1, 3}, 5, 5) == {1, 3}
+
+    def test_shift_increments_and_kills_at_bound(self):
+        assert apply_action_to_set(SHIFT, {1, 3}, 3, 3) == {2}
+
+    def test_set1(self):
+        assert apply_action_to_set(SET1, {4, 5}, 5, 5) == {1}
+        assert apply_action_to_set(SET1, set(), 5, 5) == set()
+
+    def test_read_bit_guard(self):
+        assert apply_action_to_set(ReadBit(3), {3}, 5, 1) == {1}
+        assert apply_action_to_set(ReadBit(3), {2}, 5, 1) == set()
+
+    def test_read_range_guard(self):
+        assert apply_action_to_set(ReadRange(3), {2, 9}, 9, 1) == {1}
+        assert apply_action_to_set(ReadRange(3), {4}, 9, 1) == set()
+
+    def test_read_set1_combos(self):
+        assert apply_action_to_set(ReadBitSet1(2), {2}, 4, 4) == {1}
+        assert apply_action_to_set(ReadRangeSet1(2), {5}, 8, 8) == set()
+
+    def test_empty_input_always_empty(self):
+        for action in (COPY, SHIFT, SET1, ReadBit(1), ReadRange(1)):
+            assert apply_action_to_set(action, set(), 4, 4 if not action.reads_source else 1) == set()
+
+
+class TestFinalConditions:
+    def test_exact(self):
+        assert final_condition_holds(ReadBit(3), {1, 3})
+        assert not final_condition_holds(ReadBit(3), {1, 2})
+
+    def test_range(self):
+        assert final_condition_holds(ReadRange(4), {2})
+        assert not final_condition_holds(ReadRange(4), {6})
+
+    def test_unsupported_condition_rejected(self):
+        with pytest.raises(TypeError):
+            final_condition_holds(COPY, {1})
+
+
+class TestFig1:
+    def test_counter_value_sets(self):
+        """Fig. 1: the NCA holds several counter values at q2."""
+        nbva = build("a.{3}")
+        matcher = NCAMatcher(nbva)
+        counting = next(q for q, s in enumerate(nbva.states) if s.is_counting())
+        stream = "babaabaaa"
+        expected_sets = [
+            set(),
+            set(),
+            {1},
+            {2},
+            {1, 3},
+            {1, 2},
+            {2, 3},
+            {1, 3},
+            {1, 2},
+        ]
+        outputs = [0, 0, 0, 0, 1, 0, 1, 1, 0]
+        for symbol, values, out in zip(stream, expected_sets, outputs):
+            matched = matcher.step(ord(symbol))
+            assert matcher.values[counting] == values, symbol
+            assert int(matched) == out
+
+    def test_configuration_listing(self):
+        nbva = build("a.{3}")
+        matcher = NCAMatcher(nbva)
+        for symbol in b"ab":
+            matcher.step(symbol)
+        config = matcher.configuration()
+        assert any(values == frozenset({1}) for _, values in config)
+
+
+class TestEquivalenceWithNBVA:
+    @pytest.mark.parametrize(
+        "pattern,data",
+        [
+            ("ab{4}c", b"aababbbbc" * 3),
+            ("a.{3}", b"babaaabaaaa"),
+            ("(ab){3}c", b"abababc" + b"ababc"),
+            ("a{2,6}b", b"aaab aaaaaaab ab"),
+        ],
+    )
+    def test_same_matches(self, pattern, data):
+        nbva = build(pattern)
+        assert NCAMatcher(nbva).match_ends(data) == nbva.match_ends(data)

@@ -1,0 +1,70 @@
+"""Bitset NFA simulation tests."""
+
+import pytest
+
+from repro.automata.glushkov import glushkov
+from repro.automata.nfa import NFA, NFAMatcher, _from_mask, _to_mask
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse
+from repro.regex.rewrite import unfold_all
+
+
+class TestMaskHelpers:
+    def test_roundtrip(self):
+        states = {0, 3, 7}
+        assert _from_mask(_to_mask(states)) == states
+
+    def test_empty(self):
+        assert _to_mask(set()) == 0
+        assert _from_mask(0) == set()
+
+
+class TestMatcher:
+    def test_step_returns_match_flag(self):
+        nfa = glushkov(parse("ab"))
+        matcher = nfa.matcher()
+        assert not matcher.step(ord("a"))
+        assert matcher.step(ord("b"))
+
+    def test_reset_clears_state(self):
+        nfa = glushkov(parse("ab"))
+        matcher = nfa.matcher()
+        matcher.step(ord("a"))
+        matcher.reset()
+        assert not matcher.step(ord("b"))
+
+    def test_two_phase_availability(self):
+        """A state only activates if available (predecessor active) AND
+        matched by the symbol — the AP-style two-phase cycle (§3)."""
+        nfa = glushkov(parse("ab"))
+        matcher = nfa.matcher()
+        matcher.step(ord("b"))  # 'b' matches state 1 but it is unavailable
+        assert matcher.active_states() == set()
+
+    def test_initial_states_always_available(self):
+        nfa = glushkov(parse("ab"))
+        matcher = nfa.matcher()
+        for _ in range(3):
+            matcher.step(ord("a"))
+            assert 0 in matcher.active_states()
+
+    def test_match_ends_multiple(self):
+        nfa = glushkov(unfold_all(parse("a{2}")))
+        assert nfa.match_ends(b"aaaa") == [1, 2, 3]
+
+    def test_empty_input(self):
+        nfa = glushkov(parse("a"))
+        assert nfa.match_ends(b"") == []
+
+    def test_large_unfolded_chain(self):
+        nfa = glushkov(unfold_all(parse("a{500}b")))
+        assert nfa.num_states == 501
+        data = b"a" * 500 + b"b"
+        assert nfa.match_ends(data) == [500]
+        assert nfa.match_ends(b"a" * 499 + b"b") == []
+
+    def test_active_count_matches_set(self):
+        nfa = glushkov(parse("(a|ab|abc)"))
+        matcher = nfa.matcher()
+        matcher.step(ord("a"))
+        assert matcher.active_count() == len(matcher.active_states())

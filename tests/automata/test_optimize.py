@@ -1,0 +1,95 @@
+"""Dead-state elimination tests."""
+
+import random
+
+import pytest
+
+from repro.automata.actions import COPY, ReadBit
+from repro.automata.ah import AHNBVA, AHState
+from repro.automata.optimize import prune, pruning_summary
+from repro.compiler import compile_pattern
+from repro.regex.charclass import CharClass
+from repro.regex.generate import random_regex
+from repro.regex.parser import parse
+from repro.regex.rewrite import RewriteParams, rewrite
+from repro.compiler.translate import translate
+from repro.automata.ah import to_action_homogeneous
+
+P = RewriteParams(bv_size=8, unfold_threshold=2)
+
+
+def build(pattern):
+    return to_action_homogeneous(translate(rewrite(parse(pattern), P), P))
+
+
+class TestNoOpCases:
+    def test_clean_automaton_unchanged(self):
+        ah = build("ab{8}c")
+        assert prune(ah) is ah  # same object: nothing to remove
+
+    def test_summary(self):
+        ah = build("abc")
+        summary = pruning_summary(ah, prune(ah))
+        assert summary["states_before"] == summary["states_after"]
+
+
+class TestPruning:
+    def _with_dead_state(self):
+        ah = build("ab")
+        # Append an unreachable state (no preds, no injection).
+        ah.states.append(
+            AHState(cc=CharClass.from_char(ord("z")), action=COPY, width=1)
+        )
+        ah.preds.append([])
+        return ah
+
+    def test_unreachable_removed(self):
+        ah = self._with_dead_state()
+        pruned = prune(ah)
+        assert pruned.num_states == ah.num_states - 1
+
+    def test_unsatisfiable_predicate_removed(self):
+        ah = build("ab")
+        ah.states.append(
+            AHState(cc=CharClass.empty(), action=COPY, width=1)
+        )
+        ah.preds.append([0])  # reachable, but can never match
+        pruned = prune(ah)
+        assert all(not s.cc.is_empty() for s in pruned.states)
+
+    def test_useless_state_removed(self):
+        ah = build("ab")
+        # Reachable state that reaches no reporting state.
+        ah.states.append(
+            AHState(cc=CharClass.from_char(ord("z")), action=COPY, width=1)
+        )
+        ah.preds.append([0])
+        pruned = prune(ah)
+        assert pruned.num_states == ah.num_states - 1
+
+    def test_language_preserved(self):
+        ah = self._with_dead_state()
+        pruned = prune(ah)
+        rng = random.Random(0)
+        for _ in range(10):
+            data = bytes(rng.choice(b"abz") for _ in range(30))
+            assert pruned.match_ends(data) == ah.match_ends(data)
+
+    def test_injection_and_final_remapped(self):
+        ah = self._with_dead_state()
+        pruned = prune(ah)
+        assert pruned.injected  # still has its start state
+        assert pruned.final
+        assert pruned.match_ends(b"ab") == [1]
+
+
+class TestRandomised:
+    def test_prune_is_idempotent_and_safe(self):
+        rng = random.Random(1)
+        for _ in range(15):
+            node = random_regex(rng, alphabet=b"ab", depth=3, max_bound=6)
+            ah = to_action_homogeneous(translate(rewrite(node, P), P))
+            pruned = prune(ah)
+            assert prune(pruned) is pruned
+            data = bytes(rng.choice(b"ab") for _ in range(40))
+            assert pruned.match_ends(data) == ah.match_ends(data)

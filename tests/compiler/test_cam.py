@@ -1,0 +1,88 @@
+"""CAM nibble-product encoding tests (CAMA [16])."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler.cam import (
+    CamRow,
+    decode_rows,
+    encode_class,
+    rows_for_class,
+    rows_for_ruleset,
+)
+from repro.regex.charclass import DIGIT, CharClass
+
+
+class TestCamRow:
+    def test_product_match(self):
+        row = CamRow(low_mask=0b10, high_mask=0b1000)  # low=1, high=3
+        assert row.matches(0x31)
+        assert not row.matches(0x32)
+        assert not row.matches(0x21)
+
+    def test_to_class_is_product(self):
+        row = CamRow(low_mask=0b11, high_mask=0b1)
+        assert set(row.to_class()) == {0x00, 0x01}
+
+    def test_pack_roundtrip(self):
+        row = CamRow(low_mask=0xABCD, high_mask=0x1234)
+        assert CamRow.decode(row.encode()) == row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CamRow(low_mask=0, high_mask=1)
+        with pytest.raises(ValueError):
+            CamRow(low_mask=1 << 16, high_mask=1)
+
+
+class TestEncoding:
+    def test_singleton_one_row(self):
+        assert rows_for_class(CharClass.from_char(ord("a"))) == 1
+
+    def test_any_one_row(self):
+        rows = encode_class(CharClass.any())
+        assert len(rows) == 1
+        assert rows[0].low_mask == 0xFFFF and rows[0].high_mask == 0xFFFF
+
+    def test_digits_one_row(self):
+        """0x30-0x39: low nibbles {0..9}, one high nibble — a product."""
+        assert rows_for_class(DIGIT) == 1
+
+    def test_lowercase_needs_two_rows(self):
+        """a-z spans 0x61-0x7a: high nibble 6 has lows 1-f, 7 has 0-a."""
+        cc = CharClass.from_range(ord("a"), ord("z"))
+        assert rows_for_class(cc) == 2
+
+    def test_word_class(self):
+        from repro.regex.charclass import WORD
+
+        rows = encode_class(WORD)
+        assert decode_rows(rows) == WORD
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            encode_class(CharClass.empty())
+
+    def test_ruleset_pressure(self):
+        stes, rows = rows_for_ruleset(
+            [DIGIT, CharClass.from_range(ord("a"), ord("z"))]
+        )
+        assert (stes, rows) == (2, 3)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=255), min_size=1))
+def test_encode_decode_roundtrip(byte_set):
+    cc = CharClass.from_chars(byte_set)
+    rows = encode_class(cc)
+    assert decode_rows(rows) == cc
+    # Every byte matches exactly the rows that contain it.
+    for byte in range(256):
+        assert any(row.matches(byte) for row in rows) == (byte in cc)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=255), min_size=1))
+def test_row_count_bounded_by_high_nibbles(byte_set):
+    cc = CharClass.from_chars(byte_set)
+    used_highs = {b >> 4 for b in byte_set}
+    assert rows_for_class(cc) <= len(used_highs)

@@ -1,0 +1,94 @@
+"""JSON configuration round-trip tests (§7 step 5)."""
+
+import json
+
+import pytest
+
+from repro.compiler.config import (
+    action_from_mnemonic,
+    action_to_mnemonic,
+    dump_config,
+    load_config,
+    ruleset_to_config,
+)
+from repro.compiler.pipeline import CompilerOptions, compile_ruleset
+
+PATTERNS = ["ab{100}c", "hello", "x[0-9]{12}y", "a{1,50}b"]
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    return compile_ruleset(PATTERNS)
+
+
+class TestActionMnemonics:
+    @pytest.mark.parametrize(
+        "text",
+        ["copy", "shift", "set1", "r(5)", "r(1,16)", "r(5).set1", "r(1,16).set1"],
+    )
+    def test_roundtrip(self, text):
+        assert action_to_mnemonic(action_from_mnemonic(text)) == text
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            action_from_mnemonic("frobnicate")
+
+
+class TestConfigDocument:
+    def test_document_is_json_serialisable(self, ruleset):
+        doc = ruleset_to_config(ruleset)
+        text = json.dumps(doc)
+        assert "regexes" in doc and json.loads(text) == doc
+
+    def test_contains_all_sections(self, ruleset):
+        doc = ruleset_to_config(ruleset)
+        for key in ("options", "encoding", "regexes", "mapping", "rejected"):
+            assert key in doc
+
+    def test_rewritten_form_recorded(self, ruleset):
+        doc = ruleset_to_config(ruleset)
+        entry = next(r for r in doc["regexes"] if r["pattern"] == "ab{100}c")
+        assert "{" in entry["rewritten"]  # kept as counting blocks
+
+
+class TestRoundTrip:
+    def test_automata_equivalent_after_reload(self, ruleset, tmp_path):
+        path = tmp_path / "config.json"
+        dump_config(ruleset, str(path))
+        loaded = load_config(str(path))
+        assert loaded.patterns == [r.pattern for r in ruleset.regexes]
+        data = b"ab" + b"b" * 99 + b"c hello x0123456789 01y ab"
+        for original, reloaded in zip(ruleset.regexes, loaded.automata):
+            assert reloaded.match_ends(data) == original.ah.match_ends(data)
+
+    def test_mapping_survives(self, ruleset, tmp_path):
+        path = tmp_path / "config.json"
+        dump_config(ruleset, str(path))
+        loaded = load_config(str(path))
+        assert loaded.mapping.num_tiles == ruleset.mapping.num_tiles
+        assert loaded.mapping.placements == ruleset.mapping.placements
+
+    def test_encoding_survives(self, ruleset, tmp_path):
+        path = tmp_path / "config.json"
+        dump_config(ruleset, str(path))
+        loaded = load_config(str(path))
+        assert loaded.encoding.group_masks == ruleset.encoding.group_masks
+        assert loaded.encoding.code_of_byte == ruleset.encoding.code_of_byte
+
+    def test_options_survive(self, tmp_path):
+        options = CompilerOptions(bv_size=16, unfold_threshold=8)
+        ruleset = compile_ruleset(["ab{40}c"], options)
+        path = tmp_path / "config.json"
+        dump_config(ruleset, str(path))
+        loaded = load_config(str(path))
+        assert loaded.bv_size == 16
+        assert loaded.unfold_threshold == 8
+
+    def test_version_checked(self, ruleset, tmp_path):
+        path = tmp_path / "config.json"
+        dump_config(ruleset, str(path))
+        doc = json.loads(path.read_text())
+        doc["format_version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            load_config(str(path))

@@ -1,0 +1,90 @@
+"""Symbol-encoding schema tests (§7 step 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler.encoding import build_encoding
+from repro.regex.charclass import DIGIT, WORD, CharClass
+
+
+class TestPartition:
+    def test_no_classes_one_code(self):
+        schema = build_encoding([])
+        assert schema.num_codes == 1
+        assert all(schema.encode_byte(b) == 0 for b in range(256))
+
+    def test_single_class_two_codes(self):
+        schema = build_encoding([DIGIT])
+        assert schema.num_codes == 2
+        assert schema.encode_byte(ord("5")) != schema.encode_byte(ord("x"))
+
+    def test_disjoint_classes(self):
+        a = CharClass.from_char(ord("a"))
+        b = CharClass.from_char(ord("b"))
+        schema = build_encoding([a, b])
+        assert schema.num_codes == 3
+
+    def test_overlapping_classes_split(self):
+        schema = build_encoding([DIGIT, WORD])
+        # cells: digits, word-minus-digits, rest
+        assert schema.num_codes == 3
+
+    def test_bytes_in_same_cell_share_code(self):
+        schema = build_encoding([DIGIT])
+        codes = {schema.encode_byte(b) for b in range(ord("0"), ord("9") + 1)}
+        assert len(codes) == 1
+
+    def test_deterministic_order(self):
+        one = build_encoding([DIGIT, WORD])
+        two = build_encoding([DIGIT, WORD])
+        assert one.code_of_byte == two.code_of_byte
+
+
+class TestEncoding:
+    def test_encode_stream(self):
+        schema = build_encoding([CharClass.from_char(ord("a"))])
+        codes = schema.encode(b"aba")
+        assert codes[0] == codes[2] != codes[1]
+
+    def test_encode_class_exact(self):
+        schema = build_encoding([DIGIT, WORD])
+        digit_codes = schema.encode_class(DIGIT)
+        assert schema.is_exact_for(DIGIT)
+        # every digit byte encodes to a code in the class's code set
+        for b in range(ord("0"), ord("9") + 1):
+            assert schema.encode_byte(b) in digit_codes
+
+    def test_is_exact_for_detects_misaligned(self):
+        schema = build_encoding([WORD])
+        assert not schema.is_exact_for(DIGIT)  # digits not a whole cell
+
+    def test_code_bits(self):
+        schema = build_encoding([DIGIT])
+        assert schema.code_bits == 1
+        many = build_encoding([CharClass.from_char(i) for i in range(9)])
+        assert many.code_bits == 4  # 10 codes
+
+
+@given(
+    st.lists(
+        st.sets(st.integers(min_value=0, max_value=255), min_size=1),
+        max_size=6,
+    )
+)
+def test_partition_invariants(class_sets):
+    classes = [CharClass.from_chars(s) for s in class_sets]
+    schema = build_encoding(classes)
+    # Group masks partition the alphabet.
+    union = 0
+    for mask in schema.group_masks:
+        assert union & mask == 0
+        union |= mask
+    assert union == (1 << 256) - 1
+    # Every generating class is a union of whole cells.
+    for cc in classes:
+        assert schema.is_exact_for(cc)
+    # encode_byte is consistent with the masks.
+    for code, mask in enumerate(schema.group_masks):
+        lowest = (mask & -mask).bit_length() - 1
+        assert schema.encode_byte(lowest) == code

@@ -1,0 +1,108 @@
+"""Tile/array/bank mapping tests (§6)."""
+
+import pytest
+
+from repro.compiler.mapping import (
+    ArchParams,
+    AutomatonDemand,
+    MappingError,
+    map_automata,
+)
+
+ARCH = ArchParams()
+
+
+def demand(rid, plain, bv=0, words=0):
+    return AutomatonDemand(
+        regex_id=rid, plain_stes=plain, bv_stes=bv, max_swap_words=words
+    )
+
+
+class TestArchParams:
+    def test_paper_capacities(self):
+        """Each bank supports 16,384 STEs, 3,072 of them BV-STEs (§6)."""
+        assert ARCH.stes_per_bank == 16384
+        assert ARCH.bvs_per_bank == 3072
+        assert ARCH.max_tile_repetition_bound == 3072
+
+    def test_array_capacity(self):
+        assert ARCH.stes_per_array == 4096
+
+
+class TestSmallAutomata:
+    def test_single_tile(self):
+        result = map_automata([demand(0, 10, 2)])
+        assert result.num_tiles == 1
+        assert result.placements[0] == [0]
+
+    def test_packing_multiple(self):
+        result = map_automata([demand(i, 100, 10) for i in range(5)])
+        # 100 STEs each: two fit per 256-STE tile
+        assert result.num_tiles == 3
+
+    def test_bv_capacity_forces_new_tile(self):
+        result = map_automata([demand(i, 10, 30) for i in range(3)])
+        # 30 BVs each, 48 per tile: one per tile after the first pair fails
+        assert result.num_tiles == 3
+
+    def test_decreasing_order_placement(self):
+        """Largest BV consumers placed first (greedy FFD)."""
+        result = map_automata([demand(0, 10, 1), demand(1, 10, 48)])
+        assert result.placements[1] == [0]  # big one got the first tile
+
+
+class TestLargeAutomata:
+    def test_plain_spill_across_tiles(self):
+        result = map_automata([demand(0, 1000, 10)])
+        assert len(result.placements[0]) == 4  # ceil(1010/256)
+
+    def test_bv_spill_across_tiles(self):
+        """BV chains linked by reads may span tiles (url=.{8000} case)."""
+        result = map_automata([demand(0, 50, 100)])
+        assert len(result.placements[0]) >= 3  # ceil(100/48) for BVs
+        placed_bvs = sum(t.bvs_used for t in result.tiles)
+        assert placed_bvs == 100
+
+    def test_large_starts_at_array_boundary(self):
+        result = map_automata([demand(0, 200, 0), demand(1, 4000, 0)])
+        tiles_of_1 = result.placements[1]
+        assert tiles_of_1[0] % ARCH.tiles_per_array == 0
+
+    def test_rejects_over_array_stes(self):
+        with pytest.raises(MappingError):
+            map_automata([demand(0, 5000, 0)])
+
+    def test_rejects_over_array_bvs(self):
+        with pytest.raises(MappingError):
+            map_automata([demand(0, 10, 800)])
+
+
+class TestUtilisation:
+    def test_ste_utilisation(self):
+        result = map_automata([demand(0, 128, 0)])
+        assert result.ste_utilization() == pytest.approx(0.5)
+
+    def test_bv_utilisation(self):
+        result = map_automata([demand(0, 10, 24)])
+        assert result.bv_utilization() == pytest.approx(0.5)
+
+    def test_counts(self):
+        result = map_automata([demand(i, 256, 0) for i in range(20)])
+        assert result.num_tiles == 20
+        assert result.num_arrays == 2
+        assert result.num_banks == 1
+
+    def test_tiles_of_array(self):
+        result = map_automata([demand(i, 256, 0) for i in range(20)])
+        assert len(result.tiles_of_array(0)) == 16
+        assert len(result.tiles_of_array(1)) == 4
+
+    def test_swap_words_recorded(self):
+        result = map_automata([demand(0, 10, 4, words=8)])
+        assert result.tiles[0].max_swap_words == 8
+        assert result.tiles[0].bvm_active()
+
+    def test_empty_ruleset(self):
+        result = map_automata([])
+        assert result.num_tiles == 0
+        assert result.ste_utilization() == 0.0

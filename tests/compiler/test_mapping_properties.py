@@ -1,0 +1,87 @@
+"""Hypothesis property tests for the tile mapper."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.mapping import ArchParams, AutomatonDemand, map_automata
+
+ARCH = ArchParams()
+
+demand_strategy = st.builds(
+    AutomatonDemand,
+    regex_id=st.integers(min_value=0, max_value=10_000),
+    plain_stes=st.integers(min_value=0, max_value=2000),
+    bv_stes=st.integers(min_value=0, max_value=400),
+    max_swap_words=st.integers(min_value=0, max_value=8),
+)
+
+
+def unique_ids(demands):
+    seen = set()
+    out = []
+    for demand in demands:
+        if demand.regex_id in seen:
+            continue
+        seen.add(demand.regex_id)
+        if demand.total_stes == 0:
+            continue
+        out.append(demand)
+    return out
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(demand_strategy, max_size=25))
+def test_mapping_invariants(raw_demands):
+    demands = unique_ids(raw_demands)
+    result = map_automata(demands, ARCH)
+
+    # 1. Capacity: no tile over budget.
+    for tile in result.tiles:
+        assert 0 <= tile.stes_used <= ARCH.stes_per_tile
+        assert 0 <= tile.bvs_used <= ARCH.bvs_per_tile
+
+    # 2. Conservation: everything placed exactly once.
+    assert sum(t.stes_used for t in result.tiles) == sum(
+        d.total_stes for d in demands
+    )
+    assert sum(t.bvs_used for t in result.tiles) == sum(
+        d.bv_stes for d in demands
+    )
+
+    # 3. Every demand has a placement onto existing tiles.
+    assert set(result.placements) == {d.regex_id for d in demands}
+    for tiles in result.placements.values():
+        assert tiles  # at least one tile
+        for index in tiles:
+            assert 0 <= index < result.num_tiles
+
+    # 4. Multi-tile spills stay within one array.
+    per = ARCH.tiles_per_array
+    for tiles in result.placements.values():
+        arrays = {index // per for index in tiles}
+        assert len(arrays) == 1
+
+    # 5. Swap-word LUT data covers every tile hosting BVs.
+    for demand in demands:
+        if demand.bv_stes and demand.max_swap_words:
+            home = result.placements[demand.regex_id][0]
+            hosting = [
+                result.tiles[i]
+                for i in result.placements[demand.regex_id]
+                if result.tiles[i].bvs_used
+            ]
+            assert any(
+                t.max_swap_words >= demand.max_swap_words for t in hosting
+            ) or not hosting
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(demand_strategy, max_size=15))
+def test_mapping_deterministic(raw_demands):
+    demands = unique_ids(raw_demands)
+    one = map_automata(demands, ARCH)
+    two = map_automata(demands, ARCH)
+    assert one.placements == two.placements
+    assert [(t.stes_used, t.bvs_used) for t in one.tiles] == [
+        (t.stes_used, t.bvs_used) for t in two.tiles
+    ]

@@ -1,0 +1,142 @@
+"""End-to-end compilation pipeline tests (§7)."""
+
+import pytest
+
+from repro.compiler.pipeline import (
+    CompilerOptions,
+    compile_pattern,
+    compile_ruleset,
+    swap_words,
+    virtual_width,
+)
+
+
+class TestVirtualWidth:
+    @pytest.mark.parametrize(
+        "bound,width",
+        [(1, 8), (8, 8), (9, 16), (16, 16), (17, 32), (33, 64), (64, 64)],
+    )
+    def test_rounding(self, bound, width):
+        assert virtual_width(bound) == width
+
+    def test_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            virtual_width(65)
+
+    def test_swap_words(self):
+        assert swap_words(8) == 1
+        assert swap_words(64) == 8
+        assert swap_words(16) == 2
+
+
+class TestCompilePattern:
+    def test_paper_snort_example(self):
+        """url=.{8000}: 8004 unfolded STEs vs ~270 in BVAP (§3)."""
+        compiled = compile_pattern("url=.{8000}")
+        assert compiled.unfolded_states == 8004
+        assert 250 <= compiled.num_stes <= 290
+
+    def test_bounded_repetition_compression(self):
+        compiled = compile_pattern("ab{147}c")
+        assert compiled.unfolded_states == 149
+        assert compiled.num_stes < 20
+
+    def test_small_bounds_fully_unfolded(self):
+        compiled = compile_pattern("a(ba){3}c")
+        assert compiled.num_bv_stes == 0
+
+    def test_options_change_result(self):
+        tight = compile_pattern(
+            "ab{10}c", options=CompilerOptions(unfold_threshold=12)
+        )
+        loose = compile_pattern(
+            "ab{10}c", options=CompilerOptions(unfold_threshold=4)
+        )
+        assert tight.num_bv_stes == 0
+        assert loose.num_bv_stes > 0
+
+    def test_bv_size_affects_block_count(self):
+        big = compile_pattern("ab{128}c", options=CompilerOptions(bv_size=64))
+        small = compile_pattern("ab{128}c", options=CompilerOptions(bv_size=16))
+        assert small.num_bv_stes > big.num_bv_stes
+
+    def test_virtual_widths_and_demand(self):
+        compiled = compile_pattern("ab{40}c")
+        assert compiled.virtual_widths() == [64]
+        demand = compiled.demand()
+        assert demand.bv_stes == compiled.num_bv_stes
+        assert demand.max_swap_words == 8
+
+    def test_unfolded_states_none_when_huge(self):
+        compiled = compile_pattern("a.{3000}b", unfolded_cap=1000)
+        assert compiled.unfolded_states is None
+
+
+class TestCompileRuleset:
+    PATTERNS = ["ab{100}c", "hello", "x[0-9]{12}y", "bad(", "a{1,50}b"]
+
+    def test_bad_patterns_rejected_not_fatal(self):
+        ruleset = compile_ruleset(self.PATTERNS)
+        assert len(ruleset.regexes) == 4
+        assert 3 in ruleset.rejected
+
+    def test_encoding_covers_all_classes(self):
+        ruleset = compile_ruleset(self.PATTERNS)
+        for regex in ruleset.regexes:
+            for state in regex.ah.states:
+                assert ruleset.encoding.is_exact_for(state.cc)
+
+    def test_mapping_covers_all_regexes(self):
+        ruleset = compile_ruleset(self.PATTERNS)
+        for regex in ruleset.regexes:
+            assert regex.regex_id in ruleset.mapping.placements
+
+    def test_aggregate_stats(self):
+        ruleset = compile_ruleset(self.PATTERNS)
+        assert ruleset.num_stes == sum(r.num_stes for r in ruleset.regexes)
+        assert 0 < ruleset.bv_ste_ratio() < 1
+
+    def test_oversized_regex_rejected_with_reason(self):
+        ruleset = compile_ruleset(["a" * 5000])  # 5000 plain STEs > array
+        assert ruleset.rejected
+        assert not ruleset.regexes
+
+    def test_empty_ruleset(self):
+        ruleset = compile_ruleset([])
+        assert ruleset.num_stes == 0
+        assert ruleset.bv_ste_ratio() == 0.0
+
+
+class TestUnfoldFallback:
+    """§6: regexes whose BV demand exceeds the hardware fall back to
+    (partial) unfolding instead of being rejected."""
+
+    def test_bv_heavy_regex_falls_back(self):
+        # 40 counting blocks of bound 64 -> 40+ vector BVs per block chain
+        # exceeds one array's 768 BVs only with a truly huge pattern, so
+        # shrink the arch instead.
+        from repro.compiler import ArchParams
+
+        options = CompilerOptions(arch=ArchParams(bvs_per_tile=2, tiles_per_array=2))
+        ruleset = compile_ruleset(["ab{200}c"], options)
+        assert len(ruleset.regexes) == 1
+        regex = ruleset.regexes[0]
+        assert regex.num_bv_stes == 0  # fully unfolded fallback
+        assert regex.num_stes == regex.unfolded_states
+
+    def test_fallback_preserves_matching(self):
+        from repro.compiler import ArchParams
+
+        options = CompilerOptions(arch=ArchParams(bvs_per_tile=2, tiles_per_array=2))
+        ruleset = compile_ruleset(["ab{100}c"], options)
+        data = b"a" + b"b" * 100 + b"c"
+        assert ruleset.regexes[0].ah.match_ends(data) == [101]
+
+    def test_truly_oversized_still_rejected(self):
+        from repro.compiler import ArchParams
+
+        options = CompilerOptions(
+            arch=ArchParams(bvs_per_tile=2, tiles_per_array=2, stes_per_tile=64)
+        )
+        ruleset = compile_ruleset(["ab{2000}c"], options)
+        assert ruleset.rejected  # unfolding does not fit either

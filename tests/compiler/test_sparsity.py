@@ -1,0 +1,71 @@
+"""RCB/FCB sparsity-analysis tests (§6)."""
+
+import pytest
+
+from repro.compiler import compile_pattern, compile_ruleset
+from repro.compiler.sparsity import (
+    RCB_MAX_MEAN_FANIN,
+    SparsityProfile,
+    decide_fcb_tiles,
+    fcb_pairs_for_ruleset,
+    profile_automaton,
+)
+
+
+class TestProfile:
+    def test_linear_chain_is_sparse(self):
+        compiled = compile_pattern("abcdef")
+        profile = profile_automaton(compiled.ah)
+        assert profile.mean_fanin <= 1.0
+        assert not profile.needs_fcb
+
+    def test_counting_regex_is_sparse(self):
+        compiled = compile_pattern("ab{500}c")
+        assert not profile_automaton(compiled.ah).needs_fcb
+
+    def test_dense_alternation_profile(self):
+        # 12-way alternation repeated: every branch end feeds every start.
+        branches = "|".join(f"{a}{b}" for a in "abcd" for b in "xyz")
+        compiled = compile_pattern(f"({branches})+")
+        profile = profile_automaton(compiled.ah)
+        assert profile.max_fanin >= 12
+
+    def test_density(self):
+        profile = SparsityProfile(states=10, edges=25, max_fanin=5)
+        assert profile.density == 0.25
+        assert profile.mean_fanin == 2.5
+
+    def test_empty_automaton(self):
+        profile = SparsityProfile(states=0, edges=0, max_fanin=0)
+        assert profile.density == 0.0
+        assert not profile.needs_fcb
+
+
+class TestDecision:
+    def test_sparse_tiles_stay_rcb(self):
+        ruleset = compile_ruleset(["abc", "ab{60}c", "x[yz]{8}"])
+        assert fcb_pairs_for_ruleset(ruleset) == []
+
+    def test_dense_tile_flagged(self):
+        dense = SparsityProfile(states=4, edges=4 * 16, max_fanin=70)
+        sparse = SparsityProfile(states=10, edges=9, max_fanin=1)
+        tiles = decide_fcb_tiles({0: [sparse], 1: [dense], 2: [sparse]})
+        assert tiles == [1]
+
+    def test_mean_fanin_threshold(self):
+        over = SparsityProfile(
+            states=10, edges=int(10 * (RCB_MAX_MEAN_FANIN + 1)), max_fanin=9
+        )
+        assert over.needs_fcb
+
+    def test_pairs_derived_from_tiles(self):
+        dense = SparsityProfile(states=4, edges=64, max_fanin=70)
+
+        class FakeRegex:
+            def __init__(self, rid):
+                self.regex_id = rid
+                self.ah = None
+
+        # Simulate via decide_fcb_tiles directly (pairing rule).
+        tiles = decide_fcb_tiles({5: [dense]})
+        assert sorted({t // 2 for t in tiles}) == [2]

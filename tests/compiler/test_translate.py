@@ -1,0 +1,172 @@
+"""Regex → NBVA translation tests (§3/§4 action assignment)."""
+
+import pytest
+
+from repro.automata.actions import (
+    Copy,
+    ReadBit,
+    ReadBitSet1,
+    ReadRange,
+    ReadRangeSet1,
+    Set1,
+    Shift,
+)
+from repro.compiler.translate import TranslationError, translate
+from repro.regex import ast
+from repro.regex.parser import parse
+from repro.regex.rewrite import RewriteParams, rewrite
+
+P = RewriteParams(bv_size=64, unfold_threshold=4)
+P8 = RewriteParams(bv_size=8, unfold_threshold=2)
+
+
+def build(pattern, params=P):
+    return translate(rewrite(parse(pattern), params), params)
+
+
+def actions_between(nbva):
+    return {
+        (t.src, t.dst): type(t.action).__name__ for t in nbva.transitions
+    }
+
+
+class TestStateSpace:
+    def test_linear_in_regex_size(self):
+        """One control state per character-class occurrence (§1)."""
+        nbva = build("ab{5000}c")
+        # b{5000} splits into ceil(5000/64)=79 blocks: 79 + a + c states
+        assert nbva.num_states == 79 + 2
+
+    def test_counting_states_have_bv(self):
+        nbva = build("ab{40}c")
+        counting = [s for s in nbva.states if s.is_counting()]
+        assert len(counting) == 1
+        assert counting[0].width == 40
+
+    def test_multi_position_body(self):
+        nbva = build("(ab){8}")
+        assert nbva.num_counting_states() == 2
+        assert all(s.width == 8 for s in nbva.states if s.is_counting())
+
+
+class TestActionAssignment:
+    def test_entry_is_set1(self):
+        nbva = build("ab{8}c")
+        a, b = 0, 1
+        acts = actions_between(nbva)
+        assert acts[(a, b)] == "Set1"
+
+    def test_loopback_is_shift(self):
+        nbva = build("ab{8}c")
+        acts = actions_between(nbva)
+        assert acts[(1, 1)] == "Shift"
+
+    def test_exit_exact_is_read_bit(self):
+        nbva = build("ab{8}c")
+        acts = actions_between(nbva)
+        assert acts[(1, 2)] == "ReadBit"
+        exit_action = next(
+            t.action for t in nbva.transitions if (t.src, t.dst) == (1, 2)
+        )
+        assert exit_action.position == 8
+
+    def test_exit_range_is_read_range(self):
+        nbva = build("ab{1,8}c")
+        reads = [
+            t.action
+            for t in nbva.transitions
+            if isinstance(t.action, ReadRange)
+        ]
+        assert reads and reads[0].high == 8
+
+    def test_block_chain_uses_read_set1(self):
+        nbva = build("ab{128}c")  # two 64-blocks
+        chained = [
+            t.action
+            for t in nbva.transitions
+            if isinstance(t.action, ReadBitSet1)
+        ]
+        assert len(chained) == 1
+        assert chained[0].position == 64
+
+    def test_within_iteration_is_copy(self):
+        nbva = build("(ab){8}")
+        acts = actions_between(nbva)
+        assert acts[(0, 1)] == "Copy"
+        assert acts[(1, 0)] == "Shift"
+
+    def test_exit_and_reenter_through_plus(self):
+        nbva = build("(a{8})+b")
+        combo = [
+            t.action
+            for t in nbva.transitions
+            if isinstance(t.action, ReadBitSet1)
+        ]
+        assert combo and combo[0].position == 8
+
+    def test_inner_star_inside_scope_is_copy(self):
+        nbva = build("(ab*c){8}d")
+        acts = actions_between(nbva)
+        b = 1
+        assert acts[(b, b)] == "Copy"
+
+
+class TestInitialAndFinal:
+    def test_initial_injection(self):
+        nbva = build("ab")
+        assert nbva.initial == {0: 1}
+
+    def test_counting_first_position_injected(self):
+        nbva = build("a{8}b")
+        assert 0 in nbva.initial
+
+    def test_plain_final_condition(self):
+        nbva = build("ab")
+        assert isinstance(nbva.final[1], ReadBit)
+        assert nbva.final[1].position == 1
+
+    def test_counting_final_condition(self):
+        nbva = build("ab{8}")
+        assert isinstance(nbva.final[1], ReadBit)
+        assert nbva.final[1].position == 8
+
+    def test_range_final_condition(self):
+        nbva = build("ab{1,8}")
+        assert isinstance(nbva.final[1], ReadRange)
+        assert nbva.final[1].high == 8
+
+
+class TestErrors:
+    def test_unsupported_repeat_rejected(self):
+        with pytest.raises(TranslationError):
+            translate(parse("a{100}"), P)  # not rewritten
+
+    def test_nested_scope_rejected(self):
+        inner = ast.repeat(parse("a"), 8, 8)
+        nested = ast.repeat(ast.concat(inner, parse("b")), 8, 8)
+        with pytest.raises(TranslationError):
+            translate(nested, P)
+
+    def test_unbounded_repeat_rejected(self):
+        with pytest.raises(TranslationError):
+            translate(ast.Repeat(parse("a"), 5, None), P)
+
+
+class TestExamplePaperSection4:
+    def test_ab_2_5_cd_6_e(self):
+        """ab{2,5}(cd){6}e (§4): after the {m,n} -> {m-1}{1,n-m+1}
+        rewrite, reads are r(·) and r(1,·) only."""
+        nbva = build("ab{2,5}(cd){6}e", P8)
+        read_types = {
+            type(t.action).__name__
+            for t in nbva.transitions
+            if t.action.reads_source
+        }
+        assert read_types <= {
+            "ReadBit",
+            "ReadRange",
+            "ReadBitSet1",
+            "ReadRangeSet1",
+        }
+        data = b"abbbb" + b"cd" * 6 + b"e"
+        assert nbva.match_ends(data) == [len(data) - 1]

@@ -1,0 +1,88 @@
+"""Instrumented stepper tests: activity stats drive timing and energy."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_pattern
+from repro.compiler.pipeline import build_unfolded_nfa
+from repro.hardware.activity import AHStepper, NFAStepper, StepStats
+from repro.regex.parser import parse
+
+OPTIONS = CompilerOptions(bv_size=8, unfold_threshold=2)
+
+
+def run_with_stats(stepper, data):
+    stepper.reset()
+    per_symbol = []
+    for symbol in data:
+        stats = StepStats()
+        matched = stepper.step(symbol, stats)
+        per_symbol.append((stats, matched))
+    return per_symbol
+
+
+class TestAHStepper:
+    def test_matches_equal_ah_matcher(self):
+        compiled = compile_pattern("a(.a){3}b", options=OPTIONS)
+        data = b"abaaabab" * 3
+        assert AHStepper(compiled.ah).match_ends(data) == compiled.ah.match_ends(
+            data
+        )
+
+    def test_active_state_counts(self):
+        compiled = compile_pattern("ab", options=OPTIONS)
+        trace = run_with_stats(AHStepper(compiled.ah), b"ab")
+        assert trace[0][0].active_states == 1  # a
+        assert trace[1][0].active_states == 1  # b
+
+    def test_bv_activity_tracked(self):
+        compiled = compile_pattern("ab{8}c", options=OPTIONS)
+        trace = run_with_stats(AHStepper(compiled.ah), b"abbb")
+        assert trace[0][0].active_bv_states == 0
+        assert trace[1][0].bvm_activated  # counting started
+
+    def test_moving_words_and_max(self):
+        compiled = compile_pattern("ab{8}c", options=OPTIONS)
+        stepper = AHStepper(compiled.ah)
+        trace = run_with_stats(stepper, b"abb")
+        stats = trace[2][0]
+        assert stats.moving_words >= 1
+        assert stats.max_words >= 1
+
+    def test_reads_counted_for_read_states(self):
+        compiled = compile_pattern("ab{8}c", options=OPTIONS)
+        data = b"a" + b"b" * 8 + b"c"
+        trace = run_with_stats(AHStepper(compiled.ah), data)
+        final_stats, matched = trace[-1]
+        assert matched
+        assert final_stats.reads >= 1
+
+    def test_set1_counted(self):
+        compiled = compile_pattern("ab{8}c", options=OPTIONS)
+        trace = run_with_stats(AHStepper(compiled.ah), b"ab")
+        assert trace[1][0].set1s >= 1
+
+    def test_shared_stats_accumulate(self):
+        one = compile_pattern("ab", options=OPTIONS)
+        two = compile_pattern("a", options=OPTIONS)
+        s1, s2 = AHStepper(one.ah), AHStepper(two.ah)
+        stats = StepStats()
+        s1.step(ord("a"), stats)
+        s2.step(ord("a"), stats)
+        assert stats.active_states == 2
+
+
+class TestNFAStepper:
+    def test_matches_equal_nfa(self):
+        nfa = build_unfolded_nfa(parse("ab{2,4}c"))
+        data = b"abbc abbbbbc abbbc"
+        assert NFAStepper(nfa).match_ends(data) == nfa.match_ends(data)
+
+    def test_active_count(self):
+        nfa = build_unfolded_nfa(parse("a{4}"))
+        stepper = NFAStepper(nfa)
+        stats = StepStats()
+        stepper.step(ord("a"), stats)
+        assert stats.active_states == 1
+        stats2 = StepStats()
+        stepper.step(ord("a"), stats2)
+        assert stats2.active_states == 2  # two overlapping runs

@@ -1,0 +1,51 @@
+"""Baseline simulator wrappers (CA, eAP, CAMA) tests."""
+
+import random
+
+import pytest
+
+from repro.hardware.baselines import simulate_ca, simulate_cama, simulate_eap
+from repro.hardware.simulator import compile_baseline
+
+PATTERNS = ["ab{40}c", "needle", "x.{200}y"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = random.Random(9)
+    return bytes(rng.choice(b"abcneedlxy ") for _ in range(1200))
+
+
+class TestWrappers:
+    def test_names(self, data):
+        assert simulate_ca(PATTERNS, data).architecture == "CA"
+        assert simulate_eap(PATTERNS, data).architecture == "eAP"
+        assert simulate_cama(PATTERNS, data).architecture == "CAMA"
+
+    def test_same_matches_across_architectures(self, data):
+        reports = [
+            simulate_ca(PATTERNS, data),
+            simulate_eap(PATTERNS, data),
+            simulate_cama(PATTERNS, data),
+        ]
+        assert len({r.matches for r in reports}) == 1
+
+    def test_precompiled_ruleset_reused(self, data):
+        ruleset = compile_baseline(PATTERNS)
+        one = simulate_cama(PATTERNS, data, ruleset=ruleset)
+        two = simulate_cama(PATTERNS, data)
+        assert one.total_energy_j == pytest.approx(two.total_energy_j)
+
+    def test_paper_ordering(self, data):
+        """Energy: CA >= eAP >> CAMA; area: CA > eAP > CAMA (Fig. 14)."""
+        ca = simulate_ca(PATTERNS, data)
+        eap = simulate_eap(PATTERNS, data)
+        cama = simulate_cama(PATTERNS, data)
+        assert ca.energy_per_symbol_j >= eap.energy_per_symbol_j
+        assert eap.energy_per_symbol_j > 2 * cama.energy_per_symbol_j
+        assert ca.area_mm2 > eap.area_mm2 > cama.area_mm2
+
+    def test_throughput_cama_highest(self, data):
+        ca = simulate_ca(PATTERNS, data)
+        cama = simulate_cama(PATTERNS, data)
+        assert cama.throughput_gbps > ca.throughput_gbps

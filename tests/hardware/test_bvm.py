@@ -1,0 +1,135 @@
+"""BVM instruction set (Table 3) and cost-model tests (§5)."""
+
+import pytest
+
+from repro.automata.actions import (
+    COPY,
+    SET1,
+    SHIFT,
+    ReadBit,
+    ReadBitSet1,
+    ReadRange,
+    ReadRangeSet1,
+)
+from repro.hardware import bvm
+from repro.hardware.bvm import Instruction, Opcode, instruction_for
+
+
+class TestInstructionEncoding:
+    @pytest.mark.parametrize("opcode", list(Opcode))
+    def test_roundtrip(self, opcode):
+        pointer = 5 if opcode in (Opcode.READ, Opcode.READ_SET1) else 0
+        inst = Instruction(opcode, pointer)
+        assert Instruction.decode(inst.encode()) == inst
+
+    def test_pointer_width(self):
+        # The 6-bit field stores pointer-1, so positions 1..64 encode.
+        assert Instruction.decode(Instruction(Opcode.READ, 64).encode()).pointer == 64
+        with pytest.raises(ValueError):
+            Instruction(Opcode.READ, 65)
+
+    def test_read_requires_pointer(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.READ, 0)
+
+    def test_non_read_rejects_pointer(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.COPY, 3)
+
+    def test_flags(self):
+        assert Instruction(Opcode.RALL).is_read
+        assert not Instruction(Opcode.COPY).is_read
+        assert Instruction(Opcode.SHIFT).is_swap
+        assert not Instruction(Opcode.RALL).is_swap
+        assert Instruction(Opcode.RALL_SET1).is_set1
+        assert Instruction(Opcode.SET1).is_set1
+
+
+class TestActionMapping:
+    def test_plain_ops(self):
+        assert instruction_for(SET1, 64).opcode == Opcode.SET1
+        assert instruction_for(COPY, 64).opcode == Opcode.COPY
+        assert instruction_for(SHIFT, 64).opcode == Opcode.SHIFT
+
+    def test_bit_reads(self):
+        inst = instruction_for(ReadBit(37), 64)
+        assert (inst.opcode, inst.pointer) == (Opcode.READ, 37)
+        inst = instruction_for(ReadBitSet1(3), 8)
+        assert (inst.opcode, inst.pointer) == (Opcode.READ_SET1, 3)
+
+    @pytest.mark.parametrize(
+        "high,virtual,opcode",
+        [
+            (64, 64, Opcode.RALL),
+            (32, 64, Opcode.RHALF),
+            (16, 64, Opcode.RQUARTER),
+            (8, 8, Opcode.RALL),
+            (4, 8, Opcode.RHALF),
+            (2, 8, Opcode.RQUARTER),
+        ],
+    )
+    def test_range_reads(self, high, virtual, opcode):
+        assert instruction_for(ReadRange(high), virtual).opcode == opcode
+
+    def test_range_set1_combined(self):
+        inst = instruction_for(ReadRangeSet1(32), 64)
+        assert inst.opcode == Opcode.RHALF_SET1
+
+    def test_incompatible_range_rejected(self):
+        """r(1,n) only exists at K, K/2, K/4 of the virtual size (§4/§5)."""
+        with pytest.raises(ValueError):
+            instruction_for(ReadRange(24), 64)
+
+
+class TestSwapWords:
+    def test_word_counts(self):
+        assert bvm.swap_words(64) == 8
+        assert bvm.swap_words(8) == 1
+        assert bvm.swap_words(9) == 2
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            bvm.swap_words(0)
+        with pytest.raises(ValueError):
+            bvm.swap_words(65)
+
+
+class TestActivationCost:
+    def test_idle_is_free(self):
+        cost = bvm.activation_cost([], 0, 0)
+        assert cost.bv_cycles == 0
+        assert cost.energy_pj == 0.0
+
+    def test_read_only(self):
+        cost = bvm.activation_cost([], num_reads=2)
+        assert cost.bv_cycles == bvm.READ_STEP_CYCLES
+        assert cost.energy_pj > 0
+
+    def test_swap_latency_scales_with_words(self):
+        short = bvm.activation_cost([2])
+        long = bvm.activation_cost([8])
+        assert long.bv_cycles == short.bv_cycles + 6
+
+    def test_virtual_size_saves_cycles(self):
+        """§5: virtual BV sizes reduce Swap cycles and energy."""
+        full = bvm.activation_cost([8])
+        virtual = bvm.activation_cost([2])
+        assert virtual.bv_cycles < full.bv_cycles
+        assert virtual.energy_pj < full.energy_pj
+
+    def test_parallel_bvs_share_cycles(self):
+        one = bvm.activation_cost([8])
+        many = bvm.activation_cost([8, 8, 8])
+        assert many.bv_cycles == one.bv_cycles  # word-parallel across BVs
+        assert many.energy_pj > one.energy_pj
+
+    def test_set1_power_gated(self):
+        """A set1-only BV costs a fraction of a moving BV (§5)."""
+        mover = bvm.activation_cost([8])
+        sender = bvm.activation_cost([], num_set1=1)
+        assert sender.energy_pj < 0.2 * mover.energy_pj
+
+    def test_leakage(self):
+        assert bvm.bvm_leakage_w() == pytest.approx(
+            48 * 0.56e-6 * 0.9 + 2 * 25e-6 * 0.9
+        )

@@ -1,0 +1,93 @@
+"""Table 4 circuit-model tests."""
+
+import pytest
+
+from repro.hardware import circuits
+
+
+class TestTable4Values:
+    """The published Table 4 rows, verbatim."""
+
+    def test_sram(self):
+        m = circuits.SRAM_8T_128x128
+        assert (m.energy_min_pj, m.energy_max_pj) == (1.0, 14.2)
+        assert m.delay_ps == 298.0
+        assert m.area_um2 == 5655.0
+        assert m.leakage_ua == 57.0
+
+    def test_routing_switch(self):
+        m = circuits.ROUTING_SWITCH_256
+        assert (m.energy_min_pj, m.energy_max_pj) == (2.0, 55.0)
+        assert m.area_um2 == 18153.0
+
+    def test_cam(self):
+        m = circuits.CAM_8T_32x256
+        assert m.energy_min_pj == 33.56
+        assert m.delay_ps == 336.0
+        assert m.leakage_ua == 28.5
+
+    def test_mfcb(self):
+        m = circuits.MFCB_4PORT_48x48
+        assert (m.energy_min_pj, m.energy_max_pj) == (0.76, 3.25)
+        assert m.area_um2 == 1818.0
+
+    def test_bit_vector(self):
+        m = circuits.BIT_VECTOR_64
+        assert m.energy_min_pj == 1.37
+        assert m.area_um2 == 17.7
+        assert m.leakage_ua == 0.56
+
+    def test_global_wire(self):
+        m = circuits.GLOBAL_WIRE_MM
+        assert m.energy_min_pj == 0.07
+        assert m.delay_ps == 66.0
+
+    def test_table_has_six_rows(self):
+        assert len(circuits.TABLE4) == 6
+
+
+class TestEnergyModel:
+    def test_activity_interpolation(self):
+        m = circuits.SRAM_8T_128x128
+        assert m.energy_pj(0.0) == 1.0
+        assert m.energy_pj(1.0) == 14.2
+        assert m.energy_pj(0.5) == pytest.approx(7.6)
+
+    def test_activity_bounds_checked(self):
+        with pytest.raises(ValueError):
+            circuits.SRAM_8T_128x128.energy_pj(1.5)
+
+    def test_voltage_scaling_quadratic(self):
+        m = circuits.CAM_8T_32x256
+        scaled = m.energy_pj(vdd=circuits.BVAP_S_VDD)
+        assert scaled == pytest.approx(33.56 * (0.65 / 0.9) ** 2)
+
+    def test_leakage_power(self):
+        m = circuits.SRAM_8T_128x128
+        assert m.leakage_w() == pytest.approx(57e-6 * 0.9)
+
+
+class TestScaledSwitch:
+    def test_quarter_area_for_half_dimensions(self):
+        rcb = circuits.scaled_switch(128, 128)
+        assert rcb.area_um2 == pytest.approx(18153 / 4)
+        assert rcb.energy_max_pj == pytest.approx(55 / 4)
+        assert rcb.leakage_ua == pytest.approx(228 / 4)
+
+    def test_delay_scales_with_dimension(self):
+        rcb = circuits.scaled_switch(128, 128)
+        assert rcb.delay_ps == pytest.approx(410 / 2)
+
+    def test_cannot_scale_up(self):
+        with pytest.raises(ValueError):
+            circuits.scaled_switch(512, 512)
+
+
+class TestClocks:
+    def test_paper_frequencies(self):
+        """2 GHz system / 5 GHz BVM (§8)."""
+        assert circuits.BVAP_SYSTEM_CLOCK_HZ == 2.0e9
+        assert circuits.BVM_CLOCK_HZ == 5.0e9
+
+    def test_bvap_slower_than_cama(self):
+        assert circuits.BVAP_SYSTEM_CLOCK_HZ < circuits.CAMA_CLOCK_HZ

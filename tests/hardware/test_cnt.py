@@ -1,0 +1,97 @@
+"""CNT (CAMA + counter elements) tests — the Fig. 12 strawman."""
+
+import random
+
+import pytest
+
+from repro.hardware.baselines.cnt import (
+    CNTSimulator,
+    classify_repeats,
+    compile_cnt,
+    simulate_cnt,
+)
+from repro.regex.parser import parse
+
+
+class TestAmbiguityClassifier:
+    def test_fig12_case(self):
+        """r a{64} b{m}: a{64} is counter-ambiguous, b{m} is not (§8)."""
+        node = parse("a" * 16 + "a{64}b{128}")
+        verdicts = {
+            (rep.low, rep.high): ambiguous
+            for rep, ambiguous in classify_repeats(node)
+        }
+        assert verdicts[(64, 64)] is True
+        assert verdicts[(128, 128)] is False
+
+    def test_start_of_regex_is_ambiguous(self):
+        """A block at the start re-enters on every symbol (start-anywhere)."""
+        (verdict,) = classify_repeats(parse("a{10}b"))
+        assert verdict[1] is True
+
+    def test_disjoint_preceded_block_unambiguous(self):
+        (_, verdict) = classify_repeats(parse("xa{9}"))[-1], None
+        rep, ambiguous = classify_repeats(parse("xa{9}"))[0]
+        assert ambiguous is False
+
+    def test_overlapping_preceded_block_ambiguous(self):
+        rep, ambiguous = classify_repeats(parse("aa{9}"))[0]
+        assert ambiguous is True
+
+    def test_block_after_star_loop(self):
+        # (xb)* before b{5}: the loop's last char x... preceding set is b
+        rep, ambiguous = classify_repeats(parse("x(ab)*b{5}"))[0]
+        assert ambiguous is True  # 'b' loops precede a 'b' block
+
+
+class TestResources:
+    def test_unambiguous_costs_one_counter(self):
+        ruleset = compile_cnt(["xa{100}y"])
+        regex = ruleset.regexes[0]
+        assert regex.counters == 1
+        assert regex.stes < 10  # body + literals, not 100 states
+
+    def test_ambiguous_unfolds(self):
+        ruleset = compile_cnt(["aa{50}b"])
+        regex = ruleset.regexes[0]
+        assert regex.counters == 0
+        assert regex.stes >= 50
+
+    def test_mixed_fig12_shape(self):
+        ruleset = compile_cnt(["a" * 16 + "a{64}b{256}"])
+        regex = ruleset.regexes[0]
+        assert regex.counters == 1  # b{256}
+        assert 64 + 16 <= regex.stes <= 64 + 16 + 4  # a{64} unfolded
+
+    def test_counter_count_flat_in_bound(self):
+        """A counter element handles any bound — CNT's one advantage."""
+        small = compile_cnt(["xa{64}y"]).regexes[0]
+        large = compile_cnt(["xa{2000}y"]).regexes[0]
+        assert small.counters == large.counters == 1
+        assert small.stes == large.stes
+
+    def test_bad_pattern_rejected(self):
+        ruleset = compile_cnt(["(", "ok"])
+        assert 0 in ruleset.rejected
+        assert len(ruleset.regexes) == 1
+
+
+class TestSimulation:
+    def test_matching_correct(self):
+        patterns = ["xa{20}y"]
+        data = b"x" + b"a" * 20 + b"y" + b"zzz"
+        report = simulate_cnt(patterns, data)
+        assert report.matches == 1
+        assert report.architecture == "CNT"
+
+    def test_energy_positive(self):
+        rng = random.Random(1)
+        data = bytes(rng.choice(b"xay") for _ in range(600))
+        report = simulate_cnt(["xa{20}y", "y{8}x"], data)
+        assert report.total_energy_j > 0
+        assert report.area_mm2 > 0
+
+    def test_area_grows_with_ambiguous_bound(self):
+        small = simulate_cnt(["aa{32}b"], b"ab" * 50)
+        large = simulate_cnt(["aa{512}b"], b"ab" * 50)
+        assert large.area_mm2 >= small.area_mm2

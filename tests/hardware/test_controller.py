@@ -1,0 +1,64 @@
+"""Global Controller / latency LUT tests (§6)."""
+
+import pytest
+
+from repro.hardware.controller import LUT_ENTRIES, ArrayController, build_controllers
+from repro.hardware.specs import StallModel
+
+MODEL = StallModel()
+
+
+class TestLUT:
+    def test_one_entry_per_tile_pair(self):
+        controller = ArrayController([8, 2, 0, 0, 4, 4], MODEL)
+        assert len(controller.lut) == 3
+
+    def test_pair_takes_worst_latency(self):
+        controller = ArrayController([8, 2], MODEL)
+        assert controller.lut[0] == MODEL.stall_cycles(8)
+        assert controller.lut_entry(0) == controller.lut_entry(1)
+
+    def test_at_most_eight_entries(self):
+        controller = ArrayController([1] * 16, MODEL)
+        assert len(controller.lut) == LUT_ENTRIES
+        with pytest.raises(ValueError):
+            ArrayController([1] * 17, MODEL)
+
+
+class TestStallDecision:
+    def test_no_activation_no_stall(self):
+        controller = ArrayController([8, 8], MODEL)
+        assert controller.stall_for([]) == 0
+        assert controller.stall_events == 0
+
+    def test_stall_uses_activated_tiles_only(self):
+        controller = ArrayController([8, 8, 0, 0], MODEL)
+        # only the zero-latency pair activated
+        assert controller.stall_for([2]) == 0
+        # the slow pair activated
+        assert controller.stall_for([0]) == MODEL.stall_cycles(8)
+
+    def test_worst_activated_wins(self):
+        controller = ArrayController([2, 2, 8, 8], MODEL)
+        both = controller.stall_for([0, 2])
+        assert both == MODEL.stall_cycles(8)
+
+    def test_statistics_accumulate(self):
+        controller = ArrayController([8, 8], MODEL)
+        controller.stall_for([0])
+        controller.stall_for([1])
+        assert controller.stall_events == 2
+        assert controller.stall_cycles_total == 2 * MODEL.stall_cycles(8)
+
+
+class TestBuilder:
+    def test_splits_by_array(self):
+        controllers = build_controllers([8] * 20, tiles_per_array=16, stall_model=MODEL)
+        assert len(controllers) == 2
+        assert len(controllers[0].tile_swap_words) == 16
+        assert len(controllers[1].tile_swap_words) == 4
+
+    def test_empty_mapping_gets_inert_controller(self):
+        controllers = build_controllers([], tiles_per_array=16, stall_model=MODEL)
+        assert len(controllers) == 1
+        assert controllers[0].stall_for([]) == 0

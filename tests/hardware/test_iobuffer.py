@@ -1,0 +1,145 @@
+"""I/O buffer hierarchy tests (§6, Fig. 8)."""
+
+import pytest
+
+from repro.hardware.iobuffer import (
+    ARRAY_FIFO_ENTRIES,
+    ARRAY_FIFO_REFILL_THRESHOLD,
+    BANK_OUTPUT_ENTRIES,
+    ArrayInputFIFO,
+    BankInputBuffer,
+    OutputPath,
+    replay_io,
+)
+
+
+class TestBankInputBuffer:
+    def test_initial_fill(self):
+        bank = BankInputBuffer(dma_latency=10)
+        bank.attach_source(1000)
+        assert bank.available == 64  # one ping-pong half
+        assert bank.dma_transfers == 1
+
+    def test_refill_after_latency(self):
+        bank = BankInputBuffer(dma_latency=3)
+        bank.attach_source(1000)
+        for _ in range(3):
+            bank.tick()
+        assert bank.available == 128
+
+    def test_serve_decrements(self):
+        bank = BankInputBuffer()
+        bank.attach_source(100)
+        granted = bank.serve(4)
+        assert granted == 4
+        assert bank.total_supplied == 4
+
+    def test_serve_limited_by_availability(self):
+        bank = BankInputBuffer()
+        bank.attach_source(2)
+        assert bank.serve(4) == 2
+        assert bank.serve(4) == 0
+
+    def test_source_exhaustion_stops_dma(self):
+        bank = BankInputBuffer(dma_latency=1)
+        bank.attach_source(64)
+        for _ in range(10):
+            bank.tick()
+        assert bank.dma_transfers == 1
+        assert bank.available == 64
+
+
+class TestArrayInputFIFO:
+    def test_refill_threshold(self):
+        fifo = ArrayInputFIFO(index=0)
+        assert fifo.wants_refill
+        fifo.refill(ARRAY_FIFO_REFILL_THRESHOLD)
+        assert not fifo.wants_refill
+
+    def test_overflow_rejected(self):
+        fifo = ArrayInputFIFO(index=0)
+        with pytest.raises(ValueError):
+            fifo.refill(ARRAY_FIFO_ENTRIES + 1)
+
+    def test_broadcast_consumes(self):
+        fifo = ArrayInputFIFO(index=0)
+        fifo.refill(2)
+        assert fifo.broadcast(stalled=False)
+        assert fifo.occupancy == 1
+
+    def test_stall_blocks_broadcast(self):
+        fifo = ArrayInputFIFO(index=0)
+        fifo.refill(2)
+        assert not fifo.broadcast(stalled=True)
+        assert fifo.occupancy == 2
+
+    def test_underrun_counted(self):
+        fifo = ArrayInputFIFO(index=0)
+        assert not fifo.broadcast(stalled=False)
+        assert fifo.underrun_cycles == 1
+
+
+class TestOutputPath:
+    def test_push_and_drain(self):
+        output = OutputPath(num_arrays=2)
+        assert output.push(0, 1)
+        output.tick()
+        assert output.array_fifos[0] == 0
+        assert output.bank_fifo == 1
+
+    def test_full_array_fifo_stalls(self):
+        output = OutputPath(num_arrays=1)
+        assert output.push(0, 2)
+        assert not output.push(0, 1)  # 2-entry FIFO full
+        assert output.full_stalls[0] == 1
+
+    def test_bank_dma_when_full(self):
+        output = OutputPath(num_arrays=1)
+        for _ in range(BANK_OUTPUT_ENTRIES):
+            assert output.push(0, 1)
+            output.tick()
+        assert output.dma_flushes == 1
+        assert output.reports_out == BANK_OUTPUT_ENTRIES
+
+    def test_flush_recovers_everything(self):
+        output = OutputPath(num_arrays=2)
+        output.push(0, 2)
+        output.push(1, 1)
+        output.flush()
+        assert output.reports_out == 3
+
+
+class TestReplay:
+    def test_all_symbols_broadcast(self):
+        stats = replay_io(500, [0] * 500)
+        assert stats.symbols_broadcast == 500
+
+    def test_stalls_lengthen_replay(self):
+        smooth = replay_io(300, [0] * 300)
+        stalled = replay_io(300, [2] * 300)
+        assert stalled.cycles > smooth.cycles
+
+    def test_dma_transfer_count(self):
+        stats = replay_io(640, [0] * 640)
+        assert stats.dma_transfers == 10  # 640 symbols / 64 per half
+
+    def test_reports_flow_through(self):
+        stats = replay_io(
+            200, [0] * 200, report_schedule={10: 1, 50: 1, 51: 1}
+        )
+        assert stats.output_dma_flushes == 0  # 3 reports < 64-entry FIFO
+        assert stats.output_full_stalls == 0
+
+    def test_burst_reports_stall(self):
+        # Three reports in one cycle exceed the 2-entry array FIFO.
+        stats = replay_io(100, [0] * 100, report_schedule={10: 3})
+        assert stats.output_full_stalls >= 1
+
+    def test_fifo_never_overflows(self):
+        stats = replay_io(400, [1, 0, 3, 0] * 100)
+        assert stats.max_fifo_occupancy <= ARRAY_FIFO_ENTRIES
+
+    def test_slow_dma_causes_underruns(self):
+        fast = replay_io(500, [0] * 500, dma_latency=4)
+        slow = replay_io(500, [0] * 500, dma_latency=200)
+        assert slow.underrun_cycles > fast.underrun_cycles

@@ -1,0 +1,78 @@
+"""Naïve PE-array design tests (Fig. 3(b), Table 1)."""
+
+import random
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_pattern
+from repro.hardware.naive import NaiveMachine
+
+OPTIONS = CompilerOptions(bv_size=8, unfold_threshold=2)
+
+
+def machine(pattern):
+    return NaiveMachine(compile_pattern(pattern, options=OPTIONS).nbva)
+
+
+class TestTable1Semantics:
+    """The a(sigma a){3}b walk over 'abaaabab' (§3, Table 1)."""
+
+    def setup_method(self):
+        self.compiled = compile_pattern("a(.a){3}b", options=OPTIONS)
+        self.machine = NaiveMachine(self.compiled.nbva)
+        self.machine.reset()
+        self.rows = [self.machine.step(s) for s in b"abaaabab"]
+
+    def test_report_on_final_b(self):
+        assert [row.report for row in self.rows] == [False] * 7 + [True]
+
+    def test_ste1_active_on_every_a(self):
+        # state 0 is the 'a' STE, available every cycle (initial)
+        actives = [row.active[0] for row in self.rows]
+        assert actives == [s == ord("a") for s in b"abaaabab"]
+
+    def test_pe_ops_match_design(self):
+        ops = {op for row in self.rows for (_, _, op, _) in row.pe_outputs}
+        assert ops == {"set1", "shift", "copy", "r(3)"}
+
+    def test_vector_progression(self):
+        """The sigma-state vector accumulates overlapping counts: by the
+        5th symbol it holds {1,2,3} ([1,1,1]) as in Table 1's row 5."""
+        sigma = 1  # the sigma position in a(.a){3}b
+        # After 'abaaa' (row index 4) the aggregated ->bv of the sigma
+        # state is [1,1,1].
+        assert self.rows[4].bv_out[sigma] == 0b111
+
+    def test_availability_not_gated_by_reads(self):
+        """Table 1 row 6: STE4 is active although the r(3) read failed in
+        row 5 — availability flows through the plain crossbar."""
+        final_state = max(self.compiled.nbva.final)
+        assert self.rows[5].active[final_state]
+        assert not self.rows[5].report  # but its vector stayed zero
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "pattern",
+        ["ab{6}c", "a{8}", "ab{1,8}c", "(ab){6}", "a{5,}b", "a(.a){3}b"],
+    )
+    def test_matches_nbva_engine(self, pattern):
+        compiled = compile_pattern(pattern, options=OPTIONS)
+        machine = NaiveMachine(compiled.nbva)
+        rng = random.Random(42)
+        for _ in range(10):
+            data = bytes(rng.choice(b"abc") for _ in range(40))
+            assert machine.match_ends(data) == compiled.nbva.match_ends(data)
+
+
+class TestCostModel:
+    def test_pe_count_is_transition_count(self):
+        compiled = compile_pattern("ab{8}c", options=OPTIONS)
+        assert NaiveMachine(compiled.nbva).num_pes() == len(
+            compiled.nbva.transitions
+        )
+
+    def test_pe_array_quadratic(self):
+        """The §3 argument: a full tile needs O(n^2) PEs."""
+        assert NaiveMachine.pe_array_size(256) == 65536
+        assert NaiveMachine.pe_array_size(16) == 256

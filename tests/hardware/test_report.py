@@ -1,0 +1,76 @@
+"""SimulationReport metric-derivation tests."""
+
+import pytest
+
+from repro.hardware.report import SimulationReport
+
+
+def make_report(**overrides):
+    base = dict(
+        architecture="X",
+        symbols=1000,
+        system_cycles=1000,
+        clock_hz=1e9,
+        dynamic_energy_j=1e-9,
+        leakage_energy_j=1e-10,
+        area_mm2=2.0,
+    )
+    base.update(overrides)
+    return SimulationReport(**base)
+
+
+class TestDerivedMetrics:
+    def test_time(self):
+        assert make_report().time_s == pytest.approx(1e-6)
+
+    def test_total_energy(self):
+        assert make_report().total_energy_j == pytest.approx(1.1e-9)
+
+    def test_energy_per_symbol(self):
+        report = make_report()
+        assert report.energy_per_symbol_j == pytest.approx(1.1e-12)
+        assert report.energy_per_symbol_nj == pytest.approx(1.1e-3)
+
+    def test_throughput(self):
+        report = make_report()
+        assert report.throughput_sym_per_s == pytest.approx(1e9)
+        assert report.throughput_gbps == pytest.approx(8.0)
+
+    def test_stalls_lower_throughput(self):
+        stalled = make_report(system_cycles=2000)
+        assert stalled.throughput_gbps == pytest.approx(4.0)
+
+    def test_power(self):
+        assert make_report().power_w == pytest.approx(1.1e-9 / 1e-6)
+
+    def test_compute_density(self):
+        assert make_report().compute_density_gbps_mm2 == pytest.approx(4.0)
+
+    def test_edp(self):
+        assert make_report().edp == pytest.approx(1.1e-9 * 1e-6)
+
+    def test_fom(self):
+        report = make_report()
+        assert report.fom == pytest.approx(1.1e-9 * 2.0 / 8.0)
+
+    def test_zero_throughput_fom_infinite(self):
+        report = make_report(symbols=0, system_cycles=0)
+        assert report.fom == float("inf")
+
+
+class TestNormalisation:
+    def test_normalized_to(self):
+        mine = make_report(dynamic_energy_j=5e-10, leakage_energy_j=0.0)
+        base = make_report(dynamic_energy_j=1e-9, leakage_energy_j=0.0)
+        norm = mine.normalized_to(base)
+        assert norm["energy_per_symbol"] == pytest.approx(0.5)
+        assert norm["area"] == pytest.approx(1.0)
+        assert norm["throughput"] == pytest.approx(1.0)
+        assert set(norm) == {
+            "area",
+            "energy_per_symbol",
+            "power",
+            "compute_density",
+            "throughput",
+            "fom",
+        }

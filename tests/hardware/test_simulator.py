@@ -1,0 +1,149 @@
+"""Cycle-level simulator tests for BVAP, BVAP-S, and the baselines."""
+
+import random
+
+import pytest
+
+from repro.compiler import compile_ruleset
+from repro.hardware.simulator import (
+    BaselineSimulator,
+    BVAPSimulator,
+    SimOptions,
+    compile_baseline,
+)
+from repro.hardware.specs import BVAP_SPEC, CA_SPEC, CAMA_SPEC, EAP_SPEC
+
+PATTERNS = [
+    "ab{60}c",
+    "hello",
+    "x[0-9]{12}y",
+    # Large bounded repetitions: the workload class BVAP is built for —
+    # they cost the unfolding baselines whole extra tiles.
+    "q.{600}r",
+    "w.{900}v",
+]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = random.Random(0)
+    return bytes(rng.choice(b"abchelox0123456789 ") for _ in range(1500))
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    return compile_ruleset(PATTERNS)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return compile_baseline(PATTERNS)
+
+
+class TestBVAPSimulator:
+    def test_match_counts_equal_functional_model(self, ruleset, data):
+        report = BVAPSimulator(ruleset).run(data)
+        expected = sum(
+            len(regex.ah.match_ends(data)) for regex in ruleset.regexes
+        )
+        assert report.matches == expected
+
+    def test_cycles_at_least_symbols(self, ruleset, data):
+        report = BVAPSimulator(ruleset).run(data)
+        assert report.system_cycles >= report.symbols == len(data)
+        assert report.stall_cycles == report.system_cycles - len(data)
+
+    def test_energy_positive_and_decomposed(self, ruleset, data):
+        report = BVAPSimulator(ruleset).run(data)
+        assert report.dynamic_energy_j > 0
+        assert report.leakage_energy_j > 0
+        assert report.total_energy_j == pytest.approx(
+            report.dynamic_energy_j + report.leakage_energy_j
+        )
+
+    def test_hot_input_stalls_more(self, ruleset):
+        cold = b"z" * 800
+        hot = b"a" + b"b" * 799  # keeps the b{60} counter running
+        cold_report = BVAPSimulator(ruleset).run(cold)
+        hot_report = BVAPSimulator(ruleset).run(hot)
+        assert hot_report.stall_cycles > cold_report.stall_cycles
+        assert hot_report.bvm_activations > cold_report.bvm_activations
+
+    def test_event_driven_bvm(self, ruleset):
+        """No BV activity => no stalls, no BVM activations (§6)."""
+        report = BVAPSimulator(ruleset).run(b"z" * 500)
+        assert report.stall_cycles == 0
+        assert report.bvm_activations == 0
+
+    def test_runs_are_reproducible(self, ruleset, data):
+        a = BVAPSimulator(ruleset).run(data)
+        b = BVAPSimulator(ruleset).run(data)
+        assert a.total_energy_j == b.total_energy_j
+        assert a.system_cycles == b.system_cycles
+
+
+class TestBVAPStreaming:
+    def test_constant_throughput(self, ruleset, data):
+        report = BVAPSimulator(ruleset, streaming=True).run(data)
+        assert report.system_cycles == len(data)  # never stalls
+        assert report.architecture == "BVAP-S"
+
+    def test_slower_clock_lower_power(self, ruleset, data):
+        normal = BVAPSimulator(ruleset).run(data)
+        streaming = BVAPSimulator(ruleset, streaming=True).run(data)
+        assert streaming.clock_hz < normal.clock_hz
+        assert streaming.power_w < normal.power_w
+        assert streaming.throughput_gbps < normal.throughput_gbps
+
+    def test_lower_voltage_saves_energy(self, ruleset, data):
+        normal = BVAPSimulator(ruleset).run(data)
+        streaming = BVAPSimulator(ruleset, streaming=True).run(data)
+        assert (
+            streaming.dynamic_energy_j < normal.dynamic_energy_j
+        )  # 0.65V SM/ST rails
+
+
+class TestBaselineSimulator:
+    def test_match_counts_equal_nfa(self, baseline, data):
+        report = BaselineSimulator(CAMA_SPEC, baseline).run(data)
+        expected = sum(len(nfa.match_ends(data)) for nfa in baseline.nfas)
+        assert report.matches == expected
+
+    def test_one_symbol_per_cycle(self, baseline, data):
+        report = BaselineSimulator(CA_SPEC, baseline).run(data)
+        assert report.system_cycles == len(data)
+
+    def test_architecture_names(self, baseline, data):
+        for spec in (CA_SPEC, EAP_SPEC, CAMA_SPEC):
+            assert BaselineSimulator(spec, baseline).run(data).architecture == spec.name
+
+    def test_rejects_unfoldable_regexes(self):
+        ruleset = compile_baseline(["a.{8000}b", "ok"])
+        assert 0 in ruleset.rejected
+        assert len(ruleset.nfas) == 1
+
+
+class TestComparative:
+    """The headline orderings the paper's Fig. 14 relies on."""
+
+    def test_bvap_needs_fewer_tiles(self, ruleset, baseline):
+        assert ruleset.mapping.num_tiles <= baseline.mapping.num_tiles
+
+    def test_bvap_beats_cama_energy(self, ruleset, baseline, data):
+        bvap = BVAPSimulator(ruleset).run(data)
+        cama = BaselineSimulator(CAMA_SPEC, baseline).run(data)
+        assert bvap.energy_per_symbol_j < cama.energy_per_symbol_j
+
+    def test_cama_beats_sram_designs(self, baseline, data):
+        cama = BaselineSimulator(CAMA_SPEC, baseline).run(data)
+        ca = BaselineSimulator(CA_SPEC, baseline).run(data)
+        eap = BaselineSimulator(EAP_SPEC, baseline).run(data)
+        assert cama.energy_per_symbol_j < eap.energy_per_symbol_j
+        assert eap.energy_per_symbol_j <= ca.energy_per_symbol_j
+
+    def test_prorated_area_smaller(self, ruleset, data):
+        full = BVAPSimulator(ruleset).run(data)
+        prorated = BVAPSimulator(
+            ruleset, options=SimOptions(prorate_area=True)
+        ).run(data)
+        assert prorated.area_mm2 < full.area_mm2

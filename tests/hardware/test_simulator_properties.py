@@ -1,0 +1,106 @@
+"""Property-style invariants of the cycle-level simulators."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_ruleset
+from repro.hardware.simulator import (
+    BaselineSimulator,
+    BVAPSimulator,
+    SimOptions,
+    compile_baseline,
+)
+from repro.hardware.specs import CAMA_SPEC
+
+PATTERNS = ["ab{20}c", "x[yz]{8}", "hello"]
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    return compile_ruleset(PATTERNS)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return compile_baseline(PATTERNS)
+
+
+class TestMonotonicity:
+    def test_energy_monotone_in_length(self, ruleset):
+        rng = random.Random(0)
+        data = bytes(rng.choice(b"abcxyzhel") for _ in range(1200))
+        short = BVAPSimulator(ruleset).run(data[:400])
+        full = BVAPSimulator(ruleset).run(data)
+        assert full.total_energy_j > short.total_energy_j
+        assert full.system_cycles >= short.system_cycles
+
+    def test_cycles_bounded(self, ruleset):
+        """Cycles never exceed symbols x (1 + worst stall)."""
+        data = b"a" + b"b" * 499
+        report = BVAPSimulator(ruleset).run(data)
+        worst = max(
+            c.lut_entry(t)
+            for sim in [BVAPSimulator(ruleset)]
+            for c in sim.controllers
+            for t in range(len(c.tile_swap_words))
+        ) if BVAPSimulator(ruleset).controllers[0].tile_swap_words else 0
+        assert report.system_cycles <= len(data) * (1 + max(worst, 0) + 1)
+
+    def test_hotter_input_never_cheaper_sm_st(self, baseline):
+        cold = b"q" * 600
+        hot = (b"hello" + b"q") * 100
+        cold_report = BaselineSimulator(CAMA_SPEC, baseline).run(cold)
+        hot_report = BaselineSimulator(CAMA_SPEC, baseline).run(hot)
+        assert hot_report.dynamic_energy_j > cold_report.dynamic_energy_j
+
+
+class TestConservation:
+    def test_match_counts_independent_of_costs(self, ruleset):
+        """Timing/energy options never change functional results."""
+        data = b"zab" + b"b" * 19 + b"c xyyyyyyyyz hello"
+        plain = BVAPSimulator(ruleset).run(data)
+        prorated = BVAPSimulator(
+            ruleset, options=SimOptions(prorate_area=True)
+        ).run(data)
+        streaming = BVAPSimulator(ruleset, streaming=True).run(data)
+        assert plain.matches == prorated.matches == streaming.matches
+
+    def test_prorated_never_exceeds_full(self, ruleset):
+        data = b"abchello" * 100
+        full = BVAPSimulator(ruleset).run(data)
+        prorated = BVAPSimulator(
+            ruleset, options=SimOptions(prorate_area=True)
+        ).run(data)
+        assert prorated.area_mm2 <= full.area_mm2
+        assert prorated.total_energy_j <= full.total_energy_j
+
+    def test_run_does_not_mutate_state_across_calls(self, ruleset):
+        data = b"a" + b"b" * 20 + b"c"
+        first = BVAPSimulator(ruleset).run(data)
+        simulator = BVAPSimulator(ruleset)
+        simulator.run(b"junk junk junk")
+        second = simulator.run(data)
+        assert first.matches == second.matches
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    length=st.integers(min_value=1, max_value=300),
+)
+def test_simulated_matches_equal_functional(seed, length):
+    """For random inputs, the simulator's match count equals the sum of
+    the functional engines' match streams."""
+    ruleset = compile_ruleset(PATTERNS)
+    rng = random.Random(seed)
+    data = bytes(rng.choice(b"abcxyzhelo ") for _ in range(length))
+    report = BVAPSimulator(ruleset).run(data)
+    functional = sum(len(r.ah.match_ends(data)) for r in ruleset.regexes)
+    assert report.matches == functional

@@ -1,0 +1,90 @@
+"""Architecture tile-spec tests: areas, energies, and the stall model."""
+
+import pytest
+
+from repro.hardware import circuits
+from repro.hardware.specs import (
+    BVAP_SPEC,
+    CA_SPEC,
+    CAMA_SPEC,
+    EAP_SPEC,
+    StallModel,
+    wire_energy_pj,
+)
+
+
+class TestAreas:
+    def test_ca_largest_tile(self):
+        assert CA_SPEC.area_um2 > EAP_SPEC.area_um2 > CAMA_SPEC.area_um2
+
+    def test_bvap_tile_about_1_5x_cama(self):
+        """§8: a BVAP tile is ~1.5x a CAMA tile."""
+        ratio = BVAP_SPEC.area_um2 / CAMA_SPEC.area_um2
+        assert 1.25 <= ratio <= 1.6
+
+    def test_bvm_included_only_in_bvap(self):
+        delta = BVAP_SPEC.datapath_area_um2 - CAMA_SPEC.datapath_area_um2
+        assert delta == pytest.approx(circuits.BVM_AREA_UM2)
+
+
+class TestEnergies:
+    def test_per_symbol_ordering(self):
+        """CAMA's CAM matching is far cheaper than SRAM matching (§2)."""
+        activity = 0.05
+        ca = CA_SPEC.symbol_energy_pj(activity)
+        eap = EAP_SPEC.symbol_energy_pj(activity)
+        cama = CAMA_SPEC.symbol_energy_pj(activity)
+        assert ca > eap > cama
+        assert ca / cama > 4  # the gap behind the ~95% vs ~67% savings
+
+    def test_energy_rises_with_activity(self):
+        for spec in (CA_SPEC, EAP_SPEC, CAMA_SPEC, BVAP_SPEC):
+            assert spec.symbol_energy_pj(0.5) > spec.symbol_energy_pj(0.0)
+
+    def test_voltage_scaling(self):
+        low = BVAP_SPEC.symbol_energy_pj(0.1, vdd=circuits.BVAP_S_VDD)
+        high = BVAP_SPEC.symbol_energy_pj(0.1)
+        assert low == pytest.approx(high * (0.65 / 0.9) ** 2)
+
+    def test_wire_energy_linear_in_activity(self):
+        assert wire_energy_pj(10) == pytest.approx(2 * wire_energy_pj(5))
+
+
+class TestLeakage:
+    def test_bvap_leaks_more_than_cama(self):
+        assert BVAP_SPEC.leakage_w() > CAMA_SPEC.leakage_w()
+
+    def test_ca_leaks_most(self):
+        assert CA_SPEC.leakage_w() > EAP_SPEC.leakage_w() > CAMA_SPEC.leakage_w()
+
+
+class TestStallModel:
+    def test_no_swap_no_stall(self):
+        model = StallModel()
+        assert model.stall_cycles(0) == 0
+
+    def test_stall_grows_with_words(self):
+        model = StallModel()
+        assert model.stall_cycles(8) > model.stall_cycles(2)
+
+    def test_latency_cycles(self):
+        model = StallModel()
+        # Read(2) + words + pipeline fill(2)
+        assert model.bvm_latency_cycles(8) == 12
+        assert model.bvm_latency_cycles(1) == 5
+
+    def test_buffering_hides_small_activations(self):
+        model = StallModel(hidden_cycles=2)
+        # 1-word swap: 5 BV cycles = 2 system cycles, fully hidden
+        assert model.stall_cycles(1) == 0
+
+    def test_streaming_clock_is_bvm_latency(self):
+        """BVAP-S: bit-vector processing becomes the critical path."""
+        model = StallModel()
+        clock = model.streaming_clock_hz(8)
+        assert clock == pytest.approx(5e9 / 12)
+        assert clock < model.system_clock_hz / 2
+
+    def test_clock_values_from_paper(self):
+        assert BVAP_SPEC.clock_hz == 2.0e9
+        assert CAMA_SPEC.clock_hz > BVAP_SPEC.clock_hz

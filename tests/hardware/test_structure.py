@@ -1,0 +1,79 @@
+"""Structural hierarchy tests (§6, Fig. 8)."""
+
+import pytest
+
+from repro.hardware import circuits
+from repro.hardware.structure import (
+    ArrayStructure,
+    BankStructure,
+    TileStructure,
+    bank_for_mapping,
+)
+
+
+class TestTile:
+    def test_breakdown_components(self):
+        breakdown = TileStructure().area_breakdown_um2()
+        assert set(breakdown) == {"cam", "rcb", "bvm", "periphery"}
+        assert breakdown["bvm"] == circuits.BVM_AREA_UM2
+
+    def test_fcb_mode_gates_leakage_not_area(self):
+        normal = TileStructure()
+        gated = TileStructure(fcb_mode=True)
+        assert gated.area_um2() == normal.area_um2()
+        assert gated.leakage_w() < normal.leakage_w()
+
+
+class TestArray:
+    def test_sixteen_tiles_default(self):
+        assert len(ArrayStructure().tiles) == 16
+
+    def test_rejects_too_many_tiles(self):
+        with pytest.raises(ValueError):
+            ArrayStructure(tiles=[TileStructure() for _ in range(17)])
+
+    def test_control_overhead_below_one_percent(self):
+        """§6: the stall control logic costs <1% of the array."""
+        assert ArrayStructure().control_overhead_fraction() < 0.01
+
+    def test_area_dominated_by_tiles(self):
+        breakdown = ArrayStructure().area_breakdown_um2()
+        assert breakdown["tiles"] > 0.8 * sum(breakdown.values())
+
+
+class TestBank:
+    def test_paper_capacities(self):
+        capacity = BankStructure().capacity()
+        assert capacity["stes"] == 16384
+        assert capacity["bvs"] == 3072
+        assert capacity["max_repetition_bound_per_tile"] == 3072
+
+    def test_rejects_too_many_arrays(self):
+        with pytest.raises(ValueError):
+            BankStructure(arrays=[ArrayStructure() for _ in range(5)])
+
+    def test_area_positive(self):
+        assert BankStructure().area_mm2() > 1.0
+
+
+class TestBuilder:
+    def test_partial_bank(self):
+        bank = bank_for_mapping(20)
+        assert len(bank.arrays) == 2
+        assert bank.capacity()["tiles"] == 20
+
+    def test_fcb_pairs_marked(self):
+        bank = bank_for_mapping(4, fcb_pairs=1)
+        modes = [t.fcb_mode for a in bank.arrays for t in a.tiles]
+        assert modes == [True, True, False, False]
+
+    def test_rejects_over_capacity(self):
+        with pytest.raises(ValueError):
+            bank_for_mapping(65)
+
+    def test_fcb_mode_lowers_bank_leakage(self):
+        normal = bank_for_mapping(8)
+        gated = bank_for_mapping(8, fcb_pairs=4)
+        normal_leak = sum(a.leakage_w() for a in normal.arrays)
+        gated_leak = sum(a.leakage_w() for a in gated.arrays)
+        assert gated_leak < normal_leak

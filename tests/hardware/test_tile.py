@@ -1,0 +1,88 @@
+"""Tile-level joint execution tests."""
+
+import random
+
+import pytest
+
+from repro.compiler import compile_pattern
+from repro.hardware.tile import TileCapacityError, TileEngine
+
+PATTERNS = ["ab{20}c", "hello", "x[yz]{6}"]
+
+
+def build_engine(patterns=PATTERNS):
+    automata = [
+        (rid, compile_pattern(p, rid).ah) for rid, p in enumerate(patterns)
+    ]
+    return automata, TileEngine(automata)
+
+
+class TestSlots:
+    def test_every_state_gets_a_slot(self):
+        automata, engine = build_engine()
+        total = sum(ah.num_states for _, ah in automata)
+        assert engine.occupancy.stes == total
+        slots = {
+            engine.slot_of(rid, s)
+            for rid, ah in automata
+            for s in range(ah.num_states)
+        }
+        assert slots == set(range(total))
+
+    def test_bv_slots_only_for_bv_stes(self):
+        automata, engine = build_engine()
+        for rid, ah in automata:
+            for index, state in enumerate(ah.states):
+                slot = engine.bv_slot_of(rid, index)
+                assert (slot is not None) == state.is_bv_ste()
+
+    def test_capacity_enforced(self):
+        patterns = ["a" * 60 for _ in range(5)]  # 300 plain STEs
+        automata = [
+            (rid, compile_pattern(p, rid).ah)
+            for rid, p in enumerate(patterns)
+        ]
+        with pytest.raises(TileCapacityError):
+            TileEngine(automata)
+
+    def test_bv_capacity_enforced(self):
+        patterns = ["ab{1000}c" for _ in range(3)]  # ~32 vector BVs each
+        automata = [
+            (rid, compile_pattern(p, rid).ah)
+            for rid, p in enumerate(patterns)
+        ]
+        with pytest.raises(TileCapacityError):
+            TileEngine(automata, bvs_per_tile=48)
+
+
+class TestJointExecution:
+    def test_matches_equal_per_regex_engines(self):
+        automata, engine = build_engine()
+        rng = random.Random(0)
+        data = bytes(rng.choice(b"abchelxyz ") for _ in range(400))
+        joint = engine.match_stream(data)
+        expected = sorted(
+            (end, rid)
+            for rid, ah in automata
+            for end in ah.match_ends(data)
+        )
+        assert sorted(joint) == expected
+
+    def test_active_vector_reflects_states(self):
+        automata, engine = build_engine(["ab"])
+        engine.reset()
+        engine.step(ord("a"))
+        assert engine.active_count() == 1
+        assert engine.active_slots() == [engine.slot_of(0, 0)]
+
+    def test_active_vector_joint_across_regexes(self):
+        automata, engine = build_engine(["ab", "ax"])
+        engine.reset()
+        engine.step(ord("a"))
+        assert engine.active_count() == 2  # both regexes' first STEs
+
+    def test_reset_clears(self):
+        _, engine = build_engine()
+        engine.step(ord("a"))
+        engine.reset()
+        assert engine.active_vector == 0

@@ -1,0 +1,74 @@
+"""Trace renderer tests for Table 1 / Table 2 regeneration."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_pattern
+from repro.hardware.traces import ah_trace, bits_str, naive_trace
+
+OPTIONS = CompilerOptions(bv_size=8, unfold_threshold=2)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_pattern("a(.a){3}b", options=OPTIONS)
+
+
+class TestBitsStr:
+    def test_format(self):
+        assert bits_str(0b101, 3) == "[1,0,1]"
+        assert bits_str(0, 2) == "[0,0]"
+
+
+class TestNaiveTrace:
+    def test_row_per_symbol(self, compiled):
+        table = naive_trace(compiled.nbva, b"abaaabab")
+        assert len(table.rows) == 8
+        assert table.state_names == ["STE1", "STE2", "STE3", "STE4"]
+
+    def test_report_in_last_row_only(self, compiled):
+        table = naive_trace(compiled.nbva, b"abaaabab")
+        assert [row["report"] for row in table.rows] == [False] * 7 + [True]
+
+    def test_render_is_text(self, compiled):
+        table = naive_trace(compiled.nbva, b"aba")
+        text = table.render()
+        assert "set1" in text and text.count("\n") == 2
+
+
+class TestAHTrace:
+    def test_table2_key_rows(self, compiled):
+        """Spot-check Table 2 values on the AH design."""
+        rows = ah_trace(compiled.ah, b"abaaabab")
+        states = compiled.ah.states
+        # Find the width-3 copy state (STE3).
+        ste3 = next(
+            i for i, s in enumerate(states) if repr(s.action) == "copy" and s.width == 3
+        )
+        ste2b = next(i for i, s in enumerate(states) if repr(s.action) == "shift")
+        # Row 3 (0-indexed 2, input 'a'): bv3 -> [1,0,0] (Table 2 row 3)
+        assert rows[2].bv_in[ste3] == 0b001
+        # Row 5 (input 'a'): bv3 holds [1,1,0]
+        assert rows[4].bv_in[ste3] == 0b011
+        # ->bv2b after row 5: shift produced [0,1,1]
+        assert rows[4].bv_out[ste2b] == 0b110
+
+    def test_report_matches_matcher(self, compiled):
+        rows = ah_trace(compiled.ah, b"abaaabab")
+        assert [r.report for r in rows] == [False] * 7 + [True]
+        assert compiled.ah.match_ends(b"abaaabab") == [7]
+
+    def test_bv_out_respects_linearity(self, compiled):
+        """->bvi equals the action applied to the OR of source vectors."""
+        rows = ah_trace(compiled.ah, b"abaaab")
+        ah = compiled.ah
+        for row in rows:
+            for dst, state in enumerate(ah.states):
+                agg = 1 if dst in ah.injected else 0
+                for src in ah.preds[dst]:
+                    agg |= row.bv_in[src]
+                expected = (
+                    state.action.apply(agg, state.in_width, state.width)
+                    if agg
+                    else 0
+                )
+                assert row.bv_out[dst] == expected

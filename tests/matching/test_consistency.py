@@ -1,0 +1,99 @@
+"""Cross-engine consistency — the paper's §8 functional verification.
+
+Every execution engine in the stack (unfolded NFA, NCA, NBVA, AH-NBVA,
+the instrumented hardware stepper, and the naïve PE-array machine) must
+produce the identical match stream, and that stream must equal the
+brute-force oracle's.  Checked on hand-picked corner cases and on
+Hypothesis-generated regexes and inputs.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata.nca import NCAMatcher
+from repro.compiler import CompilerOptions, compile_ast, compile_pattern
+from repro.compiler.pipeline import build_unfolded_nfa
+from repro.hardware.activity import AHStepper
+from repro.hardware.naive import NaiveMachine
+from repro.matching.oracle import match_ends as oracle_ends
+from repro.regex.generate import random_regex
+from repro.regex.parser import parse
+
+OPTIONS = CompilerOptions(bv_size=8, unfold_threshold=2)
+
+
+def all_engine_ends(compiled, data):
+    return {
+        "nfa": build_unfolded_nfa(compiled.parsed).match_ends(data),
+        "nbva": compiled.nbva.match_ends(data),
+        "nca": NCAMatcher(compiled.nbva).match_ends(data),
+        "ah": compiled.ah.match_ends(data),
+        "stepper": AHStepper(compiled.ah).match_ends(data),
+        "naive": NaiveMachine(compiled.nbva).match_ends(data),
+    }
+
+
+CORNER_CASES = [
+    ("a{3}", b"aaaaa"),
+    ("a{3}", b"aa"),
+    ("a.{3}", b"babaaabaaaa"),  # Fig. 1
+    ("a(.a){3}b", b"abaaabab"),  # Tables 1/2
+    ("ab{2,5}c", b"abbbbbbc abbc abc"),
+    ("ab{2,5}(cd){6}e", b"abb" + b"cd" * 6 + b"e"),
+    ("(a|b){4}c", b"ababc aac"),
+    ("a{2,}b", b"ab aab aaaab"),
+    ("(ab?c){3}", b"abcacabc" + b"acacac"),
+    ("x.{6}y", b"x123456y xy x1234567y"),
+    ("a+b{3}", b"aabbb abbb abb"),
+    ("(a{4}b)+c", b"aaaabaaaabc"),
+    ("a{4}|b{3}", b"aaaa bbb"),
+    ("a?b{3}c", b"abbbc bbbc"),
+]
+
+
+@pytest.mark.parametrize("pattern,data", CORNER_CASES)
+def test_corner_cases(pattern, data):
+    compiled = compile_pattern(pattern, options=OPTIONS)
+    expected = oracle_ends(compiled.parsed, data)
+    for engine, got in all_engine_ends(compiled, data).items():
+        assert got == expected, (pattern, engine, got, expected)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000), data=st.data())
+def test_random_regexes_all_engines_agree(seed, data):
+    rng = random.Random(seed)
+    node = random_regex(rng, alphabet=b"ab", depth=3, max_bound=7)
+    compiled = compile_ast(node, str(node), options=OPTIONS)
+    stream = bytes(
+        data.draw(
+            st.lists(
+                st.sampled_from([ord("a"), ord("b"), ord("c")]),
+                min_size=0,
+                max_size=30,
+            )
+        )
+    )
+    expected = oracle_ends(node, stream)
+    for engine, got in all_engine_ends(compiled, stream).items():
+        assert got == expected, (str(node), engine, stream)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_bv_size_invariance(seed):
+    """Compiling with different bv_size/threshold must not change the
+    language."""
+    rng = random.Random(seed)
+    node = random_regex(rng, alphabet=b"ab", depth=2, max_bound=40)
+    stream = bytes(rng.choice(b"ab") for _ in range(60))
+    results = []
+    for bv_size in (8, 16, 64):
+        for threshold in (2, 8):
+            options = CompilerOptions(bv_size=bv_size, unfold_threshold=threshold)
+            compiled = compile_ast(node, str(node), options=options)
+            results.append(compiled.ah.match_ends(stream))
+    assert all(r == results[0] for r in results), str(node)

@@ -1,0 +1,70 @@
+"""PatternSet public API tests."""
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.matching import ENGINES, Match, PatternSet
+
+
+class TestScan:
+    def test_quickstart(self):
+        ps = PatternSet(["ab{3}c", "xy"])
+        assert [(m.pattern_id, m.end) for m in ps.scan(b"zabbbc xy")] == [
+            (0, 5),
+            (1, 8),
+        ]
+
+    def test_scan_resets_state(self):
+        ps = PatternSet(["ab"])
+        assert ps.scan(b"a") == []
+        assert ps.scan(b"b") == []  # 'a' from the previous scan forgotten
+
+    def test_feed_is_streaming(self):
+        ps = PatternSet(["ab"])
+        ps.reset()
+        assert ps.feed(b"a") == []
+        assert ps.feed(b"b") == [Match(0, 0)]
+
+    def test_match_ends_single_pattern(self):
+        ps = PatternSet(["a{2}"])
+        assert ps.match_ends(b"aaa") == [1, 2]
+
+    def test_count_matches(self):
+        ps = PatternSet(["a", "b"])
+        counts = PatternSet(["a", "b"]).count_matches(b"aab")
+        assert counts == {0: 2, 1: 1}
+
+    def test_patterns_property(self):
+        ps = PatternSet(["a", "b{3}"])
+        assert ps.patterns == ["a", "b{3}"]
+
+
+class TestEngines:
+    def test_all_engines_agree(self):
+        data = b"xx abbbbc abbc ab"
+        results = {
+            engine: PatternSet(["ab{2,4}c"], engine=engine).match_ends(data)
+            for engine in ENGINES
+        }
+        values = list(results.values())
+        assert all(v == values[0] for v in values), results
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError):
+            PatternSet(["a"], engine="quantum")
+
+    def test_options_forwarded(self):
+        ps = PatternSet(
+            ["ab{10}c"], options=CompilerOptions(unfold_threshold=12)
+        )
+        assert ps.compiled[0].num_bv_stes == 0
+
+
+class TestErrors:
+    def test_bad_pattern_raises(self):
+        with pytest.raises(ValueError):
+            PatternSet(["("])
+
+    def test_match_is_value_object(self):
+        assert Match(1, 2) == Match(1, 2)
+        assert Match(1, 2) != Match(1, 3)

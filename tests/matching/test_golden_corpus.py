@@ -1,0 +1,55 @@
+"""Golden corpus: realistic mixed patterns through every engine.
+
+A hand-curated set of rule-like patterns spanning the supported feature
+space, each run over a crafted input that exercises its matches and
+near-misses, verified across all engines and against the oracle.
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_pattern
+from repro.hardware.activity import AHStepper
+from repro.hardware.naive import NaiveMachine
+from repro.matching.oracle import match_ends as oracle_ends
+
+OPTIONS = CompilerOptions(bv_size=16, unfold_threshold=2)
+
+#: (pattern, input) pairs. Inputs are sized for the O(n^3) oracle.
+CORPUS = [
+    # network-rule shapes
+    ("GET /[a-z]{4,12}", b"GET /admin GET /x"),
+    ("Host: .{6}end", b"Host: 123456end"),
+    ("(?i)select.{4}from", b"SELECT ---FROM x"),
+    ("\\x00{4}[\\x80-\\xff]", b"\x00\x00\x00\x00\x90"),
+    # malware-signature shapes
+    ("aa(bb|cc){3}dd", b"aabbccbbdd aaccccccdd"),
+    ("[0-9a-f]{8}", b"deadbeef cafe0123"),
+    ("x{4,}y", b"xxxxy xxxy xxxxxxy"),
+    # bio-motif shapes
+    ("C.{2,4}C.{3}H", b"CaaCxyzH CaaaaaCxxxH"),
+    ("L.{6}L.{6}L", b"LabcdefLghijklL"),
+    # general regex-library shapes
+    ("[a-z]+@[a-z]{2,8}\\.com", b"bob@mail.com a@b.com"),
+    ("\\d{3}-\\d{4}", b"555-1234 55-123"),
+    ("a(b?c){2,5}d", b"abcbccd acbcd"),
+    ("(ab){2}(cd){2}", b"ababcdcd abcdcd"),
+    ("[^x]{5}x", b"abcdex yyyyx"),
+    ("q(.q){3}", b"qaqbqcq qq"),
+]
+
+
+@pytest.mark.parametrize("pattern,data", CORPUS)
+def test_golden_corpus_all_engines(pattern, data):
+    compiled = compile_pattern(pattern, options=OPTIONS)
+    expected = oracle_ends(compiled.parsed, data)
+    assert compiled.nbva.match_ends(data) == expected, "nbva"
+    assert compiled.ah.match_ends(data) == expected, "ah"
+    assert AHStepper(compiled.ah).match_ends(data) == expected, "stepper"
+    assert NaiveMachine(compiled.nbva).match_ends(data) == expected, "naive"
+
+
+@pytest.mark.parametrize("pattern,data", CORPUS)
+def test_golden_corpus_has_matches(pattern, data):
+    """Each corpus entry actually exercises the matcher."""
+    compiled = compile_pattern(pattern, options=OPTIONS)
+    assert oracle_ends(compiled.parsed, data), (pattern, data)

@@ -1,0 +1,81 @@
+"""Brute-force oracle tests, cross-checked against Python's ``re``."""
+
+import re
+
+import pytest
+
+from repro.matching.oracle import match_ends, match_spans
+from repro.regex.parser import parse
+
+
+class TestSpans:
+    def test_epsilon_spans(self):
+        spans = match_spans(parse("a*"), b"bb")
+        assert (0, 0) in spans and (2, 2) in spans
+
+    def test_symbol(self):
+        assert match_spans(parse("a"), b"aba") == {(0, 1), (2, 3)}
+
+    def test_concat(self):
+        assert (0, 2) in match_spans(parse("ab"), b"ab")
+
+    def test_alternation(self):
+        spans = match_spans(parse("a|bb"), b"abb")
+        assert (0, 1) in spans and (1, 3) in spans
+
+    def test_star_closure(self):
+        spans = match_spans(parse("(ab)*"), b"abab")
+        assert (0, 4) in spans and (0, 2) in spans and (1, 1) in spans
+
+    def test_repeat_bounds(self):
+        spans = match_spans(parse("a{2,3}"), b"aaaa")
+        lengths = {j - i for i, j in spans}
+        assert lengths == {2, 3}
+
+    def test_unbounded_repeat(self):
+        spans = match_spans(parse("a{2,}"), b"aaaa")
+        lengths = {j - i for i, j in spans}
+        assert lengths == {2, 3, 4}
+
+
+class TestEnds:
+    def test_excludes_empty_matches(self):
+        assert match_ends(parse("a*"), b"bbb") == []
+
+    def test_end_indices_zero_based(self):
+        assert match_ends(parse("ab"), b"abab") == [1, 3]
+
+
+def re_oracle_ends(pattern: str, data: bytes):
+    """All 0-based end indices of matches, via Python's re (full scan of
+    every span — an implementation wholly unrelated to ours)."""
+    compiled = re.compile(pattern.encode("latin-1"), re.DOTALL)
+    out = set()
+    for start in range(len(data)):
+        for end in range(start + 1, len(data) + 1):
+            if compiled.fullmatch(data, start, end):
+                out.add(end - 1)
+    return sorted(out)
+
+
+@pytest.mark.parametrize(
+    "pattern",
+    [
+        "ab{2,4}c",
+        "a{3}",
+        "(ab|ba)+",
+        "a.b",
+        "x?y{2}",
+        "(a|b){2,5}",
+        "ab*c+",
+        "[ab]{3}c",
+    ],
+)
+def test_oracle_agrees_with_re(pattern):
+    import random
+
+    rng = random.Random(hash(pattern) % 1000)
+    node = parse(pattern)
+    for _ in range(5):
+        data = bytes(rng.choice(b"abcxy") for _ in range(rng.randint(0, 18)))
+        assert match_ends(node, data) == re_oracle_ends(pattern, data), data

@@ -1,0 +1,120 @@
+"""Unit tests for the regex AST and its smart constructors."""
+
+import pytest
+
+from repro.regex import ast
+from repro.regex.charclass import CharClass
+
+A = ast.symbol(CharClass.from_char(ord("a")))
+B = ast.symbol(CharClass.from_char(ord("b")))
+
+
+class TestSmartConstructors:
+    def test_concat_drops_epsilon(self):
+        assert ast.concat(ast.EPSILON, A) is A
+        assert ast.concat(A, ast.EPSILON) is A
+
+    def test_concat_all(self):
+        node = ast.concat_all(A, B, A)
+        assert str(node) == "aba"
+
+    def test_alternation_idempotent(self):
+        assert ast.alternation(A, A) is A
+
+    def test_star_of_star_collapses(self):
+        assert ast.star(ast.star(A)) == ast.star(A)
+
+    def test_optional_of_optional_collapses(self):
+        assert ast.optional(ast.optional(A)) == ast.optional(A)
+
+    def test_repeat_zero_is_epsilon(self):
+        assert ast.repeat(A, 0, 0) == ast.EPSILON
+
+    def test_repeat_one_one_is_inner(self):
+        assert ast.repeat(A, 1, 1) is A
+
+    def test_repeat_zero_one_is_optional(self):
+        assert ast.repeat(A, 0, 1) == ast.optional(A)
+
+    def test_repeat_unbounded_low_zero_is_star(self):
+        assert ast.repeat(A, 0, None) == ast.star(A)
+
+    def test_repeat_unbounded_low_one_is_plus(self):
+        assert ast.repeat(A, 1, None) == ast.plus(A)
+
+    def test_repeat_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ast.Repeat(A, 5, 3)
+        with pytest.raises(ValueError):
+            ast.Repeat(A, -1, 3)
+
+    def test_literal(self):
+        assert str(ast.literal("ab")) == "ab"
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "node,expected",
+        [
+            (ast.EPSILON, True),
+            (A, False),
+            (ast.concat(A, B), False),
+            (ast.alternation(A, ast.EPSILON), True),
+            (ast.star(A), True),
+            (ast.plus(A), False),
+            (ast.optional(A), True),
+            (ast.repeat(A, 0, 5), True),
+            (ast.repeat(A, 2, 5), False),
+            (ast.repeat(ast.optional(A), 2, 5), True),
+        ],
+    )
+    def test_nullable(self, node, expected):
+        assert ast.nullable(node) is expected
+
+
+class TestQueries:
+    def test_walk_preorder(self):
+        node = ast.concat(A, ast.star(B))
+        kinds = [type(n).__name__ for n in node.walk()]
+        assert kinds == ["Concat", "Symbol", "Star", "Symbol"]
+
+    def test_size_counts_nodes(self):
+        assert ast.size(ast.concat(A, B)) == 3
+
+    def test_symbol_count(self):
+        node = ast.concat(A, ast.repeat(B, 2, 9))
+        assert ast.symbol_count(node) == 2
+
+    def test_max_repeat_bound(self):
+        node = ast.concat(ast.repeat(A, 2, 9), ast.repeat(B, 1, 40))
+        assert ast.max_repeat_bound(node) == 40
+
+    def test_max_repeat_bound_unbounded_uses_low(self):
+        assert ast.max_repeat_bound(ast.repeat(A, 7, None)) == 7
+
+    def test_has_bounded_repetition_threshold(self):
+        node = ast.repeat(A, 2, 4)
+        assert ast.has_bounded_repetition(node)
+        assert not ast.has_bounded_repetition(node, threshold=4)
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "build,text",
+        [
+            (lambda: ast.repeat(A, 3, 3), "a{3}"),
+            (lambda: ast.repeat(A, 2, 5), "a{2,5}"),
+            (lambda: ast.Repeat(A, 2, None), "a{2,}"),
+            (lambda: ast.star(ast.concat(A, B)), "(ab)*"),
+            (lambda: ast.alternation(A, B), "a|b"),
+            (lambda: ast.concat(ast.alternation(A, B), A), "(a|b)a"),
+            (lambda: ast.optional(A), "a?"),
+            (lambda: ast.plus(A), "a+"),
+        ],
+    )
+    def test_str(self, build, text):
+        assert str(build()) == text
+
+    def test_operator_sugar(self):
+        assert str(A | B) == "a|b"
+        assert str(A + B) == "ab"

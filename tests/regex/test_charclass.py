@@ -1,0 +1,145 @@
+"""Unit tests for character classes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.regex.charclass import (
+    ALPHABET_SIZE,
+    DIGIT,
+    SPACE,
+    WORD,
+    CharClass,
+    pretty,
+)
+
+
+class TestConstructors:
+    def test_empty(self):
+        cc = CharClass.empty()
+        assert cc.is_empty()
+        assert cc.size() == 0
+        assert 0 not in cc
+
+    def test_any_contains_every_byte(self):
+        cc = CharClass.any()
+        assert cc.is_any()
+        assert all(b in cc for b in range(ALPHABET_SIZE))
+
+    def test_from_char(self):
+        cc = CharClass.from_char(ord("x"))
+        assert cc.size() == 1
+        assert ord("x") in cc
+        assert ord("y") not in cc
+
+    def test_from_char_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CharClass.from_char(256)
+        with pytest.raises(ValueError):
+            CharClass.from_char(-1)
+
+    def test_from_chars(self):
+        cc = CharClass.from_chars(b"abc")
+        assert sorted(cc) == [ord("a"), ord("b"), ord("c")]
+
+    def test_from_range(self):
+        cc = CharClass.from_range(ord("0"), ord("9"))
+        assert cc == DIGIT
+        assert cc.size() == 10
+
+    def test_from_range_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            CharClass.from_range(5, 3)
+
+    def test_from_string(self):
+        assert CharClass.from_string("ab") == CharClass.from_chars(b"ab")
+
+    def test_mask_bounds_checked(self):
+        with pytest.raises(ValueError):
+            CharClass(1 << 256)
+        with pytest.raises(ValueError):
+            CharClass(-1)
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert (DIGIT | CharClass.from_char(ord("a"))).size() == 11
+
+    def test_intersection(self):
+        assert (WORD & DIGIT) == DIGIT
+
+    def test_difference(self):
+        letters = WORD - DIGIT - CharClass.from_char(ord("_"))
+        assert ord("a") in letters
+        assert ord("5") not in letters
+
+    def test_complement_involution(self):
+        assert ~~DIGIT == DIGIT
+
+    def test_complement_partitions(self):
+        assert (DIGIT | ~DIGIT).is_any()
+        assert (DIGIT & ~DIGIT).is_empty()
+
+    def test_overlaps(self):
+        assert WORD.overlaps(DIGIT)
+        assert not DIGIT.overlaps(SPACE)
+
+    def test_issubset(self):
+        assert DIGIT.issubset(WORD)
+        assert not WORD.issubset(DIGIT)
+
+
+class TestIdentity:
+    def test_immutable(self):
+        cc = CharClass.from_char(1)
+        with pytest.raises(AttributeError):
+            cc.mask = 5
+
+    def test_hashable_and_equal(self):
+        assert hash(CharClass.from_chars(b"ab")) == hash(CharClass.from_chars(b"ba"))
+        assert CharClass.from_chars(b"ab") == CharClass.from_chars(b"ba")
+
+    def test_not_equal_to_other_types(self):
+        assert CharClass.from_char(1) != 2
+
+
+class TestRangesAndPretty:
+    def test_ranges_merges_consecutive(self):
+        cc = CharClass.from_chars(b"abcxz")
+        assert cc.ranges() == [
+            (ord("a"), ord("c")),
+            (ord("x"), ord("x")),
+            (ord("z"), ord("z")),
+        ]
+
+    def test_pretty_singleton(self):
+        assert pretty(CharClass.from_char(ord("a"))) == "a"
+
+    def test_pretty_any(self):
+        assert pretty(CharClass.any()) == "."
+
+    def test_pretty_range(self):
+        assert pretty(DIGIT) == "[0-9]"
+
+    def test_pretty_negated_when_smaller(self):
+        cc = ~CharClass.from_char(ord("a"))
+        assert pretty(cc) == "[^a]"
+
+    def test_pretty_escapes_specials(self):
+        assert pretty(CharClass.from_char(ord("]"))) == "\\]"
+
+
+@given(st.sets(st.integers(min_value=0, max_value=255)))
+def test_iteration_roundtrip(byte_set):
+    cc = CharClass.from_chars(byte_set)
+    assert set(cc) == byte_set
+    assert cc.size() == len(byte_set)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=255)),
+    st.sets(st.integers(min_value=0, max_value=255)),
+)
+def test_union_is_set_union(left, right):
+    combined = CharClass.from_chars(left) | CharClass.from_chars(right)
+    assert set(combined) == left | right

@@ -1,0 +1,69 @@
+"""Tests for the random-match sampler and random-regex generator."""
+
+import random
+
+from repro.matching.oracle import match_spans
+from repro.regex import ast
+from repro.regex.generate import random_charclass, random_match, random_regex
+from repro.regex.parser import parse
+
+
+class TestRandomMatch:
+    def test_sample_is_in_language(self):
+        rng = random.Random(0)
+        for pattern in ("a{2,5}b", "(ab|cd)+x?", "a.{3}z", "[0-9]{4}"):
+            node = parse(pattern)
+            for _ in range(20):
+                sample = random_match(node, rng)
+                spans = match_spans(node, sample)
+                assert (0, len(sample)) in spans, (pattern, sample)
+
+    def test_epsilon_samples_empty(self):
+        assert random_match(ast.EPSILON, random.Random(0)) == b""
+
+    def test_unbounded_respects_cap(self):
+        rng = random.Random(1)
+        node = parse("a*")
+        for _ in range(50):
+            assert len(random_match(node, rng, max_unbounded=3)) <= 3
+
+    def test_repeat_counts_within_bounds(self):
+        rng = random.Random(2)
+        node = parse("a{3,6}")
+        for _ in range(50):
+            assert 3 <= len(random_match(node, rng)) <= 6
+
+    def test_deterministic_given_seed(self):
+        node = parse("(ab|c){2,4}")
+        one = [random_match(node, random.Random(7)) for _ in range(5)]
+        two = [random_match(node, random.Random(7)) for _ in range(5)]
+        assert one == two
+
+
+class TestRandomRegex:
+    def test_generates_valid_ast(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            node = random_regex(rng)
+            assert isinstance(node, ast.Regex)
+            text = str(node)
+            assert text  # printable
+
+    def test_samples_match_their_regex(self):
+        rng = random.Random(4)
+        for _ in range(40):
+            node = random_regex(rng, depth=2, max_bound=5)
+            sample = random_match(node, rng)
+            assert (0, len(sample)) in match_spans(node, sample)
+
+    def test_no_counting_when_disallowed(self):
+        rng = random.Random(5)
+        for _ in range(60):
+            node = random_regex(rng, allow_counting=False)
+            assert not any(isinstance(n, ast.Repeat) for n in node.walk())
+
+    def test_charclass_restricted_to_alphabet_or_any(self):
+        rng = random.Random(6)
+        for _ in range(60):
+            cc = random_charclass(rng, b"xyz")
+            assert cc.is_any() or set(cc) <= {ord("x"), ord("y"), ord("z")}

@@ -1,0 +1,228 @@
+"""Unit tests for the PCRE-subset parser."""
+
+import pytest
+
+from repro.regex import ast
+from repro.regex.charclass import DIGIT, SPACE, WORD, CharClass
+from repro.regex.parser import RegexSyntaxError, parse
+
+
+def cc_of(node):
+    assert isinstance(node, ast.Symbol)
+    return node.cc
+
+
+class TestAtoms:
+    def test_literal_bytes(self):
+        assert str(parse("abc")) == "abc"
+
+    def test_dot_is_any(self):
+        assert cc_of(parse(".")).is_any()
+
+    def test_hex_escape(self):
+        assert cc_of(parse("\\x41")) == CharClass.from_char(0x41)
+
+    def test_single_digit_hex_escape(self):
+        assert cc_of(parse("\\xf")) == CharClass.from_char(0xF)
+
+    def test_control_escapes(self):
+        assert cc_of(parse("\\n")) == CharClass.from_char(ord("\n"))
+        assert cc_of(parse("\\t")) == CharClass.from_char(ord("\t"))
+
+    @pytest.mark.parametrize(
+        "escape,expected",
+        [("\\d", DIGIT), ("\\D", ~DIGIT), ("\\w", WORD), ("\\s", SPACE)],
+    )
+    def test_class_escapes(self, escape, expected):
+        assert cc_of(parse(escape)) == expected
+
+    def test_escaped_metachar(self):
+        assert cc_of(parse("\\.")) == CharClass.from_char(ord("."))
+
+    def test_backreference_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(a)\\1")
+
+
+class TestBracketClasses:
+    def test_simple_class(self):
+        assert cc_of(parse("[abc]")) == CharClass.from_chars(b"abc")
+
+    def test_range(self):
+        assert cc_of(parse("[a-f]")) == CharClass.from_range(ord("a"), ord("f"))
+
+    def test_negated(self):
+        cc = cc_of(parse("[^ab]"))
+        assert ord("a") not in cc
+        assert ord("z") in cc
+
+    def test_class_with_escape(self):
+        assert cc_of(parse("[\\d_]")) == DIGIT | CharClass.from_char(ord("_"))
+
+    def test_literal_close_bracket_first(self):
+        assert ord("]") in cc_of(parse("[]a]"))
+
+    def test_literal_dash_at_end(self):
+        assert ord("-") in cc_of(parse("[a-]"))
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[z-a]")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[abc")
+
+
+class TestQuantifiers:
+    def test_star_plus_optional(self):
+        assert str(parse("ab*c+d?")) == "ab*c+d?"
+
+    def test_exact_bound(self):
+        node = parse("a{5}")
+        assert isinstance(node, ast.Repeat)
+        assert (node.low, node.high) == (5, 5)
+
+    def test_range_bound(self):
+        node = parse("a{2,7}")
+        assert (node.low, node.high) == (2, 7)
+
+    def test_at_least_bound(self):
+        node = parse("a{3,}")
+        assert (node.low, node.high) == (3, None)
+
+    def test_bound_zero_one_becomes_optional(self):
+        assert parse("a{0,1}") == ast.optional(parse("a"))
+
+    def test_literal_brace_not_quantifier(self):
+        node = parse("a{x}")
+        symbols = [n for n in node.walk() if isinstance(n, ast.Symbol)]
+        assert [tuple(s.cc)[0] for s in symbols] == [
+            ord("a"), ord("{"), ord("x"), ord("}"),
+        ]
+        # printed form escapes the braces and re-parses identically
+        assert str(parse(str(node))) == str(node)
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{7,2}")
+
+    def test_lazy_suffix_ignored(self):
+        assert str(parse("a+?")) == str(parse("a+"))
+        assert str(parse("a{2,5}?")) == str(parse("a{2,5}"))
+
+    def test_quantifier_without_atom_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("*a")
+
+    def test_quantifier_applies_to_group(self):
+        node = parse("(ab){3}")
+        assert isinstance(node, ast.Repeat)
+        assert str(node.inner) == "ab"
+
+
+class TestGroupsAndAlternation:
+    def test_alternation(self):
+        node = parse("a|bc")
+        assert isinstance(node, ast.Alternation)
+
+    def test_non_capturing_group(self):
+        assert str(parse("(?:ab)+")) == str(parse("(ab)+"))
+
+    def test_inline_case_flag_folds(self):
+        node = parse("(?i:ab)")
+        first = next(n for n in node.walk() if isinstance(n, ast.Symbol))
+        assert ord("a") in first.cc and ord("A") in first.cc
+
+    def test_scoped_flag_restored_after_group(self):
+        node = parse("(?i:a)b")
+        symbols = [n for n in node.walk() if isinstance(n, ast.Symbol)]
+        assert ord("A") in symbols[0].cc
+        assert ord("B") not in symbols[1].cc
+
+    def test_global_inline_flag(self):
+        node = parse("(?i)ab")
+        symbols = [n for n in node.walk() if isinstance(n, ast.Symbol)]
+        assert all(ord(ch.upper()) in s.cc for ch, s in zip("ab", symbols))
+
+    def test_ignorecase_argument(self):
+        node = parse("a[b-d]", ignorecase=True)
+        symbols = [n for n in node.walk() if isinstance(n, ast.Symbol)]
+        assert ord("A") in symbols[0].cc
+        assert ord("C") in symbols[1].cc and ord("c") in symbols[1].cc
+
+    def test_unknown_inline_flag_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(?q)ab")
+
+    def test_dotall_flag_is_noop(self):
+        assert str(parse("(?s:a.b)")) == str(parse("a.b"))
+
+    def test_lookahead_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(?=ab)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(ab")
+        with pytest.raises(RegexSyntaxError):
+            parse("ab)")
+
+    def test_empty_alternative(self):
+        node = parse("a|")
+        assert ast.nullable(node)
+
+
+class TestAnchors:
+    def test_anchors_stripped_by_default(self):
+        assert str(parse("^abc$")) == "abc"
+
+    def test_anchors_rejected_when_disallowed(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("^abc$", allow_anchors=False)
+
+
+class TestErrorReporting:
+    def test_error_carries_position(self):
+        with pytest.raises(RegexSyntaxError) as exc:
+            parse("ab[")
+        assert exc.value.pos >= 2
+        assert "ab[" in str(exc.value)
+
+
+class TestPosixClasses:
+    def test_digit(self):
+        assert cc_of(parse("[[:digit:]]")) == DIGIT
+
+    def test_alpha(self):
+        cc = cc_of(parse("[[:alpha:]]"))
+        assert ord("a") in cc and ord("Z") in cc and ord("5") not in cc
+
+    def test_combined_with_other_items(self):
+        cc = cc_of(parse("[[:digit:]_]"))
+        assert ord("_") in cc and ord("7") in cc
+
+    def test_negated(self):
+        cc = cc_of(parse("[^[:space:]]"))
+        assert ord(" ") not in cc and ord("x") in cc
+
+    def test_xdigit(self):
+        cc = cc_of(parse("[[:xdigit:]]"))
+        assert ord("f") in cc and ord("F") in cc and ord("g") not in cc
+
+    def test_punct_excludes_alnum(self):
+        cc = cc_of(parse("[[:punct:]]"))
+        assert ord("!") in cc and ord("a") not in cc
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[[:bogus:]]")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[[:digit]")
+
+    def test_matching(self):
+        from repro.matching import PatternSet
+
+        assert PatternSet(["[[:digit:]]{3}"]).match_ends(b"ab123cd") == [4]

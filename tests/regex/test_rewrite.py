@@ -1,0 +1,177 @@
+"""Unit tests for the §7 rewrite rules (Examples 7.1 and 7.2)."""
+
+import pytest
+
+from repro.matching.oracle import match_ends
+from repro.regex import ast
+from repro.regex.parser import parse
+from repro.regex.rewrite import (
+    RewriteParams,
+    decompose_bounds,
+    denull,
+    is_supported_repeat,
+    rewrite,
+    supported_range_widths,
+    unfold_all,
+    unfold_repeat,
+    unfold_small,
+)
+
+P64 = RewriteParams(bv_size=64, unfold_threshold=4)
+
+
+class TestUnfolding:
+    def test_exact_unfold(self):
+        node = unfold_repeat(parse("a"), 3, 3)
+        assert str(node) == "aaa"
+
+    def test_range_unfold_uses_optionals(self):
+        node = unfold_repeat(parse("d"), 1, 3)
+        assert str(node) == "dd?d?"
+
+    def test_at_least_unfold_uses_star(self):
+        node = unfold_repeat(parse("f"), 2, None)
+        assert str(node) == "fff*"
+
+    def test_example_7_1(self):
+        """Paper Example 7.1 with threshold 4."""
+        node = parse("a(bc){2}d{1,3}ef{2,}g{7}")
+        rewritten = unfold_small(node, 4)
+        assert str(rewritten) == "abcbcdd?d?efff*g{7}"
+
+    def test_unfold_all_removes_every_repeat(self):
+        node = unfold_all(parse("a{3}(bc){2,8}d{5,}"))
+        assert not any(isinstance(n, ast.Repeat) for n in node.walk())
+
+    def test_unfold_small_keeps_large(self):
+        node = unfold_small(parse("a{3}b{100}"), 4)
+        repeats = [n for n in node.walk() if isinstance(n, ast.Repeat)]
+        assert len(repeats) == 1
+        assert repeats[0].low == 100
+
+
+class TestDenull:
+    def test_denull_epsilon_is_none(self):
+        assert denull(ast.EPSILON) is None
+
+    def test_denull_symbol_unchanged(self):
+        node = parse("a")
+        assert denull(node) == node
+
+    def test_denull_star_becomes_plus(self):
+        assert str(denull(parse("a*"))) == "a+"
+
+    def test_denull_optional_strips(self):
+        assert str(denull(parse("a?"))) == "a"
+
+    def test_denull_preserves_nonempty_language(self):
+        for pattern in ("a*b?", "(a|b?)c*", "(ab)?|c*"):
+            node = parse(pattern)
+            stripped = denull(node)
+            data = b"abcabcaabbcc"
+            assert match_ends(stripped, data) == match_ends(node, data)
+
+    def test_denull_result_not_nullable(self):
+        for pattern in ("a*", "a?b*", "(a?|b*)+"):
+            stripped = denull(parse(pattern))
+            assert stripped is None or not ast.nullable(stripped)
+
+
+class TestDecomposeBounds:
+    def test_example_7_2_exact(self):
+        """b{147} -> b{64} b{64} b{19}."""
+        assert decompose_bounds(147, 147, P64) == [(64, 64), (64, 64), (19, 19)]
+
+    def test_example_7_2_range(self):
+        """b{2,114}: mins sum to 2, maxes to 114, supported widths only."""
+        pieces = decompose_bounds(2, 114, P64)
+        assert sum(lo for lo, _ in pieces) == 2
+        assert sum(hi for _, hi in pieces) == 114
+        widths = supported_range_widths(64)
+        for lo, hi in pieces:
+            assert lo == hi or hi in widths or hi <= P64.unfold_threshold
+
+    def test_example_7_2_one_hundred(self):
+        """a{1,100} -> a{1,64} a{0,32} then a small unfoldable tail."""
+        pieces = decompose_bounds(1, 100, P64)
+        assert pieces[0] == (1, 64)
+        assert pieces[1] == (0, 32)
+        assert sum(hi for _, hi in pieces) == 100
+        assert sum(lo for lo, _ in pieces) == 1
+
+    def test_invariant_over_many_bounds(self):
+        for low in (0, 1, 2, 5, 50, 63, 64, 65):
+            for high in (low, low + 1, low + 17, low + 200, low + 999):
+                if high == 0:
+                    continue
+                pieces = decompose_bounds(low, high, P64)
+                assert sum(lo for lo, _ in pieces) == low, (low, high, pieces)
+                assert sum(hi for _, hi in pieces) == high, (low, high, pieces)
+
+    def test_small_bv_size(self):
+        params = RewriteParams(bv_size=16, unfold_threshold=4)
+        pieces = decompose_bounds(40, 40, params)
+        assert pieces == [(16, 16), (16, 16), (8, 8)]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            decompose_bounds(5, 3, P64)
+
+
+class TestSupportedWidths:
+    def test_widths_for_64(self):
+        assert supported_range_widths(64) == (64, 32, 16, 8, 4, 2)
+
+    def test_widths_for_16(self):
+        assert supported_range_widths(16) == (16, 8, 4, 2)
+
+
+class TestRewrite:
+    def test_output_repeats_all_supported(self):
+        patterns = [
+            "ab{147}c",
+            "ab{2,114}c",
+            "a{1,100}b",
+            "(ab){300}",
+            "a{5,}b",
+            "x(a?b){3,90}y",
+            "(a{10}){3}",
+        ]
+        for pattern in patterns:
+            rewritten = rewrite(parse(pattern), P64)
+            for node in rewritten.walk():
+                if isinstance(node, ast.Repeat):
+                    assert is_supported_repeat(node, P64), (pattern, str(node))
+
+    def test_nullable_body_normalised(self):
+        rewritten = rewrite(parse("(a?){20}"), P64)
+        for node in rewritten.walk():
+            if isinstance(node, ast.Repeat):
+                assert not ast.nullable(node.inner)
+
+    def test_nested_counting_flattened(self):
+        rewritten = rewrite(parse("(a{10}b){8}"), P64)
+        for node in rewritten.walk():
+            if isinstance(node, ast.Repeat):
+                assert not ast.has_bounded_repetition(node.inner)
+
+    @pytest.mark.parametrize(
+        "pattern,data",
+        [
+            ("a{3,10}b", b"aaaab" + b"aab" + b"a" * 12 + b"b"),
+            ("(a?){6}b", b"aaab" + b"b"),
+            ("a{2,}b", b"ab aab aaab"),
+            ("(ab){2,5}c", b"ababc" + b"abc"),
+            ("x.{9}y", b"x123456789y"),
+        ],
+    )
+    def test_rewrite_preserves_language(self, pattern, data):
+        node = parse(pattern)
+        params = RewriteParams(bv_size=8, unfold_threshold=2)
+        assert match_ends(rewrite(node, params), data) == match_ends(node, data)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RewriteParams(unfold_threshold=1)
+        with pytest.raises(ValueError):
+            RewriteParams(bv_size=48)

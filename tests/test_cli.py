@@ -1,0 +1,144 @@
+"""CLI tests (argument parsing and end-to-end command flows)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def input_file(tmp_path):
+    path = tmp_path / "input.bin"
+    path.write_bytes(b"xx" + b"a" + b"b" * 20 + b"c" + b"yy")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "ab{3}c"])
+        assert args.bv_size == 64
+        assert args.unfold_threshold == 4
+
+    def test_arch_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "a", "--arch", "GPU"])
+
+
+class TestScan:
+    def test_scan_prints_matches(self, input_file, capsys):
+        assert main(["scan", "ab{20}c", "-i", input_file]) == 0
+        out = capsys.readouterr().out
+        assert "ab{20}c" in out
+
+    def test_scan_engine_choice(self, input_file, capsys):
+        for engine in ("ah", "nfa"):
+            main(["scan", "ab{20}c", "-i", input_file, "--engine", engine])
+        outputs = capsys.readouterr().out.strip().splitlines()
+        assert outputs[0] == outputs[1]
+
+    def test_patterns_from_file(self, tmp_path, input_file, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("ab{20}c\nxx\n")
+        main(["scan", f"@{rules}", "-i", input_file])
+        out = capsys.readouterr().out
+        assert "xx" in out and "ab{20}c" in out
+
+    def test_empty_pattern_file_rejected(self, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("\n")
+        with pytest.raises(SystemExit):
+            main(["scan", f"@{rules}", "-i", "-"])
+
+
+class TestCompile:
+    def test_compile_writes_config(self, tmp_path, capsys):
+        out_path = tmp_path / "config.json"
+        assert main(["compile", "ab{100}c", "-o", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["regexes"][0]["pattern"] == "ab{100}c"
+        assert "compiled 1 patterns" in capsys.readouterr().out
+
+    def test_compile_reports_rejections(self, tmp_path, capsys):
+        out_path = tmp_path / "config.json"
+        main(["compile", "ok", "(((", "-o", str(out_path)])
+        captured = capsys.readouterr()
+        assert "rejected" in captured.err
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("arch", ["BVAP", "BVAP-S", "CAMA", "eAP", "CA"])
+    def test_simulate_all_architectures(self, arch, input_file, capsys):
+        assert main(["simulate", "ab{20}c", "-i", input_file, "--arch", arch]) == 0
+        out = capsys.readouterr().out
+        assert f"architecture     : {arch}" in out
+        assert "matches          : 1" in out
+
+
+class TestDataset:
+    def test_dataset_generation(self, capsys):
+        assert main(["dataset", "Prosite", "-n", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+
+    def test_dataset_stream_output(self, tmp_path, capsys):
+        stream_path = tmp_path / "stream.bin"
+        main(
+            [
+                "dataset",
+                "YARA",
+                "-n",
+                "3",
+                "--stream",
+                "200",
+                "--stream-output",
+                str(stream_path),
+            ]
+        )
+        assert stream_path.stat().st_size == 200
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dataset", "NotADataset"])
+
+
+class TestSimulateFromConfig:
+    def test_config_programmed_run(self, tmp_path, input_file, capsys):
+        config_path = tmp_path / "config.json"
+        main(["compile", "ab{20}c", "-o", str(config_path)])
+        capsys.readouterr()
+        assert main(["simulate", "--config", str(config_path),
+                     "-i", input_file]) == 0
+        out = capsys.readouterr().out
+        assert "matches          : 1" in out
+
+    def test_config_with_baseline_arch_rejected(self, tmp_path, input_file):
+        config_path = tmp_path / "config.json"
+        main(["compile", "a", "-o", str(config_path)])
+        with pytest.raises(SystemExit):
+            main(["simulate", "--config", str(config_path),
+                  "--arch", "CAMA", "-i", input_file])
+
+
+class TestPatternFormats:
+    def test_prosite_format(self, tmp_path, capsys):
+        path = tmp_path / "in.bin"
+        path.write_bytes(b"ACAKCD")
+        assert main(["scan", "--format", "prosite", "C-x(2)-C.",
+                     "-i", str(path)]) == 0
+        assert "C.{2}C" in capsys.readouterr().out
+
+    def test_snort_format(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text(
+            'alert tcp any any -> any 80 (pcre:"/ab{3}c/"; sid:1;)\n'
+        )
+        path = tmp_path / "in.bin"
+        path.write_bytes(b"zabbbcz")
+        assert main(["scan", "--format", "snort", f"@{rules}",
+                     "-i", str(path)]) == 0
+        assert "ab{3}c" in capsys.readouterr().out

@@ -1,0 +1,27 @@
+"""Smoke tests: every example script runs end to end."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    path = os.path.join(EXAMPLES_DIR, name)
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_examples_present():
+    """The deliverable requires a quickstart plus domain scenarios."""
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,149 @@
+"""End-to-end integration tests across the whole stack."""
+
+import random
+
+import pytest
+
+from repro.compiler import (
+    CompilerOptions,
+    compile_ruleset,
+    dump_config,
+    load_config,
+)
+from repro.hardware.simulator import (
+    BaselineSimulator,
+    BVAPSimulator,
+    compile_baseline,
+)
+from repro.hardware.specs import CAMA_SPEC
+from repro.matching import PatternSet, oracle_match_ends
+from repro.regex.parser import parse
+from repro.workloads import PROFILES, dataset_stream, load_dataset
+
+
+class TestDatasetRoundTrip:
+    """Generate → compile → serialise → reload → simulate, per dataset."""
+
+    @pytest.mark.parametrize("name", ["Prosite", "RegexLib"])
+    def test_full_flow(self, name, tmp_path):
+        patterns = load_dataset(name, 10, seed=9)
+        ruleset = compile_ruleset(patterns)
+        path = tmp_path / "config.json"
+        dump_config(ruleset, str(path))
+        loaded = load_config(str(path))
+
+        data = dataset_stream(
+            patterns, random.Random(1), 600, PROFILES[name].literal_pool,
+            plant_rate=0.01,
+        )
+        for original, reloaded in zip(ruleset.regexes, loaded.automata):
+            assert reloaded.match_ends(data) == original.ah.match_ends(data)
+
+        report = BVAPSimulator(ruleset).run(data)
+        functional = sum(
+            len(regex.ah.match_ends(data)) for regex in ruleset.regexes
+        )
+        assert report.matches == functional
+
+
+class TestEngineOracleOnDatasets:
+    """The compiled engines agree with the brute-force oracle on real
+    dataset patterns over short planted inputs."""
+
+    @pytest.mark.parametrize("name", ["Prosite", "SpamAssassin"])
+    def test_against_oracle(self, name):
+        rng = random.Random(3)
+        patterns = load_dataset(name, 6, seed=12)
+        # keep inputs small: the oracle is O(n^3)
+        for pattern in patterns:
+            node = parse(pattern)
+            from repro.regex import max_repeat_bound
+
+            if max_repeat_bound(node) > 40:
+                continue
+            data = dataset_stream(
+                [pattern], rng, 60, PROFILES[name].literal_pool,
+                plant_rate=0.05, truncate_prob=0.3,
+            )
+            expected = oracle_match_ends(node, data)
+            got = PatternSet([pattern]).match_ends(data)
+            assert got == expected, pattern
+
+
+class TestHardwareFunctionalEquivalence:
+    """BVAP and the baselines agree on match counts for shared rules."""
+
+    def test_cross_architecture_matches(self):
+        patterns = ["ab{30}c", "hello[0-9]{4}", "x.{100}y"]
+        rng = random.Random(4)
+        data = dataset_stream(patterns, rng, 1500, "abchelxy0123456789",
+                              plant_rate=0.01)
+        bvap = BVAPSimulator(compile_ruleset(patterns)).run(data)
+        cama = BaselineSimulator(CAMA_SPEC, compile_baseline(patterns)).run(data)
+        assert bvap.matches == cama.matches
+
+
+class TestFailureInjection:
+    def test_empty_input(self):
+        report = BVAPSimulator(compile_ruleset(["ab"])).run(b"")
+        assert report.symbols == 0
+        assert report.total_energy_j == 0.0
+
+    def test_empty_ruleset_simulates(self):
+        report = BVAPSimulator(compile_ruleset([])).run(b"abc")
+        assert report.matches == 0
+        assert report.num_tiles == 1  # floor for a provisioned device
+
+    def test_all_rejected_ruleset(self):
+        ruleset = compile_ruleset(["((("])
+        assert not ruleset.regexes and ruleset.rejected
+
+    def test_mixed_rejection_does_not_shift_ids(self):
+        ruleset = compile_ruleset(["a", "(((", "b"])
+        kept_ids = [regex.regex_id for regex in ruleset.regexes]
+        assert kept_ids == [0, 2]
+        assert ruleset.mapping.placements.keys() == {0, 2}
+
+    def test_binary_input_bytes(self):
+        """Full 0-255 byte range flows through every layer."""
+        patterns = ["\\x00{8}\\xff", "[\\x80-\\x8f]{4}"]
+        data = bytes([0] * 8 + [255] + list(range(0x80, 0x90)) * 2)
+        matches = PatternSet(patterns).scan(data)
+        assert any(m.pattern_id == 0 for m in matches)
+        assert any(m.pattern_id == 1 for m in matches)
+
+    def test_unfold_threshold_bounds_respected(self):
+        with pytest.raises(ValueError):
+            compile_ruleset(["a"], CompilerOptions(unfold_threshold=0))
+
+
+class TestConfigProgrammedSimulator:
+    """§8: the simulator is programmed from the compiler's JSON file."""
+
+    def test_identical_to_direct_simulation(self, tmp_path):
+        from repro.hardware import BVAPSimulator, simulator_from_config
+
+        patterns = ["ab{60}c", "hello", "x.{200}y"]
+        ruleset = compile_ruleset(patterns)
+        path = tmp_path / "config.json"
+        dump_config(ruleset, str(path))
+        data = b"zz a" + b"b" * 60 + b"c hello x" + b"q" * 200 + b"y"
+        direct = BVAPSimulator(ruleset).run(data)
+        from_config = simulator_from_config(str(path)).run(data)
+        assert from_config.matches == direct.matches
+        assert from_config.system_cycles == direct.system_cycles
+        assert from_config.total_energy_j == pytest.approx(
+            direct.total_energy_j
+        )
+
+    def test_streaming_mode_from_config(self, tmp_path):
+        from repro.hardware import simulator_from_config
+
+        ruleset = compile_ruleset(["ab{40}c"])
+        path = tmp_path / "config.json"
+        dump_config(ruleset, str(path))
+        report = simulator_from_config(str(path), streaming=True).run(
+            b"a" + b"b" * 40 + b"c"
+        )
+        assert report.architecture == "BVAP-S"
+        assert report.matches == 1

@@ -1,0 +1,79 @@
+"""Package-level API surface and doctest checks."""
+
+import doctest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_from_docstring(self):
+        ps = repro.PatternSet(["ab{100}c"])
+        data = b"a" + b"b" * 100 + b"c"
+        assert [m.end for m in ps.scan(data)] == [101]
+
+    def test_compile_pattern_shortcut(self):
+        compiled = repro.compile_pattern("ab{10}c")
+        assert compiled.num_stes > 0
+
+    def test_compile_ruleset_shortcut(self):
+        ruleset = repro.compile_ruleset(["a", "b"])
+        assert len(ruleset.regexes) == 2
+
+
+class TestDoctests:
+    def test_module_doctests(self):
+        import repro.automata.bitvector
+        import repro.matching.engine
+        import repro.regex.charclass
+        import repro.regex.parser
+
+        for module in (
+            repro.regex.charclass,
+            repro.regex.parser,
+            repro.automata.bitvector,
+            repro.matching.engine,
+        ):
+            failures, _ = doctest.testmod(module)
+            assert failures == 0, module.__name__
+
+
+class TestSubpackageImports:
+    def test_all_subpackages_import(self):
+        import repro.analysis
+        import repro.automata
+        import repro.compiler
+        import repro.hardware
+        import repro.matching
+        import repro.regex
+        import repro.workloads
+
+    def test_subpackage_all_lists_resolve(self):
+        import repro.analysis
+        import repro.automata
+        import repro.compiler
+        import repro.hardware
+        import repro.matching
+        import repro.regex
+        import repro.workloads
+
+        for package in (
+            repro.regex,
+            repro.automata,
+            repro.compiler,
+            repro.matching,
+            repro.hardware,
+            repro.workloads,
+            repro.analysis,
+        ):
+            for name in package.__all__:
+                assert getattr(package, name, None) is not None, (
+                    package.__name__,
+                    name,
+                )

@@ -1,0 +1,79 @@
+"""Dataset profile tests: the paper's per-dataset statistics (§8)."""
+
+import pytest
+
+from repro.compiler import compile_ruleset
+from repro.regex import has_bounded_repetition
+from repro.regex.parser import parse
+from repro.workloads.datasets import DATASET_NAMES, PROFILES, load_dataset
+
+
+class TestLoading:
+    def test_all_seven_datasets(self):
+        assert set(DATASET_NAMES) == {
+            "Snort",
+            "Suricata",
+            "Prosite",
+            "ClamAV",
+            "YARA",
+            "SpamAssassin",
+            "RegexLib",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("NotADataset")
+
+    def test_deterministic(self):
+        assert load_dataset("Snort", 20, 5) == load_dataset("Snort", 20, 5)
+
+    def test_datasets_differ(self):
+        assert load_dataset("Snort", 10, 0) != load_dataset("YARA", 10, 0)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_patterns_compile(self, name):
+        patterns = load_dataset(name, 15, seed=2)
+        ruleset = compile_ruleset(patterns)
+        assert len(ruleset.regexes) >= 13  # near-zero rejection
+
+
+class TestPaperStatistics:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_bv_ste_ratio_below_cap(self, name):
+        """§6: BV-STE ratio typically below ~18% (tile provisioning)."""
+        ruleset = compile_ruleset(load_dataset(name, 30, seed=1))
+        assert ruleset.bv_ste_ratio() <= 0.25
+
+    def test_spamassassin_low_bv_ratio(self):
+        """§8: SpamAssassin's BV-STE proportion is only ~5%."""
+        ruleset = compile_ruleset(load_dataset("SpamAssassin", 40, seed=1))
+        assert ruleset.bv_ste_ratio() <= 0.08
+
+    def test_prosite_small_bounds(self):
+        """§8: most Prosite bounds are small."""
+        from repro.regex import max_repeat_bound
+
+        patterns = load_dataset("Prosite", 40, seed=1)
+        bounds = [max_repeat_bound(parse(p)) for p in patterns]
+        big = sum(1 for b in bounds if b > 64)
+        assert big == 0
+
+    def test_snort_has_large_bounds(self):
+        from repro.regex import max_repeat_bound
+
+        patterns = load_dataset("Snort", 40, seed=1)
+        assert any(max_repeat_bound(parse(p)) > 256 for p in patterns)
+
+    def test_counting_compression_on_network_datasets(self):
+        """BVAP's STE count is a small fraction of the unfolded count on
+        the counting-heavy datasets — the 85%-of-states observation."""
+        for name in ("Snort", "ClamAV"):
+            ruleset = compile_ruleset(load_dataset(name, 30, seed=1))
+            unfolded = sum(r.unfolded_states or 0 for r in ruleset.regexes)
+            assert ruleset.num_stes < 0.4 * unfolded
+
+    def test_weak_compression_on_text_datasets(self):
+        for name in ("SpamAssassin", "RegexLib"):
+            ruleset = compile_ruleset(load_dataset(name, 30, seed=1))
+            unfolded = sum(r.unfolded_states or 0 for r in ruleset.regexes)
+            assert ruleset.num_stes > 0.6 * unfolded

@@ -1,0 +1,74 @@
+"""Synthetic pattern generator tests."""
+
+import random
+
+import pytest
+
+from repro.regex import has_bounded_repetition
+from repro.regex.parser import parse
+from repro.workloads.generator import (
+    DatasetProfile,
+    _sample_bound,
+    generate_dataset,
+    generate_pattern,
+)
+
+PROFILE = DatasetProfile(
+    name="test",
+    literal_pool="abc",
+    class_tokens=("[ab]", "\\d"),
+    counting_prob=0.5,
+    blocks=(1, 2),
+    bound_range=(4, 100),
+)
+
+
+class TestGeneration:
+    def test_patterns_parse(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            pattern = generate_pattern(rng, PROFILE)
+            parse(pattern)  # must not raise
+
+    def test_counting_fraction_near_target(self):
+        rng = random.Random(1)
+        patterns = [generate_pattern(rng, PROFILE) for _ in range(400)]
+        fraction = sum(
+            1 for p in patterns if has_bounded_repetition(parse(p))
+        ) / len(patterns)
+        assert 0.38 <= fraction <= 0.62
+
+    def test_bounds_within_range(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            pattern = generate_pattern(rng, PROFILE)
+            node = parse(pattern)
+            from repro.regex import max_repeat_bound
+
+            assert max_repeat_bound(node) <= PROFILE.bound_range[1]
+
+    def test_deterministic(self):
+        assert generate_dataset(PROFILE, 10, seed=3) == generate_dataset(
+            PROFILE, 10, seed=3
+        )
+
+    def test_seed_changes_output(self):
+        assert generate_dataset(PROFILE, 10, seed=3) != generate_dataset(
+            PROFILE, 10, seed=4
+        )
+
+    def test_count(self):
+        assert len(generate_dataset(PROFILE, 25, seed=0)) == 25
+
+
+class TestBoundSampling:
+    def test_within_range(self):
+        rng = random.Random(4)
+        for _ in range(500):
+            assert 5 <= _sample_bound(rng, 5, 500) <= 500
+
+    def test_log_uniform_skews_small(self):
+        rng = random.Random(5)
+        values = [_sample_bound(rng, 2, 2000) for _ in range(2000)]
+        median = sorted(values)[len(values) // 2]
+        assert median < 200  # log-uniform median ~ sqrt(2*2000) = 63

@@ -1,0 +1,72 @@
+"""Input-stream generator tests."""
+
+import random
+
+import pytest
+
+from repro.workloads.inputs import alpha_stream, background_bytes, dataset_stream
+
+
+class TestAlphaStream:
+    def test_length(self):
+        assert len(alpha_stream(random.Random(0), 500, 0.1)) == 500
+
+    def test_alphabet(self):
+        stream = alpha_stream(random.Random(0), 500, 0.3)
+        assert set(stream) <= {ord("a"), ord("b")}
+
+    def test_ratio_close_to_alpha(self):
+        stream = alpha_stream(random.Random(1), 20_000, 0.1)
+        ratio = stream.count(ord("a")) / len(stream)
+        assert 0.08 <= ratio <= 0.12
+
+    def test_extremes(self):
+        assert alpha_stream(random.Random(0), 100, 0.0) == b"b" * 100
+        assert alpha_stream(random.Random(0), 100, 1.0) == b"a" * 100
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            alpha_stream(random.Random(0), 10, 1.5)
+
+
+class TestBackground:
+    def test_alphabet_respected(self):
+        stream = background_bytes(random.Random(2), 300, b"xyz")
+        assert set(stream) <= {ord("x"), ord("y"), ord("z")}
+
+
+class TestDatasetStream:
+    PATTERNS = ["needle", "ab{4}c"]
+
+    def test_length_exact(self):
+        stream = dataset_stream(
+            self.PATTERNS, random.Random(3), 777, "abcdef"
+        )
+        assert len(stream) == 777
+
+    def test_plants_matches(self):
+        from repro.matching import PatternSet
+
+        stream = dataset_stream(
+            ["needle"], random.Random(4), 5000, "xyz", plant_rate=0.02,
+            truncate_prob=0.0,
+        )
+        matches = PatternSet(["needle"]).scan(stream)
+        assert matches  # planted fragments produce real matches
+
+    def test_zero_plant_rate_is_background(self):
+        stream = dataset_stream(
+            self.PATTERNS, random.Random(5), 400, "xyz", plant_rate=0.0
+        )
+        assert set(stream) <= {ord("x"), ord("y"), ord("z")}
+
+    def test_unparseable_patterns_skipped(self):
+        stream = dataset_stream(
+            ["(((", "ok"], random.Random(6), 100, "ab", plant_rate=0.1
+        )
+        assert len(stream) == 100
+
+    def test_deterministic(self):
+        one = dataset_stream(self.PATTERNS, random.Random(7), 300, "ab")
+        two = dataset_stream(self.PATTERNS, random.Random(7), 300, "ab")
+        assert one == two

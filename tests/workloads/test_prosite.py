@@ -1,0 +1,81 @@
+"""PROSITE syntax translation tests."""
+
+import pytest
+
+from repro.matching import PatternSet
+from repro.workloads.prosite import (
+    PrositeSyntaxError,
+    prosite_to_pcre,
+    translate_collection,
+)
+
+
+class TestTranslation:
+    def test_zinc_finger(self):
+        assert (
+            prosite_to_pcre("C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H.")
+            == "C.{2,4}C.{3}[LIVMFYWC].{8}H.{3,5}H"
+        )
+
+    def test_leucine_zipper(self):
+        assert prosite_to_pcre("L-x(6)-L-x(6)-L-x(6)-L.") == "L.{6}L.{6}L.{6}L"
+
+    def test_none_of(self):
+        assert prosite_to_pcre("D-{ILVFYW}-E.") == "D[^ILVFYW]E"
+
+    def test_repeated_class(self):
+        assert prosite_to_pcre("[DE](2)-K.") == "[DE]{2}K"
+
+    def test_anchors_preserved_for_parser(self):
+        translated = prosite_to_pcre("<M-x(4)-K>.")
+        assert translated.startswith("^") and translated.endswith("$")
+
+    def test_star(self):
+        assert prosite_to_pcre("A-x*-C.") == "A.*C"
+
+    def test_lowercase_folded(self):
+        assert prosite_to_pcre("c-x(3)-h.") == "C.{3}H"
+
+    def test_trailing_dot_optional(self):
+        assert prosite_to_pcre("A-C") == "AC"
+
+
+class TestErrors:
+    def test_empty_rejected(self):
+        with pytest.raises(PrositeSyntaxError):
+            prosite_to_pcre(".")
+
+    def test_unknown_residue(self):
+        with pytest.raises(PrositeSyntaxError):
+            prosite_to_pcre("B-x.")  # B is not an amino acid
+
+    def test_bad_bounds(self):
+        with pytest.raises(PrositeSyntaxError):
+            prosite_to_pcre("x(5,2).")
+
+    def test_bad_element(self):
+        with pytest.raises(PrositeSyntaxError):
+            prosite_to_pcre("A--C.")
+
+    def test_collection_skips_bad(self):
+        out = translate_collection(["A-x.", "B-x.", "C-C."])
+        assert out == ["A.", "CC"]
+
+
+class TestEndToEnd:
+    def test_translated_motif_matches(self):
+        pattern = prosite_to_pcre("C-x(2)-C.")
+        matches = PatternSet([pattern]).scan(b"ACAKCD")
+        assert [m.end for m in matches] == [4]
+
+    def test_translated_motifs_compile(self):
+        from repro.compiler import compile_ruleset
+
+        motifs = [
+            "C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H.",
+            "L-x(6)-L-x(6)-L-x(6)-L.",
+            "[LIVM]-G-[ES]-G-x(5,18)-K.",
+        ]
+        ruleset = compile_ruleset([prosite_to_pcre(m) for m in motifs])
+        assert len(ruleset.regexes) == 3
+        assert ruleset.num_bv_stes > 0
