@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Telemetry tour: trace and meter a compile -> map -> simulate run.
+
+Shows the observability subsystem end to end:
+
+1. enable telemetry for a scoped session,
+2. compile a ruleset and simulate it on the BVAP cycle model,
+3. print the span breakdown (where did the time go?),
+4. print the metrics snapshot (what did the hardware do?),
+5. export a Chrome trace (open in chrome://tracing or Perfetto),
+6. join the telemetry with the paper-figure report columns.
+
+Run:  python examples/telemetry_tour.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro import telemetry
+from repro.analysis.report import (
+    join_report_metrics,
+    metrics_summary_table,
+    span_summary_table,
+)
+from repro.compiler import compile_ruleset
+from repro.hardware.simulator import BVAPSimulator
+from repro.telemetry.export import write_chrome_trace, write_metrics
+
+
+def main() -> None:
+    patterns = ["ab{20}c", "x[0-9]{4}y", "begin.{10}end"]
+    data = (b"zz ab" + b"b" * 19 + b"c x0123y begin0123456789end ") * 4
+
+    # ------------------------------------------------------------------
+    # 1-2. Run the whole stack inside a telemetry session.  Outside a
+    # session every probe is a no-op, so library users pay nothing.
+    # ------------------------------------------------------------------
+    with telemetry.session():
+        ruleset = compile_ruleset(patterns)
+        report = BVAPSimulator(ruleset).run(data)
+        snapshot = telemetry.snapshot()
+
+        # --------------------------------------------------------------
+        # 5. Export while the session is live.  trace.json is the Chrome
+        # trace-event format; load it in chrome://tracing / Perfetto.
+        # --------------------------------------------------------------
+        with tempfile.TemporaryDirectory() as tmp:
+            trace_path = os.path.join(tmp, "trace.json")
+            metrics_path = os.path.join(tmp, "metrics.json")
+            write_chrome_trace(trace_path)
+            write_metrics(metrics_path)
+            events = json.load(open(trace_path))["traceEvents"]
+            saved = json.load(open(metrics_path))
+            print(
+                f"exported {len(events)} trace events and "
+                f"{len(saved['counters'])} counters (temp files)"
+            )
+
+    # ------------------------------------------------------------------
+    # 3. Span breakdown: the five compiler phases plus the simulation.
+    # ------------------------------------------------------------------
+    print("\nwhere the time went:")
+    print(span_summary_table(snapshot))
+
+    # ------------------------------------------------------------------
+    # 4. Metrics: per-tile BVM activations, per-array stalls, occupancy.
+    # ------------------------------------------------------------------
+    print("\nwhat the hardware did:")
+    print(metrics_summary_table(snapshot))
+
+    occupancy = snapshot["histograms"]["sim.active_states"]
+    print(
+        f"\nactive-state occupancy: mean {occupancy['mean']:.2f} "
+        f"max {occupancy['max']} over {occupancy['count']} symbols"
+    )
+
+    # ------------------------------------------------------------------
+    # 6. The report carries the snapshot in notes["metrics"], so analysis
+    # code can join telemetry with the paper-figure columns.
+    # ------------------------------------------------------------------
+    joined = join_report_metrics(report)
+    print("\njoined row (report columns + telemetry.*):")
+    for key in (
+        "architecture",
+        "throughput_gbps",
+        "energy_per_symbol_nj",
+        "telemetry.sim.bvm_activations",
+        "telemetry.sim.stall_cycles",
+        "telemetry.span.sim.run.total_us",
+    ):
+        print(f"  {key:40s} {joined[key]}")
+
+
+if __name__ == "__main__":
+    main()

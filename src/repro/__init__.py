@@ -22,10 +22,11 @@ Quickstart::
     matches = PatternSet(["ab{100}c"]).scan(data)
 """
 
+from . import telemetry
 from .compiler import CompilerOptions, compile_pattern, compile_ruleset
 from .matching import Match, PatternSet
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompilerOptions",
@@ -33,5 +34,6 @@ __all__ = [
     "PatternSet",
     "compile_pattern",
     "compile_ruleset",
+    "telemetry",
     "__version__",
 ]

@@ -20,7 +20,13 @@ from .metrics import (
     normalized_metrics,
     savings_percent,
 )
-from .report import format_table, normalized_table
+from .report import (
+    format_table,
+    join_report_metrics,
+    metrics_summary_table,
+    normalized_table,
+    span_summary_table,
+)
 
 __all__ = [
     "DEFAULT_BV_SIZES",
@@ -40,11 +46,14 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "improvement_factor",
+    "join_report_metrics",
+    "metrics_summary_table",
     "normalized_comparison",
     "normalized_metrics",
     "normalized_table",
     "normalized_to_csv",
     "reports_to_csv",
+    "span_summary_table",
     "sweep_to_csv",
     "savings_percent",
 ]

@@ -1,8 +1,9 @@
-"""Plain-text table rendering for benchmark output."""
+"""Plain-text table rendering for benchmark output, plus helpers that
+join telemetry snapshots with the paper's evaluation metrics."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 
 def format_table(
@@ -42,3 +43,78 @@ def normalized_table(
         [arch] + [values[m] for m in metrics] for arch, values in per_arch.items()
     ]
     return format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Telemetry snapshot rendering / joining
+# ----------------------------------------------------------------------
+
+
+def span_summary_table(snapshot: Mapping[str, Any]) -> str:
+    """Per-span table (count, total/mean/max µs) from a telemetry
+    snapshot's ``spans`` section — the per-phase compile breakdown."""
+    spans = snapshot.get("spans", {})
+    headers = ["span", "count", "total_us", "mean_us", "max_us"]
+    rows = []
+    for name in sorted(spans, key=lambda n: -spans[n]["total_us"]):
+        agg = spans[name]
+        count = agg["count"]
+        rows.append(
+            [
+                name,
+                count,
+                agg["total_us"],
+                agg["total_us"] / count if count else 0.0,
+                agg["max_us"],
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def metrics_summary_table(snapshot: Mapping[str, Any]) -> str:
+    """Counters and gauges of a telemetry snapshot as one table."""
+    rows: List[List[object]] = []
+    for key in sorted(snapshot.get("counters", {})):
+        rows.append([key, "counter", snapshot["counters"][key]])
+    for key in sorted(snapshot.get("gauges", {})):
+        rows.append([key, "gauge", snapshot["gauges"][key]["value"]])
+    for key in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][key]
+        rows.append([key, "histogram", f"n={hist['count']} mean={hist['mean']:.2f}"])
+    return format_table(["metric", "kind", "value"], rows)
+
+
+def join_report_metrics(report: "Any") -> Dict[str, object]:
+    """Flatten a :class:`~repro.hardware.report.SimulationReport` and the
+    telemetry snapshot it carries (``notes["metrics"]``) into one flat
+    dict, so evaluation scripts can correlate the paper's figures
+    (energy/symbol, compute density, …) with per-event accounting
+    (per-tile BVM activations, per-array stalls, occupancy)."""
+    out: Dict[str, object] = {
+        "architecture": report.architecture,
+        "symbols": report.symbols,
+        "matches": report.matches,
+        "system_cycles": report.system_cycles,
+        "stall_cycles": report.stall_cycles,
+        "bvm_activations": report.bvm_activations,
+        "area_mm2": report.area_mm2,
+        "energy_per_symbol_nj": report.energy_per_symbol_nj,
+        "throughput_gbps": report.throughput_gbps,
+        "compute_density_gbps_mm2": report.compute_density_gbps_mm2,
+        "power_w": report.power_w,
+        "edp": report.edp,
+        "fom": report.fom,
+    }
+    snapshot = report.metrics_snapshot
+    if snapshot:
+        for key, value in snapshot.get("counters", {}).items():
+            out[f"telemetry.{key}"] = value
+        for key, value in snapshot.get("gauges", {}).items():
+            out[f"telemetry.{key}"] = value["value"]
+        for key, hist in snapshot.get("histograms", {}).items():
+            out[f"telemetry.{key}.count"] = hist["count"]
+            out[f"telemetry.{key}.mean"] = hist["mean"]
+            out[f"telemetry.{key}.max"] = hist["max"]
+        for name, agg in snapshot.get("spans", {}).items():
+            out[f"telemetry.span.{name}.total_us"] = agg["total_us"]
+    return out

@@ -206,3 +206,7 @@ class AHMatcher:
 
     def active_states(self) -> List[int]:
         return [q for q, v in enumerate(self.vectors) if v]
+
+    def active_count(self) -> int:
+        """Number of active states (telemetry occupancy accounting)."""
+        return sum(1 for v in self.vectors if v)

@@ -119,6 +119,13 @@ class NCAMatcher:
                 out.append(index)
         return out
 
+    def active_states(self) -> List[int]:
+        return [q for q, values in enumerate(self.values) if values]
+
+    def active_count(self) -> int:
+        """Number of active states (telemetry occupancy accounting)."""
+        return sum(1 for values in self.values if values)
+
     def configuration(self) -> List[Tuple[int, FrozenSet[int]]]:
         """Active states with their counter-value sets, as in Fig. 1."""
         return [

@@ -1,24 +1,33 @@
-"""Command-line interface: compile, scan, simulate, and generate.
+"""Command-line interface: compile, scan, simulate, trace, and generate.
 
 Usage::
 
     python -m repro.cli compile  PATTERNS... -o config.json
     python -m repro.cli scan     PATTERNS... -i input.bin
     python -m repro.cli simulate PATTERNS... -i input.bin --arch BVAP
+    python -m repro.cli trace    PATTERNS... -i input.bin --trace-out t.json
     python -m repro.cli dataset  Snort -n 20
 
 ``PATTERNS...`` are PCRE-subset regexes, or ``@file`` to read one pattern
 per line from a file.
+
+Every verb accepts ``--trace-out`` / ``--metrics-out`` to capture the
+telemetry of the run (Chrome trace-event JSON / metrics snapshot),
+``--seed`` for reproducible randomness, and ``-v`` for debug logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import random
 import sys
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
+from . import telemetry
 from .compiler import CompilerOptions, compile_ruleset, dump_config
+from .hardware.report import SimulationReport
 from .hardware.simulator import (
     BaselineSimulator,
     BVAPSimulator,
@@ -26,9 +35,25 @@ from .hardware.simulator import (
 )
 from .hardware.specs import CA_SPEC, CAMA_SPEC, EAP_SPEC
 from .matching import PatternSet
+from .telemetry.export import TRACE_FORMATS, write_metrics, write_trace
 from .workloads import DATASET_NAMES, PROFILES, dataset_stream, load_dataset
 
+log = logging.getLogger("repro.cli")
+
 ARCH_CHOICES = ("BVAP", "BVAP-S", "CAMA", "eAP", "CA")
+
+#: One consistent format for every repro logger (-v switches the level).
+LOG_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def configure_logging(verbose: bool = False) -> None:
+    """Configure stdlib logging for the CLI (idempotent; rebinds the
+    handler to the current stderr so redirected streams are honoured)."""
+    logging.basicConfig(
+        level=logging.DEBUG if verbose else logging.INFO,
+        format=LOG_FORMAT,
+        force=True,
+    )
 
 
 def _load_patterns(
@@ -69,11 +94,30 @@ def _compiler_options(args: argparse.Namespace) -> CompilerOptions:
     )
 
 
+@contextmanager
+def _telemetry_session(args: argparse.Namespace) -> Iterator[None]:
+    """Enable telemetry for one command when the args ask for exports;
+    the trace/metrics files are written after the command body."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not (trace_out or metrics_out):
+        yield
+        return
+    with telemetry.session():
+        yield
+        if trace_out:
+            write_trace(trace_out, getattr(args, "trace_format", "chrome"))
+            log.info("wrote trace -> %s", trace_out)
+        if metrics_out:
+            write_metrics(metrics_out)
+            log.info("wrote metrics -> %s", metrics_out)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     patterns = _load_patterns(args.patterns, args.fmt)
     ruleset = compile_ruleset(patterns, _compiler_options(args))
     for regex_id, why in sorted(ruleset.rejected.items()):
-        print(f"rejected pattern {regex_id}: {why}", file=sys.stderr)
+        log.warning("rejected pattern %d: %s", regex_id, why)
     dump_config(ruleset, args.output)
     print(
         f"compiled {len(ruleset.regexes)} patterns -> {args.output}  "
@@ -92,29 +136,34 @@ def cmd_scan(args: argparse.Namespace) -> int:
     matches = matcher.scan(data)
     for match in matches:
         print(f"{match.end}\t{patterns[match.pattern_id]}")
-    print(f"{len(matches)} matches in {len(data)} bytes", file=sys.stderr)
+    log.info("%d matches in %d bytes", len(matches), len(data))
     return 0
 
 
-def cmd_simulate(args: argparse.Namespace) -> int:
+def _run_simulation(args: argparse.Namespace) -> SimulationReport:
+    """Shared compile+simulate flow of the simulate and trace verbs."""
     data = _read_input(args.input)
     if args.config:
         if args.arch not in ("BVAP", "BVAP-S"):
             raise SystemExit("--config only programs BVAP / BVAP-S")
         from .hardware.simulator import simulator_from_config
 
-        report = simulator_from_config(
+        return simulator_from_config(
             args.config, streaming=args.arch == "BVAP-S"
         ).run(data)
-    elif args.arch in ("BVAP", "BVAP-S"):
+    if args.arch in ("BVAP", "BVAP-S"):
         patterns = _load_patterns(args.patterns, args.fmt)
         ruleset = compile_ruleset(patterns, _compiler_options(args))
+        for regex_id, why in sorted(ruleset.rejected.items()):
+            log.warning("rejected pattern %d: %s", regex_id, why)
         simulator = BVAPSimulator(ruleset, streaming=args.arch == "BVAP-S")
-        report = simulator.run(data)
-    else:
-        patterns = _load_patterns(args.patterns, args.fmt)
-        spec = {"CAMA": CAMA_SPEC, "eAP": EAP_SPEC, "CA": CA_SPEC}[args.arch]
-        report = BaselineSimulator(spec, compile_baseline(patterns)).run(data)
+        return simulator.run(data)
+    patterns = _load_patterns(args.patterns, args.fmt)
+    spec = {"CAMA": CAMA_SPEC, "eAP": EAP_SPEC, "CA": CA_SPEC}[args.arch]
+    return BaselineSimulator(spec, compile_baseline(patterns)).run(data)
+
+
+def _print_report(report: SimulationReport) -> None:
     print(f"architecture     : {report.architecture}")
     print(f"symbols          : {report.symbols}")
     print(f"matches          : {report.matches}")
@@ -125,6 +174,26 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"compute density  : {report.compute_density_gbps_mm2:.1f} Gbps/mm2")
     print(f"power            : {report.power_w * 1e3:.2f} mW")
     print(f"FoM              : {report.fom:.3e} mJ*mm2/Gbps")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    report = _run_simulation(args)
+    _print_report(report)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Simulate with telemetry always on and print the span breakdown.
+
+    ``--trace-out`` defaults to ``trace.json`` here; the session wrapper
+    in :func:`main` does the actual export.
+    """
+    report = _run_simulation(args)
+    _print_report(report)
+    from .analysis.report import span_summary_table
+
+    print()
+    print(span_summary_table(telemetry.snapshot()))
     return 0
 
 
@@ -141,9 +210,8 @@ def cmd_dataset(args: argparse.Namespace) -> int:
         )
         with open(args.stream_output, "wb") as handle:
             handle.write(data)
-        print(
-            f"wrote {len(data)} input bytes -> {args.stream_output}",
-            file=sys.stderr,
+        log.info(
+            "wrote %d input bytes -> %s", len(data), args.stream_output
         )
     return 0
 
@@ -153,6 +221,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="BVAP compiler / matcher / simulator"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-v", "--verbose", action="store_true",
+                       help="debug-level logging")
+        p.add_argument("--seed", type=int, default=0,
+                       help="seed for every random choice (reproducible runs)")
+        p.add_argument("--trace-out", default=None, dest="trace_out",
+                       help="write a telemetry trace of this run")
+        p.add_argument("--trace-format", default="chrome",
+                       dest="trace_format", choices=TRACE_FORMATS,
+                       help="trace file format (chrome://tracing or JSONL)")
+        p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                       help="write the metrics snapshot of this run")
 
     def add_compiler_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--bv-size", type=int, default=64, dest="bv_size",
@@ -167,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("patterns", nargs="+")
     p_compile.add_argument("-o", "--output", default="bvap_config.json")
     add_compiler_flags(p_compile)
+    add_common_flags(p_compile)
     p_compile.set_defaults(func=cmd_compile)
 
     p_scan = sub.add_parser("scan", help="match patterns over input bytes")
@@ -176,25 +258,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("--engine", default="ah",
                         choices=("ah", "nbva", "nca", "nfa"))
     add_compiler_flags(p_scan)
+    add_common_flags(p_scan)
     p_scan.set_defaults(func=cmd_scan)
 
-    p_sim = sub.add_parser("simulate", help="cycle-level simulation")
-    p_sim.add_argument("patterns", nargs="*")
-    p_sim.add_argument("-i", "--input", default="-")
-    p_sim.add_argument("--arch", default="BVAP", choices=ARCH_CHOICES)
-    p_sim.add_argument("--config", default=None,
+    def add_simulate_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("patterns", nargs="*")
+        p.add_argument("-i", "--input", default="-")
+        p.add_argument("--arch", default="BVAP", choices=ARCH_CHOICES)
+        p.add_argument("--config", default=None,
                        help="program the simulator from a JSON config "
                             "instead of compiling PATTERNS")
-    add_compiler_flags(p_sim)
+        add_compiler_flags(p)
+        add_common_flags(p)
+
+    p_sim = sub.add_parser("simulate", help="cycle-level simulation")
+    add_simulate_args(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="simulate with telemetry on; write trace + span breakdown",
+    )
+    add_simulate_args(p_trace)
+    p_trace.set_defaults(func=cmd_trace, trace_out="trace.json")
 
     p_data = sub.add_parser("dataset", help="generate a synthetic dataset")
     p_data.add_argument("name", choices=DATASET_NAMES)
     p_data.add_argument("-n", "--count", type=int, default=20)
-    p_data.add_argument("--seed", type=int, default=0)
     p_data.add_argument("--stream", type=int, default=0,
                         help="also generate this many input bytes")
     p_data.add_argument("--stream-output", default="stream.bin")
+    add_common_flags(p_data)
     p_data.set_defaults(func=cmd_dataset)
 
     return parser
@@ -202,7 +296,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    configure_logging(getattr(args, "verbose", False))
+    seed = getattr(args, "seed", None)
+    if seed is not None:
+        # One root seed for anything that reaches for the global RNG; the
+        # dataset/input generators additionally derive their own
+        # random.Random(seed) streams from it.
+        random.seed(seed)
+    with _telemetry_session(args):
+        return args.func(args)
 
 
 if __name__ == "__main__":

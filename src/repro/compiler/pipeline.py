@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..automata.ah import AHNBVA, to_action_homogeneous
 from ..automata.optimize import prune
 from ..automata.glushkov import glushkov
@@ -136,7 +137,8 @@ def compile_pattern(
     unfolded_cap: int = 200_000,
 ) -> CompiledRegex:
     """Compile one pattern string into its AH-NBVA."""
-    parsed = parse(pattern)
+    with telemetry.span("compile.parse", "compile", regex_id=regex_id):
+        parsed = parse(pattern)
     return compile_ast(parsed, pattern, regex_id, options, unfolded_cap)
 
 
@@ -156,9 +158,14 @@ def compile_ast(
     unfolding").
     """
     params = options.rewrite_params
-    rewritten = unfold_all(parsed) if force_unfold else rewrite(parsed, params)
-    nbva = translate(rewritten, params)
-    ah = prune(to_action_homogeneous(nbva))
+    with telemetry.span("compile.rewrite", "compile", regex_id=regex_id):
+        rewritten = (
+            unfold_all(parsed) if force_unfold else rewrite(parsed, params)
+        )
+    with telemetry.span("compile.translate", "compile", regex_id=regex_id) as sp:
+        nbva = translate(rewritten, params)
+        ah = prune(to_action_homogeneous(nbva))
+        sp.set(states=ah.num_states, bv_stes=ah.num_bv_stes())
     unfolded_states = _unfolded_size(parsed, unfolded_cap)
     return CompiledRegex(
         regex_id=regex_id,
@@ -177,42 +184,59 @@ def compile_ruleset(
 ) -> CompiledRuleset:
     """Compile and map a whole rule set; oversized regexes are recorded in
     ``rejected`` rather than aborting the compilation (§6)."""
-    compiled: List[CompiledRegex] = []
-    rejected: Dict[int, str] = {}
-    for regex_id, pattern in enumerate(patterns):
-        try:
-            compiled.append(compile_pattern(pattern, regex_id, options))
-        except (ValueError, MappingError) as error:
-            rejected[regex_id] = str(error)
+    with telemetry.span("compile.ruleset", "compile", patterns=len(patterns)):
+        compiled: List[CompiledRegex] = []
+        rejected: Dict[int, str] = {}
+        for regex_id, pattern in enumerate(patterns):
+            try:
+                compiled.append(compile_pattern(pattern, regex_id, options))
+            except (ValueError, MappingError) as error:
+                rejected[regex_id] = str(error)
 
-    classes = [
-        state.cc for regex in compiled for state in regex.ah.states
-    ]
-    encoding = build_encoding(classes)
+        classes = [
+            state.cc for regex in compiled for state in regex.ah.states
+        ]
+        with telemetry.span("compile.encode", "compile", classes=len(classes)):
+            encoding = build_encoding(classes)
 
-    demands = []
-    mappable = []
-    for regex in compiled:
-        demand = regex.demand()
-        if demand.bv_stes > options.arch.bvs_per_array:
-            # §6 fallback: more BVs than an array holds — re-compile
-            # with the repetitions unfolded into plain STEs.
-            unfolded = _try_unfold_fallback(regex, options)
-            if unfolded is not None:
-                regex = unfolded
-                demand = regex.demand()
-        if (
-            demand.total_stes > options.arch.stes_per_array
-            or demand.bv_stes > options.arch.bvs_per_array
-        ):
-            rejected[regex.regex_id] = (
-                f"automaton too large: {demand.total_stes} STEs / "
-                f"{demand.bv_stes} BVs"
-            )
-            continue
-        demands.append(demand)
-        mappable.append(regex)
-    mapping = map_automata(demands, options.arch)
+        demands = []
+        mappable = []
+        for regex in compiled:
+            demand = regex.demand()
+            if demand.bv_stes > options.arch.bvs_per_array:
+                # §6 fallback: more BVs than an array holds — re-compile
+                # with the repetitions unfolded into plain STEs.
+                unfolded = _try_unfold_fallback(regex, options)
+                if unfolded is not None:
+                    regex = unfolded
+                    demand = regex.demand()
+            if (
+                demand.total_stes > options.arch.stes_per_array
+                or demand.bv_stes > options.arch.bvs_per_array
+            ):
+                rejected[regex.regex_id] = (
+                    f"automaton too large: {demand.total_stes} STEs / "
+                    f"{demand.bv_stes} BVs"
+                )
+                continue
+            demands.append(demand)
+            mappable.append(regex)
+        with telemetry.span("compile.map", "compile", automata=len(demands)) as sp:
+            mapping = map_automata(demands, options.arch)
+            sp.set(tiles=mapping.num_tiles, arrays=mapping.num_arrays)
+
+    if telemetry.metrics_enabled():
+        registry = telemetry.registry()
+        registry.counter("compile.patterns").inc(len(patterns))
+        registry.counter("compile.compiled").inc(len(mappable))
+        registry.counter("compile.rejected").inc(len(rejected))
+        registry.gauge("compile.tiles").set(mapping.num_tiles)
+        registry.gauge("compile.stes").set(
+            sum(r.num_stes for r in mappable)
+        )
+        registry.gauge("compile.bv_stes").set(
+            sum(r.num_bv_stes for r in mappable)
+        )
 
     return CompiledRuleset(
         options=options,

@@ -30,8 +30,16 @@ class SimulationReport:
     num_tiles: int = 0
     stall_cycles: int = 0
     bvm_activations: int = 0
-    #: Free-form extras (e.g. ``match_events`` when collected).
+    #: Free-form extras (e.g. ``match_events`` when collected, and the
+    #: telemetry snapshot under ``"metrics"`` when metrics are enabled).
     notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def metrics_snapshot(self) -> Optional[Dict[str, object]]:
+        """The telemetry snapshot captured at the end of the run, if the
+        simulation ran with ``repro.telemetry`` metrics enabled."""
+        snapshot = self.notes.get("metrics")
+        return snapshot if isinstance(snapshot, dict) else None
 
     # ------------------------------------------------------------------
     # Derived quantities

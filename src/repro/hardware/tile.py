@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..automata.ah import AHNBVA
 from ..regex.charclass import ALPHABET_SIZE
 from .activity import AHStepper, StepStats
@@ -48,8 +49,11 @@ class TileEngine:
         automata: Sequence[Tuple[int, AHNBVA]],
         stes_per_tile: int = 256,
         bvs_per_tile: int = 48,
+        tile_index: Optional[int] = None,
     ) -> None:
         self.automata = list(automata)
+        #: Tile index used to label telemetry instruments (optional).
+        self.tile_index = tile_index
         # Tile-local slot assignment: states are packed in placement
         # order; BV-STEs additionally claim BV slots.
         self._slot_of: Dict[Tuple[int, int], int] = {}
@@ -97,6 +101,16 @@ class TileEngine:
                     active_vector |= 1 << self._slot_of[(regex_id, state_index)]
         self.active_vector = active_vector
         self.last_stats = stats
+        if telemetry.metrics_enabled():
+            registry = telemetry.registry()
+            labels = (
+                {"tile": self.tile_index} if self.tile_index is not None else {}
+            )
+            registry.histogram("tile.occupancy", **labels).observe(
+                self.active_count()
+            )
+            if reports:
+                registry.counter("tile.reports", **labels).inc(len(reports))
         return reports
 
     def active_count(self) -> int:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .. import telemetry
 from ..automata.nca import NCAMatcher
 from ..compiler.pipeline import (
     CompiledRegex,
@@ -81,16 +82,50 @@ class PatternSet:
     def scan(self, data: bytes) -> List[Match]:
         """Scan from a fresh state; report every (pattern, end) event."""
         self.reset()
+        if telemetry.enabled():
+            with telemetry.span(
+                "engine.scan", "engine", engine=self.engine, symbols=len(data)
+            ):
+                return self._feed_instrumented(data)
         return self.feed(data)
 
     def feed(self, data: bytes) -> List[Match]:
         """Continue scanning from the current state (streaming use)."""
+        if telemetry.enabled():
+            return self._feed_instrumented(data)
         out: List[Match] = []
         matchers = self._matchers
         for offset, symbol in enumerate(data):
             for pattern_id, matcher in enumerate(matchers):
                 if matcher.step(symbol):
                     out.append(Match(pattern_id, offset))
+        return out
+
+    def _feed_instrumented(self, data: bytes) -> List[Match]:
+        """The :meth:`feed` loop plus telemetry: symbols scanned, matches
+        emitted, and a per-symbol active-state occupancy histogram
+        (summed over the set's matchers)."""
+        collect = telemetry.metrics_enabled()
+        if collect:
+            registry = telemetry.registry()
+            occupancy = registry.histogram("engine.active_states")
+        out: List[Match] = []
+        matchers = self._matchers
+        with telemetry.span(
+            "engine.feed", "engine", engine=self.engine, symbols=len(data)
+        ) as sp:
+            for offset, symbol in enumerate(data):
+                for pattern_id, matcher in enumerate(matchers):
+                    if matcher.step(symbol):
+                        out.append(Match(pattern_id, offset))
+                if collect:
+                    occupancy.observe(
+                        sum(m.active_count() for m in matchers)
+                    )
+            sp.set(matches=len(out))
+        if collect:
+            registry.counter("engine.symbols_scanned").inc(len(data))
+            registry.counter("engine.matches_emitted").inc(len(out))
         return out
 
     def match_ends(self, data: bytes, pattern_id: int = 0) -> List[int]:

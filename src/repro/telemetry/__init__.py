@@ -1,0 +1,172 @@
+"""Zero-dependency observability for the compile→map→simulate stack.
+
+The subsystem has three parts:
+
+* a **span tracer** (:mod:`repro.telemetry.trace`) — nested, wall-clock
+  timed spans with thread-local context and Chrome-trace / JSONL export;
+* a **metrics registry** (:mod:`repro.telemetry.metrics`) — counters,
+  gauges, and fixed-bucket histograms, snapshottable to JSON;
+* **exporters** (:mod:`repro.telemetry.export`) — file writers the CLI
+  uses for ``--trace-out`` / ``--metrics-out``.
+
+Telemetry is **disabled by default** and costs nothing when off: the
+instrumented call sites either receive the shared no-op
+:data:`~repro.telemetry.trace.NULL_SPAN`, or branch away from metric
+updates after one ``enabled()`` check per scan/run.
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.session():                 # enable for one block
+        ruleset = compile_ruleset(patterns)   # phases traced
+        report = BVAPSimulator(ruleset).run(data)
+        snap = telemetry.snapshot()           # counters + spans
+        telemetry.export.write_chrome_trace("trace.json")
+
+The same instrumentation is reachable from the CLI::
+
+    python -m repro.cli simulate 'ab{100}c' -i input.bin \
+        --trace-out trace.json --metrics-out metrics.json
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator
+
+from . import export  # re-exported submodule
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_US_BUCKETS,
+    MetricsRegistry,
+    OCCUPANCY_BUCKETS,
+    canonical_key,
+)
+from .trace import NULL_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_US_BUCKETS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "OCCUPANCY_BUCKETS",
+    "SpanRecord",
+    "Tracer",
+    "canonical_key",
+    "disable",
+    "enable",
+    "enabled",
+    "export",
+    "metrics_enabled",
+    "registry",
+    "reset",
+    "session",
+    "snapshot",
+    "span",
+    "trace_enabled",
+    "tracer",
+]
+
+_lock = threading.Lock()
+_trace_on = False
+_metrics_on = False
+_tracer = Tracer()
+_registry = MetricsRegistry()
+
+
+def enable(trace: bool = True, metrics: bool = True) -> None:
+    """Turn telemetry on (both facets by default)."""
+    global _trace_on, _metrics_on
+    with _lock:
+        _trace_on = _trace_on or trace
+        _metrics_on = _metrics_on or metrics
+
+
+def disable() -> None:
+    """Turn telemetry off; recorded data is kept until :func:`reset`."""
+    global _trace_on, _metrics_on
+    with _lock:
+        _trace_on = False
+        _metrics_on = False
+
+
+def enabled() -> bool:
+    """True when either tracing or metrics collection is on."""
+    return _trace_on or _metrics_on
+
+
+def trace_enabled() -> bool:
+    return _trace_on
+
+
+def metrics_enabled() -> bool:
+    return _metrics_on
+
+
+def tracer() -> Tracer:
+    """The global tracer (always present; only fed while enabled)."""
+    return _tracer
+
+
+def registry() -> MetricsRegistry:
+    """The global metrics registry."""
+    return _registry
+
+
+def span(name: str, category: str = "", **args: Any):
+    """A live span when tracing is on, else the shared no-op span."""
+    if _trace_on:
+        return _tracer.span(name, category, **args)
+    return NULL_SPAN
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    return _registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    return _registry.gauge(name, **labels)
+
+
+def histogram(name: str, bounds=OCCUPANCY_BUCKETS, **labels: Any) -> Histogram:
+    return _registry.histogram(name, bounds, **labels)
+
+
+def snapshot() -> Dict[str, Any]:
+    """Combined JSON-serialisable snapshot: metrics plus span summary."""
+    snap = _registry.snapshot()
+    snap["spans"] = _tracer.summary()
+    return snap
+
+
+def reset() -> None:
+    """Clear all recorded spans and metrics (the switches are untouched)."""
+    _tracer.clear()
+    _registry.reset()
+
+
+@contextmanager
+def session(
+    trace: bool = True, metrics: bool = True, fresh: bool = True
+) -> Iterator[None]:
+    """Enable telemetry for a ``with`` block, restoring the previous
+    switches afterwards.  ``fresh`` clears previously recorded data so
+    the block's snapshot stands alone."""
+    global _trace_on, _metrics_on
+    with _lock:
+        previous = (_trace_on, _metrics_on)
+        _trace_on = _trace_on or trace
+        _metrics_on = _metrics_on or metrics
+    if fresh:
+        reset()
+    try:
+        yield
+    finally:
+        with _lock:
+            _trace_on, _metrics_on = previous

@@ -1,0 +1,80 @@
+"""File exporters for traces and metrics snapshots.
+
+These helpers write the global tracer/registry (or explicitly passed
+ones) to disk in the formats the CLI exposes:
+
+* :func:`write_chrome_trace` — ``chrome://tracing`` / Perfetto JSON;
+* :func:`write_jsonl_trace` — one span object per line;
+* :func:`write_metrics` — the combined metrics snapshot (counters,
+  gauges, histograms, and the per-span summary).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .trace import Tracer
+
+TRACE_FORMATS = ("chrome", "jsonl")
+
+
+def _default_tracer(tracer: Optional[Tracer]) -> Tracer:
+    if tracer is not None:
+        return tracer
+    from . import tracer as global_tracer
+
+    return global_tracer()
+
+
+def write_chrome_trace(path: str, tracer: Optional[Tracer] = None) -> None:
+    """Write the Chrome trace-event document (open via chrome://tracing
+    or https://ui.perfetto.dev)."""
+    document = _default_tracer(tracer).to_chrome()
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+
+
+def write_jsonl_trace(path: str, tracer: Optional[Tracer] = None) -> None:
+    """Write one JSON object per completed span."""
+    text = _default_tracer(tracer).to_jsonl()
+    with open(path, "w") as handle:
+        handle.write(text)
+        if text:
+            handle.write("\n")
+
+
+def write_trace(
+    path: str, fmt: str = "chrome", tracer: Optional[Tracer] = None
+) -> None:
+    """Dispatch on ``fmt`` (one of :data:`TRACE_FORMATS`)."""
+    if fmt == "chrome":
+        write_chrome_trace(path, tracer)
+    elif fmt == "jsonl":
+        write_jsonl_trace(path, tracer)
+    else:
+        raise ValueError(f"trace format must be one of {TRACE_FORMATS}, got {fmt!r}")
+
+
+def write_metrics(
+    path: str, snapshot: Optional[Dict[str, Any]] = None
+) -> None:
+    """Write a metrics snapshot (defaults to the live global snapshot)."""
+    if snapshot is None:
+        from . import snapshot as global_snapshot
+
+        snapshot = global_snapshot()
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_metrics(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)

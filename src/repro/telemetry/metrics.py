@@ -1,0 +1,215 @@
+"""Metrics primitives: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named collection of metric instruments.
+Instruments are identified by a name plus optional labels
+(``registry.counter("sim.tile.bvm_activations", tile=3)``); the same
+(name, labels) pair always returns the same instrument, so call sites
+can be stateless.  ``snapshot()`` renders everything to a plain
+JSON-serialisable dict keyed by canonical names (``name{label=value}``).
+
+The instruments deliberately avoid locks on the update path: under
+CPython the ``+=`` on a counter is as atomic as the simulators need,
+and the registry's creation path (the only structural mutation) is
+guarded.  Hot loops are expected to gate on
+``repro.telemetry.metrics_enabled()`` and skip instrumentation entirely
+when it is off — that is the no-op fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default boundaries for active-state occupancy histograms: bucket ``i``
+#: counts observations ``value <= bounds[i]`` (first matching bound); a
+#: final implicit overflow bucket catches everything above the last bound.
+OCCUPANCY_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+#: Default boundaries for microsecond latency histograms.
+LATENCY_US_BUCKETS: Tuple[float, ...] = (
+    10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000,
+)
+
+
+def canonical_key(name: str, labels: Mapping[str, Any]) -> str:
+    """``name`` or ``name{a=1,b=x}`` with label keys sorted."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, Any]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (plus the running maximum, for occupancies)."""
+
+    __slots__ = ("name", "labels", "value", "max_value")
+
+    def __init__(self, name: str, labels: Mapping[str, Any]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value: float = 0.0
+        self.max_value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def update_max(self, value: float) -> None:
+        """Keep only the high-water mark (``value`` tracks it too)."""
+        if value > self.max_value:
+            self.max_value = value
+            self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max.
+
+    ``bounds`` are inclusive upper bucket edges; an implicit overflow
+    bucket follows the last edge, so ``len(counts) == len(bounds) + 1``.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, Any],
+        bounds: Sequence[float] = OCCUPANCY_BUCKETS,
+    ) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted: {bounds!r}")
+        self.name = name
+        self.labels = dict(labels)
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments with one snapshot view."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors -------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = canonical_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(
+                    key, Counter(name, labels)
+                )
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = canonical_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge(name, labels))
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = OCCUPANCY_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = canonical_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(name, labels, bounds)
+                )
+        return instrument
+
+    # -- read side ------------------------------------------------------
+
+    def get(self, name: str, **labels: Any) -> Optional[Any]:
+        """Current value of a counter/gauge, or a histogram dict; None
+        when the instrument was never touched."""
+        key = canonical_key(name, labels)
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        if key in self._histograms:
+            return self._histograms[key].to_dict()
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serialisable view of every instrument."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {
+                    k: {"value": g.value, "max": g.max_value}
+                    for k, g in self._gauges.items()
+                },
+                "histograms": {
+                    k: h.to_dict() for k, h in self._histograms.items()
+                },
+            }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh CLI sessions)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

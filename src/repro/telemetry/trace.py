@@ -1,0 +1,222 @@
+"""Span-based tracing with thread-local nesting.
+
+A :class:`Tracer` records *spans* — named intervals with wall-clock
+start/duration, per-thread nesting (parent ids), and free-form ``args``.
+Spans are opened with the context manager returned by
+:meth:`Tracer.span`; when the global tracing switch is off the public
+facade (:mod:`repro.telemetry`) hands out the shared :data:`NULL_SPAN`
+instead, so disabled call sites cost one attribute lookup and nothing
+else.
+
+Two export formats are supported:
+
+* **JSONL** — one JSON object per completed span, with absolute
+  timestamps (epoch seconds), convenient for ad-hoc ``jq`` analysis;
+* **Chrome trace-event** — the ``chrome://tracing`` / Perfetto format:
+  a ``{"traceEvents": [...]}`` document of ``"ph": "X"`` complete
+  events with microsecond ``ts``/``dur``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Process id reported in Chrome trace events (the model is single-process).
+TRACE_PID = 1
+
+
+@dataclass
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    category: str
+    start_us: float  # relative to the tracer's epoch
+    duration_us: float
+    thread_id: int
+    span_id: int
+    parent_id: Optional[int]
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_chrome_event(self) -> Dict[str, Any]:
+        """A trace-event "complete" (``ph: X``) event."""
+        event: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.category or "repro",
+            "ph": "X",
+            "ts": self.start_us,
+            "dur": self.duration_us,
+            "pid": TRACE_PID,
+            "tid": self.thread_id,
+        }
+        args = dict(self.args)
+        args["span_id"] = self.span_id
+        if self.parent_id is not None:
+            args["parent_id"] = self.parent_id
+        event["args"] = args
+        return event
+
+    def to_json_obj(self, epoch_s: float) -> Dict[str, Any]:
+        """A JSONL-friendly object with absolute timestamps."""
+        return {
+            "name": self.name,
+            "cat": self.category or "repro",
+            "start_s": epoch_s + self.start_us * 1e-6,
+            "duration_us": self.duration_us,
+            "tid": self.thread_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "args": self.args,
+        }
+
+
+class _NullSpan:
+    """Do-nothing span: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **args: Any) -> "_NullSpan":
+        return self
+
+
+#: Shared no-op span handed out whenever tracing is disabled.
+NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span into its tracer."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "span_id",
+                 "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.span_id = tracer._new_id()
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+
+    def set(self, **args: Any) -> "_LiveSpan":
+        """Attach additional args mid-span (e.g. a result size)."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self._tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = self._tracer._clock()
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._record(self, self._start, end)
+        return False
+
+
+class Tracer:
+    """Collects spans; thread-safe appends, thread-local nesting."""
+
+    def __init__(self) -> None:
+        self._clock = time.perf_counter
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        #: Wall-clock epoch matching perf-counter zero, for JSONL export.
+        self.epoch_s = time.time()
+        self._epoch_perf = self._clock()
+
+    # -- internals ------------------------------------------------------
+
+    def _new_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self) -> List[_LiveSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: _LiveSpan, start: float, end: float) -> None:
+        record = SpanRecord(
+            name=span.name,
+            category=span.category,
+            start_us=(start - self._epoch_perf) * 1e6,
+            duration_us=(end - start) * 1e6,
+            thread_id=threading.get_ident() & 0xFFFF,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            args=span.args,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    # -- public API -----------------------------------------------------
+
+    def span(self, name: str, category: str = "", **args: Any) -> _LiveSpan:
+        """Open a span; use as ``with tracer.span("rewrite", regex_id=3):``."""
+        return _LiveSpan(self, name, category, args)
+
+    def records(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name aggregate: count, total/max duration (µs).
+
+        This is the "spans" section of a metrics snapshot — it makes
+        per-phase compile timing available without loading a trace file.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for record in self.records():
+            agg = out.setdefault(
+                record.name, {"count": 0, "total_us": 0.0, "max_us": 0.0}
+            )
+            agg["count"] += 1
+            agg["total_us"] += record.duration_us
+            if record.duration_us > agg["max_us"]:
+                agg["max_us"] = record.duration_us
+        return out
+
+    # -- exporters ------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The full ``chrome://tracing`` document."""
+        return {
+            "traceEvents": [r.to_chrome_event() for r in self.records()],
+            "displayTimeUnit": "ms",
+            "otherData": {"epoch_unix_s": self.epoch_s},
+        }
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, absolute timestamps."""
+        return "\n".join(
+            json.dumps(r.to_json_obj(self.epoch_s), sort_keys=True)
+            for r in self.records()
+        )

@@ -1,6 +1,13 @@
-"""ASCII table rendering tests."""
+"""ASCII table rendering and telemetry-join tests."""
 
-from repro.analysis.report import format_table, normalized_table
+from repro.analysis.report import (
+    format_table,
+    join_report_metrics,
+    metrics_summary_table,
+    normalized_table,
+    span_summary_table,
+)
+from repro.hardware.report import SimulationReport
 
 
 class TestFormatTable:
@@ -28,3 +35,74 @@ class TestNormalizedTable:
         text = normalized_table(per_arch, ["area", "fom"])
         assert "BVAP" in text and "CAMA" in text
         assert "architecture" in text
+
+
+SNAPSHOT = {
+    "counters": {"sim.symbols": 100, "sim.tile.bvm_activations{tile=0}": 7},
+    "gauges": {"sim.progress_symbols": {"value": 100, "max": 100}},
+    "histograms": {
+        "sim.active_states": {
+            "bounds": [0, 1], "counts": [10, 40, 50],
+            "count": 100, "sum": 240.0, "mean": 2.4, "min": 0, "max": 9,
+        }
+    },
+    "spans": {
+        "compile.parse": {"count": 2, "total_us": 10.0, "max_us": 7.0},
+        "sim.run": {"count": 1, "total_us": 90.0, "max_us": 90.0},
+    },
+}
+
+
+class TestSpanSummaryTable:
+    def test_sorted_by_total_time(self):
+        text = span_summary_table(SNAPSHOT)
+        lines = text.splitlines()
+        assert "span" in lines[0]
+        assert lines[2].split()[0] == "sim.run"  # biggest total first
+        assert "compile.parse" in text
+
+    def test_empty_snapshot(self):
+        assert "span" in span_summary_table({})
+
+
+class TestMetricsSummaryTable:
+    def test_lists_all_kinds(self):
+        text = metrics_summary_table(SNAPSHOT)
+        assert "sim.symbols" in text
+        assert "sim.progress_symbols" in text
+        assert "sim.active_states" in text
+        assert "counter" in text and "gauge" in text and "histogram" in text
+
+
+class TestJoinReportMetrics:
+    def make_report(self, notes):
+        return SimulationReport(
+            architecture="BVAP",
+            symbols=100,
+            system_cycles=120,
+            clock_hz=1e9,
+            dynamic_energy_j=1e-9,
+            leakage_energy_j=0.0,
+            area_mm2=1.0,
+            matches=3,
+            stall_cycles=20,
+            bvm_activations=7,
+            notes=notes,
+        )
+
+    def test_join_flattens_report_and_telemetry(self):
+        joined = join_report_metrics(self.make_report({"metrics": SNAPSHOT}))
+        # paper-figure side
+        assert joined["architecture"] == "BVAP"
+        assert joined["stall_cycles"] == 20
+        assert joined["energy_per_symbol_nj"] > 0
+        # telemetry side
+        assert joined["telemetry.sim.tile.bvm_activations{tile=0}"] == 7
+        assert joined["telemetry.sim.progress_symbols"] == 100
+        assert joined["telemetry.sim.active_states.mean"] == 2.4
+        assert joined["telemetry.span.sim.run.total_us"] == 90.0
+
+    def test_join_without_snapshot(self):
+        joined = join_report_metrics(self.make_report({}))
+        assert joined["matches"] == 3
+        assert not any(k.startswith("telemetry.") for k in joined)

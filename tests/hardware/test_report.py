@@ -1,5 +1,7 @@
 """SimulationReport metric-derivation tests."""
 
+import json
+
 import pytest
 
 from repro.hardware.report import SimulationReport
@@ -56,6 +58,84 @@ class TestDerivedMetrics:
     def test_zero_throughput_fom_infinite(self):
         report = make_report(symbols=0, system_cycles=0)
         assert report.fom == float("inf")
+
+
+class TestZeroEdgeCases:
+    """Degenerate streams and areas must not divide by zero."""
+
+    def test_zero_symbols_energy_per_symbol(self):
+        report = make_report(symbols=0)
+        assert report.energy_per_symbol_j == 0.0
+        assert report.energy_per_symbol_nj == 0.0
+
+    def test_zero_cycles_time_throughput_power(self):
+        report = make_report(symbols=0, system_cycles=0)
+        assert report.time_s == 0.0
+        assert report.throughput_sym_per_s == 0.0
+        assert report.throughput_gbps == 0.0
+        assert report.power_w == 0.0
+        assert report.edp == 0.0
+
+    def test_zero_area_compute_density(self):
+        report = make_report(area_mm2=0.0)
+        assert report.compute_density_gbps_mm2 == 0.0
+
+    def test_zero_area_fom_is_zero_not_nan(self):
+        report = make_report(area_mm2=0.0)
+        assert report.fom == 0.0
+
+    def test_normalized_to_zero_base_is_infinite(self):
+        mine = make_report()
+        base = make_report(symbols=0, system_cycles=0, area_mm2=0.0,
+                           dynamic_energy_j=0.0, leakage_energy_j=0.0)
+        norm = mine.normalized_to(base)
+        assert norm["area"] == float("inf")
+        assert norm["throughput"] == float("inf")
+
+
+class TestMetricsNotes:
+    """The telemetry snapshot rides in ``notes`` and must round-trip."""
+
+    def test_metrics_snapshot_absent(self):
+        assert make_report().metrics_snapshot is None
+
+    def test_metrics_snapshot_non_dict_ignored(self):
+        report = make_report(notes={"metrics": "garbage"})
+        assert report.metrics_snapshot is None
+
+    def test_metrics_snapshot_round_trip(self):
+        snap = {
+            "counters": {"sim.symbols": 1000, "sim.tile.bvm_activations{tile=0}": 4},
+            "gauges": {"sim.progress_symbols": {"value": 1000, "max": 1000}},
+            "histograms": {
+                "sim.active_states": {
+                    "bounds": [0, 1, 2], "counts": [1, 2, 3, 4],
+                    "count": 10, "sum": 25.0, "mean": 2.5, "min": 0, "max": 9,
+                }
+            },
+            "spans": {"compile.parse": {"count": 1, "total_us": 3.0, "max_us": 3.0}},
+        }
+        report = make_report(notes={"metrics": snap})
+        restored = json.loads(json.dumps(report.notes))["metrics"]
+        assert restored == snap
+        assert report.metrics_snapshot == snap
+
+    def test_real_simulation_snapshot_round_trips(self):
+        from repro import telemetry
+        from repro.compiler import compile_ruleset
+        from repro.hardware.simulator import BVAPSimulator
+
+        telemetry.reset()
+        with telemetry.session():
+            report = BVAPSimulator(compile_ruleset(["ab{8}c"])).run(
+                b"a" + b"b" * 8 + b"c"
+            )
+        try:
+            restored = json.loads(json.dumps(report.notes))["metrics"]
+        finally:
+            telemetry.reset()
+        assert restored == report.metrics_snapshot
+        assert restored["counters"]["sim.matches"] == 1
 
 
 class TestNormalisation:

@@ -1,0 +1,70 @@
+"""File exporter tests: Chrome trace, JSONL, metrics snapshots."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.export import (
+    load_chrome_trace,
+    load_metrics,
+    write_chrome_trace,
+    write_jsonl_trace,
+    write_metrics,
+    write_trace,
+)
+
+
+@pytest.fixture()
+def populated_telemetry():
+    with telemetry.session():
+        with telemetry.span("compile.parse", "compile", regex_id=0):
+            pass
+        telemetry.counter("engine.symbols_scanned").inc(10)
+        yield
+
+
+class TestTraceFiles:
+    def test_chrome_trace_file(self, tmp_path, populated_telemetry):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path)
+        doc = load_chrome_trace(path)
+        assert doc["traceEvents"][0]["name"] == "compile.parse"
+        assert doc["traceEvents"][0]["ph"] == "X"
+
+    def test_jsonl_trace_file(self, tmp_path, populated_telemetry):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl_trace(path)
+        lines = open(path).read().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["compile.parse"]
+
+    def test_write_trace_dispatch(self, tmp_path, populated_telemetry):
+        chrome = str(tmp_path / "a.json")
+        jsonl = str(tmp_path / "b.jsonl")
+        write_trace(chrome, "chrome")
+        write_trace(jsonl, "jsonl")
+        assert "traceEvents" in json.load(open(chrome))
+        assert json.loads(open(jsonl).read().splitlines()[0])
+
+    def test_write_trace_bad_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_trace(str(tmp_path / "x"), "xml")
+
+    def test_empty_trace_still_valid(self, tmp_path):
+        path = str(tmp_path / "empty.json")
+        write_chrome_trace(path)
+        assert load_chrome_trace(path)["traceEvents"] == []
+
+
+class TestMetricsFiles:
+    def test_metrics_file_round_trip(self, tmp_path, populated_telemetry):
+        path = str(tmp_path / "metrics.json")
+        write_metrics(path)
+        snap = load_metrics(path)
+        assert snap["counters"]["engine.symbols_scanned"] == 10
+        assert snap["spans"]["compile.parse"]["count"] == 1
+
+    def test_explicit_snapshot(self, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        write_metrics(path, {"counters": {"x": 1}})
+        assert load_metrics(path) == {"counters": {"x": 1}}

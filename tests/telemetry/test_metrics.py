@@ -1,0 +1,116 @@
+"""Metrics registry unit tests."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Histogram,
+    MetricsRegistry,
+    OCCUPANCY_BUCKETS,
+    canonical_key,
+)
+
+
+class TestCanonicalKey:
+    def test_no_labels(self):
+        assert canonical_key("a.b", {}) == "a.b"
+
+    def test_labels_sorted(self):
+        assert canonical_key("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert registry.get("hits") == 5
+
+    def test_labelled_counters_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("bvm", tile=0).inc()
+        registry.counter("bvm", tile=1).inc(2)
+        assert registry.get("bvm", tile=0) == 1
+        assert registry.get("bvm", tile=1) == 2
+
+    def test_same_labels_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", x=1) is registry.counter("c", x=1)
+
+
+class TestGauge:
+    def test_set_and_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("occupancy")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.max_value == 5
+
+    def test_update_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("hwm")
+        gauge.update_max(3)
+        gauge.update_max(1)
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive_upper_edges(self):
+        hist = Histogram("h", {}, bounds=(1, 2, 4))
+        for value in (0, 1, 2, 3, 4, 5):
+            hist.observe(value)
+        # counts: <=1 (0,1), <=2 (2), <=4 (3,4), overflow (5)
+        assert hist.counts == [2, 1, 2, 1]
+        assert hist.count == 6
+        assert hist.sum == 15
+        assert hist.min == 0 and hist.max == 5
+
+    def test_mean(self):
+        hist = Histogram("h", {}, bounds=(10,))
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.mean == pytest.approx(3.0)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", {}, bounds=(2, 1))
+
+    def test_default_occupancy_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("occ")
+        assert hist.bounds == OCCUPANCY_BUCKETS
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", tile=3).inc(7)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", bounds=(1, 2)).observe(2)
+        snap = registry.snapshot()
+        restored = json.loads(json.dumps(snap))
+        assert restored["counters"]["c{tile=3}"] == 7
+        assert restored["gauges"]["g"]["value"] == 1.5
+        assert restored["histograms"]["h"]["counts"] == [0, 1, 0]
+        assert restored["histograms"]["h"]["count"] == 1
+
+    def test_to_json_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        assert json.loads(registry.to_json())["counters"]["x"] == 1
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_get_missing_returns_none(self):
+        assert MetricsRegistry().get("nope") is None

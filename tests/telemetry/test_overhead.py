@@ -1,0 +1,70 @@
+"""Micro-overhead guard: disabled telemetry must be (nearly) free.
+
+``PatternSet.feed`` keeps the pre-telemetry scan loop as its disabled
+fast path, so scanning with telemetry off must stay within a small
+factor of an un-instrumented copy of that loop timed in the same test
+run (same machine, same load, interleaved samples).
+"""
+
+import time
+
+from repro import telemetry
+from repro.matching import PatternSet
+
+PATTERNS = ["ab{10}c", "x[0-9]{4}y", "zq"]
+DATA = (b"abbbbbbbbbbc x0123y zq padding " * 40)
+ROUNDS = 7
+
+
+def _raw_scan(pattern_set, data):
+    """The un-instrumented baseline: PatternSet.feed's original loop."""
+    for matcher in pattern_set._matchers:
+        matcher.reset()
+    out = []
+    matchers = pattern_set._matchers
+    for offset, symbol in enumerate(data):
+        for pattern_id, matcher in enumerate(matchers):
+            if matcher.step(symbol):
+                out.append((pattern_id, offset))
+    return out
+
+
+def _best_of(func, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_disabled_scan_overhead_within_bound():
+    assert not telemetry.enabled()
+    ps = PatternSet(PATTERNS)
+
+    # Warm both paths (allocation, caches) before timing.
+    ps.scan(DATA)
+    _raw_scan(ps, DATA)
+
+    # Interleave the two timed workloads so machine noise hits both.
+    instrumented = float("inf")
+    baseline = float("inf")
+    for _ in range(ROUNDS):
+        instrumented = min(instrumented, _best_of(lambda: ps.scan(DATA), 1))
+        baseline = min(baseline, _best_of(lambda: _raw_scan(ps, DATA), 1))
+
+    # The disabled path is the identical loop plus one enabled() check per
+    # scan, so 1.15x leaves ample room for timer noise; the absolute
+    # epsilon guards tiny workloads on very fast machines.
+    assert instrumented <= baseline * 1.15 + 1e-3, (
+        f"disabled-telemetry scan {instrumented * 1e3:.3f} ms vs "
+        f"uninstrumented baseline {baseline * 1e3:.3f} ms"
+    )
+
+
+def test_scan_results_match_baseline():
+    ps = PatternSet(PATTERNS)
+    scanned = [(m.pattern_id, m.end) for m in ps.scan(DATA)]
+    assert scanned == _raw_scan(ps, DATA)

@@ -1,0 +1,161 @@
+"""Tracer unit tests: nesting, thread-local context, exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.trace import NULL_SPAN, Tracer
+
+
+class TestSpans:
+    def test_records_name_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work", "test", regex_id=7):
+            pass
+        (record,) = tracer.records()
+        assert record.name == "work"
+        assert record.category == "test"
+        assert record.args == {"regex_id": 7}
+        assert record.duration_us >= 0.0
+
+    def test_nesting_assigns_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {r.name: r for r in tracer.records()}
+        outer = by_name["outer"]
+        assert outer.parent_id is None
+        assert by_name["inner"].parent_id == outer.span_id
+        assert by_name["sibling"].parent_id == outer.span_id
+
+    def test_children_close_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [r.name for r in tracer.records()]
+        assert names == ["inner", "outer"]
+
+    def test_set_attaches_args_mid_span(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            span.set(states=12)
+        (record,) = tracer.records()
+        assert record.args["states"] == 12
+
+    def test_thread_local_stacks_are_independent(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(label):
+            with tracer.span(label):
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = tracer.records()
+        assert len(records) == 2
+        # Concurrent roots: neither thread saw the other as its parent.
+        assert all(r.parent_id is None for r in records)
+
+    def test_exception_still_records_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [r.name for r in tracer.records()] == ["doomed"]
+
+    def test_summary_aggregates_per_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("phase"):
+                pass
+        summary = tracer.summary()
+        assert summary["phase"]["count"] == 3
+        assert summary["phase"]["total_us"] >= summary["phase"]["max_us"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestExportFormats:
+    def test_chrome_document_shape(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", "cat2", k=1):
+                pass
+        doc = tracer.to_chrome()
+        assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert {"name", "cat", "ts", "dur", "pid", "tid"} <= set(event)
+        # the document is valid JSON end to end
+        json.loads(json.dumps(doc))
+
+    def test_jsonl_lines_parse(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        lines = tracer.to_jsonl().splitlines()
+        objs = [json.loads(line) for line in lines]
+        assert [o["name"] for o in objs] == ["a", "b"]
+        assert all("start_s" in o and "duration_us" in o for o in objs)
+
+
+class TestGlobalFacade:
+    def test_disabled_by_default_returns_null_span(self):
+        assert not telemetry.enabled()
+        assert telemetry.span("anything", key="value") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span.set(x=1) is NULL_SPAN
+        assert len(telemetry.tracer()) == 0
+
+    def test_enable_records_through_facade(self):
+        telemetry.enable()
+        with telemetry.span("visible"):
+            pass
+        assert [r.name for r in telemetry.tracer().records()] == ["visible"]
+
+    def test_session_restores_previous_state(self):
+        assert not telemetry.enabled()
+        with telemetry.session():
+            assert telemetry.enabled()
+            with telemetry.span("inside"):
+                pass
+        assert not telemetry.enabled()
+        # data survives the session for export
+        assert len(telemetry.tracer()) == 1
+
+    def test_session_fresh_clears_old_data(self):
+        telemetry.enable()
+        with telemetry.span("stale"):
+            pass
+        telemetry.disable()
+        with telemetry.session(fresh=True):
+            pass
+        assert len(telemetry.tracer()) == 0
+
+    def test_snapshot_includes_span_summary(self):
+        with telemetry.session():
+            with telemetry.span("phase"):
+                pass
+            snap = telemetry.snapshot()
+        assert snap["spans"]["phase"]["count"] == 1

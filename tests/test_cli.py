@@ -1,6 +1,7 @@
 """CLI tests (argument parsing and end-to-end command flows)."""
 
 import json
+import logging
 
 import pytest
 
@@ -27,6 +28,63 @@ class TestParser:
     def test_arch_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "a", "--arch", "GPU"])
+
+    @pytest.mark.parametrize(
+        "verb,extra",
+        [
+            ("compile", ["a"]),
+            ("scan", ["a"]),
+            ("simulate", ["a"]),
+            ("trace", ["a"]),
+            ("dataset", ["Snort"]),
+        ],
+    )
+    def test_common_flags_on_every_verb(self, verb, extra):
+        args = build_parser().parse_args(
+            [verb, *extra, "-v", "--seed", "7", "--metrics-out", "m.json"]
+        )
+        assert args.verbose is True
+        assert args.seed == 7
+        assert args.metrics_out == "m.json"
+
+    def test_seed_defaults_to_zero(self):
+        assert build_parser().parse_args(["dataset", "Snort"]).seed == 0
+
+    def test_trace_verb_default_trace_out(self):
+        assert build_parser().parse_args(["trace", "a"]).trace_out == "trace.json"
+
+
+class TestSeedAndVerbose:
+    def test_dataset_same_seed_is_deterministic(self, capsys):
+        main(["dataset", "Snort", "-n", "8", "--seed", "11"])
+        first = capsys.readouterr().out
+        main(["dataset", "Snort", "-n", "8", "--seed", "11"])
+        assert capsys.readouterr().out == first
+
+    def test_dataset_different_seeds_differ(self, capsys):
+        main(["dataset", "Snort", "-n", "8", "--seed", "11"])
+        first = capsys.readouterr().out
+        main(["dataset", "Snort", "-n", "8", "--seed", "12"])
+        assert capsys.readouterr().out != first
+
+    def test_seed_applies_to_stream_generation(self, tmp_path, capsys):
+        paths = [tmp_path / "a.bin", tmp_path / "b.bin"]
+        for path in paths:
+            main(["dataset", "YARA", "-n", "3", "--seed", "5",
+                  "--stream", "256", "--stream-output", str(path)])
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_verbose_sets_debug_level(self, input_file, capsys):
+        main(["scan", "a", "-i", input_file, "-v"])
+        assert logging.getLogger().getEffectiveLevel() == logging.DEBUG
+        main(["scan", "a", "-i", input_file])
+        assert logging.getLogger().getEffectiveLevel() == logging.INFO
+
+    def test_scan_summary_logged_to_stderr(self, input_file, capsys):
+        main(["scan", "ab{20}c", "-i", input_file])
+        err = capsys.readouterr().err
+        assert "1 matches" in err and "repro.cli" in err
 
 
 class TestScan:
