@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Emit the fused-scan perf record (``BENCH_scan.json``).
+
+Times the fused multi-pattern engine against the per-pattern engines on
+a pattern-count × input-size grid over one workload profile, and writes
+a machine-readable JSON record to track the scan-performance trajectory
+across PRs.  The headline figure is the fused speedup over the
+per-pattern ``nfa`` loop at the largest pattern count (16 by default).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scan.py                 # full grid
+    PYTHONPATH=src python benchmarks/bench_scan.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/bench_scan.py --check 2.0     # enforce
+
+``--check X`` exits non-zero unless the headline speedup is at least X
+(the tracked regression bound is 2x; the measured margin is far larger).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.matching import ENGINES  # noqa: E402
+from repro.matching.bench import bench_grid, format_grid, write_record  # noqa: E402
+from repro.workloads import DATASET_NAMES  # noqa: E402
+
+DEFAULT_OUT = "BENCH_scan.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--profile", default="RegexLib", choices=DATASET_NAMES)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--engines", default="all",
+        help="comma-separated engine list (default: all five)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small grid / fewer repeats for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check", type=float, default=None, metavar="FACTOR",
+        help="fail unless the headline fused speedup is >= FACTOR",
+    )
+    args = parser.parse_args(argv)
+
+    engines = (
+        list(ENGINES)
+        if args.engines == "all"
+        else [e.strip() for e in args.engines.split(",") if e.strip()]
+    )
+    if args.quick:
+        pattern_counts = (4, 16)
+        input_sizes = (4096,)
+        repeats = 1
+    else:
+        pattern_counts = (1, 4, 16)
+        input_sizes = (4096, 16384)
+        repeats = args.repeats
+
+    record = bench_grid(
+        profile_name=args.profile,
+        pattern_counts=pattern_counts,
+        input_sizes=input_sizes,
+        engines=engines,
+        repeats=repeats,
+        seed=args.seed,
+    )
+    print(format_grid(record))
+    write_record(record, args.out)
+    print(f"wrote {args.out}")
+
+    headline = record.get("fused_speedup_max_patterns")
+    if headline is not None:
+        print(
+            f"headline: fused is {headline:.2f}x the per-pattern "
+            f"{record['baseline_engine']} loop at "
+            f"{max(pattern_counts)} patterns"
+        )
+    if args.check is not None:
+        if headline is None or headline < args.check:
+            print(
+                f"FAIL: headline speedup {headline} below --check {args.check}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

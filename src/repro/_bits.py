@@ -1,0 +1,18 @@
+"""Shared bit-twiddling helpers for the hot simulation paths.
+
+Python 3.10 added :meth:`int.bit_count` (a single CPython opcode-level
+popcount); earlier interpreters fall back to the classic
+``bin(x).count("1")`` idiom.  Everything in the package that counts set
+bits — matcher occupancy, BV activity accounting, character-class sizes —
+goes through :func:`popcount` so the fast path is picked exactly once.
+"""
+
+from __future__ import annotations
+
+try:  # Python >= 3.10: the unbound method works on any int
+    popcount = int.bit_count
+except AttributeError:  # pragma: no cover - exercised only on Python 3.9
+
+    def popcount(value: int) -> int:
+        """Number of set bits in ``value``."""
+        return bin(value).count("1")

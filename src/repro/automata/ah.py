@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..regex.charclass import CharClass
 from .actions import COPY, SET1, Action
 from .nbva import NBVA, Scope
+from .nfa import NFA
 
 
 def injection_kind(width: int) -> Action:
@@ -162,6 +163,54 @@ def to_action_homogeneous(nbva: NBVA) -> AHNBVA:
         final=final,
         match_empty=nbva.match_empty,
     )
+
+
+def is_counter_free(ah: AHNBVA) -> bool:
+    """True when no state carries a live bit vector.
+
+    Every state is then a plain width-1 STE whose action preserves the
+    single activity bit (``copy``/``set1`` both map 1 to 1), so the whole
+    AH-NBVA is a homogeneous NFA in disguise — see :func:`to_nfa`.
+    """
+    return all(
+        state.width == 1
+        and not state.action.reads_source
+        and state.action.apply(1, 1, 1) == 1
+        for state in ah.states
+    )
+
+
+def to_nfa(ah: AHNBVA) -> NFA:
+    """Project a counter-free AH-NBVA onto the equivalent homogeneous NFA.
+
+    With every vector one bit wide, aggregation is plain bitwise OR and
+    the per-state action is the identity on activity, so the AH step
+    (gate by predicate, OR the predecessors plus the injection) *is* the
+    two-phase NFA bitset step.  A final state reports iff its
+    finalisation condition fires on an active width-1 vector.
+
+    Raises ``ValueError`` when the automaton holds live bit vectors
+    (use :func:`is_counter_free` to pre-check).
+    """
+    if not is_counter_free(ah):
+        raise ValueError("AH-NBVA holds live bit vectors; cannot project")
+    transitions: List[List[int]] = [[] for _ in ah.states]
+    for dst, sources in enumerate(ah.preds):
+        for src in sources:
+            transitions[src].append(dst)
+    final = {
+        state
+        for state, condition in ah.final.items()
+        if condition.apply(1, 1, 1)
+    }
+    nfa = NFA(
+        classes=[state.cc for state in ah.states],
+        transitions=[sorted(set(dsts)) for dsts in transitions],
+        initial=set(ah.injected),
+        final=final,
+    )
+    nfa.match_empty = ah.match_empty  # type: ignore[attr-defined]
+    return nfa
 
 
 class AHMatcher:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
+from .._bits import popcount as _popcount
+
 
 def width_mask(width: int) -> int:
     """Mask with the low ``width`` bits set."""
@@ -125,7 +127,7 @@ class BitVector:
         return self.value == 0
 
     def popcount(self) -> int:
-        return bin(self.value).count("1")
+        return _popcount(self.value)
 
     def bits(self) -> List[int]:
         return to_bits(self.value, self.width)

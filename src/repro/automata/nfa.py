@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+from .._bits import popcount
 from ..regex.charclass import ALPHABET_SIZE, CharClass
 
 
@@ -122,7 +123,7 @@ class NFAMatcher:
         return _from_mask(self.active)
 
     def active_count(self) -> int:
-        return bin(self.active).count("1")
+        return popcount(self.active)
 
 
 def _to_mask(states: Iterable[int]) -> int:
@@ -150,3 +151,10 @@ def _build_match_masks(classes: Sequence[CharClass]) -> List[int]:
         for symbol in cc:
             masks[symbol] |= bit
     return masks
+
+
+#: Public names for the bitset plumbing, reused by the fused scan engine
+#: (``repro.matching.fused``) over its combined state space.
+build_match_masks = _build_match_masks
+states_to_mask = _to_mask
+mask_to_states = _from_mask

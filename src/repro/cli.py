@@ -34,7 +34,7 @@ from .hardware.simulator import (
     compile_baseline,
 )
 from .hardware.specs import CA_SPEC, CAMA_SPEC, EAP_SPEC
-from .matching import PatternSet
+from .matching import ENGINES, PatternSet
 from .telemetry.export import TRACE_FORMATS, write_metrics, write_trace
 from .workloads import DATASET_NAMES, PROFILES, dataset_stream, load_dataset
 
@@ -137,6 +137,50 @@ def cmd_scan(args: argparse.Namespace) -> int:
     for match in matches:
         print(f"{match.end}\t{patterns[match.pattern_id]}")
     log.info("%d matches in %d bytes", len(matches), len(data))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time the scan engines on one workload cell; optionally dump JSON."""
+    from .matching import bench as bench_mod
+
+    engines = (
+        list(ENGINES)
+        if args.engines == "all"
+        else [e.strip() for e in args.engines.split(",") if e.strip()]
+    )
+    for engine in engines:
+        if engine not in ENGINES:
+            raise SystemExit(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if args.patterns:
+        patterns = _load_patterns(args.patterns, args.fmt)
+    else:
+        patterns = load_dataset(args.dataset, args.num_patterns, args.seed)
+    if args.input:
+        data = _read_input(args.input)
+    else:
+        data = dataset_stream(
+            patterns,
+            random.Random(args.seed),
+            args.input_size,
+            PROFILES[args.dataset].literal_pool,
+        )
+    cell = bench_mod.bench_cell(
+        patterns, data, engines, _compiler_options(args), args.repeats
+    )
+    record = {
+        "benchmark": "fused_scan",
+        "profile": args.dataset if not args.patterns else None,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "engines": engines,
+        "baseline_engine": bench_mod.BASELINE_ENGINE,
+        "grid": [cell],
+    }
+    print(bench_mod.format_grid(record))
+    if args.json_out:
+        bench_mod.write_record(record, args.json_out)
+        log.info("wrote bench record -> %s", args.json_out)
     return 0
 
 
@@ -255,11 +299,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("patterns", nargs="+")
     p_scan.add_argument("-i", "--input", default="-",
                         help="input file ('-' = stdin)")
-    p_scan.add_argument("--engine", default="ah",
-                        choices=("ah", "nbva", "nca", "nfa"))
+    p_scan.add_argument("--engine", default="ah", choices=ENGINES)
     add_compiler_flags(p_scan)
     add_common_flags(p_scan)
     p_scan.set_defaults(func=cmd_scan)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the scan engines (fused vs per-pattern)"
+    )
+    p_bench.add_argument("patterns", nargs="*",
+                         help="patterns/@files; omitted = --dataset rules")
+    p_bench.add_argument("-i", "--input", default=None,
+                         help="input file; omitted = synthetic stream")
+    p_bench.add_argument("--dataset", default="RegexLib",
+                         choices=DATASET_NAMES,
+                         help="profile for generated patterns/input")
+    p_bench.add_argument("--num-patterns", type=int, default=16,
+                         dest="num_patterns")
+    p_bench.add_argument("--input-size", type=int, default=16384,
+                         dest="input_size")
+    p_bench.add_argument("--engines", default="fused,nfa,ah",
+                         help="comma-separated engine list, or 'all'")
+    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--json", default=None, dest="json_out",
+                         help="also write the record as JSON")
+    add_compiler_flags(p_bench)
+    add_common_flags(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
 
     def add_simulate_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("patterns", nargs="*")

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from .. import telemetry
-from ..automata.ah import AHNBVA, to_action_homogeneous
+from ..automata.ah import AHNBVA, is_counter_free, to_action_homogeneous
+from ..automata.ah import to_nfa as ah_to_nfa
 from ..automata.optimize import prune
 from ..automata.glushkov import glushkov
 from ..automata.nbva import NBVA
@@ -290,3 +291,19 @@ def _unfolded_symbols(node: ast_mod.Regex) -> int:
 def build_unfolded_nfa(parsed: ast_mod.Regex) -> NFA:
     """The baseline processors' automaton: unfold, then Glushkov (§2)."""
     return glushkov(unfold_all(parsed))
+
+
+def build_scan_nfa(compiled: CompiledRegex) -> NFA:
+    """The per-pattern NFA the fused software engine executes.
+
+    Counter-free patterns reuse the pruned AH-NBVA state graph directly
+    (it is already minimised by :func:`repro.automata.optimize.prune`);
+    patterns that kept live bit vectors after rewriting fall back to the
+    fully unfolded Glushkov NFA, which exists for every supported regex.
+    """
+    if is_counter_free(compiled.ah):
+        try:
+            return ah_to_nfa(compiled.ah)
+        except ValueError:  # malformed finalisation; unfold instead
+            pass
+    return build_unfolded_nfa(compiled.parsed)

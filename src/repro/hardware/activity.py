@@ -27,6 +27,7 @@ from ..automata.ah import AHNBVA
 from ..automata.nfa import NFA, NFAMatcher
 from ..compiler.pipeline import swap_words as scope_swap_words
 from ..compiler.pipeline import virtual_width
+from .._bits import popcount
 from ..regex.charclass import ALPHABET_SIZE
 
 _KIND_COPY = 0
@@ -149,7 +150,7 @@ class AHStepper:
             stats.active_states += 1
             if is_bv[q]:
                 stats.active_bv_states += 1
-                stats.active_bits += bin(value).count("1")
+                stats.active_bits += popcount(value)
                 if k == _KIND_READ:
                     stats.reads += 1
                 elif k == _KIND_SET1:
@@ -186,7 +187,7 @@ class NFAStepper:
 
     def step(self, symbol: int, stats: StepStats) -> bool:
         matched = self._matcher.step(symbol)
-        stats.active_states += bin(self._matcher.active).count("1")
+        stats.active_states += popcount(self._matcher.active)
         return matched
 
     def match_ends(self, data: bytes) -> List[int]:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry
+from .._bits import popcount
 from ..automata.ah import AHNBVA
 from ..regex.charclass import ALPHABET_SIZE
 from .activity import AHStepper, StepStats
@@ -114,7 +115,7 @@ class TileEngine:
         return reports
 
     def active_count(self) -> int:
-        return bin(self.active_vector).count("1")
+        return popcount(self.active_vector)
 
     def active_slots(self) -> List[int]:
         out = []

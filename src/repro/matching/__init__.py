@@ -1,13 +1,18 @@
 """Software matching engines and the brute-force consistency oracle."""
 
 from .engine import ENGINES, Match, PatternSet
+from .fused import FusedAutomaton, FusedMatcher, build_fused, fuse_patterns
 from .oracle import match_ends as oracle_match_ends
 from .oracle import match_spans as oracle_match_spans
 
 __all__ = [
     "ENGINES",
+    "FusedAutomaton",
+    "FusedMatcher",
     "Match",
     "PatternSet",
+    "build_fused",
+    "fuse_patterns",
     "oracle_match_ends",
     "oracle_match_spans",
 ]

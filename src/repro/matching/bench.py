@@ -1,0 +1,194 @@
+"""Scan-engine micro-benchmark helpers (the ``bench`` CLI verb and
+``benchmarks/bench_scan.py`` both build on these).
+
+The measurement of record is a *patterns × input-size grid* over a
+workload-profile rule set, timing the fused engine against the
+per-pattern engines and deriving fused speedups.  Results serialise to a
+plain-JSON perf record (``BENCH_scan.json``) so successive PRs can track
+the scan trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler import CompilerOptions
+from ..workloads import PROFILES, dataset_stream, load_dataset
+from .engine import ENGINES, PatternSet
+
+#: The engine every speedup is quoted against: the per-pattern loop over
+#: the same automaton class the fused engine executes.
+BASELINE_ENGINE = "nfa"
+
+
+@dataclass
+class EngineTiming:
+    """Best-of-N wall time of one engine over one workload cell."""
+
+    engine: str
+    seconds: float
+    matches: int
+    input_bytes: int
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.input_bytes / self.seconds / 1e6
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "seconds": self.seconds,
+            "matches": self.matches,
+            "throughput_mbps": round(self.throughput_mbps, 3),
+        }
+
+
+def _best_of(func, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def time_engine(
+    patterns: Sequence[str],
+    data: bytes,
+    engine: str,
+    options: CompilerOptions = CompilerOptions(),
+    repeats: int = 3,
+) -> EngineTiming:
+    """Compile once, scan ``repeats`` times, keep the best wall time."""
+    pattern_set = PatternSet(patterns, options=options, engine=engine)
+    matches = pattern_set.scan(data)  # warm caches before timing
+    seconds = _best_of(lambda: pattern_set.scan(data), repeats)
+    return EngineTiming(
+        engine=engine,
+        seconds=seconds,
+        matches=len(matches),
+        input_bytes=len(data),
+    )
+
+
+def bench_cell(
+    patterns: Sequence[str],
+    data: bytes,
+    engines: Sequence[str],
+    options: CompilerOptions = CompilerOptions(),
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """One grid cell: every engine over the same patterns and input.
+
+    Also asserts that every engine produced the same match count — a
+    cheap differential tripwire inside the perf harness itself.
+    """
+    timings = [
+        time_engine(patterns, data, engine, options, repeats)
+        for engine in engines
+    ]
+    counts = {t.engine: t.matches for t in timings}
+    if len(set(counts.values())) > 1:
+        raise AssertionError(f"engines disagree on match count: {counts}")
+    cell: Dict[str, object] = {
+        "num_patterns": len(patterns),
+        "input_bytes": len(data),
+        "timings": {t.engine: t.to_dict() for t in timings},
+    }
+    baseline = next(
+        (t for t in timings if t.engine == BASELINE_ENGINE), None
+    )
+    fused = next((t for t in timings if t.engine == "fused"), None)
+    if baseline and fused and fused.seconds > 0:
+        cell["fused_speedup"] = round(baseline.seconds / fused.seconds, 2)
+    return cell
+
+
+def bench_grid(
+    profile_name: str = "RegexLib",
+    pattern_counts: Sequence[int] = (1, 4, 16),
+    input_sizes: Sequence[int] = (4096, 16384),
+    engines: Sequence[str] = ENGINES,
+    options: CompilerOptions = CompilerOptions(),
+    repeats: int = 3,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """The full perf record: pattern-count × input-size grid."""
+    profile = PROFILES[profile_name]
+    max_patterns = max(pattern_counts)
+    all_patterns = load_dataset(profile_name, max_patterns, seed)
+    grid: List[Dict[str, object]] = []
+    for count in pattern_counts:
+        patterns = all_patterns[:count]
+        for size in input_sizes:
+            data = dataset_stream(
+                patterns,
+                random.Random(seed + size),
+                size,
+                profile.literal_pool,
+            )
+            grid.append(bench_cell(patterns, data, engines, options, repeats))
+    record: Dict[str, object] = {
+        "benchmark": "fused_scan",
+        "profile": profile_name,
+        "seed": seed,
+        "repeats": repeats,
+        "engines": list(engines),
+        "baseline_engine": BASELINE_ENGINE,
+        "python": sys.version.split()[0],
+        "grid": grid,
+    }
+    # Headline number: fused speedup on the largest-pattern-count cells.
+    headline = [
+        cell["fused_speedup"]
+        for cell in grid
+        if cell["num_patterns"] == max_patterns and "fused_speedup" in cell
+    ]
+    if headline:
+        record["fused_speedup_max_patterns"] = max(headline)
+    return record
+
+
+def format_grid(record: Dict[str, object]) -> str:
+    """Human-readable table of a :func:`bench_grid` record."""
+    lines = [
+        f"scan bench — profile {record['profile']}, "
+        f"seed {record['seed']}, best of {record['repeats']}",
+        f"{'patterns':>9} {'bytes':>8} "
+        + " ".join(f"{e:>10}" for e in record["engines"])
+        + f" {'fused-vs-' + str(record['baseline_engine']):>12}",
+    ]
+    for cell in record["grid"]:
+        timings = cell["timings"]
+        row = f"{cell['num_patterns']:>9} {cell['input_bytes']:>8} "
+        row += " ".join(
+            f"{timings[e]['throughput_mbps']:>8.2f}MB" if e in timings else f"{'-':>10}"
+            for e in record["engines"]
+        )
+        speedup = cell.get("fused_speedup")
+        row += f" {speedup:>11.2f}x" if speedup is not None else f" {'-':>12}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def write_record(record: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+
+def read_record(path: str) -> Optional[Dict[str, object]]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None

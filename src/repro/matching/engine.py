@@ -1,16 +1,21 @@
 """High-level pattern-matching API over the compiled automata.
 
 :class:`PatternSet` is the library's front door: compile a list of PCRE
-patterns once, then scan byte streams with any of the four execution
+patterns once, then scan byte streams with any of the five execution
 engines (functional models, not the cycle-accurate simulator):
 
 * ``"ah"``    — AH-NBVA, the model BVAP executes (default);
 * ``"nbva"``  — the pre-transformation NBVA (naïve design, Fig. 3(b));
 * ``"nca"``   — counter automaton with explicit counter-value sets;
-* ``"nfa"``   — fully unfolded Glushkov NFA (the baselines' model).
+* ``"nfa"``   — fully unfolded Glushkov NFA (the baselines' model);
+* ``"fused"`` — all patterns merged into one shared state space and
+  advanced with a single bitset step per byte plus a lazy-DFA successor
+  cache (:mod:`repro.matching.fused`) — the fast software scan path.
 
-All four produce identical match streams; the test suite enforces this and
-checks them against the brute-force oracle.
+The first four step each pattern's matcher independently; ``"fused"``
+executes the whole set at once.  All five produce identical match
+streams; the test suite enforces this and checks them against the
+brute-force oracle.
 """
 
 from __future__ import annotations
@@ -26,8 +31,9 @@ from ..compiler.pipeline import (
     build_unfolded_nfa,
     compile_pattern,
 )
+from .fused import FusedMatcher, fuse_patterns
 
-ENGINES = ("ah", "nbva", "nca", "nfa")
+ENGINES = ("ah", "nbva", "nca", "nfa", "fused")
 
 
 @dataclass(frozen=True)
@@ -60,7 +66,12 @@ class PatternSet:
             compile_pattern(pattern, regex_id, options)
             for regex_id, pattern in enumerate(patterns)
         ]
-        self._matchers = [self._make_matcher(c) for c in self.compiled]
+        self._fused: Optional[FusedMatcher] = None
+        if engine == "fused":
+            self._fused = FusedMatcher(fuse_patterns(self.compiled))
+            self._matchers = []
+        else:
+            self._matchers = [self._make_matcher(c) for c in self.compiled]
 
     def _make_matcher(self, compiled: CompiledRegex):
         if self.engine == "ah":
@@ -76,6 +87,9 @@ class PatternSet:
         return [c.pattern for c in self.compiled]
 
     def reset(self) -> None:
+        if self._fused is not None:
+            self._fused.reset()
+            return
         for matcher in self._matchers:
             matcher.reset()
 
@@ -90,9 +104,18 @@ class PatternSet:
         return self.feed(data)
 
     def feed(self, data: bytes) -> List[Match]:
-        """Continue scanning from the current state (streaming use)."""
+        """Continue scanning from the current state (streaming use).
+
+        Reported end offsets are relative to this chunk, for every
+        engine (streaming callers track the absolute base themselves).
+        """
         if telemetry.enabled():
             return self._feed_instrumented(data)
+        if self._fused is not None:
+            return [
+                Match(pattern_id, offset)
+                for pattern_id, offset in self._fused.feed(data)
+            ]
         out: List[Match] = []
         matchers = self._matchers
         for offset, symbol in enumerate(data):
@@ -111,21 +134,37 @@ class PatternSet:
             occupancy = registry.histogram("engine.active_states")
         out: List[Match] = []
         matchers = self._matchers
+        fused = self._fused
         with telemetry.span(
             "engine.feed", "engine", engine=self.engine, symbols=len(data)
         ) as sp:
-            for offset, symbol in enumerate(data):
-                for pattern_id, matcher in enumerate(matchers):
-                    if matcher.step(symbol):
+            if fused is not None:
+                hits, misses = fused.cache_hits, fused.cache_misses
+                for offset, symbol in enumerate(data):
+                    for pattern_id in fused.step_report(symbol):
                         out.append(Match(pattern_id, offset))
-                if collect:
-                    occupancy.observe(
-                        sum(m.active_count() for m in matchers)
-                    )
+                    if collect:
+                        occupancy.observe(fused.active_count())
+            else:
+                for offset, symbol in enumerate(data):
+                    for pattern_id, matcher in enumerate(matchers):
+                        if matcher.step(symbol):
+                            out.append(Match(pattern_id, offset))
+                    if collect:
+                        occupancy.observe(
+                            sum(m.active_count() for m in matchers)
+                        )
             sp.set(matches=len(out))
         if collect:
             registry.counter("engine.symbols_scanned").inc(len(data))
             registry.counter("engine.matches_emitted").inc(len(out))
+            if fused is not None:
+                registry.counter("engine.fused.cache_hits").inc(
+                    fused.cache_hits - hits
+                )
+                registry.counter("engine.fused.cache_misses").inc(
+                    fused.cache_misses - misses
+                )
         return out
 
     def match_ends(self, data: bytes, pattern_id: int = 0) -> List[int]:

@@ -1,0 +1,251 @@
+"""Fused multi-pattern scan engine: one bitset step for the whole set.
+
+The per-pattern engines in :mod:`repro.matching.engine` dispatch into
+every pattern's matcher for every input byte — a 100-pattern rule set
+costs 100 Python calls per byte.  This module merges all compiled
+patterns into **one** shared state space and advances the whole set with
+a single big-int bitset step per byte, the software analogue of how BVAP
+maps many regexes onto one tile array (§8) and of simultaneous-automata
+style data-parallel matching (see PAPERS.md).
+
+Construction (:func:`fuse_patterns`):
+
+* every pattern contributes its scanning NFA — the pruned AH-NBVA state
+  graph when it is counter-free, else the fully unfolded Glushkov NFA
+  (:func:`repro.compiler.pipeline.build_scan_nfa`);
+* each pattern's states are offset-remapped into one combined
+  ``classes`` / ``transitions`` / ``initial`` / ``final`` space;
+* a ``final state -> pattern_id`` report map recovers which pattern
+  fired from the combined active mask.
+
+Execution (:class:`FusedMatcher`) reuses the 256-entry match-mask
+precomputation of :class:`repro.automata.nfa.NFAMatcher` and adds a
+lazily memoised successor cache — a hybrid lazy DFA mapping
+``(active_mask, byte) -> (next_mask, fired pattern ids)`` with a bounded
+LRU, so dense workloads amortise the inner closure loop into one
+dictionary probe per byte.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .._bits import popcount
+from ..automata.ah import is_counter_free
+from ..automata.nfa import NFA, build_match_masks, mask_to_states, states_to_mask
+from ..compiler.pipeline import CompiledRegex, build_scan_nfa
+
+#: Default bound on the lazy-DFA successor cache.  Entries are a handful
+#: of Python ints each; 1<<15 keeps even adversarial streams far below
+#: the footprint of the automata themselves.
+DEFAULT_CACHE_SIZE = 1 << 15
+
+
+@dataclass
+class FusedAutomaton:
+    """All patterns of a set remapped into one shared NFA state space.
+
+    Attributes:
+        classes: per-state character class over the combined space.
+        transitions: per-state successor lists (combined indices).
+        initial: start-anywhere states, re-armed every symbol.
+        state_pattern: owning ``pattern_id`` for every combined state.
+        finals: reporting state -> ``pattern_id`` report map.
+        offsets: first combined state index of each pattern (the remap
+            base; ``offsets[i+1] - offsets[i]`` is pattern *i*'s size).
+        sources: per-pattern automaton provenance, ``"ah"`` when the
+            counter-free AH-NBVA graph was reused, ``"unfolded"`` for
+            the Glushkov fallback.
+    """
+
+    classes: List
+    transitions: List[List[int]]
+    initial: Set[int]
+    state_pattern: List[int]
+    finals: Dict[int, int]
+    offsets: List[int]
+    sources: List[str] = field(default_factory=list)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.classes)
+
+    @property
+    def num_patterns(self) -> int:
+        return len(self.offsets)
+
+    def matcher(self, cache_size: int = DEFAULT_CACHE_SIZE) -> "FusedMatcher":
+        return FusedMatcher(self, cache_size=cache_size)
+
+
+def fuse_nfas(nfas: Sequence[NFA]) -> FusedAutomaton:
+    """Offset-remap a list of per-pattern NFAs into one combined space."""
+    classes: List = []
+    transitions: List[List[int]] = []
+    initial: Set[int] = set()
+    state_pattern: List[int] = []
+    finals: Dict[int, int] = {}
+    offsets: List[int] = []
+    for pattern_id, nfa in enumerate(nfas):
+        base = len(classes)
+        offsets.append(base)
+        classes.extend(nfa.classes)
+        transitions.extend(
+            [base + dst for dst in dsts] for dsts in nfa.transitions
+        )
+        initial.update(base + state for state in nfa.initial)
+        state_pattern.extend([pattern_id] * nfa.num_states)
+        for state in nfa.final:
+            finals[base + state] = pattern_id
+    return FusedAutomaton(
+        classes=classes,
+        transitions=transitions,
+        initial=initial,
+        state_pattern=state_pattern,
+        finals=finals,
+        offsets=offsets,
+    )
+
+
+def fuse_patterns(compiled: Sequence[CompiledRegex]) -> FusedAutomaton:
+    """Fuse a whole compiled pattern set (see module docstring)."""
+    nfas: List[NFA] = []
+    sources: List[str] = []
+    for regex in compiled:
+        nfas.append(build_scan_nfa(regex))
+        sources.append("ah" if is_counter_free(regex.ah) else "unfolded")
+    fused = fuse_nfas(nfas)
+    fused.sources = sources
+    return fused
+
+
+def build_fused(
+    compiled: Sequence[CompiledRegex], cache_size: int = DEFAULT_CACHE_SIZE
+) -> "FusedMatcher":
+    """Convenience: fuse and wrap in a matcher in one call."""
+    return FusedMatcher(fuse_patterns(compiled), cache_size=cache_size)
+
+
+class FusedMatcher:
+    """Bitset simulator for a :class:`FusedAutomaton` with a lazy-DFA cache.
+
+    The streaming contract mirrors the per-pattern engines: state
+    persists across :meth:`feed` calls, reported end offsets are
+    relative to the current chunk, and :meth:`reset` rewinds to the
+    empty activation.
+    """
+
+    def __init__(
+        self, fused: FusedAutomaton, cache_size: int = DEFAULT_CACHE_SIZE
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be positive")
+        self.fused = fused
+        self._match_masks = build_match_masks(fused.classes)
+        self._initial_mask = states_to_mask(fused.initial)
+        self._final_mask = states_to_mask(fused.finals)
+        self._succ_masks = [states_to_mask(dsts) for dsts in fused.transitions]
+        self._state_pattern = fused.state_pattern
+        self._cache_size = cache_size
+        #: ``(active_mask, symbol) -> (next_mask, fired pattern ids)``
+        self._cache: "OrderedDict[Tuple[int, int], Tuple[int, Tuple[int, ...]]]"
+        self._cache = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.reset()
+
+    def reset(self) -> None:
+        self.active = 0
+
+    # -- one combined transition -------------------------------------
+
+    def _advance(self, active: int, symbol: int) -> Tuple[int, Tuple[int, ...]]:
+        cache = self._cache
+        key = (active, symbol)
+        hit = cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            cache.move_to_end(key)
+            return hit
+        self.cache_misses += 1
+        available = self._initial_mask
+        succ = self._succ_masks
+        remaining = active
+        while remaining:
+            low = remaining & -remaining
+            available |= succ[low.bit_length() - 1]
+            remaining ^= low
+        next_mask = available & self._match_masks[symbol]
+        fired = next_mask & self._final_mask
+        report = self._report_ids(fired) if fired else ()
+        entry = (next_mask, report)
+        cache[key] = entry
+        if len(cache) > self._cache_size:
+            cache.popitem(last=False)
+        return entry
+
+    def _report_ids(self, fired: int) -> Tuple[int, ...]:
+        """Pattern ids firing in ``fired``, deduplicated, ascending."""
+        owners = self._state_pattern
+        ids = set()
+        while fired:
+            low = fired & -fired
+            ids.add(owners[low.bit_length() - 1])
+            fired ^= low
+        return tuple(sorted(ids))
+
+    # -- matcher API ---------------------------------------------------
+
+    def step(self, symbol: int) -> bool:
+        """Consume one symbol; True iff *some* pattern's match ends here."""
+        self.active, report = self._advance(self.active, symbol)
+        return bool(report)
+
+    def step_report(self, symbol: int) -> Tuple[int, ...]:
+        """Consume one symbol; the pattern ids whose match ends here."""
+        self.active, report = self._advance(self.active, symbol)
+        return report
+
+    def feed(self, data: bytes) -> List[Tuple[int, int]]:
+        """Scan a chunk from the current state.
+
+        Returns ``(pattern_id, end)`` events with chunk-relative end
+        offsets, ordered by offset then pattern id — exactly the stream
+        the per-pattern ``PatternSet.feed`` loop produces.
+        """
+        out: List[Tuple[int, int]] = []
+        active = self.active
+        advance = self._advance
+        for offset, symbol in enumerate(data):
+            active, report = advance(active, symbol)
+            if report:
+                for pattern_id in report:
+                    out.append((pattern_id, offset))
+        self.active = active
+        return out
+
+    def scan(self, data: bytes) -> List[Tuple[int, int]]:
+        """Fresh-state :meth:`feed`."""
+        self.reset()
+        return self.feed(data)
+
+    def match_ends(self, data: bytes) -> List[int]:
+        """End indices over all patterns (fresh scan, deduplicated)."""
+        return sorted({end for _pattern_id, end in self.scan(data)})
+
+    def active_states(self) -> Set[int]:
+        return mask_to_states(self.active)
+
+    def active_count(self) -> int:
+        return popcount(self.active)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Lazy-DFA cache statistics (telemetry / bench reporting)."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._cache),
+            "capacity": self._cache_size,
+        }

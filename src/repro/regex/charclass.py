@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Tuple
 
+from .._bits import popcount
+
 ALPHABET_SIZE = 256
 _FULL_MASK = (1 << ALPHABET_SIZE) - 1
 
@@ -111,7 +113,7 @@ class CharClass:
 
     def size(self) -> int:
         """Number of bytes in the class."""
-        return bin(self.mask).count("1")
+        return popcount(self.mask)
 
     def overlaps(self, other: "CharClass") -> bool:
         return bool(self.mask & other.mask)

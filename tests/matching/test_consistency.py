@@ -1,16 +1,19 @@
 """Cross-engine consistency — the paper's §8 functional verification.
 
 Every execution engine in the stack (unfolded NFA, NCA, NBVA, AH-NBVA,
-the instrumented hardware stepper, and the naïve PE-array machine) must
-produce the identical match stream, and that stream must equal the
-brute-force oracle's.  Checked on hand-picked corner cases and on
-Hypothesis-generated regexes and inputs.
+the fused multi-pattern engine, the instrumented hardware stepper, and
+the naïve PE-array machine) must produce the identical match stream, and
+that stream must equal the brute-force oracle's.  Checked on hand-picked
+corner cases, on Hypothesis-generated regexes and inputs, and — the
+differential conformance fuzzer — on the synthetic workload-profile
+generators (``repro.workloads.generator``), whose rule shapes mirror the
+paper's seven benchmark datasets.
 """
 
 import random
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.automata.nca import NCAMatcher
@@ -18,9 +21,11 @@ from repro.compiler import CompilerOptions, compile_ast, compile_pattern
 from repro.compiler.pipeline import build_unfolded_nfa
 from repro.hardware.activity import AHStepper
 from repro.hardware.naive import NaiveMachine
+from repro.matching import ENGINES, PatternSet, build_fused
 from repro.matching.oracle import match_ends as oracle_ends
 from repro.regex.generate import random_regex
 from repro.regex.parser import parse
+from repro.workloads import DATASET_NAMES, PROFILES, dataset_stream, generate_pattern
 
 OPTIONS = CompilerOptions(bv_size=8, unfold_threshold=2)
 
@@ -31,6 +36,7 @@ def all_engine_ends(compiled, data):
         "nbva": compiled.nbva.match_ends(data),
         "nca": NCAMatcher(compiled.nbva).match_ends(data),
         "ah": compiled.ah.match_ends(data),
+        "fused": build_fused([compiled]).match_ends(data),
         "stepper": AHStepper(compiled.ah).match_ends(data),
         "naive": NaiveMachine(compiled.nbva).match_ends(data),
     }
@@ -80,6 +86,74 @@ def test_random_regexes_all_engines_agree(seed, data):
     expected = oracle_ends(node, stream)
     for engine, got in all_engine_ends(compiled, stream).items():
         assert got == expected, (str(node), engine, stream)
+
+
+# --- differential conformance fuzzing over the workload profiles --------
+#
+# Seeds are plain small integers so Hypothesis shrinks a failure to the
+# smallest misbehaving (profile, pattern seed, stream seed) triple; the
+# example budgets are sized for CI (the whole fuzz adds a few seconds).
+
+#: Oracle guard: the O(n^3) oracle and the unfolded-NFA engine both need
+#: the fully unfolded automaton to stay small on CI.
+MAX_UNFOLDED_STATES = 600
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    name=st.sampled_from(DATASET_NAMES),
+    seed=st.integers(min_value=0, max_value=5_000),
+    stream_seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_workload_profiles_differential(name, seed, stream_seed):
+    """Profile-shaped rules: every engine vs the brute-force oracle."""
+    profile = PROFILES[name]
+    pattern = generate_pattern(random.Random(seed), profile)
+    compiled = compile_pattern(pattern, options=OPTIONS)
+    assume(
+        compiled.unfolded_states is not None
+        and compiled.unfolded_states <= MAX_UNFOLDED_STATES
+    )
+    stream = dataset_stream(
+        [pattern],
+        random.Random(stream_seed),
+        48,
+        profile.literal_pool,
+        plant_rate=0.05,
+    )
+    expected = oracle_ends(compiled.parsed, stream)
+    for engine, got in all_engine_ends(compiled, stream).items():
+        assert got == expected, (pattern, engine, stream)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    name=st.sampled_from(DATASET_NAMES),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_fused_multi_pattern_differential(name, seed):
+    """Whole profile-shaped rule *sets*: the fused engine's combined
+    state space and report map vs every per-pattern engine (pattern ids
+    included, which the single-pattern oracle check cannot see)."""
+    profile = PROFILES[name]
+    rng = random.Random(seed)
+    patterns = [generate_pattern(rng, profile) for _ in range(3)]
+    stream = dataset_stream(
+        patterns, rng, 240, profile.literal_pool, plant_rate=0.02
+    )
+    results = {
+        engine: PatternSet(patterns, options=OPTIONS, engine=engine).scan(
+            stream
+        )
+        for engine in ENGINES
+    }
+    reference = results["fused"]
+    for engine, got in results.items():
+        assert got == reference, (engine, patterns)
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,171 @@
+"""Unit tests for the fused multi-pattern scan engine."""
+
+import pytest
+
+from repro.automata.ah import is_counter_free, to_nfa
+from repro.compiler import CompilerOptions, compile_pattern
+from repro.compiler.pipeline import build_scan_nfa, build_unfolded_nfa
+from repro.matching import Match, PatternSet, build_fused, fuse_patterns
+from repro.matching.fused import FusedMatcher, fuse_nfas
+from repro.matching.oracle import match_ends as oracle_ends
+
+OPTIONS = CompilerOptions(bv_size=8, unfold_threshold=2)
+
+
+def compile_all(patterns, options=OPTIONS):
+    return [
+        compile_pattern(p, regex_id, options)
+        for regex_id, p in enumerate(patterns)
+    ]
+
+
+class TestFusion:
+    def test_offsets_partition_the_state_space(self):
+        fused = fuse_patterns(compile_all(["abc", "x{4}y", "(pq|rs)t"]))
+        assert fused.num_patterns == 3
+        assert fused.offsets[0] == 0
+        assert sorted(set(fused.state_pattern)) == [0, 1, 2]
+        # offsets are the cumulative per-pattern sizes
+        for pattern_id in range(1, 3):
+            lo = fused.offsets[pattern_id]
+            assert fused.state_pattern[lo] == pattern_id
+            assert fused.state_pattern[lo - 1] == pattern_id - 1
+
+    def test_transitions_stay_within_owner(self):
+        """Offset-remapping must never link two patterns' state spaces."""
+        fused = fuse_patterns(compile_all(["ab{3}c", "xy", "a{2,}b"]))
+        owners = fused.state_pattern
+        for src, dsts in enumerate(fused.transitions):
+            for dst in dsts:
+                assert owners[src] == owners[dst]
+
+    def test_report_map_points_at_owner(self):
+        fused = fuse_patterns(compile_all(["ab", "cd"]))
+        assert set(fused.finals.values()) == {0, 1}
+        for state, pattern_id in fused.finals.items():
+            assert fused.state_pattern[state] == pattern_id
+
+    def test_sources_prefer_counter_free_ah_graph(self):
+        fused = fuse_patterns(compile_all(["abc", "a.{6}b"]))
+        assert fused.sources == ["ah", "unfolded"]
+
+    def test_empty_pattern_set(self):
+        matcher = FusedMatcher(fuse_nfas([]))
+        assert matcher.scan(b"anything") == []
+        assert matcher.active_count() == 0
+
+
+class TestAHProjection:
+    def test_counter_free_projection_matches_oracle(self):
+        compiled = compile_pattern("a(b|c)d*e", options=OPTIONS)
+        assert is_counter_free(compiled.ah)
+        data = b"abde ace abdddde"
+        assert to_nfa(compiled.ah).match_ends(data) == oracle_ends(
+            compiled.parsed, data
+        )
+
+    def test_counting_automaton_rejected(self):
+        compiled = compile_pattern("a{6}", options=OPTIONS)
+        assert not is_counter_free(compiled.ah)
+        with pytest.raises(ValueError):
+            to_nfa(compiled.ah)
+
+    def test_build_scan_nfa_falls_back_to_unfolding(self):
+        compiled = compile_pattern("a{6}b", options=OPTIONS)
+        nfa = build_scan_nfa(compiled)
+        assert nfa.num_states == build_unfolded_nfa(compiled.parsed).num_states
+        data = b"aaaaaab aaab"
+        assert nfa.match_ends(data) == oracle_ends(compiled.parsed, data)
+
+
+class TestFusedMatcher:
+    def test_multi_pattern_report_ids_and_order(self):
+        ps = PatternSet(["ab", "b", "a+b"], engine="fused")
+        matches = ps.scan(b"aab")
+        # all three end at offset 2, reported in pattern-id order
+        assert matches == [Match(0, 2), Match(1, 2), Match(2, 2)]
+
+    def test_step_matches_feed(self):
+        compiled = compile_all(["ab{2,3}c", "ba"])
+        stepper = build_fused(compiled)
+        feeder = build_fused(compiled)
+        data = b"abbc ba abbbc"
+        expected = feeder.scan(data)
+        stepper.reset()
+        got = []
+        for offset, symbol in enumerate(data):
+            for pattern_id in stepper.step_report(symbol):
+                got.append((pattern_id, offset))
+        assert got == expected
+
+    def test_streaming_state_persists_across_feeds(self):
+        matcher = build_fused(compile_all(["ab{3}c"]))
+        matcher.reset()
+        assert matcher.feed(b"zab") == []
+        assert matcher.feed(b"bbc") == [(0, 2)]  # chunk-relative end
+        matcher.reset()
+        assert matcher.feed(b"bbc") == []
+
+    def test_active_count_tracks_occupancy(self):
+        matcher = build_fused(compile_all(["ab", "ac"]))
+        matcher.reset()
+        assert matcher.active_count() == 0
+        matcher.step(ord("a"))
+        assert matcher.active_count() == 2  # both 'a' heads live
+        assert matcher.active_states()
+
+    def test_cache_amortizes_repeated_contexts(self):
+        matcher = build_fused(compile_all(["ab"]))
+        matcher.scan(b"abcabcabc")
+        info = matcher.cache_info()
+        assert info["hits"] + info["misses"] == 9
+        assert info["hits"] >= 6  # only 3 distinct (state, byte) contexts
+
+    def test_cache_stays_bounded(self):
+        matcher = build_fused(compile_all(["ab"]), cache_size=2)
+        matcher.scan(b"abcabcabc")
+        info = matcher.cache_info()
+        assert info["entries"] <= 2
+        assert info["hits"] + info["misses"] == 9
+
+    def test_cache_size_validated(self):
+        with pytest.raises(ValueError):
+            build_fused(compile_all(["ab"]), cache_size=0)
+
+    def test_cached_and_uncached_agree(self):
+        compiled = compile_all(["ab{2,4}c", "x(yz){2}", "q+r"])
+        data = b"abbc xyzyz qqr abbbbc" * 3
+        cold = build_fused(compiled, cache_size=1)  # ~no reuse
+        warm = build_fused(compiled)
+        assert cold.scan(data) == warm.scan(data)
+        assert warm.scan(data) == warm.scan(data)  # warm rerun stable
+
+
+class TestPatternSetIntegration:
+    def test_engine_listed(self):
+        from repro.matching import ENGINES
+
+        assert "fused" in ENGINES
+
+    def test_scan_resets_state(self):
+        ps = PatternSet(["ab"], engine="fused")
+        assert ps.scan(b"a") == []
+        assert ps.scan(b"b") == []
+
+    def test_matches_default_engine(self):
+        patterns = ["ab{3}c", "x[0-9]{2}y", "zq"]
+        data = b"abbbc x42y zq abbc x4y"
+        fused = PatternSet(patterns, engine="fused").scan(data)
+        default = PatternSet(patterns).scan(data)
+        assert fused == default
+
+    def test_telemetry_histogram_uses_fused_occupancy(self):
+        from repro import telemetry
+
+        with telemetry.session():
+            ps = PatternSet(["ab", "ac"], engine="fused")
+            ps.scan(b"aab")
+            snap = telemetry.snapshot()
+        occupancy = snap["histograms"]["engine.active_states"]
+        assert occupancy["count"] == 3
+        assert snap["counters"]["engine.fused.cache_misses"] > 0

@@ -1,0 +1,68 @@
+"""Perf regression guard: fused scan vs the per-pattern loop.
+
+Same spirit as ``tests/telemetry/test_overhead.py``: both sides are
+timed in the same process with interleaved best-of sampling, and the
+bound is generous — on a 16-pattern workload the fused engine measures
+5-10x faster than the per-pattern ``nfa`` loop (see ``BENCH_scan.json``),
+so asserting 2x leaves ample room for machine noise while still
+catching a real regression (e.g. the lazy-DFA cache being disabled).
+
+Skipped under coverage/tracing instrumentation, which distorts the two
+loops very differently.
+"""
+
+import random
+import sys
+import time
+
+import pytest
+
+from repro.matching import PatternSet
+from repro.workloads import PROFILES, dataset_stream, load_dataset
+
+pytestmark = pytest.mark.skipif(
+    "coverage" in sys.modules or sys.gettrace() is not None,
+    reason="timing guard is meaningless under coverage/tracing",
+)
+
+NUM_PATTERNS = 16
+INPUT_BYTES = 8192
+ROUNDS = 5
+REQUIRED_SPEEDUP = 2.0
+
+
+def _best_of(func, rounds=1):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fused_scan_at_least_2x_per_pattern_loop():
+    profile = PROFILES["RegexLib"]
+    patterns = load_dataset("RegexLib", NUM_PATTERNS, seed=5)
+    data = dataset_stream(
+        patterns, random.Random(9), INPUT_BYTES, profile.literal_pool
+    )
+    fused = PatternSet(patterns, engine="fused")
+    per_pattern = PatternSet(patterns, engine="nfa")
+
+    # Warm both (allocations, lazy-DFA cache) and check equivalence on
+    # the way — a perf guard on a wrong result would be worthless.
+    assert fused.scan(data) == per_pattern.scan(data)
+
+    fused_time = float("inf")
+    per_pattern_time = float("inf")
+    for _ in range(ROUNDS):  # interleave so machine noise hits both
+        fused_time = min(fused_time, _best_of(lambda: fused.scan(data)))
+        per_pattern_time = min(
+            per_pattern_time, _best_of(lambda: per_pattern.scan(data))
+        )
+
+    assert fused_time * REQUIRED_SPEEDUP <= per_pattern_time, (
+        f"fused scan {fused_time * 1e3:.2f} ms vs per-pattern loop "
+        f"{per_pattern_time * 1e3:.2f} ms — speedup "
+        f"{per_pattern_time / fused_time:.2f}x < {REQUIRED_SPEEDUP}x"
+    )

@@ -2,14 +2,17 @@
 
 A hand-curated set of rule-like patterns spanning the supported feature
 space, each run over a crafted input that exercises its matches and
-near-misses, verified across all engines and against the oracle.
+near-misses, verified across all engines (including the fused
+multi-pattern engine) and against the oracle.
 """
 
 import pytest
 
 from repro.compiler import CompilerOptions, compile_pattern
+from repro.compiler.pipeline import build_unfolded_nfa
 from repro.hardware.activity import AHStepper
 from repro.hardware.naive import NaiveMachine
+from repro.matching import build_fused
 from repro.matching.oracle import match_ends as oracle_ends
 
 OPTIONS = CompilerOptions(bv_size=16, unfold_threshold=2)
@@ -35,6 +38,19 @@ CORPUS = [
     ("(ab){2}(cd){2}", b"ababcdcd abcdcd"),
     ("[^x]{5}x", b"abcdex yyyyx"),
     ("q(.q){3}", b"qaqbqcq qq"),
+    # bounded-repetition rewrite edge cases (paper Examples 7.1/7.2)
+    ("(bc){2}", b"bcbc bc bcbcbc"),  # Ex. 7.1: small exact, unfolded
+    ("d{1,3}", b"dddd d"),  # Ex. 7.1: d d? d?
+    ("f{2,}", b"ff f ffff"),  # Ex. 7.1: f f f*
+    ("b{17}", b"b" * 20),  # Ex. 7.2: 17 > bv_size 16, split
+    ("b{2,18}", b"b" * 24),  # Ex. 7.2: range split over read widths
+    ("a{1,20}", b"x" + b"a" * 23 + b"x"),  # Ex. 7.2: trailing optionals
+    ("xa{0,5}y", b"xy xaaay xaaaaaay"),  # {0,n}: nullable counting block
+    ("t{0,3}u", b"u ttu ttttu"),  # {0,n} with zero-width prefix match
+    ("((ab){2}|c{3})d", b"ababd cccd abd ccd"),  # counting under alternation
+    ("(a{3}b){2}", b"aaabaaab aab aaabaab"),  # nested counting, flattened
+    ("aba{2,4}", b"abaa abaaaaab aba"),  # counting after overlapping literal
+    ("(ab){2}ab", b"ababab abab"),  # counted body overlaps its own tail
 ]
 
 
@@ -44,6 +60,8 @@ def test_golden_corpus_all_engines(pattern, data):
     expected = oracle_ends(compiled.parsed, data)
     assert compiled.nbva.match_ends(data) == expected, "nbva"
     assert compiled.ah.match_ends(data) == expected, "ah"
+    assert build_unfolded_nfa(compiled.parsed).match_ends(data) == expected, "nfa"
+    assert build_fused([compiled]).match_ends(data) == expected, "fused"
     assert AHStepper(compiled.ah).match_ends(data) == expected, "stepper"
     assert NaiveMachine(compiled.nbva).match_ends(data) == expected, "naive"
 

@@ -94,10 +94,10 @@ class TestScan:
         assert "ab{20}c" in out
 
     def test_scan_engine_choice(self, input_file, capsys):
-        for engine in ("ah", "nfa"):
+        for engine in ("ah", "nfa", "fused"):
             main(["scan", "ab{20}c", "-i", input_file, "--engine", engine])
         outputs = capsys.readouterr().out.strip().splitlines()
-        assert outputs[0] == outputs[1]
+        assert outputs[0] == outputs[1] == outputs[2]
 
     def test_patterns_from_file(self, tmp_path, input_file, capsys):
         rules = tmp_path / "rules.txt"
@@ -111,6 +111,34 @@ class TestScan:
         rules.write_text("\n")
         with pytest.raises(SystemExit):
             main(["scan", f"@{rules}", "-i", "-"])
+
+
+class TestBench:
+    def test_bench_explicit_patterns(self, input_file, tmp_path, capsys):
+        record_path = tmp_path / "bench.json"
+        assert main([
+            "bench", "ab{20}c", "xx", "-i", input_file,
+            "--engines", "fused,nfa", "--repeats", "1",
+            "--json", str(record_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fused-vs-nfa" in out
+        record = json.loads(record_path.read_text())
+        assert record["benchmark"] == "fused_scan"
+        assert record["grid"][0]["num_patterns"] == 2
+        assert "fused_speedup" in record["grid"][0]
+
+    def test_bench_synthetic_workload(self, capsys):
+        assert main([
+            "bench", "--dataset", "RegexLib", "--num-patterns", "2",
+            "--input-size", "512", "--engines", "fused,nfa",
+            "--repeats", "1", "--seed", "3",
+        ]) == 0
+        assert "scan bench" in capsys.readouterr().out
+
+    def test_bench_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "a", "-i", "-", "--engines", "quantum"])
 
 
 class TestCompile:
