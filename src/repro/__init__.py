@@ -14,7 +14,9 @@ The package is organised by layer:
 * :mod:`repro.hardware` — Table 4 circuit models, the BVM, and the
   cycle-level simulators for BVAP, BVAP-S, CA, eAP, CAMA, and CNT;
 * :mod:`repro.workloads` — synthetic dataset and input generators;
-* :mod:`repro.analysis` — metrics, design-space exploration, reporting.
+* :mod:`repro.analysis` — metrics, design-space exploration, reporting;
+* :mod:`repro.resilience` — error taxonomy, resource budgets, per-pattern
+  fault isolation, and the fault-injection harness.
 
 Quickstart::
 
@@ -24,14 +26,33 @@ Quickstart::
 
 from . import telemetry
 from .compiler import CompilerOptions, compile_pattern, compile_ruleset
-from .matching import Match, PatternSet
+from .matching import DegradationPolicy, Match, PatternSet
+from .resilience import (
+    Budget,
+    BudgetExceededError,
+    CapacityError,
+    CompileReport,
+    ReproError,
+    RegexSyntaxError,
+    SimulationFaultError,
+    UnsupportedFeatureError,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Budget",
+    "BudgetExceededError",
+    "CapacityError",
+    "CompileReport",
     "CompilerOptions",
+    "DegradationPolicy",
     "Match",
     "PatternSet",
+    "ReproError",
+    "RegexSyntaxError",
+    "SimulationFaultError",
+    "UnsupportedFeatureError",
     "compile_pattern",
     "compile_ruleset",
     "telemetry",

@@ -19,6 +19,7 @@ telemetry of the run (Chrome trace-event JSON / metrics snapshot),
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import random
 import sys
@@ -35,6 +36,7 @@ from .hardware.simulator import (
 )
 from .hardware.specs import CA_SPEC, CAMA_SPEC, EAP_SPEC
 from .matching import ENGINES, PatternSet
+from .resilience import Budget, FaultSpec, ReproError, format_report, run_campaign
 from .telemetry.export import TRACE_FORMATS, write_metrics, write_trace
 from .workloads import DATASET_NAMES, PROFILES, dataset_stream, load_dataset
 
@@ -88,9 +90,21 @@ def _read_input(path: Optional[str]) -> bytes:
         return handle.read()
 
 
+def _budget(args: argparse.Namespace) -> Budget:
+    return Budget(
+        max_states=getattr(args, "max_states", None),
+        max_unfold=getattr(args, "max_unfold", None),
+        max_bv_width=getattr(args, "max_bv_width", None),
+        max_cache_bytes=getattr(args, "max_cache_bytes", None),
+        deadline_s=getattr(args, "deadline", None),
+    )
+
+
 def _compiler_options(args: argparse.Namespace) -> CompilerOptions:
     return CompilerOptions(
-        bv_size=args.bv_size, unfold_threshold=args.unfold_threshold
+        bv_size=args.bv_size,
+        unfold_threshold=args.unfold_threshold,
+        budget=_budget(args),
     )
 
 
@@ -113,17 +127,32 @@ def _telemetry_session(args: argparse.Namespace) -> Iterator[None]:
             log.info("wrote metrics -> %s", metrics_out)
 
 
+def _warn_quarantined(ruleset) -> None:
+    """One structured warning per quarantined/rejected pattern."""
+    for pattern_id, report in sorted(ruleset.quarantined.items()):
+        log.warning(
+            "rejected pattern %d [%s in %s]: %s",
+            pattern_id,
+            report.error_code,
+            report.phase or "compile",
+            report.error,
+        )
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     patterns = _load_patterns(args.patterns, args.fmt)
     ruleset = compile_ruleset(patterns, _compiler_options(args))
-    for regex_id, why in sorted(ruleset.rejected.items()):
-        log.warning("rejected pattern %d: %s", regex_id, why)
+    _warn_quarantined(ruleset)
     dump_config(ruleset, args.output)
+    quarantined = ruleset.quarantined
+    suffix = f", {len(quarantined)} quarantined" if quarantined else ""
     print(
         f"compiled {len(ruleset.regexes)} patterns -> {args.output}  "
         f"({ruleset.num_stes} STEs, {ruleset.num_bv_stes} BV-STEs, "
-        f"{ruleset.mapping.num_tiles} tiles)"
+        f"{ruleset.mapping.num_tiles} tiles{suffix})"
     )
+    if getattr(args, "json_mode", False):
+        print(json.dumps({"reports": [r.to_json() for r in ruleset.reports]}))
     return 0
 
 
@@ -131,8 +160,19 @@ def cmd_scan(args: argparse.Namespace) -> int:
     patterns = _load_patterns(args.patterns, args.fmt)
     data = _read_input(args.input)
     matcher = PatternSet(
-        patterns, options=_compiler_options(args), engine=args.engine
+        patterns,
+        options=_compiler_options(args),
+        engine=args.engine,
+        on_error="quarantine" if args.quarantine else "raise",
     )
+    for pattern_id, report in sorted(matcher.quarantined.items()):
+        log.warning(
+            "rejected pattern %d [%s in %s]: %s",
+            pattern_id,
+            report.error_code,
+            report.phase or "compile",
+            report.error,
+        )
     matches = matcher.scan(data)
     for match in matches:
         print(f"{match.end}\t{patterns[match.pattern_id]}")
@@ -198,8 +238,7 @@ def _run_simulation(args: argparse.Namespace) -> SimulationReport:
     if args.arch in ("BVAP", "BVAP-S"):
         patterns = _load_patterns(args.patterns, args.fmt)
         ruleset = compile_ruleset(patterns, _compiler_options(args))
-        for regex_id, why in sorted(ruleset.rejected.items()):
-            log.warning("rejected pattern %d: %s", regex_id, why)
+        _warn_quarantined(ruleset)
         simulator = BVAPSimulator(ruleset, streaming=args.arch == "BVAP-S")
         return simulator.run(data)
     patterns = _load_patterns(args.patterns, args.fmt)
@@ -241,6 +280,50 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run a seeded fault-injection campaign against the cycle simulator.
+
+    Replays a golden (fault-free) run next to a faulty one and reports
+    the first cycle where the architectural state diverges plus the
+    missed/spurious matches.  Exit status 1 when ``--expect-divergence``
+    was given but the injected faults were all masked.
+    """
+    patterns = _load_patterns(args.patterns, args.fmt)
+    ruleset = compile_ruleset(patterns, _compiler_options(args))
+    _warn_quarantined(ruleset)
+    if args.input:
+        data = _read_input(args.input)
+    else:
+        data = dataset_stream(
+            patterns,
+            random.Random(args.seed),
+            args.input_size,
+            PROFILES[args.dataset].literal_pool,
+        )
+    spec = FaultSpec(
+        seed=args.seed,
+        cam_rate=args.cam_rate,
+        bv_rate=args.bv_rate,
+        counter_rate=args.counter_rate,
+    )
+    report = run_campaign(ruleset, data, spec)
+    if getattr(args, "json_mode", False):
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(format_report(report))
+    log.info(
+        "%d faults injected, %s",
+        len(report.injected),
+        f"diverged at cycle {report.first_divergence_cycle}"
+        if report.diverged
+        else "no architectural divergence",
+    )
+    if args.expect_divergence and not report.diverged:
+        log.error("expected divergence but the faults were all masked")
+        return 1
+    return 0
+
+
 def cmd_dataset(args: argparse.Namespace) -> int:
     patterns = load_dataset(args.name, args.count, args.seed)
     for pattern in patterns:
@@ -266,7 +349,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common_flags(p: argparse.ArgumentParser) -> None:
+    def add_common_flags(
+        p: argparse.ArgumentParser, json_flag: bool = True
+    ) -> None:
         p.add_argument("-v", "--verbose", action="store_true",
                        help="debug-level logging")
         p.add_argument("--seed", type=int, default=0,
@@ -278,6 +363,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace file format (chrome://tracing or JSONL)")
         p.add_argument("--metrics-out", default=None, dest="metrics_out",
                        help="write the metrics snapshot of this run")
+        if json_flag:
+            # bench keeps its historical `--json PATH` spelling instead.
+            p.add_argument("--json", action="store_true", dest="json_mode",
+                           help="machine-readable output; errors become "
+                                "structured JSON objects")
 
     def add_compiler_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--bv-size", type=int, default=64, dest="bv_size",
@@ -287,6 +377,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--format", default="pcre", dest="fmt",
                        choices=("pcre", "prosite", "snort"),
                        help="pattern syntax of PATTERNS/@files")
+        p.add_argument("--max-states", type=int, default=None,
+                       dest="max_states",
+                       help="budget: AH-NBVA states per pattern")
+        p.add_argument("--max-unfold", type=int, default=None,
+                       dest="max_unfold",
+                       help="budget: symbols one {m,n} unfolding may create")
+        p.add_argument("--max-bv-width", type=int, default=None,
+                       dest="max_bv_width",
+                       help="budget: widest virtual bit vector per pattern")
+        p.add_argument("--max-cache-bytes", type=int, default=None,
+                       dest="max_cache_bytes",
+                       help="budget: fused-engine lazy-DFA cache bytes")
+        p.add_argument("--deadline", type=float, default=None,
+                       dest="deadline",
+                       help="budget: cooperative wall-clock deadline (s)")
 
     p_compile = sub.add_parser("compile", help="emit a JSON hardware config")
     p_compile.add_argument("patterns", nargs="+")
@@ -300,6 +405,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("-i", "--input", default="-",
                         help="input file ('-' = stdin)")
     p_scan.add_argument("--engine", default="ah", choices=ENGINES)
+    p_scan.add_argument("--quarantine", action="store_true",
+                        help="isolate bad patterns instead of aborting")
     add_compiler_flags(p_scan)
     add_common_flags(p_scan)
     p_scan.set_defaults(func=cmd_scan)
@@ -324,8 +431,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", default=None, dest="json_out",
                          help="also write the record as JSON")
     add_compiler_flags(p_bench)
-    add_common_flags(p_bench)
-    p_bench.set_defaults(func=cmd_bench)
+    add_common_flags(p_bench, json_flag=False)
+    p_bench.set_defaults(func=cmd_bench, json_mode=False)
 
     def add_simulate_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("patterns", nargs="*")
@@ -348,6 +455,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_simulate_args(p_trace)
     p_trace.set_defaults(func=cmd_trace, trace_out="trace.json")
 
+    p_faults = sub.add_parser(
+        "faults",
+        help="seeded fault-injection campaign on the cycle simulator",
+    )
+    p_faults.add_argument("patterns", nargs="+")
+    p_faults.add_argument("-i", "--input", default=None,
+                          help="input file; omitted = synthetic stream")
+    p_faults.add_argument("--dataset", default="RegexLib",
+                          choices=DATASET_NAMES,
+                          help="profile for the synthetic input stream")
+    p_faults.add_argument("--input-size", type=int, default=4096,
+                          dest="input_size",
+                          help="bytes of synthetic input when no -i")
+    p_faults.add_argument("--cam-rate", type=float, default=0.0,
+                          dest="cam_rate",
+                          help="per-cycle CAM match-vector bit-flip rate")
+    p_faults.add_argument("--bv-rate", type=float, default=0.0,
+                          dest="bv_rate",
+                          help="per-cycle BVM bit-vector bit-flip rate")
+    p_faults.add_argument("--counter-rate", type=float, default=0.0,
+                          dest="counter_rate",
+                          help="per-cycle Active Vector bit-flip rate")
+    p_faults.add_argument("--expect-divergence", action="store_true",
+                          dest="expect_divergence",
+                          help="exit 1 when the faults were all masked")
+    add_compiler_flags(p_faults)
+    add_common_flags(p_faults)
+    p_faults.set_defaults(func=cmd_faults)
+
     p_data = sub.add_parser("dataset", help="generate a synthetic dataset")
     p_data.add_argument("name", choices=DATASET_NAMES)
     p_data.add_argument("-n", "--count", type=int, default=20)
@@ -369,8 +505,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # dataset/input generators additionally derive their own
         # random.Random(seed) streams from it.
         random.seed(seed)
-    with _telemetry_session(args):
-        return args.func(args)
+    try:
+        with _telemetry_session(args):
+            return args.func(args)
+    except ReproError as error:
+        # Structured failure: syntax errors carry a caret diagnostic in
+        # str(); --json swaps both for one machine-readable object.
+        if getattr(args, "json_mode", False):
+            print(json.dumps({"error": error.to_json()}))
+        else:
+            print(f"error[{error.code}]: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

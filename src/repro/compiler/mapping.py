@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..resilience.errors import CapacityError
+
 
 @dataclass(frozen=True)
 class ArchParams:
@@ -72,8 +74,8 @@ class AutomatonDemand:
         return self.plain_stes + self.bv_stes
 
 
-class MappingError(ValueError):
-    """An automaton exceeds what the hardware can hold."""
+class MappingError(CapacityError):
+    """An automaton exceeds what the hardware can hold (``E_CAPACITY``)."""
 
 
 @dataclass

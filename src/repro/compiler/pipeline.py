@@ -16,6 +16,7 @@ unfolded baseline size for CAMA/CA/eAP comparisons.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -28,7 +29,16 @@ from ..automata.nbva import NBVA
 from ..automata.nfa import NFA
 from ..regex import ast as ast_mod
 from ..regex.parser import parse
-from ..regex.rewrite import VIRTUAL_SIZES, RewriteParams, rewrite, unfold_all
+from ..regex.rewrite import (
+    DEFAULT_MAX_UNFOLD,
+    VIRTUAL_SIZES,
+    RewriteParams,
+    rewrite,
+    unfold_all,
+)
+from ..resilience.budget import Budget, BudgetClock
+from ..resilience.errors import ReproError
+from ..resilience.report import CompileReport, report_from_error
 from .encoding import EncodingSchema, build_encoding
 from .mapping import ArchParams, AutomatonDemand, MappingError, MappingResult, map_automata
 from .translate import translate
@@ -41,14 +51,23 @@ class CompilerOptions:
     bv_size: int = 64
     unfold_threshold: int = 4
     arch: ArchParams = ArchParams()
+    #: Resource budget enforced at phase boundaries (default: unlimited).
+    budget: Budget = Budget()
 
     def __post_init__(self) -> None:
         self.rewrite_params  # validate bv_size / threshold eagerly
 
     @property
     def rewrite_params(self) -> RewriteParams:
+        max_unfold = (
+            self.budget.max_unfold
+            if self.budget.max_unfold is not None
+            else DEFAULT_MAX_UNFOLD
+        )
         return RewriteParams(
-            bv_size=self.bv_size, unfold_threshold=self.unfold_threshold
+            bv_size=self.bv_size,
+            unfold_threshold=self.unfold_threshold,
+            max_unfold=max_unfold,
         )
 
 
@@ -117,6 +136,14 @@ class CompiledRuleset:
     mapping: MappingResult
     #: Patterns rejected by the mapper (too large even after rewriting).
     rejected: Dict[int, str] = field(default_factory=dict)
+    #: Per-pattern fault-isolation reports, one per input pattern in
+    #: order (status, error code, failing phase, elapsed seconds).
+    reports: List[CompileReport] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> Dict[int, CompileReport]:
+        """Quarantine reports keyed by pattern id."""
+        return {r.pattern_id: r for r in self.reports if r.quarantined}
 
     @property
     def num_stes(self) -> int:
@@ -131,16 +158,34 @@ class CompiledRuleset:
         return self.num_bv_stes / total if total else 0.0
 
 
+def _tag_phase(error: Exception, phase: str) -> None:
+    """Record the failing compile phase on a structured error (once)."""
+    if isinstance(error, ReproError) and error.phase is None:
+        error.phase = phase
+
+
 def compile_pattern(
     pattern: str,
     regex_id: int = 0,
     options: CompilerOptions = CompilerOptions(),
     unfolded_cap: int = 200_000,
+    clock: Optional[BudgetClock] = None,
 ) -> CompiledRegex:
-    """Compile one pattern string into its AH-NBVA."""
-    with telemetry.span("compile.parse", "compile", regex_id=regex_id):
-        parsed = parse(pattern)
-    return compile_ast(parsed, pattern, regex_id, options, unfolded_cap)
+    """Compile one pattern string into its AH-NBVA.
+
+    ``options.budget`` is enforced at every phase boundary; ``clock`` lets
+    batch callers share one running deadline across patterns.
+    """
+    clock = clock if clock is not None else options.budget.start()
+    try:
+        with telemetry.span("compile.parse", "compile", regex_id=regex_id):
+            parsed = parse(pattern)
+        clock.check("parse")
+    except ReproError as error:
+        _tag_phase(error, "parse")
+        raise
+    return compile_ast(parsed, pattern, regex_id, options, unfolded_cap,
+                       clock=clock)
 
 
 def compile_ast(
@@ -150,6 +195,7 @@ def compile_ast(
     options: CompilerOptions = CompilerOptions(),
     unfolded_cap: int = 200_000,
     force_unfold: bool = False,
+    clock: Optional[BudgetClock] = None,
 ) -> CompiledRegex:
     """Compile an already-parsed AST (used by the workload generators).
 
@@ -159,14 +205,33 @@ def compile_ast(
     unfolding").
     """
     params = options.rewrite_params
-    with telemetry.span("compile.rewrite", "compile", regex_id=regex_id):
-        rewritten = (
-            unfold_all(parsed) if force_unfold else rewrite(parsed, params)
-        )
-    with telemetry.span("compile.translate", "compile", regex_id=regex_id) as sp:
-        nbva = translate(rewritten, params)
-        ah = prune(to_action_homogeneous(nbva))
-        sp.set(states=ah.num_states, bv_stes=ah.num_bv_stes())
+    budget = options.budget
+    clock = clock if clock is not None else budget.start()
+    try:
+        with telemetry.span("compile.rewrite", "compile", regex_id=regex_id):
+            rewritten = (
+                unfold_all(parsed, params.max_unfold)
+                if force_unfold
+                else rewrite(parsed, params)
+            )
+        clock.check("rewrite")
+    except ReproError as error:
+        _tag_phase(error, "rewrite")
+        raise
+    try:
+        with telemetry.span(
+            "compile.translate", "compile", regex_id=regex_id
+        ) as sp:
+            nbva = translate(rewritten, params)
+            ah = prune(to_action_homogeneous(nbva))
+            sp.set(states=ah.num_states, bv_stes=ah.num_bv_stes())
+        budget.charge_states(ah.num_states, pattern)
+        for scope in ah.scopes:
+            budget.charge_bv_width(scope.high, pattern)
+        clock.check("translate")
+    except ReproError as error:
+        _tag_phase(error, "translate")
+        raise
     unfolded_states = _unfolded_size(parsed, unfolded_cap)
     return CompiledRegex(
         regex_id=regex_id,
@@ -183,23 +248,60 @@ def compile_ruleset(
     patterns: Sequence[str],
     options: CompilerOptions = CompilerOptions(),
 ) -> CompiledRuleset:
-    """Compile and map a whole rule set; oversized regexes are recorded in
-    ``rejected`` rather than aborting the compilation (§6)."""
+    """Compile and map a whole rule set with per-pattern fault isolation.
+
+    A malformed, unsupported, budget-busting, or oversized pattern never
+    aborts the batch: it is quarantined into its
+    :class:`~repro.resilience.report.CompileReport` (``reports``; the
+    legacy ``rejected`` dict mirrors the messages) and the remaining
+    patterns compile normally (§6).  Only a batch-wide budget deadline
+    (``options.budget.deadline_s``) aborts the whole call, since an
+    expired deadline would starve every later pattern anyway.
+    """
+    clock = options.budget.start()
     with telemetry.span("compile.ruleset", "compile", patterns=len(patterns)):
         compiled: List[CompiledRegex] = []
         rejected: Dict[int, str] = {}
+        reports: List[CompileReport] = []
         for regex_id, pattern in enumerate(patterns):
+            started = time.perf_counter()
             try:
-                compiled.append(compile_pattern(pattern, regex_id, options))
-            except (ValueError, MappingError) as error:
-                rejected[regex_id] = str(error)
+                compiled.append(
+                    compile_pattern(pattern, regex_id, options, clock=clock)
+                )
+            except ReproError as error:
+                if getattr(error, "kind", None) == "deadline":
+                    raise  # batch-wide budget: nothing later can succeed
+                report = report_from_error(
+                    regex_id, pattern, error,
+                    elapsed_s=time.perf_counter() - started,
+                )
+                reports.append(report)
+                rejected[regex_id] = report.error or str(error)
+            except ValueError as error:
+                report = report_from_error(
+                    regex_id, pattern, error,
+                    elapsed_s=time.perf_counter() - started,
+                )
+                reports.append(report)
+                rejected[regex_id] = report.error or str(error)
+            else:
+                reports.append(
+                    CompileReport(
+                        pattern_id=regex_id,
+                        pattern=pattern,
+                        elapsed_s=time.perf_counter() - started,
+                    )
+                )
 
         classes = [
             state.cc for regex in compiled for state in regex.ah.states
         ]
         with telemetry.span("compile.encode", "compile", classes=len(classes)):
             encoding = build_encoding(classes)
+        clock.check("encode")
 
+        by_id = {report.pattern_id: report for report in reports}
         demands = []
         mappable = []
         for regex in compiled:
@@ -215,22 +317,31 @@ def compile_ruleset(
                 demand.total_stes > options.arch.stes_per_array
                 or demand.bv_stes > options.arch.bvs_per_array
             ):
-                rejected[regex.regex_id] = (
+                message = (
                     f"automaton too large: {demand.total_stes} STEs / "
                     f"{demand.bv_stes} BVs"
                 )
+                rejected[regex.regex_id] = message
+                report = by_id[regex.regex_id]
+                report.status = "quarantined"
+                report.error_code = "E_CAPACITY"
+                report.error = message
+                report.phase = "mapping"
                 continue
             demands.append(demand)
             mappable.append(regex)
         with telemetry.span("compile.map", "compile", automata=len(demands)) as sp:
             mapping = map_automata(demands, options.arch)
             sp.set(tiles=mapping.num_tiles, arrays=mapping.num_arrays)
+        clock.check("map")
 
+    quarantined = sum(1 for report in reports if report.quarantined)
     if telemetry.metrics_enabled():
         registry = telemetry.registry()
         registry.counter("compile.patterns").inc(len(patterns))
         registry.counter("compile.compiled").inc(len(mappable))
         registry.counter("compile.rejected").inc(len(rejected))
+        registry.counter("compile.quarantined").inc(quarantined)
         registry.gauge("compile.tiles").set(mapping.num_tiles)
         registry.gauge("compile.stes").set(
             sum(r.num_stes for r in mappable)
@@ -245,6 +356,7 @@ def compile_ruleset(
         encoding=encoding,
         mapping=mapping,
         rejected=rejected,
+        reports=reports,
     )
 
 
@@ -257,13 +369,18 @@ def _try_unfold_fallback(
         or regex.unfolded_states > options.arch.stes_per_array
     ):
         return None
-    return compile_ast(
-        regex.parsed,
-        regex.pattern,
-        regex.regex_id,
-        options,
-        force_unfold=True,
-    )
+    try:
+        return compile_ast(
+            regex.parsed,
+            regex.pattern,
+            regex.regex_id,
+            options,
+            force_unfold=True,
+        )
+    except ReproError:
+        # The unfolding itself blew a budget — no fallback available; the
+        # caller will quarantine the original automaton on size instead.
+        return None
 
 
 def _unfolded_size(parsed: ast_mod.Regex, cap: int) -> Optional[int]:

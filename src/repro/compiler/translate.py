@@ -37,10 +37,13 @@ from ..automata.actions import (
 from ..automata.nbva import NBVA, Scope, State, Transition
 from ..regex import ast
 from ..regex.rewrite import RewriteParams, is_supported_repeat
+from ..resilience.errors import ReproError
 
 
-class TranslationError(ValueError):
+class TranslationError(ReproError):
     """Raised when the AST contains an unsupported bounded repetition."""
+
+    code = "E_UNSUPPORTED"
 
 
 @dataclass

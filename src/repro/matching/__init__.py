@@ -1,17 +1,36 @@
 """Software matching engines and the brute-force consistency oracle."""
 
-from .engine import ENGINES, Match, PatternSet
-from .fused import FusedAutomaton, FusedMatcher, build_fused, fuse_patterns
+from .engine import (
+    ENGINES,
+    DegradationEvent,
+    DegradationPolicy,
+    Match,
+    PatternSet,
+)
+from .fused import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_CACHE_SIZE,
+    FusedAutomaton,
+    FusedMatcher,
+    build_fused,
+    entry_bytes,
+    fuse_patterns,
+)
 from .oracle import match_ends as oracle_match_ends
 from .oracle import match_spans as oracle_match_spans
 
 __all__ = [
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_CACHE_SIZE",
     "ENGINES",
+    "DegradationEvent",
+    "DegradationPolicy",
     "FusedAutomaton",
     "FusedMatcher",
     "Match",
     "PatternSet",
     "build_fused",
+    "entry_bytes",
     "fuse_patterns",
     "oracle_match_ends",
     "oracle_match_spans",

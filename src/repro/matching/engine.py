@@ -16,14 +16,31 @@ The first four step each pattern's matcher independently; ``"fused"``
 executes the whole set at once.  All five produce identical match
 streams; the test suite enforces this and checks them against the
 brute-force oracle.
+
+Resilience hooks (:mod:`repro.resilience`):
+
+* ``on_error="quarantine"`` isolates per-pattern compile failures into
+  :class:`~repro.resilience.report.CompileReport` entries instead of
+  aborting the whole set — the surviving patterns scan normally and
+  keep their original pattern ids in reported matches;
+* a :class:`~repro.resilience.budget.Budget` with ``deadline_s`` makes
+  every engine check the wall clock every ``check_bytes`` scanned bytes
+  and raise ``BudgetExceededError`` cooperatively;
+* a :class:`DegradationPolicy` lets the fused engine shed patterns at
+  run time: when the lazy-DFA cache thrashes or the combined active
+  mask grows too wide, the widest-active pattern is demoted onto a
+  per-pattern fallback engine (state-preserving for ``"nfa"``) and the
+  fused automaton is rebuilt without it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry
+from .._bits import popcount
 from ..automata.nca import NCAMatcher
 from ..compiler.pipeline import (
     CompiledRegex,
@@ -31,9 +48,22 @@ from ..compiler.pipeline import (
     build_unfolded_nfa,
     compile_pattern,
 )
-from .fused import FusedMatcher, fuse_patterns
+from ..resilience.budget import Budget
+from ..resilience.report import (
+    STATUS_DEGRADED,
+    CompileReport,
+    report_from_error,
+)
+from .fused import (
+    DEFAULT_CACHE_BYTES,
+    FusedMatcher,
+    fuse_nfas,
+    fuse_patterns,
+)
 
 ENGINES = ("ah", "nbva", "nca", "nfa", "fused")
+
+ON_ERROR_MODES = ("raise", "quarantine")
 
 
 @dataclass(frozen=True)
@@ -44,12 +74,81 @@ class Match:
     end: int  # 0-based index of the last matched byte
 
 
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """When and how the fused engine sheds patterns at run time.
+
+    Checked every ``check_bytes`` scanned bytes.  Two triggers:
+
+    * *cache thrash* — the successor cache is full
+      (:meth:`~repro.matching.fused.FusedMatcher.cache_full`) and the
+      hit rate over the last window dropped below ``min_hit_rate``;
+    * *wide activation* — the combined active mask covers more than
+      ``max_active_fraction`` of a fused space of at least
+      ``min_states_for_width`` states, so every step pays near-worst-case
+      big-int work and the cache cannot help.
+
+    Either way the pattern with the widest active slice is demoted onto
+    the first workable engine in ``fallback_chain`` and the fused
+    automaton is rebuilt without it.  The ``"nfa"`` fallback transfers
+    the pattern's live state bits, so no in-flight match is lost; other
+    engines restart the pattern from the empty activation.
+    """
+
+    check_bytes: int = 4096
+    min_window: int = 1024
+    min_hit_rate: float = 0.5
+    max_active_fraction: float = 0.75
+    min_states_for_width: int = 64
+    fallback_chain: Tuple[str, ...] = ("nfa",)
+    max_demotions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.check_bytes < 1:
+            raise ValueError("check_bytes must be >= 1")
+        if self.min_window < 1:
+            raise ValueError("min_window must be >= 1")
+        if not 0.0 <= self.min_hit_rate <= 1.0:
+            raise ValueError("min_hit_rate must be in [0, 1]")
+        if not 0.0 < self.max_active_fraction <= 1.0:
+            raise ValueError("max_active_fraction must be in (0, 1]")
+        if not self.fallback_chain:
+            raise ValueError("fallback_chain must name at least one engine")
+        for engine in self.fallback_chain:
+            if engine not in ENGINES or engine == "fused":
+                raise ValueError(
+                    f"fallback_chain entries must be per-pattern engines, "
+                    f"got {engine!r}"
+                )
+        if self.max_demotions is not None and self.max_demotions < 0:
+            raise ValueError("max_demotions must be >= 0 or None")
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One runtime demotion: which pattern fell back to which engine."""
+
+    pattern_id: int
+    engine: str
+    reason: str  # "cache_thrash" or "wide_active"
+
+
 class PatternSet:
     """A set of compiled patterns with a uniform scanning interface.
 
     >>> ps = PatternSet(["ab{3}c", "xy"])
     >>> [(m.pattern_id, m.end) for m in ps.scan(b"zabbbc xy")]
     [(0, 5), (1, 8)]
+
+    With ``on_error="quarantine"`` a bad pattern no longer aborts the
+    batch; it is isolated into :attr:`reports` and the survivors keep
+    their original pattern ids:
+
+    >>> ps = PatternSet(["ab", "bad(", "cd"], on_error="quarantine")
+    >>> [r.pattern_id for r in ps.reports if r.quarantined]
+    [1]
+    >>> [(m.pattern_id, m.end) for m in ps.scan(b"ab cd")]
+    [(0, 1), (2, 4)]
     """
 
     def __init__(
@@ -57,28 +156,90 @@ class PatternSet:
         patterns: Sequence[str],
         options: CompilerOptions = CompilerOptions(),
         engine: str = "ah",
+        budget: Optional[Budget] = None,
+        on_error: str = "raise",
+        degradation: Optional[DegradationPolicy] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        if budget is not None:
+            options = replace(options, budget=budget)
         self.options = options
         self.engine = engine
-        self.compiled: List[CompiledRegex] = [
-            compile_pattern(pattern, regex_id, options)
-            for regex_id, pattern in enumerate(patterns)
-        ]
+        self.budget = options.budget
+        self.on_error = on_error
+        self.degradation = degradation
+        self.reports: List[CompileReport] = []
+        self.degradations: List[DegradationEvent] = []
+        self.compiled: List[CompiledRegex] = []
+        self._pattern_ids: List[int] = []
+        self._compile(patterns)
+        self._demoted: List[Tuple[int, object]] = []
+        self._deg_hits = 0
+        self._deg_misses = 0
         self._fused: Optional[FusedMatcher] = None
+        self._fused_ids: List[int] = []
+        self._fused_compiled: List[CompiledRegex] = []
         if engine == "fused":
-            self._fused = FusedMatcher(fuse_patterns(self.compiled))
+            cache_bytes = self.budget.max_cache_bytes or DEFAULT_CACHE_BYTES
+            self._fused = FusedMatcher(
+                fuse_patterns(self.compiled), cache_bytes=cache_bytes
+            )
+            self._fused_ids = list(self._pattern_ids)
+            self._fused_compiled = list(self.compiled)
             self._matchers = []
         else:
             self._matchers = [self._make_matcher(c) for c in self.compiled]
 
-    def _make_matcher(self, compiled: CompiledRegex):
-        if self.engine == "ah":
+    # -- compilation ---------------------------------------------------
+
+    def _compile(self, patterns: Sequence[str]) -> None:
+        clock = self.budget.start()
+        quarantined = 0
+        for regex_id, pattern in enumerate(patterns):
+            started = time.perf_counter()
+            try:
+                compiled = compile_pattern(
+                    pattern, regex_id, self.options, clock=clock
+                )
+            except ValueError as error:
+                deadline = getattr(error, "kind", None) == "deadline"
+                if self.on_error == "raise" or deadline:
+                    raise
+                quarantined += 1
+                self.reports.append(
+                    report_from_error(
+                        regex_id,
+                        pattern,
+                        error,
+                        elapsed_s=time.perf_counter() - started,
+                        default_phase="compile",
+                    )
+                )
+                continue
+            self.compiled.append(compiled)
+            self._pattern_ids.append(regex_id)
+            self.reports.append(
+                CompileReport(
+                    pattern_id=regex_id,
+                    pattern=pattern,
+                    elapsed_s=time.perf_counter() - started,
+                )
+            )
+        if quarantined and telemetry.metrics_enabled():
+            telemetry.registry().counter("compile.quarantined").inc(quarantined)
+
+    def _make_matcher(self, compiled: CompiledRegex, engine: Optional[str] = None):
+        engine = engine or self.engine
+        if engine == "ah":
             return compiled.ah.matcher()
-        if self.engine == "nbva":
+        if engine == "nbva":
             return compiled.nbva.matcher()
-        if self.engine == "nca":
+        if engine == "nca":
             return NCAMatcher(compiled.nbva)
         return build_unfolded_nfa(compiled.parsed).matcher()
 
@@ -86,12 +247,21 @@ class PatternSet:
     def patterns(self) -> List[str]:
         return [c.pattern for c in self.compiled]
 
+    @property
+    def quarantined(self) -> Dict[int, CompileReport]:
+        """Quarantined patterns by original pattern id."""
+        return {r.pattern_id: r for r in self.reports if r.quarantined}
+
     def reset(self) -> None:
         if self._fused is not None:
             self._fused.reset()
+            for _pattern_id, matcher in self._demoted:
+                matcher.reset()
             return
         for matcher in self._matchers:
             matcher.reset()
+
+    # -- scanning ------------------------------------------------------
 
     def scan(self, data: bytes) -> List[Match]:
         """Scan from a fresh state; report every (pattern, end) event."""
@@ -100,7 +270,7 @@ class PatternSet:
             with telemetry.span(
                 "engine.scan", "engine", engine=self.engine, symbols=len(data)
             ):
-                return self._feed_instrumented(data)
+                return self.feed(data)
         return self.feed(data)
 
     def feed(self, data: bytes) -> List[Match]:
@@ -108,23 +278,71 @@ class PatternSet:
 
         Reported end offsets are relative to this chunk, for every
         engine (streaming callers track the absolute base themselves).
+        With a ``deadline_s`` budget the clock starts at each call and
+        is checked every ``check_bytes`` bytes; with a
+        :class:`DegradationPolicy` the fused engine re-evaluates its
+        thrash/width triggers on the same cadence.
         """
-        if telemetry.enabled():
-            return self._feed_instrumented(data)
-        if self._fused is not None:
-            return [
-                Match(pattern_id, offset)
-                for pattern_id, offset in self._fused.feed(data)
-            ]
+        clock = (
+            self.budget.start() if self.budget.deadline_s is not None else None
+        )
+        degrade = self._fused is not None and self.degradation is not None
+        if clock is None and not degrade:
+            return self._feed_block(data, 0)
+        step = self.budget.check_bytes
+        if degrade:
+            step = min(step, self.degradation.check_bytes)
         out: List[Match] = []
-        matchers = self._matchers
-        for offset, symbol in enumerate(data):
-            for pattern_id, matcher in enumerate(matchers):
-                if matcher.step(symbol):
-                    out.append(Match(pattern_id, offset))
+        for base in range(0, len(data), step):
+            if clock is not None:
+                clock.check("scan")
+            out.extend(self._feed_block(data[base : base + step], base))
+            if degrade:
+                self._maybe_degrade()
+        if clock is not None:
+            clock.check("scan")
         return out
 
-    def _feed_instrumented(self, data: bytes) -> List[Match]:
+    def _feed_block(self, data: bytes, base: int) -> List[Match]:
+        """One uninterrupted stretch of the feed loop."""
+        if telemetry.enabled():
+            return self._feed_instrumented(data, base)
+        fused = self._fused
+        if fused is not None:
+            if self._demoted:
+                return self._feed_fused_degraded(data, base)
+            ids = self._fused_ids
+            return [
+                Match(ids[slot], base + offset)
+                for slot, offset in fused.feed(data)
+            ]
+        out: List[Match] = []
+        ids = self._pattern_ids
+        matchers = self._matchers
+        for offset, symbol in enumerate(data):
+            for slot, matcher in enumerate(matchers):
+                if matcher.step(symbol):
+                    out.append(Match(ids[slot], base + offset))
+        return out
+
+    def _feed_fused_degraded(self, data: bytes, base: int) -> List[Match]:
+        """Fused step plus the demoted per-pattern matchers, merged in
+        (offset, pattern id) order so the stream is indistinguishable
+        from the undegraded one."""
+        fused = self._fused
+        ids = self._fused_ids
+        demoted = self._demoted
+        events: List[Tuple[int, int]] = []
+        for offset, symbol in enumerate(data):
+            for slot in fused.step_report(symbol):
+                events.append((base + offset, ids[slot]))
+            for pattern_id, matcher in demoted:
+                if matcher.step(symbol):
+                    events.append((base + offset, pattern_id))
+        events.sort()
+        return [Match(pattern_id, end) for end, pattern_id in events]
+
+    def _feed_instrumented(self, data: bytes, base: int = 0) -> List[Match]:
         """The :meth:`feed` loop plus telemetry: symbols scanned, matches
         emitted, and a per-symbol active-state occupancy histogram
         (summed over the set's matchers)."""
@@ -140,16 +358,29 @@ class PatternSet:
         ) as sp:
             if fused is not None:
                 hits, misses = fused.cache_hits, fused.cache_misses
+                ids = self._fused_ids
+                demoted = self._demoted
+                events: List[Tuple[int, int]] = []
                 for offset, symbol in enumerate(data):
-                    for pattern_id in fused.step_report(symbol):
-                        out.append(Match(pattern_id, offset))
-                    if collect:
-                        occupancy.observe(fused.active_count())
-            else:
-                for offset, symbol in enumerate(data):
-                    for pattern_id, matcher in enumerate(matchers):
+                    for slot in fused.step_report(symbol):
+                        events.append((base + offset, ids[slot]))
+                    for pattern_id, matcher in demoted:
                         if matcher.step(symbol):
-                            out.append(Match(pattern_id, offset))
+                            events.append((base + offset, pattern_id))
+                    if collect:
+                        occupancy.observe(
+                            fused.active_count()
+                            + sum(m.active_count() for _pid, m in demoted)
+                        )
+                if demoted:
+                    events.sort()
+                out = [Match(pattern_id, end) for end, pattern_id in events]
+            else:
+                ids = self._pattern_ids
+                for offset, symbol in enumerate(data):
+                    for slot, matcher in enumerate(matchers):
+                        if matcher.step(symbol):
+                            out.append(Match(ids[slot], base + offset))
                     if collect:
                         occupancy.observe(
                             sum(m.active_count() for m in matchers)
@@ -166,6 +397,112 @@ class PatternSet:
                     fused.cache_misses - misses
                 )
         return out
+
+    # -- graceful degradation ------------------------------------------
+
+    def _maybe_degrade(self) -> None:
+        """Evaluate the degradation triggers at a chunk boundary."""
+        fused = self._fused
+        policy = self.degradation
+        if fused is None or policy is None or not self._fused_ids:
+            return
+        if (
+            policy.max_demotions is not None
+            and len(self.degradations) >= policy.max_demotions
+        ):
+            return
+        window_hits = fused.cache_hits - self._deg_hits
+        window_misses = fused.cache_misses - self._deg_misses
+        self._deg_hits = fused.cache_hits
+        self._deg_misses = fused.cache_misses
+        window = window_hits + window_misses
+        thrash = (
+            window >= policy.min_window
+            and fused.cache_full()
+            and window_hits < policy.min_hit_rate * window
+        )
+        num_states = fused.fused.num_states
+        wide = (
+            num_states >= policy.min_states_for_width
+            and fused.active_count() >= policy.max_active_fraction * num_states
+        )
+        if thrash or wide:
+            self._demote_widest("cache_thrash" if thrash else "wide_active")
+
+    def _demote_widest(self, reason: str) -> None:
+        fused = self._fused
+        automaton = fused.fused
+        active = fused.active
+        best_slot, best_width = 0, -1
+        for slot in range(len(self._fused_ids)):
+            width = popcount(active & automaton.pattern_mask(slot))
+            if width > best_width:
+                best_slot, best_width = slot, width
+        self._demote(best_slot, reason)
+
+    def _demote(self, slot: int, reason: str) -> None:
+        """Move one fused slot onto a per-pattern fallback engine and
+        rebuild the fused automaton without it."""
+        fused = self._fused
+        automaton = fused.fused
+        pattern_id = self._fused_ids[slot]
+        compiled = self._fused_compiled[slot]
+        base, end = automaton.pattern_slice(slot)
+        local_active = (fused.active >> base) & ((1 << (end - base)) - 1)
+        matcher = None
+        engine_used = None
+        for engine in self.degradation.fallback_chain:
+            try:
+                if engine == "nfa" and automaton.nfas:
+                    # The fused slice IS this pattern's scan-NFA activation,
+                    # so the handoff preserves every in-flight partial match.
+                    matcher = automaton.nfas[slot].matcher()
+                    matcher.reset()
+                    matcher.active = local_active
+                else:
+                    matcher = self._make_matcher(compiled, engine)
+                    matcher.reset()  # fresh state: in-flight partials drop
+                engine_used = engine
+                break
+            except ValueError:
+                matcher = None
+        if matcher is None:
+            return  # nothing in the chain can host it; stay fused
+        keep = [i for i in range(len(self._fused_ids)) if i != slot]
+        new_fused = fuse_nfas([automaton.nfas[i] for i in keep])
+        if automaton.sources:
+            new_fused.sources = [automaton.sources[i] for i in keep]
+        new_active = 0
+        shift = 0
+        for i in keep:
+            lo, hi = automaton.pattern_slice(i)
+            new_active |= ((fused.active >> lo) & ((1 << (hi - lo)) - 1)) << shift
+            shift += hi - lo
+        new_matcher = FusedMatcher(
+            new_fused,
+            cache_size=fused._cache_size,
+            cache_bytes=fused._cache_byte_limit,
+        )
+        new_matcher.active = new_active
+        self._fused = new_matcher
+        self._fused_ids = [self._fused_ids[i] for i in keep]
+        self._fused_compiled = [self._fused_compiled[i] for i in keep]
+        self._demoted.append((pattern_id, matcher))
+        self._demoted.sort(key=lambda item: item[0])
+        self._deg_hits = 0
+        self._deg_misses = 0
+        self.degradations.append(
+            DegradationEvent(pattern_id=pattern_id, engine=engine_used, reason=reason)
+        )
+        for report in self.reports:
+            if report.pattern_id == pattern_id:
+                report.status = STATUS_DEGRADED
+                report.phase = "scan"
+                break
+        if telemetry.metrics_enabled():
+            telemetry.registry().counter("scan.degraded").inc()
+
+    # -- conveniences --------------------------------------------------
 
     def match_ends(self, data: bytes, pattern_id: int = 0) -> List[int]:
         """End indices for one pattern (fresh scan)."""

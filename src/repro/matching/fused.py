@@ -42,6 +42,27 @@ from ..compiler.pipeline import CompiledRegex, build_scan_nfa
 #: the footprint of the automata themselves.
 DEFAULT_CACHE_SIZE = 1 << 15
 
+#: Default byte budget for the successor cache.  Entry cost is estimated
+#: from the *bit length of the masks* (a 10k-state fused set stores ~2.5kB
+#: of big-int per entry, a 100-state set ~100B), so wide pattern sets are
+#: bounded by memory footprint, not entry count.
+DEFAULT_CACHE_BYTES = 16 << 20
+
+#: Estimated fixed overhead per cache entry (dict slot, key/value tuples,
+#: int headers) in bytes, on top of the mask payloads.
+_ENTRY_OVERHEAD_BYTES = 200
+
+
+def entry_bytes(active: int, next_mask: int, report_len: int = 0) -> int:
+    """Estimated resident bytes of one ``(active, symbol) -> (next, fired)``
+    cache entry, keyed on the bit length of both masks."""
+    return (
+        _ENTRY_OVERHEAD_BYTES
+        + active.bit_length() // 8
+        + next_mask.bit_length() // 8
+        + 32 * report_len
+    )
+
 
 @dataclass
 class FusedAutomaton:
@@ -58,6 +79,9 @@ class FusedAutomaton:
         sources: per-pattern automaton provenance, ``"ah"`` when the
             counter-free AH-NBVA graph was reused, ``"unfolded"`` for
             the Glushkov fallback.
+        nfas: the original per-pattern NFAs (kept so a pattern can be
+            peeled back out — e.g. runtime demotion to a per-pattern
+            engine — without recompiling).
     """
 
     classes: List
@@ -67,6 +91,7 @@ class FusedAutomaton:
     finals: Dict[int, int]
     offsets: List[int]
     sources: List[str] = field(default_factory=list)
+    nfas: List[NFA] = field(default_factory=list)
 
     @property
     def num_states(self) -> int:
@@ -76,8 +101,27 @@ class FusedAutomaton:
     def num_patterns(self) -> int:
         return len(self.offsets)
 
-    def matcher(self, cache_size: int = DEFAULT_CACHE_SIZE) -> "FusedMatcher":
-        return FusedMatcher(self, cache_size=cache_size)
+    def pattern_slice(self, pattern_id: int) -> Tuple[int, int]:
+        """Half-open combined-state index range owned by ``pattern_id``."""
+        base = self.offsets[pattern_id]
+        end = (
+            self.offsets[pattern_id + 1]
+            if pattern_id + 1 < len(self.offsets)
+            else self.num_states
+        )
+        return base, end
+
+    def pattern_mask(self, pattern_id: int) -> int:
+        """Bit mask selecting ``pattern_id``'s states in a combined mask."""
+        base, end = self.pattern_slice(pattern_id)
+        return ((1 << (end - base)) - 1) << base
+
+    def matcher(
+        self,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ) -> "FusedMatcher":
+        return FusedMatcher(self, cache_size=cache_size, cache_bytes=cache_bytes)
 
 
 def fuse_nfas(nfas: Sequence[NFA]) -> FusedAutomaton:
@@ -106,6 +150,7 @@ def fuse_nfas(nfas: Sequence[NFA]) -> FusedAutomaton:
         state_pattern=state_pattern,
         finals=finals,
         offsets=offsets,
+        nfas=list(nfas),
     )
 
 
@@ -122,10 +167,14 @@ def fuse_patterns(compiled: Sequence[CompiledRegex]) -> FusedAutomaton:
 
 
 def build_fused(
-    compiled: Sequence[CompiledRegex], cache_size: int = DEFAULT_CACHE_SIZE
+    compiled: Sequence[CompiledRegex],
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
 ) -> "FusedMatcher":
     """Convenience: fuse and wrap in a matcher in one call."""
-    return FusedMatcher(fuse_patterns(compiled), cache_size=cache_size)
+    return FusedMatcher(
+        fuse_patterns(compiled), cache_size=cache_size, cache_bytes=cache_bytes
+    )
 
 
 class FusedMatcher:
@@ -138,10 +187,15 @@ class FusedMatcher:
     """
 
     def __init__(
-        self, fused: FusedAutomaton, cache_size: int = DEFAULT_CACHE_SIZE
+        self,
+        fused: FusedAutomaton,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be positive")
+        if cache_bytes < 1:
+            raise ValueError("cache_bytes must be positive")
         self.fused = fused
         self._match_masks = build_match_masks(fused.classes)
         self._initial_mask = states_to_mask(fused.initial)
@@ -149,6 +203,8 @@ class FusedMatcher:
         self._succ_masks = [states_to_mask(dsts) for dsts in fused.transitions]
         self._state_pattern = fused.state_pattern
         self._cache_size = cache_size
+        self._cache_byte_limit = cache_bytes
+        self._cache_bytes = 0
         #: ``(active_mask, symbol) -> (next_mask, fired pattern ids)``
         self._cache: "OrderedDict[Tuple[int, int], Tuple[int, Tuple[int, ...]]]"
         self._cache = OrderedDict()
@@ -182,8 +238,15 @@ class FusedMatcher:
         report = self._report_ids(fired) if fired else ()
         entry = (next_mask, report)
         cache[key] = entry
-        if len(cache) > self._cache_size:
-            cache.popitem(last=False)
+        self._cache_bytes += entry_bytes(active, next_mask, len(report))
+        while (
+            len(cache) > self._cache_size
+            or self._cache_bytes > self._cache_byte_limit
+        ) and cache:
+            old_key, old_entry = cache.popitem(last=False)
+            self._cache_bytes -= entry_bytes(
+                old_key[0], old_entry[0], len(old_entry[1])
+            )
         return entry
 
     def _report_ids(self, fired: int) -> Tuple[int, ...]:
@@ -248,4 +311,17 @@ class FusedMatcher:
             "misses": self.cache_misses,
             "entries": len(self._cache),
             "capacity": self._cache_size,
+            "bytes": self._cache_bytes,
+            "byte_capacity": self._cache_byte_limit,
         }
+
+    def cache_full(self) -> bool:
+        """True once either cache bound (entries or bytes) is saturated.
+
+        Used by degradation policies: a low hit rate only signals thrash
+        when the cache has actually filled — cold caches miss by design.
+        """
+        return (
+            len(self._cache) >= self._cache_size
+            or self._cache_bytes >= self._cache_byte_limit
+        )

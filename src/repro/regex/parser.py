@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from . import ast
+from ..resilience.errors import RegexSyntaxError, UnsupportedFeatureError
 from .charclass import ALPHABET_SIZE, DIGIT, SPACE, WORD, CharClass
 
 _CONTROL_ESCAPES = {
@@ -77,13 +78,9 @@ _POSIX_CLASSES = {
 _SPECIAL = set("\\^$.[|()?*+{")
 
 
-class RegexSyntaxError(ValueError):
-    """Raised on malformed or unsupported regex syntax."""
-
-    def __init__(self, message: str, pattern: str, pos: int) -> None:
-        super().__init__(f"{message} at position {pos} in {pattern!r}")
-        self.pattern = pattern
-        self.pos = pos
+# The error classes live in the resilience layer (structured taxonomy
+# with caret diagnostics); re-exported here for backwards compatibility.
+__all__ = ["RegexSyntaxError", "UnsupportedFeatureError", "parse"]
 
 
 def _case_fold(cc: CharClass) -> CharClass:
@@ -137,6 +134,9 @@ class _Parser:
 
     def _error(self, message: str) -> RegexSyntaxError:
         return RegexSyntaxError(message, self.pattern, self.pos)
+
+    def _unsupported(self, message: str) -> UnsupportedFeatureError:
+        return UnsupportedFeatureError(message, self.pattern, self.pos)
 
     # -- grammar -----------------------------------------------------------
 
@@ -259,7 +259,7 @@ class _Parser:
         if char == ":":
             return True
         if char in "=!<":
-            raise self._error("lookaround assertions are not supported")
+            raise self._unsupported("lookaround assertions are not supported")
         flags = ""
         while char.isalpha():
             flags += char
@@ -268,12 +268,12 @@ class _Parser:
                 break
             char = self._next()
         if not flags:
-            raise self._error(f"unsupported group modifier {char!r}")
+            raise self._unsupported(f"unsupported group modifier {char!r}")
         for flag in flags:
             if flag == "i":
                 self.ignorecase = True
             elif flag not in "smx":
-                raise self._error(f"unsupported inline flag {flag!r}")
+                raise self._unsupported(f"unsupported inline flag {flag!r}")
         return self._eat(":")
 
     def _escape(self) -> CharClass:
@@ -285,7 +285,7 @@ class _Parser:
         if char in _CLASS_ESCAPES:
             return _CLASS_ESCAPES[char]
         if char.isdigit():
-            raise self._error("backreferences are not supported")
+            raise self._unsupported("backreferences are not supported")
         return CharClass.from_char(ord(char))
 
     def _hex_byte(self) -> int:

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from . import ast
+from ..resilience.errors import BudgetExceededError
 from .ast import (
     Alternation,
     Concat,
@@ -51,6 +52,13 @@ from .ast import (
 #: Virtual bit-vector sizes realisable on the 8x8 SRAM BV array (§5): the
 #: number of Swap words is configurable, so widths are multiples of 8.
 VIRTUAL_SIZES = (8, 16, 32, 64)
+
+#: Default ceiling on the symbols one ``{m,n}`` unfolding may create.
+#: Large enough for every realistic rule (``url=.{8000}`` is 8000), small
+#: enough that a pathological ``(a{1000}){1000}`` cannot silently build a
+#: million-node AST.  Override via :attr:`RewriteParams.max_unfold` or a
+#: :class:`repro.resilience.Budget`; ``None`` disables the bound.
+DEFAULT_MAX_UNFOLD = 1_000_000
 
 
 def supported_range_widths(bv_size: int) -> Tuple[int, ...]:
@@ -72,6 +80,9 @@ class RewriteParams:
 
     bv_size: int = 64
     unfold_threshold: int = 4
+    #: Hard bound on the symbols a single unfolding may create; raising
+    #: :class:`BudgetExceededError` instead of building a huge AST.
+    max_unfold: Optional[int] = DEFAULT_MAX_UNFOLD
 
     def __post_init__(self) -> None:
         if self.bv_size not in VIRTUAL_SIZES:
@@ -80,6 +91,11 @@ class RewriteParams:
             )
         if self.unfold_threshold < 2:
             raise ValueError("unfold_threshold must be >= 2 (paper step 1)")
+        if self.max_unfold is not None and self.max_unfold < self.unfold_threshold:
+            raise ValueError(
+                "max_unfold must be >= unfold_threshold "
+                f"({self.unfold_threshold}), got {self.max_unfold}"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -87,15 +103,54 @@ class RewriteParams:
 # ----------------------------------------------------------------------
 
 
-def unfold_repeat(inner: Regex, low: int, high: Optional[int]) -> Regex:
+def _num_symbols(node: Regex) -> int:
+    """Symbol-node count of an AST (its Glushkov state count)."""
+    if isinstance(node, Symbol):
+        return 1
+    if isinstance(node, Epsilon):
+        return 0
+    if isinstance(node, Repeat):
+        bound = node.high if node.high is not None else node.low + 1
+        return _num_symbols(node.inner) * max(bound, 1)
+    return sum(_num_symbols(child) for child in node.children())
+
+
+def check_unfold_budget(
+    inner: Regex, low: int, high: Optional[int], limit: Optional[int]
+) -> None:
+    """Raise :class:`BudgetExceededError` when unfolding ``inner{low,high}``
+    would create more than ``limit`` symbols (``None`` = unbounded)."""
+    if limit is None:
+        return
+    bound = high if high is not None else low + 1
+    estimated = _num_symbols(inner) * max(bound, 1)
+    if estimated > limit:
+        shown = f"{{{low}}}" if high == low else f"{{{low},{high}}}"
+        raise BudgetExceededError(
+            f"unfolding repetition {shown} would create {estimated} symbols, "
+            f"exceeding the configured max_unfold={limit}",
+            kind="unfold",
+            limit=limit,
+            actual=estimated,
+        )
+
+
+def unfold_repeat(
+    inner: Regex,
+    low: int,
+    high: Optional[int],
+    limit: Optional[int] = None,
+) -> Regex:
     """Expand ``inner{low,high}`` with concatenation/?/* only (§2).
 
     ``r{m,n} == r^m (r?)^(n-m)`` and ``r{m,} == r^m r*``.
 
     The result is a *balanced* concatenation so that unfolding large
     bounds (the baseline processors unfold everything) keeps the AST
-    shallow enough for the recursive passes.
+    shallow enough for the recursive passes.  ``limit`` bounds the
+    expansion (see :func:`check_unfold_budget`).
     """
+    check_unfold_budget(inner, low, high, limit)
     parts: List[Regex] = [inner] * low
     if high is None:
         parts.append(ast.star(inner))
@@ -104,18 +159,24 @@ def unfold_repeat(inner: Regex, low: int, high: Optional[int]) -> Regex:
     return ast.balanced_concat(parts)
 
 
-def unfold_all(node: Regex) -> Regex:
+def unfold_all(
+    node: Regex, limit: Optional[int] = DEFAULT_MAX_UNFOLD
+) -> Regex:
     """Unfold every bounded repetition (the baseline processors' strategy)."""
-    return _map_repeats(node, lambda inner, lo, hi: unfold_repeat(inner, lo, hi))
+    return _map_repeats(
+        node, lambda inner, lo, hi: unfold_repeat(inner, lo, hi, limit)
+    )
 
 
-def unfold_small(node: Regex, threshold: int) -> Regex:
+def unfold_small(
+    node: Regex, threshold: int, limit: Optional[int] = DEFAULT_MAX_UNFOLD
+) -> Regex:
     """Unfold repetitions whose finite upper bound is <= ``threshold``."""
 
     def visit(inner: Regex, low: int, high: Optional[int]) -> Regex:
         bound = high if high is not None else low
         if bound <= threshold:
-            return unfold_repeat(inner, low, high)
+            return unfold_repeat(inner, low, high, limit)
         return ast.repeat(inner, low, high)
 
     return _map_repeats(node, visit)
@@ -288,26 +349,55 @@ def _flatten_nesting(node: Regex, params: RewriteParams) -> Regex:
         if ast.has_bounded_repetition(inner, threshold=params.unfold_threshold):
             # Inner counting survived its own rewrite only if large; a BV
             # cannot nest, so the inner block is unfolded here.
-            inner = unfold_all(inner)
+            inner = unfold_all(inner, params.max_unfold)
         return ast.repeat(inner, low, high)
 
     return _map_repeats(node, visit)
 
 
+def check_split_budget(
+    inner: Regex, low: int, high: Optional[int], params: RewriteParams
+) -> None:
+    """Bound the *bound-splitting* expansion of a huge repetition.
+
+    Splitting ``X{m,n}`` produces roughly ``n / bv_size`` chained BV
+    pieces, each repeating ``X`` — the same blow-up as unfolding, merely
+    divided by the vector width — so the ``max_unfold`` budget covers it
+    too (e.g. ``x{1,10^8}`` would otherwise silently build ~1.5M nodes).
+    """
+    if params.max_unfold is None:
+        return
+    bound = high if high is not None else low
+    estimated = _num_symbols(inner) * (bound // params.bv_size + 1)
+    if estimated > params.max_unfold:
+        shown = f"{{{low}}}" if high == low else f"{{{low},{high}}}"
+        raise BudgetExceededError(
+            f"splitting repetition {shown} into {params.bv_size}-bit vector "
+            f"pieces would create {estimated} states, exceeding the "
+            f"configured max_unfold={params.max_unfold}",
+            kind="unfold",
+            limit=params.max_unfold,
+            actual=estimated,
+        )
+
+
 def _split_and_unfold(node: Regex, params: RewriteParams) -> Regex:
     def visit(inner: Regex, low: int, high: Optional[int]) -> Regex:
+        check_split_budget(inner, low, high, params)
         if high is None:
             # r{m,} == r{m} r*   (§2)
             head = visit(inner, low, low) if low > 0 else ast.EPSILON
             return ast.concat(head, ast.star(inner))
         bound = high
         if bound <= params.unfold_threshold:
-            return unfold_repeat(inner, low, high)
+            return unfold_repeat(inner, low, high, params.max_unfold)
         pieces = decompose_bounds(low, high, params)
         out: Regex = ast.EPSILON
         for lo, hi in pieces:
             if hi <= params.unfold_threshold:
-                out = ast.concat(out, unfold_repeat(inner, lo, hi))
+                out = ast.concat(
+                    out, unfold_repeat(inner, lo, hi, params.max_unfold)
+                )
             else:
                 out = ast.concat(out, ast.repeat(inner, lo, hi))
         return out

@@ -1,0 +1,131 @@
+"""Resource budgets threaded through compilation and scanning.
+
+A :class:`Budget` is an immutable bundle of limits.  ``None`` disables a
+limit; the default ``Budget()`` is fully unlimited, so the hot paths pay
+nothing unless a caller opts in (the overhead guard tests enforce this).
+
+Compile-time limits (checked at phase boundaries by
+:mod:`repro.compiler.pipeline` and inside :mod:`repro.regex.rewrite`):
+
+* ``max_states`` — AH-NBVA state count of one compiled pattern;
+* ``max_unfold`` — symbols a single ``{m,n}`` unfolding may create;
+* ``max_bv_width`` — widest virtual bit vector a pattern may demand.
+
+Run-time limits (checked by the scan engines in
+:mod:`repro.matching.engine` / :mod:`repro.matching.fused`):
+
+* ``max_cache_bytes`` — lazy-DFA successor-cache footprint of the fused
+  engine (estimated bytes, see :func:`repro.matching.fused.entry_bytes`);
+* ``deadline_s`` — cooperative wall-clock deadline.  The clock starts
+  when work starts (:meth:`Budget.start`) and is checked at compile phase
+  boundaries and every ``check_bytes`` scanned bytes, so exceeding it
+  raises :class:`~repro.resilience.errors.BudgetExceededError` promptly
+  without a per-symbol timestamp in the hot loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import BudgetExceededError
+
+#: Default deadline granularity for the scan loops (bytes between checks).
+DEFAULT_CHECK_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Immutable resource limits; ``None`` means unlimited."""
+
+    max_states: Optional[int] = None
+    max_unfold: Optional[int] = None
+    max_bv_width: Optional[int] = None
+    max_cache_bytes: Optional[int] = None
+    deadline_s: Optional[float] = None
+    check_bytes: int = DEFAULT_CHECK_BYTES
+
+    def __post_init__(self) -> None:
+        for name in ("max_states", "max_unfold", "max_bv_width",
+                     "max_cache_bytes"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {value}")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0 or None")
+        if self.check_bytes < 1:
+            raise ValueError("check_bytes must be >= 1")
+
+    # ------------------------------------------------------------------
+
+    def unlimited(self) -> bool:
+        """True when every limit is disabled (the default)."""
+        return (
+            self.max_states is None
+            and self.max_unfold is None
+            and self.max_bv_width is None
+            and self.max_cache_bytes is None
+            and self.deadline_s is None
+        )
+
+    def start(self) -> "BudgetClock":
+        """Start the cooperative deadline clock for one unit of work."""
+        return BudgetClock(self)
+
+    # -- compile-time checks -------------------------------------------
+
+    def charge_states(self, states: int, pattern: str = "") -> None:
+        if self.max_states is not None and states > self.max_states:
+            where = f" for {pattern!r}" if pattern else ""
+            raise BudgetExceededError(
+                f"automaton needs {states} states{where}, exceeding "
+                f"max_states={self.max_states}",
+                kind="states",
+                limit=self.max_states,
+                actual=states,
+            )
+
+    def charge_bv_width(self, width: int, pattern: str = "") -> None:
+        if self.max_bv_width is not None and width > self.max_bv_width:
+            where = f" for {pattern!r}" if pattern else ""
+            raise BudgetExceededError(
+                f"bit vector of width {width}{where} exceeds "
+                f"max_bv_width={self.max_bv_width}",
+                kind="bv_width",
+                limit=self.max_bv_width,
+                actual=width,
+            )
+
+
+class BudgetClock:
+    """The running side of a :class:`Budget`: a started deadline.
+
+    Cheap to create; :meth:`check` is a no-op attribute test when no
+    deadline is configured.
+    """
+
+    __slots__ = ("budget", "expiry")
+
+    def __init__(self, budget: Budget) -> None:
+        self.budget = budget
+        self.expiry: Optional[float] = (
+            time.monotonic() + budget.deadline_s
+            if budget.deadline_s is not None
+            else None
+        )
+
+    def expired(self) -> bool:
+        return self.expiry is not None and time.monotonic() >= self.expiry
+
+    def check(self, phase: str) -> None:
+        """Raise :class:`BudgetExceededError` when the deadline passed."""
+        if self.expiry is not None and time.monotonic() >= self.expiry:
+            error = BudgetExceededError(
+                f"deadline of {self.budget.deadline_s:g}s exceeded "
+                f"during {phase}",
+                kind="deadline",
+                limit=self.budget.deadline_s,
+            )
+            error.phase = phase
+            raise error

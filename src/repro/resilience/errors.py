@@ -1,0 +1,157 @@
+"""Structured error taxonomy for the whole compile→map→scan→simulate stack.
+
+Every failure the library raises deliberately derives from
+:class:`ReproError` and carries a stable machine-readable ``code``:
+
+==========================  ===============  =====================================
+class                       code             raised by
+==========================  ===============  =====================================
+:class:`RegexSyntaxError`   ``E_SYNTAX``     :mod:`repro.regex.parser`
+:class:`UnsupportedFeatureError` ``E_UNSUPPORTED`` parser (lookaround, backrefs,
+                                             flags) and :mod:`repro.compiler.translate`
+:class:`BudgetExceededError` ``E_BUDGET``    :mod:`repro.resilience.budget` checks
+                                             in the rewrite/compile/scan paths
+:class:`CapacityError`      ``E_CAPACITY``   :mod:`repro.compiler.mapping` tile and
+                                             array overflow (``MappingError``)
+:class:`SimulationFaultError` ``E_FAULT``    :mod:`repro.resilience.faults` and the
+                                             cycle simulators
+==========================  ===============  =====================================
+
+:class:`ReproError` subclasses :class:`ValueError` so every pre-existing
+``except ValueError`` site (and test) keeps working; new code should catch
+``ReproError`` and dispatch on ``error.code``.
+
+The taxonomy is defined here, below every other ``repro`` module, so any
+layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ReproError(ValueError):
+    """Base class for every structured error raised by the library.
+
+    Attributes:
+        code: stable machine-readable error code (``E_*``).
+        phase: compile/scan phase the error surfaced in, filled by the
+            pipeline when it quarantines a pattern (``parse``, ``rewrite``,
+            ``translate``, ``mapping``, ``scan``, ...).
+    """
+
+    code: str = "E_REPRO"
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+        self.phase: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-serialisable error object (the CLI's ``--json`` shape)."""
+        out: Dict[str, Any] = {
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.phase is not None:
+            out["phase"] = self.phase
+        return out
+
+
+class RegexSyntaxError(ReproError):
+    """Malformed regex syntax, with a caret diagnostic pointing at ``pos``.
+
+    >>> err = RegexSyntaxError("unbalanced ')'", "ab)c", 3)
+    >>> print(err)
+    unbalanced ')' at position 3 in 'ab)c'
+        ab)c
+           ^
+    """
+
+    code = "E_SYNTAX"
+
+    def __init__(self, message: str, pattern: str = "", pos: int = 0) -> None:
+        super().__init__(f"{message} at position {pos} in {pattern!r}")
+        self.reason = message
+        self.pattern = pattern
+        self.pos = pos
+
+    def __str__(self) -> str:
+        return f"{self.message}\n{self.caret_diagnostic()}"
+
+    def caret_diagnostic(self, indent: int = 4) -> str:
+        """The pattern with a ``^`` marker under the offending position."""
+        pad = " " * indent
+        # Clamp: pos may equal len(pattern) ("unexpected end of pattern").
+        pos = min(max(self.pos, 0), len(self.pattern))
+        return f"{pad}{self.pattern}\n{pad}{' ' * pos}^"
+
+    def to_json(self) -> Dict[str, Any]:
+        out = super().to_json()
+        out["pattern"] = self.pattern
+        out["pos"] = self.pos
+        return out
+
+
+class UnsupportedFeatureError(RegexSyntaxError):
+    """A syntactically valid construct the engine deliberately rejects
+    (backreferences, lookaround, unknown inline flags, ...)."""
+
+    code = "E_UNSUPPORTED"
+
+
+class BudgetExceededError(ReproError):
+    """A configured resource budget (states, unfold size, cache bytes,
+    wall-clock deadline) was exceeded; see :mod:`repro.resilience.budget`."""
+
+    code = "E_BUDGET"
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "",
+        limit: Optional[float] = None,
+        actual: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.limit = limit
+        self.actual = actual
+
+    def to_json(self) -> Dict[str, Any]:
+        out = super().to_json()
+        if self.kind:
+            out["kind"] = self.kind
+        if self.limit is not None:
+            out["limit"] = self.limit
+        if self.actual is not None:
+            out["actual"] = self.actual
+        return out
+
+
+class CapacityError(ReproError):
+    """An automaton exceeds what the target hardware hierarchy can hold
+    (tile/array STE or BV overflow during mapping)."""
+
+    code = "E_CAPACITY"
+
+
+class SimulationFaultError(ReproError):
+    """The cycle simulator or the fault-injection harness was driven with
+    an inconsistent configuration, or detected internal nondeterminism."""
+
+    code = "E_FAULT"
+
+
+#: code -> class, for decoding structured error objects.
+ERROR_CODES = {
+    cls.code: cls
+    for cls in (
+        ReproError,
+        RegexSyntaxError,
+        UnsupportedFeatureError,
+        BudgetExceededError,
+        CapacityError,
+        SimulationFaultError,
+    )
+}

@@ -1,0 +1,275 @@
+"""Deterministic fault injection for the cycle simulator (soft errors).
+
+The energy/reliability-critical structures CAMA and the in-memory codesign
+literature identify — the CAM match vectors, the BVM's SRAM bit vectors,
+and the Active Vector / counter state — are modelled functionally by
+:class:`repro.hardware.activity.AHStepper`.  This harness replays a
+**golden** (fault-free) run of a compiled rule set over an input stream,
+then re-runs it while injecting seeded bit flips into those structures,
+and reports:
+
+* the **first-divergence cycle** — the first symbol at which the faulty
+  machine's architectural state (all per-state values of every automaton)
+  differs from the golden run;
+* the **match-set delta** — matches the faulty run missed and matches it
+  spuriously reported.
+
+Three fault classes, each with an independent per-cycle injection rate:
+
+``cam``
+    One state's CAM match-vector bit flips for one cycle: the state sees
+    the current symbol as matching when it does not (or vice versa).
+``bv``
+    One stored bit of one BV-STE's bit vector flips (SRAM soft error).
+``counter``
+    One state's Active Vector bit (counter-state LSB) flips.
+
+All randomness flows from one ``random.Random(seed)`` whose draw sequence
+depends only on the spec and the input length, so a fixed seed replays
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .errors import SimulationFaultError
+
+FAULT_KINDS = ("cam", "bv", "counter")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seeded fault-injection configuration."""
+
+    seed: int = 0
+    cam_rate: float = 0.0
+    bv_rate: float = 0.0
+    counter_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("cam_rate", "bv_rate", "counter_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationFaultError(
+                    f"{name} must be within [0, 1], got {rate}"
+                )
+
+    def any_faults(self) -> bool:
+        return bool(self.cam_rate or self.bv_rate or self.counter_rate)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One injected bit flip."""
+
+    cycle: int
+    kind: str  # one of FAULT_KINDS
+    regex_index: int  # index into the rule set's automata
+    state: int
+    bit: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "cycle": self.cycle,
+            "kind": self.kind,
+            "regex_index": self.regex_index,
+            "state": self.state,
+            "bit": self.bit,
+        }
+
+
+@dataclass
+class FaultReport:
+    """Outcome of one fault campaign (golden run vs faulty replay)."""
+
+    spec: FaultSpec
+    symbols: int
+    injected: List[InjectedFault] = field(default_factory=list)
+    first_divergence_cycle: Optional[int] = None
+    golden_matches: List[Tuple[int, int]] = field(default_factory=list)
+    faulty_matches: List[Tuple[int, int]] = field(default_factory=list)
+    missed: List[Tuple[int, int]] = field(default_factory=list)
+    spurious: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def diverged(self) -> bool:
+        return self.first_divergence_cycle is not None
+
+    def injected_by_kind(self) -> Dict[str, int]:
+        counts = {kind: 0 for kind in FAULT_KINDS}
+        for fault in self.injected:
+            counts[fault.kind] += 1
+        return counts
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.spec.seed,
+            "rates": {
+                "cam": self.spec.cam_rate,
+                "bv": self.spec.bv_rate,
+                "counter": self.spec.counter_rate,
+            },
+            "symbols": self.symbols,
+            "injected": [fault.to_json() for fault in self.injected],
+            "injected_by_kind": self.injected_by_kind(),
+            "first_divergence_cycle": self.first_divergence_cycle,
+            "golden_matches": len(self.golden_matches),
+            "faulty_matches": len(self.faulty_matches),
+            "missed": [list(event) for event in self.missed],
+            "spurious": [list(event) for event in self.spurious],
+            "diverged": self.diverged,
+        }
+
+
+def _make_steppers(ruleset):
+    """AH steppers plus their regex ids for anything shaped like a
+    :class:`repro.compiler.pipeline.CompiledRuleset`."""
+    # Imported here (not at module level) to keep ``repro.resilience``
+    # importable from the bottom layers without a circular import.
+    from ..hardware.activity import AHStepper
+
+    steppers = [AHStepper(regex.ah) for regex in ruleset.regexes]
+    ids = [regex.regex_id for regex in ruleset.regexes]
+    if not steppers:
+        raise SimulationFaultError("rule set has no compiled automata")
+    return steppers, ids
+
+
+def _digest(steppers: Sequence) -> int:
+    """Hash of the full architectural state after one cycle.
+
+    Integers hash by value in CPython, so this is stable across
+    processes (``PYTHONHASHSEED`` only perturbs str/bytes hashing).
+    """
+    return hash(tuple(tuple(s.values) for s in steppers))
+
+
+def _run(
+    ruleset,
+    data: bytes,
+    spec: Optional[FaultSpec],
+) -> Tuple[List[int], List[Tuple[int, int]], List[InjectedFault]]:
+    """One replay; ``spec=None`` (or all-zero rates) is the golden run."""
+    from ..hardware.activity import StepStats
+
+    steppers, ids = _make_steppers(ruleset)
+    bv_sites: List[Tuple[int, int, int]] = []  # (stepper, state, width)
+    all_sites: List[Tuple[int, int]] = []
+    for index, stepper in enumerate(steppers):
+        for q, state in enumerate(stepper.ah.states):
+            all_sites.append((index, q))
+            if state.width > 1:
+                bv_sites.append((index, q, state.width))
+
+    inject = spec is not None and spec.any_faults()
+    rng = random.Random(spec.seed) if spec is not None else None
+
+    digests: List[int] = []
+    matches: List[Tuple[int, int]] = []
+    injected: List[InjectedFault] = []
+    for cycle, symbol in enumerate(data):
+        cam_patch = None  # (stepper, original CAM row) during this cycle
+        if inject and rng.random() < spec.cam_rate:
+            index, q = all_sites[rng.randrange(len(all_sites))]
+            stepper = steppers[index]
+            table = stepper._by_symbol
+            original = table[symbol]
+            if q in original:
+                table[symbol] = tuple(x for x in original if x != q)
+            else:
+                table[symbol] = original + (q,)
+            cam_patch = (stepper, original)
+            injected.append(
+                InjectedFault(cycle, "cam", index, q, symbol)
+            )
+
+        stats = StepStats()
+        for index, stepper in enumerate(steppers):
+            if stepper.step(symbol, stats):
+                matches.append((cycle, ids[index]))
+
+        if cam_patch is not None:  # transient fault: restore the CAM row
+            stepper, original = cam_patch
+            stepper._by_symbol[symbol] = original
+
+        if inject and rng.random() < spec.bv_rate and bv_sites:
+            index, q, width = bv_sites[rng.randrange(len(bv_sites))]
+            bit = rng.randrange(width)
+            steppers[index].values[q] ^= 1 << bit
+            injected.append(InjectedFault(cycle, "bv", index, q, bit))
+        if inject and rng.random() < spec.counter_rate:
+            index, q = all_sites[rng.randrange(len(all_sites))]
+            steppers[index].values[q] ^= 1
+            injected.append(InjectedFault(cycle, "counter", index, q, 0))
+
+        digests.append(_digest(steppers))
+    return digests, matches, injected
+
+
+def run_campaign(
+    ruleset,
+    data: bytes,
+    spec: FaultSpec,
+    verify_golden: bool = False,
+) -> FaultReport:
+    """Golden run, faulty replay, and divergence analysis.
+
+    ``ruleset`` is a :class:`repro.compiler.pipeline.CompiledRuleset` (or
+    any object with ``.regexes`` carrying ``.ah`` / ``.regex_id``).  With
+    ``verify_golden`` the golden run is executed twice and any mismatch —
+    which would invalidate the whole comparison — raises
+    :class:`SimulationFaultError`.
+    """
+    golden_digests, golden_matches, _ = _run(ruleset, data, None)
+    if verify_golden:
+        replay_digests, replay_matches, _ = _run(ruleset, data, None)
+        if replay_digests != golden_digests or replay_matches != golden_matches:
+            raise SimulationFaultError(
+                "golden run is nondeterministic; fault comparison is invalid"
+            )
+    faulty_digests, faulty_matches, injected = _run(ruleset, data, spec)
+
+    first_divergence: Optional[int] = None
+    for cycle, (gold, fault) in enumerate(zip(golden_digests, faulty_digests)):
+        if gold != fault:
+            first_divergence = cycle
+            break
+
+    golden_set = set(golden_matches)
+    faulty_set = set(faulty_matches)
+    return FaultReport(
+        spec=spec,
+        symbols=len(data),
+        injected=injected,
+        first_divergence_cycle=first_divergence,
+        golden_matches=golden_matches,
+        faulty_matches=faulty_matches,
+        missed=sorted(golden_set - faulty_set),
+        spurious=sorted(faulty_set - golden_set),
+    )
+
+
+def format_report(report: FaultReport) -> str:
+    """Human-readable campaign summary (the ``faults`` CLI verb)."""
+    by_kind = report.injected_by_kind()
+    lines = [
+        f"symbols          : {report.symbols}",
+        f"seed             : {report.spec.seed}",
+        "injected faults  : "
+        + ", ".join(f"{kind}={by_kind[kind]}" for kind in FAULT_KINDS)
+        + f" (total {len(report.injected)})",
+        "first divergence : "
+        + (
+            f"cycle {report.first_divergence_cycle}"
+            if report.diverged
+            else "none"
+        ),
+        f"golden matches   : {len(report.golden_matches)}",
+        f"faulty matches   : {len(report.faulty_matches)}",
+        f"missed matches   : {len(report.missed)}",
+        f"spurious matches : {len(report.spurious)}",
+    ]
+    return "\n".join(lines)

@@ -169,3 +169,78 @@ class TestPatternSetIntegration:
         occupancy = snap["histograms"]["engine.active_states"]
         assert occupancy["count"] == 3
         assert snap["counters"]["engine.fused.cache_misses"] > 0
+
+
+class TestCacheBytes:
+    """Satellite: the successor cache is bounded by estimated bytes,
+    keyed on mask bit length, not just entry count."""
+
+    def test_entry_bytes_scale_with_mask_width(self):
+        from repro.matching.fused import entry_bytes
+
+        narrow = entry_bytes(1 << 10, 1 << 10)
+        wide = entry_bytes(1 << 100_000, 1 << 100_000)
+        assert wide > narrow
+        assert wide - narrow >= 2 * (100_000 - 10) // 8 - 16
+
+    def test_cache_info_reports_bytes(self):
+        matcher = build_fused(compile_all(["ab"]))
+        matcher.scan(b"abcabc")
+        info = matcher.cache_info()
+        assert info["bytes"] > 0
+        assert info["bytes"] <= info["byte_capacity"]
+        assert info["entries"] * 100 < info["byte_capacity"]
+
+    def test_byte_budget_evicts(self):
+        from repro.matching.fused import entry_bytes
+
+        # Room for roughly two narrow entries only.
+        budget = entry_bytes(0, 0) * 2 + 10
+        matcher = build_fused(compile_all(["ab"]), cache_bytes=budget)
+        matcher.scan(b"abcabcabc" * 4)
+        info = matcher.cache_info()
+        assert info["bytes"] <= budget
+        assert info["entries"] <= 3
+
+    def test_byte_accounting_balances_after_evictions(self):
+        from repro.matching.fused import entry_bytes
+
+        matcher = build_fused(compile_all(["ab{3}c", "xy"]), cache_size=4)
+        matcher.scan(b"abbbc xy zq abbc xbbz" * 3)
+        info = matcher.cache_info()
+        recomputed = sum(
+            entry_bytes(key[0], value[0], len(value[1]))
+            for key, value in matcher._cache.items()
+        )
+        assert info["bytes"] == recomputed
+
+    def test_cache_bytes_validated(self):
+        with pytest.raises(ValueError):
+            build_fused(compile_all(["ab"]), cache_bytes=0)
+
+    def test_results_unchanged_by_byte_pressure(self):
+        compiled = compile_all(["ab{2,4}c", "x(yz){2}", "q+r"])
+        data = b"abbc xyzyz qqr abbbbc" * 3
+        tight = build_fused(compiled, cache_bytes=500)
+        roomy = build_fused(compiled)
+        assert tight.scan(data) == roomy.scan(data)
+
+    def test_cache_full_flags_saturation(self):
+        matcher = build_fused(compile_all(["ab"]), cache_size=2)
+        assert not matcher.cache_full()
+        matcher.scan(b"abcabcxyz")
+        assert matcher.cache_full()
+
+    def test_pattern_mask_selects_slice(self):
+        fused = fuse_patterns(compile_all(["abc", "x{4}y"]))
+        for pattern_id in range(fused.num_patterns):
+            lo, hi = fused.pattern_slice(pattern_id)
+            mask = fused.pattern_mask(pattern_id)
+            assert mask == ((1 << (hi - lo)) - 1) << lo
+        assert fused.pattern_mask(0) & fused.pattern_mask(1) == 0
+
+    def test_nfas_retained_for_demotion(self):
+        fused = fuse_patterns(compile_all(["abc", "x{4}y"]))
+        assert len(fused.nfas) == 2
+        lo, hi = fused.pattern_slice(1)
+        assert fused.nfas[1].num_states == hi - lo

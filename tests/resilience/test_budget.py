@@ -1,0 +1,144 @@
+"""Budget tests: validation, compile-time limits, unfold bounding, and
+the cooperative scan deadline on every engine."""
+
+import pytest
+
+from repro.compiler.pipeline import CompilerOptions, compile_pattern
+from repro.matching import ENGINES, PatternSet
+from repro.regex.parser import parse
+from repro.regex.rewrite import DEFAULT_MAX_UNFOLD, unfold_all, unfold_repeat
+from repro.resilience import Budget, BudgetExceededError
+
+
+class TestBudgetObject:
+    def test_default_is_unlimited(self):
+        assert Budget().unlimited()
+
+    def test_any_limit_disables_unlimited(self):
+        assert not Budget(max_states=10).unlimited()
+        assert not Budget(deadline_s=1.0).unlimited()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_states": 0},
+            {"max_unfold": -1},
+            {"max_bv_width": 0},
+            {"max_cache_bytes": 0},
+            {"deadline_s": -0.5},
+            {"check_bytes": 0},
+        ],
+    )
+    def test_invalid_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Budget(**kwargs)
+
+    def test_charge_states(self):
+        Budget(max_states=10).charge_states(10)  # at the limit: fine
+        with pytest.raises(BudgetExceededError) as exc:
+            Budget(max_states=10).charge_states(11, "a{9}")
+        assert exc.value.kind == "states"
+        assert exc.value.limit == 10
+        assert exc.value.actual == 11
+
+    def test_charge_bv_width(self):
+        with pytest.raises(BudgetExceededError) as exc:
+            Budget(max_bv_width=64).charge_bv_width(100)
+        assert exc.value.kind == "bv_width"
+
+    def test_clock_without_deadline_never_expires(self):
+        clock = Budget().start()
+        assert not clock.expired()
+        clock.check("anything")  # no-op
+
+    def test_zero_deadline_expires_immediately(self):
+        clock = Budget(deadline_s=0.0).start()
+        assert clock.expired()
+        with pytest.raises(BudgetExceededError) as exc:
+            clock.check("parse")
+        assert exc.value.kind == "deadline"
+        assert exc.value.phase == "parse"
+
+
+class TestCompileBudgets:
+    def test_max_states_quarantinable(self):
+        options = CompilerOptions(budget=Budget(max_states=5))
+        with pytest.raises(BudgetExceededError) as exc:
+            compile_pattern("abcdefghij", options=options)
+        assert exc.value.kind == "states"
+        assert exc.value.phase == "translate"
+
+    def test_max_bv_width_enforced(self):
+        options = CompilerOptions(budget=Budget(max_bv_width=32))
+        with pytest.raises(BudgetExceededError) as exc:
+            compile_pattern("ab{60}c", options=options)
+        assert exc.value.kind == "bv_width"
+
+    def test_deadline_aborts_compile(self):
+        options = CompilerOptions(budget=Budget(deadline_s=0.0))
+        with pytest.raises(BudgetExceededError) as exc:
+            compile_pattern("ab", options=options)
+        assert exc.value.kind == "deadline"
+
+    def test_unaffected_patterns_compile_normally(self):
+        options = CompilerOptions(budget=Budget(max_states=100))
+        compiled = compile_pattern("ab{3}c", options=options)
+        assert compiled.ah.num_states <= 100
+
+
+class TestUnfoldBudget:
+    """Satellite: ``{m,n}`` unfolding is bounded by ``max_unfold``."""
+
+    def test_unfold_repeat_respects_limit(self):
+        with pytest.raises(BudgetExceededError) as exc:
+            unfold_repeat(parse("a"), 1, 100, limit=50)
+        assert exc.value.kind == "unfold"
+        assert exc.value.limit == 50
+
+    def test_unfold_all_respects_limit(self):
+        with pytest.raises(BudgetExceededError):
+            unfold_all(parse("a{1000}"), 100)
+
+    def test_default_limit_blocks_pathological_bounds(self):
+        # At the default limit a hundred-million-wide bound errors
+        # instead of exhausting memory.
+        with pytest.raises(BudgetExceededError):
+            unfold_all(parse("x{1,100000000}y"), DEFAULT_MAX_UNFOLD)
+
+    def test_split_path_is_bounded_too(self):
+        # Bound *splitting* (Example 7.2) creates ~n/64 pieces; it must
+        # respect the same budget instead of recursing to death.
+        options = CompilerOptions(budget=Budget(max_unfold=10_000))
+        with pytest.raises(BudgetExceededError) as exc:
+            compile_pattern("x{1,100000000}y", options=options)
+        assert exc.value.phase == "rewrite"
+
+    def test_small_unfolds_unchanged(self):
+        assert unfold_all(parse("a{3}"), DEFAULT_MAX_UNFOLD) is not None
+
+
+class TestScanDeadline:
+    """Every engine checks the budget clock every ``check_bytes``."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_deadline_raises_mid_scan(self, engine):
+        ps = PatternSet(["ab{2,4}c"], engine=engine)
+        ps.budget = Budget(deadline_s=0.0, check_bytes=16)
+        with pytest.raises(BudgetExceededError) as exc:
+            ps.scan(b"abbc" * 64)
+        assert exc.value.kind == "deadline"
+        assert exc.value.phase == "scan"
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_generous_deadline_passes(self, engine):
+        ps = PatternSet(["ab{2,4}c"], engine=engine)
+        ps.budget = Budget(deadline_s=300.0, check_bytes=16)
+        matches = ps.scan(b"zabbc")
+        assert [(m.pattern_id, m.end) for m in matches] == [(0, 4)]
+
+    def test_chunked_feed_matches_unchunked(self):
+        data = b"abbc xabbbcx abbbbc" * 9
+        plain = PatternSet(["ab{2,4}c"], engine="fused").scan(data)
+        chunked_ps = PatternSet(["ab{2,4}c"], engine="fused")
+        chunked_ps.budget = Budget(deadline_s=300.0, check_bytes=7)
+        assert chunked_ps.scan(data) == plain

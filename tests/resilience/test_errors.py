@@ -1,0 +1,99 @@
+"""Error-taxonomy tests: codes, caret diagnostics, JSON shape, and
+backward compatibility with plain ``ValueError`` handling."""
+
+import pytest
+
+from repro.compiler.mapping import MappingError
+from repro.compiler.translate import TranslationError
+from repro.regex.parser import parse
+from repro.resilience import (
+    ERROR_CODES,
+    BudgetExceededError,
+    CapacityError,
+    ReproError,
+    RegexSyntaxError,
+    SimulationFaultError,
+    UnsupportedFeatureError,
+)
+
+
+class TestTaxonomy:
+    def test_every_error_is_a_value_error(self):
+        for cls in ERROR_CODES.values():
+            assert issubclass(cls, ValueError)
+            assert issubclass(cls, ReproError)
+
+    def test_codes_are_stable_and_unique(self):
+        assert ERROR_CODES["E_SYNTAX"] is RegexSyntaxError
+        assert ERROR_CODES["E_UNSUPPORTED"] is UnsupportedFeatureError
+        assert ERROR_CODES["E_BUDGET"] is BudgetExceededError
+        assert ERROR_CODES["E_CAPACITY"] is CapacityError
+        assert ERROR_CODES["E_FAULT"] is SimulationFaultError
+
+    def test_compiler_errors_join_the_taxonomy(self):
+        assert issubclass(MappingError, CapacityError)
+        assert MappingError("x").code == "E_CAPACITY"
+        assert issubclass(TranslationError, ReproError)
+        assert TranslationError("x").code == "E_UNSUPPORTED"
+
+    def test_unsupported_is_a_syntax_error(self):
+        # Lookaround etc. are *positioned* rejections: same caret machinery.
+        assert issubclass(UnsupportedFeatureError, RegexSyntaxError)
+
+
+class TestCaretDiagnostic:
+    def test_str_includes_caret_under_position(self):
+        error = RegexSyntaxError("unbalanced ')'", "ab)c", 2)
+        text = str(error)
+        lines = text.splitlines()
+        assert lines[0] == "unbalanced ')' at position 2 in 'ab)c'"
+        assert lines[1].endswith("ab)c")
+        assert lines[2].endswith("  ^")
+        indent = len(lines[1]) - len("ab)c")
+        assert lines[2].index("^") == indent + 2
+
+    def test_caret_clamped_at_end_of_pattern(self):
+        error = RegexSyntaxError("unexpected end", "ab(", 99)
+        caret_line = str(error).splitlines()[-1]
+        assert caret_line.index("^") == 4 + 3  # indent + len(pattern)
+
+    def test_parser_raises_with_position(self):
+        with pytest.raises(RegexSyntaxError) as exc:
+            parse("ab(cd")
+        assert exc.value.pattern == "ab(cd"
+        assert "^" in str(exc.value)
+
+    def test_parser_unsupported_features(self):
+        for pattern in (r"a(?=b)", r"(a)\1"):
+            with pytest.raises(UnsupportedFeatureError) as exc:
+                parse(pattern)
+            assert exc.value.code == "E_UNSUPPORTED"
+
+    def test_legacy_value_error_handlers_still_work(self):
+        with pytest.raises(ValueError):
+            parse("ab(")
+
+
+class TestJsonShape:
+    def test_plain_error(self):
+        error = ReproError("boom")
+        assert error.to_json() == {"code": "E_REPRO", "message": "boom"}
+
+    def test_phase_included_when_tagged(self):
+        error = ReproError("boom")
+        error.phase = "rewrite"
+        assert error.to_json()["phase"] == "rewrite"
+
+    def test_syntax_error_carries_pattern_and_pos(self):
+        doc = RegexSyntaxError("bad", "xy", 1).to_json()
+        assert doc["pattern"] == "xy"
+        assert doc["pos"] == 1
+        assert doc["code"] == "E_SYNTAX"
+
+    def test_budget_error_carries_kind_and_limits(self):
+        doc = BudgetExceededError(
+            "too big", kind="states", limit=10, actual=42
+        ).to_json()
+        assert doc["kind"] == "states"
+        assert doc["limit"] == 10
+        assert doc["actual"] == 42

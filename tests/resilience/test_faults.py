@@ -1,0 +1,132 @@
+"""Fault-injection harness tests: determinism, divergence detection,
+masking, and spec validation."""
+
+import pytest
+
+from repro.compiler.pipeline import compile_ruleset
+from repro.resilience import (
+    FAULT_KINDS,
+    FaultSpec,
+    SimulationFaultError,
+    format_report,
+    run_campaign,
+)
+
+PATTERNS = ["ab{3}c", "x[0-9]{2}y", "a{2,9}b"]
+DATA = b"zabbbc x42y aab aaaaaab abbbc x9y " * 8
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    return compile_ruleset(PATTERNS)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("field", ["cam_rate", "bv_rate", "counter_rate"])
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, rate):
+        with pytest.raises(SimulationFaultError):
+            FaultSpec(**{field: rate})
+
+    def test_any_faults(self):
+        assert not FaultSpec().any_faults()
+        assert FaultSpec(cam_rate=0.1).any_faults()
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self, ruleset):
+        """Acceptance: two runs with the same seed produce identical
+        injected-fault lists, divergence cycles, and match deltas."""
+        spec = FaultSpec(seed=42, cam_rate=0.05, bv_rate=0.05,
+                         counter_rate=0.05)
+        first = run_campaign(ruleset, DATA, spec)
+        second = run_campaign(ruleset, DATA, spec)
+        assert first.injected == second.injected
+        assert first.first_divergence_cycle == second.first_divergence_cycle
+        assert first.missed == second.missed
+        assert first.spurious == second.spurious
+        assert first.to_json() == second.to_json()
+
+    def test_different_seeds_differ(self, ruleset):
+        spec_a = FaultSpec(seed=1, cam_rate=0.2)
+        spec_b = FaultSpec(seed=2, cam_rate=0.2)
+        a = run_campaign(ruleset, DATA, spec_a)
+        b = run_campaign(ruleset, DATA, spec_b)
+        assert a.injected != b.injected
+
+    def test_golden_verification_passes(self, ruleset):
+        run_campaign(ruleset, DATA, FaultSpec(seed=0), verify_golden=True)
+
+
+class TestDivergence:
+    def test_zero_rates_never_diverge(self, ruleset):
+        report = run_campaign(ruleset, DATA, FaultSpec(seed=7))
+        assert report.injected == []
+        assert not report.diverged
+        assert report.missed == [] and report.spurious == []
+
+    def test_cam_flips_cause_divergence(self, ruleset):
+        """Acceptance: an injected CAM flip produces a non-empty
+        divergence report."""
+        report = run_campaign(
+            ruleset, DATA, FaultSpec(seed=3, cam_rate=0.5)
+        )
+        assert report.injected
+        assert all(f.kind == "cam" for f in report.injected)
+        assert report.diverged
+        assert report.first_divergence_cycle is not None
+        # The first divergence cannot precede the first injection.
+        assert report.first_divergence_cycle >= report.injected[0].cycle
+
+    def test_bv_flips_touch_only_wide_states(self, ruleset):
+        report = run_campaign(ruleset, DATA, FaultSpec(seed=5, bv_rate=0.5))
+        widths = {
+            regex.regex_id: [s.width for s in regex.ah.states]
+            for regex in ruleset.regexes
+        }
+        for fault in report.injected:
+            assert fault.kind == "bv"
+            regex = ruleset.regexes[fault.regex_index]
+            assert regex.ah.states[fault.state].width > 1
+            assert 0 <= fault.bit < regex.ah.states[fault.state].width
+        assert widths  # sanity: fixture compiled something
+
+    def test_counter_flips_diverge(self, ruleset):
+        report = run_campaign(
+            ruleset, DATA, FaultSpec(seed=11, counter_rate=0.5)
+        )
+        assert report.injected
+        assert report.diverged
+
+    def test_match_delta_classified(self, ruleset):
+        report = run_campaign(
+            ruleset, DATA, FaultSpec(seed=9, cam_rate=0.3, counter_rate=0.3)
+        )
+        golden = set(report.golden_matches)
+        faulty = set(report.faulty_matches)
+        assert set(report.missed) == golden - faulty
+        assert set(report.spurious) == faulty - golden
+
+
+class TestReporting:
+    def test_format_report_lines(self, ruleset):
+        report = run_campaign(ruleset, DATA, FaultSpec(seed=3, cam_rate=0.2))
+        text = format_report(report)
+        assert "first divergence" in text
+        assert "injected faults" in text
+        for kind in FAULT_KINDS:
+            assert f"{kind}=" in text
+
+    def test_json_round_trip(self, ruleset):
+        import json
+
+        report = run_campaign(ruleset, DATA, FaultSpec(seed=3, cam_rate=0.2))
+        doc = json.loads(json.dumps(report.to_json()))
+        assert doc["seed"] == 3
+        assert doc["symbols"] == len(DATA)
+        assert doc["diverged"] == report.diverged
+
+    def test_empty_ruleset_rejected(self):
+        empty = compile_ruleset(["((("])  # everything quarantined
+        with pytest.raises(SimulationFaultError):
+            run_campaign(empty, DATA, FaultSpec(seed=0, cam_rate=0.1))

@@ -1,0 +1,163 @@
+"""Per-pattern fault isolation: batch compiles never abort, quarantine
+reports are exact, and survivors still match the oracle."""
+
+import random
+import string
+
+import pytest
+
+from repro.compiler.pipeline import CompilerOptions, compile_ruleset
+from repro.matching import PatternSet
+from repro.matching.oracle import match_ends as oracle_match_ends
+from repro.regex.parser import parse
+from repro.resilience import (
+    Budget,
+    BudgetExceededError,
+    CompileReport,
+    summarize,
+)
+
+
+class TestCompileRulesetQuarantine:
+    def test_mixed_batch_compiles_survivors(self):
+        options = CompilerOptions(budget=Budget(max_unfold=10_000))
+        ruleset = compile_ruleset(
+            ["ab{3}c", "bad(", "x{1,100000000}y", "a{5,20}"], options
+        )
+        assert [r.regex_id for r in ruleset.regexes] == [0, 3]
+        statuses = [r.status for r in ruleset.reports]
+        assert statuses == ["ok", "quarantined", "quarantined", "ok"]
+        assert ruleset.reports[1].error_code == "E_SYNTAX"
+        assert ruleset.reports[1].phase == "parse"
+        assert ruleset.reports[2].error_code == "E_BUDGET"
+        assert ruleset.reports[2].phase == "rewrite"
+
+    def test_one_report_per_input_pattern_in_order(self):
+        patterns = ["ok", "(((", "a{3}", ")bad", "xy"]
+        ruleset = compile_ruleset(patterns)
+        assert [r.pattern_id for r in ruleset.reports] == [0, 1, 2, 3, 4]
+        assert [r.pattern for r in ruleset.reports] == patterns
+
+    def test_quarantined_property_keyed_by_id(self):
+        ruleset = compile_ruleset(["ok", "((("])
+        assert set(ruleset.quarantined) == {1}
+        assert ruleset.quarantined[1].error_code == "E_SYNTAX"
+
+    def test_elapsed_recorded(self):
+        ruleset = compile_ruleset(["ab{3}c"])
+        assert ruleset.reports[0].elapsed_s >= 0.0
+
+    def test_deadline_still_aborts_batch(self):
+        options = CompilerOptions(budget=Budget(deadline_s=0.0))
+        with pytest.raises(BudgetExceededError):
+            compile_ruleset(["a", "b"], options)
+
+    def test_summary_rollup(self):
+        ruleset = compile_ruleset(["ok", "(((", "xy"])
+        summary = summarize(ruleset.reports)
+        assert summary.compiled == 2
+        assert summary.quarantined == 1
+        assert summary.by_code() == {"E_SYNTAX": 1}
+
+    def test_report_json_round_trip(self):
+        ruleset = compile_ruleset(["((("])
+        doc = ruleset.reports[0].to_json()
+        assert doc["status"] == "quarantined"
+        assert doc["error_code"] == "E_SYNTAX"
+        assert doc["pattern"] == "((("
+
+
+def _mutate(rng: random.Random, pattern: str) -> str:
+    """Randomly corrupt a valid pattern (unbalanced delimiters, stray
+    operators, truncations) to fuzz the quarantine path."""
+    breakers = ["(", ")", "[", "{2,", "*", "?", "\\"]
+    choice = rng.randrange(4)
+    if choice == 0:
+        pos = rng.randrange(len(pattern) + 1)
+        return pattern[:pos] + rng.choice(breakers) + pattern[pos:]
+    if choice == 1:
+        return pattern[: rng.randrange(len(pattern))]
+    if choice == 2:
+        return rng.choice(breakers) + pattern
+    return pattern + rng.choice(breakers)
+
+
+class TestQuarantineFuzz:
+    def test_batch_never_aborts(self):
+        rng = random.Random(1234)
+        valid = ["ab{3}c", "x[0-9]{2}y", "(pq|rs)t", "a{2,9}b", "z+q?"]
+        for _ in range(40):
+            batch = []
+            for _ in range(rng.randrange(1, 8)):
+                pattern = rng.choice(valid)
+                if rng.random() < 0.5:
+                    pattern = _mutate(rng, pattern)
+                batch.append(pattern)
+            ruleset = compile_ruleset(batch)  # must not raise
+            assert len(ruleset.reports) == len(batch)
+            ok_ids = {r.regex_id for r in ruleset.regexes}
+            for report in ruleset.reports:
+                if report.pattern_id in ok_ids:
+                    assert report.ok
+                else:
+                    assert report.quarantined
+                    assert report.error_code is not None
+                    assert report.error
+
+    def test_random_garbage_never_aborts(self):
+        rng = random.Random(99)
+        alphabet = string.printable
+        for _ in range(60):
+            batch = [
+                "".join(rng.choice(alphabet) for _ in range(rng.randrange(1, 12)))
+                for _ in range(rng.randrange(1, 5))
+            ]
+            ruleset = compile_ruleset(batch)  # must not raise
+            assert len(ruleset.reports) == len(batch)
+
+
+class TestPatternSetQuarantine:
+    def test_raise_is_default(self):
+        with pytest.raises(ValueError):
+            PatternSet(["ok", "((("])
+
+    def test_quarantine_mode_keeps_original_ids(self):
+        ps = PatternSet(["ab", "bad(", "cd"], on_error="quarantine")
+        assert set(ps.quarantined) == {1}
+        matches = [(m.pattern_id, m.end) for m in ps.scan(b"ab cd")]
+        assert matches == [(0, 1), (2, 4)]
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            PatternSet(["a"], on_error="ignore")
+
+    @pytest.mark.parametrize("engine", ["ah", "nfa", "fused"])
+    def test_survivors_match_oracle(self, engine):
+        """Acceptance: a ruleset with one invalid and one budget-busting
+        pattern still compiles the rest, and the survivors' match stream
+        equals the brute-force oracle."""
+        patterns = ["ab{3}c", "bad(", "x{1,100000000}y", "a{2,5}b"]
+        ps = PatternSet(
+            patterns,
+            engine=engine,
+            budget=Budget(max_unfold=10_000),
+            on_error="quarantine",
+        )
+        assert {r.pattern_id for r in ps.reports if r.quarantined} == {1, 2}
+        data = b"zabbbc aab abbb aaaaab abbbc"
+        got = {}
+        for match in ps.scan(data):
+            got.setdefault(match.pattern_id, []).append(match.end)
+        for pattern_id in (0, 3):
+            expected = oracle_match_ends(parse(patterns[pattern_id]), data)
+            assert got.get(pattern_id, []) == expected, patterns[pattern_id]
+
+    def test_all_quarantined_scans_empty(self):
+        ps = PatternSet(["(((", ")"], on_error="quarantine", engine="fused")
+        assert ps.scan(b"anything") == []
+        assert len(ps.quarantined) == 2
+
+    def test_reports_shape(self):
+        ps = PatternSet(["a", "((("], on_error="quarantine")
+        assert all(isinstance(r, CompileReport) for r in ps.reports)
+        assert [r.status for r in ps.reports] == ["ok", "quarantined"]

@@ -228,3 +228,77 @@ class TestPatternFormats:
         assert main(["scan", "--format", "snort", f"@{rules}",
                      "-i", str(path)]) == 0
         assert "ab{3}c" in capsys.readouterr().out
+
+
+class TestStructuredErrors:
+    def test_syntax_error_prints_caret_and_exits_2(self, capsys):
+        assert main(["scan", "bad(", "-i", "/dev/null"]) == 2
+        err = capsys.readouterr().err
+        assert "error[E_SYNTAX]" in err
+        assert "^" in err
+
+    def test_json_error_object(self, capsys):
+        assert main(["scan", "bad(", "--json", "-i", "/dev/null"]) == 2
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["error"]["code"] == "E_SYNTAX"
+        assert doc["error"]["pattern"] == "bad("
+        assert doc["error"]["pos"] == 4
+
+    def test_budget_flags_reach_the_compiler(self, capsys):
+        # The rewrite splits {2,200} into <=64-wide scopes, so a budget
+        # tighter than one hardware BV must trip on the first scope.
+        assert main(["scan", "a{2,200}b", "--max-bv-width", "16",
+                     "-i", "/dev/null"]) == 2
+        assert "error[E_BUDGET]" in capsys.readouterr().err
+
+    def test_quarantine_flag_keeps_scanning(self, input_file, capsys):
+        assert main(["scan", "ab{20}c", "bad(", "--quarantine",
+                     "-i", input_file]) == 0
+        captured = capsys.readouterr()
+        assert "rejected pattern 1" in captured.err
+        assert "ab{20}c" in captured.out
+
+    def test_compile_quarantines_and_succeeds(self, tmp_path, capsys):
+        out_path = tmp_path / "config.json"
+        assert main(["compile", "ok", "(((", "-o", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        assert "E_SYNTAX" in captured.err
+        assert "1 quarantined" in captured.out
+
+
+class TestFaultsVerb:
+    def test_masked_run_exits_zero(self, input_file, capsys):
+        assert main(["faults", "ab{20}c", "-i", input_file]) == 0
+        out = capsys.readouterr().out
+        assert "first divergence : none" in out
+        assert "injected faults  : cam=0, bv=0, counter=0" in out
+
+    def test_divergence_reported(self, capsys):
+        assert main(["faults", "ab{3}c", "--input-size", "512",
+                     "--cam-rate", "0.5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "first divergence : cycle" in out
+
+    def test_same_seed_same_report(self, capsys):
+        argv = ["faults", "ab{3}c", "--input-size", "256",
+                "--cam-rate", "0.3", "--bv-rate", "0.2", "--seed", "7"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_json_report(self, capsys):
+        assert main(["faults", "ab{3}c", "--input-size", "128",
+                     "--cam-rate", "0.5", "--seed", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["seed"] == 1
+        assert doc["injected_by_kind"]["cam"] == len(doc["injected"])
+
+    def test_expect_divergence_fails_when_masked(self, input_file):
+        assert main(["faults", "ab{20}c", "-i", input_file,
+                     "--expect-divergence"]) == 1
+
+    def test_expect_divergence_passes_when_diverged(self):
+        assert main(["faults", "ab{3}c", "--input-size", "512",
+                     "--cam-rate", "0.5", "--seed", "3",
+                     "--expect-divergence"]) == 0
