@@ -49,6 +49,11 @@ def main(argv=None) -> int:
         help="small grid / fewer repeats for CI smoke runs",
     )
     parser.add_argument(
+        "--shards", default="1,2,4",
+        help="comma-separated worker counts for the shard-scaling grid "
+             "(measured on the largest cell; empty string disables)",
+    )
+    parser.add_argument(
         "--check", type=float, default=None, metavar="FACTOR",
         help="fail unless the headline fused speedup is >= FACTOR",
     )
@@ -68,6 +73,9 @@ def main(argv=None) -> int:
         input_sizes = (4096, 16384)
         repeats = args.repeats
 
+    shard_counts = tuple(
+        int(s) for s in args.shards.split(",") if s.strip()
+    )
     record = bench_grid(
         profile_name=args.profile,
         pattern_counts=pattern_counts,
@@ -75,6 +83,7 @@ def main(argv=None) -> int:
         engines=engines,
         repeats=repeats,
         seed=args.seed,
+        shard_counts=shard_counts or None,
     )
     print(format_grid(record))
     write_record(record, args.out)

@@ -164,19 +164,28 @@ def cmd_scan(args: argparse.Namespace) -> int:
         options=_compiler_options(args),
         engine=args.engine,
         on_error="quarantine" if args.quarantine else "raise",
+        shards=getattr(args, "shards", None),
     )
-    for pattern_id, report in sorted(matcher.quarantined.items()):
-        log.warning(
-            "rejected pattern %d [%s in %s]: %s",
-            pattern_id,
-            report.error_code,
-            report.phase or "compile",
-            report.error,
-        )
-    matches = matcher.scan(data)
-    for match in matches:
-        print(f"{match.end}\t{patterns[match.pattern_id]}")
-    log.info("%d matches in %d bytes", len(matches), len(data))
+    with matcher:
+        for pattern_id, report in sorted(matcher.quarantined.items()):
+            log.warning(
+                "rejected pattern %d [%s in %s]: %s",
+                pattern_id,
+                report.error_code,
+                report.phase or "compile",
+                report.error,
+            )
+        matches = matcher.scan(data)
+        for match in matches:
+            print(f"{match.end}\t{patterns[match.pattern_id]}")
+        for failure in matcher.shard_failures:
+            log.warning(
+                "shard %d degraded (%s); patterns %s unreported",
+                failure.shard,
+                failure.reason,
+                list(failure.pattern_ids),
+            )
+        log.info("%d matches in %d bytes", len(matches), len(data))
     return 0
 
 
@@ -206,7 +215,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             PROFILES[args.dataset].literal_pool,
         )
     cell = bench_mod.bench_cell(
-        patterns, data, engines, _compiler_options(args), args.repeats
+        patterns, data, engines, _compiler_options(args), args.repeats,
+        shards=args.shards,
     )
     record = {
         "benchmark": "fused_scan",
@@ -405,6 +415,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("-i", "--input", default="-",
                         help="input file ('-' = stdin)")
     p_scan.add_argument("--engine", default="ah", choices=ENGINES)
+    p_scan.add_argument("--shards", type=int, default=None,
+                        help="worker processes for --engine sharded "
+                             "(default: one per CPU core)")
     p_scan.add_argument("--quarantine", action="store_true",
                         help="isolate bad patterns instead of aborting")
     add_compiler_flags(p_scan)
@@ -427,6 +440,9 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="input_size")
     p_bench.add_argument("--engines", default="fused,nfa,ah",
                          help="comma-separated engine list, or 'all'")
+    p_bench.add_argument("--shards", type=int, default=None,
+                         help="worker processes when timing the sharded "
+                              "engine (default: one per CPU core)")
     p_bench.add_argument("--repeats", type=int, default=3)
     p_bench.add_argument("--json", default=None, dest="json_out",
                          help="also write the record as JSON")

@@ -18,10 +18,20 @@ from .fused import (
 )
 from .oracle import match_ends as oracle_match_ends
 from .oracle import match_spans as oracle_match_spans
+from .sharded import (
+    DEFAULT_CHUNK_BYTES,
+    ShardCost,
+    ShardedScanner,
+    ShardFailure,
+    ShardPlan,
+    estimate_cost,
+    plan_shards,
+)
 
 __all__ = [
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_CHUNK_BYTES",
     "ENGINES",
     "DegradationEvent",
     "DegradationPolicy",
@@ -29,9 +39,15 @@ __all__ = [
     "FusedMatcher",
     "Match",
     "PatternSet",
+    "ShardCost",
+    "ShardFailure",
+    "ShardPlan",
+    "ShardedScanner",
     "build_fused",
     "entry_bytes",
+    "estimate_cost",
     "fuse_patterns",
     "oracle_match_ends",
     "oracle_match_spans",
+    "plan_shards",
 ]

@@ -11,6 +11,7 @@ the scan trajectory.
 from __future__ import annotations
 
 import json
+import os
 import random
 import sys
 import time
@@ -67,11 +68,21 @@ def time_engine(
     engine: str,
     options: CompilerOptions = CompilerOptions(),
     repeats: int = 3,
+    shards: Optional[int] = None,
 ) -> EngineTiming:
-    """Compile once, scan ``repeats`` times, keep the best wall time."""
-    pattern_set = PatternSet(patterns, options=options, engine=engine)
-    matches = pattern_set.scan(data)  # warm caches before timing
-    seconds = _best_of(lambda: pattern_set.scan(data), repeats)
+    """Compile once, scan ``repeats`` times, keep the best wall time.
+
+    ``shards`` sizes the worker pool for ``engine="sharded"`` (ignored
+    elsewhere); the workers are torn down before returning so bench runs
+    never leak processes.
+    """
+    kwargs = {"shards": shards} if engine == "sharded" else {}
+    pattern_set = PatternSet(patterns, options=options, engine=engine, **kwargs)
+    try:
+        matches = pattern_set.scan(data)  # warm caches/workers before timing
+        seconds = _best_of(lambda: pattern_set.scan(data), repeats)
+    finally:
+        pattern_set.close()
     return EngineTiming(
         engine=engine,
         seconds=seconds,
@@ -86,6 +97,7 @@ def bench_cell(
     engines: Sequence[str],
     options: CompilerOptions = CompilerOptions(),
     repeats: int = 3,
+    shards: Optional[int] = None,
 ) -> Dict[str, object]:
     """One grid cell: every engine over the same patterns and input.
 
@@ -93,7 +105,7 @@ def bench_cell(
     cheap differential tripwire inside the perf harness itself.
     """
     timings = [
-        time_engine(patterns, data, engine, options, repeats)
+        time_engine(patterns, data, engine, options, repeats, shards=shards)
         for engine in engines
     ]
     counts = {t.engine: t.matches for t in timings}
@@ -113,6 +125,47 @@ def bench_cell(
     return cell
 
 
+def bench_shard_scaling(
+    patterns: Sequence[str],
+    data: bytes,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    options: CompilerOptions = CompilerOptions(),
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Shard-scaling cell: sharded at each worker count vs fused.
+
+    ``speedup_vs_fused`` > 1 means the worker pool beat the
+    single-process fused engine in wall time.  ``cpus`` records the
+    machine's core count — on a single-core box the sharded engine
+    cannot beat fused (K workers redo the per-byte step K times with no
+    parallel hardware), so scaling records are only comparable across
+    machines via this field.
+    """
+    fused = time_engine(patterns, data, "fused", options, repeats)
+    rows: List[Dict[str, object]] = []
+    for count in shard_counts:
+        timing = time_engine(
+            patterns, data, "sharded", options, repeats, shards=count
+        )
+        if timing.matches != fused.matches:
+            raise AssertionError(
+                f"sharded@{count} found {timing.matches} matches, "
+                f"fused found {fused.matches}"
+            )
+        row = timing.to_dict()
+        row["shards"] = count
+        if timing.seconds > 0:
+            row["speedup_vs_fused"] = round(fused.seconds / timing.seconds, 2)
+        rows.append(row)
+    return {
+        "num_patterns": len(patterns),
+        "input_bytes": len(data),
+        "cpus": os.cpu_count(),
+        "fused": fused.to_dict(),
+        "shards": rows,
+    }
+
+
 def bench_grid(
     profile_name: str = "RegexLib",
     pattern_counts: Sequence[int] = (1, 4, 16),
@@ -121,8 +174,13 @@ def bench_grid(
     options: CompilerOptions = CompilerOptions(),
     repeats: int = 3,
     seed: int = 1,
+    shard_counts: Optional[Sequence[int]] = None,
 ) -> Dict[str, object]:
-    """The full perf record: pattern-count × input-size grid."""
+    """The full perf record: pattern-count × input-size grid.
+
+    With ``shard_counts`` the record additionally carries a
+    ``shard_scaling`` section measured on the largest grid cell.
+    """
     profile = PROFILES[profile_name]
     max_patterns = max(pattern_counts)
     all_patterns = load_dataset(profile_name, max_patterns, seed)
@@ -155,6 +213,17 @@ def bench_grid(
     ]
     if headline:
         record["fused_speedup_max_patterns"] = max(headline)
+    if shard_counts:
+        size = max(input_sizes)
+        data = dataset_stream(
+            all_patterns,
+            random.Random(seed + size),
+            size,
+            profile.literal_pool,
+        )
+        record["shard_scaling"] = bench_shard_scaling(
+            all_patterns, data, shard_counts, options, repeats
+        )
     return record
 
 
@@ -177,6 +246,19 @@ def format_grid(record: Dict[str, object]) -> str:
         speedup = cell.get("fused_speedup")
         row += f" {speedup:>11.2f}x" if speedup is not None else f" {'-':>12}"
         lines.append(row)
+    scaling = record.get("shard_scaling")
+    if scaling:
+        lines.append(
+            f"shard scaling — {scaling['num_patterns']} patterns, "
+            f"{scaling['input_bytes']} bytes, {scaling['cpus']} cpus "
+            f"(fused {scaling['fused']['throughput_mbps']:.2f}MB/s)"
+        )
+        for row in scaling["shards"]:
+            speedup = row.get("speedup_vs_fused")
+            lines.append(
+                f"{row['shards']:>9} workers {row['throughput_mbps']:>8.2f}MB"
+                + (f" {speedup:>11.2f}x vs fused" if speedup else "")
+            )
     return "\n".join(lines)
 
 

@@ -10,12 +10,16 @@ engines (functional models, not the cycle-accurate simulator):
 * ``"nfa"``   — fully unfolded Glushkov NFA (the baselines' model);
 * ``"fused"`` — all patterns merged into one shared state space and
   advanced with a single bitset step per byte plus a lazy-DFA successor
-  cache (:mod:`repro.matching.fused`) — the fast software scan path.
+  cache (:mod:`repro.matching.fused`) — the fast software scan path;
+* ``"sharded"`` — the pattern set cost-partitioned onto K worker
+  processes, each running a fused shard over broadcast input chunks,
+  merged deterministically (:mod:`repro.matching.sharded`) — the
+  multi-core scan path.
 
 The first four step each pattern's matcher independently; ``"fused"``
-executes the whole set at once.  All five produce identical match
-streams; the test suite enforces this and checks them against the
-brute-force oracle.
+executes the whole set at once and ``"sharded"`` spreads it over
+processes.  All six produce identical match streams; the test suite
+enforces this and checks them against the brute-force oracle.
 
 Resilience hooks (:mod:`repro.resilience`):
 
@@ -60,8 +64,9 @@ from .fused import (
     fuse_nfas,
     fuse_patterns,
 )
+from .sharded import ShardedScanner
 
-ENGINES = ("ah", "nbva", "nca", "nfa", "fused")
+ENGINES = ("ah", "nbva", "nca", "nfa", "fused", "sharded")
 
 ON_ERROR_MODES = ("raise", "quarantine")
 
@@ -159,6 +164,8 @@ class PatternSet:
         budget: Optional[Budget] = None,
         on_error: str = "raise",
         degradation: Optional[DegradationPolicy] = None,
+        shards: Optional[int] = None,
+        shard_backend: str = "process",
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -184,6 +191,7 @@ class PatternSet:
         self._fused: Optional[FusedMatcher] = None
         self._fused_ids: List[int] = []
         self._fused_compiled: List[CompiledRegex] = []
+        self._sharded: Optional[ShardedScanner] = None
         if engine == "fused":
             cache_bytes = self.budget.max_cache_bytes or DEFAULT_CACHE_BYTES
             self._fused = FusedMatcher(
@@ -191,6 +199,16 @@ class PatternSet:
             )
             self._fused_ids = list(self._pattern_ids)
             self._fused_compiled = list(self.compiled)
+            self._matchers = []
+        elif engine == "sharded":
+            cache_bytes = self.budget.max_cache_bytes or DEFAULT_CACHE_BYTES
+            self._sharded = ShardedScanner(
+                self.compiled,
+                self._pattern_ids,
+                shards,
+                backend=shard_backend,
+                cache_bytes=cache_bytes,
+            )
             self._matchers = []
         else:
             self._matchers = [self._make_matcher(c) for c in self.compiled]
@@ -253,6 +271,9 @@ class PatternSet:
         return {r.pattern_id: r for r in self.reports if r.quarantined}
 
     def reset(self) -> None:
+        if self._sharded is not None:
+            self._sharded.reset()
+            return
         if self._fused is not None:
             self._fused.reset()
             for _pattern_id, matcher in self._demoted:
@@ -260,6 +281,26 @@ class PatternSet:
             return
         for matcher in self._matchers:
             matcher.reset()
+
+    def close(self) -> None:
+        """Release engine resources (the sharded workers); idempotent.
+
+        The in-process engines hold nothing worth freeing, so plain
+        ``with PatternSet(...) as ps:`` is safe for every engine.
+        """
+        if self._sharded is not None:
+            self._sharded.close()
+
+    def __enter__(self) -> "PatternSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def shard_failures(self):
+        """Degraded shards (sharded engine only; empty otherwise)."""
+        return list(self._sharded.failures) if self._sharded else []
 
     # -- scanning ------------------------------------------------------
 
@@ -307,6 +348,11 @@ class PatternSet:
         """One uninterrupted stretch of the feed loop."""
         if telemetry.enabled():
             return self._feed_instrumented(data, base)
+        if self._sharded is not None:
+            return [
+                Match(pattern_id, base + end)
+                for pattern_id, end in self._sharded.feed(data)
+            ]
         fused = self._fused
         if fused is not None:
             if self._demoted:
@@ -356,7 +402,15 @@ class PatternSet:
         with telemetry.span(
             "engine.feed", "engine", engine=self.engine, symbols=len(data)
         ) as sp:
-            if fused is not None:
+            if self._sharded is not None:
+                # Per-shard instruments (scan.shard.*) are recorded by the
+                # orchestrator itself; occupancy histograms live worker-side
+                # and are not observable from here.
+                out = [
+                    Match(pattern_id, base + end)
+                    for pattern_id, end in self._sharded.feed(data)
+                ]
+            elif fused is not None:
                 hits, misses = fused.cache_hits, fused.cache_misses
                 ids = self._fused_ids
                 demoted = self._demoted

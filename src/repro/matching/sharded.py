@@ -1,0 +1,707 @@
+"""Sharded parallel scan orchestrator: fused shards on worker processes.
+
+The fused engine (:mod:`repro.matching.fused`) collapses a whole pattern
+set into one bitset step per byte, but it is single-process — on a
+multi-core machine every other core idles.  BVAP itself scales the other
+way (§8): many patterns are packed onto independent tiles/arrays/banks
+that all consume the same input stream in parallel.  This module is the
+software analogue of that decomposition:
+
+1. **Planning** (:func:`plan_shards`): the compiled patterns are
+   partitioned into *K* shards by a compile-time cost model
+   (:func:`estimate_cost`) combining the scan-NFA state count, the
+   widest virtual bit vector, and an activation-ratio hint derived from
+   the character-class density of the automaton — the same signals
+   :mod:`repro.analysis.characterize` aggregates over rule sets.
+   Shards are balanced greedily (longest-processing-time first), the
+   classic bank-partitioning heuristic CAMA applies at the hardware
+   level.
+
+2. **Execution** (:class:`ShardedScanner`): each shard runs the fused
+   engine in a long-lived worker process.  Input chunks are broadcast
+   to every worker, and up to :data:`MAX_INFLIGHT_CHUNKS` chunks are in
+   flight at once — the software mirror of §6's ping-pong I/O
+   buffering: while the workers chew on chunk *i*, chunk *i+1* is
+   already in their pipes.
+
+3. **Deterministic merge**: every worker reports ``(pattern_id, end)``
+   events per chunk; the orchestrator merges them in ``(end,
+   pattern_id)`` order, which is byte-identical to the stream the
+   single-process fused engine emits (a dedicated parity test enforces
+   this on the golden corpus and the differential fuzzer).
+
+Resilience mirrors the per-pattern quarantine semantics: a shard whose
+worker dies (crash, SIGKILL, poisoned automaton) or stops answering is
+*degraded*, never fatal — its patterns stop reporting, the scan
+completes on the surviving shards, the failure is recorded in
+:attr:`ShardedScanner.failures`, and the ``scan.shard.failed`` counter
+is incremented when telemetry is on.
+
+An ``inline`` backend runs the same plan/merge machinery on in-process
+matchers (no workers) — the degenerate single-machine mode used for
+unit-testing the merge logic and on platforms without multiprocessing.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..automata.ah import is_counter_free
+from ..compiler.pipeline import CompiledRegex
+from .fused import DEFAULT_CACHE_BYTES, FusedAutomaton, FusedMatcher, fuse_patterns
+
+log = logging.getLogger("repro.matching.sharded")
+
+#: Default broadcast-chunk size.  Large enough that one pickle
+#: round-trip per worker amortises over tens of thousands of scanned
+#: bytes, small enough that two in-flight chunks stay cache-friendly.
+DEFAULT_CHUNK_BYTES = 1 << 16
+
+#: Ping-pong depth: how many broadcast chunks may be in flight before
+#: the orchestrator blocks on the oldest one (§6 I/O double buffering).
+MAX_INFLIGHT_CHUNKS = 2
+
+#: How long the orchestrator waits for one shard's chunk reply before
+#: declaring the worker hung and degrading the shard.
+DEFAULT_RECV_TIMEOUT_S = 60.0
+
+BACKENDS = ("process", "inline")
+
+
+# ---------------------------------------------------------------------------
+# Compile-time cost planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardCost:
+    """Cost estimate for scanning one compiled pattern.
+
+    Attributes:
+        slot: index into the compiled-pattern list being planned.
+        states: estimated scan-NFA state count — the AH-NBVA size for
+            counter-free patterns (the graph the fused engine reuses),
+            else the fully unfolded Glushkov size.
+        bv_width: widest virtual bit vector the pattern demands (0 when
+            counter-free after rewriting).
+        activation_ratio: mean character-class density of the states in
+            ``[0, 1]`` — dense classes keep more states live per byte,
+            the activation-ratio signal of ``analysis.characterize``.
+        cost: the scalar the planner balances.
+    """
+
+    slot: int
+    states: int
+    bv_width: int
+    activation_ratio: float
+    cost: float
+
+
+def estimate_cost(compiled: CompiledRegex, slot: int = 0) -> ShardCost:
+    """Estimate the per-byte scan cost one pattern adds to a shard.
+
+    The model is deliberately simple and fully compile-time: cost grows
+    linearly with the scan-NFA state count (mask width and closure work),
+    is scaled up by the activation ratio (dense classes stay live and
+    defeat the lazy-DFA cache), and pays a logarithmic surcharge for wide
+    bit vectors (their unfolded scan NFAs branch more).
+    """
+    ah = compiled.ah
+    if is_counter_free(ah):
+        states = ah.num_states
+        bv_width = 0
+    else:
+        states = compiled.unfolded_states or 4 * ah.num_states
+        bv_width = max(compiled.virtual_widths(), default=0)
+    if ah.num_states:
+        density = sum(state.cc.size() for state in ah.states) / ah.num_states
+        activation = density / 256.0
+    else:
+        activation = 0.0
+    cost = float(max(states, 1)) * (1.0 + activation)
+    if bv_width:
+        cost *= 1.0 + math.log2(1 + bv_width) / 8.0
+    return ShardCost(
+        slot=slot,
+        states=states,
+        bv_width=bv_width,
+        activation_ratio=activation,
+        cost=cost,
+    )
+
+
+@dataclass
+class ShardPlan:
+    """The planner's output: which pattern slots land on which shard."""
+
+    shards: List[List[int]]
+    costs: List[float]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def balance(self) -> float:
+        """Max shard cost over mean shard cost (1.0 = perfectly even)."""
+        if not self.costs or not sum(self.costs):
+            return 1.0
+        mean = sum(self.costs) / len(self.costs)
+        return max(self.costs) / mean
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "shards": [list(s) for s in self.shards],
+            "costs": [round(c, 3) for c in self.costs],
+            "balance": round(self.balance(), 4),
+        }
+
+
+def plan_shards(
+    compiled: Sequence[CompiledRegex],
+    num_shards: int,
+    costs: Optional[Sequence[ShardCost]] = None,
+) -> ShardPlan:
+    """Partition patterns into at most ``num_shards`` balanced shards.
+
+    Greedy LPT (longest processing time first): sort patterns by
+    descending cost, always assign to the currently lightest shard.
+    Deterministic — ties break on slot index — so the same pattern set
+    always yields the same plan.  Empty shards (more shards than
+    patterns) are dropped.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if costs is None:
+        costs = [estimate_cost(c, slot) for slot, c in enumerate(compiled)]
+    buckets: List[List[int]] = [[] for _ in range(min(num_shards, max(len(compiled), 1)))]
+    totals = [0.0] * len(buckets)
+    for item in sorted(costs, key=lambda c: (-c.cost, c.slot)):
+        lightest = min(range(len(buckets)), key=lambda i: (totals[i], i))
+        buckets[lightest].append(item.slot)
+        totals[lightest] += item.cost
+    shards = [sorted(bucket) for bucket in buckets if bucket]
+    totals = [t for bucket, t in zip(buckets, totals) if bucket]
+    # Stable shard numbering: order shards by their first (lowest) slot.
+    order = sorted(range(len(shards)), key=lambda i: shards[i][0])
+    return ShardPlan(
+        shards=[shards[i] for i in order], costs=[totals[i] for i in order]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _shard_worker_main(
+    conn, automaton: FusedAutomaton, report_ids: Sequence[int], cache_bytes: int
+) -> None:
+    """Command loop of one shard worker process.
+
+    Protocol (parent -> worker / worker -> parent):
+
+    * ``("feed", seq, data)`` -> ``("events", seq, [(pattern_id, end),
+      ...], busy_s)`` — fused-engine feed over one chunk; end offsets
+      are chunk-relative, pattern ids are the *original* set ids.
+    * ``("reset",)`` -> ``("ok",)`` — rewind to the empty activation.
+    * ``("ping",)`` -> ``("ok",)`` — liveness probe.
+    * ``("fail",)`` — hard-exit(1), the fault-injection hook tests use
+      to kill a shard deterministically mid-stream.
+    * ``("stop",)`` — clean shutdown.
+    """
+    matcher = FusedMatcher(automaton, cache_bytes=cache_bytes)
+    ids = list(report_ids)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away; die quietly
+            op = message[0]
+            if op == "feed":
+                _, seq, data = message
+                started = time.perf_counter()
+                events = [
+                    (ids[slot], end) for slot, end in matcher.feed(data)
+                ]
+                conn.send(
+                    ("events", seq, events, time.perf_counter() - started)
+                )
+            elif op == "reset":
+                matcher.reset()
+                conn.send(("ok",))
+            elif op == "ping":
+                conn.send(("ok",))
+            elif op == "fail":
+                os._exit(1)
+            elif op == "hang":
+                time.sleep(message[1])
+                conn.send(("ok",))
+            elif op == "stop":
+                return
+    finally:
+        conn.close()
+
+
+class _InlineShard:
+    """In-process stand-in for a worker: same protocol, no process."""
+
+    def __init__(
+        self, automaton: FusedAutomaton, report_ids: Sequence[int], cache_bytes: int
+    ) -> None:
+        self.matcher = FusedMatcher(automaton, cache_bytes=cache_bytes)
+        self.ids = list(report_ids)
+
+    def feed(self, data: bytes) -> Tuple[List[Tuple[int, int]], float]:
+        started = time.perf_counter()
+        events = [(self.ids[slot], end) for slot, end in self.matcher.feed(data)]
+        return events, time.perf_counter() - started
+
+    def reset(self) -> None:
+        self.matcher.reset()
+
+
+# ---------------------------------------------------------------------------
+# Orchestrator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One degraded shard: which patterns stopped reporting and why."""
+
+    shard: int
+    pattern_ids: Tuple[int, ...]
+    reason: str  # "died", "timeout", or "send_failed"
+
+
+@dataclass
+class _Shard:
+    """Parent-side bookkeeping for one shard."""
+
+    index: int
+    slots: List[int]
+    pattern_ids: List[int]
+    automaton: FusedAutomaton
+    process: Optional[object] = None  # multiprocessing.Process
+    conn: Optional[object] = None  # parent end of the duplex pipe
+    inline: Optional[_InlineShard] = None
+    alive: bool = True
+    events_total: int = 0
+    busy_s: float = 0.0
+    # Replies can momentarily run ahead of the collector when a chunk's
+    # answer arrives while a later chunk is being sent; buffer by seq.
+    pending: Dict[int, Tuple[List[Tuple[int, int]], float]] = field(
+        default_factory=dict
+    )
+
+
+class ShardedScanner:
+    """Scan a compiled pattern set on K fused shards in parallel.
+
+    The streaming contract is the per-engine one: :meth:`feed` reports
+    chunk-relative end offsets and state persists across calls;
+    :meth:`reset` rewinds every shard.  Workers are started lazily on
+    first use and torn down by :meth:`close` (also via the context
+    manager protocol and, best-effort, on garbage collection).
+
+    Args:
+        compiled: the compiled patterns (quarantine survivors).
+        pattern_ids: original set ids to report, one per compiled entry.
+        num_shards: target shard count; defaults to ``os.cpu_count()``
+            capped at the pattern count.
+        backend: ``"process"`` (default) or ``"inline"``.
+        chunk_bytes: broadcast granularity (see module docstring).
+        cache_bytes: per-shard lazy-DFA cache budget.
+        recv_timeout_s: per-chunk reply deadline before a shard is
+            declared hung and degraded.
+        mp_context: a ``multiprocessing`` context; defaults to ``fork``
+            where available (cheap start, no automaton re-pickle) else
+            the platform default.
+    """
+
+    def __init__(
+        self,
+        compiled: Sequence[CompiledRegex],
+        pattern_ids: Optional[Sequence[int]] = None,
+        num_shards: Optional[int] = None,
+        *,
+        backend: str = "process",
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        recv_timeout_s: float = DEFAULT_RECV_TIMEOUT_S,
+        mp_context=None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1")
+        if recv_timeout_s <= 0:
+            raise ValueError("recv_timeout_s must be positive")
+        if pattern_ids is None:
+            pattern_ids = [c.regex_id for c in compiled]
+        if len(pattern_ids) != len(compiled):
+            raise ValueError("pattern_ids and compiled must align")
+        if num_shards is None:
+            num_shards = max(1, min(len(compiled), os.cpu_count() or 1))
+        self.backend = backend
+        self.chunk_bytes = chunk_bytes
+        self.cache_bytes = cache_bytes
+        self.recv_timeout_s = recv_timeout_s
+        self._mp_context = mp_context
+        self.plan = plan_shards(compiled, num_shards)
+        self.failures: List[ShardFailure] = []
+        self._started = False
+        self._closed = False
+        self._shards: List[_Shard] = []
+        ids = list(pattern_ids)
+        for index, slots in enumerate(self.plan.shards):
+            self._shards.append(
+                _Shard(
+                    index=index,
+                    slots=list(slots),
+                    pattern_ids=[ids[slot] for slot in slots],
+                    automaton=fuse_patterns([compiled[slot] for slot in slots]),
+                )
+            )
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def live_shards(self) -> List[int]:
+        return [s.index for s in self._shards if s.alive]
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """One pid per shard (None: inline backend or not started)."""
+        return [
+            s.process.pid if s.process is not None else None
+            for s in self._shards
+        ]
+
+    def _context(self):
+        if self._mp_context is not None:
+            return self._mp_context
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork
+            return multiprocessing.get_context()
+
+    def start(self) -> None:
+        """Start the workers (idempotent; feed/reset call this lazily)."""
+        if self._started:
+            return
+        if self._closed:
+            raise RuntimeError("ShardedScanner is closed")
+        self._started = True
+        if self.backend == "inline":
+            for shard in self._shards:
+                shard.inline = _InlineShard(
+                    shard.automaton, shard.pattern_ids, self.cache_bytes
+                )
+            return
+        ctx = self._context()
+        for shard in self._shards:
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(
+                    child_conn,
+                    shard.automaton,
+                    shard.pattern_ids,
+                    self.cache_bytes,
+                ),
+                daemon=True,
+                name=f"repro-shard-{shard.index}",
+            )
+            process.start()
+            child_conn.close()
+            shard.process = process
+            shard.conn = parent_conn
+        if telemetry.metrics_enabled():
+            telemetry.registry().gauge("scan.shard.workers").set(
+                len(self.live_shards())
+            )
+
+    def close(self) -> None:
+        """Tear down every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        for shard in self._shards:
+            if shard.conn is not None:
+                try:
+                    if shard.alive:
+                        shard.conn.send(("stop",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+                try:
+                    shard.conn.close()
+                except OSError:
+                    pass
+                shard.conn = None
+            if shard.process is not None:
+                shard.process.join(timeout=2.0)
+                if shard.process.is_alive():
+                    shard.process.terminate()
+                    shard.process.join(timeout=2.0)
+                shard.process = None
+            shard.inline = None
+            shard.alive = False
+
+    def __enter__(self) -> "ShardedScanner":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- failure handling ----------------------------------------------
+
+    def _degrade(self, shard: _Shard, reason: str) -> None:
+        """Mark one shard failed; the scan continues without it."""
+        if not shard.alive:
+            return
+        shard.alive = False
+        if shard.conn is not None:
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            shard.conn = None
+        if shard.process is not None:
+            if shard.process.is_alive():
+                shard.process.terminate()
+            shard.process.join(timeout=2.0)
+            shard.process = None
+        failure = ShardFailure(
+            shard=shard.index,
+            pattern_ids=tuple(shard.pattern_ids),
+            reason=reason,
+        )
+        self.failures.append(failure)
+        log.warning(
+            "shard %d degraded (%s); patterns %s stop reporting",
+            shard.index,
+            reason,
+            list(shard.pattern_ids),
+        )
+        if telemetry.metrics_enabled():
+            registry = telemetry.registry()
+            registry.counter("scan.shard.failed").inc()
+            registry.gauge("scan.shard.workers").set(len(self.live_shards()))
+
+    def inject_fault(self, shard_index: int, mode: str = "die") -> None:
+        """Fault-injection hook for chaos tests (process backend only).
+
+        ``mode="die"`` makes the worker hard-exit before its next reply;
+        ``mode="hang"`` makes it sleep past the reply deadline.  Either
+        way the next :meth:`feed`/:meth:`reset` degrades the shard
+        instead of failing the scan.
+        """
+        if mode not in ("die", "hang"):
+            raise ValueError(f"mode must be 'die' or 'hang', got {mode!r}")
+        self.start()
+        if self.backend != "process":
+            raise RuntimeError("fault injection needs the process backend")
+        shard = self._shards[shard_index]
+        if not shard.alive:
+            return
+        message = (
+            ("fail",) if mode == "die" else ("hang", 4 * self.recv_timeout_s)
+        )
+        self._send(shard, message)
+
+    # -- scanning ------------------------------------------------------
+
+    def _send(self, shard: _Shard, message) -> None:
+        try:
+            shard.conn.send(message)
+        except (OSError, ValueError, BrokenPipeError):
+            self._degrade(shard, "send_failed")
+
+    def _recv_reply(self, shard: _Shard, seq: int):
+        """One shard's reply for chunk ``seq`` (None once degraded)."""
+        if not shard.alive:
+            return None
+        if seq in shard.pending:
+            return shard.pending.pop(seq)
+        deadline = time.monotonic() + self.recv_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._degrade(shard, "timeout")
+                return None
+            try:
+                if not shard.conn.poll(min(remaining, 0.25)):
+                    continue
+                message = shard.conn.recv()
+            except (EOFError, OSError):
+                self._degrade(shard, "died")
+                return None
+            if message[0] != "events":
+                continue  # stale ok from an interleaved reset
+            _, got_seq, events, busy_s = message
+            if got_seq == seq:
+                return events, busy_s
+            shard.pending[got_seq] = (events, busy_s)
+
+    def _collect(self, seq: int, base: int) -> List[Tuple[int, int]]:
+        """Merge all live shards' events for one chunk, rebased to the
+        stream offset, in the fused engine's ``(end, pattern_id)``
+        order."""
+        gathered: List[Tuple[int, int]] = []
+        for shard in self._shards:
+            reply = self._recv_reply(shard, seq)
+            if reply is None:
+                continue
+            events, busy_s = reply
+            shard.events_total += len(events)
+            shard.busy_s += busy_s
+            gathered.extend(events)
+        gathered.sort(key=lambda event: (event[1], event[0]))
+        return [(pattern_id, base + end) for pattern_id, end in gathered]
+
+    def feed(self, data: bytes) -> List[Tuple[int, int]]:
+        """Scan one chunk stream from the current state.
+
+        Returns ``(pattern_id, end)`` events with ends relative to
+        ``data`` — the same contract as
+        :meth:`repro.matching.fused.FusedMatcher.feed`.
+        """
+        self.start()
+        if self._closed:
+            raise RuntimeError("ShardedScanner is closed")
+        if not data:
+            return []
+        wall_started = time.perf_counter()
+        busy_before = [s.busy_s for s in self._shards]
+        out: List[Tuple[int, int]] = []
+        if self.backend == "inline":
+            for base in range(0, len(data), self.chunk_bytes):
+                chunk = data[base : base + self.chunk_bytes]
+                gathered: List[Tuple[int, int]] = []
+                for shard in self._shards:
+                    if not shard.alive:
+                        continue
+                    events, busy_s = shard.inline.feed(chunk)
+                    shard.events_total += len(events)
+                    shard.busy_s += busy_s
+                    gathered.extend(events)
+                gathered.sort(key=lambda event: (event[1], event[0]))
+                out.extend((pid, base + end) for pid, end in gathered)
+        else:
+            inflight: deque = deque()
+            seq = 0
+            for base in range(0, len(data), self.chunk_bytes):
+                chunk = data[base : base + self.chunk_bytes]
+                for shard in self._shards:
+                    if shard.alive:
+                        self._send(shard, ("feed", seq, chunk))
+                inflight.append((seq, base))
+                seq += 1
+                if len(inflight) >= MAX_INFLIGHT_CHUNKS:
+                    done_seq, done_base = inflight.popleft()
+                    out.extend(self._collect(done_seq, done_base))
+            while inflight:
+                done_seq, done_base = inflight.popleft()
+                out.extend(self._collect(done_seq, done_base))
+        self._record_metrics(data, out, wall_started, busy_before)
+        return out
+
+    def _record_metrics(
+        self,
+        data: bytes,
+        out: List[Tuple[int, int]],
+        wall_started: float,
+        busy_before: List[float],
+    ) -> None:
+        if not telemetry.metrics_enabled():
+            return
+        wall = time.perf_counter() - wall_started
+        registry = telemetry.registry()
+        registry.counter("scan.shard.bytes").inc(
+            len(data) * len(self.live_shards())
+        )
+        registry.counter("scan.shard.matches").inc(len(out))
+        registry.gauge("scan.shard.workers").set(len(self.live_shards()))
+        for shard, before in zip(self._shards, busy_before):
+            registry.counter(
+                "scan.shard.events", shard=shard.index
+            ).inc(shard.events_total)
+            if wall > 0:
+                registry.gauge(
+                    "scan.shard.occupancy", shard=shard.index
+                ).set(min((shard.busy_s - before) / wall, 1.0))
+
+    def reset(self) -> None:
+        """Rewind every live shard to the empty activation."""
+        if self._closed or not self._started:
+            return  # fresh scanners are already at the empty activation
+        if self.backend == "inline":
+            for shard in self._shards:
+                if shard.alive:
+                    shard.inline.reset()
+            return
+        waiting = []
+        for shard in self._shards:
+            if shard.alive:
+                shard.pending.clear()
+                self._send(shard, ("reset",))
+                waiting.append(shard)
+        for shard in waiting:
+            if not shard.alive:
+                continue
+            try:
+                if shard.conn.poll(self.recv_timeout_s):
+                    shard.conn.recv()  # ("ok",)
+                else:
+                    self._degrade(shard, "timeout")
+            except (EOFError, OSError):
+                self._degrade(shard, "died")
+
+    def scan(self, data: bytes) -> List[Tuple[int, int]]:
+        """Fresh-state :meth:`feed`."""
+        self.start()
+        self.reset()
+        return self.feed(data)
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Orchestrator statistics for telemetry/bench reporting."""
+        return {
+            "num_shards": self.num_shards,
+            "live_shards": len(self.live_shards()),
+            "plan": self.plan.to_json(),
+            "failures": [
+                {
+                    "shard": f.shard,
+                    "pattern_ids": list(f.pattern_ids),
+                    "reason": f.reason,
+                }
+                for f in self.failures
+            ],
+            "events_per_shard": {
+                s.index: s.events_total for s in self._shards
+            },
+        }

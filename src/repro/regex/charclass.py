@@ -39,6 +39,12 @@ class CharClass:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("CharClass is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks the default slots-state pickling;
+        # reconstructing from the mask keeps instances picklable (shard
+        # workers receive whole automata over process boundaries).
+        return (CharClass, (self.mask,))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

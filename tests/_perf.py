@@ -1,0 +1,75 @@
+"""Shared plumbing for the timing-guard tests.
+
+The perf guards (fused-vs-per-pattern speedup, telemetry overhead,
+resilience overhead) compare two workloads timed in the same process.
+Two things make such guards flaky on shared CI machines and this module
+exists to fix both:
+
+1. **A single best-of sample is fragile.** One scheduler preemption
+   during the "fast" side's window flips the verdict.
+   :func:`measure_pair` therefore takes the *median of three* complete
+   interleaved best-of measurements — a spike must hit the same side in
+   two independent passes to survive into the compared figure.
+
+2. **A loaded machine has no quiet window at all.** When the 1-minute
+   load average already exceeds the core count there is nothing a
+   robust estimator can do; :func:`skip_if_loaded` skips the guard
+   outright rather than producing a coin-flip failure.
+"""
+
+import os
+import statistics
+import time
+
+import pytest
+
+#: Independent interleaved measurement passes; the median is compared.
+SAMPLES = 3
+
+
+def skip_if_loaded(headroom: float = 1.5) -> None:
+    """Skip the calling test when the machine is too busy to time on.
+
+    ``headroom`` is how many runnable tasks per core are tolerated; CI
+    boxes running parallel jobs routinely sit above it, and on such a
+    machine a relative timing bound is noise, not signal.
+    """
+    try:
+        load = os.getloadavg()[0]
+    except (AttributeError, OSError):  # platform without getloadavg
+        return
+    cores = os.cpu_count() or 1
+    if load > cores * headroom:
+        pytest.skip(
+            f"1-minute load {load:.1f} exceeds {cores} core(s) x "
+            f"{headroom} — timing guard would be unreliable"
+        )
+
+
+def _best_of(func, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_pair(first, second, rounds: int = 5, samples: int = SAMPLES):
+    """Median-of-``samples`` interleaved best-of times for two workloads.
+
+    Within each sample the two callables alternate round by round, so
+    slow machine phases hit both sides; across samples the median drops
+    any single-pass outlier.  Returns ``(first_s, second_s)``.
+    """
+    first_times = []
+    second_times = []
+    for _ in range(samples):
+        first_best = float("inf")
+        second_best = float("inf")
+        for _ in range(rounds):
+            first_best = min(first_best, _best_of(first, 1))
+            second_best = min(second_best, _best_of(second, 1))
+        first_times.append(first_best)
+        second_times.append(second_best)
+    return statistics.median(first_times), statistics.median(second_times)

@@ -1,0 +1,127 @@
+"""Cross-layer conformance: the cycle-level BVAP simulator and the
+software scan engines report the same matches.
+
+The simulator (:mod:`repro.hardware.simulator`) and the engines
+(:mod:`repro.matching`) sit at opposite ends of the stack — one steps
+mapped tiles/BVMs cycle by cycle, the other runs fused bitset automata —
+but both consume the same compiled rule sets, so their match streams
+must agree event for event: simulator ``notes["match_events"]`` entries
+are ``(end index, regex id)``, engine matches are ``(pattern_id, end)``
+with the same inclusive last-byte index.
+
+Checked on the golden corpus (one pattern at a time and as one fused
+rule set) and on the paper's Example 7.1/7.2 rewrite shapes, against
+both the fused and the sharded engines.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_ruleset
+from repro.hardware.simulator import BVAPSimulator
+from repro.matching import PatternSet, ShardedScanner
+from repro.regex.generate import random_match
+from repro.regex.parser import parse
+
+from ..matching.test_golden_corpus import CORPUS
+
+OPTIONS = CompilerOptions(bv_size=16, unfold_threshold=2)
+
+#: Example 7.1 (small-bound unfolds) and Example 7.2 (bound splits past
+#: the virtual BV widths) — the shapes §7's rewrites exist for.
+EXAMPLE_PATTERNS = [
+    "(bc){2}",
+    "d{1,3}",
+    "f{2,}",
+    "b{20}",
+    "b{2,23}",
+    "a{1,20}",
+]
+
+
+def sim_events(ruleset, data):
+    report = BVAPSimulator(ruleset).run(data, collect_matches=True)
+    return sorted(report.notes["match_events"])
+
+
+def engine_events(matches):
+    return sorted((m.end, m.pattern_id) for m in matches)
+
+
+def planted_input(patterns, seed, length=160):
+    rng = random.Random(seed)
+    nodes = [parse(p) for p in patterns]
+    out = bytearray()
+    while len(out) < length:
+        if rng.random() < 0.3:
+            try:
+                out.extend(random_match(rng.choice(nodes), rng, 2))
+            except ValueError:
+                pass
+        else:
+            out.append(rng.choice(b"abcdf "))
+    return bytes(out[:length])
+
+
+@pytest.mark.parametrize(
+    "pattern,data", CORPUS, ids=[pattern for pattern, _ in CORPUS]
+)
+def test_simulator_matches_fused_per_golden_pattern(pattern, data):
+    ruleset = compile_ruleset([pattern], OPTIONS)
+    assert not ruleset.rejected, pattern
+    engine = PatternSet([pattern], options=OPTIONS, engine="fused")
+    assert sim_events(ruleset, data) == engine_events(engine.scan(data)), (
+        pattern
+    )
+
+
+def test_simulator_matches_fused_whole_corpus_ruleset():
+    patterns = [pattern for pattern, _ in CORPUS]
+    data = b" ".join(data for _, data in CORPUS)
+    ruleset = compile_ruleset(patterns, OPTIONS)
+    assert not ruleset.rejected
+    engine = PatternSet(patterns, options=OPTIONS, engine="fused")
+    expected = engine_events(engine.scan(data))
+    assert expected, "corpus scan found nothing; conformance is vacuous"
+    assert sim_events(ruleset, data) == expected
+
+
+def test_simulator_matches_sharded_engine():
+    """Hardware simulation vs the parallel orchestrator — the two
+    farthest-apart execution paths in the repo."""
+    patterns = [pattern for pattern, _ in CORPUS]
+    data = b" ".join(data for _, data in CORPUS)
+    ruleset = compile_ruleset(patterns, OPTIONS)
+    with ShardedScanner(ruleset.regexes, num_shards=3) as scanner:
+        got = sorted((end, pid) for pid, end in scanner.scan(data))
+    assert got == sim_events(ruleset, data)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_simulator_matches_engines_on_example_7_shapes(seed):
+    data = planted_input(EXAMPLE_PATTERNS, seed)
+    ruleset = compile_ruleset(EXAMPLE_PATTERNS, OPTIONS)
+    assert not ruleset.rejected
+    expected = sim_events(ruleset, data)
+    fused = PatternSet(EXAMPLE_PATTERNS, options=OPTIONS, engine="fused")
+    assert engine_events(fused.scan(data)) == expected
+    with PatternSet(
+        EXAMPLE_PATTERNS, options=OPTIONS, engine="sharded", shards=2
+    ) as sharded:
+        assert engine_events(sharded.scan(data)) == expected
+
+
+def test_simulator_streaming_variant_conforms_too():
+    """BVAP-S (streaming reconfiguration) must not change the match
+    stream, only the timing/energy accounting."""
+    patterns = EXAMPLE_PATTERNS
+    data = planted_input(patterns, seed=9)
+    ruleset = compile_ruleset(patterns, OPTIONS)
+    engine = PatternSet(patterns, options=OPTIONS, engine="fused")
+    expected = engine_events(engine.scan(data))
+    assert sim_events(ruleset, data) == expected
+    streaming = BVAPSimulator(ruleset, streaming=True).run(
+        data, collect_matches=True
+    )
+    assert sorted(streaming.notes["match_events"]) == expected

@@ -1,0 +1,80 @@
+"""The bench harness itself: record shape, tripwires, serialisation.
+
+Tiny workloads only — these tests pin the *structure* of the perf
+records (``benchmarks/bench_scan.py`` consumes them) and the built-in
+differential tripwires, not any timing figure.
+"""
+
+import pytest
+
+from repro.matching import ENGINES
+from repro.matching.bench import (
+    bench_cell,
+    bench_grid,
+    format_grid,
+    read_record,
+    time_engine,
+    write_record,
+)
+
+PATTERNS = ["ab{2,4}c", "bc"]
+DATA = b"abbc bc abbbc " * 20
+
+
+def test_time_engine_reports_matches_and_throughput():
+    timing = time_engine(PATTERNS, DATA, "fused", repeats=1)
+    assert timing.engine == "fused"
+    assert timing.matches > 0
+    assert timing.input_bytes == len(DATA)
+    assert timing.throughput_mbps > 0
+    assert set(timing.to_dict()) == {
+        "engine",
+        "seconds",
+        "matches",
+        "throughput_mbps",
+    }
+
+
+def test_time_engine_sharded_tears_down_workers():
+    timing = time_engine(PATTERNS, DATA, "sharded", repeats=1, shards=2)
+    fused = time_engine(PATTERNS, DATA, "fused", repeats=1)
+    assert timing.matches == fused.matches
+
+
+def test_bench_cell_flags_engine_disagreement():
+    cell = bench_cell(PATTERNS, DATA, ["nfa", "fused"], repeats=1)
+    assert cell["timings"]["fused"]["matches"] == cell["timings"]["nfa"]["matches"]
+    assert "fused_speedup" in cell
+
+
+def test_bench_grid_record_shape(tmp_path):
+    record = bench_grid(
+        pattern_counts=(1, 2),
+        input_sizes=(512,),
+        engines=["nfa", "fused"],
+        repeats=1,
+        shard_counts=(1, 2),
+    )
+    assert record["benchmark"] == "fused_scan"
+    assert len(record["grid"]) == 2
+    assert "fused_speedup_max_patterns" in record
+    scaling = record["shard_scaling"]
+    assert [row["shards"] for row in scaling["shards"]] == [1, 2]
+
+    table = format_grid(record)
+    assert "shard scaling" in table
+    assert "workers" in table
+
+    path = tmp_path / "record.json"
+    write_record(record, str(path))
+    assert read_record(str(path)) == record
+
+
+def test_read_record_missing_file_is_none(tmp_path):
+    assert read_record(str(tmp_path / "nope.json")) is None
+
+
+def test_all_engines_registered_for_bench():
+    assert "sharded" in ENGINES
+    with pytest.raises(ValueError):
+        bench_cell(PATTERNS, DATA, ["fused", "__nope__"], repeats=1)

@@ -13,12 +13,13 @@ loops very differently.
 
 import random
 import sys
-import time
 
 import pytest
 
 from repro.matching import PatternSet
 from repro.workloads import PROFILES, dataset_stream, load_dataset
+
+from .._perf import measure_pair, skip_if_loaded
 
 pytestmark = pytest.mark.skipif(
     "coverage" in sys.modules or sys.gettrace() is not None,
@@ -31,16 +32,8 @@ ROUNDS = 5
 REQUIRED_SPEEDUP = 2.0
 
 
-def _best_of(func, rounds=1):
-    best = float("inf")
-    for _ in range(rounds):
-        start = time.perf_counter()
-        func()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def test_fused_scan_at_least_2x_per_pattern_loop():
+    skip_if_loaded()
     profile = PROFILES["RegexLib"]
     patterns = load_dataset("RegexLib", NUM_PATTERNS, seed=5)
     data = dataset_stream(
@@ -53,13 +46,11 @@ def test_fused_scan_at_least_2x_per_pattern_loop():
     # the way — a perf guard on a wrong result would be worthless.
     assert fused.scan(data) == per_pattern.scan(data)
 
-    fused_time = float("inf")
-    per_pattern_time = float("inf")
-    for _ in range(ROUNDS):  # interleave so machine noise hits both
-        fused_time = min(fused_time, _best_of(lambda: fused.scan(data)))
-        per_pattern_time = min(
-            per_pattern_time, _best_of(lambda: per_pattern.scan(data))
-        )
+    fused_time, per_pattern_time = measure_pair(
+        lambda: fused.scan(data),
+        lambda: per_pattern.scan(data),
+        rounds=ROUNDS,
+    )
 
     assert fused_time * REQUIRED_SPEEDUP <= per_pattern_time, (
         f"fused scan {fused_time * 1e3:.2f} ms vs per-pattern loop "

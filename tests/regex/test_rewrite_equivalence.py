@@ -1,0 +1,190 @@
+"""Metamorphic rewrite equivalence: every §7 rewrite preserves the
+match set.
+
+Each rewrite in :mod:`repro.regex.rewrite` — unfolding (Example 7.1),
+bound splitting over virtual bit-vector widths (Example 7.2), nullable
+denormalisation, and the full pipeline — is a *language-preserving*
+transformation.  This suite checks that claim against the brute-force
+AST-denotation oracle on (a) targeted Example 7.1/7.2 shapes and (b)
+seeded random regexes, across the ``bv_size`` × ``unfold_threshold``
+parameter grid.  The oracle is O(n^3), so inputs stay small; each input
+is noise seeded with fragments of the pattern's own language so the
+counting machinery is actually entered.
+"""
+
+import random
+
+import pytest
+
+from repro.matching.oracle import match_ends, match_spans
+from repro.regex import ast
+from repro.regex.generate import random_match, random_regex
+from repro.regex.parser import parse
+from repro.regex.rewrite import (
+    RewriteParams,
+    denull,
+    is_supported_repeat,
+    rewrite,
+    unfold_all,
+    unfold_small,
+)
+
+#: Example 7.1 shapes (small-bound unfolds), Example 7.2 shapes (bounds
+#: past the 8/16-bit virtual widths, so the split path runs even with
+#: bv_size=64 excluded from the grid), nullable and nested bodies.
+TARGETED = [
+    "(bc){2}",
+    "d{1,3}",
+    "f{2,}",
+    "b{17}",
+    "b{2,23}",
+    "a{1,20}",
+    "(a|b){3,9}",
+    "(ab){2,6}",
+    "(a?b){2,5}",
+    "(a?){4}",
+    "((ab){2}c){2}",
+    "a{3}b{2,}",
+]
+
+PARAM_GRID = [
+    RewriteParams(bv_size=8, unfold_threshold=2),
+    RewriteParams(bv_size=8, unfold_threshold=8),
+    RewriteParams(bv_size=16, unfold_threshold=2),
+    RewriteParams(bv_size=64, unfold_threshold=4),
+]
+
+RANDOM_SEEDS = list(range(25))
+
+
+def build_input(node, seed, length=56):
+    """Noise over the pattern's alphabet, salted with (often truncated)
+    members of its language so bounded repetitions get entered."""
+    rng = random.Random(seed)
+    out = bytearray()
+    while len(out) < length:
+        if rng.random() < 0.35:
+            try:
+                fragment = random_match(node, rng, max_unbounded=2)
+            except ValueError:
+                fragment = b""
+            if fragment and rng.random() < 0.5:
+                fragment = fragment[: rng.randint(1, len(fragment))]
+            out.extend(fragment)
+        else:
+            out.append(rng.choice(b"abcdf"))
+    return bytes(out[:length])
+
+
+def random_node(seed):
+    return random_regex(
+        random.Random(seed), alphabet=b"ab", depth=3, max_bound=10
+    )
+
+
+def assert_equivalent(original, transformed, data, context):
+    assert match_ends(transformed, data) == match_ends(original, data), (
+        str(original),
+        str(transformed),
+        data,
+        context,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Unfolding (Example 7.1)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("pattern", TARGETED)
+def test_unfold_all_preserves_matches_targeted(pattern):
+    node = parse(pattern)
+    for seed in range(3):
+        data = build_input(node, seed)
+        assert_equivalent(node, unfold_all(node), data, "unfold_all")
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_unfold_all_preserves_matches_random(seed):
+    node = random_node(seed)
+    data = build_input(node, seed)
+    assert_equivalent(node, unfold_all(node), data, "unfold_all")
+
+
+@pytest.mark.parametrize("pattern", TARGETED)
+@pytest.mark.parametrize("threshold", [2, 8])
+def test_unfold_small_preserves_matches(pattern, threshold):
+    node = parse(pattern)
+    data = build_input(node, 0)
+    transformed = unfold_small(node, threshold)
+    assert_equivalent(node, transformed, data, f"unfold_small({threshold})")
+
+
+# ---------------------------------------------------------------------------
+# Nullability normalisation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_denull_drops_exactly_the_empty_word(seed):
+    """denull's contract is metamorphic too: the span set of the result
+    is the original's minus the empty spans."""
+    node = random_node(seed)
+    data = build_input(node, seed, length=24)
+    stripped = denull(node)
+    expected = {(i, j) for i, j in match_spans(node, data) if i != j}
+    got = set() if stripped is None else match_spans(stripped, data)
+    assert got == expected, (str(node), stripped and str(stripped))
+
+
+# ---------------------------------------------------------------------------
+# Bound splitting + full pipeline (Example 7.2)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("pattern", TARGETED)
+@pytest.mark.parametrize("params", PARAM_GRID, ids=lambda p: f"bv{p.bv_size}-t{p.unfold_threshold}")
+def test_rewrite_preserves_matches_targeted(pattern, params):
+    node = parse(pattern)
+    for seed in range(2):
+        data = build_input(node, seed)
+        assert_equivalent(
+            node, rewrite(node, params), data, f"rewrite({params})"
+        )
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_rewrite_preserves_matches_random_across_grid(seed):
+    node = random_node(seed)
+    data = build_input(node, seed)
+    expected = match_ends(node, data)
+    for params in PARAM_GRID:
+        got = match_ends(rewrite(node, params), data)
+        assert got == expected, (str(node), params, data)
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_rewrite_output_repeats_supported_random(seed):
+    """Postcondition: after the pipeline, every surviving Repeat is in
+    hardware-supported form for the params it was rewritten under."""
+    node = random_node(seed)
+    for params in PARAM_GRID:
+        for sub in rewrite(node, params).walk():
+            if isinstance(sub, ast.Repeat):
+                assert is_supported_repeat(sub, params), (
+                    str(node),
+                    str(sub),
+                    params,
+                )
+
+
+def test_composed_rewrites_commute_on_match_set():
+    """Metamorphic composition: rewriting an already-unfolded AST and
+    unfolding a rewritten AST both land on the original match set."""
+    for pattern in TARGETED:
+        node = parse(pattern)
+        data = build_input(node, 1)
+        expected = match_ends(node, data)
+        params = RewriteParams(bv_size=8, unfold_threshold=2)
+        assert match_ends(rewrite(unfold_all(node), params), data) == expected
+        assert match_ends(unfold_all(rewrite(node, params)), data) == expected

@@ -1,11 +1,11 @@
 """Acceptance guard: with budgets and degradation disabled, the fused
 scan hot loop must stay within 1.15x of the raw fused matcher."""
 
-import time
-
 from repro import telemetry
 from repro.matching import PatternSet
 from repro.matching.fused import FusedMatcher, fuse_patterns
+
+from .._perf import measure_pair, skip_if_loaded
 
 PATTERNS = ["ab{10}c", "x[0-9]{4}y", "zq"]
 DATA = b"abbbbbbbbbbc x0123y zq padding " * 40
@@ -19,6 +19,7 @@ def _raw_fused_scan(matcher, data):
 
 
 def test_disabled_budgets_fused_overhead_within_bound():
+    skip_if_loaded()
     assert not telemetry.enabled()
     ps = PatternSet(PATTERNS, engine="fused")
     assert ps.budget.unlimited() and ps.degradation is None
@@ -28,16 +29,11 @@ def test_disabled_budgets_fused_overhead_within_bound():
     ps.scan(DATA)
     _raw_fused_scan(raw, DATA)
 
-    # Interleave the timed workloads so machine noise hits both.
-    wrapped = float("inf")
-    baseline = float("inf")
-    for _ in range(ROUNDS):
-        start = time.perf_counter()
-        ps.scan(DATA)
-        wrapped = min(wrapped, time.perf_counter() - start)
-        start = time.perf_counter()
-        _raw_fused_scan(raw, DATA)
-        baseline = min(baseline, time.perf_counter() - start)
+    wrapped, baseline = measure_pair(
+        lambda: ps.scan(DATA),
+        lambda: _raw_fused_scan(raw, DATA),
+        rounds=ROUNDS,
+    )
 
     # The disabled path adds one budget/degradation test per feed call
     # (not per byte) plus Match construction; 1.15x leaves ample noise

@@ -6,10 +6,10 @@ factor of an un-instrumented copy of that loop timed in the same test
 run (same machine, same load, interleaved samples).
 """
 
-import time
-
 from repro import telemetry
 from repro.matching import PatternSet
+
+from .._perf import measure_pair, skip_if_loaded
 
 PATTERNS = ["ab{10}c", "x[0-9]{4}y", "zq"]
 DATA = (b"abbbbbbbbbbc x0123y zq padding " * 40)
@@ -29,18 +29,8 @@ def _raw_scan(pattern_set, data):
     return out
 
 
-def _best_of(func, rounds=ROUNDS):
-    best = float("inf")
-    for _ in range(rounds):
-        start = time.perf_counter()
-        func()
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
-    return best
-
-
 def test_disabled_scan_overhead_within_bound():
+    skip_if_loaded()
     assert not telemetry.enabled()
     ps = PatternSet(PATTERNS)
 
@@ -48,12 +38,11 @@ def test_disabled_scan_overhead_within_bound():
     ps.scan(DATA)
     _raw_scan(ps, DATA)
 
-    # Interleave the two timed workloads so machine noise hits both.
-    instrumented = float("inf")
-    baseline = float("inf")
-    for _ in range(ROUNDS):
-        instrumented = min(instrumented, _best_of(lambda: ps.scan(DATA), 1))
-        baseline = min(baseline, _best_of(lambda: _raw_scan(ps, DATA), 1))
+    instrumented, baseline = measure_pair(
+        lambda: ps.scan(DATA),
+        lambda: _raw_scan(ps, DATA),
+        rounds=ROUNDS,
+    )
 
     # The disabled path is the identical loop plus one enabled() check per
     # scan, so 1.15x leaves ample room for timer noise; the absolute

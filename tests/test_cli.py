@@ -99,6 +99,15 @@ class TestScan:
         outputs = capsys.readouterr().out.strip().splitlines()
         assert outputs[0] == outputs[1] == outputs[2]
 
+    def test_scan_sharded_engine_matches_fused(self, input_file, capsys):
+        main(["scan", "ab{20}c", "xx", "-i", input_file, "--engine", "fused"])
+        fused_out = capsys.readouterr().out
+        assert main([
+            "scan", "ab{20}c", "xx", "-i", input_file,
+            "--engine", "sharded", "--shards", "2",
+        ]) == 0
+        assert capsys.readouterr().out == fused_out
+
     def test_patterns_from_file(self, tmp_path, input_file, capsys):
         rules = tmp_path / "rules.txt"
         rules.write_text("ab{20}c\nxx\n")
@@ -139,6 +148,13 @@ class TestBench:
     def test_bench_unknown_engine_rejected(self):
         with pytest.raises(SystemExit):
             main(["bench", "a", "-i", "-", "--engines", "quantum"])
+
+    def test_bench_sharded_engine(self, input_file, capsys):
+        assert main([
+            "bench", "ab{20}c", "xx", "-i", input_file,
+            "--engines", "fused,sharded", "--shards", "2", "--repeats", "1",
+        ]) == 0
+        assert "sharded" in capsys.readouterr().out
 
 
 class TestCompile:
