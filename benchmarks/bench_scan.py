@@ -28,7 +28,12 @@ sys.path.insert(
 )
 
 from repro.matching import ENGINES  # noqa: E402
-from repro.matching.bench import bench_grid, format_grid, write_record  # noqa: E402
+from repro.matching.bench import (  # noqa: E402
+    bench_compile_cache,
+    bench_grid,
+    format_grid,
+    write_record,
+)
 from repro.workloads import DATASET_NAMES  # noqa: E402
 
 DEFAULT_OUT = "BENCH_scan.json"
@@ -56,6 +61,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check", type=float, default=None, metavar="FACTOR",
         help="fail unless the headline fused speedup is >= FACTOR",
+    )
+    parser.add_argument(
+        "--compile-patterns", type=int, default=64, dest="compile_patterns",
+        help="ruleset size for the cold/warm compile-cache cell "
+             "(0 disables the cell)",
+    )
+    parser.add_argument(
+        "--check-compile", type=float, default=None, metavar="FACTOR",
+        dest="check_compile",
+        help="fail unless the warm-cache compile speedup is >= FACTOR",
     )
     args = parser.parse_args(argv)
 
@@ -85,6 +100,13 @@ def main(argv=None) -> int:
         seed=args.seed,
         shard_counts=shard_counts or None,
     )
+    if args.compile_patterns:
+        record["compile_cache"] = bench_compile_cache(
+            profile_name=args.profile,
+            num_patterns=args.compile_patterns,
+            repeats=repeats,
+            seed=args.seed,
+        )
     print(format_grid(record))
     write_record(record, args.out)
     print(f"wrote {args.out}")
@@ -100,6 +122,22 @@ def main(argv=None) -> int:
         if headline is None or headline < args.check:
             print(
                 f"FAIL: headline speedup {headline} below --check {args.check}",
+                file=sys.stderr,
+            )
+            return 1
+    compile_cell = record.get("compile_cache")
+    if compile_cell is not None:
+        print(
+            f"compile cache: warm recompile of "
+            f"{compile_cell['num_patterns']} patterns is "
+            f"{compile_cell.get('warm_speedup', 0):.1f}x faster than cold"
+        )
+    if args.check_compile is not None:
+        warm = (compile_cell or {}).get("warm_speedup")
+        if warm is None or warm < args.check_compile:
+            print(
+                f"FAIL: warm compile speedup {warm} below "
+                f"--check-compile {args.check_compile}",
                 file=sys.stderr,
             )
             return 1

@@ -18,6 +18,7 @@ activity, so ordinary NFA edges are just ``Copy`` on width 1.
 
 from __future__ import annotations
 
+from ..resilience.errors import CapacityError, UnsupportedFeatureError
 from . import bitvector as bv
 
 
@@ -45,6 +46,12 @@ class Action:
     def _key(self) -> tuple:
         return ()
 
+    def __reduce__(self) -> tuple:
+        # The immutability guard (__setattr__ raises) defeats the default
+        # slot-state pickling; rebuild from the constructor arguments,
+        # which _key() exposes for every action.
+        return (type(self), self._key())
+
     def __repr__(self) -> str:
         return self.mnemonic
 
@@ -57,7 +64,7 @@ class Copy(Action):
 
     def apply(self, value: int, in_width: int, out_width: int) -> int:
         if in_width != out_width:
-            raise ValueError(f"copy across widths {in_width} -> {out_width}")
+            raise CapacityError(f"copy across widths {in_width} -> {out_width}")
         return value
 
 
@@ -69,7 +76,7 @@ class Shift(Action):
 
     def apply(self, value: int, in_width: int, out_width: int) -> int:
         if in_width != out_width:
-            raise ValueError(f"shift across widths {in_width} -> {out_width}")
+            raise CapacityError(f"shift across widths {in_width} -> {out_width}")
         return bv.shift(value, out_width)
 
 
@@ -91,7 +98,7 @@ class ReadBit(Action):
 
     def __init__(self, position: int) -> None:
         if position < 1:
-            raise ValueError("positions are 1-indexed")
+            raise UnsupportedFeatureError("positions are 1-indexed")
         object.__setattr__(self, "position", position)
 
     def __setattr__(self, name: str, value: object) -> None:
@@ -106,9 +113,9 @@ class ReadBit(Action):
 
     def apply(self, value: int, in_width: int, out_width: int) -> int:
         if self.position > in_width:
-            raise ValueError(f"r({self.position}) on width {in_width}")
+            raise CapacityError(f"r({self.position}) on width {in_width}")
         if out_width != 1:
-            raise ValueError("read actions produce a width-1 activity")
+            raise UnsupportedFeatureError("read actions produce a width-1 activity")
         return bv.read_bit(value, self.position)
 
 
@@ -120,7 +127,7 @@ class ReadRange(Action):
 
     def __init__(self, high: int) -> None:
         if high < 1:
-            raise ValueError("positions are 1-indexed")
+            raise UnsupportedFeatureError("positions are 1-indexed")
         object.__setattr__(self, "high", high)
 
     def __setattr__(self, name: str, value: object) -> None:
@@ -135,9 +142,9 @@ class ReadRange(Action):
 
     def apply(self, value: int, in_width: int, out_width: int) -> int:
         if self.high > in_width:
-            raise ValueError(f"r(1,{self.high}) on width {in_width}")
+            raise CapacityError(f"r(1,{self.high}) on width {in_width}")
         if out_width != 1:
-            raise ValueError("read actions produce a width-1 activity")
+            raise UnsupportedFeatureError("read actions produce a width-1 activity")
         return bv.read_range(value, self.high)
 
 
@@ -149,7 +156,7 @@ class ReadBitSet1(Action):
 
     def __init__(self, position: int) -> None:
         if position < 1:
-            raise ValueError("positions are 1-indexed")
+            raise UnsupportedFeatureError("positions are 1-indexed")
         object.__setattr__(self, "position", position)
 
     def __setattr__(self, name: str, value: object) -> None:
@@ -164,7 +171,7 @@ class ReadBitSet1(Action):
 
     def apply(self, value: int, in_width: int, out_width: int) -> int:
         if self.position > in_width:
-            raise ValueError(f"r({self.position}) on width {in_width}")
+            raise CapacityError(f"r({self.position}) on width {in_width}")
         return bv.set1(out_width) if bv.read_bit(value, self.position) else 0
 
 
@@ -176,7 +183,7 @@ class ReadRangeSet1(Action):
 
     def __init__(self, high: int) -> None:
         if high < 1:
-            raise ValueError("positions are 1-indexed")
+            raise UnsupportedFeatureError("positions are 1-indexed")
         object.__setattr__(self, "high", high)
 
     def __setattr__(self, name: str, value: object) -> None:
@@ -191,7 +198,7 @@ class ReadRangeSet1(Action):
 
     def apply(self, value: int, in_width: int, out_width: int) -> int:
         if self.high > in_width:
-            raise ValueError(f"r(1,{self.high}) on width {in_width}")
+            raise CapacityError(f"r(1,{self.high}) on width {in_width}")
         return bv.set1(out_width) if bv.read_range(value, self.high) else 0
 
 

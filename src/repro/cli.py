@@ -108,6 +108,20 @@ def _compiler_options(args: argparse.Namespace) -> CompilerOptions:
     )
 
 
+def _compile_cache(args: argparse.Namespace):
+    """The on-disk compile cache when ``--cache-dir`` was given."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        return None
+    from .compiler.cache import CompileCache
+
+    return CompileCache(cache_dir=cache_dir)
+
+
+def _jobs(args: argparse.Namespace) -> int:
+    return getattr(args, "jobs", None) or 1
+
+
 @contextmanager
 def _telemetry_session(args: argparse.Namespace) -> Iterator[None]:
     """Enable telemetry for one command when the args ask for exports;
@@ -141,7 +155,12 @@ def _warn_quarantined(ruleset) -> None:
 
 def cmd_compile(args: argparse.Namespace) -> int:
     patterns = _load_patterns(args.patterns, args.fmt)
-    ruleset = compile_ruleset(patterns, _compiler_options(args))
+    ruleset = compile_ruleset(
+        patterns,
+        _compiler_options(args),
+        cache=_compile_cache(args),
+        jobs=_jobs(args),
+    )
     _warn_quarantined(ruleset)
     dump_config(ruleset, args.output)
     quarantined = ruleset.quarantined
@@ -165,6 +184,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
         engine=args.engine,
         on_error="quarantine" if args.quarantine else "raise",
         shards=getattr(args, "shards", None),
+        cache=_compile_cache(args),
     )
     with matcher:
         for pattern_id, report in sorted(matcher.quarantined.items()):
@@ -227,6 +247,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "baseline_engine": bench_mod.BASELINE_ENGINE,
         "grid": [cell],
     }
+    if not args.patterns and (
+        getattr(args, "cache_dir", None) is not None or _jobs(args) > 1
+    ):
+        record["compile_cache"] = bench_mod.bench_compile_cache(
+            args.dataset,
+            len(patterns),
+            _compiler_options(args),
+            args.repeats,
+            args.seed,
+            cache_dir=args.cache_dir,
+            jobs=_jobs(args),
+        )
     print(bench_mod.format_grid(record))
     if args.json_out:
         bench_mod.write_record(record, args.json_out)
@@ -247,7 +279,12 @@ def _run_simulation(args: argparse.Namespace) -> SimulationReport:
         ).run(data)
     if args.arch in ("BVAP", "BVAP-S"):
         patterns = _load_patterns(args.patterns, args.fmt)
-        ruleset = compile_ruleset(patterns, _compiler_options(args))
+        ruleset = compile_ruleset(
+            patterns,
+            _compiler_options(args),
+            cache=_compile_cache(args),
+            jobs=_jobs(args),
+        )
         _warn_quarantined(ruleset)
         simulator = BVAPSimulator(ruleset, streaming=args.arch == "BVAP-S")
         return simulator.run(data)
@@ -299,7 +336,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
     was given but the injected faults were all masked.
     """
     patterns = _load_patterns(args.patterns, args.fmt)
-    ruleset = compile_ruleset(patterns, _compiler_options(args))
+    ruleset = compile_ruleset(
+        patterns,
+        _compiler_options(args),
+        cache=_compile_cache(args),
+        jobs=_jobs(args),
+    )
     _warn_quarantined(ruleset)
     if args.input:
         data = _read_input(args.input)
@@ -402,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--deadline", type=float, default=None,
                        dest="deadline",
                        help="budget: cooperative wall-clock deadline (s)")
+        p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                       help="on-disk compile cache directory (content-"
+                            "addressed; reused across runs)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="parallel compile workers for rule sets "
+                            "(default 1 = serial)")
 
     p_compile = sub.add_parser("compile", help="emit a JSON hardware config")
     p_compile.add_argument("patterns", nargs="+")

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 from ..regex.charclass import CharClass
+from ..resilience.errors import CapacityError, UnsupportedFeatureError
 
 NIBBLE_BITS = 16
 
@@ -37,9 +38,9 @@ class CamRow:
 
     def __post_init__(self) -> None:
         if not 0 < self.low_mask < (1 << NIBBLE_BITS):
-            raise ValueError(f"low mask out of range: {self.low_mask:#x}")
-        if not 0 < self.high_mask < (1 << NIBBLE_BITS) + 0:
-            raise ValueError(f"high mask out of range: {self.high_mask:#x}")
+            raise CapacityError(f"low mask out of range: {self.low_mask:#x}")
+        if not 0 < self.high_mask < (1 << NIBBLE_BITS):
+            raise CapacityError(f"high mask out of range: {self.high_mask:#x}")
 
     def matches(self, byte: int) -> bool:
         return bool(
@@ -76,7 +77,7 @@ def encode_class(cc: CharClass) -> List[CamRow]:
     one row, which is the minimal product-row decomposition.
     """
     if cc.is_empty():
-        raise ValueError("cannot encode the empty class")
+        raise UnsupportedFeatureError("cannot encode the empty class")
     low_sets: Dict[int, int] = {}  # low-nibble mask -> high-nibble mask
     for high in range(16):
         low_mask = 0

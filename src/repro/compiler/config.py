@@ -27,6 +27,7 @@ from ..automata.actions import (
 from ..automata.ah import AHNBVA, AHState
 from ..automata.nbva import Scope
 from ..regex.charclass import CharClass
+from ..resilience.errors import UnsupportedFeatureError
 from .encoding import EncodingSchema
 from .mapping import ArchParams, MappingResult, Tile
 from .pipeline import CompiledRuleset
@@ -55,7 +56,7 @@ def action_from_mnemonic(text: str) -> Action:
         if is_range:
             return ReadRangeSet1(value) if has_set1 else ReadRange(value)
         return ReadBitSet1(value) if has_set1 else ReadBit(value)
-    raise ValueError(f"unknown action mnemonic: {text!r}")
+    raise UnsupportedFeatureError(f"unknown action mnemonic: {text!r}")
 
 
 def _cc_to_json(cc: CharClass) -> str:
@@ -172,7 +173,7 @@ class LoadedConfig:
 
     def __init__(self, doc: Dict[str, Any]) -> None:
         if doc.get("format_version") != FORMAT_VERSION:
-            raise ValueError(
+            raise UnsupportedFeatureError(
                 f"unsupported config version {doc.get('format_version')!r}"
             )
         arch_doc = doc["options"]["arch"]

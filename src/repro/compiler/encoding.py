@@ -71,17 +71,29 @@ def build_encoding(classes: Iterable[CharClass]) -> EncodingSchema:
     intersection cells, bounded by ``min(256, 2**len(classes))``.
     """
     full = CharClass.any().mask
-    groups: List[int] = [full]
+    # The partition depends only on the *set* of distinct masks: refining
+    # by the same mask twice is a no-op, and rule sets reuse a handful of
+    # classes across hundreds of states, so dedup first.
+    seen = set()
+    masks: List[int] = []
     for cc in classes:
+        mask = cc.mask
+        if mask not in seen and mask != 0 and mask != full:
+            seen.add(mask)
+            masks.append(mask)
+    groups: List[int] = [full]
+    for mask in masks:
         refined: List[int] = []
         for group in groups:
-            inside = group & cc.mask
-            outside = group & ~cc.mask
+            inside = group & mask
+            outside = group & ~mask
             if inside:
                 refined.append(inside)
             if outside:
                 refined.append(outside)
         groups = refined
+        if len(groups) >= ALPHABET_SIZE:
+            break  # fully refined: every byte is its own group
     # Deterministic code order: by smallest member byte.
     groups.sort(key=_lowest_bit)
     code_of_byte = [0] * ALPHABET_SIZE

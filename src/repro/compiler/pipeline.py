@@ -16,9 +16,11 @@ unfolded baseline size for CAMA/CA/eAP comparisons.
 
 from __future__ import annotations
 
+import dataclasses
+import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .. import telemetry
 from ..automata.ah import AHNBVA, is_counter_free, to_action_homogeneous
@@ -37,8 +39,11 @@ from ..regex.rewrite import (
     unfold_all,
 )
 from ..resilience.budget import Budget, BudgetClock
-from ..resilience.errors import ReproError
+from ..resilience.errors import CapacityError, ReproError
 from ..resilience.report import CompileReport, report_from_error
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a hard import
+    from .cache import CompileCache
 from .encoding import EncodingSchema, build_encoding
 from .mapping import ArchParams, AutomatonDemand, MappingError, MappingResult, map_automata
 from .translate import translate
@@ -76,7 +81,7 @@ def virtual_width(scope_high: int) -> int:
     for size in VIRTUAL_SIZES:
         if size >= scope_high:
             return size
-    raise ValueError(f"scope bound {scope_high} exceeds the hardware BV")
+    raise CapacityError(f"scope bound {scope_high} exceeds the hardware BV")
 
 
 def swap_words(virtual_size: int, word_bits: int = 8) -> int:
@@ -244,9 +249,168 @@ def compile_ast(
     )
 
 
+def compile_pattern_isolated(
+    pattern: str,
+    regex_id: int = 0,
+    options: CompilerOptions = CompilerOptions(),
+    clock: Optional[BudgetClock] = None,
+    cache: "Optional[CompileCache]" = None,
+) -> Tuple[Optional[CompiledRegex], CompileReport]:
+    """Compile one pattern, converting failures into a quarantine report.
+
+    The shared fault-isolation primitive under :func:`compile_ruleset`
+    and :class:`repro.matching.PatternSet`: a malformed, unsupported,
+    budget-busting, or oversized pattern yields ``(None, report)``
+    instead of raising.  Only a batch-wide deadline expiry
+    (``kind == "deadline"``) propagates, since nothing compiled after it
+    could succeed either.  When ``cache`` is given, a hit skips the
+    pipeline entirely and a successful compile is stored back.
+    """
+    started = time.perf_counter()
+    if cache is not None:
+        hit = cache.get(pattern, options, regex_id)
+        if hit is not None:
+            return hit, CompileReport(
+                pattern_id=regex_id,
+                pattern=pattern,
+                elapsed_s=time.perf_counter() - started,
+            )
+    try:
+        compiled = compile_pattern(pattern, regex_id, options, clock=clock)
+    except ReproError as error:
+        if getattr(error, "kind", None) == "deadline":
+            raise  # batch-wide budget: nothing later can succeed
+        return None, report_from_error(
+            regex_id, pattern, error, elapsed_s=time.perf_counter() - started
+        )
+    except ValueError as error:
+        return None, report_from_error(
+            regex_id, pattern, error, elapsed_s=time.perf_counter() - started
+        )
+    if cache is not None:
+        cache.put(pattern, options, compiled)
+    return compiled, CompileReport(
+        pattern_id=regex_id,
+        pattern=pattern,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+# Per-worker compiler options, installed by the pool initializer so job
+# payloads stay small (one (id, pattern) tuple per task).
+_WORKER_OPTIONS: Optional[CompilerOptions] = None
+
+
+def _parallel_init(options: CompilerOptions) -> None:
+    global _WORKER_OPTIONS
+    _WORKER_OPTIONS = options
+
+
+def _parallel_compile(
+    job: Tuple[int, str],
+) -> Tuple[int, Optional[CompiledRegex], CompileReport]:
+    regex_id, pattern = job
+    compiled, report = compile_pattern_isolated(
+        pattern, regex_id, _WORKER_OPTIONS
+    )
+    return regex_id, compiled, report
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # Fork keeps worker start-up cheap and inherits the imported compiler;
+    # platforms without it (Windows, some macOS configs) spawn instead.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return multiprocessing.get_context()
+
+
+def _compile_batch(
+    patterns: Sequence[str],
+    options: CompilerOptions,
+    clock: BudgetClock,
+    cache: "Optional[CompileCache]",
+    jobs: int,
+) -> Tuple[List[CompiledRegex], Dict[int, str], List[CompileReport]]:
+    """Compile every pattern (serially or on a process pool), preserving
+    input order in the outputs."""
+    slots: List[Optional[CompiledRegex]] = [None] * len(patterns)
+    reports: List[Optional[CompileReport]] = [None] * len(patterns)
+
+    pending: List[Tuple[int, str]] = []
+    for regex_id, pattern in enumerate(patterns):
+        if cache is not None:
+            hit = cache.get(pattern, options, regex_id)
+            if hit is not None:
+                slots[regex_id] = hit
+                reports[regex_id] = CompileReport(
+                    pattern_id=regex_id, pattern=pattern
+                )
+                continue
+        pending.append((regex_id, pattern))
+
+    workers = min(jobs, len(pending))
+    if workers > 1:
+        # Workers compile with the deadline stripped: the batch-wide
+        # deadline is enforced here in the parent, which can time out a
+        # straggler without a clock race across processes.
+        worker_options = dataclasses.replace(
+            options,
+            budget=dataclasses.replace(options.budget, deadline_s=None),
+        )
+        if telemetry.metrics_enabled():
+            telemetry.registry().gauge("compile.parallel.workers").set(workers)
+        with _pool_context().Pool(
+            processes=workers,
+            initializer=_parallel_init,
+            initargs=(worker_options,),
+        ) as pool:
+            results = pool.imap(_parallel_compile, pending)
+            for _ in pending:
+                try:
+                    if clock.expiry is not None:
+                        remaining = clock.expiry - time.monotonic()
+                        if remaining <= 0:
+                            clock.check("compile")
+                        regex_id, compiled, report = results.next(
+                            timeout=remaining
+                        )
+                    else:
+                        regex_id, compiled, report = next(results)
+                except multiprocessing.TimeoutError:
+                    pool.terminate()
+                    clock.check("compile")  # raises: expiry has passed
+                slots[regex_id] = compiled
+                reports[regex_id] = report
+                if compiled is not None and cache is not None:
+                    cache.put(patterns[regex_id], options, compiled)
+    else:
+        # Cache lookups already happened above; compile misses directly
+        # and store the results, so each pattern costs one get + one put.
+        for regex_id, pattern in pending:
+            compiled, report = compile_pattern_isolated(
+                pattern, regex_id, options, clock=clock
+            )
+            slots[regex_id] = compiled
+            reports[regex_id] = report
+            if compiled is not None and cache is not None:
+                cache.put(pattern, options, compiled)
+
+    compiled_list = [regex for regex in slots if regex is not None]
+    final_reports = [report for report in reports if report is not None]
+    rejected = {
+        report.pattern_id: report.error or ""
+        for report in final_reports
+        if report.quarantined
+    }
+    return compiled_list, rejected, final_reports
+
+
 def compile_ruleset(
     patterns: Sequence[str],
     options: CompilerOptions = CompilerOptions(),
+    cache: "Optional[CompileCache]" = None,
+    jobs: int = 1,
 ) -> CompiledRuleset:
     """Compile and map a whole rule set with per-pattern fault isolation.
 
@@ -257,42 +421,17 @@ def compile_ruleset(
     patterns compile normally (§6).  Only a batch-wide budget deadline
     (``options.budget.deadline_s``) aborts the whole call, since an
     expired deadline would starve every later pattern anyway.
+
+    ``cache`` short-circuits per-pattern compilation through a
+    :class:`repro.compiler.cache.CompileCache`; ``jobs > 1`` compiles
+    cache misses on a process pool (deterministic output order, same
+    quarantine semantics, deadline still enforced batch-wide).
     """
     clock = options.budget.start()
     with telemetry.span("compile.ruleset", "compile", patterns=len(patterns)):
-        compiled: List[CompiledRegex] = []
-        rejected: Dict[int, str] = {}
-        reports: List[CompileReport] = []
-        for regex_id, pattern in enumerate(patterns):
-            started = time.perf_counter()
-            try:
-                compiled.append(
-                    compile_pattern(pattern, regex_id, options, clock=clock)
-                )
-            except ReproError as error:
-                if getattr(error, "kind", None) == "deadline":
-                    raise  # batch-wide budget: nothing later can succeed
-                report = report_from_error(
-                    regex_id, pattern, error,
-                    elapsed_s=time.perf_counter() - started,
-                )
-                reports.append(report)
-                rejected[regex_id] = report.error or str(error)
-            except ValueError as error:
-                report = report_from_error(
-                    regex_id, pattern, error,
-                    elapsed_s=time.perf_counter() - started,
-                )
-                reports.append(report)
-                rejected[regex_id] = report.error or str(error)
-            else:
-                reports.append(
-                    CompileReport(
-                        pattern_id=regex_id,
-                        pattern=pattern,
-                        elapsed_s=time.perf_counter() - started,
-                    )
-                )
+        compiled, rejected, reports = _compile_batch(
+            patterns, options, clock, cache, jobs
+        )
 
         classes = [
             state.cc for regex in compiled for state in regex.ah.states

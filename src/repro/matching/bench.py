@@ -227,6 +227,52 @@ def bench_grid(
     return record
 
 
+def bench_compile_cache(
+    profile_name: str = "RegexLib",
+    num_patterns: int = 64,
+    options: CompilerOptions = CompilerOptions(),
+    repeats: int = 3,
+    seed: int = 1,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
+) -> Dict[str, object]:
+    """Cold-vs-warm ruleset compile through the content-addressed cache.
+
+    *Cold* is the first :func:`~repro.compiler.pipeline.compile_ruleset`
+    against a fresh cache (every pattern misses and compiles); *warm* is
+    the best of ``repeats`` immediate recompiles of the same rule set
+    (every pattern hits).  The ratio is the compile-reuse headline the
+    perf record tracks alongside the scan grid.
+    """
+    from ..compiler.cache import CompileCache
+    from ..compiler.pipeline import compile_ruleset
+
+    patterns = load_dataset(profile_name, num_patterns, seed)
+    cache = CompileCache(cache_dir=cache_dir)
+    start = time.perf_counter()
+    cold_ruleset = compile_ruleset(patterns, options, cache=cache, jobs=jobs)
+    cold_s = time.perf_counter() - start
+    warm_s = _best_of(
+        lambda: compile_ruleset(patterns, options, cache=cache, jobs=jobs),
+        repeats,
+    )
+    info = cache.cache_info()
+    record: Dict[str, object] = {
+        "profile": profile_name,
+        "num_patterns": num_patterns,
+        "compiled": len(cold_ruleset.regexes),
+        "jobs": jobs,
+        "disk_cache": cache_dir is not None,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "cache_hits": info["hits"],
+        "cache_misses": info["misses"],
+    }
+    if warm_s > 0:
+        record["warm_speedup"] = round(cold_s / warm_s, 2)
+    return record
+
+
 def format_grid(record: Dict[str, object]) -> str:
     """Human-readable table of a :func:`bench_grid` record."""
     lines = [
@@ -259,6 +305,18 @@ def format_grid(record: Dict[str, object]) -> str:
                 f"{row['shards']:>9} workers {row['throughput_mbps']:>8.2f}MB"
                 + (f" {speedup:>11.2f}x vs fused" if speedup else "")
             )
+    cache = record.get("compile_cache")
+    if cache:
+        lines.append(
+            f"compile cache — {cache['num_patterns']} patterns: "
+            f"cold {cache['cold_s'] * 1e3:.1f}ms, "
+            f"warm {cache['warm_s'] * 1e3:.1f}ms"
+            + (
+                f" ({cache['warm_speedup']:.1f}x warm speedup)"
+                if "warm_speedup" in cache
+                else ""
+            )
+        )
     return "\n".join(lines)
 
 

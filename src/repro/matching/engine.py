@@ -41,30 +41,37 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .. import telemetry
 from .._bits import popcount
+from ..automata.ah import is_counter_free
 from ..automata.nca import NCAMatcher
 from ..compiler.pipeline import (
     CompiledRegex,
     CompilerOptions,
+    build_scan_nfa,
     build_unfolded_nfa,
     compile_pattern,
+    compile_pattern_isolated,
 )
 from ..resilience.budget import Budget
 from ..resilience.report import (
     STATUS_DEGRADED,
     CompileReport,
-    report_from_error,
 )
 from .fused import (
     DEFAULT_CACHE_BYTES,
     FusedMatcher,
-    fuse_nfas,
+    append_nfas,
     fuse_patterns,
+    remap_active,
+    subset_fused,
 )
 from .sharded import ShardedScanner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..compiler.cache import CompileCache
 
 ENGINES = ("ah", "nbva", "nca", "nfa", "fused", "sharded")
 
@@ -166,6 +173,7 @@ class PatternSet:
         degradation: Optional[DegradationPolicy] = None,
         shards: Optional[int] = None,
         shard_backend: str = "process",
+        cache: "Optional[CompileCache]" = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -180,10 +188,12 @@ class PatternSet:
         self.budget = options.budget
         self.on_error = on_error
         self.degradation = degradation
+        self._cache = cache
         self.reports: List[CompileReport] = []
         self.degradations: List[DegradationEvent] = []
         self.compiled: List[CompiledRegex] = []
         self._pattern_ids: List[int] = []
+        self._next_id = len(patterns)
         self._compile(patterns)
         self._demoted: List[Tuple[int, object]] = []
         self._deg_hits = 0
@@ -215,41 +225,54 @@ class PatternSet:
 
     # -- compilation ---------------------------------------------------
 
-    def _compile(self, patterns: Sequence[str]) -> None:
+    def _compile(
+        self, patterns: Sequence[str], id_base: int = 0
+    ) -> List[CompiledRegex]:
+        """Compile ``patterns`` (assigned ids ``id_base`` onward) into the
+        set; shares :func:`compile_pattern_isolated` with
+        :func:`repro.compiler.pipeline.compile_ruleset`, so quarantine
+        semantics and cache behaviour are identical.  Returns the newly
+        compiled survivors in id order."""
         clock = self.budget.start()
         quarantined = 0
-        for regex_id, pattern in enumerate(patterns):
-            started = time.perf_counter()
-            try:
-                compiled = compile_pattern(
-                    pattern, regex_id, self.options, clock=clock
+        fresh: List[CompiledRegex] = []
+        for offset, pattern in enumerate(patterns):
+            regex_id = id_base + offset
+            if self.on_error == "raise":
+                started = time.perf_counter()
+                compiled = (
+                    self._cache.get(pattern, self.options, regex_id)
+                    if self._cache is not None
+                    else None
                 )
-            except ValueError as error:
-                deadline = getattr(error, "kind", None) == "deadline"
-                if self.on_error == "raise" or deadline:
-                    raise
-                quarantined += 1
-                self.reports.append(
-                    report_from_error(
-                        regex_id,
-                        pattern,
-                        error,
-                        elapsed_s=time.perf_counter() - started,
-                        default_phase="compile",
+                if compiled is None:
+                    compiled = compile_pattern(
+                        pattern, regex_id, self.options, clock=clock
                     )
-                )
-                continue
-            self.compiled.append(compiled)
-            self._pattern_ids.append(regex_id)
-            self.reports.append(
-                CompileReport(
+                    if self._cache is not None:
+                        self._cache.put(pattern, self.options, compiled)
+                report = CompileReport(
                     pattern_id=regex_id,
                     pattern=pattern,
                     elapsed_s=time.perf_counter() - started,
                 )
-            )
+            else:
+                compiled, report = compile_pattern_isolated(
+                    pattern, regex_id, self.options,
+                    clock=clock, cache=self._cache,
+                )
+                if report.phase is None and report.quarantined:
+                    report.phase = "compile"
+            self.reports.append(report)
+            if compiled is None:
+                quarantined += 1
+                continue
+            self.compiled.append(compiled)
+            self._pattern_ids.append(regex_id)
+            fresh.append(compiled)
         if quarantined and telemetry.metrics_enabled():
             telemetry.registry().counter("compile.quarantined").inc(quarantined)
+        return fresh
 
     def _make_matcher(self, compiled: CompiledRegex, engine: Optional[str] = None):
         engine = engine or self.engine
@@ -260,6 +283,107 @@ class PatternSet:
         if engine == "nca":
             return NCAMatcher(compiled.nbva)
         return build_unfolded_nfa(compiled.parsed).matcher()
+
+    # -- incremental updates -------------------------------------------
+
+    def add_patterns(self, patterns: Sequence[str]) -> List[int]:
+        """Compile and add patterns without rebuilding the whole set.
+
+        Returns the pattern ids assigned to ``patterns`` in order (ids
+        keep ascending monotonically across the set's lifetime, so they
+        never collide with existing or previously removed ids; a
+        quarantined addition still consumes its id).  Only the delta is
+        integrated: the fused engine appends the new scan NFAs to the
+        combined state space (existing activation preserved bit for
+        bit), the sharded engine routes each new pattern to the lightest
+        shard and restarts only the touched shards, and the per-pattern
+        engines just grow their matcher lists.  The resulting match
+        stream is byte-identical to a from-scratch build over the same
+        patterns with the same ids.
+        """
+        id_base = self._next_id
+        self._next_id += len(patterns)
+        fresh = self._compile(patterns, id_base=id_base)
+        new_ids = [c.regex_id for c in fresh]
+        if fresh:
+            if self._sharded is not None:
+                self._sharded.add_patterns(fresh, new_ids)
+            elif self._fused is not None:
+                old = self._fused
+                nfas = [build_scan_nfa(c) for c in fresh]
+                sources = [
+                    "ah" if is_counter_free(c.ah) else "unfolded"
+                    for c in fresh
+                ]
+                matcher = FusedMatcher(
+                    append_nfas(old.fused, nfas, sources),
+                    cache_size=old._cache_size,
+                    cache_bytes=old._cache_byte_limit,
+                )
+                matcher.active = old.active
+                self._fused = matcher
+                self._fused_ids.extend(new_ids)
+                self._fused_compiled.extend(fresh)
+            else:
+                self._matchers.extend(
+                    self._make_matcher(c) for c in fresh
+                )
+        return list(range(id_base, self._next_id))
+
+    def remove_patterns(self, pattern_ids: Sequence[int]) -> None:
+        """Remove patterns by id without rebuilding the whole set.
+
+        Surviving patterns keep their ids and — on the fused engine —
+        their in-flight activation (the active mask is remapped onto the
+        re-fused state space).  The sharded engine re-fuses and restarts
+        only the shards that held a removed pattern; shards left empty
+        are retired.  Removing a quarantined id just drops its report.
+        Raises ``ValueError`` for ids the set never assigned.
+        """
+        remove = set(pattern_ids)
+        unknown = remove - {r.pattern_id for r in self.reports}
+        if unknown:
+            raise ValueError(f"unknown pattern ids: {sorted(unknown)}")
+        engine_present = remove.intersection(self._pattern_ids)
+        keep_idx = [
+            i for i, pid in enumerate(self._pattern_ids)
+            if pid not in remove
+        ]
+        self.reports = [
+            r for r in self.reports if r.pattern_id not in remove
+        ]
+        if self._sharded is not None:
+            if engine_present:
+                self._sharded.remove_patterns(sorted(engine_present))
+        elif self._fused is not None:
+            self._demoted = [
+                (pid, m) for pid, m in self._demoted if pid not in remove
+            ]
+            keep_slots = [
+                slot for slot, pid in enumerate(self._fused_ids)
+                if pid not in remove
+            ]
+            if len(keep_slots) < len(self._fused_ids):
+                old = self._fused
+                matcher = FusedMatcher(
+                    subset_fused(old.fused, keep_slots),
+                    cache_size=old._cache_size,
+                    cache_bytes=old._cache_byte_limit,
+                )
+                matcher.active = remap_active(
+                    old.fused, keep_slots, old.active
+                )
+                self._fused = matcher
+                self._fused_ids = [
+                    self._fused_ids[s] for s in keep_slots
+                ]
+                self._fused_compiled = [
+                    self._fused_compiled[s] for s in keep_slots
+                ]
+        else:
+            self._matchers = [self._matchers[i] for i in keep_idx]
+        self.compiled = [self.compiled[i] for i in keep_idx]
+        self._pattern_ids = [self._pattern_ids[i] for i in keep_idx]
 
     @property
     def patterns(self) -> List[str]:
@@ -523,21 +647,12 @@ class PatternSet:
         if matcher is None:
             return  # nothing in the chain can host it; stay fused
         keep = [i for i in range(len(self._fused_ids)) if i != slot]
-        new_fused = fuse_nfas([automaton.nfas[i] for i in keep])
-        if automaton.sources:
-            new_fused.sources = [automaton.sources[i] for i in keep]
-        new_active = 0
-        shift = 0
-        for i in keep:
-            lo, hi = automaton.pattern_slice(i)
-            new_active |= ((fused.active >> lo) & ((1 << (hi - lo)) - 1)) << shift
-            shift += hi - lo
         new_matcher = FusedMatcher(
-            new_fused,
+            subset_fused(automaton, keep),
             cache_size=fused._cache_size,
             cache_bytes=fused._cache_byte_limit,
         )
-        new_matcher.active = new_active
+        new_matcher.active = remap_active(automaton, keep, fused.active)
         self._fused = new_matcher
         self._fused_ids = [self._fused_ids[i] for i in keep]
         self._fused_compiled = [self._fused_compiled[i] for i in keep]

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .._bits import popcount
 from ..automata.ah import is_counter_free
@@ -152,6 +152,94 @@ def fuse_nfas(nfas: Sequence[NFA]) -> FusedAutomaton:
         offsets=offsets,
         nfas=list(nfas),
     )
+
+
+def append_nfas(
+    fused: FusedAutomaton,
+    nfas: Sequence[NFA],
+    sources: Optional[Sequence[str]] = None,
+) -> FusedAutomaton:
+    """A new :class:`FusedAutomaton` with ``nfas`` appended as new patterns.
+
+    The incremental counterpart of :func:`fuse_nfas`: every existing
+    combined state keeps its index (only new states are added at the
+    end), so an in-flight active mask from the old automaton remains
+    valid against the new one — appended patterns simply start from the
+    empty activation.  The input ``fused`` is not modified.
+    """
+    classes = list(fused.classes)
+    transitions = list(fused.transitions)
+    initial = set(fused.initial)
+    state_pattern = list(fused.state_pattern)
+    finals = dict(fused.finals)
+    offsets = list(fused.offsets)
+    combined_nfas = list(fused.nfas)
+    for nfa in nfas:
+        pattern_id = len(offsets)
+        base = len(classes)
+        offsets.append(base)
+        classes.extend(nfa.classes)
+        transitions.extend(
+            [base + dst for dst in dsts] for dsts in nfa.transitions
+        )
+        initial.update(base + state for state in nfa.initial)
+        state_pattern.extend([pattern_id] * nfa.num_states)
+        for state in nfa.final:
+            finals[base + state] = pattern_id
+        combined_nfas.append(nfa)
+    out = FusedAutomaton(
+        classes=classes,
+        transitions=transitions,
+        initial=initial,
+        state_pattern=state_pattern,
+        finals=finals,
+        offsets=offsets,
+        nfas=combined_nfas,
+    )
+    if fused.sources or sources is not None:
+        old_sources = (
+            list(fused.sources)
+            if fused.sources
+            else ["unknown"] * fused.num_patterns
+        )
+        new_sources = (
+            list(sources) if sources is not None else ["unknown"] * len(nfas)
+        )
+        if len(new_sources) != len(nfas):
+            raise ValueError("sources and nfas must align")
+        out.sources = old_sources + new_sources
+    return out
+
+
+def subset_fused(fused: FusedAutomaton, keep: Sequence[int]) -> FusedAutomaton:
+    """Re-fuse only the pattern slots in ``keep`` (in the given order).
+
+    The slot -> combined-state remap of the dropped automaton is undone
+    by re-fusing the kept per-pattern NFAs, which is cheap because the
+    originals are retained on :attr:`FusedAutomaton.nfas` — no pattern
+    recompiles.  Pair with :func:`remap_active` to carry a live
+    activation across the rebuild.
+    """
+    out = fuse_nfas([fused.nfas[slot] for slot in keep])
+    if fused.sources:
+        out.sources = [fused.sources[slot] for slot in keep]
+    return out
+
+
+def remap_active(fused: FusedAutomaton, keep: Sequence[int], active: int) -> int:
+    """Translate an ``fused`` active mask onto ``subset_fused(fused, keep)``.
+
+    Kept slots' state bits shift down to their new combined offsets;
+    dropped slots' bits vanish.  In-flight partial matches of surviving
+    patterns are therefore preserved exactly.
+    """
+    new_active = 0
+    shift = 0
+    for slot in keep:
+        low, high = fused.pattern_slice(slot)
+        new_active |= ((active >> low) & ((1 << (high - low)) - 1)) << shift
+        shift += high - low
+    return new_active
 
 
 def fuse_patterns(compiled: Sequence[CompiledRegex]) -> FusedAutomaton:

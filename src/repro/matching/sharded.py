@@ -290,6 +290,12 @@ class _Shard:
     slots: List[int]
     pattern_ids: List[int]
     automaton: FusedAutomaton
+    #: The shard's compiled patterns, kept so incremental add/remove can
+    #: re-fuse just this shard without the whole-set compiled list.
+    compiled: List[CompiledRegex] = field(default_factory=list)
+    #: Running cost-model total; the incremental planner assigns new
+    #: patterns to the currently lightest shard by this number.
+    cost: float = 0.0
     process: Optional[object] = None  # multiprocessing.Process
     conn: Optional[object] = None  # parent end of the duplex pipe
     inline: Optional[_InlineShard] = None
@@ -363,12 +369,15 @@ class ShardedScanner:
         self._shards: List[_Shard] = []
         ids = list(pattern_ids)
         for index, slots in enumerate(self.plan.shards):
+            members = [compiled[slot] for slot in slots]
             self._shards.append(
                 _Shard(
                     index=index,
                     slots=list(slots),
                     pattern_ids=[ids[slot] for slot in slots],
-                    automaton=fuse_patterns([compiled[slot] for slot in slots]),
+                    automaton=fuse_patterns(members),
+                    compiled=members,
+                    cost=self.plan.costs[index],
                 )
             )
 
@@ -398,6 +407,52 @@ class ShardedScanner:
         except ValueError:  # platform without fork
             return multiprocessing.get_context()
 
+    def _start_shard(self, shard: _Shard) -> None:
+        """Launch one shard's execution backend (worker or inline)."""
+        if self.backend == "inline":
+            shard.inline = _InlineShard(
+                shard.automaton, shard.pattern_ids, self.cache_bytes
+            )
+            return
+        ctx = self._context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                child_conn,
+                shard.automaton,
+                shard.pattern_ids,
+                self.cache_bytes,
+            ),
+            daemon=True,
+            name=f"repro-shard-{shard.index}",
+        )
+        process.start()
+        child_conn.close()
+        shard.process = process
+        shard.conn = parent_conn
+
+    def _stop_shard(self, shard: _Shard) -> None:
+        """Tear down one shard's backend, leaving its bookkeeping alone."""
+        if shard.conn is not None:
+            try:
+                if shard.alive:
+                    shard.conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            shard.conn = None
+        if shard.process is not None:
+            shard.process.join(timeout=2.0)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=2.0)
+            shard.process = None
+        shard.inline = None
+
     def start(self) -> None:
         """Start the workers (idempotent; feed/reset call this lazily)."""
         if self._started:
@@ -405,31 +460,9 @@ class ShardedScanner:
         if self._closed:
             raise RuntimeError("ShardedScanner is closed")
         self._started = True
-        if self.backend == "inline":
-            for shard in self._shards:
-                shard.inline = _InlineShard(
-                    shard.automaton, shard.pattern_ids, self.cache_bytes
-                )
-            return
-        ctx = self._context()
         for shard in self._shards:
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            process = ctx.Process(
-                target=_shard_worker_main,
-                args=(
-                    child_conn,
-                    shard.automaton,
-                    shard.pattern_ids,
-                    self.cache_bytes,
-                ),
-                daemon=True,
-                name=f"repro-shard-{shard.index}",
-            )
-            process.start()
-            child_conn.close()
-            shard.process = process
-            shard.conn = parent_conn
-        if telemetry.metrics_enabled():
+            self._start_shard(shard)
+        if self.backend == "process" and telemetry.metrics_enabled():
             telemetry.registry().gauge("scan.shard.workers").set(
                 len(self.live_shards())
             )
@@ -442,24 +475,7 @@ class ShardedScanner:
         if not self._started:
             return
         for shard in self._shards:
-            if shard.conn is not None:
-                try:
-                    if shard.alive:
-                        shard.conn.send(("stop",))
-                except (OSError, ValueError, BrokenPipeError):
-                    pass
-                try:
-                    shard.conn.close()
-                except OSError:
-                    pass
-                shard.conn = None
-            if shard.process is not None:
-                shard.process.join(timeout=2.0)
-                if shard.process.is_alive():
-                    shard.process.terminate()
-                    shard.process.join(timeout=2.0)
-                shard.process = None
-            shard.inline = None
+            self._stop_shard(shard)
             shard.alive = False
 
     def __enter__(self) -> "ShardedScanner":
@@ -474,6 +490,96 @@ class ShardedScanner:
             self.close()
         except Exception:
             pass
+
+    # -- incremental updates -------------------------------------------
+
+    def _restart_shard(self, shard: _Shard) -> None:
+        """Re-fuse one shard after its pattern list changed and relaunch
+        only its backend.  The restarted shard resumes from the empty
+        activation; untouched shards keep their workers and state."""
+        shard.automaton = fuse_patterns(shard.compiled)
+        shard.pending.clear()
+        if self._started and shard.alive:
+            self._stop_shard(shard)
+            self._start_shard(shard)
+
+    def add_patterns(
+        self,
+        compiled: Sequence[CompiledRegex],
+        pattern_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Add compiled patterns, re-fusing only the shards that receive
+        them.
+
+        Each pattern is assigned to the currently lightest live shard by
+        the running cost totals — the online counterpart of the greedy
+        LPT plan — so an add touches (and restarts) as few shards as
+        possible.  When every shard has degraded, a fresh shard is
+        created to host the new patterns.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedScanner is closed")
+        if pattern_ids is None:
+            pattern_ids = [c.regex_id for c in compiled]
+        if len(pattern_ids) != len(compiled):
+            raise ValueError("pattern_ids and compiled must align")
+        touched = []
+        for regex, pattern_id in zip(compiled, pattern_ids):
+            cost = estimate_cost(regex).cost
+            live = [s for s in self._shards if s.alive]
+            if not live:
+                shard = _Shard(
+                    index=len(self._shards),
+                    slots=[],
+                    pattern_ids=[],
+                    automaton=fuse_patterns([]),
+                    compiled=[],
+                )
+                self._shards.append(shard)
+                live = [shard]
+            shard = min(live, key=lambda s: (s.cost, s.index))
+            shard.compiled.append(regex)
+            shard.pattern_ids.append(pattern_id)
+            shard.cost += cost
+            if shard not in touched:
+                touched.append(shard)
+        for shard in touched:
+            self._restart_shard(shard)
+
+    def remove_patterns(self, pattern_ids: Sequence[int]) -> None:
+        """Drop patterns, re-fusing only the shards that held them.
+
+        Shards left empty are retired entirely (worker stopped, shard
+        removed from the rotation).  Raises ``ValueError`` if any id is
+        unknown to the scanner.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedScanner is closed")
+        remove = set(pattern_ids)
+        known = {pid for s in self._shards for pid in s.pattern_ids}
+        unknown = remove - known
+        if unknown:
+            raise ValueError(f"unknown pattern ids: {sorted(unknown)}")
+        survivors = []
+        for shard in self._shards:
+            if not remove.intersection(shard.pattern_ids):
+                survivors.append(shard)
+                continue
+            keep = [
+                i for i, pid in enumerate(shard.pattern_ids)
+                if pid not in remove
+            ]
+            shard.compiled = [shard.compiled[i] for i in keep]
+            shard.pattern_ids = [shard.pattern_ids[i] for i in keep]
+            shard.cost = sum(
+                estimate_cost(c).cost for c in shard.compiled
+            )
+            if shard.compiled:
+                self._restart_shard(shard)
+                survivors.append(shard)
+            else:
+                self._stop_shard(shard)
+        self._shards = survivors
 
     # -- failure handling ----------------------------------------------
 

@@ -13,6 +13,7 @@ Nodes are immutable and hashable so rewrite passes can memoise on them.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Tuple
 
@@ -23,6 +24,17 @@ class Regex:
     """Base class for all regex AST nodes."""
 
     __slots__ = ()
+
+    def __reduce__(self) -> tuple:
+        # The nodes are frozen dataclasses with __slots__, a combination
+        # the default pickle protocol cannot restore (it setattrs into
+        # the frozen instance).  Rebuild through the constructor instead
+        # — needed by the on-disk compile cache and the parallel
+        # compile workers, which ship whole CompiledRegex objects.
+        return (
+            type(self),
+            tuple(getattr(self, f.name) for f in dataclasses.fields(self)),
+        )
 
     def __or__(self, other: "Regex") -> "Regex":
         return alternation(self, other)

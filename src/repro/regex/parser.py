@@ -9,7 +9,10 @@ Supports the constructs used by the paper's benchmark rule sets:
 * grouping ``( )`` / ``(?: )``, alternation ``|``
 * quantifiers ``* + ?`` and bounded repetition ``{n}``, ``{m,}``, ``{m,n}``
 * optional lazy-quantifier suffix ``?`` (ignored: for the *match-detection*
-  semantics of automata processors, greedy and lazy are equivalent)
+  semantics of automata processors, greedy and lazy are equivalent);
+  stacking a second quantifier directly on a quantified atom (``a**``,
+  ``a+*``, ``a{2,3}*``, possessive-looking ``a*+``) raises the same
+  "multiple repeat" syntax error PCRE and Python's ``re`` produce
 * the case-insensitive flag, inline (``(?i)``, ``(?i:...)``) or via
   ``parse(..., ignorecase=True)``: letters in literals and classes match
   both cases
@@ -162,28 +165,48 @@ class _Parser:
 
     def _quantified(self) -> ast.Regex:
         atom = self._atom()
-        while True:
-            char = self._peek()
-            if char == "*":
-                self.pos += 1
-                atom = ast.star(atom)
-            elif char == "+":
-                self.pos += 1
-                atom = ast.plus(atom)
-            elif char == "?":
-                self.pos += 1
-                atom = ast.optional(atom)
-            elif char == "{":
-                bounds = self._try_bounds()
-                if bounds is None:
-                    return atom
-                low, high = bounds
-                atom = ast.repeat(atom, low, high)
-            else:
+        char = self._peek()
+        if char == "*":
+            self.pos += 1
+            atom = ast.star(atom)
+        elif char == "+":
+            self.pos += 1
+            atom = ast.plus(atom)
+        elif char == "?":
+            self.pos += 1
+            atom = ast.optional(atom)
+        elif char == "{":
+            bounds = self._try_bounds()
+            if bounds is None:
                 return atom
-            # A trailing '?' marks a lazy quantifier; match-detection
-            # semantics is unaffected, so it is consumed and ignored.
-            self._eat("?")
+            low, high = bounds
+            atom = ast.repeat(atom, low, high)
+        else:
+            return atom
+        # A trailing '?' marks a lazy quantifier; match-detection
+        # semantics is unaffected, so it is consumed and ignored.
+        self._eat("?")
+        self._reject_stacked_quantifier()
+        return atom
+
+    def _reject_stacked_quantifier(self) -> None:
+        """Reject a second quantifier applied directly to a quantifier.
+
+        PCRE and Python's ``re`` raise "multiple repeat" for ``a**``,
+        ``a+*``, ``a{2,3}*`` and friends; silently collapsing them (the
+        old behaviour) masks pattern bugs.  The possessive-looking
+        ``a*+`` is rejected too: possessive quantifiers change the
+        matched language (``a*+a`` never matches), so treating ``+`` as
+        noise would be wrong.  Quantify a group instead: ``(a*)*``.
+        """
+        char = self._peek()
+        if char in ("*", "+", "?"):
+            raise self._error("multiple repeat")
+        if char == "{":
+            start = self.pos
+            if self._try_bounds() is not None:
+                self.pos = start
+                raise self._error("multiple repeat")
 
     def _try_bounds(self) -> Optional[Tuple[int, Optional[int]]]:
         """Parse ``{m}``, ``{m,}`` or ``{m,n}``; ``None`` on a literal brace."""

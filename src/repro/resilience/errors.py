@@ -71,12 +71,17 @@ class RegexSyntaxError(ReproError):
     code = "E_SYNTAX"
 
     def __init__(self, message: str, pattern: str = "", pos: int = 0) -> None:
-        super().__init__(f"{message} at position {pos} in {pattern!r}")
+        # Raised without pattern context (e.g. an unsupported construct
+        # detected far from the parser) the message stays plain.
+        where = f" at position {pos} in {pattern!r}" if pattern else ""
+        super().__init__(f"{message}{where}")
         self.reason = message
         self.pattern = pattern
         self.pos = pos
 
     def __str__(self) -> str:
+        if not self.pattern:
+            return self.message
         return f"{self.message}\n{self.caret_diagnostic()}"
 
     def caret_diagnostic(self, indent: int = 4) -> str:

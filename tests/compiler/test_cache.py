@@ -1,0 +1,233 @@
+"""Content-addressed compile cache: keys, layers, parallel compile."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.compiler.cache import (
+    CompileCache,
+    cache_key,
+    code_version,
+    options_fingerprint,
+)
+from repro.compiler.config import ruleset_to_config
+from repro.compiler.pipeline import (
+    CompilerOptions,
+    compile_pattern,
+    compile_ruleset,
+)
+from repro.resilience.budget import Budget, BudgetExceededError
+from repro.resilience.errors import ReproError
+
+PATTERNS = ["ab{3}c", "x{2,5}y", "[a-f]{4}", "foo|bar"]
+
+
+def _config_json(ruleset):
+    """Canonical serialisation for byte-level ruleset comparison."""
+    return json.dumps(ruleset_to_config(ruleset), sort_keys=True)
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        opts = CompilerOptions()
+        assert cache_key("a{3}b", opts) == cache_key("a{3}b", opts)
+
+    def test_pattern_changes_key(self):
+        opts = CompilerOptions()
+        assert cache_key("a{3}b", opts) != cache_key("a{4}b", opts)
+
+    def test_artifact_relevant_options_change_key(self):
+        base = CompilerOptions()
+        assert cache_key("a{3}b", base) != cache_key(
+            "a{3}b", CompilerOptions(bv_size=16)
+        )
+        assert cache_key("a{3}b", base) != cache_key(
+            "a{3}b", CompilerOptions(unfold_threshold=2)
+        )
+
+    def test_runtime_only_knobs_do_not_change_key(self):
+        base = CompilerOptions()
+        timed = CompilerOptions(budget=Budget(deadline_s=1.0))
+        assert options_fingerprint(base) == options_fingerprint(timed)
+        assert cache_key("a{3}b", base) == cache_key("a{3}b", timed)
+
+    def test_code_version_changes_key(self):
+        opts = CompilerOptions()
+        assert cache_key("a{3}b", opts, version="aaaa") != cache_key(
+            "a{3}b", opts, version="bbbb"
+        )
+
+    def test_code_version_is_cached_and_hexlike(self):
+        assert code_version() == code_version()
+        int(code_version(), 16)
+
+
+class TestMemoryLayer:
+    def test_miss_then_hit(self):
+        cache = CompileCache()
+        opts = CompilerOptions()
+        assert cache.get("a{3}b", opts) is None
+        compiled = compile_pattern("a{3}b", 0, opts)
+        cache.put("a{3}b", opts, compiled)
+        hit = cache.get("a{3}b", opts)
+        assert hit is not None
+        assert hit.nbva.match_ends(b"aaab") == compiled.nbva.match_ends(b"aaab")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_rebadges_regex_id(self):
+        cache = CompileCache()
+        opts = CompilerOptions()
+        cache.put("a{3}b", opts, compile_pattern("a{3}b", 0, opts))
+        hit = cache.get("a{3}b", opts, regex_id=7)
+        assert hit.regex_id == 7
+        # The stored entry is untouched.
+        assert cache.get("a{3}b", opts, regex_id=0).regex_id == 0
+
+    def test_lru_eviction(self):
+        cache = CompileCache(max_entries=2)
+        opts = CompilerOptions()
+        for i, pattern in enumerate(PATTERNS[:3]):
+            cache.put(pattern, opts, compile_pattern(pattern, i, opts))
+        assert cache.evictions == 1
+        assert cache.get(PATTERNS[0], opts) is None  # oldest evicted
+        assert cache.get(PATTERNS[2], opts) is not None
+
+    def test_rejects_degenerate_bounds(self):
+        with pytest.raises(ValueError):
+            CompileCache(max_entries=0)
+        with pytest.raises(ValueError):
+            CompileCache(max_disk_bytes=0)
+
+
+class TestDiskLayer:
+    def test_roundtrip_across_instances(self, tmp_path):
+        opts = CompilerOptions()
+        writer = CompileCache(cache_dir=str(tmp_path))
+        writer.put("a{3}b", opts, compile_pattern("a{3}b", 0, opts))
+
+        reader = CompileCache(cache_dir=str(tmp_path))
+        hit = reader.get("a{3}b", opts)
+        assert hit is not None
+        assert reader.disk_hits == 1
+        assert hit.nbva.match_ends(b"xaaab") == [4]
+
+    def test_corrupt_entry_is_dropped_and_recompiled(self, tmp_path):
+        opts = CompilerOptions()
+        cache = CompileCache(cache_dir=str(tmp_path))
+        cache.put("a{3}b", opts, compile_pattern("a{3}b", 0, opts))
+        key = cache.key_for("a{3}b", opts)
+        path = tmp_path / key[:2] / f"{key}.pkl"
+        path.write_bytes(b"\x80garbage")
+
+        fresh = CompileCache(cache_dir=str(tmp_path))
+        assert fresh.get("a{3}b", opts) is None
+        assert fresh.corrupt == 1
+        assert not path.exists()
+
+    def test_stale_version_is_treated_as_corrupt(self, tmp_path):
+        opts = CompilerOptions()
+        old = CompileCache(cache_dir=str(tmp_path), version="old0")
+        old.put("a{3}b", opts, compile_pattern("a{3}b", 0, opts))
+        key = old.key_for("a{3}b", opts)
+        path = tmp_path / key[:2] / f"{key}.pkl"
+        # Same key on disk, different code version inside the payload.
+        new = CompileCache(cache_dir=str(tmp_path), version="old0")
+        payload = pickle.loads(path.read_bytes())
+        path.write_bytes(pickle.dumps(("new0", payload[1])))
+        assert new.get("a{3}b", opts) is None
+        assert new.corrupt == 1
+
+    def test_disk_eviction_respects_byte_cap(self, tmp_path):
+        opts = CompilerOptions()
+        probe = CompileCache(cache_dir=str(tmp_path))
+        probe.put(PATTERNS[0], opts, compile_pattern(PATTERNS[0], 0, opts))
+        entry_bytes = probe.cache_info()["disk_bytes"]
+        probe.clear()
+
+        cache = CompileCache(
+            cache_dir=str(tmp_path), max_disk_bytes=int(entry_bytes * 2.5)
+        )
+        for i, pattern in enumerate(PATTERNS):
+            cache.put(pattern, opts, compile_pattern(pattern, i, opts))
+        assert cache.evictions >= 1
+        assert cache.cache_info()["disk_bytes"] <= entry_bytes * 2.5
+
+    def test_clear_empties_both_layers(self, tmp_path):
+        opts = CompilerOptions()
+        cache = CompileCache(cache_dir=str(tmp_path))
+        cache.put("a{3}b", opts, compile_pattern("a{3}b", 0, opts))
+        cache.clear()
+        assert cache.cache_info()["entries"] == 0
+        assert cache.cache_info()["disk_bytes"] == 0
+
+
+class TestCompileRulesetCache:
+    def test_warm_recompile_hits_every_pattern(self):
+        cache = CompileCache()
+        cold = compile_ruleset(PATTERNS, cache=cache)
+        assert cache.misses == len(PATTERNS) and cache.hits == 0
+        warm = compile_ruleset(PATTERNS, cache=cache)
+        assert cache.hits == len(PATTERNS)
+        assert [r.regex_id for r in warm.regexes] == [
+            r.regex_id for r in cold.regexes
+        ]
+        for a, b in zip(cold.regexes, warm.regexes):
+            assert a.pattern == b.pattern
+            assert a.nbva.match_ends(b"aaabxx") == b.nbva.match_ends(b"aaabxx")
+
+    def test_cached_ruleset_config_identical(self):
+        cache = CompileCache()
+        cold = compile_ruleset(PATTERNS, cache=cache)
+        warm = compile_ruleset(PATTERNS, cache=cache)
+        assert _config_json(cold) == _config_json(warm)
+
+    def test_shared_cache_across_rulesets(self):
+        cache = CompileCache()
+        compile_ruleset(PATTERNS[:2], cache=cache)
+        compile_ruleset(PATTERNS, cache=cache)  # 2 hits + 2 misses
+        assert cache.hits == 2
+        assert cache.misses == 4
+
+
+class TestParallelCompile:
+    def test_jobs_matches_serial_output(self):
+        serial = compile_ruleset(PATTERNS, jobs=1)
+        parallel = compile_ruleset(PATTERNS, jobs=2)
+        assert _config_json(serial) == _config_json(parallel)
+        assert [r.regex_id for r in parallel.regexes] == [0, 1, 2, 3]
+
+    def test_jobs_with_quarantine_preserves_ids(self):
+        patterns = ["ab", "bad(", "cd", "e**"]
+        serial = compile_ruleset(patterns, jobs=1)
+        parallel = compile_ruleset(patterns, jobs=2)
+        assert sorted(serial.quarantined) == sorted(parallel.quarantined) == [1, 3]
+        assert _config_json(serial) == _config_json(parallel)
+
+    def test_jobs_fills_shared_cache(self):
+        cache = CompileCache()
+        compile_ruleset(PATTERNS, cache=cache, jobs=2)
+        assert cache.misses == len(PATTERNS)
+        compile_ruleset(PATTERNS, cache=cache, jobs=2)
+        assert cache.hits == len(PATTERNS)
+
+    def test_deadline_abort_propagates(self):
+        options = CompilerOptions(budget=Budget(deadline_s=0.0))
+        with pytest.raises(BudgetExceededError) as excinfo:
+            compile_ruleset(["a{2,60}b{2,60}"] * 8, options, jobs=2)
+        assert excinfo.value.kind == "deadline"
+
+
+class TestErrorTaxonomy:
+    def test_compile_pattern_raises_typed_errors_only(self):
+        """Invalid inputs surface as ReproError, never bare ValueError."""
+        for bad in ["a(", "a**", "[z-a]", "a{5,2}"]:
+            with pytest.raises(ReproError):
+                compile_pattern(bad)
+
+    def test_compile_ruleset_quarantines_with_error_codes(self):
+        """The batch API never leaks exceptions: structured reports only."""
+        ruleset = compile_ruleset(["ab", "a(", "a**"])
+        assert sorted(ruleset.quarantined) == [1, 2]
+        for report in ruleset.quarantined.values():
+            assert report.error_code is not None

@@ -1,0 +1,250 @@
+"""Incremental PatternSet updates: add/remove without full recompilation.
+
+The contract under test is *byte identity*: after any sequence of
+``add_patterns`` / ``remove_patterns`` calls, the match stream must be
+indistinguishable from a ``PatternSet`` built from scratch over the same
+surviving patterns with the same ids.
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.matching import ENGINES, PatternSet
+
+OPTIONS = CompilerOptions(bv_size=16, unfold_threshold=2)
+
+#: Pattern pool drawn from the golden-corpus shapes.
+POOL = [
+    "GET /[a-z]{4,12}",
+    "aa(bb|cc){3}dd",
+    "[0-9a-f]{8}",
+    "x{4,}y",
+    "C.{2,4}C.{3}H",
+    "[a-z]+@[a-z]{2,8}\\.com",
+    "\\d{3}-\\d{4}",
+    "a(b?c){2,5}d",
+    "b{17}",
+    "xa{0,5}y",
+]
+
+DATA = (
+    b"GET /admin aabbccbbdd deadbeef xxxxy CaaCxyzH bob@mail.com "
+    b"555-1234 abcbccd " + b"b" * 20 + b" xaaay xy"
+)
+
+INCREMENTAL_ENGINES = [e for e in ENGINES if e in ("fused", "sharded")] + [
+    e for e in ENGINES if e not in ("fused", "sharded")
+]
+
+
+def stream(ps, data=DATA):
+    return [(m.pattern_id, m.end) for m in ps.scan(data)]
+
+
+def fresh(patterns, engine, **kwargs):
+    return PatternSet(patterns, options=OPTIONS, engine=engine, **kwargs)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestAddPatterns:
+    def test_add_matches_from_scratch(self, engine):
+        ps = fresh(POOL[:4], engine)
+        try:
+            ids = ps.add_patterns(POOL[4:7])
+            assert ids == [4, 5, 6]
+            expected = fresh(POOL[:7], engine)
+            try:
+                assert stream(ps) == stream(expected)
+            finally:
+                expected.close()
+        finally:
+            ps.close()
+
+    def test_add_to_empty_set(self, engine):
+        ps = fresh([], engine)
+        try:
+            assert ps.add_patterns(POOL[:3]) == [0, 1, 2]
+            expected = fresh(POOL[:3], engine)
+            try:
+                assert stream(ps) == stream(expected)
+            finally:
+                expected.close()
+        finally:
+            ps.close()
+
+    def test_repeated_adds(self, engine):
+        ps = fresh(POOL[:2], engine)
+        try:
+            ps.add_patterns(POOL[2:5])
+            ps.add_patterns(POOL[5:8])
+            expected = fresh(POOL[:8], engine)
+            try:
+                assert stream(ps) == stream(expected)
+            finally:
+                expected.close()
+        finally:
+            ps.close()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestRemovePatterns:
+    def test_remove_matches_from_scratch(self, engine):
+        ps = fresh(POOL[:6], engine)
+        try:
+            ps.remove_patterns([1, 4])
+            survivors = fresh(
+                [POOL[0], POOL[2], POOL[3], POOL[5]], engine
+            )
+            try:
+                survivor_stream = stream(survivors)
+                # Re-badge from-scratch ids back to the original ids.
+                id_map = {0: 0, 1: 2, 2: 3, 3: 5}
+                expected = [(id_map[pid], end) for pid, end in survivor_stream]
+                assert sorted(stream(ps)) == sorted(expected)
+            finally:
+                survivors.close()
+        finally:
+            ps.close()
+
+    def test_remove_then_add(self, engine):
+        ps = fresh(POOL[:4], engine)
+        try:
+            ps.remove_patterns([0, 2])
+            ids = ps.add_patterns(POOL[4:6])
+            assert ids == [4, 5]  # ids never recycled
+            got = stream(ps)
+            expected_ids = {1, 3, 4, 5}
+            assert {pid for pid, _ in got} <= expected_ids
+            reference = fresh([POOL[1], POOL[3], POOL[4], POOL[5]], engine)
+            try:
+                id_map = {0: 1, 1: 3, 2: 4, 3: 5}
+                expected = [
+                    (id_map[pid], end) for pid, end in stream(reference)
+                ]
+                assert sorted(got) == sorted(expected)
+            finally:
+                reference.close()
+        finally:
+            ps.close()
+
+    def test_remove_unknown_id_raises(self, engine):
+        ps = fresh(POOL[:2], engine)
+        try:
+            with pytest.raises(ValueError):
+                ps.remove_patterns([9])
+        finally:
+            ps.close()
+
+    def test_remove_all(self, engine):
+        ps = fresh(POOL[:3], engine)
+        try:
+            ps.remove_patterns([0, 1, 2])
+            assert stream(ps) == []
+        finally:
+            ps.close()
+
+
+class TestStreamingStatePreserved:
+    """Fused adds/removes must not disturb in-flight activation.
+
+    (The sharded engine restarts only the *touched* shards from empty
+    activation; untouched shards keep theirs — covered below.)
+    """
+
+    def test_add_mid_stream_keeps_partial_match(self):
+        ps = fresh(["ab{3}c"], "fused")
+        try:
+            ps.reset()
+            assert ps.feed(b"ab") == []  # partial match in flight
+            ps.add_patterns(["xy"])
+            got = [(m.pattern_id, m.end) for m in ps.feed(b"bbc xy")]
+            assert (0, 2) in got  # 'abbbc' completes across the add
+            assert (1, 5) in got  # the added pattern matches too
+        finally:
+            ps.close()
+
+    def test_remove_mid_stream_keeps_other_activation(self):
+        ps = fresh(["ab{3}c", "zq"], "fused")
+        try:
+            ps.reset()
+            assert ps.feed(b"ab") == []
+            ps.remove_patterns([1])
+            got = ps.feed(b"bbc")
+            assert [(m.pattern_id, m.end) for m in got] == [(0, 2)]
+        finally:
+            ps.close()
+
+    def test_sharded_untouched_shard_keeps_activation(self):
+        # shards=2 splits the two patterns; adding a third touches only
+        # one shard, so the other's in-flight 'de' activation survives.
+        ps = fresh(["ab{3}c", "de{3}f"], "sharded", shards=2)
+        try:
+            ps.reset()
+            assert ps.feed(b"ab de") == []
+            ps.add_patterns(["xy"])
+            got = [(m.pattern_id, m.end) for m in ps.feed(b"eef xy")]
+            assert (1, 2) in got  # 'deeef' completes across the add
+            assert (2, 5) in got  # the added pattern matches too
+        finally:
+            ps.close()
+
+
+class TestQuarantineInterplay:
+    def test_add_quarantines_bad_patterns(self):
+        ps = PatternSet(
+            ["ab", "bad(", "cd"],
+            options=OPTIONS,
+            engine="fused",
+            on_error="quarantine",
+        )
+        try:
+            ids = ps.add_patterns(["e**", "fg"])
+            assert ids == [3, 4]  # quarantined adds still consume ids
+            assert sorted(ps.quarantined) == [1, 3]
+            got = stream(ps, b"ab cd fg")
+            assert got == [(0, 1), (2, 4), (4, 7)]
+        finally:
+            ps.close()
+
+    def test_remove_quarantined_id_drops_report(self):
+        ps = PatternSet(
+            ["ab", "bad("],
+            options=OPTIONS,
+            engine="fused",
+            on_error="quarantine",
+        )
+        try:
+            ps.remove_patterns([1])
+            assert ps.quarantined == {}
+            assert stream(ps, b"ab") == [(0, 1)]
+        finally:
+            ps.close()
+
+
+class TestShardedIncrementalTopology:
+    """Shard count bookkeeping across adds and removes."""
+
+    def test_add_with_multiple_shards(self):
+        ps = fresh(POOL[:4], "sharded", shards=2)
+        try:
+            ps.add_patterns(POOL[4:6])
+            expected = fresh(POOL[:6], "sharded", shards=2)
+            try:
+                assert stream(ps) == stream(expected)
+            finally:
+                expected.close()
+        finally:
+            ps.close()
+
+    def test_remove_can_retire_a_shard(self):
+        ps = fresh(POOL[:4], "sharded", shards=2)
+        try:
+            ps.remove_patterns([0, 1, 2])
+            reference = fresh([POOL[3]], "sharded", shards=1)
+            try:
+                expected = [(3, end) for _pid, end in stream(reference)]
+                assert stream(ps) == expected
+            finally:
+                reference.close()
+        finally:
+            ps.close()

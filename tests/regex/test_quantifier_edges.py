@@ -1,0 +1,159 @@
+"""Quantifier edge syntax: differential accept/reject vs Python's ``re``.
+
+The parser promises ``re``-compatible *syntax* judgements on quantifier
+stacking (``a**`` and friends raise "multiple repeat"), with exactly two
+documented divergences:
+
+* **possessive quantifiers** (``a*+``, ``a{2,3}+``, ...): Python >= 3.11
+  accepts them; this parser rejects them, because possessiveness changes
+  the matched language and cannot be ignored like laziness can;
+* **elided lower bound** (``{,n}``): Python reads ``a{,3}`` as
+  ``a{0,3}``; this parser (like RE2 and PCRE's default) treats the brace
+  as a literal, so ``a{,3}*`` parses here but is a "multiple repeat"
+  error in Python.
+"""
+
+import re as pyre
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.parser import RegexSyntaxError, parse
+
+ATOMS = ["a", "(ab)", "[ab]", ".", "(a|b)"]
+QUANTS = ["*", "+", "?", "{2}", "{2,}", "{2,3}", "{0,2}", "{,3}"]
+SUFFIXES = ["", "?", "*", "+", "{3}", "??", "?*", "?+", "?{3}"]
+
+
+def py_accepts(pattern: str) -> bool:
+    try:
+        pyre.compile(pattern)
+        return True
+    except pyre.error:
+        return False
+
+
+def repo_accepts(pattern: str) -> bool:
+    try:
+        parse(pattern)
+        return True
+    except RegexSyntaxError:
+        return False
+
+
+def is_possessive(quant: str, suffix: str) -> bool:
+    """A quantifier directly followed by ``+`` (Python 3.11 possessive)."""
+    return suffix.startswith("+")
+
+
+def has_elided_lower_bound(pattern: str) -> bool:
+    return "{," in pattern
+
+
+class TestDifferentialVsRe:
+    @pytest.mark.parametrize("atom", ATOMS)
+    def test_quantifier_stacking_judgements_match_re(self, atom):
+        for quant in QUANTS:
+            for suffix in SUFFIXES:
+                pattern = atom + quant + suffix
+                py_ok = py_accepts(pattern)
+                repo_ok = repo_accepts(pattern)
+                if has_elided_lower_bound(pattern):
+                    # Documented divergence: '{,3}' is three literal
+                    # atoms here, so the judgement must match the same
+                    # pattern with the brace run replaced by a literal.
+                    desugared = pattern.replace("{,3}", "z")
+                    assert repo_ok == repo_accepts(desugared), pattern
+                elif is_possessive(quant, suffix):
+                    # Documented divergence: we reject possessives.
+                    assert not repo_ok, pattern
+                else:
+                    assert py_ok == repo_ok, (
+                        f"{pattern!r}: re={'ok' if py_ok else 'reject'} "
+                        f"repo={'ok' if repo_ok else 'reject'}"
+                    )
+
+    @settings(max_examples=400, deadline=None)
+    @given(
+        st.text(
+            alphabet=string.ascii_lowercase[:3] + "*+?{},123|.",
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_fuzzed_judgements_diverge_only_where_documented(self, pattern):
+        py_ok = py_accepts(pattern)
+        repo_ok = repo_accepts(pattern)
+        if py_ok == repo_ok:
+            return
+        if repo_ok and not py_ok:
+            # We are only ever *more* lenient via the literal-brace rule.
+            assert "{" in pattern, pattern
+        else:
+            # Python is only more lenient via possessive quantifiers.
+            assert pyre.search(r"[*+?}]\+", pattern), pattern
+
+
+class TestStackedQuantifierRejection:
+    """Regression pin for the "multiple repeat" bugfix: these used to be
+    silently collapsed instead of rejected."""
+
+    @pytest.mark.parametrize(
+        "pattern,pos",
+        [
+            ("a**", 2),
+            ("a+*", 2),
+            ("a*+", 2),
+            ("a++", 2),
+            ("a?*", 2),
+            ("a{2,3}*", 6),
+            ("a{2}{3}", 4),
+            ("a{2,}+", 5),
+            ("(ab)**", 5),
+            ("[xy]+*", 5),
+            ("a*??", 3),
+            ("a{2}?{3}", 5),
+        ],
+    )
+    def test_rejected_with_position(self, pattern, pos):
+        with pytest.raises(RegexSyntaxError) as excinfo:
+            parse(pattern)
+        error = excinfo.value
+        assert "multiple repeat" in str(error)
+        # The caret diagnostic points at the offending second quantifier.
+        assert error.pos == pos
+
+    @pytest.mark.parametrize(
+        "pattern", ["a*?", "a+?", "a??", "a{2,3}?", "(a*)*", "(a{2})+"]
+    )
+    def test_lazy_and_grouped_stacks_still_parse(self, pattern):
+        parse(pattern)
+
+
+class TestAnchorsRegressionPin:
+    """Anchors are stripped no-ops by default (unanchored partial-match
+    semantics), and a syntax error under ``allow_anchors=False``."""
+
+    @pytest.mark.parametrize(
+        "anchored,plain",
+        [("^ab$", "ab"), ("^a{2,3}b", "a{2,3}b"), ("a|^b$", "a|b")],
+    )
+    def test_anchors_are_noops(self, anchored, plain):
+        assert str(parse(anchored)) == str(parse(plain))
+
+    @pytest.mark.parametrize("pattern", ["^ab", "ab$"])
+    def test_anchors_rejected_when_disallowed(self, pattern):
+        with pytest.raises(RegexSyntaxError):
+            parse(pattern, allow_anchors=False)
+
+    def test_quantified_anchor_parses_as_epsilon_star(self):
+        # Python rejects '^*' ("nothing to repeat"); here the anchor is
+        # stripped to an epsilon atom first, so quantifying it parses
+        # (to epsilon*) and the pattern behaves like plain 'ab'.
+        from repro.matching.oracle import match_ends
+
+        assert repo_accepts("^*ab")
+        data = b"xaby ab"
+        assert match_ends(parse("^*ab"), data) == match_ends(parse("ab"), data)
