@@ -20,19 +20,33 @@ from .metrics import (
     normalized_metrics,
     savings_percent,
 )
+from .regress import (
+    DEFAULT_THRESHOLD,
+    EngineComparison,
+    RegressionReport,
+    compare_records,
+    format_regression,
+)
 from .report import (
     format_table,
+    join_profile_metrics,
     join_report_metrics,
     metrics_summary_table,
     normalized_table,
+    profile_summary_table,
     span_summary_table,
 )
 
 __all__ = [
     "DEFAULT_BV_SIZES",
+    "DEFAULT_THRESHOLD",
     "DEFAULT_UNFOLD_THRESHOLDS",
     "DSEPoint",
     "DSEResult",
+    "EngineComparison",
+    "RegressionReport",
+    "compare_records",
+    "format_regression",
     "LOWER_IS_BETTER",
     "ALL_ARCHITECTURES",
     "METRIC_NAMES",
@@ -46,12 +60,14 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "improvement_factor",
+    "join_profile_metrics",
     "join_report_metrics",
     "metrics_summary_table",
     "normalized_comparison",
     "normalized_metrics",
     "normalized_table",
     "normalized_to_csv",
+    "profile_summary_table",
     "reports_to_csv",
     "span_summary_table",
     "sweep_to_csv",

@@ -1,0 +1,269 @@
+"""Noise-aware comparison of two ``BENCH_scan.json`` perf records.
+
+Single-shot throughput comparisons are dominated by machine noise: CI
+runners share cores, thermal throttling skews one cell, and a 16 KiB
+scan finishes in microseconds.  This comparator is the regression gate's
+answer:
+
+* cells are matched **by shape** — ``(num_patterns, input_bytes)`` —
+  never by position, so reordered or extended grids still compare;
+* per engine, every matched cell contributes a throughput ratio
+  (new / old), and the engine's verdict is the **median** ratio — one
+  noisy cell cannot fail the gate, a real slowdown shifts every cell;
+* an engine regresses only when its median throughput dropped by more
+  than ``threshold`` (default 30%, deliberately loose for shared CI
+  hardware).
+
+The module doubles as the CI entry point::
+
+    python -m repro.analysis.regress BENCH_scan.json new.json \
+        --threshold 0.30
+
+exits 1 when any compared engine regressed, 2 when either record is
+missing/unreadable, 0 otherwise — see ``.github/workflows/ci.yml``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default tolerated median throughput drop (fraction) before the gate
+#: fails.  Loose on purpose: CI boxes are noisy and the bench cells are
+#: short; real regressions (an accidental per-byte allocation, a lost
+#: cache) blow well past 30%.
+DEFAULT_THRESHOLD = 0.30
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _cells_by_shape(
+    record: Mapping[str, Any]
+) -> Dict[Tuple[int, int], Mapping[str, Any]]:
+    out: Dict[Tuple[int, int], Mapping[str, Any]] = {}
+    for cell in record.get("grid", []):
+        key = (int(cell["num_patterns"]), int(cell["input_bytes"]))
+        out[key] = cell  # last wins; records keep one cell per shape
+    return out
+
+
+def _throughput(cell: Mapping[str, Any], engine: str) -> Optional[float]:
+    timing = cell.get("timings", {}).get(engine)
+    if timing is None:
+        return None
+    value = timing.get("throughput_mbps")
+    if value is None or value <= 0 or value == float("inf"):
+        return None
+    return float(value)
+
+
+@dataclass
+class EngineComparison:
+    """One engine's verdict across every matched grid cell."""
+
+    engine: str
+    cells: int
+    median_ratio: float  # new / old throughput; 1.0 = unchanged
+    min_ratio: float
+    max_ratio: float
+    regressed: bool
+    ratios: List[float] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "cells": self.cells,
+            "median_ratio": round(self.median_ratio, 4),
+            "min_ratio": round(self.min_ratio, 4),
+            "max_ratio": round(self.max_ratio, 4),
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing a new perf record against a baseline."""
+
+    threshold: float
+    engines: List[EngineComparison] = field(default_factory=list)
+    matched_cells: int = 0
+    unmatched_old: int = 0
+    unmatched_new: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[EngineComparison]:
+        return [e for e in self.engines if e.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "matched_cells": self.matched_cells,
+            "unmatched_old": self.unmatched_old,
+            "unmatched_new": self.unmatched_new,
+            "engines": [e.to_json() for e in self.engines],
+            "regressed": [e.engine for e in self.regressions],
+            "ok": self.ok,
+            "notes": list(self.notes),
+        }
+
+
+def compare_records(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    engines: Optional[Sequence[str]] = None,
+) -> RegressionReport:
+    """Compare two :func:`repro.matching.bench.bench_grid` records.
+
+    ``engines`` restricts the comparison (default: every engine present
+    in both records).  Cells appearing in only one record are counted
+    but never judged; an engine with no matched cells is skipped with a
+    note rather than failed, so a grid reshape cannot masquerade as a
+    regression.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    report = RegressionReport(threshold=threshold)
+    old_cells = _cells_by_shape(old)
+    new_cells = _cells_by_shape(new)
+    shared = sorted(set(old_cells) & set(new_cells))
+    report.matched_cells = len(shared)
+    report.unmatched_old = len(old_cells) - len(shared)
+    report.unmatched_new = len(new_cells) - len(shared)
+    if not shared:
+        report.notes.append("no grid cells in common; nothing compared")
+        return report
+    if engines is None:
+        engines = sorted(
+            set(old.get("engines", [])) & set(new.get("engines", []))
+        )
+    for engine in engines:
+        ratios: List[float] = []
+        for key in shared:
+            before = _throughput(old_cells[key], engine)
+            after = _throughput(new_cells[key], engine)
+            if before is None or after is None:
+                continue
+            ratios.append(after / before)
+        if not ratios:
+            report.notes.append(f"engine {engine!r}: no comparable cells")
+            continue
+        median = _median(ratios)
+        report.engines.append(
+            EngineComparison(
+                engine=engine,
+                cells=len(ratios),
+                median_ratio=median,
+                min_ratio=min(ratios),
+                max_ratio=max(ratios),
+                regressed=median < 1.0 - threshold,
+                ratios=ratios,
+            )
+        )
+    return report
+
+
+def format_regression(report: RegressionReport) -> str:
+    """Human-readable table of a :class:`RegressionReport`."""
+    from .report import format_table
+
+    rows = [
+        [
+            comparison.engine,
+            comparison.cells,
+            f"{comparison.median_ratio:.2f}x",
+            f"{comparison.min_ratio:.2f}x",
+            f"{comparison.max_ratio:.2f}x",
+            "REGRESSED" if comparison.regressed else "ok",
+        ]
+        for comparison in report.engines
+    ]
+    lines = [
+        format_table(
+            ["engine", "cells", "median", "min", "max", "verdict"], rows
+        )
+    ]
+    lines.append(
+        f"{report.matched_cells} matched cells; threshold: median drop "
+        f"> {report.threshold:.0%} fails"
+    )
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _load(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.regress",
+        description="noise-aware comparison of two BENCH_scan.json records",
+    )
+    parser.add_argument("old", help="baseline record (committed)")
+    parser.add_argument("new", help="candidate record (fresh run)")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="tolerated median throughput drop (default 0.30)",
+    )
+    parser.add_argument(
+        "--engines", default=None,
+        help="comma-separated engine subset (default: engines in both)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="json_mode",
+        help="emit the report as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    old = _load(args.old)
+    new = _load(args.new)
+    if old is None or new is None:
+        missing = args.old if old is None else args.new
+        print(f"error: cannot read record {missing!r}", file=sys.stderr)
+        return 2
+    engines = (
+        [e.strip() for e in args.engines.split(",") if e.strip()]
+        if args.engines
+        else None
+    )
+    report = compare_records(
+        old, new, threshold=args.threshold, engines=engines
+    )
+    if args.json_mode:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(format_regression(report))
+    if not report.ok:
+        print(
+            "regression: "
+            + ", ".join(
+                f"{e.engine} median {e.median_ratio:.2f}x"
+                for e in report.regressions
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

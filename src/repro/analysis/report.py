@@ -84,6 +84,93 @@ def metrics_summary_table(snapshot: Mapping[str, Any]) -> str:
     return format_table(["metric", "kind", "value"], rows)
 
 
+def profile_summary_table(profile: Mapping[str, Any], top: int = 10) -> str:
+    """The "find your hottest pattern" view of a ``ScanProfile``.
+
+    Renders the top ``top`` patterns by activation share (who keeps the
+    combined bitset hot) next to their sampled time share, followed by a
+    one-line cache summary and the costliest byte classes.
+    """
+    rows: List[List[object]] = []
+    for entry in profile.get("patterns", [])[:top]:
+        pattern = entry.get("pattern", "")
+        if len(pattern) > 40:
+            pattern = pattern[:37] + "..."
+        rows.append(
+            [
+                entry["pattern_id"],
+                f"{entry['activation_share']:.1%}",
+                f"{entry['time_share']:.1%}",
+                f"{entry['mean_active']:.1f}",
+                entry["peak_active"],
+                pattern,
+            ]
+        )
+    lines = [
+        format_table(
+            ["pattern", "activation", "time", "mean_act", "peak", "source"],
+            rows,
+        )
+    ]
+    cache = profile.get("cache", {})
+    if cache:
+        lines.append(
+            f"lazy-DFA cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses "
+            f"({cache.get('hit_ratio', 0.0):.1%} hit ratio, "
+            f"{len(cache.get('series', []))} series points)"
+        )
+    classes = profile.get("byte_classes", [])
+    if classes:
+        worst = classes[0]
+        lines.append(
+            f"costliest byte class: {worst['example']!r} "
+            f"({worst['members']} bytes, mean {worst['mean_us']:.2f}us/step "
+            f"over {worst['sampled']} samples)"
+        )
+    heatmap = profile.get("heatmap", {})
+    density = heatmap.get("density", [])
+    if density:
+        peak = max(range(len(density)), key=lambda i: density[i])
+        bucket = heatmap.get("bucket_bytes", 0)
+        lines.append(
+            f"hottest input region: offsets {peak * bucket}-"
+            f"{(peak + 1) * bucket} (mean {density[peak]:.1f} active states)"
+        )
+    return "\n".join(lines)
+
+
+def join_profile_metrics(
+    profile: Mapping[str, Any], snapshot: Mapping[str, Any]
+) -> Dict[str, object]:
+    """Flatten a ``ScanProfile`` and a telemetry snapshot into one flat
+    dict keyed like :func:`join_report_metrics` — the analysis join for
+    correlating per-pattern attribution with the run's counters (cache
+    hit rates, shard occupancy, symbols scanned)."""
+    out: Dict[str, object] = {
+        "engine": profile.get("engine"),
+        "stride": profile.get("stride"),
+        "input_bytes": profile.get("input_bytes"),
+        "samples": profile.get("samples"),
+    }
+    for entry in profile.get("patterns", []):
+        prefix = f"profile.pattern.{entry['pattern_id']}"
+        out[f"{prefix}.activation_share"] = entry["activation_share"]
+        out[f"{prefix}.time_share"] = entry["time_share"]
+        out[f"{prefix}.peak_active"] = entry["peak_active"]
+    cache = profile.get("cache", {})
+    out["profile.cache.hits"] = cache.get("hits", 0)
+    out["profile.cache.misses"] = cache.get("misses", 0)
+    out["profile.cache.hit_ratio"] = cache.get("hit_ratio", 0.0)
+    for key, value in snapshot.get("counters", {}).items():
+        out[f"telemetry.{key}"] = value
+    for key, value in snapshot.get("gauges", {}).items():
+        out[f"telemetry.{key}"] = value["value"]
+    for name, agg in snapshot.get("spans", {}).items():
+        out[f"telemetry.span.{name}.total_us"] = agg["total_us"]
+    return out
+
+
 def join_report_metrics(report: "Any") -> Dict[str, object]:
     """Flatten a :class:`~repro.hardware.report.SimulationReport` and the
     telemetry snapshot it carries (``notes["metrics"]``) into one flat

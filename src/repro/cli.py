@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.cli compile  PATTERNS... -o config.json
     python -m repro.cli scan     PATTERNS... -i input.bin
+    python -m repro.cli profile  PATTERNS... -i input.bin --profile-out p.json
     python -m repro.cli simulate PATTERNS... -i input.bin --arch BVAP
     python -m repro.cli trace    PATTERNS... -i input.bin --trace-out t.json
     python -m repro.cli dataset  Snort -n 20
@@ -11,9 +12,12 @@ Usage::
 ``PATTERNS...`` are PCRE-subset regexes, or ``@file`` to read one pattern
 per line from a file.
 
-Every verb accepts ``--trace-out`` / ``--metrics-out`` to capture the
-telemetry of the run (Chrome trace-event JSON / metrics snapshot),
-``--seed`` for reproducible randomness, and ``-v`` for debug logging.
+Every verb accepts ``--trace-out`` / ``--metrics-out`` (with
+``--metrics-format json|prometheus``) to capture the telemetry of the
+run, ``--serve-metrics PORT`` for a live ``/metrics`` endpoint,
+``--flight-dir DIR`` to arm the flight recorder (failures leave a JSON
+postmortem), ``--seed`` for reproducible randomness, and ``-v`` for
+debug logging.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence
 
 from . import telemetry
+from .telemetry import flight as flight_recorder
+from .telemetry import profiler as scan_profiler
 from .compiler import CompilerOptions, compile_ruleset, dump_config
 from .hardware.report import SimulationReport
 from .hardware.simulator import (
@@ -37,7 +43,13 @@ from .hardware.simulator import (
 from .hardware.specs import CA_SPEC, CAMA_SPEC, EAP_SPEC
 from .matching import ENGINES, PatternSet
 from .resilience import Budget, FaultSpec, ReproError, format_report, run_campaign
-from .telemetry.export import TRACE_FORMATS, write_metrics, write_trace
+from .telemetry.export import (
+    METRICS_FORMATS,
+    MetricsServer,
+    TRACE_FORMATS,
+    write_metrics,
+    write_trace,
+)
 from .workloads import DATASET_NAMES, PROFILES, dataset_stream, load_dataset
 
 log = logging.getLogger("repro.cli")
@@ -125,20 +137,42 @@ def _jobs(args: argparse.Namespace) -> int:
 @contextmanager
 def _telemetry_session(args: argparse.Namespace) -> Iterator[None]:
     """Enable telemetry for one command when the args ask for exports;
-    the trace/metrics files are written after the command body."""
+    the trace/metrics files are written after the command body.
+
+    ``--flight-dir`` additionally arms the flight recorder (bounded ring
+    of engine events, auto-dumped on any failure), and
+    ``--serve-metrics`` keeps a live ``/metrics`` endpoint up for the
+    duration of the command.
+    """
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not (trace_out or metrics_out):
+    serve_port = getattr(args, "serve_metrics", None)
+    flight_dir = getattr(args, "flight_dir", None)
+    if flight_dir is not None:
+        flight_recorder.enable(dump_dir=flight_dir)
+    if not (trace_out or metrics_out or serve_port is not None):
         yield
         return
+    server: Optional[MetricsServer] = None
     with telemetry.session():
-        yield
+        if serve_port is not None:
+            server = MetricsServer(port=serve_port).start()
+            log.info(
+                "serving live metrics on http://127.0.0.1:%d/metrics",
+                server.port,
+            )
+        try:
+            yield
+        finally:
+            if server is not None:
+                server.stop()
         if trace_out:
             write_trace(trace_out, getattr(args, "trace_format", "chrome"))
             log.info("wrote trace -> %s", trace_out)
         if metrics_out:
-            write_metrics(metrics_out)
-            log.info("wrote metrics -> %s", metrics_out)
+            fmt = getattr(args, "metrics_format", "json")
+            write_metrics(metrics_out, fmt=fmt)
+            log.info("wrote metrics (%s) -> %s", fmt, metrics_out)
 
 
 def _warn_quarantined(ruleset) -> None:
@@ -263,6 +297,73 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.json_out:
         bench_mod.write_record(record, args.json_out)
         log.info("wrote bench record -> %s", args.json_out)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the fused scan path and emit a ``ScanProfile`` artifact.
+
+    Runs the scan with the sampling profiler active (stride-sampled
+    per-pattern activation/time attribution, cache-ratio series, offset
+    heatmap, byte-class costs), writes the JSON artifact, and prints the
+    "hottest pattern" summary table.
+    """
+    if args.patterns:
+        patterns = _load_patterns(args.patterns, args.fmt)
+    else:
+        patterns = load_dataset(args.dataset, args.num_patterns, args.seed)
+    if args.input:
+        data = _read_input(args.input)
+    else:
+        data = dataset_stream(
+            patterns,
+            random.Random(args.seed),
+            args.input_size,
+            PROFILES[args.dataset].literal_pool,
+        )
+    matcher = PatternSet(
+        patterns,
+        options=_compiler_options(args),
+        engine=args.engine,
+        on_error="quarantine" if args.quarantine else "raise",
+        shards=getattr(args, "shards", None),
+        # The profiler instruments in-process matchers; the sharded
+        # engine is profiled through its inline backend (one fused
+        # binding per shard, merged by global pattern id).
+        shard_backend="inline",
+        cache=_compile_cache(args),
+    )
+    with matcher:
+        for pattern_id, report in sorted(matcher.quarantined.items()):
+            log.warning(
+                "rejected pattern %d [%s in %s]: %s",
+                pattern_id,
+                report.error_code,
+                report.phase or "compile",
+                report.error,
+            )
+        with scan_profiler.profile_session(
+            stride=args.stride,
+            input_len=len(data),
+            heatmap_buckets=args.heatmap_buckets,
+        ) as prof:
+            matches = matcher.scan(data)
+        profile = prof.finish(
+            patterns={i: p for i, p in enumerate(patterns)},
+            engine=args.engine,
+        )
+    profile.write(args.profile_out)
+    log.info("wrote profile -> %s", args.profile_out)
+    from .analysis.report import profile_summary_table
+
+    print(profile_summary_table(profile.to_json()))
+    log.info(
+        "%d matches in %d bytes (%d samples at stride %d)",
+        len(matches),
+        len(data),
+        profile.samples,
+        profile.stride,
+    )
     return 0
 
 
@@ -415,6 +516,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace file format (chrome://tracing or JSONL)")
         p.add_argument("--metrics-out", default=None, dest="metrics_out",
                        help="write the metrics snapshot of this run")
+        p.add_argument("--metrics-format", default="json",
+                       dest="metrics_format", choices=METRICS_FORMATS,
+                       help="metrics file format (JSON snapshot or "
+                            "Prometheus text exposition)")
+        p.add_argument("--serve-metrics", type=int, default=None,
+                       dest="serve_metrics", metavar="PORT",
+                       help="serve live metrics at "
+                            "http://127.0.0.1:PORT/metrics for the "
+                            "duration of the command (0 = ephemeral port)")
+        p.add_argument("--flight-dir", default=None, dest="flight_dir",
+                       help="arm the flight recorder; failures dump a "
+                            "JSON postmortem into this directory")
         if json_flag:
             # bench keeps its historical `--json PATH` spelling instead.
             p.add_argument("--json", action="store_true", dest="json_mode",
@@ -471,6 +584,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_compiler_flags(p_scan)
     add_common_flags(p_scan)
     p_scan.set_defaults(func=cmd_scan)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="profile the fused scan path (ScanProfile artifact)",
+    )
+    p_profile.add_argument("patterns", nargs="*",
+                           help="patterns/@files; omitted = --dataset rules")
+    p_profile.add_argument("-i", "--input", default=None,
+                           help="input file; omitted = synthetic stream")
+    p_profile.add_argument("--dataset", default="RegexLib",
+                           choices=DATASET_NAMES,
+                           help="profile for generated patterns/input")
+    p_profile.add_argument("--num-patterns", type=int, default=16,
+                           dest="num_patterns")
+    p_profile.add_argument("--input-size", type=int, default=16384,
+                           dest="input_size")
+    p_profile.add_argument("--engine", default="fused",
+                           choices=("fused", "sharded"),
+                           help="scan engine to profile (sharded uses the "
+                                "inline backend: one binding per shard)")
+    p_profile.add_argument("--shards", type=int, default=None,
+                           help="shard count for --engine sharded")
+    p_profile.add_argument("--stride", type=int, default=64,
+                           help="bytes between profiler samples")
+    p_profile.add_argument("--heatmap-buckets", type=int, default=64,
+                           dest="heatmap_buckets",
+                           help="offset buckets in the activation heatmap")
+    p_profile.add_argument("--profile-out", default="profile.json",
+                           dest="profile_out",
+                           help="where to write the ScanProfile JSON")
+    p_profile.add_argument("--quarantine", action="store_true",
+                           help="isolate bad patterns instead of aborting")
+    add_compiler_flags(p_profile)
+    add_common_flags(p_profile)
+    p_profile.set_defaults(func=cmd_profile)
 
     p_bench = sub.add_parser(
         "bench", help="time the scan engines (fused vs per-pattern)"
@@ -575,6 +723,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as error:
         # Structured failure: syntax errors carry a caret diagnostic in
         # str(); --json swaps both for one machine-readable object.
+        dump_path = flight_recorder.auto_dump("cli-error", error)
+        if dump_path is not None:
+            log.error("flight postmortem -> %s", dump_path)
         if getattr(args, "json_mode", False):
             print(json.dumps({"error": error.to_json()}))
         else:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import subprocess
 import sys
 import time
 from dataclasses import dataclass
@@ -25,6 +26,44 @@ from .engine import ENGINES, PatternSet
 #: The engine every speedup is quoted against: the per-pattern loop over
 #: the same automaton class the fused engine executes.
 BASELINE_ENGINE = "nfa"
+
+_STATIC_PROVENANCE: Optional[Dict[str, object]] = None
+
+
+def provenance() -> Dict[str, object]:
+    """Machine/revision context stamped into every bench cell.
+
+    A throughput number is only comparable to another run when both were
+    taken on the same code and comparable hardware — so every cell
+    carries the git revision, CPU count, Python version, and the
+    1-minute load average at measurement time (the noise indicator the
+    regression comparator surfaces when a drop looks machine-induced).
+    The static parts are probed once per process; the load average is
+    re-read per cell.
+    """
+    global _STATIC_PROVENANCE
+    if _STATIC_PROVENANCE is None:
+        try:
+            rev = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+            ).stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            rev = None
+        _STATIC_PROVENANCE = {
+            "git_revision": rev,
+            "cpus": os.cpu_count(),
+            "python": sys.version.split()[0],
+        }
+    out = dict(_STATIC_PROVENANCE)
+    try:
+        out["load_avg_1m"] = round(os.getloadavg()[0], 2)
+    except (OSError, AttributeError):  # pragma: no cover - platform
+        out["load_avg_1m"] = None
+    return out
 
 
 @dataclass
@@ -115,6 +154,7 @@ def bench_cell(
         "num_patterns": len(patterns),
         "input_bytes": len(data),
         "timings": {t.engine: t.to_dict() for t in timings},
+        "provenance": provenance(),
     }
     baseline = next(
         (t for t in timings if t.engine == BASELINE_ENGINE), None
@@ -203,6 +243,7 @@ def bench_grid(
         "engines": list(engines),
         "baseline_engine": BASELINE_ENGINE,
         "python": sys.version.split()[0],
+        "provenance": provenance(),
         "grid": grid,
     }
     # Headline number: fused speedup on the largest-pattern-count cells.

@@ -44,6 +44,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .. import telemetry
+from ..telemetry import flight, profiler
 from .._bits import popcount
 from ..automata.ah import is_counter_free
 from ..automata.nca import NCAMatcher
@@ -266,6 +267,13 @@ class PatternSet:
             self.reports.append(report)
             if compiled is None:
                 quarantined += 1
+                if flight.flight_enabled():
+                    flight.record(
+                        "quarantine",
+                        pattern_id=regex_id,
+                        error_code=report.error_code,
+                        phase=report.phase,
+                    )
                 continue
             self.compiled.append(compiled)
             self._pattern_ids.append(regex_id)
@@ -470,7 +478,11 @@ class PatternSet:
 
     def _feed_block(self, data: bytes, base: int) -> List[Match]:
         """One uninterrupted stretch of the feed loop."""
-        if telemetry.enabled():
+        if (
+            telemetry.enabled()
+            or flight.flight_enabled()
+            or profiler.profiling_enabled()
+        ):
             return self._feed_instrumented(data, base)
         if self._sharded is not None:
             return [
@@ -538,21 +550,34 @@ class PatternSet:
                 hits, misses = fused.cache_hits, fused.cache_misses
                 ids = self._fused_ids
                 demoted = self._demoted
-                events: List[Tuple[int, int]] = []
-                for offset, symbol in enumerate(data):
-                    for slot in fused.step_report(symbol):
-                        events.append((base + offset, ids[slot]))
-                    for pattern_id, matcher in demoted:
-                        if matcher.step(symbol):
-                            events.append((base + offset, pattern_id))
-                    if collect:
-                        occupancy.observe(
-                            fused.active_count()
-                            + sum(m.active_count() for _pid, m in demoted)
-                        )
-                if demoted:
-                    events.sort()
-                out = [Match(pattern_id, end) for end, pattern_id in events]
+                prof = profiler.active_profiler()
+                if prof is not None and not demoted:
+                    # The profiler owns the stepping loop (it has to time
+                    # the sampled steps itself); the occupancy histogram
+                    # is not observed on this path — the profile's own
+                    # heatmap carries the density picture instead.
+                    out = [
+                        Match(ids[slot], base + offset)
+                        for slot, offset in prof.feed(fused, data, ids)
+                    ]
+                else:
+                    events: List[Tuple[int, int]] = []
+                    for offset, symbol in enumerate(data):
+                        for slot in fused.step_report(symbol):
+                            events.append((base + offset, ids[slot]))
+                        for pattern_id, matcher in demoted:
+                            if matcher.step(symbol):
+                                events.append((base + offset, pattern_id))
+                        if collect:
+                            occupancy.observe(
+                                fused.active_count()
+                                + sum(m.active_count() for _pid, m in demoted)
+                            )
+                    if demoted:
+                        events.sort()
+                    out = [
+                        Match(pattern_id, end) for end, pattern_id in events
+                    ]
             else:
                 ids = self._pattern_ids
                 for offset, symbol in enumerate(data):
@@ -573,6 +598,38 @@ class PatternSet:
                 )
                 registry.counter("engine.fused.cache_misses").inc(
                     fused.cache_misses - misses
+                )
+        if flight.flight_enabled():
+            flight.record(
+                "scan_chunk",
+                engine=self.engine,
+                base=base,
+                symbols=len(data),
+                matches=len(out),
+            )
+            if fused is not None:
+                flight.note_state(
+                    engine=self.engine,
+                    active_states=fused.active_count(),
+                    cache_hits=fused.cache_hits,
+                    cache_misses=fused.cache_misses,
+                    demoted=[pid for pid, _m in self._demoted],
+                )
+            elif self._sharded is not None:
+                flight.note_state(
+                    engine=self.engine,
+                    shards=self._sharded.num_shards,
+                    live_shards=self._sharded.live_shards(),
+                    failed_shards=[
+                        f.shard for f in self._sharded.failures
+                    ],
+                )
+            else:
+                flight.note_state(
+                    engine=self.engine,
+                    active_states=sum(
+                        m.active_count() for m in matchers
+                    ),
                 )
         return out
 
@@ -670,6 +727,13 @@ class PatternSet:
                 break
         if telemetry.metrics_enabled():
             telemetry.registry().counter("scan.degraded").inc()
+        if flight.flight_enabled():
+            flight.record(
+                "degradation",
+                pattern_id=pattern_id,
+                engine=engine_used,
+                reason=reason,
+            )
 
     # -- conveniences --------------------------------------------------
 

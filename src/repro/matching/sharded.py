@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry
+from ..telemetry import flight, profiler
 from ..automata.ah import is_counter_free
 from ..compiler.pipeline import CompiledRegex
 from .fused import DEFAULT_CACHE_BYTES, FusedAutomaton, FusedMatcher, fuse_patterns
@@ -208,8 +209,12 @@ def _shard_worker_main(
     Protocol (parent -> worker / worker -> parent):
 
     * ``("feed", seq, data)`` -> ``("events", seq, [(pattern_id, end),
-      ...], busy_s)`` — fused-engine feed over one chunk; end offsets
-      are chunk-relative, pattern ids are the *original* set ids.
+      ...], busy_s, stats)`` — fused-engine feed over one chunk; end
+      offsets are chunk-relative, pattern ids are the *original* set
+      ids.  ``stats`` is the worker's cumulative telemetry snapshot
+      (lazy-DFA cache hits/misses, symbols scanned) — three ints per
+      reply, so shipping it costs nothing measurable, and the parent
+      merges the *deltas* into its registry under a ``shard`` label.
     * ``("reset",)`` -> ``("ok",)`` — rewind to the empty activation.
     * ``("ping",)`` -> ``("ok",)`` — liveness probe.
     * ``("fail",)`` — hard-exit(1), the fault-injection hook tests use
@@ -218,6 +223,7 @@ def _shard_worker_main(
     """
     matcher = FusedMatcher(automaton, cache_bytes=cache_bytes)
     ids = list(report_ids)
+    symbols = 0
     try:
         while True:
             try:
@@ -231,8 +237,20 @@ def _shard_worker_main(
                 events = [
                     (ids[slot], end) for slot, end in matcher.feed(data)
                 ]
+                symbols += len(data)
+                stats = {
+                    "cache_hits": matcher.cache_hits,
+                    "cache_misses": matcher.cache_misses,
+                    "symbols": symbols,
+                }
                 conn.send(
-                    ("events", seq, events, time.perf_counter() - started)
+                    (
+                        "events",
+                        seq,
+                        events,
+                        time.perf_counter() - started,
+                        stats,
+                    )
                 )
             elif op == "reset":
                 matcher.reset()
@@ -254,15 +272,37 @@ class _InlineShard:
     """In-process stand-in for a worker: same protocol, no process."""
 
     def __init__(
-        self, automaton: FusedAutomaton, report_ids: Sequence[int], cache_bytes: int
+        self,
+        automaton: FusedAutomaton,
+        report_ids: Sequence[int],
+        cache_bytes: int,
+        label: str = "shard",
     ) -> None:
         self.matcher = FusedMatcher(automaton, cache_bytes=cache_bytes)
         self.ids = list(report_ids)
+        self.label = label
+        self.symbols = 0
 
-    def feed(self, data: bytes) -> Tuple[List[Tuple[int, int]], float]:
+    def feed(
+        self, data: bytes
+    ) -> Tuple[List[Tuple[int, int]], float, Dict[str, int]]:
         started = time.perf_counter()
-        events = [(self.ids[slot], end) for slot, end in self.matcher.feed(data)]
-        return events, time.perf_counter() - started
+        prof = profiler.active_profiler()
+        if prof is not None:
+            # Inline shards are the profiler's multi-binding case: every
+            # shard walks the same input, so tallies merge by global
+            # pattern id and heatmap buckets line up.
+            pairs = prof.feed(self.matcher, data, self.ids, label=self.label)
+        else:
+            pairs = self.matcher.feed(data)
+        events = [(self.ids[slot], end) for slot, end in pairs]
+        self.symbols += len(data)
+        stats = {
+            "cache_hits": self.matcher.cache_hits,
+            "cache_misses": self.matcher.cache_misses,
+            "symbols": self.symbols,
+        }
+        return events, time.perf_counter() - started, stats
 
     def reset(self) -> None:
         self.matcher.reset()
@@ -302,11 +342,17 @@ class _Shard:
     alive: bool = True
     events_total: int = 0
     busy_s: float = 0.0
+    #: Latest cumulative telemetry snapshot shipped back by the worker
+    #: (cache hits/misses, symbols scanned) and the portion of it already
+    #: published into the parent registry — the difference is the delta
+    #: :meth:`ShardedScanner._record_metrics` merges under ``shard=N``.
+    worker_stats: Dict[str, int] = field(default_factory=dict)
+    published_stats: Dict[str, int] = field(default_factory=dict)
     # Replies can momentarily run ahead of the collector when a chunk's
     # answer arrives while a later chunk is being sent; buffer by seq.
-    pending: Dict[int, Tuple[List[Tuple[int, int]], float]] = field(
-        default_factory=dict
-    )
+    pending: Dict[
+        int, Tuple[List[Tuple[int, int]], float, Dict[str, int]]
+    ] = field(default_factory=dict)
 
 
 class ShardedScanner:
@@ -411,7 +457,10 @@ class ShardedScanner:
         """Launch one shard's execution backend (worker or inline)."""
         if self.backend == "inline":
             shard.inline = _InlineShard(
-                shard.automaton, shard.pattern_ids, self.cache_bytes
+                shard.automaton,
+                shard.pattern_ids,
+                self.cache_bytes,
+                label=f"shard-{shard.index}",
             )
             return
         ctx = self._context()
@@ -499,6 +548,10 @@ class ShardedScanner:
         activation; untouched shards keep their workers and state."""
         shard.automaton = fuse_patterns(shard.compiled)
         shard.pending.clear()
+        # The fresh worker's cumulative counters restart at zero, so the
+        # published baseline must too or the next delta would go negative.
+        shard.worker_stats = {}
+        shard.published_stats = {}
         if self._started and shard.alive:
             self._stop_shard(shard)
             self._start_shard(shard)
@@ -615,6 +668,14 @@ class ShardedScanner:
             registry = telemetry.registry()
             registry.counter("scan.shard.failed").inc()
             registry.gauge("scan.shard.workers").set(len(self.live_shards()))
+        if flight.flight_enabled():
+            flight.record(
+                "shard_failure",
+                shard=shard.index,
+                reason=reason,
+                pattern_ids=list(shard.pattern_ids),
+            )
+            flight.auto_dump(f"shard-{shard.index}-{reason}")
 
     def inject_fault(self, shard_index: int, mode: str = "die") -> None:
         """Fault-injection hook for chaos tests (process backend only).
@@ -666,10 +727,10 @@ class ShardedScanner:
                 return None
             if message[0] != "events":
                 continue  # stale ok from an interleaved reset
-            _, got_seq, events, busy_s = message
+            _, got_seq, events, busy_s, stats = message
             if got_seq == seq:
-                return events, busy_s
-            shard.pending[got_seq] = (events, busy_s)
+                return events, busy_s, stats
+            shard.pending[got_seq] = (events, busy_s, stats)
 
     def _collect(self, seq: int, base: int) -> List[Tuple[int, int]]:
         """Merge all live shards' events for one chunk, rebased to the
@@ -680,9 +741,10 @@ class ShardedScanner:
             reply = self._recv_reply(shard, seq)
             if reply is None:
                 continue
-            events, busy_s = reply
+            events, busy_s, stats = reply
             shard.events_total += len(events)
             shard.busy_s += busy_s
+            shard.worker_stats = stats
             gathered.extend(events)
         gathered.sort(key=lambda event: (event[1], event[0]))
         return [(pattern_id, base + end) for pattern_id, end in gathered]
@@ -709,9 +771,10 @@ class ShardedScanner:
                 for shard in self._shards:
                     if not shard.alive:
                         continue
-                    events, busy_s = shard.inline.feed(chunk)
+                    events, busy_s, stats = shard.inline.feed(chunk)
                     shard.events_total += len(events)
                     shard.busy_s += busy_s
+                    shard.worker_stats = stats
                     gathered.extend(events)
                 gathered.sort(key=lambda event: (event[1], event[0]))
                 out.extend((pid, base + end) for pid, end in gathered)
@@ -758,6 +821,16 @@ class ShardedScanner:
                 registry.gauge(
                     "scan.shard.occupancy", shard=shard.index
                 ).set(min((shard.busy_s - before) / wall, 1.0))
+            # Merge the worker's cumulative telemetry (shipped with each
+            # events reply, across the process boundary) as deltas so
+            # parent counters stay monotone under repeated feeds.
+            for key, total in shard.worker_stats.items():
+                delta = total - shard.published_stats.get(key, 0)
+                if delta > 0:
+                    registry.counter(
+                        f"scan.shard.{key}", shard=shard.index
+                    ).inc(delta)
+                shard.published_stats[key] = total
 
     def reset(self) -> None:
         """Rewind every live shard to the empty activation."""
@@ -809,5 +882,8 @@ class ShardedScanner:
             ],
             "events_per_shard": {
                 s.index: s.events_total for s in self._shards
+            },
+            "worker_stats": {
+                s.index: dict(s.worker_stats) for s in self._shards
             },
         }

@@ -128,4 +128,13 @@ class BudgetClock:
                 limit=self.budget.deadline_s,
             )
             error.phase = phase
+            from ..telemetry import flight
+
+            if flight.flight_enabled():
+                flight.record(
+                    "budget_exceeded",
+                    phase=phase,
+                    budget_kind="deadline",
+                    limit=self.budget.deadline_s,
+                )
             raise error

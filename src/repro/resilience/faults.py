@@ -240,7 +240,7 @@ def run_campaign(
 
     golden_set = set(golden_matches)
     faulty_set = set(faulty_matches)
-    return FaultReport(
+    report = FaultReport(
         spec=spec,
         symbols=len(data),
         injected=injected,
@@ -250,6 +250,20 @@ def run_campaign(
         missed=sorted(golden_set - faulty_set),
         spurious=sorted(faulty_set - golden_set),
     )
+    if report.diverged:
+        from ..telemetry import flight
+
+        if flight.flight_enabled():
+            flight.record(
+                "fault_divergence",
+                seed=spec.seed,
+                first_divergence_cycle=first_divergence,
+                injected=len(injected),
+                missed=len(report.missed),
+                spurious=len(report.spurious),
+            )
+            flight.auto_dump("fault-divergence")
+    return report
 
 
 def format_report(report: FaultReport) -> str:

@@ -37,6 +37,8 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator
 
 from . import export  # re-exported submodule
+from . import flight  # re-exported submodule (flight recorder)
+from . import profiler  # re-exported submodule (scan-path profiler)
 from .metrics import (
     Counter,
     Gauge,
@@ -63,7 +65,9 @@ __all__ = [
     "enable",
     "enabled",
     "export",
+    "flight",
     "metrics_enabled",
+    "profiler",
     "registry",
     "reset",
     "session",

@@ -1,4 +1,4 @@
-"""File exporters for traces and metrics snapshots.
+"""File exporters for traces and metrics snapshots, plus live export.
 
 These helpers write the global tracer/registry (or explicitly passed
 ones) to disk in the formats the CLI exposes:
@@ -6,17 +6,28 @@ ones) to disk in the formats the CLI exposes:
 * :func:`write_chrome_trace` — ``chrome://tracing`` / Perfetto JSON;
 * :func:`write_jsonl_trace` — one span object per line;
 * :func:`write_metrics` — the combined metrics snapshot (counters,
-  gauges, histograms, and the per-span summary).
+  gauges, histograms, and the per-span summary), as JSON or as
+  Prometheus text exposition format (:func:`to_prometheus`);
+* :class:`MetricsServer` — an opt-in stdlib ``http.server`` endpoint
+  serving the live snapshot at ``/metrics`` (Prometheus text) and
+  ``/metrics.json``, the first brick of the always-on scan service.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+import re
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .trace import Tracer
 
 TRACE_FORMATS = ("chrome", "jsonl")
+
+METRICS_FORMATS = ("json", "prometheus")
+
+#: Prefix applied to every exported Prometheus metric name.
+PROM_NAMESPACE = "repro"
 
 
 def _default_tracer(tracer: Optional[Tracer]) -> Tracer:
@@ -58,16 +69,239 @@ def write_trace(
 
 
 def write_metrics(
-    path: str, snapshot: Optional[Dict[str, Any]] = None
+    path: str,
+    snapshot: Optional[Dict[str, Any]] = None,
+    fmt: str = "json",
 ) -> None:
-    """Write a metrics snapshot (defaults to the live global snapshot)."""
+    """Write a metrics snapshot (defaults to the live global snapshot)
+    in one of :data:`METRICS_FORMATS`."""
+    if fmt not in METRICS_FORMATS:
+        raise ValueError(
+            f"metrics format must be one of {METRICS_FORMATS}, got {fmt!r}"
+        )
     if snapshot is None:
         from . import snapshot as global_snapshot
 
         snapshot = global_snapshot()
     with open(path, "w") as handle:
-        json.dump(snapshot, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+        if fmt == "prometheus":
+            handle.write(to_prometheus(snapshot))
+        else:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition format
+# ---------------------------------------------------------------------------
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """``engine.fused.cache_hits`` -> ``repro_engine_fused_cache_hits``."""
+    return f"{PROM_NAMESPACE}_{_NAME_SANITIZER.sub('_', name)}"
+
+
+def _parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a canonical registry key (``name{a=1,b=x}``) into parts."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels: Dict[str, str] = {}
+    for pair in inner.split(","):
+        if not pair:
+            continue
+        label, _, value = pair.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _prom_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    escaped = ",".join(
+        f'{_NAME_SANITIZER.sub("_", k)}="'
+        + str(v).replace("\\", "\\\\").replace('"', '\\"')
+        + '"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + escaped + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _PromWriter:
+    """Accumulates samples grouped per metric family, TYPE line first."""
+
+    def __init__(self) -> None:
+        self._families: "Dict[str, Tuple[str, List[str]]]" = {}
+        self._order: List[str] = []
+
+    def sample(
+        self,
+        family: str,
+        prom_type: str,
+        labels: Mapping[str, str],
+        value: float,
+    ) -> None:
+        if family not in self._families:
+            self._families[family] = (prom_type, [])
+            self._order.append(family)
+        self._families[family][1].append(
+            f"{family}{_prom_labels(labels)} {_prom_value(value)}"
+        )
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for family in self._order:
+            prom_type, samples = self._families[family]
+            lines.append(f"# TYPE {family} {prom_type}")
+            lines.extend(samples)
+        out = "\n".join(lines)
+        return out + "\n" if out else ""
+
+
+def to_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a metrics snapshot as Prometheus text exposition format.
+
+    Mapping rules:
+
+    * counters -> ``repro_<name>_total`` counter families, labels
+      preserved;
+    * gauges -> ``repro_<name>`` plus a ``repro_<name>_max`` gauge for
+      the tracked high-water mark;
+    * histograms -> native Prometheus histograms (cumulative
+      ``_bucket{le=...}`` series ending in ``+Inf``, plus ``_sum`` and
+      ``_count``) — the registry's bounds are inclusive upper edges,
+      which is exactly Prometheus's ``le`` contract;
+    * the span summary -> ``repro_span_count`` / ``repro_span_total_us``
+      / ``repro_span_max_us`` families labelled by span name.
+    """
+    writer = _PromWriter()
+    for key, value in sorted(snapshot.get("counters", {}).items()):
+        name, labels = _parse_key(key)
+        writer.sample(f"{_prom_name(name)}_total", "counter", labels, value)
+    for key, gauge in sorted(snapshot.get("gauges", {}).items()):
+        name, labels = _parse_key(key)
+        writer.sample(_prom_name(name), "gauge", labels, gauge["value"])
+        writer.sample(
+            f"{_prom_name(name)}_max", "gauge", labels, gauge["max"]
+        )
+    for key, hist in sorted(snapshot.get("histograms", {}).items()):
+        name, labels = _parse_key(key)
+        family = _prom_name(name)
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _prom_value(float(bound))
+            writer.sample(
+                f"{family}_bucket", "histogram", bucket_labels, cumulative
+            )
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = "+Inf"
+        writer.sample(
+            f"{family}_bucket", "histogram", bucket_labels, hist["count"]
+        )
+        writer.sample(f"{family}_sum", "histogram", labels, hist["sum"])
+        writer.sample(f"{family}_count", "histogram", labels, hist["count"])
+    for span_name, agg in sorted(snapshot.get("spans", {}).items()):
+        labels = {"span": span_name}
+        writer.sample(
+            f"{PROM_NAMESPACE}_span_count", "gauge", labels, agg["count"]
+        )
+        writer.sample(
+            f"{PROM_NAMESPACE}_span_total_us", "gauge", labels,
+            agg["total_us"],
+        )
+        writer.sample(
+            f"{PROM_NAMESPACE}_span_max_us", "gauge", labels, agg["max_us"]
+        )
+    return writer.render()
+
+
+# ---------------------------------------------------------------------------
+# Live metrics endpoint
+# ---------------------------------------------------------------------------
+
+
+class MetricsServer:
+    """Opt-in HTTP endpoint serving the live global snapshot.
+
+    Serves ``GET /metrics`` (Prometheus text format) and
+    ``GET /metrics.json`` (the JSON snapshot) from a daemon thread —
+    a scrape during a long scan sees the counters mid-flight.  Bind
+    ``port=0`` to let the OS pick (the bound port is on :attr:`port`
+    after :meth:`start`).  This is deliberately tiny: the first brick
+    of the ``repro.service`` daemon, not a web framework.
+    """
+
+    def __init__(self, port: int = 9464, host: str = "127.0.0.1") -> None:
+        self._requested = (host, port)
+        self._httpd = None
+        self._thread: Optional[threading.Thread] = None
+        self.port: Optional[int] = None
+
+    def start(self) -> "MetricsServer":
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(handler) -> None:  # noqa: N805 - stdlib handler
+                from . import snapshot as global_snapshot
+
+                if handler.path.split("?")[0] == "/metrics":
+                    body = to_prometheus(global_snapshot()).encode()
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                elif handler.path.split("?")[0] == "/metrics.json":
+                    body = (
+                        json.dumps(global_snapshot(), sort_keys=True) + "\n"
+                    ).encode()
+                    content_type = "application/json"
+                else:
+                    handler.send_error(404, "try /metrics or /metrics.json")
+                    return
+                handler.send_response(200)
+                handler.send_header("Content-Type", content_type)
+                handler.send_header("Content-Length", str(len(body)))
+                handler.end_headers()
+                handler.wfile.write(body)
+
+            def log_message(handler, *args: Any) -> None:
+                pass  # no per-scrape stderr noise
+
+        self._httpd = ThreadingHTTPServer(self._requested, Handler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
 
 
 def load_metrics(path: str) -> Dict[str, Any]:

@@ -1,0 +1,235 @@
+"""Regression comparator tests: ratio math, noise robustness, CLI gate.
+
+The property that matters for CI: one noisy cell cannot flip the
+verdict (median, not mean), a grid reshape cannot fail the gate
+(unmatched cells are counted, not judged), and a missing engine gets a
+note instead of a failure.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.regress import (
+    DEFAULT_THRESHOLD,
+    compare_records,
+    format_regression,
+    main,
+)
+
+
+def _record(throughputs, engines=("nfa", "fused")):
+    """Build a minimal bench_grid-shaped record.
+
+    ``throughputs`` maps (num_patterns, input_bytes) -> {engine: mbps}.
+    """
+    grid = []
+    for (num_patterns, input_bytes), per_engine in sorted(
+        throughputs.items()
+    ):
+        grid.append(
+            {
+                "num_patterns": num_patterns,
+                "input_bytes": input_bytes,
+                "timings": {
+                    engine: {"throughput_mbps": mbps}
+                    for engine, mbps in per_engine.items()
+                },
+            }
+        )
+    return {"engines": list(engines), "grid": grid}
+
+
+BASELINE = _record(
+    {
+        (4, 4096): {"nfa": 10.0, "fused": 100.0},
+        (16, 4096): {"nfa": 5.0, "fused": 80.0},
+        (16, 16384): {"nfa": 5.0, "fused": 90.0},
+    }
+)
+
+
+class TestCompareRecords:
+    def test_identical_records_pass(self):
+        report = compare_records(BASELINE, BASELINE)
+        assert report.ok
+        assert report.matched_cells == 3
+        assert {e.engine for e in report.engines} == {"nfa", "fused"}
+        for engine in report.engines:
+            assert engine.median_ratio == pytest.approx(1.0)
+            assert not engine.regressed
+
+    def test_uniform_slowdown_fails(self):
+        slower = _record(
+            {
+                (4, 4096): {"nfa": 10.0, "fused": 50.0},
+                (16, 4096): {"nfa": 5.0, "fused": 40.0},
+                (16, 16384): {"nfa": 5.0, "fused": 45.0},
+            }
+        )
+        report = compare_records(BASELINE, slower)
+        assert not report.ok
+        assert [e.engine for e in report.regressions] == ["fused"]
+        fused = next(e for e in report.engines if e.engine == "fused")
+        assert fused.median_ratio == pytest.approx(0.5)
+
+    def test_one_noisy_cell_cannot_fail_the_gate(self):
+        """Median verdict: a single 10x-slower cell stays ok while the
+        other cells hold steady."""
+        noisy = _record(
+            {
+                (4, 4096): {"nfa": 10.0, "fused": 10.0},  # 0.1x outlier
+                (16, 4096): {"nfa": 5.0, "fused": 80.0},
+                (16, 16384): {"nfa": 5.0, "fused": 90.0},
+            }
+        )
+        report = compare_records(BASELINE, noisy)
+        assert report.ok
+        fused = next(e for e in report.engines if e.engine == "fused")
+        assert fused.median_ratio == pytest.approx(1.0)
+        assert fused.min_ratio == pytest.approx(0.1)
+
+    def test_cells_match_by_shape_not_position(self):
+        reordered = {
+            "engines": ["nfa", "fused"],
+            "grid": list(reversed(BASELINE["grid"])),
+        }
+        report = compare_records(BASELINE, reordered)
+        assert report.ok
+        assert report.matched_cells == 3
+
+    def test_unmatched_cells_counted_not_judged(self):
+        extended = _record(
+            {
+                (4, 4096): {"nfa": 10.0, "fused": 100.0},
+                (64, 65536): {"nfa": 1.0, "fused": 1.0},  # new shape
+            }
+        )
+        report = compare_records(BASELINE, extended)
+        assert report.matched_cells == 1
+        assert report.unmatched_old == 2
+        assert report.unmatched_new == 1
+        assert report.ok
+
+    def test_no_common_cells_is_a_note_not_a_failure(self):
+        other = _record({(99, 99): {"nfa": 1.0, "fused": 1.0}})
+        report = compare_records(BASELINE, other)
+        assert report.ok
+        assert report.engines == []
+        assert any("nothing compared" in note for note in report.notes)
+
+    def test_engine_missing_from_new_record_gets_note(self):
+        report = compare_records(BASELINE, BASELINE, engines=["baseline"])
+        assert report.ok
+        assert any("baseline" in note for note in report.notes)
+
+    def test_default_engines_is_intersection(self):
+        new = _record(
+            {(4, 4096): {"fused": 100.0}}, engines=("fused",)
+        )
+        report = compare_records(BASELINE, new)
+        assert [e.engine for e in report.engines] == ["fused"]
+
+    def test_zero_and_missing_throughput_skipped(self):
+        degenerate = _record(
+            {
+                (4, 4096): {"nfa": 0.0, "fused": 100.0},
+                (16, 4096): {"fused": 80.0},
+                (16, 16384): {"nfa": 5.0, "fused": 90.0},
+            }
+        )
+        report = compare_records(BASELINE, degenerate)
+        nfa = next(e for e in report.engines if e.engine == "nfa")
+        assert nfa.cells == 1
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            compare_records(BASELINE, BASELINE, threshold=0.0)
+        with pytest.raises(ValueError):
+            compare_records(BASELINE, BASELINE, threshold=1.0)
+
+    def test_threshold_boundary(self):
+        """A drop exactly at the threshold passes; just past it fails."""
+        at_boundary = _record(
+            {
+                key: {e: t * (1.0 - DEFAULT_THRESHOLD) for e, t in v.items()}
+                for key, v in {
+                    (4, 4096): {"nfa": 10.0, "fused": 100.0},
+                    (16, 4096): {"nfa": 5.0, "fused": 80.0},
+                    (16, 16384): {"nfa": 5.0, "fused": 90.0},
+                }.items()
+            }
+        )
+        assert compare_records(BASELINE, at_boundary).ok
+        report = compare_records(
+            BASELINE, at_boundary, threshold=DEFAULT_THRESHOLD - 0.01
+        )
+        assert not report.ok
+
+    def test_report_json_shape(self):
+        report = compare_records(BASELINE, BASELINE)
+        doc = report.to_json()
+        assert doc["ok"] is True
+        assert doc["regressed"] == []
+        assert doc["threshold"] == DEFAULT_THRESHOLD
+        assert all(
+            set(e) >= {"engine", "cells", "median_ratio", "regressed"}
+            for e in doc["engines"]
+        )
+
+    def test_format_regression_renders(self):
+        table = format_regression(compare_records(BASELINE, BASELINE))
+        assert "engine" in table
+        assert "ok" in table
+        assert "threshold" in table
+
+
+class TestCLI:
+    def _write(self, tmp_path, name, record):
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    def test_exit_zero_when_ok(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", BASELINE)
+        new = self._write(tmp_path, "new.json", BASELINE)
+        assert main([old, new]) == 0
+        assert "engine" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        slower = _record(
+            {
+                (4, 4096): {"nfa": 1.0, "fused": 10.0},
+                (16, 4096): {"nfa": 0.5, "fused": 8.0},
+                (16, 16384): {"nfa": 0.5, "fused": 9.0},
+            }
+        )
+        old = self._write(tmp_path, "old.json", BASELINE)
+        new = self._write(tmp_path, "new.json", slower)
+        assert main([old, new]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_exit_two_on_unreadable_record(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", BASELINE)
+        assert main([old, str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main([old, str(bad)]) == 2
+
+    def test_json_mode(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", BASELINE)
+        assert main([old, old, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+
+    def test_engine_subset_flag(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", BASELINE)
+        assert main([old, old, "--engines", "fused"]) == 0
+        assert "nfa" not in capsys.readouterr().out
+
+    def test_committed_baseline_compares_against_itself(self, capsys):
+        """The committed BENCH_scan.json is a valid regress input."""
+        assert main(["BENCH_scan.json", "BENCH_scan.json"]) == 0
+        out = capsys.readouterr().out
+        assert "matched cells" in out

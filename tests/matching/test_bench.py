@@ -78,3 +78,22 @@ def test_all_engines_registered_for_bench():
     assert "sharded" in ENGINES
     with pytest.raises(ValueError):
         bench_cell(PATTERNS, DATA, ["fused", "__nope__"], repeats=1)
+
+
+def test_provenance_stamped_into_cells_and_record():
+    from repro.matching.bench import provenance
+
+    cell = bench_cell(PATTERNS, DATA, ["nfa", "fused"], repeats=1)
+    prov = cell["provenance"]
+    assert set(prov) == {"git_revision", "cpus", "python", "load_avg_1m"}
+    assert prov["cpus"] >= 1
+    assert prov["python"][0].isdigit()
+    record = bench_grid(
+        pattern_counts=(1,),
+        input_sizes=(256,),
+        engines=["nfa", "fused"],
+        repeats=1,
+        shard_counts=(1,),
+    )
+    assert record["provenance"]["python"] == prov["python"]
+    assert all("provenance" in c for c in record["grid"])

@@ -404,3 +404,100 @@ def test_bench_shard_scaling_record_shape():
     for row in record["shards"]:
         assert row["matches"] == record["fused"]["matches"]
         assert "speedup_vs_fused" in row
+
+
+# ---------------------------------------------------------------------------
+# Worker telemetry aggregation (satellite of the observability PR)
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerStats:
+    """Worker-side counters cross the process boundary with each reply
+    and merge into the parent registry as monotone per-shard deltas."""
+
+    def test_process_workers_ship_stats(self):
+        compiled = compile_all(["ax", "bx"])
+        data = b"ax bx " * 50
+        with telemetry.session():
+            with ShardedScanner(compiled, num_shards=2) as scanner:
+                scanner.scan(data)
+                worker_stats = scanner.stats()["worker_stats"]
+            snapshot = telemetry.snapshot()
+        assert set(worker_stats) == {0, 1}
+        for stats in worker_stats.values():
+            assert stats["symbols"] == len(data)
+            assert set(stats) >= {"cache_hits", "cache_misses", "symbols"}
+        counters = snapshot["counters"]
+        assert counters["scan.shard.symbols{shard=0}"] == len(data)
+        assert counters["scan.shard.symbols{shard=1}"] == len(data)
+
+    def test_inline_backend_ships_stats(self):
+        compiled = compile_all(["ax", "bx"])
+        data = b"ax bx " * 50
+        with telemetry.session():
+            with ShardedScanner(
+                compiled, num_shards=2, backend="inline"
+            ) as scanner:
+                scanner.scan(data)
+            snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["scan.shard.symbols{shard=0}"] == len(
+            data
+        )
+
+    def test_deltas_stay_monotone_across_feeds(self):
+        """Workers ship cumulative totals; the parent publishes only the
+        delta, so N feeds sum to exactly N x the per-feed work."""
+        compiled = compile_all(["ax", "bx"])
+        data = b"ax bx " * 20
+        with telemetry.session():
+            with ShardedScanner(compiled, num_shards=2) as scanner:
+                scanner.feed(data)
+                scanner.feed(data)
+                scanner.feed(data)
+            snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["scan.shard.symbols{shard=0}"] == 3 * len(
+            data
+        )
+
+    def test_restart_resets_worker_baselines(self):
+        """A restarted worker's counters begin again at zero; the parent
+        clears its published baseline so the next delta is not negative
+        (and not silently dropped)."""
+        data = b"ax bx cx " * 20
+        with telemetry.session():
+            with ShardedScanner(
+                compile_all(["ax", "bx"]), num_shards=2
+            ) as scanner:
+                scanner.feed(data)
+                # add_patterns restarts the receiving shard: its fresh
+                # worker's cumulative counters begin again at zero.
+                scanner.add_patterns(
+                    compile_all(["cx"]), pattern_ids=[2]
+                )
+                scanner.feed(data)
+                restarted = {
+                    index: stats["symbols"]
+                    for index, stats in scanner.stats()[
+                        "worker_stats"
+                    ].items()
+                }
+            snapshot = telemetry.snapshot()
+        # The restarted worker's cumulative count covers one feed; the
+        # untouched worker's covers both.
+        assert sorted(restarted.values()) == [len(data), 2 * len(data)]
+        counters = snapshot["counters"]
+        total = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("scan.shard.symbols{")
+        )
+        # Every shard scanned every feed: 2 shards x 2 feeds, nothing
+        # dropped and nothing double-published across the restart.
+        assert total == 4 * len(data)
+
+    def test_stats_survive_without_telemetry_session(self):
+        compiled = compile_all(["ax", "bx"])
+        with ShardedScanner(compiled, num_shards=2) as scanner:
+            scanner.scan(b"ax bx " * 10)
+            worker_stats = scanner.stats()["worker_stats"]
+        assert all(s["symbols"] == 60 for s in worker_stats.values())

@@ -68,3 +68,156 @@ class TestMetricsFiles:
         path = str(tmp_path / "metrics.json")
         write_metrics(path, {"counters": {"x": 1}})
         assert load_metrics(path) == {"counters": {"x": 1}}
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition format
+# ---------------------------------------------------------------------------
+
+import re as _re
+import urllib.request
+
+from repro.telemetry.export import METRICS_FORMATS, MetricsServer, to_prometheus
+
+_SAMPLE_RE = _re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"                       # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""  # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (-?[0-9.e+-]+|[+-]Inf|NaN)$"
+)
+_TYPE_RE = _re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def lint_prometheus(text: str) -> dict:
+    """A small text-format lint: every line is a valid sample or a TYPE
+    comment, each family's TYPE line precedes its samples and appears
+    exactly once.  Returns {family: type}."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types: dict = {}
+    for line in text.splitlines():
+        type_match = _TYPE_RE.match(line)
+        if type_match:
+            family = type_match.group(1)
+            assert family not in types, f"duplicate TYPE for {family}"
+            types[family] = type_match.group(2)
+            continue
+        assert _SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
+        name = line.split("{")[0].split(" ")[0]
+        assert name in types, f"sample {name!r} before its TYPE line"
+    return types
+
+
+SNAPSHOT = {
+    "counters": {
+        "engine.symbols_scanned": 4096,
+        'scan.shard.cache_hits{shard=1}': 7,
+        'scan.shard.cache_hits{shard=0}': 3,
+    },
+    "gauges": {
+        'engine.active_states{engine=fused}': {"value": 5, "max": 9},
+    },
+    "histograms": {
+        "engine.fused.occupancy": {
+            "bounds": [1, 2, 4],
+            "counts": [10, 5, 1],
+            "count": 17,
+            "sum": 33.5,
+        },
+    },
+    "spans": {
+        "engine.scan": {"count": 2, "total_us": 1500.0, "max_us": 900.0},
+    },
+}
+
+
+class TestPrometheusFormat:
+    def test_lint_passes_on_full_snapshot(self):
+        types = lint_prometheus(to_prometheus(SNAPSHOT))
+        assert types["repro_engine_symbols_scanned_total"] == "counter"
+        assert types["repro_engine_active_states"] == "gauge"
+        assert types["repro_engine_fused_occupancy_bucket"] == "histogram"
+        assert types["repro_span_count"] == "gauge"
+
+    def test_counters_become_total_with_labels(self):
+        text = to_prometheus(SNAPSHOT)
+        assert "repro_engine_symbols_scanned_total 4096" in text
+        assert 'repro_scan_shard_cache_hits_total{shard="0"} 3' in text
+        assert 'repro_scan_shard_cache_hits_total{shard="1"} 7' in text
+
+    def test_histogram_buckets_cumulative_ending_inf(self):
+        text = to_prometheus(SNAPSHOT)
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("repro_engine_fused_occupancy_bucket")
+        ]
+        values = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert values == [10, 15, 16, 17]
+        assert values == sorted(values), "bucket counts must be cumulative"
+        assert 'le="+Inf"} 17' in buckets[-1]
+        assert "repro_engine_fused_occupancy_sum 33.5" in text
+        assert "repro_engine_fused_occupancy_count 17" in text
+
+    def test_label_values_escaped(self):
+        text = to_prometheus(
+            {"counters": {'weird.metric{source=a"b\\c}': 1}}
+        )
+        lint_prometheus(text)
+        assert 'source="a\\"b\\\\c"' in text
+
+    def test_span_summary_labelled_by_name(self):
+        text = to_prometheus(SNAPSHOT)
+        assert 'repro_span_count{span="engine.scan"} 2' in text
+        assert 'repro_span_total_us{span="engine.scan"} 1500' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus({}) == ""
+
+    def test_live_snapshot_lints(self, populated_telemetry):
+        text = to_prometheus(telemetry.snapshot())
+        types = lint_prometheus(text)
+        assert "repro_engine_symbols_scanned_total" in types
+
+    def test_write_metrics_prometheus(self, tmp_path, populated_telemetry):
+        path = str(tmp_path / "metrics.prom")
+        write_metrics(path, fmt="prometheus")
+        lint_prometheus(open(path).read())
+
+    def test_write_metrics_rejects_unknown_format(self, tmp_path):
+        assert set(METRICS_FORMATS) == {"json", "prometheus"}
+        with pytest.raises(ValueError):
+            write_metrics(str(tmp_path / "x"), {}, fmt="yaml")
+
+
+class TestMetricsServer:
+    def test_scrape_endpoints(self, populated_telemetry):
+        with MetricsServer(port=0) as server:
+            assert server.port
+            base = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{base}/metrics") as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                types = lint_prometheus(response.read().decode())
+            assert "repro_engine_symbols_scanned_total" in types
+            with urllib.request.urlopen(f"{base}/metrics.json") as response:
+                doc = json.loads(response.read().decode())
+            assert doc["counters"]["engine.symbols_scanned"] == 10
+
+    def test_unknown_path_404(self):
+        with MetricsServer(port=0) as server:
+            try:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/other"
+                )
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+            else:
+                raise AssertionError("expected 404")
+
+    def test_stop_is_idempotent(self):
+        server = MetricsServer(port=0).start()
+        server.stop()
+        server.stop()

@@ -3,10 +3,13 @@
 ``PatternSet.feed`` keeps the pre-telemetry scan loop as its disabled
 fast path, so scanning with telemetry off must stay within a small
 factor of an un-instrumented copy of that loop timed in the same test
-run (same machine, same load, interleaved samples).
+run (same machine, same load, interleaved samples).  The same contract
+covers the flight recorder and the scan-path profiler: all three share
+the per-chunk enablement check in ``_feed_block``.
 """
 
 from repro import telemetry
+from repro.telemetry import flight, profiler
 from repro.matching import PatternSet
 
 from .._perf import measure_pair, skip_if_loaded
@@ -57,3 +60,34 @@ def test_scan_results_match_baseline():
     ps = PatternSet(PATTERNS)
     scanned = [(m.pattern_id, m.end) for m in ps.scan(DATA)]
     assert scanned == _raw_scan(ps, DATA)
+
+
+def _raw_fused_scan(pattern_set, data):
+    """Un-instrumented fused baseline: FusedMatcher.feed from scratch."""
+    fused = pattern_set._fused
+    fused.reset()
+    return fused.feed(data)
+
+
+def test_disabled_profiler_and_flight_overhead_within_bound():
+    """With profiler + flight off, the fused scan is the identical loop
+    plus the shared per-chunk enablement check."""
+    skip_if_loaded()
+    assert not telemetry.enabled()
+    assert not flight.flight_enabled()
+    assert not profiler.profiling_enabled()
+    ps = PatternSet(PATTERNS, engine="fused")
+
+    ps.scan(DATA)
+    _raw_fused_scan(ps, DATA)
+
+    instrumented, baseline = measure_pair(
+        lambda: ps.scan(DATA),
+        lambda: _raw_fused_scan(ps, DATA),
+        rounds=ROUNDS,
+    )
+
+    assert instrumented <= baseline * 1.15 + 1e-3, (
+        f"disabled-profiler/flight fused scan {instrumented * 1e3:.3f} ms "
+        f"vs uninstrumented baseline {baseline * 1e3:.3f} ms"
+    )
