@@ -63,6 +63,24 @@ def main(argv=None) -> int:
         help="fail unless the headline fused speedup is >= FACTOR",
     )
     parser.add_argument(
+        "--match-rates", default="0.0,0.01,0.5", dest="match_rates",
+        help="comma-separated plant rates for the fused-tier match-rate "
+             "axis (measured at the largest pattern count; empty string "
+             "disables)",
+    )
+    parser.add_argument(
+        "--check-table", type=float, default=None, metavar="FACTOR",
+        dest="check_table",
+        help="fail unless the table-vs-bitset speedup at the lowest "
+             "match rate is >= FACTOR",
+    )
+    parser.add_argument(
+        "--check-prefilter", type=float, default=None, metavar="FACTOR",
+        dest="check_prefilter",
+        help="fail unless the prefilter-vs-bitset speedup at the 0%% "
+             "match-rate cell is >= FACTOR",
+    )
+    parser.add_argument(
         "--compile-patterns", type=int, default=64, dest="compile_patterns",
         help="ruleset size for the cold/warm compile-cache cell "
              "(0 disables the cell)",
@@ -91,6 +109,9 @@ def main(argv=None) -> int:
     shard_counts = tuple(
         int(s) for s in args.shards.split(",") if s.strip()
     )
+    match_rates = tuple(
+        float(s) for s in args.match_rates.split(",") if s.strip()
+    )
     record = bench_grid(
         profile_name=args.profile,
         pattern_counts=pattern_counts,
@@ -99,6 +120,7 @@ def main(argv=None) -> int:
         repeats=repeats,
         seed=args.seed,
         shard_counts=shard_counts or None,
+        match_rates=match_rates or None,
     )
     if args.compile_patterns:
         record["compile_cache"] = bench_compile_cache(
@@ -122,6 +144,30 @@ def main(argv=None) -> int:
         if headline is None or headline < args.check:
             print(
                 f"FAIL: headline speedup {headline} below --check {args.check}",
+                file=sys.stderr,
+            )
+            return 1
+    table_speedup = record.get("table_speedup_low_match")
+    prefilter_speedup = record.get("prefilter_speedup_zero_match")
+    if table_speedup is not None:
+        print(
+            f"tiers: table-driven fused is {table_speedup:.2f}x bitset "
+            f"fused at the lowest match rate; prefiltered scan is "
+            f"{prefilter_speedup or 0:.2f}x at 0% match rate"
+        )
+    if args.check_table is not None:
+        if table_speedup is None or table_speedup < args.check_table:
+            print(
+                f"FAIL: table speedup {table_speedup} below "
+                f"--check-table {args.check_table}",
+                file=sys.stderr,
+            )
+            return 1
+    if args.check_prefilter is not None:
+        if prefilter_speedup is None or prefilter_speedup < args.check_prefilter:
+            print(
+                f"FAIL: prefilter speedup {prefilter_speedup} below "
+                f"--check-prefilter {args.check_prefilter}",
                 file=sys.stderr,
             )
             return 1

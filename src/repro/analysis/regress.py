@@ -5,8 +5,11 @@ runners share cores, thermal throttling skews one cell, and a 16 KiB
 scan finishes in microseconds.  This comparator is the regression gate's
 answer:
 
-* cells are matched **by shape** — ``(num_patterns, input_bytes)`` —
-  never by position, so reordered or extended grids still compare;
+* cells are matched **by shape** — ``(num_patterns, input_bytes,
+  match_rate)``, with ``match_rate=None`` for the classic grid — never
+  by position, so reordered or extended grids still compare; the
+  ``match_rate_grid`` section (fused tier variants) joins the same
+  pool;
 * per engine, every matched cell contributes a throughput ratio
   (new / old), and the engine's verdict is the **median** ratio — one
   noisy cell cannot fail the gate, a real slowdown shifts every cell;
@@ -46,14 +49,28 @@ def _median(values: Sequence[float]) -> float:
     return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
-def _cells_by_shape(
-    record: Mapping[str, Any]
-) -> Dict[Tuple[int, int], Mapping[str, Any]]:
-    out: Dict[Tuple[int, int], Mapping[str, Any]] = {}
+#: Cell-shape key: ``match_rate`` is ``None`` for classic grid cells so
+#: legacy records (no match-rate axis) keep comparing unchanged.
+_Shape = Tuple[int, int, Optional[float]]
+
+
+def _cells_by_shape(record: Mapping[str, Any]) -> Dict[_Shape, Mapping[str, Any]]:
+    out: Dict[_Shape, Mapping[str, Any]] = {}
     for cell in record.get("grid", []):
-        key = (int(cell["num_patterns"]), int(cell["input_bytes"]))
+        key = (int(cell["num_patterns"]), int(cell["input_bytes"]), None)
         out[key] = cell  # last wins; records keep one cell per shape
+    for cell in record.get("match_rate_grid", []):
+        key = (
+            int(cell["num_patterns"]),
+            int(cell["input_bytes"]),
+            float(cell["match_rate"]),
+        )
+        out[key] = cell
     return out
+
+
+def _shape_order(key: _Shape) -> Tuple[int, int, float]:
+    return (key[0], key[1], -1.0 if key[2] is None else key[2])
 
 
 def _throughput(cell: Mapping[str, Any], engine: str) -> Optional[float]:
@@ -140,7 +157,7 @@ def compare_records(
     report = RegressionReport(threshold=threshold)
     old_cells = _cells_by_shape(old)
     new_cells = _cells_by_shape(new)
-    shared = sorted(set(old_cells) & set(new_cells))
+    shared = sorted(set(old_cells) & set(new_cells), key=_shape_order)
     report.matched_cells = len(shared)
     report.unmatched_old = len(old_cells) - len(shared)
     report.unmatched_new = len(new_cells) - len(shared)
@@ -148,9 +165,17 @@ def compare_records(
         report.notes.append("no grid cells in common; nothing compared")
         return report
     if engines is None:
-        engines = sorted(
-            set(old.get("engines", [])) & set(new.get("engines", []))
-        )
+        # Engines listed by both records, plus any pseudo-engine that
+        # appears in matched cell timings on both sides (the fused tier
+        # variants of the match-rate axis are not in ``engines``).
+        names = set(old.get("engines", [])) & set(new.get("engines", []))
+        names |= {
+            name
+            for key in shared
+            for name in old_cells[key].get("timings", {})
+            if name in new_cells[key].get("timings", {})
+        }
+        engines = sorted(names)
     for engine in engines:
         ratios: List[float] = []
         for key in shared:

@@ -120,6 +120,15 @@ def profile_summary_table(profile: Mapping[str, Any], top: int = 10) -> str:
             f"({cache.get('hit_ratio', 0.0):.1%} hit ratio, "
             f"{len(cache.get('series', []))} series points)"
         )
+    stepping = profile.get("stepping", {})
+    if stepping.get("steps_table") or stepping.get("steps_bitset"):
+        lines.append(
+            f"stepping tiers: table {stepping.get('table_share', 0.0):.1%} "
+            f"({stepping.get('steps_table', 0)} bytes) / "
+            f"bitset {stepping.get('bitset_share', 0.0):.1%} "
+            f"({stepping.get('steps_bitset', 0)} bytes), "
+            f"{stepping.get('skipped_bytes', 0)} prefilter-skipped"
+        )
     classes = profile.get("byte_classes", [])
     if classes:
         worst = classes[0]

@@ -41,7 +41,7 @@ from .hardware.simulator import (
     compile_baseline,
 )
 from .hardware.specs import CA_SPEC, CAMA_SPEC, EAP_SPEC
-from .matching import ENGINES, PatternSet
+from .matching import DEFAULT_TABLE_STATES, ENGINES, PatternSet
 from .resilience import Budget, FaultSpec, ReproError, format_report, run_campaign
 from .telemetry.export import (
     METRICS_FORMATS,
@@ -108,6 +108,7 @@ def _budget(args: argparse.Namespace) -> Budget:
         max_unfold=getattr(args, "max_unfold", None),
         max_bv_width=getattr(args, "max_bv_width", None),
         max_cache_bytes=getattr(args, "max_cache_bytes", None),
+        max_table_states=getattr(args, "table_states", None),
         deadline_s=getattr(args, "deadline", None),
     )
 
@@ -219,6 +220,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
         on_error="quarantine" if args.quarantine else "raise",
         shards=getattr(args, "shards", None),
         cache=_compile_cache(args),
+        prefilter=not getattr(args, "no_prefilter", False),
     )
     with matcher:
         for pattern_id, report in sorted(matcher.quarantined.items()):
@@ -271,6 +273,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     cell = bench_mod.bench_cell(
         patterns, data, engines, _compiler_options(args), args.repeats,
         shards=args.shards,
+        prefilter=not getattr(args, "no_prefilter", False),
     )
     record = {
         "benchmark": "fused_scan",
@@ -332,6 +335,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         # binding per shard, merged by global pattern id).
         shard_backend="inline",
         cache=_compile_cache(args),
+        prefilter=not getattr(args, "no_prefilter", False),
     )
     with matcher:
         for pattern_id, report in sorted(matcher.quarantined.items()):
@@ -553,7 +557,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="budget: widest virtual bit vector per pattern")
         p.add_argument("--max-cache-bytes", type=int, default=None,
                        dest="max_cache_bytes",
-                       help="budget: fused-engine lazy-DFA cache bytes")
+                       help="budget: fused-engine lazy-DFA cache bytes "
+                            "(also caps the dense transition table)")
+        p.add_argument("--table-states", type=int, default=None,
+                       dest="table_states",
+                       help="budget: dense-table states for the fused "
+                            "engine (0 disables the table tier; default "
+                            f"{DEFAULT_TABLE_STATES})")
         p.add_argument("--deadline", type=float, default=None,
                        dest="deadline",
                        help="budget: cooperative wall-clock deadline (s)")
@@ -581,6 +591,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: one per CPU core)")
     p_scan.add_argument("--quarantine", action="store_true",
                         help="isolate bad patterns instead of aborting")
+    p_scan.add_argument("--no-prefilter", action="store_true",
+                        dest="no_prefilter",
+                        help="disable the fused engine's literal prefilter")
     add_compiler_flags(p_scan)
     add_common_flags(p_scan)
     p_scan.set_defaults(func=cmd_scan)
@@ -616,6 +629,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="where to write the ScanProfile JSON")
     p_profile.add_argument("--quarantine", action="store_true",
                            help="isolate bad patterns instead of aborting")
+    p_profile.add_argument("--no-prefilter", action="store_true",
+                           dest="no_prefilter",
+                           help="disable the fused engine's literal "
+                                "prefilter")
     add_compiler_flags(p_profile)
     add_common_flags(p_profile)
     p_profile.set_defaults(func=cmd_profile)
@@ -640,6 +657,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes when timing the sharded "
                               "engine (default: one per CPU core)")
     p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--no-prefilter", action="store_true",
+                         dest="no_prefilter",
+                         help="disable the fused engine's literal prefilter")
     p_bench.add_argument("--json", default=None, dest="json_out",
                          help="also write the record as JSON")
     add_compiler_flags(p_bench)

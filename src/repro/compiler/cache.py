@@ -18,12 +18,17 @@ Cache key
   :class:`CompilerOptions` knob that can change the compiled artifact:
   ``bv_size``, ``unfold_threshold``, all :class:`ArchParams` capacities,
   and the compile-time budget limits (``max_states`` / ``max_unfold`` /
-  ``max_bv_width``).  Runtime-only knobs (deadline, scan-cache bytes)
-  are deliberately excluded — they never alter the artifact;
+  ``max_bv_width``).  Runtime-only knobs (deadline, scan-cache bytes,
+  dense-table states) are deliberately excluded — they never alter the
+  artifact;
 * **code version** (:func:`code_version`) — a digest over the source of
   every package that determines compiler output (``repro.regex``,
   ``repro.automata``, ``repro.compiler``), so editing any compiler pass
-  invalidates the whole cache automatically.
+  invalidates the whole cache automatically.  The prefilter literal
+  extractor (``repro.compiler.prefilter``) lives in the versioned tree:
+  its per-pattern ``literals`` ride inside the cached
+  :class:`CompiledRegex`, and any change to the extraction rules rolls
+  the digest and recompiles them.
 
 Layers
 ------

@@ -45,6 +45,7 @@ from ..resilience.report import CompileReport, report_from_error
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a hard import
     from .cache import CompileCache
 from .encoding import EncodingSchema, build_encoding
+from .prefilter import PatternLiterals, extract_literals
 from .mapping import ArchParams, AutomatonDemand, MappingError, MappingResult, map_automata
 from .translate import translate
 
@@ -102,6 +103,10 @@ class CompiledRegex:
     #: Size of the Glushkov NFA of the fully unfolded regex (the footprint
     #: on unfolding-based baselines); None if unfolding would exceed `cap`.
     unfolded_states: Optional[int] = None
+    #: Required-literal prefilter contract (see repro.compiler.prefilter);
+    #: None when the pattern has no usable required literal and must stay
+    #: always-on in the fused scan engine.
+    literals: Optional[PatternLiterals] = None
 
     @property
     def num_stes(self) -> int:
@@ -246,6 +251,7 @@ def compile_ast(
         nbva=nbva,
         ah=ah,
         unfolded_states=unfolded_states,
+        literals=extract_literals(parsed),
     )
 
 

@@ -1,0 +1,352 @@
+"""Compile-time required-literal extraction for scan prefiltering.
+
+The fused scan engine (:mod:`repro.matching.fused`) can skip the
+automaton over stretches of input that provably contain no match — but
+only for patterns that *require* some literal byte string to appear in
+every match.  This module derives that guarantee from the parsed AST.
+
+The contract is a :class:`PatternLiterals` bundle of
+:class:`LiteralHint`\\ s ``(literal, pre)`` meaning:
+
+    every match of the pattern contains at least one of the hint
+    literals, starting at most ``pre`` bytes after the match start.
+
+That "pre" bound is what lets the matcher arm the pattern's start
+states only inside ``[occurrence - pre, occurrence]`` windows around
+each literal occurrence (see ``docs/matching.md``).  Soundness rules:
+
+* a nullable subtree requires nothing (the empty match has no bytes);
+* ``X{0,n}``, ``X*``, ``X?`` contribute **no** required literal, even
+  when ``X`` is a literal — the repetition may match zero times;
+* ``X{m,n}`` with ``m >= 1`` and ``X+`` require whatever ``X`` requires
+  (the first iteration starts at offset 0);
+* alternations require literals only when *both* branches do;
+* a literal inside ``Concat(left, right)`` shifts its ``pre`` by the
+  *maximum* match length of ``left`` — unbounded lefts (``.*lit``)
+  therefore disqualify the right-hand literal.
+
+Truncating a required literal to a prefix is always sound (a superset
+of positions is armed), which keeps ``bytes.find`` probes short.
+
+Extraction is intentionally conservative: ``extract_literals`` returns
+``None`` whenever no *useful* guarantee exists (literals too short, too
+many alternatives, or an unbounded ``pre``), and the engine keeps such
+patterns always-on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..regex.ast import (
+    Alternation,
+    Concat,
+    Epsilon,
+    Optional_,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    Symbol,
+    nullable,
+)
+
+__all__ = [
+    "LiteralHint",
+    "PatternLiterals",
+    "extract_literals",
+    "max_match_len",
+    "MIN_LITERAL_LEN",
+    "MAX_LITERAL_LEN",
+    "MAX_LITERAL_ALTS",
+    "MAX_PREFIX_DISTANCE",
+]
+
+#: Literals shorter than this are useless as filters (single bytes fire
+#: roughly every ``256/size`` input bytes) and disqualify the pattern.
+MIN_LITERAL_LEN = 2
+#: Required literals are truncated to this many bytes before matching;
+#: longer probes buy nothing once the false-positive rate is tiny.
+MAX_LITERAL_LEN = 16
+#: Maximum number of distinct hint literals per pattern; more than this
+#: and the per-chunk ``bytes.find`` sweep stops paying for itself.
+MAX_LITERAL_ALTS = 8
+#: Maximum allowed ``pre`` (arming window) per hint.  Patterns whose
+#: literal can sit arbitrarily far into the match stay always-on.
+MAX_PREFIX_DISTANCE = 256
+
+#: Character classes wider than this are not expanded into literal
+#: alternatives during exact-language computation.
+_EXACT_CLASS_LIMIT = 4
+#: Caps on the exact-literal-language helper: alternative count and
+#: total byte length per alternative.
+_EXACT_MAX_ALTS = 16
+_EXACT_MAX_LEN = 64
+
+
+@dataclass(frozen=True)
+class LiteralHint:
+    """One required literal: occurs in every match, starting at most
+    ``pre`` bytes after the match start."""
+
+    literal: bytes
+    pre: int
+
+
+@dataclass(frozen=True)
+class PatternLiterals:
+    """The prefilter contract for one pattern (see module docstring)."""
+
+    hints: Tuple[LiteralHint, ...]
+
+    @property
+    def max_literal_len(self) -> int:
+        return max(len(hint.literal) for hint in self.hints)
+
+    @property
+    def max_reach(self) -> int:
+        """Widest ``pre + len(literal)`` over the hints — how far past a
+        match start the latest required byte can sit."""
+        return max(hint.pre + len(hint.literal) for hint in self.hints)
+
+
+# ----------------------------------------------------------------------
+# Maximum match length (None = unbounded)
+
+
+def max_match_len(node: Regex) -> Optional[int]:
+    """Longest possible match of ``node`` in bytes, ``None`` if unbounded."""
+    return _max_len(node, {})
+
+
+def _max_len(node: Regex, memo: Dict[Regex, Optional[int]]) -> Optional[int]:
+    if node in memo:
+        return memo[node]
+    result: Optional[int]
+    if isinstance(node, Epsilon):
+        result = 0
+    elif isinstance(node, Symbol):
+        result = 1
+    elif isinstance(node, Concat):
+        left = _max_len(node.left, memo)
+        right = _max_len(node.right, memo)
+        result = None if left is None or right is None else left + right
+    elif isinstance(node, Alternation):
+        left = _max_len(node.left, memo)
+        right = _max_len(node.right, memo)
+        result = None if left is None or right is None else max(left, right)
+    elif isinstance(node, Optional_):
+        result = _max_len(node.inner, memo)
+    elif isinstance(node, (Star, Plus)):
+        inner = _max_len(node.inner, memo)
+        result = 0 if inner == 0 else None
+    elif isinstance(node, Repeat):
+        inner = _max_len(node.inner, memo)
+        if inner == 0:
+            result = 0
+        elif node.high is None or inner is None:
+            result = None
+        else:
+            result = inner * node.high
+    else:  # pragma: no cover - future node kinds stay conservative
+        result = None
+    memo[node] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# Exact literal language (None when not a small finite set of literals)
+
+
+def _exact(
+    node: Regex, memo: Dict[Regex, Optional[FrozenSet[bytes]]]
+) -> Optional[FrozenSet[bytes]]:
+    """The complete match language of ``node`` as a small set of byte
+    strings, or ``None`` when it is not exactly such a set (within the
+    ``_EXACT_*`` caps).  Used to join literal runs — ``literal("abc")``
+    parses to a Concat tree of single-byte symbols — and to turn small
+    alternations of literals into hint alternatives."""
+    if node in memo:
+        return memo[node]
+    result: Optional[FrozenSet[bytes]] = None
+    if isinstance(node, Epsilon):
+        result = frozenset((b"",))
+    elif isinstance(node, Symbol):
+        if node.cc.size() <= _EXACT_CLASS_LIMIT:
+            result = frozenset(bytes((byte,)) for byte in node.cc)
+    elif isinstance(node, Concat):
+        left = _exact(node.left, memo)
+        right = _exact(node.right, memo) if left is not None else None
+        if left is not None and right is not None:
+            joined = set()
+            for a in left:
+                for b in right:
+                    if len(a) + len(b) > _EXACT_MAX_LEN:
+                        joined = None
+                        break
+                    joined.add(a + b)
+                if joined is None or len(joined) > _EXACT_MAX_ALTS:
+                    joined = None
+                    break
+            result = frozenset(joined) if joined is not None else None
+    elif isinstance(node, Alternation):
+        left = _exact(node.left, memo)
+        right = _exact(node.right, memo) if left is not None else None
+        if left is not None and right is not None:
+            union = left | right
+            result = union if len(union) <= _EXACT_MAX_ALTS else None
+    elif isinstance(node, Optional_):
+        inner = _exact(node.inner, memo)
+        if inner is not None and len(inner) + 1 <= _EXACT_MAX_ALTS:
+            result = inner | {b""}
+    elif isinstance(node, Repeat) and node.high is not None:
+        inner = _exact(node.inner, memo)
+        if inner is not None:
+            tiers = frozenset((b"",))
+            language = set() if node.low > 0 else {b""}
+            ok = True
+            for count in range(1, node.high + 1):
+                joined = set()
+                for a in tiers:
+                    for b in inner:
+                        if len(a) + len(b) > _EXACT_MAX_LEN:
+                            ok = False
+                            break
+                        joined.add(a + b)
+                    if not ok or len(joined) > _EXACT_MAX_ALTS:
+                        ok = False
+                        break
+                if not ok:
+                    break
+                tiers = frozenset(joined)
+                if count >= node.low:
+                    language |= tiers
+                if len(language) > _EXACT_MAX_ALTS:
+                    ok = False
+                    break
+            result = frozenset(language) if ok else None
+    # Star / Plus: infinite languages, stay None.
+    memo[node] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# Required-literal alternatives
+
+
+def _required(
+    node: Regex,
+    memo: Dict[Regex, Optional[Tuple[Tuple[bytes, int], ...]]],
+    exact_memo: Dict[Regex, Optional[FrozenSet[bytes]]],
+    len_memo: Dict[Regex, Optional[int]],
+) -> Optional[Tuple[Tuple[bytes, int], ...]]:
+    """A tuple of ``(literal, pre)`` alternatives such that every match
+    of ``node`` contains one of the literals starting at most ``pre``
+    bytes after the match start — or ``None`` when no finite guarantee
+    exists."""
+    if node in memo:
+        return memo[node]
+    result: Optional[Tuple[Tuple[bytes, int], ...]] = None
+    if nullable(node):
+        # The empty match contains no literal at all.
+        memo[node] = None
+        return None
+
+    candidates = []
+    exact = _exact(node, exact_memo)
+    if exact and all(exact):
+        candidates.append(tuple((lit, 0) for lit in sorted(exact)))
+
+    if isinstance(node, Concat):
+        left = _required(node.left, memo, exact_memo, len_memo)
+        if left is not None:
+            candidates.append(left)
+        left_max = _max_len(node.left, len_memo)
+        if left_max is not None:
+            right = _required(node.right, memo, exact_memo, len_memo)
+            if right is not None:
+                candidates.append(
+                    tuple((lit, pre + left_max) for lit, pre in right)
+                )
+    elif isinstance(node, Alternation):
+        left = _required(node.left, memo, exact_memo, len_memo)
+        right = (
+            _required(node.right, memo, exact_memo, len_memo)
+            if left is not None
+            else None
+        )
+        if left is not None and right is not None:
+            merged: Dict[bytes, int] = {}
+            for lit, pre in left + right:
+                prev = merged.get(lit)
+                if prev is None or pre > prev:
+                    merged[lit] = pre
+            candidates.append(tuple(sorted(merged.items())))
+    elif isinstance(node, Plus):
+        inner = _required(node.inner, memo, exact_memo, len_memo)
+        if inner is not None:
+            candidates.append(inner)
+    elif isinstance(node, Repeat) and node.low >= 1:
+        # The first of the >= 1 mandatory iterations starts at offset 0.
+        inner = _required(node.inner, memo, exact_memo, len_memo)
+        if inner is not None:
+            candidates.append(inner)
+    # Star / Optional_ / Repeat{0,n} are nullable and returned above;
+    # Symbol and Epsilon are covered by the exact-language candidate.
+
+    if candidates:
+        result = max(candidates, key=_candidate_score)
+    memo[node] = result
+    return result
+
+
+def _candidate_score(
+    candidate: Tuple[Tuple[bytes, int], ...]
+) -> Tuple[int, int, int]:
+    """Prefer longer literals, then fewer alternatives, then tighter
+    arming windows."""
+    shortest = min(len(lit) for lit, _ in candidate)
+    widest_pre = max(pre for _, pre in candidate)
+    return (shortest, -len(candidate), -widest_pre)
+
+
+# ----------------------------------------------------------------------
+# Public entry point
+
+
+def extract_literals(
+    node: Regex,
+    *,
+    min_len: int = MIN_LITERAL_LEN,
+    max_len: int = MAX_LITERAL_LEN,
+    max_alts: int = MAX_LITERAL_ALTS,
+    max_pre: int = MAX_PREFIX_DISTANCE,
+) -> Optional[PatternLiterals]:
+    """Derive the prefilter contract for one parsed pattern.
+
+    Returns ``None`` when the pattern has no usable required literal —
+    the engine then keeps its start states always armed.
+    """
+    required = _required(node, {}, {}, {})
+    if required is None:
+        return None
+    # Truncation to a prefix is sound; merge duplicates on the widest pre.
+    merged: Dict[bytes, int] = {}
+    for literal, pre in required:
+        prefix = literal[:max_len]
+        prev = merged.get(prefix)
+        if prev is None or pre > prev:
+            merged[prefix] = pre
+    if len(merged) > max_alts:
+        return None
+    for literal, pre in merged.items():
+        if len(literal) < min_len or pre > max_pre:
+            return None
+    hints = tuple(
+        LiteralHint(literal, pre)
+        for literal, pre in sorted(
+            merged.items(), key=lambda item: (-len(item[0]), item[0])
+        )
+    )
+    return PatternLiterals(hints)

@@ -10,6 +10,8 @@ from .engine import (
 from .fused import (
     DEFAULT_CACHE_BYTES,
     DEFAULT_CACHE_SIZE,
+    DEFAULT_TABLE_BYTES,
+    DEFAULT_TABLE_STATES,
     FusedAutomaton,
     FusedMatcher,
     build_fused,
@@ -31,6 +33,8 @@ from .sharded import (
 __all__ = [
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_TABLE_BYTES",
+    "DEFAULT_TABLE_STATES",
     "DEFAULT_CHUNK_BYTES",
     "ENGINES",
     "DegradationEvent",

@@ -16,16 +16,24 @@ import random
 import subprocess
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..compiler import CompilerOptions
-from ..workloads import PROFILES, dataset_stream, load_dataset
+from ..workloads import PROFILES, dataset_stream, load_dataset, match_rate_stream
 from .engine import ENGINES, PatternSet
 
 #: The engine every speedup is quoted against: the per-pattern loop over
 #: the same automaton class the fused engine executes.
 BASELINE_ENGINE = "nfa"
+
+#: The three fused stepping tiers, benched as pseudo-engines on the
+#: match-rate axis.  ``table_states=None`` means "engine default".
+FUSED_VARIANTS: Dict[str, Dict[str, object]] = {
+    "fused-bitset": {"table_states": 0, "prefilter": False},
+    "fused-table": {"table_states": None, "prefilter": False},
+    "fused-prefilter": {"table_states": None, "prefilter": True},
+}
 
 _STATIC_PROVENANCE: Optional[Dict[str, object]] = None
 
@@ -108,14 +116,24 @@ def time_engine(
     options: CompilerOptions = CompilerOptions(),
     repeats: int = 3,
     shards: Optional[int] = None,
+    table_states: Optional[int] = None,
+    prefilter: bool = True,
 ) -> EngineTiming:
     """Compile once, scan ``repeats`` times, keep the best wall time.
 
     ``shards`` sizes the worker pool for ``engine="sharded"`` (ignored
     elsewhere); the workers are torn down before returning so bench runs
-    never leak processes.
+    never leak processes.  ``table_states`` (via the budget) and
+    ``prefilter`` pin the fused stepping tier — ``table_states=0`` with
+    ``prefilter=False`` forces pure bitset stepping.
     """
-    kwargs = {"shards": shards} if engine == "sharded" else {}
+    kwargs: Dict[str, object] = {"shards": shards} if engine == "sharded" else {}
+    if engine in ("fused", "sharded"):
+        kwargs["prefilter"] = prefilter
+        if table_states is not None:
+            kwargs["budget"] = replace(
+                options.budget, max_table_states=table_states
+            )
     pattern_set = PatternSet(patterns, options=options, engine=engine, **kwargs)
     try:
         matches = pattern_set.scan(data)  # warm caches/workers before timing
@@ -137,6 +155,7 @@ def bench_cell(
     options: CompilerOptions = CompilerOptions(),
     repeats: int = 3,
     shards: Optional[int] = None,
+    prefilter: bool = True,
 ) -> Dict[str, object]:
     """One grid cell: every engine over the same patterns and input.
 
@@ -144,7 +163,10 @@ def bench_cell(
     cheap differential tripwire inside the perf harness itself.
     """
     timings = [
-        time_engine(patterns, data, engine, options, repeats, shards=shards)
+        time_engine(
+            patterns, data, engine, options, repeats,
+            shards=shards, prefilter=prefilter,
+        )
         for engine in engines
     ]
     counts = {t.engine: t.matches for t in timings}
@@ -206,6 +228,105 @@ def bench_shard_scaling(
     }
 
 
+def _variant_timing(
+    name: str,
+    patterns: Sequence[str],
+    data: bytes,
+    options: CompilerOptions,
+    repeats: int,
+) -> EngineTiming:
+    cfg = FUSED_VARIANTS[name]
+    timing = time_engine(
+        patterns,
+        data,
+        "fused",
+        options,
+        repeats,
+        table_states=cfg["table_states"],  # type: ignore[arg-type]
+        prefilter=bool(cfg["prefilter"]),
+    )
+    timing.engine = name
+    return timing
+
+
+def bench_match_rates(
+    profile_name: str = "RegexLib",
+    num_patterns: int = 16,
+    input_size: int = 1 << 16,
+    rates: Sequence[float] = (0.0, 0.01, 0.5),
+    options: CompilerOptions = CompilerOptions(),
+    repeats: int = 3,
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """The match-rate axis: the three fused tiers at each plant rate.
+
+    The prefilter's win shrinks as the match rate rises (more of the
+    input sits inside armed windows), so each cell times pure bitset
+    stepping, the dense table, and table+prefilter over the same input
+    and quotes ``table_speedup`` / ``prefilter_speedup`` against the
+    bitset tier.  Before timing, the three variants' *full match
+    streams* (not just counts) are compared — the bench doubles as a
+    differential tripwire for the tier fallback logic.
+    """
+    profile = PROFILES[profile_name]
+    patterns = load_dataset(profile_name, num_patterns, seed)
+    cells: List[Dict[str, object]] = []
+    for rate in rates:
+        data = match_rate_stream(
+            patterns,
+            random.Random(seed + int(rate * 10_000)),
+            input_size,
+            profile.literal_pool,
+            rate,
+        )
+        streams = {}
+        for name, cfg in FUSED_VARIANTS.items():
+            budget = replace(
+                options.budget,
+                max_table_states=cfg["table_states"],  # type: ignore[arg-type]
+            )
+            ps = PatternSet(
+                patterns,
+                options=options,
+                engine="fused",
+                budget=budget,
+                prefilter=bool(cfg["prefilter"]),
+            )
+            try:
+                streams[name] = ps.scan(data)
+            finally:
+                ps.close()
+        if len({tuple(s) for s in streams.values()}) > 1:
+            counts = {name: len(s) for name, s in streams.items()}
+            raise AssertionError(
+                f"fused tiers disagree at match rate {rate}: {counts}"
+            )
+        timings = {
+            name: _variant_timing(name, patterns, data, options, repeats)
+            for name in FUSED_VARIANTS
+        }
+        cell: Dict[str, object] = {
+            "num_patterns": len(patterns),
+            "input_bytes": len(data),
+            "match_rate": rate,
+            "matches": len(streams["fused-bitset"]),
+            "timings": {n: t.to_dict() for n, t in timings.items()},
+            "provenance": provenance(),
+        }
+        bitset = timings["fused-bitset"]
+        if bitset.seconds > 0:
+            for name, key in (
+                ("fused-table", "table_speedup"),
+                ("fused-prefilter", "prefilter_speedup"),
+            ):
+                if timings[name].seconds > 0:
+                    cell[key] = round(
+                        bitset.seconds / timings[name].seconds, 2
+                    )
+        cells.append(cell)
+    return cells
+
+
 def bench_grid(
     profile_name: str = "RegexLib",
     pattern_counts: Sequence[int] = (1, 4, 16),
@@ -215,11 +336,16 @@ def bench_grid(
     repeats: int = 3,
     seed: int = 1,
     shard_counts: Optional[Sequence[int]] = None,
+    match_rates: Optional[Sequence[float]] = None,
 ) -> Dict[str, object]:
     """The full perf record: pattern-count × input-size grid.
 
     With ``shard_counts`` the record additionally carries a
-    ``shard_scaling`` section measured on the largest grid cell.
+    ``shard_scaling`` section measured on the largest grid cell; with
+    ``match_rates`` a ``match_rate_grid`` timing the fused stepping
+    tiers (bitset / table / table+prefilter) at each plant rate, plus
+    the ``table_speedup_low_match`` and ``prefilter_speedup_zero_match``
+    headline keys.
     """
     profile = PROFILES[profile_name]
     max_patterns = max(pattern_counts)
@@ -265,6 +391,23 @@ def bench_grid(
         record["shard_scaling"] = bench_shard_scaling(
             all_patterns, data, shard_counts, options, repeats
         )
+    if match_rates:
+        cells = bench_match_rates(
+            profile_name,
+            num_patterns=max_patterns,
+            input_size=max(input_sizes),
+            rates=match_rates,
+            options=options,
+            repeats=repeats,
+            seed=seed,
+        )
+        record["match_rate_grid"] = cells
+        low = min(cells, key=lambda c: c["match_rate"])
+        if "table_speedup" in low:
+            record["table_speedup_low_match"] = low["table_speedup"]
+        zero = next((c for c in cells if c["match_rate"] == 0.0), None)
+        if zero and "prefilter_speedup" in zero:
+            record["prefilter_speedup_zero_match"] = zero["prefilter_speedup"]
     return record
 
 
@@ -346,6 +489,27 @@ def format_grid(record: Dict[str, object]) -> str:
                 f"{row['shards']:>9} workers {row['throughput_mbps']:>8.2f}MB"
                 + (f" {speedup:>11.2f}x vs fused" if speedup else "")
             )
+    rate_cells = record.get("match_rate_grid")
+    if rate_cells:
+        lines.append(
+            f"match-rate axis — {rate_cells[0]['num_patterns']} patterns, "
+            f"{rate_cells[0]['input_bytes']} bytes"
+        )
+        for cell in rate_cells:
+            timings = cell["timings"]
+            row = f"{cell['match_rate']:>8.1%} "
+            row += " ".join(
+                f"{timings[n]['throughput_mbps']:>8.2f}MB"
+                for n in FUSED_VARIANTS
+                if n in timings
+            )
+            table = cell.get("table_speedup")
+            pref = cell.get("prefilter_speedup")
+            if table is not None:
+                row += f"  table {table:.2f}x"
+            if pref is not None:
+                row += f"  prefilter {pref:.2f}x"
+            lines.append(row)
     cache = record.get("compile_cache")
     if cache:
         lines.append(

@@ -63,6 +63,8 @@ from ..resilience.report import (
 )
 from .fused import (
     DEFAULT_CACHE_BYTES,
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_TABLE_STATES,
     FusedMatcher,
     append_nfas,
     fuse_patterns,
@@ -175,6 +177,7 @@ class PatternSet:
         shards: Optional[int] = None,
         shard_backend: str = "process",
         cache: "Optional[CompileCache]" = None,
+        prefilter: bool = True,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -203,11 +206,9 @@ class PatternSet:
         self._fused_ids: List[int] = []
         self._fused_compiled: List[CompiledRegex] = []
         self._sharded: Optional[ShardedScanner] = None
+        self._prefilter = bool(prefilter)
         if engine == "fused":
-            cache_bytes = self.budget.max_cache_bytes or DEFAULT_CACHE_BYTES
-            self._fused = FusedMatcher(
-                fuse_patterns(self.compiled), cache_bytes=cache_bytes
-            )
+            self._fused = self._build_fused_matcher(fuse_patterns(self.compiled))
             self._fused_ids = list(self._pattern_ids)
             self._fused_compiled = list(self.compiled)
             self._matchers = []
@@ -219,10 +220,38 @@ class PatternSet:
                 shards,
                 backend=shard_backend,
                 cache_bytes=cache_bytes,
+                table_states=self._table_states(),
+                prefilter=self._prefilter,
             )
             self._matchers = []
         else:
             self._matchers = [self._make_matcher(c) for c in self.compiled]
+
+    # -- fused-matcher construction ------------------------------------
+
+    def _table_states(self) -> int:
+        """Dense-table state budget: ``Budget.max_table_states`` when set
+        (0 disables the table), else the fused default."""
+        limit = self.budget.max_table_states
+        return DEFAULT_TABLE_STATES if limit is None else limit
+
+    def _build_fused_matcher(
+        self, automaton, old: Optional[FusedMatcher] = None
+    ) -> FusedMatcher:
+        """A :class:`FusedMatcher` over ``automaton`` honouring the set's
+        budget and prefilter settings; ``old`` carries cache sizing across
+        incremental rebuilds."""
+        cache_bytes = self.budget.max_cache_bytes or DEFAULT_CACHE_BYTES
+        return FusedMatcher(
+            automaton,
+            cache_size=old._cache_size if old is not None else DEFAULT_CACHE_SIZE,
+            cache_bytes=(
+                old._cache_byte_limit if old is not None else cache_bytes
+            ),
+            table_states=self._table_states(),
+            table_bytes=self.budget.max_cache_bytes,
+            prefilter=self._prefilter,
+        )
 
     # -- compilation ---------------------------------------------------
 
@@ -323,10 +352,12 @@ class PatternSet:
                     "ah" if is_counter_free(c.ah) else "unfolded"
                     for c in fresh
                 ]
-                matcher = FusedMatcher(
-                    append_nfas(old.fused, nfas, sources),
-                    cache_size=old._cache_size,
-                    cache_bytes=old._cache_byte_limit,
+                matcher = self._build_fused_matcher(
+                    append_nfas(
+                        old.fused, nfas, sources,
+                        literals=[c.literals for c in fresh],
+                    ),
+                    old=old,
                 )
                 matcher.active = old.active
                 self._fused = matcher
@@ -373,10 +404,8 @@ class PatternSet:
             ]
             if len(keep_slots) < len(self._fused_ids):
                 old = self._fused
-                matcher = FusedMatcher(
-                    subset_fused(old.fused, keep_slots),
-                    cache_size=old._cache_size,
-                    cache_bytes=old._cache_byte_limit,
+                matcher = self._build_fused_matcher(
+                    subset_fused(old.fused, keep_slots), old=old
                 )
                 matcher.active = remap_active(
                     old.fused, keep_slots, old.active
@@ -548,6 +577,8 @@ class PatternSet:
                 ]
             elif fused is not None:
                 hits, misses = fused.cache_hits, fused.cache_misses
+                table_hits, table_misses = fused.table_hits, fused.table_misses
+                skipped = fused.prefilter_skipped
                 ids = self._fused_ids
                 demoted = self._demoted
                 prof = profiler.active_profiler()
@@ -599,6 +630,18 @@ class PatternSet:
                 registry.counter("engine.fused.cache_misses").inc(
                     fused.cache_misses - misses
                 )
+                if fused.table_hits > table_hits:
+                    registry.counter("engine.fused.table_hits").inc(
+                        fused.table_hits - table_hits
+                    )
+                if fused.table_misses > table_misses:
+                    registry.counter("engine.fused.table_misses").inc(
+                        fused.table_misses - table_misses
+                    )
+                if fused.prefilter_skipped > skipped:
+                    registry.counter("engine.fused.skipped_bytes").inc(
+                        fused.prefilter_skipped - skipped
+                    )
         if flight.flight_enabled():
             flight.record(
                 "scan_chunk",
@@ -704,10 +747,8 @@ class PatternSet:
         if matcher is None:
             return  # nothing in the chain can host it; stay fused
         keep = [i for i in range(len(self._fused_ids)) if i != slot]
-        new_matcher = FusedMatcher(
-            subset_fused(automaton, keep),
-            cache_size=fused._cache_size,
-            cache_bytes=fused._cache_byte_limit,
+        new_matcher = self._build_fused_matcher(
+            subset_fused(automaton, keep), old=fused
         )
         new_matcher.active = remap_active(automaton, keep, fused.active)
         self._fused = new_matcher

@@ -18,24 +18,52 @@ Construction (:func:`fuse_patterns`):
 * a ``final state -> pattern_id`` report map recovers which pattern
   fired from the combined active mask.
 
-Execution (:class:`FusedMatcher`) reuses the 256-entry match-mask
-precomputation of :class:`repro.automata.nfa.NFAMatcher` and adds a
-lazily memoised successor cache — a hybrid lazy DFA mapping
-``(active_mask, byte) -> (next_mask, fired pattern ids)`` with a bounded
-LRU, so dense workloads amortise the inner closure loop into one
-dictionary probe per byte.
+Execution (:class:`FusedMatcher`) layers three stepping tiers, fastest
+first, all producing byte-identical match streams:
+
+1. **Literal prefilter** — when every gated pattern *requires* some
+   literal (:mod:`repro.compiler.prefilter`), each chunk is swept with
+   C-speed ``bytes.find`` probes and the automaton's gated start states
+   are only armed inside ``[occurrence - pre, occurrence]`` windows
+   around the hits (plus an unconditional tail window covering
+   occurrences that straddle into the next chunk).  Outside those
+   windows the activation decays with *reduced* start-state injection
+   and, once empty, the remaining gap is skipped outright.
+2. **Dense transition table** — hot activation masks are interned as
+   dense state ids and stepped through flat ``array``-backed rows keyed
+   by byte-equivalence classes (two bytes are equivalent iff they select
+   the same fused match mask), with a precomputed fired-pattern tuple
+   per row.  The table is filled lazily and bounded by a state-count and
+   byte budget (:class:`repro.resilience.budget.Budget`); blowing the
+   budget falls back permanently to tier 3 mid-scan.
+3. **Bitset stepping with a lazy-DFA cache** — the original big-int
+   closure step memoised as ``(active_mask, byte) -> (next_mask, fired
+   pattern ids)`` in a bounded LRU.
+
+Soundness of the prefilter rests on a monotone-arming argument: arming
+start states at a *superset* of the true match-start positions never
+changes the reported stream (extra partials either die or re-derive
+matches the full stepping would also report, and NFA set semantics
+dedupes them), and the find-plus-tail windows provably cover every true
+match start of a gated pattern.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from time import perf_counter
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from .. import telemetry
 from .._bits import popcount
 from ..automata.ah import is_counter_free
 from ..automata.nfa import NFA, build_match_masks, mask_to_states, states_to_mask
 from ..compiler.pipeline import CompiledRegex, build_scan_nfa
+from ..compiler.prefilter import PatternLiterals
+from ..telemetry import flight
+from ..telemetry.profiler import byte_class_ids
 
 #: Default bound on the lazy-DFA successor cache.  Entries are a handful
 #: of Python ints each; 1<<15 keeps even adversarial streams far below
@@ -48,9 +76,28 @@ DEFAULT_CACHE_SIZE = 1 << 15
 #: bounded by memory footprint, not entry count.
 DEFAULT_CACHE_BYTES = 16 << 20
 
+#: Default bound on interned dense-DFA states for the table tier; 0
+#: disables the table.  Reachable activation-mask counts on real rule
+#: sets are small (the lazy-DFA cache already proved this), so 4096
+#: states is generous while a pathological set blows it quickly and
+#: falls back.
+DEFAULT_TABLE_STATES = 4096
+
+#: Default byte budget for the dense table (rows + interned masks).
+DEFAULT_TABLE_BYTES = 8 << 20
+
 #: Estimated fixed overhead per cache entry (dict slot, key/value tuples,
 #: int headers) in bytes, on top of the mask payloads.
 _ENTRY_OVERHEAD_BYTES = 200
+
+#: Estimated fixed overhead per interned table state (dict slot, mask,
+#: fired tuple) in bytes, on top of the transition rows.
+_STATE_OVERHEAD_BYTES = 120
+
+#: Cap on the total number of distinct literals one prefilter plan may
+#: sweep per chunk; beyond this the ``bytes.find`` probes stop paying
+#: for themselves and the hint-heaviest patterns stay always-on.
+MAX_PLAN_LITERALS = 32
 
 
 def entry_bytes(active: int, next_mask: int, report_len: int = 0) -> int:
@@ -82,6 +129,10 @@ class FusedAutomaton:
         nfas: the original per-pattern NFAs (kept so a pattern can be
             peeled back out — e.g. runtime demotion to a per-pattern
             engine — without recompiling).
+        literals: per-pattern prefilter contracts
+            (:class:`repro.compiler.prefilter.PatternLiterals`; ``None``
+            entries stay always-on).  Empty when unknown, which disables
+            prefiltering entirely.
     """
 
     classes: List
@@ -92,6 +143,7 @@ class FusedAutomaton:
     offsets: List[int]
     sources: List[str] = field(default_factory=list)
     nfas: List[NFA] = field(default_factory=list)
+    literals: List[Optional[PatternLiterals]] = field(default_factory=list)
 
     @property
     def num_states(self) -> int:
@@ -120,11 +172,24 @@ class FusedAutomaton:
         self,
         cache_size: int = DEFAULT_CACHE_SIZE,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        table_states: int = DEFAULT_TABLE_STATES,
+        table_bytes: Optional[int] = None,
+        prefilter: bool = True,
     ) -> "FusedMatcher":
-        return FusedMatcher(self, cache_size=cache_size, cache_bytes=cache_bytes)
+        return FusedMatcher(
+            self,
+            cache_size=cache_size,
+            cache_bytes=cache_bytes,
+            table_states=table_states,
+            table_bytes=table_bytes,
+            prefilter=prefilter,
+        )
 
 
-def fuse_nfas(nfas: Sequence[NFA]) -> FusedAutomaton:
+def fuse_nfas(
+    nfas: Sequence[NFA],
+    literals: Optional[Sequence[Optional[PatternLiterals]]] = None,
+) -> FusedAutomaton:
     """Offset-remap a list of per-pattern NFAs into one combined space."""
     classes: List = []
     transitions: List[List[int]] = []
@@ -143,6 +208,8 @@ def fuse_nfas(nfas: Sequence[NFA]) -> FusedAutomaton:
         state_pattern.extend([pattern_id] * nfa.num_states)
         for state in nfa.final:
             finals[base + state] = pattern_id
+    if literals is not None and len(literals) != len(nfas):
+        raise ValueError("literals and nfas must align")
     return FusedAutomaton(
         classes=classes,
         transitions=transitions,
@@ -151,6 +218,7 @@ def fuse_nfas(nfas: Sequence[NFA]) -> FusedAutomaton:
         finals=finals,
         offsets=offsets,
         nfas=list(nfas),
+        literals=list(literals) if literals is not None else [],
     )
 
 
@@ -158,6 +226,7 @@ def append_nfas(
     fused: FusedAutomaton,
     nfas: Sequence[NFA],
     sources: Optional[Sequence[str]] = None,
+    literals: Optional[Sequence[Optional[PatternLiterals]]] = None,
 ) -> FusedAutomaton:
     """A new :class:`FusedAutomaton` with ``nfas`` appended as new patterns.
 
@@ -208,6 +277,18 @@ def append_nfas(
         if len(new_sources) != len(nfas):
             raise ValueError("sources and nfas must align")
         out.sources = old_sources + new_sources
+    if fused.literals or literals is not None:
+        old_literals = (
+            list(fused.literals)
+            if fused.literals
+            else [None] * fused.num_patterns
+        )
+        new_literals = (
+            list(literals) if literals is not None else [None] * len(nfas)
+        )
+        if len(new_literals) != len(nfas):
+            raise ValueError("literals and nfas must align")
+        out.literals = old_literals + new_literals
     return out
 
 
@@ -223,6 +304,8 @@ def subset_fused(fused: FusedAutomaton, keep: Sequence[int]) -> FusedAutomaton:
     out = fuse_nfas([fused.nfas[slot] for slot in keep])
     if fused.sources:
         out.sources = [fused.sources[slot] for slot in keep]
+    if fused.literals:
+        out.literals = [fused.literals[slot] for slot in keep]
     return out
 
 
@@ -249,7 +332,7 @@ def fuse_patterns(compiled: Sequence[CompiledRegex]) -> FusedAutomaton:
     for regex in compiled:
         nfas.append(build_scan_nfa(regex))
         sources.append("ah" if is_counter_free(regex.ah) else "unfolded")
-    fused = fuse_nfas(nfas)
+    fused = fuse_nfas(nfas, literals=[regex.literals for regex in compiled])
     fused.sources = sources
     return fused
 
@@ -258,20 +341,95 @@ def build_fused(
     compiled: Sequence[CompiledRegex],
     cache_size: int = DEFAULT_CACHE_SIZE,
     cache_bytes: int = DEFAULT_CACHE_BYTES,
+    table_states: int = DEFAULT_TABLE_STATES,
+    table_bytes: Optional[int] = None,
+    prefilter: bool = True,
 ) -> "FusedMatcher":
     """Convenience: fuse and wrap in a matcher in one call."""
     return FusedMatcher(
-        fuse_patterns(compiled), cache_size=cache_size, cache_bytes=cache_bytes
+        fuse_patterns(compiled),
+        cache_size=cache_size,
+        cache_bytes=cache_bytes,
+        table_states=table_states,
+        table_bytes=table_bytes,
+        prefilter=prefilter,
     )
 
 
+class _PrefilterPlan:
+    """The merged, chunk-time view of a pattern set's literal contracts.
+
+    ``hints`` is the deduplicated ``(literal, pre)`` sweep list;
+    ``open_initial`` the injection mask of the always-on (non-gated)
+    patterns; ``tail`` the unconditional end-of-chunk arming width that
+    covers literal occurrences straddling into the next chunk; and
+    ``skippable`` whether a drained activation allows skipping bytes at
+    all (only when *every* pattern is gated).
+    """
+
+    __slots__ = ("hints", "open_initial", "tail", "gated", "skippable")
+
+    def __init__(
+        self,
+        hints: Tuple[Tuple[bytes, int], ...],
+        open_initial: int,
+        tail: int,
+        gated: FrozenSet[int],
+    ) -> None:
+        self.hints = hints
+        self.open_initial = open_initial
+        self.tail = tail
+        self.gated = gated
+        self.skippable = open_initial == 0
+
+
+def _build_plan(fused: FusedAutomaton) -> Optional[_PrefilterPlan]:
+    """Build the prefilter plan for ``fused``; None when nothing is gated."""
+    literals = fused.literals
+    if not literals or len(literals) != fused.num_patterns:
+        return None
+    entries = [
+        (slot, lits) for slot, lits in enumerate(literals) if lits is not None
+    ]
+    if not entries:
+        return None
+    # Cap the per-chunk find sweep: un-gate the hint-heaviest patterns
+    # until the combined literal set is small enough to pay off.
+    total = sum(len(lits.hints) for _, lits in entries)
+    if total > MAX_PLAN_LITERALS:
+        entries.sort(key=lambda entry: len(entry[1].hints))
+        while entries and total > MAX_PLAN_LITERALS:
+            _, dropped = entries.pop()
+            total -= len(dropped.hints)
+    if not entries:
+        return None
+    gated = frozenset(slot for slot, _ in entries)
+    open_initial = 0
+    state_pattern = fused.state_pattern
+    for state in fused.initial:
+        if state_pattern[state] not in gated:
+            open_initial |= 1 << state
+    merged: Dict[bytes, int] = {}
+    for _, lits in entries:
+        for hint in lits.hints:
+            prev = merged.get(hint.literal)
+            if prev is None or hint.pre > prev:
+                merged[hint.literal] = hint.pre
+    hints = tuple(
+        sorted(merged.items(), key=lambda item: (-len(item[0]), item[0]))
+    )
+    tail = max(pre + len(literal) for literal, pre in hints) - 1
+    return _PrefilterPlan(hints, open_initial, tail, gated)
+
+
 class FusedMatcher:
-    """Bitset simulator for a :class:`FusedAutomaton` with a lazy-DFA cache.
+    """Tiered simulator for a :class:`FusedAutomaton` (see module docstring).
 
     The streaming contract mirrors the per-pattern engines: state
     persists across :meth:`feed` calls, reported end offsets are
     relative to the current chunk, and :meth:`reset` rewinds to the
-    empty activation.
+    empty activation (the dense table and lazy-DFA cache survive resets
+    — they memoise the automaton, not the stream).
     """
 
     def __init__(
@@ -279,11 +437,20 @@ class FusedMatcher:
         fused: FusedAutomaton,
         cache_size: int = DEFAULT_CACHE_SIZE,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        table_states: int = DEFAULT_TABLE_STATES,
+        table_bytes: Optional[int] = None,
+        prefilter: bool = True,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be positive")
         if cache_bytes < 1:
             raise ValueError("cache_bytes must be positive")
+        if table_states < 0:
+            raise ValueError("table_states must be >= 0")
+        if table_bytes is None:
+            table_bytes = DEFAULT_TABLE_BYTES
+        if table_bytes < 1:
+            raise ValueError("table_bytes must be positive")
         self.fused = fused
         self._match_masks = build_match_masks(fused.classes)
         self._initial_mask = states_to_mask(fused.initial)
@@ -293,11 +460,58 @@ class FusedMatcher:
         self._cache_size = cache_size
         self._cache_byte_limit = cache_bytes
         self._cache_bytes = 0
-        #: ``(active_mask, symbol) -> (next_mask, fired pattern ids)``
+        #: ``(active_mask, symbol) -> (next_mask, fired pattern ids)``;
+        #: reduced-injection entries share the dict under ``symbol + 256``.
         self._cache: "OrderedDict[Tuple[int, int], Tuple[int, Tuple[int, ...]]]"
         self._cache = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        # -- prefilter tier ------------------------------------------------
+        self._prefilter = bool(prefilter)
+        self._plan = _build_plan(fused) if prefilter else None
+        self._open_initial = (
+            self._plan.open_initial
+            if self._plan is not None
+            else self._initial_mask
+        )
+        self.prefilter_skipped = 0
+        self.prefilter_armed = 0
+        # -- table tier ----------------------------------------------------
+        self._table_states = table_states
+        self._table_byte_limit = table_bytes
+        self._table_bytes = 0
+        self.table_hits = 0
+        self.table_misses = 0
+        self.table_promotes = 0
+        self.table_fallbacks = 0
+        self.table_steps = 0
+        self.bitset_steps = 0
+        self.table_seconds = 0.0
+        self.bitset_seconds = 0.0
+        self._tab_open: Optional[array] = None
+        if table_states > 0:
+            class_of_byte, num_classes = byte_class_ids(self._match_masks)
+            self._class_table = bytes(class_of_byte)
+            self._num_classes = num_classes
+            reps = [0] * num_classes
+            for byte in range(255, -1, -1):
+                reps[class_of_byte[byte]] = byte
+            self._class_rep = reps
+            self._blank_row = array("i", [-1]) * num_classes
+            self._table_live = True
+            self._state_ids: Dict[int, int] = {}
+            self._state_masks: List[int] = []
+            self._state_fired: List[Tuple[int, ...]] = []
+            self._tab_full = array("i")
+            if self._plan is not None:
+                self._tab_open = array("i")
+        else:
+            self._num_classes = 0
+            self._table_live = False
+            self._state_ids = {}
+            self._state_masks = []
+            self._state_fired = []
+            self._tab_full = array("i")
         self.reset()
 
     def reset(self) -> None:
@@ -337,6 +551,44 @@ class FusedMatcher:
             )
         return entry
 
+    def _advance_open(
+        self, active: int, symbol: int
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """One transition with *reduced* start-state injection: only the
+        always-on patterns' start states are re-armed (the prefilter arms
+        gated patterns explicitly around literal occurrences).  Shares
+        the LRU cache with :meth:`_advance` under shifted symbol keys."""
+        cache = self._cache
+        key = (active, symbol + 256)
+        hit = cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            cache.move_to_end(key)
+            return hit
+        self.cache_misses += 1
+        available = self._open_initial
+        succ = self._succ_masks
+        remaining = active
+        while remaining:
+            low = remaining & -remaining
+            available |= succ[low.bit_length() - 1]
+            remaining ^= low
+        next_mask = available & self._match_masks[symbol]
+        fired = next_mask & self._final_mask
+        report = self._report_ids(fired) if fired else ()
+        entry = (next_mask, report)
+        cache[key] = entry
+        self._cache_bytes += entry_bytes(active, next_mask, len(report))
+        while (
+            len(cache) > self._cache_size
+            or self._cache_bytes > self._cache_byte_limit
+        ) and cache:
+            old_key, old_entry = cache.popitem(last=False)
+            self._cache_bytes -= entry_bytes(
+                old_key[0], old_entry[0], len(old_entry[1])
+            )
+        return entry
+
     def _report_ids(self, fired: int) -> Tuple[int, ...]:
         """Pattern ids firing in ``fired``, deduplicated, ascending."""
         owners = self._state_pattern
@@ -346,6 +598,228 @@ class FusedMatcher:
             ids.add(owners[low.bit_length() - 1])
             fired ^= low
         return tuple(sorted(ids))
+
+    # -- dense table tier ---------------------------------------------
+
+    def _intern(self, mask: int) -> int:
+        """Dense id of ``mask``, interning it on first sight; -1 when the
+        state-count or byte budget would be exceeded."""
+        sid = self._state_ids.get(mask)
+        if sid is not None:
+            return sid
+        if (
+            len(self._state_masks) >= self._table_states
+            or self._table_bytes >= self._table_byte_limit
+        ):
+            return -1
+        sid = len(self._state_masks)
+        self._state_ids[mask] = sid
+        self._state_masks.append(mask)
+        fired = mask & self._final_mask
+        self._state_fired.append(self._report_ids(fired) if fired else ())
+        self._tab_full.extend(self._blank_row)
+        rows = 1
+        if self._tab_open is not None:
+            self._tab_open.extend(self._blank_row)
+            rows = 2
+        self._table_bytes += (
+            _STATE_OVERHEAD_BYTES
+            + rows * 4 * self._num_classes
+            + mask.bit_length() // 8
+        )
+        self.table_promotes += 1
+        return sid
+
+    def _fill(self, state: int, cls: int, armed: bool) -> int:
+        """Compute one missing table row entry via the bitset step."""
+        self.table_misses += 1
+        mask = self._state_masks[state]
+        symbol = self._class_rep[cls]
+        if armed:
+            next_mask, _report = self._advance(mask, symbol)
+        else:
+            next_mask, _report = self._advance_open(mask, symbol)
+        nxt = self._intern(next_mask)
+        if nxt >= 0:
+            row = state * self._num_classes + cls
+            if armed:
+                self._tab_full[row] = nxt
+            else:
+                self._tab_open[row] = nxt
+        return nxt
+
+    def _table_blowup(self) -> None:
+        """Permanent mid-scan fallback to bitset stepping: the reachable
+        state space outgrew the table budget, so stop paying intern
+        costs, free the table, and record the event."""
+        self.table_fallbacks += 1
+        states = len(self._state_masks)
+        table_bytes = self._table_bytes
+        self._table_live = False
+        self._state_ids = {}
+        self._state_masks = []
+        self._state_fired = []
+        self._tab_full = array("i")
+        if self._tab_open is not None:
+            self._tab_open = array("i")
+        self._table_bytes = 0
+        if telemetry.metrics_enabled():
+            telemetry.registry().counter("scan.table.fallback").inc()
+        if flight.flight_enabled():
+            flight.record(
+                "table_fallback",
+                states=states,
+                table_bytes=table_bytes,
+                state_capacity=self._table_states,
+                byte_capacity=self._table_byte_limit,
+            )
+
+    # -- span runners --------------------------------------------------
+
+    def _run_span(
+        self,
+        data: bytes,
+        translated: Optional[bytes],
+        start: int,
+        end: int,
+        armed: bool,
+        out: List[Tuple[int, int]],
+    ) -> int:
+        """Advance over ``data[start:end]`` appending ``(slot, end)``
+        events.  Returns the position reached: ``end``, or earlier for an
+        unarmed span whose activation provably drained to empty (the
+        caller skips the rest of the gap)."""
+        if start >= end:
+            return end
+        if self._table_live and translated is not None:
+            return self._run_table(data, translated, start, end, armed, out)
+        return self._run_bitset(data, start, end, armed, out)
+
+    def _run_table(
+        self,
+        data: bytes,
+        translated: bytes,
+        start: int,
+        end: int,
+        armed: bool,
+        out: List[Tuple[int, int]],
+    ) -> int:
+        t0 = perf_counter()
+        state = self._intern(self.active)
+        if state < 0:
+            self.table_seconds += perf_counter() - t0
+            self._table_blowup()
+            return self._run_bitset(data, start, end, armed, out)
+        nc = self._num_classes
+        fired_tab = self._state_fired
+        masks = self._state_masks
+        miss0 = self.table_misses
+        append = out.append
+        pos = end
+        seg = (
+            translated
+            if start == 0 and end == len(translated)
+            else translated[start:end]
+        )
+        if armed:
+            tab = self._tab_full
+            for off, cls in enumerate(seg, start):
+                nxt = tab[state * nc + cls]
+                if nxt < 0:
+                    nxt = self._fill(state, cls, True)
+                    if nxt < 0:
+                        return self._abort_span(
+                            data, state, start, off, end, True, miss0, t0, out
+                        )
+                    tab = self._tab_full
+                state = nxt
+                fired = fired_tab[state]
+                if fired:
+                    for slot in fired:
+                        append((slot, off))
+        else:
+            tab = self._tab_open
+            can_die = self._plan is not None and self._plan.skippable
+            for off, cls in enumerate(seg, start):
+                nxt = tab[state * nc + cls]
+                if nxt < 0:
+                    nxt = self._fill(state, cls, False)
+                    if nxt < 0:
+                        return self._abort_span(
+                            data, state, start, off, end, False, miss0, t0, out
+                        )
+                    tab = self._tab_open
+                state = nxt
+                fired = fired_tab[state]
+                if fired:
+                    for slot in fired:
+                        append((slot, off))
+                if can_die and not masks[state]:
+                    pos = off + 1
+                    break
+        self.active = masks[state]
+        served = pos - start
+        self.table_steps += served
+        self.table_hits += max(0, served - (self.table_misses - miss0))
+        self.table_seconds += perf_counter() - t0
+        return pos
+
+    def _abort_span(
+        self,
+        data: bytes,
+        state: int,
+        start: int,
+        off: int,
+        end: int,
+        armed: bool,
+        miss0: int,
+        t0: float,
+        out: List[Tuple[int, int]],
+    ) -> int:
+        """The table blew its budget mid-span: sync the bitset activation,
+        account the bytes served so far, and finish the span on tier 3."""
+        self.active = self._state_masks[state]
+        served = off - start
+        self.table_steps += served
+        self.table_hits += max(0, served - (self.table_misses - miss0))
+        self.table_seconds += perf_counter() - t0
+        self._table_blowup()
+        return self._run_bitset(data, off, end, armed, out)
+
+    def _run_bitset(
+        self,
+        data: bytes,
+        start: int,
+        end: int,
+        armed: bool,
+        out: List[Tuple[int, int]],
+    ) -> int:
+        t0 = perf_counter()
+        active = self.active
+        append = out.append
+        pos = end
+        if armed:
+            advance = self._advance
+            for off in range(start, end):
+                active, report = advance(active, data[off])
+                if report:
+                    for slot in report:
+                        append((slot, off))
+        else:
+            advance = self._advance_open
+            can_die = self._plan is not None and self._plan.skippable
+            for off in range(start, end):
+                active, report = advance(active, data[off])
+                if report:
+                    for slot in report:
+                        append((slot, off))
+                if can_die and not active:
+                    pos = off + 1
+                    break
+        self.active = active
+        self.bitset_steps += pos - start
+        self.bitset_seconds += perf_counter() - t0
+        return pos
 
     # -- matcher API ---------------------------------------------------
 
@@ -364,9 +838,17 @@ class FusedMatcher:
 
         Returns ``(pattern_id, end)`` events with chunk-relative end
         offsets, ordered by offset then pattern id — exactly the stream
-        the per-pattern ``PatternSet.feed`` loop produces.
+        the per-pattern ``PatternSet.feed`` loop produces, whichever
+        stepping tier serves each byte.
         """
+        if self._plan is not None:
+            return self._feed_prefiltered(data)
         out: List[Tuple[int, int]] = []
+        if self._table_live:
+            translated = data.translate(self._class_table)
+            self._run_span(data, translated, 0, len(data), True, out)
+            return out
+        t0 = perf_counter()
         active = self.active
         advance = self._advance
         for offset, symbol in enumerate(data):
@@ -375,6 +857,53 @@ class FusedMatcher:
                 for pattern_id in report:
                     out.append((pattern_id, offset))
         self.active = active
+        self.bitset_steps += len(data)
+        self.bitset_seconds += perf_counter() - t0
+        return out
+
+    def _feed_prefiltered(self, data: bytes) -> List[Tuple[int, int]]:
+        """Tier-1 feed: sweep the chunk for required-literal occurrences,
+        arm gated start states only inside the windows around them (plus
+        the straddle-covering tail window), and run everything between
+        with reduced injection — skipping outright once drained."""
+        out: List[Tuple[int, int]] = []
+        n = len(data)
+        if not n:
+            return out
+        plan = self._plan
+        spans: List[Tuple[int, int]] = []
+        for literal, pre in plan.hints:
+            idx = data.find(literal)
+            while idx >= 0:
+                lo = idx - pre
+                spans.append((lo if lo > 0 else 0, idx + 1))
+                idx = data.find(literal, idx + 1)
+        tail_lo = n - plan.tail
+        spans.append((tail_lo if tail_lo > 0 else 0, n))
+        spans.sort()
+        merged: List[Tuple[int, int]] = []
+        cur_lo, cur_hi = spans[0]
+        for lo, hi in spans[1:]:
+            if lo <= cur_hi:
+                if hi > cur_hi:
+                    cur_hi = hi
+            else:
+                merged.append((cur_lo, cur_hi))
+                cur_lo, cur_hi = lo, hi
+        merged.append((cur_lo, cur_hi))
+        translated = (
+            data.translate(self._class_table) if self._table_live else None
+        )
+        pos = 0
+        for lo, hi in merged:
+            if pos < lo:
+                reached = self._run_span(data, translated, pos, lo, False, out)
+                if reached < lo:
+                    self.prefilter_skipped += lo - reached
+            self._run_span(data, translated, lo, hi, True, out)
+            self.prefilter_armed += hi - lo
+            pos = hi
+        # The tail window always ends at n, so no trailing gap remains.
         return out
 
     def scan(self, data: bytes) -> List[Tuple[int, int]]:
@@ -413,3 +942,42 @@ class FusedMatcher:
             len(self._cache) >= self._cache_size
             or self._cache_bytes >= self._cache_byte_limit
         )
+
+    def table_info(self) -> Dict[str, object]:
+        """Dense-table tier statistics (telemetry / bench reporting)."""
+        return {
+            "live": self._table_live,
+            "states": len(self._state_masks),
+            "state_capacity": self._table_states,
+            "bytes": self._table_bytes,
+            "byte_capacity": self._table_byte_limit,
+            "hits": self.table_hits,
+            "misses": self.table_misses,
+            "promotes": self.table_promotes,
+            "fallbacks": self.table_fallbacks,
+            "steps_table": self.table_steps,
+            "steps_bitset": self.bitset_steps,
+            "seconds_table": self.table_seconds,
+            "seconds_bitset": self.bitset_seconds,
+            "skipped_bytes": self.prefilter_skipped,
+            "armed_bytes": self.prefilter_armed,
+        }
+
+    def prefilter_info(self) -> Optional[Dict[str, object]]:
+        """The active prefilter plan, or None when every pattern is
+        always-on (no usable required literals, or prefilter disabled)."""
+        plan = self._plan
+        if plan is None:
+            return None
+        return {
+            "literals": [
+                {"literal": literal.decode("latin-1"), "pre": pre}
+                for literal, pre in plan.hints
+            ],
+            "gated_patterns": len(plan.gated),
+            "open_patterns": self.fused.num_patterns - len(plan.gated),
+            "tail_bytes": plan.tail,
+            "skippable": plan.skippable,
+            "skipped_bytes": self.prefilter_skipped,
+            "armed_bytes": self.prefilter_armed,
+        }

@@ -56,7 +56,13 @@ from .. import telemetry
 from ..telemetry import flight, profiler
 from ..automata.ah import is_counter_free
 from ..compiler.pipeline import CompiledRegex
-from .fused import DEFAULT_CACHE_BYTES, FusedAutomaton, FusedMatcher, fuse_patterns
+from .fused import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_TABLE_STATES,
+    FusedAutomaton,
+    FusedMatcher,
+    fuse_patterns,
+)
 
 log = logging.getLogger("repro.matching.sharded")
 
@@ -202,7 +208,12 @@ def plan_shards(
 
 
 def _shard_worker_main(
-    conn, automaton: FusedAutomaton, report_ids: Sequence[int], cache_bytes: int
+    conn,
+    automaton: FusedAutomaton,
+    report_ids: Sequence[int],
+    cache_bytes: int,
+    table_states: int = DEFAULT_TABLE_STATES,
+    prefilter: bool = True,
 ) -> None:
     """Command loop of one shard worker process.
 
@@ -221,7 +232,12 @@ def _shard_worker_main(
       to kill a shard deterministically mid-stream.
     * ``("stop",)`` — clean shutdown.
     """
-    matcher = FusedMatcher(automaton, cache_bytes=cache_bytes)
+    matcher = FusedMatcher(
+        automaton,
+        cache_bytes=cache_bytes,
+        table_states=table_states,
+        prefilter=prefilter,
+    )
     ids = list(report_ids)
     symbols = 0
     try:
@@ -277,8 +293,15 @@ class _InlineShard:
         report_ids: Sequence[int],
         cache_bytes: int,
         label: str = "shard",
+        table_states: int = DEFAULT_TABLE_STATES,
+        prefilter: bool = True,
     ) -> None:
-        self.matcher = FusedMatcher(automaton, cache_bytes=cache_bytes)
+        self.matcher = FusedMatcher(
+            automaton,
+            cache_bytes=cache_bytes,
+            table_states=table_states,
+            prefilter=prefilter,
+        )
         self.ids = list(report_ids)
         self.label = label
         self.symbols = 0
@@ -390,6 +413,8 @@ class ShardedScanner:
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         recv_timeout_s: float = DEFAULT_RECV_TIMEOUT_S,
         mp_context=None,
+        table_states: int = DEFAULT_TABLE_STATES,
+        prefilter: bool = True,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -406,6 +431,10 @@ class ShardedScanner:
         self.backend = backend
         self.chunk_bytes = chunk_bytes
         self.cache_bytes = cache_bytes
+        if table_states < 0:
+            raise ValueError("table_states must be >= 0")
+        self.table_states = table_states
+        self.prefilter = bool(prefilter)
         self.recv_timeout_s = recv_timeout_s
         self._mp_context = mp_context
         self.plan = plan_shards(compiled, num_shards)
@@ -461,6 +490,8 @@ class ShardedScanner:
                 shard.pattern_ids,
                 self.cache_bytes,
                 label=f"shard-{shard.index}",
+                table_states=self.table_states,
+                prefilter=self.prefilter,
             )
             return
         ctx = self._context()
@@ -472,6 +503,8 @@ class ShardedScanner:
                 shard.automaton,
                 shard.pattern_ids,
                 self.cache_bytes,
+                self.table_states,
+                self.prefilter,
             ),
             daemon=True,
             name=f"repro-shard-{shard.index}",

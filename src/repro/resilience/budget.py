@@ -16,6 +16,11 @@ Run-time limits (checked by the scan engines in
 
 * ``max_cache_bytes`` — lazy-DFA successor-cache footprint of the fused
   engine (estimated bytes, see :func:`repro.matching.fused.entry_bytes`);
+  when set it also caps the fused engine's dense transition table;
+* ``max_table_states`` — dense-DFA states the fused engine's
+  table-driven inner loop may intern before falling back to bitset
+  stepping.  ``0`` disables the table entirely (pure bitset stepping);
+  ``None`` uses :data:`repro.matching.fused.DEFAULT_TABLE_STATES`;
 * ``deadline_s`` — cooperative wall-clock deadline.  The clock starts
   when work starts (:meth:`Budget.start`) and is checked at compile phase
   boundaries and every ``check_bytes`` scanned bytes, so exceeding it
@@ -45,6 +50,7 @@ class Budget:
     max_cache_bytes: Optional[int] = None
     deadline_s: Optional[float] = None
     check_bytes: int = DEFAULT_CHECK_BYTES
+    max_table_states: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in ("max_states", "max_unfold", "max_bv_width",
@@ -52,6 +58,12 @@ class Budget:
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be >= 1 or None, got {value}")
+        # 0 is meaningful here: it disables the dense table outright.
+        if self.max_table_states is not None and self.max_table_states < 0:
+            raise ValueError(
+                "max_table_states must be >= 0 or None, "
+                f"got {self.max_table_states}"
+            )
         if self.deadline_s is not None and self.deadline_s < 0:
             raise ValueError("deadline_s must be >= 0 or None")
         if self.check_bytes < 1:

@@ -124,6 +124,7 @@ class ScanProfile:
     cache: Dict[str, Any] = field(default_factory=dict)
     heatmap: Dict[str, Any] = field(default_factory=dict)
     byte_classes: List[Dict[str, Any]] = field(default_factory=list)
+    stepping: Dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -138,6 +139,7 @@ class ScanProfile:
             "cache": self.cache,
             "heatmap": self.heatmap,
             "byte_classes": self.byte_classes,
+            "stepping": self.stepping,
         }
 
     def write(self, path: str) -> None:
@@ -157,6 +159,7 @@ class ScanProfile:
             cache=dict(obj.get("cache", {})),
             heatmap=dict(obj.get("heatmap", {})),
             byte_classes=list(obj.get("byte_classes", [])),
+            stepping=dict(obj.get("stepping", {})),
         )
 
 
@@ -177,7 +180,9 @@ class _Binding:
     __slots__ = (
         "automaton", "label", "slices", "slot_ids", "class_of_byte",
         "num_classes", "class_us", "class_samples", "offset",
-        "last_hits", "last_misses",
+        "last_hits", "last_misses", "last_table_s", "last_bitset_s",
+        "last_table_steps", "last_bitset_steps", "last_skipped",
+        "last_armed",
     )
 
     def __init__(self, matcher, slot_ids: Sequence[int], label: str) -> None:
@@ -197,6 +202,12 @@ class _Binding:
         self.offset = 0
         self.last_hits = matcher.cache_hits
         self.last_misses = matcher.cache_misses
+        self.last_table_s = getattr(matcher, "table_seconds", 0.0)
+        self.last_bitset_s = getattr(matcher, "bitset_seconds", 0.0)
+        self.last_table_steps = getattr(matcher, "table_steps", 0)
+        self.last_bitset_steps = getattr(matcher, "bitset_steps", 0)
+        self.last_skipped = getattr(matcher, "prefilter_skipped", 0)
+        self.last_armed = getattr(matcher, "prefilter_armed", 0)
 
 
 class ScanProfiler:
@@ -235,6 +246,17 @@ class ScanProfiler:
         self.samples = 0
         self.wall_s = 0.0
         self._idle_us = 0.0
+        self._sampled_us = 0.0
+        # Run-wide tier accounting, folded in from each matcher's own
+        # counters (deltas per feed, so rebuilt matchers don't double).
+        self._stepping: Dict[str, float] = {
+            "table_s": 0.0,
+            "bitset_s": 0.0,
+            "steps_table": 0,
+            "steps_bitset": 0,
+            "skipped_bytes": 0,
+            "armed_bytes": 0,
+        }
 
     # -- engine-facing API ---------------------------------------------
 
@@ -254,39 +276,82 @@ class ScanProfiler:
         """Profiled :meth:`FusedMatcher.feed`: identical match stream,
         sampled attribution on the side.
 
+        The stretches *between* sampled bytes are delegated to
+        ``matcher.feed`` so they take the matcher's real tier path
+        (prefilter skip loop, dense table, or bitset stepping) and the
+        profile's tier shares reflect production behaviour.  Only the
+        sampled byte itself is stepped here, through the fully-armed
+        ``matcher._advance`` — sound because arming start states at
+        extra positions only adds partials that die or re-derive the
+        same matches (NFA set semantics dedupe them), so the match
+        stream stays byte-identical to an unprofiled feed.
+
         Returns ``(slot, end)`` events exactly as ``matcher.feed`` does;
         the caller maps slots to global pattern ids as usual.
         """
         binding = self.bind(matcher, slot_ids, label)
         out: List[Tuple[int, int]] = []
         stride = self.stride
-        advance = matcher._advance
-        active = matcher.active
         clock = time.perf_counter
+        # Bytes until (and including) the next sampled byte; recomputed
+        # from the persistent offset so sampling stays periodic across
+        # chunk boundaries.
         countdown = stride - (binding.offset % stride)
         started = clock()
-        for offset, symbol in enumerate(data):
-            countdown -= 1
-            if countdown <= 0:
-                t0 = clock()
-                active, report = advance(active, symbol)
-                step_us = (clock() - t0) * 1e6
-                self._sample(
-                    matcher, binding, active, symbol, step_us,
-                    binding.offset + offset,
-                )
-                countdown = stride
-            else:
-                active, report = advance(active, symbol)
-            if report:
-                for slot in report:
-                    out.append((slot, offset))
-        matcher.active = active
-        binding.offset += len(data)
+        n = len(data)
+        pos = 0
+        while pos < n:
+            sample_at = pos + countdown - 1
+            if sample_at >= n:
+                for slot, end in matcher.feed(data[pos:]):
+                    out.append((slot, pos + end))
+                break
+            if sample_at > pos:
+                for slot, end in matcher.feed(data[pos:sample_at]):
+                    out.append((slot, pos + end))
+            symbol = data[sample_at]
+            t0 = clock()
+            active, report = matcher._advance(matcher.active, symbol)
+            step_us = (clock() - t0) * 1e6
+            matcher.active = active
+            for slot in report:
+                out.append((slot, sample_at))
+            self._sample(
+                matcher, binding, active, symbol, step_us,
+                binding.offset + sample_at,
+            )
+            pos = sample_at + 1
+            countdown = stride
+        binding.offset += n
         binding.last_hits = matcher.cache_hits
         binding.last_misses = matcher.cache_misses
+        self._absorb_stepping(matcher, binding)
         self.wall_s += clock() - started
         return out
+
+    def _absorb_stepping(self, matcher, binding: _Binding) -> None:
+        """Fold the matcher's tier counters into the run-wide totals,
+        as deltas since this binding's last feed."""
+        table_s = getattr(matcher, "table_seconds", 0.0)
+        bitset_s = getattr(matcher, "bitset_seconds", 0.0)
+        table_steps = getattr(matcher, "table_steps", 0)
+        bitset_steps = getattr(matcher, "bitset_steps", 0)
+        skipped = getattr(matcher, "prefilter_skipped", 0)
+        armed = getattr(matcher, "prefilter_armed", 0)
+        with self._lock:
+            step = self._stepping
+            step["table_s"] += table_s - binding.last_table_s
+            step["bitset_s"] += bitset_s - binding.last_bitset_s
+            step["steps_table"] += table_steps - binding.last_table_steps
+            step["steps_bitset"] += bitset_steps - binding.last_bitset_steps
+            step["skipped_bytes"] += skipped - binding.last_skipped
+            step["armed_bytes"] += armed - binding.last_armed
+        binding.last_table_s = table_s
+        binding.last_bitset_s = bitset_s
+        binding.last_table_steps = table_steps
+        binding.last_bitset_steps = bitset_steps
+        binding.last_skipped = skipped
+        binding.last_armed = armed
 
     # -- sampling -------------------------------------------------------
 
@@ -296,6 +361,7 @@ class ScanProfiler:
     ) -> None:
         with self._lock:
             self.samples += 1
+            self._sampled_us += step_us
             # Per-byte-class stepping cost (automaton-local classes).
             class_id = binding.class_of_byte[symbol]
             binding.class_us[class_id] += step_us
@@ -440,6 +506,21 @@ class ScanProfiler:
                     )
             classes.sort(key=lambda c: -c["total_us"])
 
+            table_s = self._stepping["table_s"]
+            bitset_s = self._stepping["bitset_s"]
+            tier_total = table_s + bitset_s
+            stepping = {
+                "table_s": round(table_s, 6),
+                "bitset_s": round(bitset_s, 6),
+                "sampled_s": round(self._sampled_us / 1e6, 6),
+                "table_share": table_s / tier_total if tier_total else 0.0,
+                "bitset_share": bitset_s / tier_total if tier_total else 0.0,
+                "steps_table": int(self._stepping["steps_table"]),
+                "steps_bitset": int(self._stepping["steps_bitset"]),
+                "skipped_bytes": int(self._stepping["skipped_bytes"]),
+                "armed_bytes": int(self._stepping["armed_bytes"]),
+            }
+
             input_bytes = max(
                 (b.offset for b in self._bindings.values()), default=0
             )
@@ -453,6 +534,7 @@ class ScanProfiler:
                 cache=cache,
                 heatmap=heatmap,
                 byte_classes=classes,
+                stepping=stepping,
             )
 
 

@@ -9,6 +9,7 @@ from .inputs import (
     alpha_stream,
     background_bytes,
     dataset_stream,
+    match_rate_stream,
 )
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "dataset_stream",
     "generate_dataset",
     "generate_pattern",
+    "match_rate_stream",
     "content_to_pcre",
     "extract_contents",
     "extract_pcre",

@@ -108,3 +108,32 @@ def dataset_stream(
         else:
             out.append(rng.choice(pool))
     return bytes(out[:length])
+
+
+def match_rate_stream(
+    patterns: Sequence[str],
+    rng: random.Random,
+    length: int,
+    alphabet: str,
+    rate: float,
+    max_unbounded: int = 2,
+) -> bytes:
+    """Background bytes with *complete* planted matches at ``rate``.
+
+    The match-rate axis of the scan benchmarks: ``rate`` is the
+    per-position probability of planting a full rule match (never
+    truncated), so ``rate=0.0`` is pure background — the prefilter's
+    best case — while ``rate=0.5`` keeps the automaton continuously
+    busy.  Uses :func:`dataset_stream` with truncation disabled.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    return dataset_stream(
+        patterns,
+        rng,
+        length,
+        alphabet,
+        plant_rate=rate,
+        truncate_prob=0.0,
+        max_unbounded=max_unbounded,
+    )

@@ -40,6 +40,30 @@ def _record(throughputs, engines=("nfa", "fused")):
     return {"engines": list(engines), "grid": grid}
 
 
+def _rate_record(throughputs, engines=("nfa", "fused"), rate_throughputs=None):
+    """A record with both a classic grid and a ``match_rate_grid``.
+
+    ``rate_throughputs`` maps (num_patterns, input_bytes, match_rate)
+    -> {variant: mbps} (the fused tier pseudo-engines).
+    """
+    record = _record(throughputs, engines)
+    record["match_rate_grid"] = [
+        {
+            "num_patterns": num_patterns,
+            "input_bytes": input_bytes,
+            "match_rate": match_rate,
+            "timings": {
+                variant: {"throughput_mbps": mbps}
+                for variant, mbps in per_variant.items()
+            },
+        }
+        for (num_patterns, input_bytes, match_rate), per_variant in sorted(
+            (rate_throughputs or {}).items()
+        )
+    ]
+    return record
+
+
 BASELINE = _record(
     {
         (4, 4096): {"nfa": 10.0, "fused": 100.0},
@@ -165,6 +189,71 @@ class TestCompareRecords:
             BASELINE, at_boundary, threshold=DEFAULT_THRESHOLD - 0.01
         )
         assert not report.ok
+
+    def test_match_rate_cells_join_the_comparison_pool(self):
+        """match_rate_grid cells compare by (np, ib, rate) shape and the
+        fused tier variants are auto-collected as pseudo-engines."""
+        rates = {
+            (16, 65536, 0.0): {"fused-bitset": 10.0, "fused-table": 40.0},
+            (16, 65536, 0.5): {"fused-bitset": 8.0, "fused-table": 12.0},
+        }
+        record = _rate_record(
+            {(4, 4096): {"nfa": 10.0, "fused": 100.0}},
+            rate_throughputs=rates,
+        )
+        report = compare_records(record, record)
+        assert report.ok
+        assert report.matched_cells == 3
+        table = next(
+            e for e in report.engines if e.engine == "fused-table"
+        )
+        assert table.cells == 2
+        assert table.median_ratio == pytest.approx(1.0)
+
+    def test_match_rate_regression_detected(self):
+        rates = {
+            (16, 65536, 0.0): {"fused-bitset": 10.0, "fused-table": 40.0},
+        }
+        old = _rate_record({}, rate_throughputs=rates)
+        slower = _rate_record(
+            {},
+            rate_throughputs={
+                (16, 65536, 0.0): {"fused-bitset": 10.0, "fused-table": 10.0}
+            },
+        )
+        report = compare_records(old, slower)
+        assert not report.ok
+        assert [e.engine for e in report.regressions] == ["fused-table"]
+
+    def test_mixed_shapes_with_shared_prefix_sort(self):
+        """A classic grid cell and a match-rate cell sharing
+        (num_patterns, input_bytes) must coexist — the None rate sorts
+        before any float instead of raising."""
+        record = _rate_record(
+            {(16, 4096): {"fused": 80.0}},
+            rate_throughputs={(16, 4096, 0.0): {"fused-table": 40.0}},
+        )
+        report = compare_records(record, record)
+        assert report.ok
+        assert report.matched_cells == 2
+
+    def test_legacy_record_still_compares(self):
+        """A baseline without a match-rate axis vs a record with one:
+        the classic cells compare, the new cells are counted unmatched."""
+        extended = _rate_record(
+            {
+                (4, 4096): {"nfa": 10.0, "fused": 100.0},
+                (16, 4096): {"nfa": 5.0, "fused": 80.0},
+                (16, 16384): {"nfa": 5.0, "fused": 90.0},
+            },
+            rate_throughputs={
+                (16, 65536, 0.0): {"fused-bitset": 10.0, "fused-table": 40.0}
+            },
+        )
+        report = compare_records(BASELINE, extended)
+        assert report.ok
+        assert report.matched_cells == 3
+        assert report.unmatched_new == 1
 
     def test_report_json_shape(self):
         report = compare_records(BASELINE, BASELINE)

@@ -9,8 +9,10 @@ import pytest
 
 from repro.matching import ENGINES
 from repro.matching.bench import (
+    FUSED_VARIANTS,
     bench_cell,
     bench_grid,
+    bench_match_rates,
     format_grid,
     read_record,
     time_engine,
@@ -78,6 +80,52 @@ def test_all_engines_registered_for_bench():
     assert "sharded" in ENGINES
     with pytest.raises(ValueError):
         bench_cell(PATTERNS, DATA, ["fused", "__nope__"], repeats=1)
+
+
+def test_time_engine_variant_knobs_keep_matches():
+    """``table_states``/``prefilter`` change the stepping tier, never
+    the match stream — the knobs the match-rate axis is built on."""
+    default = time_engine(PATTERNS, DATA, "fused", repeats=1)
+    bitset = time_engine(
+        PATTERNS, DATA, "fused", repeats=1, table_states=0, prefilter=False
+    )
+    assert bitset.matches == default.matches
+
+
+def test_bench_match_rates_cell_shape():
+    cells = bench_match_rates(
+        num_patterns=2, input_size=2048, rates=(0.0, 0.5), repeats=1
+    )
+    assert [cell["match_rate"] for cell in cells] == [0.0, 0.5]
+    for cell in cells:
+        assert set(cell["timings"]) == set(FUSED_VARIANTS)
+        assert cell["num_patterns"] == 2
+        assert cell["input_bytes"] > 0
+        assert "provenance" in cell
+        assert cell["table_speedup"] > 0
+        assert cell["prefilter_speedup"] > 0
+    # The 0%-rate stream plants nothing; the 50% stream must match.
+    assert cells[1]["matches"] > cells[0]["matches"]
+
+
+def test_bench_grid_match_rate_headlines():
+    record = bench_grid(
+        pattern_counts=(2,),
+        input_sizes=(1024,),
+        engines=["fused"],
+        repeats=1,
+        match_rates=(0.0, 0.5),
+    )
+    cells = record["match_rate_grid"]
+    assert [cell["match_rate"] for cell in cells] == [0.0, 0.5]
+    assert record["table_speedup_low_match"] == cells[0]["table_speedup"]
+    assert (
+        record["prefilter_speedup_zero_match"]
+        == cells[0]["prefilter_speedup"]
+    )
+    table = format_grid(record)
+    assert "match-rate axis" in table
+    assert "prefilter" in table
 
 
 def test_provenance_stamped_into_cells_and_record():

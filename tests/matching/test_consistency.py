@@ -37,6 +37,9 @@ def all_engine_ends(compiled, data):
         "nca": NCAMatcher(compiled.nbva).match_ends(data),
         "ah": compiled.ah.match_ends(data),
         "fused": build_fused([compiled]).match_ends(data),
+        "fused-bitset": build_fused(
+            [compiled], table_states=0, prefilter=False
+        ).match_ends(data),
         "stepper": AHStepper(compiled.ah).match_ends(data),
         "naive": NaiveMachine(compiled.nbva).match_ends(data),
     }

@@ -1,5 +1,7 @@
 """Unit tests for the fused multi-pattern scan engine."""
 
+import random
+
 import pytest
 
 from repro.automata.ah import is_counter_free, to_nfa
@@ -8,6 +10,7 @@ from repro.compiler.pipeline import build_scan_nfa, build_unfolded_nfa
 from repro.matching import Match, PatternSet, build_fused, fuse_patterns
 from repro.matching.fused import FusedMatcher, fuse_nfas
 from repro.matching.oracle import match_ends as oracle_ends
+from repro.resilience import Budget
 
 OPTIONS = CompilerOptions(bv_size=8, unfold_threshold=2)
 
@@ -115,14 +118,31 @@ class TestFusedMatcher:
         assert matcher.active_states()
 
     def test_cache_amortizes_repeated_contexts(self):
-        matcher = build_fused(compile_all(["ab"]))
+        # Pin the bitset tier: with the dense table on, the lazy cache
+        # only sees row fills, not one probe per byte.
+        matcher = build_fused(
+            compile_all(["ab"]), table_states=0, prefilter=False
+        )
         matcher.scan(b"abcabcabc")
         info = matcher.cache_info()
         assert info["hits"] + info["misses"] == 9
         assert info["hits"] >= 6  # only 3 distinct (state, byte) contexts
 
+    def test_table_amortizes_repeated_contexts(self):
+        # The table tier serves repeated contexts from dense rows: the
+        # second period of the input is all table hits, no cache probes.
+        matcher = build_fused(compile_all(["ab"]), prefilter=False)
+        matcher.scan(b"abcabcabc")
+        info = matcher.table_info()
+        assert info["live"]
+        assert info["hits"] + info["misses"] == 9
+        assert info["hits"] >= 6
+        assert info["promotes"] == info["states"]
+
     def test_cache_stays_bounded(self):
-        matcher = build_fused(compile_all(["ab"]), cache_size=2)
+        matcher = build_fused(
+            compile_all(["ab"]), cache_size=2, table_states=0, prefilter=False
+        )
         matcher.scan(b"abcabcabc")
         info = matcher.cache_info()
         assert info["entries"] <= 2
@@ -169,6 +189,100 @@ class TestPatternSetIntegration:
         occupancy = snap["histograms"]["engine.active_states"]
         assert occupancy["count"] == 3
         assert snap["counters"]["engine.fused.cache_misses"] > 0
+
+
+class TestTableBlowup:
+    """Satellite: a pathological set exceeding the table budget falls
+    back to bitset stepping mid-scan — identical output, a telemetry
+    counter bump and a flight event, never a budget error."""
+
+    PATTERNS = ["a.{6}b", "c.{6}d"]  # sliding gaps: many distinct masks
+
+    def _data(self):
+        rng = random.Random(3)
+        return bytes(rng.choice(b"acbdxyz") for _ in range(2000))
+
+    def test_state_budget_blowup_identical_output(self):
+        compiled = compile_all(self.PATTERNS)
+        data = self._data()
+        expected = build_fused(
+            compiled, table_states=0, prefilter=False
+        ).scan(data)
+        assert expected  # the workload must actually match
+        tight = build_fused(compiled, table_states=2, prefilter=False)
+        assert tight.scan(data) == expected
+        info = tight.table_info()
+        assert not info["live"]
+        assert info["fallbacks"] == 1
+        assert info["steps_bitset"] > 0  # scan finished on the bitset tier
+        # The fallback is permanent: later scans stay correct, no table.
+        assert tight.scan(data) == expected
+        assert tight.table_info()["fallbacks"] == 1
+
+    def test_byte_budget_blowup_identical_output(self):
+        compiled = compile_all(self.PATTERNS)
+        data = self._data()
+        expected = build_fused(
+            compiled, table_states=0, prefilter=False
+        ).scan(data)
+        tight = build_fused(compiled, table_bytes=1, prefilter=False)
+        assert tight.scan(data) == expected
+        info = tight.table_info()
+        assert not info["live"]
+        assert info["fallbacks"] == 1
+
+    def test_fallback_counter_and_flight_event(self):
+        # Matcher-level: the tiers run inside FusedMatcher.feed (the
+        # engine's metrics path steps per byte for the occupancy
+        # histogram and never enters the table), so the counter and the
+        # flight event are asserted where the blow-up actually happens.
+        from repro import telemetry
+        from repro.telemetry import flight
+
+        compiled = compile_all(self.PATTERNS)
+        data = self._data()
+        expected = build_fused(
+            compiled, table_states=0, prefilter=False
+        ).scan(data)
+        flight.disable()
+        try:
+            flight.enable()
+            with telemetry.session():
+                tight = build_fused(compiled, table_states=2, prefilter=False)
+                matches = tight.scan(data)
+                snap = telemetry.snapshot()
+            assert snap["counters"]["scan.table.fallback"] >= 1
+            events = [
+                e
+                for e in flight.recorder().events()
+                if e["kind"] == "table_fallback"
+            ]
+            assert events
+            assert events[0]["state_capacity"] == 2
+        finally:
+            flight.disable()
+        assert matches == expected
+
+    def test_blowup_is_not_a_budget_error(self):
+        # on_error="raise" still must not see an error: the table budget
+        # degrades the tier, it never rejects the scan.
+        ps = PatternSet(
+            self.PATTERNS,
+            engine="fused",
+            budget=Budget(max_table_states=1),
+            on_error="raise",
+        )
+        assert ps.scan(self._data())  # no exception
+
+    def test_table_states_zero_disables_table(self):
+        matcher = build_fused(
+            compile_all(self.PATTERNS), table_states=0, prefilter=False
+        )
+        matcher.scan(self._data())
+        info = matcher.table_info()
+        assert not info["live"]
+        assert info["fallbacks"] == 0
+        assert info["hits"] == info["misses"] == 0
 
 
 class TestCacheBytes:

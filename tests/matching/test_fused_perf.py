@@ -17,7 +17,8 @@ import sys
 import pytest
 
 from repro.matching import PatternSet
-from repro.workloads import PROFILES, dataset_stream, load_dataset
+from repro.resilience import Budget
+from repro.workloads import PROFILES, dataset_stream, load_dataset, match_rate_stream
 
 from .._perf import measure_pair, skip_if_loaded
 
@@ -56,4 +57,69 @@ def test_fused_scan_at_least_2x_per_pattern_loop():
         f"fused scan {fused_time * 1e3:.2f} ms vs per-pattern loop "
         f"{per_pattern_time * 1e3:.2f} ms — speedup "
         f"{per_pattern_time / fused_time:.2f}x < {REQUIRED_SPEEDUP}x"
+    )
+
+
+def test_table_tier_at_least_2x_bitset_fused():
+    """The dense-table inner loop vs pure bitset stepping on the same
+    rules and a low-match-rate stream (the table's home turf: the bench
+    measures 3-5x, so 2x leaves noise headroom)."""
+    skip_if_loaded()
+    profile = PROFILES["RegexLib"]
+    patterns = load_dataset("RegexLib", NUM_PATTERNS, seed=5)
+    data = match_rate_stream(
+        patterns, random.Random(9), INPUT_BYTES, profile.literal_pool, 0.001
+    )
+    table = PatternSet(patterns, engine="fused", prefilter=False)
+    bitset = PatternSet(
+        patterns,
+        engine="fused",
+        budget=Budget(max_table_states=0),
+        prefilter=False,
+    )
+    assert table.scan(data) == bitset.scan(data)
+    assert table._fused.table_info()["live"]
+
+    table_time, bitset_time = measure_pair(
+        lambda: table.scan(data),
+        lambda: bitset.scan(data),
+        rounds=ROUNDS,
+    )
+
+    assert table_time * REQUIRED_SPEEDUP <= bitset_time, (
+        f"table-driven scan {table_time * 1e3:.2f} ms vs bitset "
+        f"{bitset_time * 1e3:.2f} ms — speedup "
+        f"{bitset_time / table_time:.2f}x < {REQUIRED_SPEEDUP}x"
+    )
+
+
+def test_prefilter_at_least_5x_bitset_on_zero_match_stream():
+    """Prefilter + table vs pure bitset on a 0%-match stream: the skip
+    loop touches a few percent of the bytes, so even 5x is conservative
+    (the bench measures tens of x)."""
+    skip_if_loaded()
+    profile = PROFILES["RegexLib"]
+    patterns = load_dataset("RegexLib", NUM_PATTERNS, seed=5)
+    data = match_rate_stream(
+        patterns, random.Random(9), INPUT_BYTES, profile.literal_pool, 0.0
+    )
+    prefiltered = PatternSet(patterns, engine="fused")
+    bitset = PatternSet(
+        patterns,
+        engine="fused",
+        budget=Budget(max_table_states=0),
+        prefilter=False,
+    )
+    assert prefiltered.scan(data) == bitset.scan(data)
+
+    prefiltered_time, bitset_time = measure_pair(
+        lambda: prefiltered.scan(data),
+        lambda: bitset.scan(data),
+        rounds=ROUNDS,
+    )
+
+    assert prefiltered_time * 5.0 <= bitset_time, (
+        f"prefiltered scan {prefiltered_time * 1e3:.2f} ms vs bitset "
+        f"{bitset_time * 1e3:.2f} ms — speedup "
+        f"{bitset_time / prefiltered_time:.2f}x < 5.0x"
     )

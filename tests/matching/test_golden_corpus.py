@@ -12,8 +12,9 @@ from repro.compiler import CompilerOptions, compile_pattern
 from repro.compiler.pipeline import build_unfolded_nfa
 from repro.hardware.activity import AHStepper
 from repro.hardware.naive import NaiveMachine
-from repro.matching import build_fused
+from repro.matching import PatternSet, build_fused
 from repro.matching.oracle import match_ends as oracle_ends
+from repro.resilience import Budget
 
 OPTIONS = CompilerOptions(bv_size=16, unfold_threshold=2)
 
@@ -71,3 +72,76 @@ def test_golden_corpus_has_matches(pattern, data):
     """Each corpus entry actually exercises the matcher."""
     compiled = compile_pattern(pattern, options=OPTIONS)
     assert oracle_ends(compiled.parsed, data), (pattern, data)
+
+
+# --- fused stepping tiers over the whole corpus as one rule set ---------
+#
+# The corpus doubles as the differential bed for the fused engine's
+# three stepping tiers: bitset (table_states=0, no prefilter), dense
+# table, and table+prefilter must produce byte-identical match streams
+# on a mixed rule set whose literals, charclasses, and counting blocks
+# stress the literal extractor and the lazy table together.
+
+
+def _compile_corpus():
+    return [
+        compile_pattern(pattern, regex_id, OPTIONS)
+        for regex_id, (pattern, _) in enumerate(CORPUS)
+    ]
+
+
+def _corpus_stream():
+    return b" ".join(data for _, data in CORPUS)
+
+
+def test_golden_corpus_fused_tiers_byte_identical():
+    compiled = _compile_corpus()
+    data = _corpus_stream()
+    expected = build_fused(compiled, table_states=0, prefilter=False).scan(data)
+    assert expected  # the combined stream must exercise matches
+    table = build_fused(compiled, prefilter=False)
+    assert table.scan(data) == expected
+    assert table.table_info()["live"]
+    prefiltered = build_fused(compiled)
+    assert prefiltered.scan(data) == expected
+
+
+@pytest.mark.parametrize("chunk", (1, 3, 7, 16))
+def test_golden_corpus_chunked_feed_straddles_windows(chunk):
+    """Mid-stream ``feed()`` boundaries must not change the stream even
+    when a chunk cut lands inside a prefilter arming window (the tail
+    re-arming covers literal occurrences straddling the boundary)."""
+    compiled = _compile_corpus()
+    data = _corpus_stream()
+    expected = build_fused(compiled, table_states=0, prefilter=False).scan(data)
+    for matcher in (build_fused(compiled), build_fused(compiled, prefilter=False)):
+        matcher.reset()
+        got = []
+        for start in range(0, len(data), chunk):
+            for slot, end in matcher.feed(data[start:start + chunk]):
+                got.append((slot, start + end))
+        assert got == expected, chunk
+
+
+def test_golden_corpus_sharded_and_oracle_agree():
+    patterns = [pattern for pattern, _ in CORPUS]
+    data = _corpus_stream()
+    fused = PatternSet(patterns, options=OPTIONS, engine="fused").scan(data)
+    bitset = PatternSet(
+        patterns,
+        options=OPTIONS,
+        engine="fused",
+        budget=Budget(max_table_states=0),
+        prefilter=False,
+    ).scan(data)
+    with PatternSet(
+        patterns, options=OPTIONS, engine="sharded", shards=2
+    ) as sharded_set:
+        sharded = sharded_set.scan(data)
+    assert bitset == fused
+    assert sharded == fused
+    compiled = _compile_corpus()
+    for regex_id, regex in enumerate(compiled):
+        expected = oracle_ends(regex.parsed, data)
+        got = sorted(m.end for m in fused if m.pattern_id == regex_id)
+        assert got == expected, patterns[regex_id]

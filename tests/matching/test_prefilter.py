@@ -1,0 +1,226 @@
+"""The compile-time literal prefilter: extraction pins and the
+never-drop-a-match property.
+
+The extractor's contract is *soundness*, not completeness: when
+``extract_literals`` returns hints, **every** match of the pattern must
+contain one of the hint literals starting at most ``pre`` bytes after
+the match start.  Patterns with no usable literal return ``None`` and
+the engine keeps their start states always armed, so an extractor that
+returns ``None`` too often only costs speed — one that over-claims
+loses matches.  The Hypothesis suites below attack both layers: the
+extraction contract directly (via ``random_match``) and the fused
+engine end to end (prefiltered vs pure-bitset scan of the same rules).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompilerOptions, compile_pattern
+from repro.compiler.prefilter import (
+    LiteralHint,
+    PatternLiterals,
+    extract_literals,
+    max_match_len,
+)
+from repro.matching import build_fused
+from repro.regex.generate import random_match, random_regex
+from repro.regex.parser import parse
+from repro.workloads import PROFILES, dataset_stream, generate_pattern
+
+OPTIONS = CompilerOptions(bv_size=8, unfold_threshold=2)
+
+
+def hints_of(pattern):
+    literals = extract_literals(parse(pattern))
+    if literals is None:
+        return None
+    return {(hint.literal, hint.pre) for hint in literals.hints}
+
+
+class TestExtractionPins:
+    def test_plain_literal(self):
+        assert hints_of("needle") == {(b"needle", 0)}
+
+    def test_exact_join_through_bounded_repeat(self):
+        # b{3} is exact, so the whole concat joins into one literal.
+        assert hints_of("ab{3}c") == {(b"abbbc", 0)}
+
+    def test_literal_under_zero_lower_bound_not_required(self):
+        """The pin: a literal under ``{0,n}`` (or ``*`` / ``?``) occurs
+        in *some* matches, not all — it must never become a hint."""
+        assert hints_of("(needle){0,3}") is None
+        # With a required suffix the repeat expands exactly: "needle"
+        # alone is never a hint, but the unrolled forms (which every
+        # match IS one of) are.
+        hints = hints_of("(needle){0,3}zz")
+        assert (b"zz", 0) in hints
+        assert (b"needle", 0) not in hints
+
+    def test_star_prefix_blocks_shifting(self):
+        # Unbounded prefix: the suffix literal's offset is unbounded, so
+        # no arming window exists and the pattern stays always-on.
+        assert hints_of(".*needle") is None
+        assert hints_of("a*needle") is None
+
+    def test_nullable_pattern_has_no_requirement(self):
+        assert hints_of("(abc)?") is None
+        assert hints_of("x*") is None
+
+    def test_alternation_requires_union_of_both_sides(self):
+        assert hints_of("needle|haystack") == {(b"needle", 0), (b"haystack", 0)}
+
+    def test_alternation_with_nullable_side_is_unfiltered(self):
+        assert hints_of("needle|x*") is None
+
+    def test_small_charclass_expands(self):
+        assert hints_of("[ab]cde") == {(b"acde", 0), (b"bcde", 0)}
+
+    def test_wide_charclass_shifts_suffix(self):
+        # [0-9] is too wide to expand; a suffix literal arms with a
+        # window covering the class bytes instead.
+        ((literal, pre),) = hints_of("[0-9]cde")
+        assert literal in (b"cde", b"de")
+        assert pre + len(literal) <= 4  # within every 4-byte match
+
+    def test_optional_head_keeps_both_forms(self):
+        assert hints_of("a?bcd") == {(b"abcd", 0), (b"bcd", 0)}
+
+    def test_plus_requires_one_copy(self):
+        hints = hints_of("(abc)+x")
+        assert hints is not None
+        assert any(literal.startswith(b"abc") for literal, _ in hints)
+
+    def test_long_literal_truncated_to_prefix(self):
+        hints = hints_of("a" * 64 + "b")
+        assert hints is not None
+        ((literal, pre),) = hints
+        assert len(literal) <= 16 and pre == 0
+
+    def test_max_match_len(self):
+        assert max_match_len(parse("abc")) == 3
+        assert max_match_len(parse("a{2,5}")) == 5
+        assert max_match_len(parse("a*")) is None
+        assert max_match_len(parse("(ab){3}c?")) == 7
+
+    def test_hints_are_picklable(self):
+        import pickle
+
+        literals = extract_literals(parse("ab{3}c|xyz"))
+        clone = pickle.loads(pickle.dumps(literals))
+        assert clone == literals
+        assert isinstance(clone, PatternLiterals)
+        assert all(isinstance(h, LiteralHint) for h in clone.hints)
+
+
+class TestCompiledIntegration:
+    def test_compiled_regex_carries_literals(self):
+        compiled = compile_pattern("needle", options=OPTIONS)
+        assert compiled.literals is not None
+        assert compiled.literals.hints[0].literal == b"needle"
+
+    def test_unfilterable_pattern_compiles_without_literals(self):
+        compiled = compile_pattern(".*ab", options=OPTIONS)
+        assert compiled.literals is None
+
+    def test_compile_cache_roundtrips_literals(self, tmp_path):
+        from repro.compiler.cache import CompileCache
+        from repro.compiler.pipeline import compile_ruleset
+
+        patterns = ["needle", "ab{3}c", ".*x"]
+        cache = CompileCache(cache_dir=str(tmp_path))
+        cold = compile_ruleset(patterns, OPTIONS, cache=cache)
+        # Fresh in-memory layer: force the disk pickles to be loaded.
+        warm = compile_ruleset(
+            patterns, OPTIONS, cache=CompileCache(cache_dir=str(tmp_path))
+        )
+        for before, after in zip(cold.regexes, warm.regexes):
+            assert before.literals == after.literals
+
+    def test_unfiltered_patterns_stay_always_on(self):
+        compiled = [
+            compile_pattern(p, i, OPTIONS)
+            for i, p in enumerate(["needle", ".*rror"])
+        ]
+        matcher = build_fused(compiled)
+        info = matcher.prefilter_info()
+        assert info is not None
+        assert info["gated_patterns"] == 1
+        assert info["open_patterns"] == 1
+        assert info["literals"] == [{"literal": "needle", "pre": 0}]
+        # The always-on pattern keeps matching inside unarmed gaps.
+        assert matcher.scan(b"zz error zz needle") == [(1, 7), (0, 17)]
+
+
+# --- extraction soundness: every match contains a hint in-window --------
+
+
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=50_000),
+    sample_seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_every_match_contains_a_hint_in_window(seed, sample_seed):
+    node = random_regex(
+        random.Random(seed), alphabet=b"abcd", depth=3, max_bound=6
+    )
+    literals = extract_literals(node)
+    assume(literals is not None)
+    rng = random.Random(sample_seed)
+    for _ in range(5):
+        try:
+            match = random_match(node, rng, 3)
+        except ValueError:
+            return
+        assert any(
+            match.find(hint.literal, 0, hint.pre + len(hint.literal)) != -1
+            for hint in literals.hints
+        ), (str(node), match, literals.hints)
+
+
+# --- end-to-end: prefiltered engine never drops (or invents) a match ----
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    name=st.sampled_from(sorted(PROFILES)),
+    seed=st.integers(min_value=0, max_value=5_000),
+    stream_seed=st.integers(min_value=0, max_value=1_000),
+    chunk=st.integers(min_value=1, max_value=17),
+)
+def test_prefiltered_stream_identical_to_bitset(name, seed, stream_seed, chunk):
+    profile = PROFILES[name]
+    rng = random.Random(seed)
+    patterns = [generate_pattern(rng, profile) for _ in range(3)]
+    compiled = [
+        compile_pattern(p, i, OPTIONS) for i, p in enumerate(patterns)
+    ]
+    stream = dataset_stream(
+        patterns,
+        random.Random(stream_seed),
+        200,
+        profile.literal_pool,
+        plant_rate=0.03,
+    )
+    expected = build_fused(compiled, table_states=0, prefilter=False).scan(
+        stream
+    )
+    prefiltered = build_fused(compiled)
+    assert prefiltered.scan(stream) == expected
+    # Same rules, chunked feeds: boundaries land inside arming windows.
+    prefiltered.reset()
+    got = []
+    for start in range(0, len(stream), chunk):
+        for slot, end in prefiltered.feed(stream[start:start + chunk]):
+            got.append((slot, start + end))
+    assert got == expected
