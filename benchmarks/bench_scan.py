@@ -63,6 +63,11 @@ def main(argv=None) -> int:
         help="fail unless the headline fused speedup is >= FACTOR",
     )
     parser.add_argument(
+        "--recovery", action="store_true",
+        help="add the supervised-recovery latency cell (clean sharded "
+             "scan vs one with a mid-stream worker kill)",
+    )
+    parser.add_argument(
         "--match-rates", default="0.0,0.01,0.5", dest="match_rates",
         help="comma-separated plant rates for the fused-tier match-rate "
              "axis (measured at the largest pattern count; empty string "
@@ -121,6 +126,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         shard_counts=shard_counts or None,
         match_rates=match_rates or None,
+        recovery=args.recovery,
     )
     if args.compile_patterns:
         record["compile_cache"] = bench_compile_cache(

@@ -42,7 +42,17 @@ from .hardware.simulator import (
 )
 from .hardware.specs import CA_SPEC, CAMA_SPEC, EAP_SPEC
 from .matching import DEFAULT_TABLE_STATES, ENGINES, PatternSet
-from .resilience import Budget, FaultSpec, ReproError, format_report, run_campaign
+from .resilience import (
+    Budget,
+    ChaosSpec,
+    FaultSpec,
+    ReproError,
+    RestartPolicy,
+    format_chaos_report,
+    format_report,
+    run_campaign,
+    run_chaos,
+)
 from .telemetry.export import (
     METRICS_FORMATS,
     MetricsServer,
@@ -102,6 +112,18 @@ def _read_input(path: Optional[str]) -> bytes:
         return handle.read()
 
 
+def _restart_policy(args: argparse.Namespace) -> Optional[RestartPolicy]:
+    """``--max-restarts`` arms supervised recovery for sharded scans."""
+    max_restarts = getattr(args, "max_restarts", None)
+    if max_restarts is None:
+        return None
+    kwargs = {"max_restarts": max_restarts}
+    checkpoint_chunks = getattr(args, "checkpoint_chunks", None)
+    if checkpoint_chunks is not None:
+        kwargs["checkpoint_chunks"] = checkpoint_chunks
+    return RestartPolicy(**kwargs)
+
+
 def _budget(args: argparse.Namespace) -> Budget:
     return Budget(
         max_states=getattr(args, "max_states", None),
@@ -110,6 +132,7 @@ def _budget(args: argparse.Namespace) -> Budget:
         max_cache_bytes=getattr(args, "max_cache_bytes", None),
         max_table_states=getattr(args, "table_states", None),
         deadline_s=getattr(args, "deadline", None),
+        restart=_restart_policy(args),
     )
 
 
@@ -457,6 +480,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
             args.input_size,
             PROFILES[args.dataset].literal_pool,
         )
+    if args.chaos:
+        return _run_chaos_campaign(args, ruleset, data)
     spec = FaultSpec(
         seed=args.seed,
         cam_rate=args.cam_rate,
@@ -478,6 +503,46 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.expect_divergence and not report.diverged:
         log.error("expected divergence but the faults were all masked")
         return 1
+    return 0
+
+
+def _run_chaos_campaign(args: argparse.Namespace, ruleset, data: bytes) -> int:
+    """``faults --chaos``: seeded process-level faults against a live
+    sharded scan, asserting stream parity with a fault-free oracle."""
+    kinds = tuple(
+        kind.strip() for kind in args.chaos_kinds.split(",") if kind.strip()
+    )
+    spec = ChaosSpec(
+        seed=args.seed,
+        kinds=kinds,
+        num_faults=args.chaos_faults,
+        shards=args.shards,
+        chunk_bytes=args.chunk_bytes,
+        max_restarts=(
+            args.max_restarts if args.max_restarts is not None else 1
+        ),
+        checkpoint_chunks=(
+            args.checkpoint_chunks if args.checkpoint_chunks is not None else 4
+        ),
+    )
+    report = run_chaos(ruleset.regexes, data, spec)
+    if getattr(args, "json_mode", False):
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(format_chaos_report(report))
+    if report.diverged:
+        log.error(
+            "chaos campaign diverged at stream offset %d",
+            report.first_divergence,
+        )
+        return 1
+    log.info(
+        "%d chaos faults injected, %d restarts, %d failovers, "
+        "stream byte-identical",
+        len(report.faults),
+        report.restarts,
+        report.failovers,
+    )
     return 0
 
 
@@ -567,6 +632,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--deadline", type=float, default=None,
                        dest="deadline",
                        help="budget: cooperative wall-clock deadline (s)")
+        p.add_argument("--max-restarts", type=int, default=None,
+                       dest="max_restarts",
+                       help="supervise sharded scan workers: restart a "
+                            "dead shard up to N times (with backoff) "
+                            "before re-fusing its patterns elsewhere")
+        p.add_argument("--checkpoint-chunks", type=int, default=None,
+                       dest="checkpoint_chunks",
+                       help="snapshot shard state every N chunks for "
+                            "checkpointed recovery (with --max-restarts; "
+                            "default 8)")
         p.add_argument("--cache-dir", default=None, dest="cache_dir",
                        help="on-disk compile cache directory (content-"
                             "addressed; reused across runs)")
@@ -709,6 +784,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--counter-rate", type=float, default=0.0,
                           dest="counter_rate",
                           help="per-cycle Active Vector bit-flip rate")
+    p_faults.add_argument("--chaos", action="store_true",
+                          help="process-level chaos campaign against a "
+                               "live sharded scan (kill/hang workers) "
+                               "instead of simulator bit flips; exit 1 "
+                               "on stream divergence")
+    p_faults.add_argument("--chaos-kinds", default="kill,stop",
+                          dest="chaos_kinds",
+                          help="comma list of chaos fault kinds "
+                               "(kill, die, stop, corrupt, slow)")
+    p_faults.add_argument("--chaos-faults", type=int, default=2,
+                          dest="chaos_faults",
+                          help="number of faults to inject per campaign")
+    p_faults.add_argument("--shards", type=int, default=2,
+                          help="worker shards for the chaos scan")
+    p_faults.add_argument("--chunk-bytes", type=int, default=1024,
+                          dest="chunk_bytes",
+                          help="streaming chunk size for the chaos scan")
     p_faults.add_argument("--expect-divergence", action="store_true",
                           dest="expect_divergence",
                           help="exit 1 when the faults were all masked")

@@ -22,10 +22,13 @@ from .oracle import match_ends as oracle_match_ends
 from .oracle import match_spans as oracle_match_spans
 from .sharded import (
     DEFAULT_CHUNK_BYTES,
+    ShardCheckpoint,
     ShardCost,
     ShardedScanner,
+    ShardFailover,
     ShardFailure,
     ShardPlan,
+    ShardRestart,
     estimate_cost,
     plan_shards,
 )
@@ -43,9 +46,12 @@ __all__ = [
     "FusedMatcher",
     "Match",
     "PatternSet",
+    "ShardCheckpoint",
     "ShardCost",
+    "ShardFailover",
     "ShardFailure",
     "ShardPlan",
+    "ShardRestart",
     "ShardedScanner",
     "build_fused",
     "entry_bytes",

@@ -228,6 +228,126 @@ def bench_shard_scaling(
     }
 
 
+def _supervised_scan(
+    compiled,
+    ids: Sequence[int],
+    data: bytes,
+    shards: int,
+    chunk_bytes: int,
+    checkpoint_chunks: int,
+    kill_chunk: Optional[int],
+) -> Dict[str, object]:
+    """One supervised sharded pass; ``kill_chunk`` injects a worker death.
+
+    Worker spawn happens outside the timed region so the figure is the
+    steady-state scan cost (clean) or scan-plus-recovery cost (faulted),
+    not process start-up.
+    """
+    from ..resilience.budget import RestartPolicy
+    from .sharded import ShardedScanner
+
+    chunks = [
+        data[base : base + chunk_bytes]
+        for base in range(0, len(data), chunk_bytes)
+    ]
+    policy = RestartPolicy(
+        max_restarts=2,
+        backoff_base_s=0.01,
+        backoff_cap_s=0.05,
+        checkpoint_chunks=checkpoint_chunks,
+    )
+    matches: List[tuple] = []
+    with ShardedScanner(
+        list(compiled),
+        list(ids),
+        shards,
+        chunk_bytes=chunk_bytes,
+        restart_policy=policy,
+        seed=0,
+    ) as scanner:
+        pos = 0
+        start = time.perf_counter()
+        for index, chunk in enumerate(chunks):
+            if index == kill_chunk:
+                scanner.inject_fault(0, "die")
+            matches.extend(
+                (pid, pos + end) for pid, end in scanner.feed(chunk)
+            )
+            pos += len(chunk)
+        seconds = time.perf_counter() - start
+        restarts = list(scanner.restarts)
+    return {
+        "seconds": seconds,
+        "matches": matches,
+        "restarts": len(restarts),
+        "replayed_bytes": sum(r.replayed_bytes for r in restarts),
+    }
+
+
+def bench_recovery(
+    patterns: Sequence[str],
+    data: bytes,
+    options: CompilerOptions = CompilerOptions(),
+    shards: int = 2,
+    chunk_bytes: int = 1024,
+    checkpoint_chunks: int = 4,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Recovery-latency cell: supervised sharded scan, clean vs killed.
+
+    The faulted pass injects one worker death (cooperative ``die``, so
+    the schedule is deterministic) at the mid-stream chunk; supervision
+    restarts the shard from its checkpoint and replays the buffered
+    tail.  ``recovery_overhead_s`` is the wall-clock price of that heal
+    (faulted minus clean, best-of-``repeats`` each), and the cell
+    asserts the two match streams are identical — the bench doubles as
+    a recovery-parity tripwire.
+    """
+    from ..compiler.pipeline import compile_ruleset
+
+    ruleset = compile_ruleset(list(patterns), options)
+    compiled = ruleset.regexes
+    ids = [regex.regex_id for regex in compiled]
+    num_chunks = max(1, (len(data) + chunk_bytes - 1) // chunk_bytes)
+    kill_chunk = num_chunks // 2
+
+    def best(kill: Optional[int]) -> Dict[str, object]:
+        runs = [
+            _supervised_scan(
+                compiled, ids, data, shards, chunk_bytes,
+                checkpoint_chunks, kill,
+            )
+            for _ in range(repeats)
+        ]
+        return min(runs, key=lambda r: r["seconds"])
+
+    clean = best(None)
+    faulted = best(kill_chunk)
+    if clean["matches"] != faulted["matches"]:
+        raise AssertionError(
+            f"recovery changed the match stream: clean "
+            f"{len(clean['matches'])} events, faulted "
+            f"{len(faulted['matches'])}"
+        )
+    return {
+        "num_patterns": len(patterns),
+        "input_bytes": len(data),
+        "shards": shards,
+        "chunk_bytes": chunk_bytes,
+        "checkpoint_chunks": checkpoint_chunks,
+        "kill_chunk": kill_chunk,
+        "matches": len(clean["matches"]),
+        "clean_s": round(clean["seconds"], 6),
+        "faulted_s": round(faulted["seconds"], 6),
+        "recovery_overhead_s": round(
+            max(0.0, faulted["seconds"] - clean["seconds"]), 6
+        ),
+        "restarts": faulted["restarts"],
+        "replayed_bytes": faulted["replayed_bytes"],
+        "provenance": provenance(),
+    }
+
+
 def _variant_timing(
     name: str,
     patterns: Sequence[str],
@@ -337,6 +457,7 @@ def bench_grid(
     seed: int = 1,
     shard_counts: Optional[Sequence[int]] = None,
     match_rates: Optional[Sequence[float]] = None,
+    recovery: bool = False,
 ) -> Dict[str, object]:
     """The full perf record: pattern-count × input-size grid.
 
@@ -345,7 +466,8 @@ def bench_grid(
     ``match_rates`` a ``match_rate_grid`` timing the fused stepping
     tiers (bitset / table / table+prefilter) at each plant rate, plus
     the ``table_speedup_low_match`` and ``prefilter_speedup_zero_match``
-    headline keys.
+    headline keys.  ``recovery`` adds the supervised-recovery latency
+    cell (:func:`bench_recovery`) on the largest workload.
     """
     profile = PROFILES[profile_name]
     max_patterns = max(pattern_counts)
@@ -390,6 +512,17 @@ def bench_grid(
         )
         record["shard_scaling"] = bench_shard_scaling(
             all_patterns, data, shard_counts, options, repeats
+        )
+    if recovery:
+        size = max(input_sizes)
+        data = dataset_stream(
+            all_patterns,
+            random.Random(seed + size),
+            size,
+            profile.literal_pool,
+        )
+        record["recovery"] = bench_recovery(
+            all_patterns, data, options, repeats=repeats
         )
     if match_rates:
         cells = bench_match_rates(
@@ -489,6 +622,16 @@ def format_grid(record: Dict[str, object]) -> str:
                 f"{row['shards']:>9} workers {row['throughput_mbps']:>8.2f}MB"
                 + (f" {speedup:>11.2f}x vs fused" if speedup else "")
             )
+    recovery = record.get("recovery")
+    if recovery:
+        lines.append(
+            f"recovery — {recovery['shards']} shards, kill at chunk "
+            f"{recovery['kill_chunk']}: clean "
+            f"{recovery['clean_s'] * 1e3:.1f}ms, faulted "
+            f"{recovery['faulted_s'] * 1e3:.1f}ms "
+            f"(+{recovery['recovery_overhead_s'] * 1e3:.1f}ms heal, "
+            f"{recovery['replayed_bytes']} bytes replayed)"
+        )
     rate_cells = record.get("match_rate_grid")
     if rate_cells:
         lines.append(

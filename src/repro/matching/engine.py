@@ -222,6 +222,7 @@ class PatternSet:
                 cache_bytes=cache_bytes,
                 table_states=self._table_states(),
                 prefilter=self._prefilter,
+                restart_policy=self.budget.restart,
             )
             self._matchers = []
         else:
@@ -463,6 +464,16 @@ class PatternSet:
         """Degraded shards (sharded engine only; empty otherwise)."""
         return list(self._sharded.failures) if self._sharded else []
 
+    @property
+    def shard_restarts(self):
+        """Supervised worker restarts (sharded engine only)."""
+        return list(self._sharded.restarts) if self._sharded else []
+
+    @property
+    def shard_failovers(self):
+        """Permanent shard failovers (sharded engine only)."""
+        return list(self._sharded.failovers) if self._sharded else []
+
     # -- scanning ------------------------------------------------------
 
     def scan(self, data: bytes) -> List[Match]:
@@ -666,6 +677,8 @@ class PatternSet:
                     failed_shards=[
                         f.shard for f in self._sharded.failures
                     ],
+                    restarts=len(self._sharded.restarts),
+                    failovers=len(self._sharded.failovers),
                 )
             else:
                 flight.note_state(

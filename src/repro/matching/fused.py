@@ -517,6 +517,49 @@ class FusedMatcher:
     def reset(self) -> None:
         self.active = 0
 
+    # -- state snapshot / restore -------------------------------------
+
+    #: Snapshot document version, bumped on shape changes.
+    STATE_VERSION = 1
+
+    def state_snapshot(self) -> Dict[str, int]:
+        """The matcher's complete stream-dependent state, picklable.
+
+        The activation mask *is* the whole story: counters are unfolded
+        away in the scan NFAs, and the dense table / lazy-DFA cache
+        memoise the automaton, not the stream, so a fresh matcher
+        restored from this snapshot produces a byte-identical event
+        stream from here on.  This is what makes checkpointed crash
+        recovery in :mod:`repro.matching.sharded` lossless: snapshot at
+        a chunk boundary, replay the tail from the snapshot, and the
+        seam composes exactly (the simultaneous-finite-automata
+        argument).
+        """
+        return {
+            "version": self.STATE_VERSION,
+            "active": self.active,
+            "num_states": self.fused.num_states,
+        }
+
+    def restore_state(self, snapshot: Dict[str, int]) -> None:
+        """Adopt a :meth:`state_snapshot` taken on a compatible matcher.
+
+        Raises ``ValueError`` on a version mismatch or an activation
+        mask that does not fit this automaton's state space.
+        """
+        version = snapshot.get("version")
+        if version != self.STATE_VERSION:
+            raise ValueError(
+                f"unsupported fused snapshot version {version!r}"
+            )
+        active = snapshot["active"]
+        if active < 0 or active >> self.fused.num_states:
+            raise ValueError(
+                f"snapshot activation does not fit {self.fused.num_states} "
+                "states"
+            )
+        self.active = active
+
     # -- one combined transition -------------------------------------
 
     def _advance(self, active: int, symbol: int) -> Tuple[int, Tuple[int, ...]]:

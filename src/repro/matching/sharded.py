@@ -30,12 +30,32 @@ software analogue of that decomposition:
    single-process fused engine emits (a dedicated parity test enforces
    this on the golden corpus and the differential fuzzer).
 
-Resilience mirrors the per-pattern quarantine semantics: a shard whose
-worker dies (crash, SIGKILL, poisoned automaton) or stops answering is
-*degraded*, never fatal — its patterns stop reporting, the scan
-completes on the surviving shards, the failure is recorded in
-:attr:`ShardedScanner.failures`, and the ``scan.shard.failed`` counter
-is incremented when telemetry is on.
+Resilience is a supervised state machine per shard — **healthy →
+restarting(backoff) → failover → degraded**:
+
+* Without a :class:`~repro.resilience.budget.RestartPolicy` the
+  behaviour is the original degrade-only one: a shard whose worker dies
+  (crash, SIGKILL, poisoned automaton) or stops answering is *degraded*,
+  never fatal — its patterns stop reporting, the scan completes on the
+  surviving shards, the failure is recorded in
+  :attr:`ShardedScanner.failures`, and the ``scan.shard.failed`` counter
+  is incremented when telemetry is on.
+* With a policy (``Budget(restart=RestartPolicy())``) recovery is
+  *lossless*.  Every ``checkpoint_chunks`` broadcast chunks each worker
+  ships its fused activation snapshot back with the chunk reply; the
+  parent holds it as a :class:`ShardCheckpoint` together with the
+  shard's last-emitted ``(end, pattern_id)`` watermark and buffers the
+  tail chunks since the oldest live checkpoint.  A failed worker is
+  restarted with exponential backoff, seeded from its checkpoint,
+  replays only the buffered tail, and the merge layer deduplicates
+  replayed events by watermark — the merged stream stays byte-identical
+  to an uninterrupted run (the simultaneous-finite-automata seam
+  argument: a chunk re-executed from a known entry state composes
+  exactly).  Once the policy's restart budget is exhausted the dead
+  shard's compiled patterns are re-fused onto the lightest surviving
+  shard (:func:`repro.matching.fused.append_nfas` keeps the host's
+  activation valid bit for bit), recorded as a :class:`ShardFailover`;
+  only when no survivor exists does the shard finally degrade.
 
 An ``inline`` backend runs the same plan/merge machinery on in-process
 matchers (no workers) — the degenerate single-machine mode used for
@@ -47,20 +67,24 @@ from __future__ import annotations
 import logging
 import math
 import os
+import random
+import signal
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry
 from ..telemetry import flight, profiler
 from ..automata.ah import is_counter_free
 from ..compiler.pipeline import CompiledRegex
+from ..resilience.budget import RestartPolicy
 from .fused import (
     DEFAULT_CACHE_BYTES,
     DEFAULT_TABLE_STATES,
     FusedAutomaton,
     FusedMatcher,
+    append_nfas,
     fuse_patterns,
 )
 
@@ -219,17 +243,26 @@ def _shard_worker_main(
 
     Protocol (parent -> worker / worker -> parent):
 
-    * ``("feed", seq, data)`` -> ``("events", seq, [(pattern_id, end),
-      ...], busy_s, stats)`` — fused-engine feed over one chunk; end
-      offsets are chunk-relative, pattern ids are the *original* set
-      ids.  ``stats`` is the worker's cumulative telemetry snapshot
-      (lazy-DFA cache hits/misses, symbols scanned) — three ints per
-      reply, so shipping it costs nothing measurable, and the parent
-      merges the *deltas* into its registry under a ``shard`` label.
+    * ``("feed", seq, data, want_ckpt)`` -> ``("events", seq,
+      [(pattern_id, end), ...], busy_s, stats, snapshot)`` —
+      fused-engine feed over one chunk; end offsets are chunk-relative,
+      pattern ids are the *original* set ids.  ``stats`` is the worker's
+      cumulative telemetry snapshot (lazy-DFA cache hits/misses, symbols
+      scanned) — three ints per reply, so shipping it costs nothing
+      measurable, and the parent merges the *deltas* into its registry
+      under a ``shard`` label.  ``snapshot`` is the matcher's
+      :meth:`~repro.matching.fused.FusedMatcher.state_snapshot` when the
+      parent asked for a checkpoint (``want_ckpt``), else ``None``.
+    * ``("restore", snapshot)`` -> ``("ok",)`` — adopt a parent-held
+      checkpoint (or ``("error", message)`` on an incompatible one);
+      how a restarted worker is seeded before replaying the tail.
     * ``("reset",)`` -> ``("ok",)`` — rewind to the empty activation.
-    * ``("ping",)`` -> ``("ok",)`` — liveness probe.
+    * ``("ping", nonce)`` -> ``("pong", nonce)`` — watchdog heartbeat;
+      the nonce echo distinguishes a live reply from stale pipe data.
     * ``("fail",)`` — hard-exit(1), the fault-injection hook tests use
       to kill a shard deterministically mid-stream.
+    * ``("corrupt",)`` — emit one junk frame on the reply pipe (the
+      pipe-corruption chaos fault); the worker then continues normally.
     * ``("stop",)`` — clean shutdown.
     """
     matcher = FusedMatcher(
@@ -248,7 +281,7 @@ def _shard_worker_main(
                 return  # parent went away; die quietly
             op = message[0]
             if op == "feed":
-                _, seq, data = message
+                _, seq, data, want_ckpt = message
                 started = time.perf_counter()
                 events = [
                     (ids[slot], end) for slot, end in matcher.feed(data)
@@ -266,15 +299,25 @@ def _shard_worker_main(
                         events,
                         time.perf_counter() - started,
                         stats,
+                        matcher.state_snapshot() if want_ckpt else None,
                     )
                 )
+            elif op == "restore":
+                try:
+                    matcher.restore_state(message[1])
+                except ValueError as error:
+                    conn.send(("error", str(error)))
+                else:
+                    conn.send(("ok",))
             elif op == "reset":
                 matcher.reset()
                 conn.send(("ok",))
             elif op == "ping":
-                conn.send(("ok",))
+                conn.send(("pong", message[1] if len(message) > 1 else None))
             elif op == "fail":
                 os._exit(1)
+            elif op == "corrupt":
+                conn.send(("junk", "corrupted-frame"))
             elif op == "hang":
                 time.sleep(message[1])
                 conn.send(("ok",))
@@ -345,6 +388,53 @@ class ShardFailure:
     reason: str  # "died", "timeout", or "send_failed"
 
 
+@dataclass(frozen=True)
+class ShardRestart:
+    """One successful supervised worker restart."""
+
+    shard: int
+    attempt: int  # 1-based restart attempt that succeeded
+    reason: str  # what killed the previous worker
+    backoff_s: float
+    replayed_bytes: int  # buffered tail re-scanned from the checkpoint
+
+
+@dataclass(frozen=True)
+class ShardFailover:
+    """One permanent shard failure whose patterns moved to a survivor."""
+
+    shard: int
+    to_shard: int
+    pattern_ids: Tuple[int, ...]
+    reason: str
+
+
+@dataclass(frozen=True)
+class ShardCheckpoint:
+    """Parent-held recovery point for one shard.
+
+    ``snapshot`` is the worker's fused activation snapshot after chunk
+    ``seq`` (``None`` means the empty activation — the floor checkpoint
+    installed at start/reset before any chunk was acknowledged);
+    ``watermark`` is the last-emitted ``(stream_end, pattern_id)`` event
+    at that moment, the dedup key replay filters against.
+    """
+
+    shard: int
+    seq: int
+    snapshot: Optional[Dict[str, int]]
+    watermark: Optional[Tuple[int, int]]
+
+    @property
+    def active(self) -> int:
+        return self.snapshot["active"] if self.snapshot else 0
+
+
+#: Sentinel a supervised ``_recv_reply`` returns instead of degrading:
+#: the caller (the per-seq collector) owns the heal decision.
+_FAILED = object()
+
+
 @dataclass
 class _Shard:
     """Parent-side bookkeeping for one shard."""
@@ -371,11 +461,32 @@ class _Shard:
     #: :meth:`ShardedScanner._record_metrics` merges under ``shard=N``.
     worker_stats: Dict[str, int] = field(default_factory=dict)
     published_stats: Dict[str, int] = field(default_factory=dict)
+    #: Totals carried over from previous worker incarnations of this
+    #: shard; published totals are ``carry + worker_stats`` so the
+    #: ``scan.shard.<stat>{shard=N}`` deltas stay exact and monotone
+    #: across supervised restarts (no negative deltas, no double count).
+    stats_carry: Dict[str, int] = field(default_factory=dict)
     # Replies can momentarily run ahead of the collector when a chunk's
     # answer arrives while a later chunk is being sent; buffer by seq.
-    pending: Dict[
-        int, Tuple[List[Tuple[int, int]], float, Dict[str, int]]
-    ] = field(default_factory=dict)
+    pending: Dict[int, Tuple[Any, ...]] = field(default_factory=dict)
+    # -- supervision state (unused without a RestartPolicy) ------------
+    #: Last two checkpoints; the previous one is what failover needs
+    #: when the survivor already checkpointed one boundary ahead.
+    ckpt: Optional[ShardCheckpoint] = None
+    prev_ckpt: Optional[ShardCheckpoint] = None
+    #: Last-emitted ``(stream_end, pattern_id)`` over *consumed* replies.
+    watermark: Optional[Tuple[int, int]] = None
+    #: Per-pattern watermark overrides, non-empty only between a
+    #: failover adoption and the heal that re-synchronises both origins
+    #: (the adopted patterns' emit horizon lags the host's by up to one
+    #: chunk, so one merged watermark would over- or under-filter).
+    wm_overrides: Dict[int, Optional[Tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    #: Restart-budget spend against ``RestartPolicy.max_restarts``.
+    restarts_used: int = 0
+    #: Failure noticed but not yet healed ("died"/"timeout"/...).
+    fault: Optional[str] = None
 
 
 class ShardedScanner:
@@ -396,10 +507,16 @@ class ShardedScanner:
         chunk_bytes: broadcast granularity (see module docstring).
         cache_bytes: per-shard lazy-DFA cache budget.
         recv_timeout_s: per-chunk reply deadline before a shard is
-            declared hung and degraded.
+            declared hung (the watchdog) and healed or degraded.
         mp_context: a ``multiprocessing`` context; defaults to ``fork``
             where available (cheap start, no automaton re-pickle) else
             the platform default.
+        restart_policy: a :class:`~repro.resilience.budget.RestartPolicy`
+            arming supervised recovery (checkpoints, bounded restarts
+            with backoff, failover re-fuse); ``None`` keeps the original
+            degrade-only behaviour.  Process backend only.
+        seed: seeds the supervision RNG (backoff jitter) so recovery
+            schedules replay deterministically.
     """
 
     def __init__(
@@ -415,6 +532,8 @@ class ShardedScanner:
         mp_context=None,
         table_states: int = DEFAULT_TABLE_STATES,
         prefilter: bool = True,
+        restart_policy: Optional[RestartPolicy] = None,
+        seed: int = 0,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -437,10 +556,26 @@ class ShardedScanner:
         self.prefilter = bool(prefilter)
         self.recv_timeout_s = recv_timeout_s
         self._mp_context = mp_context
+        self.restart_policy = restart_policy
+        self.seed = seed
+        self._rng = random.Random(seed)
         self.plan = plan_shards(compiled, num_shards)
         self.failures: List[ShardFailure] = []
+        self.restarts: List[ShardRestart] = []
+        self.failovers: List[ShardFailover] = []
         self._started = False
         self._closed = False
+        #: Next broadcast sequence number; persistent across feeds so
+        #: checkpoint boundaries stay uniform over the whole stream.
+        self._seq = 0
+        #: Total bytes fed since the last reset — the global-offset base
+        #: watermarks are expressed in.
+        self._stream_pos = 0
+        #: Buffered tail chunks ``seq -> (stream_base, bytes)`` since the
+        #: oldest live checkpoint (supervised runs only; bounded by
+        #: ``checkpoint_chunks`` plus the in-flight window).
+        self._tail: "OrderedDict[int, Tuple[int, bytes]]" = OrderedDict()
+        self._hb_nonce = 0
         self._shards: List[_Shard] = []
         ids = list(pattern_ids)
         for index, slots in enumerate(self.plan.shards):
@@ -461,6 +596,21 @@ class ShardedScanner:
     @property
     def num_shards(self) -> int:
         return len(self._shards)
+
+    @property
+    def _supervised(self) -> bool:
+        """Supervised recovery is armed (policy set, process backend)."""
+        return self.restart_policy is not None and self.backend == "process"
+
+    def _floor_checkpoint(self, shard: _Shard) -> ShardCheckpoint:
+        """The empty-activation checkpoint at the current stream point —
+        what a shard recovers from before its first real snapshot."""
+        return ShardCheckpoint(
+            shard=shard.index,
+            seq=self._seq - 1,
+            snapshot=None,
+            watermark=None,
+        )
 
     def live_shards(self) -> List[int]:
         return [s.index for s in self._shards if s.alive]
@@ -544,6 +694,8 @@ class ShardedScanner:
         self._started = True
         for shard in self._shards:
             self._start_shard(shard)
+            if self._supervised:
+                shard.ckpt = self._floor_checkpoint(shard)
         if self.backend == "process" and telemetry.metrics_enabled():
             telemetry.registry().gauge("scan.shard.workers").set(
                 len(self.live_shards())
@@ -575,16 +727,26 @@ class ShardedScanner:
 
     # -- incremental updates -------------------------------------------
 
+    def _fold_stats(self, shard: _Shard) -> None:
+        """Fold the (dying) worker's cumulative totals into the shard's
+        carry, so published totals (``carry + worker_stats``) never move
+        backwards when the fresh worker restarts its counters at zero."""
+        for key, total in shard.worker_stats.items():
+            shard.stats_carry[key] = shard.stats_carry.get(key, 0) + total
+        shard.worker_stats = {}
+
     def _restart_shard(self, shard: _Shard) -> None:
         """Re-fuse one shard after its pattern list changed and relaunch
         only its backend.  The restarted shard resumes from the empty
         activation; untouched shards keep their workers and state."""
         shard.automaton = fuse_patterns(shard.compiled)
         shard.pending.clear()
-        # The fresh worker's cumulative counters restart at zero, so the
-        # published baseline must too or the next delta would go negative.
-        shard.worker_stats = {}
-        shard.published_stats = {}
+        self._fold_stats(shard)
+        if self._supervised:
+            shard.ckpt = self._floor_checkpoint(shard)
+            shard.prev_ckpt = None
+            shard.watermark = None
+            shard.wm_overrides = {}
         if self._started and shard.alive:
             self._stop_shard(shard)
             self._start_shard(shard)
@@ -669,11 +831,10 @@ class ShardedScanner:
 
     # -- failure handling ----------------------------------------------
 
-    def _degrade(self, shard: _Shard, reason: str) -> None:
-        """Mark one shard failed; the scan continues without it."""
-        if not shard.alive:
-            return
-        shard.alive = False
+    def _teardown_worker(self, shard: _Shard) -> None:
+        """Kill one shard's worker process (SIGKILL — SIGTERM stays
+        pending on a SIGSTOPped worker) and fold its telemetry carry,
+        leaving the shard's plan/checkpoint bookkeeping alone."""
         if shard.conn is not None:
             try:
                 shard.conn.close()
@@ -682,9 +843,20 @@ class ShardedScanner:
             shard.conn = None
         if shard.process is not None:
             if shard.process.is_alive():
-                shard.process.terminate()
+                shard.process.kill()
             shard.process.join(timeout=2.0)
             shard.process = None
+        shard.pending.clear()
+        self._fold_stats(shard)
+
+    def _degrade(self, shard: _Shard, reason: str) -> None:
+        """Mark one shard failed; the scan continues without it."""
+        if not shard.alive:
+            return
+        shard.alive = False
+        shard.fault = None
+        shard.wm_overrides = {}
+        self._teardown_worker(shard)
         failure = ShardFailure(
             shard=shard.index,
             pattern_ids=tuple(shard.pattern_ids),
@@ -710,25 +882,516 @@ class ShardedScanner:
             )
             flight.auto_dump(f"shard-{shard.index}-{reason}")
 
+    def _fail_shard(self, shard: _Shard, reason: str):
+        """Route one observed worker failure: under supervision mark it
+        for healing at the collect barrier, else degrade immediately."""
+        if self._supervised:
+            if shard.fault is None:
+                shard.fault = reason
+            return _FAILED
+        self._degrade(shard, reason)
+        return None
+
+    # -- supervised recovery -------------------------------------------
+
+    def _absorb_reply(
+        self,
+        shard: _Shard,
+        seq: int,
+        stream_base: int,
+        reply: Tuple[Any, ...],
+        gathered: List[Tuple[int, int]],
+    ) -> None:
+        """Consume one healthy ``events`` reply: merge its events and,
+        under supervision, advance the shard's watermark/checkpoint."""
+        events, busy_s, stats, snapshot = reply
+        shard.events_total += len(events)
+        shard.busy_s += busy_s
+        shard.worker_stats = stats
+        if self._supervised:
+            if events:
+                last = max((stream_base + end, pid) for pid, end in events)
+                if shard.watermark is None or last > shard.watermark:
+                    shard.watermark = last
+            if snapshot is not None:
+                shard.prev_ckpt = shard.ckpt
+                shard.ckpt = ShardCheckpoint(
+                    shard=shard.index,
+                    seq=seq,
+                    snapshot=snapshot,
+                    watermark=shard.watermark,
+                )
+        gathered.extend(events)
+
+    def _prune_tail(self) -> None:
+        """Drop buffered tail chunks every live shard has checkpointed
+        past; the buffer stays bounded by the checkpoint cadence plus
+        the in-flight window."""
+        floors = [
+            s.ckpt.seq
+            for s in self._shards
+            if s.alive and s.ckpt is not None
+        ]
+        if not floors:
+            self._tail.clear()
+            return
+        floor = min(floors)
+        while self._tail and next(iter(self._tail)) <= floor:
+            self._tail.popitem(last=False)
+
+    def _filter_replayed(
+        self,
+        shard: _Shard,
+        chunk_base: int,
+        events: List[Tuple[int, int]],
+    ) -> List[Tuple[int, int]]:
+        """Drop replayed events already emitted, advancing the shard's
+        watermark(s) with the survivors.
+
+        Normally one watermark covers the whole shard; during a failover
+        adoption the per-pattern ``wm_overrides`` keep the dedup exact
+        for the adopted patterns, whose emit horizon lags the host's.
+        """
+        fresh: List[Tuple[int, int]] = []
+        overrides = shard.wm_overrides
+        for pid, end in events:
+            key = (chunk_base + end, pid)
+            if pid in overrides:
+                wm = overrides[pid]
+                if wm is None or key > wm:
+                    fresh.append((pid, end))
+                    overrides[pid] = key
+            else:
+                wm = shard.watermark
+                if wm is None or key > wm:
+                    fresh.append((pid, end))
+                    shard.watermark = key
+        return fresh
+
+    def _collapse_overrides(self, shard: _Shard) -> None:
+        """Merge the per-pattern overrides back into one watermark.
+
+        Exact once every origin has been emitted through the same chunk
+        boundary — which a completed heal replay guarantees, since later
+        chunks' stream ends are strictly larger than any earlier
+        chunk's.
+        """
+        if not shard.wm_overrides:
+            return
+        marks = [wm for wm in shard.wm_overrides.values() if wm is not None]
+        if shard.watermark is not None:
+            marks.append(shard.watermark)
+        shard.watermark = max(marks) if marks else None
+        shard.wm_overrides = {}
+
+    def _replay_tail(
+        self, shard: _Shard, start_seq: int, seq: int
+    ) -> Optional[Tuple[List[Tuple[int, int]], int]]:
+        """Replay buffered tail chunks ``start_seq..seq`` through a
+        recovering worker, deduplicating against the watermark(s) and
+        installing the checkpoints it ships back.  Returns ``(fresh
+        events for chunk seq, replayed bytes)``, or None when a chunk
+        replay failed (``shard.fault`` set; nothing unrecoverable was
+        emitted — fresh events only ever appear at chunk ``seq``, the
+        last one replayed)."""
+        replayed = 0
+        fresh_for_seq: List[Tuple[int, int]] = []
+        for s in range(start_seq, seq + 1):
+            entry = self._tail.get(s)
+            if entry is None:  # pruned past a live checkpoint: impossible
+                shard.fault = "tail_gap"  # unless bookkeeping broke; bail
+                return None
+            chunk_base, chunk = entry
+            reply = self._replay_chunk(shard, s, chunk)
+            if reply is None:
+                return None
+            events, busy_s, stats, snapshot = reply
+            replayed += len(chunk)
+            shard.busy_s += busy_s
+            shard.worker_stats = stats
+            fresh = self._filter_replayed(shard, chunk_base, events)
+            shard.events_total += len(fresh)
+            if snapshot is not None:
+                shard.prev_ckpt = shard.ckpt
+                shard.ckpt = ShardCheckpoint(
+                    shard=shard.index,
+                    seq=s,
+                    snapshot=snapshot,
+                    watermark=shard.watermark,
+                )
+            if s == seq:
+                fresh_for_seq = fresh
+        return fresh_for_seq, replayed
+
+    def _heal(
+        self, shard: _Shard, seq: int, stream_base: int
+    ) -> List[Tuple[int, int]]:
+        """Recover one failed shard at chunk ``seq``: bounded restarts
+        with backoff, then failover, then degrade.  Returns the shard's
+        (deduplicated) events for chunk ``seq``."""
+        policy = self.restart_policy
+        reason = shard.fault or "died"
+        shard.fault = None
+        while shard.alive and shard.restarts_used < policy.max_restarts:
+            shard.restarts_used += 1
+            attempt = shard.restarts_used
+            backoff = policy.backoff_s(attempt, self._rng)
+            log.warning(
+                "shard %d worker failed (%s); restart attempt %d/%d "
+                "after %.3fs backoff",
+                shard.index, reason, attempt, policy.max_restarts, backoff,
+            )
+            self._teardown_worker(shard)
+            if backoff > 0:
+                time.sleep(backoff)
+            events = self._revive(shard, seq, stream_base, reason, backoff)
+            if events is not None:
+                return events
+            reason = shard.fault or "died"
+            shard.fault = None
+        return self._failover(shard, seq, stream_base, reason)
+
+    def _restore_worker(self, shard: _Shard, snapshot) -> bool:
+        """Seed a freshly started worker from a checkpoint snapshot
+        (``None`` = empty activation); False on any handshake failure."""
+        try:
+            if snapshot is not None:
+                shard.conn.send(("restore", snapshot))
+            else:
+                shard.conn.send(("reset",))
+            if not shard.conn.poll(self.recv_timeout_s):
+                shard.fault = "restore_timeout"
+                return False
+            ack = shard.conn.recv()
+        except (EOFError, OSError, ValueError, BrokenPipeError):
+            shard.fault = "restore_failed"
+            return False
+        if ack[0] != "ok":
+            shard.fault = "restore_rejected"
+            return False
+        return True
+
+    def _replay_chunk(self, shard: _Shard, seq: int, chunk: bytes):
+        """Send one buffered tail chunk to a recovering worker and wait
+        for its reply; None on failure (``shard.fault`` set)."""
+        want_ckpt = (seq + 1) % self.restart_policy.checkpoint_chunks == 0
+        try:
+            shard.conn.send(("feed", seq, chunk, want_ckpt))
+        except (OSError, ValueError, BrokenPipeError):
+            shard.fault = "send_failed"
+            return None
+        reply = self._recv_reply(shard, seq)
+        if reply is None or reply is _FAILED:
+            return None
+        return reply
+
+    def _resend_inflight(self, shard: _Shard, seq: int) -> bool:
+        """Re-broadcast the chunks beyond ``seq`` that were already in
+        flight when the shard failed (their original replies died with
+        the old worker; replay regenerates them deterministically)."""
+        for later in range(seq + 1, self._seq):
+            entry = self._tail.get(later)
+            if entry is None:
+                continue
+            want_ckpt = (
+                (later + 1) % self.restart_policy.checkpoint_chunks == 0
+            )
+            try:
+                shard.conn.send(("feed", later, entry[1], want_ckpt))
+            except (OSError, ValueError, BrokenPipeError):
+                shard.fault = "send_failed"
+                return False
+        return True
+
+    def _revive(
+        self,
+        shard: _Shard,
+        seq: int,
+        stream_base: int,
+        reason: str,
+        backoff: float,
+    ) -> Optional[List[Tuple[int, int]]]:
+        """One restart attempt: relaunch the worker, seed it from the
+        shard's checkpoint, replay the buffered tail through chunk
+        ``seq`` deduplicating by watermark, and re-send the in-flight
+        chunks beyond it.  Returns chunk ``seq``'s fresh events, or
+        None when the attempt itself failed (caller retries)."""
+        ckpt = shard.ckpt
+        self._start_shard(shard)
+        if not self._restore_worker(shard, ckpt.snapshot if ckpt else None):
+            return None
+        start_seq = (ckpt.seq if ckpt is not None else self._seq - 1) + 1
+        result = self._replay_tail(shard, start_seq, seq)
+        if result is None:
+            return None
+        fresh_for_seq, replayed = result
+        self._collapse_overrides(shard)
+        # Best-effort: the replay through chunk ``seq`` succeeded and its
+        # fresh events are already watermarked, so they MUST be emitted —
+        # a resend failure only notes the fault and the next collect
+        # heals again from here.
+        self._resend_inflight(shard, seq)
+        restart = ShardRestart(
+            shard=shard.index,
+            attempt=shard.restarts_used,
+            reason=reason,
+            backoff_s=backoff,
+            replayed_bytes=replayed,
+        )
+        self.restarts.append(restart)
+        log.info(
+            "shard %d restarted (attempt %d, %s); replayed %d tail bytes",
+            shard.index, restart.attempt, reason, replayed,
+        )
+        if telemetry.metrics_enabled():
+            registry = telemetry.registry()
+            registry.counter("scan.shard.restarts").inc()
+            registry.counter("scan.shard.replayed_bytes").inc(replayed)
+        if flight.flight_enabled():
+            flight.record(
+                "shard_restart",
+                shard=shard.index,
+                attempt=restart.attempt,
+                reason=reason,
+                replayed_bytes=replayed,
+                checkpoint_seq=ckpt.seq if ckpt is not None else None,
+            )
+        return fresh_for_seq
+
+    def _host_snapshot_at(
+        self, host: _Shard, seq: int
+    ) -> Optional[ShardCheckpoint]:
+        """The host's checkpoint at exactly ``seq``, if it kept one."""
+        if host.ckpt is not None and host.ckpt.seq == seq:
+            return host.ckpt
+        if host.prev_ckpt is not None and host.prev_ckpt.seq == seq:
+            return host.prev_ckpt
+        return None
+
+    def _failover(
+        self,
+        shard: _Shard,
+        seq: int,
+        stream_base: int,
+        reason: str,
+    ) -> List[Tuple[int, int]]:
+        """Permanent failure: re-fuse the dead shard's patterns onto the
+        lightest surviving shard, losslessly.
+
+        The host's automaton grows by :func:`append_nfas` (its existing
+        combined-state indices — and therefore its checkpointed
+        activation mask — stay valid bit for bit); the dead shard's
+        checkpointed activation shifts into the appended slice.  Both
+        origins' tails replay from the common checkpoint with per-origin
+        watermark dedup, after which a single merged watermark is exact
+        again.  Degrades only when no aligned survivor exists.
+        """
+        self._teardown_worker(shard)
+        survivors = [
+            s for s in self._shards if s.alive and s is not shard
+        ]
+        if not survivors or not shard.compiled:
+            self._degrade(shard, reason)
+            return []
+        ckpt_x = shard.ckpt or self._floor_checkpoint(shard)
+        host = min(survivors, key=lambda s: (s.cost, s.index))
+        host_ckpt = self._host_snapshot_at(host, ckpt_x.seq)
+        if host_ckpt is None:
+            # Checkpoints misaligned (e.g. the host itself just healed
+            # mid-boundary): lossless adoption is impossible, fail soft.
+            self._degrade(shard, reason)
+            return []
+        for s in range(ckpt_x.seq + 1, seq + 1):
+            if s not in self._tail:
+                self._degrade(shard, reason)
+                return []
+        # -- build the combined automaton and activation ---------------
+        x_auto = shard.automaton
+        host_states = host.automaton.num_states
+        combined_auto = append_nfas(
+            host.automaton,
+            x_auto.nfas,
+            sources=list(x_auto.sources) if x_auto.sources else None,
+            literals=list(x_auto.literals) if x_auto.literals else None,
+        )
+        combined_active = host_ckpt.active | (ckpt_x.active << host_states)
+        combined_snapshot = {
+            "version": FusedMatcher.STATE_VERSION,
+            "active": combined_active,
+            "num_states": combined_auto.num_states,
+        }
+        adopted_ids = tuple(shard.pattern_ids)
+        x_wm = shard.watermark
+        x_overrides = dict(shard.wm_overrides)
+        # -- restart the host on the combined automaton ----------------
+        self._teardown_worker(host)
+        host.automaton = combined_auto
+        host.slots.extend(shard.slots)
+        host.pattern_ids.extend(shard.pattern_ids)
+        host.compiled.extend(shard.compiled)
+        host.cost += shard.cost
+        shard.slots = []
+        shard.pattern_ids = []
+        shard.compiled = []
+        shard.cost = 0.0
+        shard.alive = False
+        shard.ckpt = None
+        shard.prev_ckpt = None
+        shard.wm_overrides = {}
+        # Per-origin dedup: the host acked through the failed chunk but
+        # the dead shard only through the one before it, so one merged
+        # watermark would over-filter the adopted patterns' events in
+        # that chunk.  The overrides stay on the host until a completed
+        # heal replay re-synchronises both origins (then they collapse
+        # back into the single watermark) — and they survive a nested
+        # failover, where a mid-adoption host hands its own overrides
+        # down to the next survivor.
+        for pid in adopted_ids:
+            host.wm_overrides[pid] = x_overrides.get(pid, x_wm)
+        # From here on the host recovers from the combined checkpoint
+        # even if this adoption replay itself fails (it keeps its own
+        # restart budget, so its supervision takes over).
+        host.ckpt = ShardCheckpoint(
+            shard=host.index,
+            seq=ckpt_x.seq,
+            snapshot=combined_snapshot,
+            watermark=host.watermark,
+        )
+        host.prev_ckpt = None
+        self._record_failover(shard, host, adopted_ids, reason)
+        self._start_shard(host)
+        if not self._restore_worker(host, combined_snapshot):
+            return self._heal(host, seq, stream_base)
+        result = self._replay_tail(host, ckpt_x.seq + 1, seq)
+        if result is None:
+            # Nothing fresh was emitted before the failed chunk's reply,
+            # so handing over to the host's own supervision (same seq,
+            # same watermarks) stays lossless.
+            return self._heal(host, seq, stream_base)
+        fresh_for_seq, replayed = result
+        self._collapse_overrides(host)
+        if telemetry.metrics_enabled():
+            telemetry.registry().counter(
+                "scan.shard.replayed_bytes"
+            ).inc(replayed)
+        # If re-broadcasting the in-flight chunks fails the fault is
+        # noted and the next collect heals the host; the healed chunk's
+        # events are already safe to emit either way.
+        self._resend_inflight(host, seq)
+        return fresh_for_seq
+
+    def _record_failover(
+        self,
+        shard: _Shard,
+        host: _Shard,
+        pattern_ids: Tuple[int, ...],
+        reason: str,
+    ) -> None:
+        failover = ShardFailover(
+            shard=shard.index,
+            to_shard=host.index,
+            pattern_ids=pattern_ids,
+            reason=reason,
+        )
+        self.failovers.append(failover)
+        log.warning(
+            "shard %d failed permanently (%s); patterns %s re-fused onto "
+            "shard %d",
+            shard.index, reason, list(pattern_ids), host.index,
+        )
+        if telemetry.metrics_enabled():
+            registry = telemetry.registry()
+            registry.counter("scan.shard.failovers").inc()
+            registry.gauge("scan.shard.workers").set(len(self.live_shards()))
+        if flight.flight_enabled():
+            flight.record(
+                "shard_failover",
+                shard=shard.index,
+                to_shard=host.index,
+                reason=reason,
+                pattern_ids=list(pattern_ids),
+            )
+
+    def heartbeat(self) -> Dict[int, bool]:
+        """Watchdog probe: nonced ping to every live worker.
+
+        Detects a hung (e.g. SIGSTOPped) worker while the stream is
+        idle, without waiting for the next chunk's reply deadline.  A
+        failed probe marks the shard faulted; under supervision the next
+        :meth:`feed` heals it, otherwise it degrades immediately.  Not
+        for use with chunks in flight (call between feeds).
+        """
+        self.start()
+        status: Dict[int, bool] = {}
+        for shard in self._shards:
+            if not shard.alive:
+                status[shard.index] = False
+                continue
+            if self.backend == "inline":
+                status[shard.index] = True
+                continue
+            self._hb_nonce += 1
+            nonce = self._hb_nonce
+            ok = False
+            try:
+                shard.conn.send(("ping", nonce))
+                deadline = time.monotonic() + self.recv_timeout_s
+                while time.monotonic() < deadline:
+                    if not shard.conn.poll(0.05):
+                        continue
+                    message = shard.conn.recv()
+                    if message[0] == "pong" and message[1] == nonce:
+                        ok = True
+                        break
+                    if message[0] == "events":
+                        shard.pending[message[1]] = tuple(message[2:])
+            except (EOFError, OSError, ValueError, BrokenPipeError):
+                ok = False
+            if not ok:
+                self._fail_shard(
+                    shard, "heartbeat" if shard.process is None
+                    or shard.process.is_alive() else "died"
+                )
+            status[shard.index] = ok
+        return status
+
     def inject_fault(self, shard_index: int, mode: str = "die") -> None:
         """Fault-injection hook for chaos tests (process backend only).
 
-        ``mode="die"`` makes the worker hard-exit before its next reply;
-        ``mode="hang"`` makes it sleep past the reply deadline.  Either
-        way the next :meth:`feed`/:meth:`reset` degrades the shard
-        instead of failing the scan.
+        * ``"die"`` — the worker hard-exits before its next reply;
+        * ``"kill"`` — SIGKILL from outside, no cooperation at all;
+        * ``"hang"`` — it sleeps past the reply deadline (watchdog trip);
+        * ``"stop"`` — SIGSTOP, the OS-level hang (also a watchdog trip,
+          and the restart path must SIGKILL through it);
+        * ``"corrupt"`` — one junk frame on the reply pipe;
+        * ``"slow"`` — a short stall well under the deadline (must be
+          tolerated, not healed).
+
+        Without a :class:`RestartPolicy` the next :meth:`feed`/
+        :meth:`reset` degrades the faulted shard; with one it heals.
         """
-        if mode not in ("die", "hang"):
-            raise ValueError(f"mode must be 'die' or 'hang', got {mode!r}")
+        modes = ("die", "kill", "hang", "stop", "corrupt", "slow")
+        if mode not in modes:
+            raise ValueError(f"mode must be one of {modes}, got {mode!r}")
         self.start()
         if self.backend != "process":
             raise RuntimeError("fault injection needs the process backend")
         shard = self._shards[shard_index]
         if not shard.alive:
             return
-        message = (
-            ("fail",) if mode == "die" else ("hang", 4 * self.recv_timeout_s)
-        )
+        if mode in ("stop", "kill"):
+            if shard.process is not None and shard.process.is_alive():
+                os.kill(
+                    shard.process.pid,
+                    signal.SIGSTOP if mode == "stop" else signal.SIGKILL,
+                )
+            return
+        message = {
+            "die": ("fail",),
+            "hang": ("hang", 4 * self.recv_timeout_s),
+            "corrupt": ("corrupt",),
+            "slow": ("hang", min(0.05, self.recv_timeout_s / 4)),
+        }[mode]
         self._send(shard, message)
 
     # -- scanning ------------------------------------------------------
@@ -737,48 +1400,60 @@ class ShardedScanner:
         try:
             shard.conn.send(message)
         except (OSError, ValueError, BrokenPipeError):
-            self._degrade(shard, "send_failed")
+            self._fail_shard(shard, "send_failed")
 
     def _recv_reply(self, shard: _Shard, seq: int):
-        """One shard's reply for chunk ``seq`` (None once degraded)."""
+        """One shard's reply for chunk ``seq``.
+
+        Returns the ``(events, busy_s, stats, snapshot)`` payload, None
+        once the shard degraded, or :data:`_FAILED` when a supervised
+        shard needs healing (the collector owns that decision)."""
         if not shard.alive:
             return None
+        if shard.fault is not None:
+            return _FAILED
         if seq in shard.pending:
             return shard.pending.pop(seq)
         deadline = time.monotonic() + self.recv_timeout_s
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                self._degrade(shard, "timeout")
-                return None
+                return self._fail_shard(shard, "timeout")
             try:
                 if not shard.conn.poll(min(remaining, 0.25)):
                     continue
                 message = shard.conn.recv()
             except (EOFError, OSError):
-                self._degrade(shard, "died")
-                return None
+                return self._fail_shard(shard, "died")
             if message[0] != "events":
-                continue  # stale ok from an interleaved reset
-            _, got_seq, events, busy_s, stats = message
+                continue  # stale ok / junk frame from an interleaved op
+            _, got_seq, events, busy_s, stats, snapshot = message
             if got_seq == seq:
-                return events, busy_s, stats
-            shard.pending[got_seq] = (events, busy_s, stats)
+                return events, busy_s, stats, snapshot
+            shard.pending[got_seq] = (events, busy_s, stats, snapshot)
 
     def _collect(self, seq: int, base: int) -> List[Tuple[int, int]]:
         """Merge all live shards' events for one chunk, rebased to the
-        stream offset, in the fused engine's ``(end, pattern_id)``
-        order."""
+        chunk offset, in the fused engine's ``(end, pattern_id)`` order.
+
+        Supervised shards that failed this chunk are healed (restart →
+        failover → degrade) right here, so the merge already contains
+        their deduplicated replay events."""
+        stream_base = self._stream_pos + base
         gathered: List[Tuple[int, int]] = []
+        failed: List[_Shard] = []
         for shard in self._shards:
             reply = self._recv_reply(shard, seq)
             if reply is None:
                 continue
-            events, busy_s, stats = reply
-            shard.events_total += len(events)
-            shard.busy_s += busy_s
-            shard.worker_stats = stats
-            gathered.extend(events)
+            if reply is _FAILED:
+                failed.append(shard)
+                continue
+            self._absorb_reply(shard, seq, stream_base, reply, gathered)
+        for shard in failed:
+            gathered.extend(self._heal(shard, seq, stream_base))
+        if self._supervised:
+            self._prune_tail()
         gathered.sort(key=lambda event: (event[1], event[0]))
         return [(pattern_id, base + end) for pattern_id, end in gathered]
 
@@ -813,20 +1488,32 @@ class ShardedScanner:
                 out.extend((pid, base + end) for pid, end in gathered)
         else:
             inflight: deque = deque()
-            seq = 0
             for base in range(0, len(data), self.chunk_bytes):
                 chunk = data[base : base + self.chunk_bytes]
+                seq = self._seq
+                want_ckpt = False
+                if self._supervised:
+                    # Buffer the tail chunk *before* broadcasting, so a
+                    # send-time failure can already replay it.
+                    self._tail[seq] = (self._stream_pos + base, chunk)
+                    want_ckpt = (
+                        (seq + 1) % self.restart_policy.checkpoint_chunks
+                        == 0
+                    )
                 for shard in self._shards:
-                    if shard.alive:
-                        self._send(shard, ("feed", seq, chunk))
+                    # A faulted shard gets its missed chunks replayed
+                    # from the buffered tail when the collector heals it.
+                    if shard.alive and shard.fault is None:
+                        self._send(shard, ("feed", seq, chunk, want_ckpt))
                 inflight.append((seq, base))
-                seq += 1
+                self._seq += 1
                 if len(inflight) >= MAX_INFLIGHT_CHUNKS:
                     done_seq, done_base = inflight.popleft()
                     out.extend(self._collect(done_seq, done_base))
             while inflight:
                 done_seq, done_base = inflight.popleft()
                 out.extend(self._collect(done_seq, done_base))
+        self._stream_pos += len(data)
         self._record_metrics(data, out, wall_started, busy_before)
         return out
 
@@ -856,8 +1543,14 @@ class ShardedScanner:
                 ).set(min((shard.busy_s - before) / wall, 1.0))
             # Merge the worker's cumulative telemetry (shipped with each
             # events reply, across the process boundary) as deltas so
-            # parent counters stay monotone under repeated feeds.
-            for key, total in shard.worker_stats.items():
+            # parent counters stay monotone under repeated feeds.  The
+            # carry folds in all previous worker incarnations, so a
+            # supervised restart mid-scan never publishes a negative (or
+            # double-counted) delta.
+            totals = dict(shard.stats_carry)
+            for key, value in shard.worker_stats.items():
+                totals[key] = totals.get(key, 0) + value
+            for key, total in totals.items():
                 delta = total - shard.published_stats.get(key, 0)
                 if delta > 0:
                     registry.counter(
@@ -865,10 +1558,23 @@ class ShardedScanner:
                     ).inc(delta)
                 shard.published_stats[key] = total
 
+    def _relaunch_fresh(self, shard: _Shard) -> None:
+        """Replace a shard's worker with a brand-new one at the empty
+        activation — how a supervised reset handles a faulted worker.
+        Spends nothing from the restart budget: there is no tail to
+        replay, the empty activation *is* the target state."""
+        shard.fault = None
+        self._teardown_worker(shard)
+        self._start_shard(shard)
+
     def reset(self) -> None:
         """Rewind every live shard to the empty activation."""
         if self._closed or not self._started:
             return  # fresh scanners are already at the empty activation
+        if self._supervised:
+            self._tail.clear()
+            self._seq = 0
+            self._stream_pos = 0
         if self.backend == "inline":
             for shard in self._shards:
                 if shard.alive:
@@ -876,20 +1582,47 @@ class ShardedScanner:
             return
         waiting = []
         for shard in self._shards:
-            if shard.alive:
-                shard.pending.clear()
-                self._send(shard, ("reset",))
-                waiting.append(shard)
-        for shard in waiting:
             if not shard.alive:
                 continue
+            shard.pending.clear()
+            if self._supervised:
+                shard.watermark = None
+                shard.wm_overrides = {}
+                shard.ckpt = self._floor_checkpoint(shard)
+                shard.prev_ckpt = None
+                if shard.fault is not None:
+                    self._relaunch_fresh(shard)
+                    continue
+            self._send(shard, ("reset",))
+            if shard.fault is not None:  # supervised send failure
+                self._relaunch_fresh(shard)
+                continue
+            if shard.alive:
+                waiting.append(shard)
+        for shard in waiting:
+            deadline = time.monotonic() + self.recv_timeout_s
+            acked = False
             try:
-                if shard.conn.poll(self.recv_timeout_s):
-                    shard.conn.recv()  # ("ok",)
-                else:
-                    self._degrade(shard, "timeout")
+                while time.monotonic() < deadline:
+                    remaining = deadline - time.monotonic()
+                    if not shard.conn.poll(max(min(remaining, 0.25), 0.0)):
+                        continue
+                    message = shard.conn.recv()
+                    if message[0] == "ok":
+                        acked = True
+                        break
+                    # skip stale events/junk frames from before the reset
             except (EOFError, OSError):
-                self._degrade(shard, "died")
+                pass
+            if acked:
+                continue
+            reason = (
+                "died"
+                if shard.process is not None and not shard.process.is_alive()
+                else "timeout"
+            )
+            if self._fail_shard(shard, reason) is _FAILED:
+                self._relaunch_fresh(shard)
 
     def scan(self, data: bytes) -> List[Tuple[int, int]]:
         """Fresh-state :meth:`feed`."""
@@ -912,6 +1645,25 @@ class ShardedScanner:
                     "reason": f.reason,
                 }
                 for f in self.failures
+            ],
+            "restarts": [
+                {
+                    "shard": r.shard,
+                    "attempt": r.attempt,
+                    "reason": r.reason,
+                    "backoff_s": round(r.backoff_s, 4),
+                    "replayed_bytes": r.replayed_bytes,
+                }
+                for r in self.restarts
+            ],
+            "failovers": [
+                {
+                    "shard": f.shard,
+                    "to_shard": f.to_shard,
+                    "pattern_ids": list(f.pattern_ids),
+                    "reason": f.reason,
+                }
+                for f in self.failovers
             ],
             "events_per_shard": {
                 s.index: s.events_total for s in self._shards

@@ -14,10 +14,14 @@ Four pillars (see ``docs/robustness.md``):
   instead of aborting;
 * **Fault injection** (:mod:`repro.resilience.faults`) — seeded bit flips
   in CAM match vectors, BVM bit vectors, and counter state, with golden
-  replay and first-divergence reporting (CLI verb ``faults``).
+  replay and first-divergence reporting (CLI verb ``faults``);
+* **Supervision** (:class:`RestartPolicy` + the chaos harness in
+  :mod:`repro.resilience.faults`) — bounded restart-with-backoff and
+  checkpointed recovery for the sharded scan workers, exercised by
+  seeded process-level chaos campaigns (``repro faults --chaos``).
 """
 
-from .budget import DEFAULT_CHECK_BYTES, Budget, BudgetClock
+from .budget import DEFAULT_CHECK_BYTES, Budget, BudgetClock, RestartPolicy
 from .errors import (
     ERROR_CODES,
     BudgetExceededError,
@@ -37,19 +41,30 @@ from .report import (
     summarize,
 )
 from .faults import (
+    CHAOS_KINDS,
     FAULT_KINDS,
+    ChaosFault,
+    ChaosReport,
+    ChaosSpec,
     FaultReport,
     FaultSpec,
     InjectedFault,
+    chaos_schedule,
+    format_chaos_report,
     format_report,
     run_campaign,
+    run_chaos,
 )
 
 __all__ = [
     "Budget",
     "BudgetClock",
     "BudgetExceededError",
+    "CHAOS_KINDS",
     "CapacityError",
+    "ChaosFault",
+    "ChaosReport",
+    "ChaosSpec",
     "CompileReport",
     "DEFAULT_CHECK_BYTES",
     "ERROR_CODES",
@@ -60,13 +75,17 @@ __all__ = [
     "QuarantineSummary",
     "ReproError",
     "RegexSyntaxError",
+    "RestartPolicy",
     "STATUS_DEGRADED",
     "STATUS_OK",
     "STATUS_QUARANTINED",
     "SimulationFaultError",
     "UnsupportedFeatureError",
+    "chaos_schedule",
+    "format_chaos_report",
     "format_report",
     "report_from_error",
     "run_campaign",
+    "run_chaos",
     "summarize",
 ]

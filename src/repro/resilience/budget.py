@@ -39,6 +39,63 @@ from .errors import BudgetExceededError
 #: Default deadline granularity for the scan loops (bytes between checks).
 DEFAULT_CHECK_BYTES = 4096
 
+#: Default supervised-restart backoff base/cap and checkpoint cadence.
+DEFAULT_BACKOFF_BASE_S = 0.05
+DEFAULT_BACKOFF_CAP_S = 2.0
+DEFAULT_CHECKPOINT_CHUNKS = 8
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Supervised-restart parameters for the sharded scan workers.
+
+    Attached to :class:`Budget` (``Budget(restart=RestartPolicy())``)
+    and threaded through ``CompilerOptions`` to
+    :class:`repro.matching.sharded.ShardedScanner`, which turns the
+    degrade-only failure handling into a restart → failover → degrade
+    state machine:
+
+    * ``max_restarts`` — bounded retry: how many times one shard's
+      worker may be restarted before its patterns fail over onto the
+      surviving shards;
+    * ``backoff_base_s`` / ``backoff_cap_s`` — exponential backoff
+      between restart attempts (``base * 2**(attempt-1)``, capped);
+    * ``jitter`` — symmetric fractional jitter on each backoff delay,
+      drawn from the scanner's seeded RNG so campaigns stay replayable;
+    * ``checkpoint_chunks`` — how often (in broadcast chunks) every
+      live worker ships its activation snapshot back to the parent; the
+      parent buffers at most this many tail chunks for replay.
+    """
+
+    max_restarts: int = 2
+    backoff_base_s: float = DEFAULT_BACKOFF_BASE_S
+    backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S
+    jitter: float = 0.1
+    checkpoint_chunks: int = DEFAULT_CHECKPOINT_CHUNKS
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("backoff_cap_s must be >= backoff_base_s")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.checkpoint_chunks < 1:
+            raise ValueError("checkpoint_chunks must be >= 1")
+
+    def backoff_s(self, attempt: int, rng=None) -> float:
+        """Delay before restart ``attempt`` (1-based), jittered by ``rng``."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempt - 1))
+        if rng is not None and self.jitter:
+            delay *= 1.0 + self.jitter * rng.uniform(-1.0, 1.0)
+        return delay
+
 
 @dataclass(frozen=True)
 class Budget:
@@ -51,6 +108,10 @@ class Budget:
     deadline_s: Optional[float] = None
     check_bytes: int = DEFAULT_CHECK_BYTES
     max_table_states: Optional[int] = None
+    #: Supervised-restart policy for the sharded engine's workers;
+    #: ``None`` keeps the degrade-only behaviour (no checkpoints, no
+    #: tail buffering — the hot path pays nothing).
+    restart: Optional[RestartPolicy] = None
 
     def __post_init__(self) -> None:
         for name in ("max_states", "max_unfold", "max_bv_width",

@@ -266,6 +266,266 @@ def run_campaign(
     return report
 
 
+# ---------------------------------------------------------------------------
+# Process-level chaos campaigns (the sharded engine's supervision layer)
+# ---------------------------------------------------------------------------
+
+#: Process-level fault kinds ``ChaosCampaign`` can inject into live
+#: sharded-scan workers (mapped onto
+#: :meth:`repro.matching.sharded.ShardedScanner.inject_fault` modes).
+CHAOS_KINDS = ("kill", "die", "stop", "corrupt", "slow")
+
+_CHAOS_MODES = {
+    "kill": "kill",  # SIGKILL from outside, no cooperation
+    "die": "die",  # worker hard-exits before its next reply
+    "stop": "stop",  # SIGSTOP: the OS-level hang (watchdog trip)
+    "corrupt": "corrupt",  # one junk frame on the reply pipe
+    "slow": "slow",  # sub-deadline stall (must be tolerated)
+}
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded process-level chaos configuration.
+
+    The schedule (which chunk, which shard, which fault kind) is drawn
+    from ``random.Random(seed)`` and depends only on the spec and the
+    chunk count, so a fixed seed replays the same campaign — including
+    the supervised recovery it provokes (backoff jitter flows from the
+    scanner's own RNG, seeded with the same value).
+    """
+
+    seed: int = 0
+    kinds: Tuple[str, ...] = ("kill", "stop")
+    num_faults: int = 2
+    shards: int = 2
+    chunk_bytes: int = 1024
+    max_restarts: int = 1
+    checkpoint_chunks: int = 4
+    recv_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.kinds) - set(CHAOS_KINDS)
+        if unknown:
+            raise SimulationFaultError(
+                f"unknown chaos kinds {sorted(unknown)}; "
+                f"choose from {CHAOS_KINDS}"
+            )
+        if not self.kinds:
+            raise SimulationFaultError("kinds must name at least one fault")
+        if self.num_faults < 0:
+            raise SimulationFaultError("num_faults must be >= 0")
+        if self.shards < 1:
+            raise SimulationFaultError("shards must be >= 1")
+        if self.chunk_bytes < 1:
+            raise SimulationFaultError("chunk_bytes must be >= 1")
+        if self.max_restarts < 0:
+            raise SimulationFaultError("max_restarts must be >= 0")
+        if self.checkpoint_chunks < 1:
+            raise SimulationFaultError("checkpoint_chunks must be >= 1")
+        if self.recv_timeout_s <= 0:
+            raise SimulationFaultError("recv_timeout_s must be positive")
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One scheduled process-level fault."""
+
+    chunk: int
+    shard: int
+    kind: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"chunk": self.chunk, "shard": self.shard, "kind": self.kind}
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos campaign: supervised scan vs. fused oracle."""
+
+    spec: ChaosSpec
+    symbols: int
+    faults: List[ChaosFault] = field(default_factory=list)
+    golden_matches: int = 0
+    chaos_matches: int = 0
+    #: Stream offset of the first mismatching event, None when the
+    #: merged stream is byte-identical to the fault-free run.
+    first_divergence: Optional[int] = None
+    restarts: int = 0
+    failovers: int = 0
+    degraded: int = 0
+    replayed_bytes: int = 0
+
+    @property
+    def diverged(self) -> bool:
+        return self.first_divergence is not None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.spec.seed,
+            "kinds": list(self.spec.kinds),
+            "shards": self.spec.shards,
+            "symbols": self.symbols,
+            "faults": [fault.to_json() for fault in self.faults],
+            "golden_matches": self.golden_matches,
+            "chaos_matches": self.chaos_matches,
+            "first_divergence": self.first_divergence,
+            "diverged": self.diverged,
+            "restarts": self.restarts,
+            "failovers": self.failovers,
+            "degraded": self.degraded,
+            "replayed_bytes": self.replayed_bytes,
+        }
+
+
+def chaos_schedule(spec: ChaosSpec, num_chunks: int, num_shards: int
+                   ) -> List[ChaosFault]:
+    """The campaign's seeded fault schedule, sorted by chunk."""
+    rng = random.Random(spec.seed)
+    faults = [
+        ChaosFault(
+            chunk=rng.randrange(num_chunks),
+            shard=rng.randrange(num_shards),
+            kind=spec.kinds[rng.randrange(len(spec.kinds))],
+        )
+        for _ in range(spec.num_faults)
+    ]
+    return sorted(faults, key=lambda f: (f.chunk, f.shard))
+
+
+def run_chaos(compiled, data: bytes, spec: ChaosSpec) -> ChaosReport:
+    """Run one seeded chaos campaign against a live supervised scan.
+
+    ``compiled`` is a sequence of
+    :class:`repro.compiler.pipeline.CompiledRegex`.  The oracle is the
+    single-process fused engine over the same chunking; the chaos run is
+    a :class:`~repro.matching.sharded.ShardedScanner` armed with a
+    :class:`~repro.resilience.budget.RestartPolicy`, with the scheduled
+    faults injected into its workers mid-stream.  The report's
+    ``first_divergence`` stays ``None`` exactly when supervised recovery
+    was lossless (no event missed, duplicated, or reordered).
+    """
+    from ..matching.fused import FusedMatcher, fuse_patterns
+    from ..matching.sharded import ShardedScanner
+    from .budget import RestartPolicy
+
+    compiled = list(compiled)
+    if not compiled:
+        raise SimulationFaultError("chaos campaign needs compiled patterns")
+    if not data:
+        raise SimulationFaultError("chaos campaign needs input data")
+    ids = [regex.regex_id for regex in compiled]
+    step = spec.chunk_bytes
+    chunks = [data[base : base + step] for base in range(0, len(data), step)]
+
+    oracle = FusedMatcher(fuse_patterns(compiled))
+    golden: List[Tuple[int, int]] = []
+    pos = 0
+    for chunk in chunks:
+        golden.extend(
+            (ids[slot], pos + end) for slot, end in oracle.feed(chunk)
+        )
+        pos += len(chunk)
+
+    policy = RestartPolicy(
+        max_restarts=spec.max_restarts,
+        backoff_base_s=0.01,
+        backoff_cap_s=0.05,
+        checkpoint_chunks=spec.checkpoint_chunks,
+    )
+    observed: List[Tuple[int, int]] = []
+    with ShardedScanner(
+        compiled,
+        ids,
+        spec.shards,
+        chunk_bytes=spec.chunk_bytes,
+        recv_timeout_s=spec.recv_timeout_s,
+        restart_policy=policy,
+        seed=spec.seed,
+    ) as scanner:
+        faults = chaos_schedule(spec, len(chunks), scanner.num_shards)
+        by_chunk: Dict[int, List[ChaosFault]] = {}
+        for fault in faults:
+            by_chunk.setdefault(fault.chunk, []).append(fault)
+        pos = 0
+        for index, chunk in enumerate(chunks):
+            for fault in by_chunk.get(index, ()):
+                scanner.inject_fault(fault.shard, _CHAOS_MODES[fault.kind])
+            observed.extend(
+                (pid, pos + end) for pid, end in scanner.feed(chunk)
+            )
+            pos += len(chunk)
+        restarts = list(scanner.restarts)
+        failovers = list(scanner.failovers)
+        failures = list(scanner.failures)
+
+    first_divergence: Optional[int] = None
+    for gold, seen in zip(golden, observed):
+        if gold != seen:
+            first_divergence = min(gold[1], seen[1])
+            break
+    else:
+        if len(golden) != len(observed):
+            shorter = min(len(golden), len(observed))
+            longer = golden if len(golden) > len(observed) else observed
+            first_divergence = longer[shorter][1]
+
+    report = ChaosReport(
+        spec=spec,
+        symbols=len(data),
+        faults=faults,
+        golden_matches=len(golden),
+        chaos_matches=len(observed),
+        first_divergence=first_divergence,
+        restarts=len(restarts),
+        failovers=len(failovers),
+        degraded=len(failures),
+        replayed_bytes=sum(r.replayed_bytes for r in restarts),
+    )
+    from ..telemetry import flight
+
+    if flight.flight_enabled():
+        flight.record(
+            "chaos_campaign",
+            seed=spec.seed,
+            faults=[fault.to_json() for fault in faults],
+            diverged=report.diverged,
+            restarts=report.restarts,
+            failovers=report.failovers,
+            degraded=report.degraded,
+        )
+        if report.diverged:
+            flight.auto_dump("chaos-divergence")
+    return report
+
+
+def format_chaos_report(report: ChaosReport) -> str:
+    """Human-readable chaos summary (``repro faults --chaos``)."""
+    injected = ", ".join(
+        f"{fault.kind}@chunk{fault.chunk}/shard{fault.shard}"
+        for fault in report.faults
+    ) or "none"
+    lines = [
+        f"symbols          : {report.symbols}",
+        f"seed             : {report.spec.seed}",
+        f"shards           : {report.spec.shards}",
+        f"injected faults  : {injected}",
+        f"golden matches   : {report.golden_matches}",
+        f"chaos matches    : {report.chaos_matches}",
+        "stream parity    : "
+        + (
+            f"DIVERGED at offset {report.first_divergence}"
+            if report.diverged
+            else "byte-identical"
+        ),
+        f"restarts         : {report.restarts}",
+        f"failovers        : {report.failovers}",
+        f"degraded shards  : {report.degraded}",
+        f"replayed bytes   : {report.replayed_bytes}",
+    ]
+    return "\n".join(lines)
+
+
 def format_report(report: FaultReport) -> str:
     """Human-readable campaign summary (the ``faults`` CLI verb)."""
     by_kind = report.injected_by_kind()

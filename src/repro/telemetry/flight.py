@@ -63,6 +63,12 @@ TIMING_KEYS = ("wall_s", "dumped_at_s", "elapsed_s", "busy_s")
 #: Postmortem document version, bumped on shape changes.
 POSTMORTEM_VERSION = 1
 
+#: Default cap on ``flight-*.json`` files kept per dump directory.  A
+#: crash-looping worker (or a long chaos campaign) dumps a postmortem
+#: per failure; without a cap the dump dir grows without bound.  Oldest
+#: files rotate out first; ``None`` disables rotation.
+DEFAULT_MAX_DUMPS = 64
+
 
 def strip_timing(obj: Any) -> Any:
     """A deep copy of ``obj`` with every :data:`TIMING_KEYS` key removed.
@@ -96,11 +102,15 @@ class FlightRecorder:
         self,
         capacity: int = DEFAULT_CAPACITY,
         dump_dir: Optional[str] = None,
+        max_dumps: Optional[int] = DEFAULT_MAX_DUMPS,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if max_dumps is not None and max_dumps < 1:
+            raise ValueError("max_dumps must be >= 1 or None")
         self.capacity = capacity
         self.dump_dir = dump_dir
+        self.max_dumps = max_dumps
         self._lock = threading.Lock()
         self._events: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
         self._seq = 0
@@ -203,7 +213,43 @@ class FlightRecorder:
         with open(path, "w") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
+        if self.dump_dir is not None:
+            self._rotate_dumps()
         return path
+
+    def _rotate_dumps(self) -> None:
+        """Delete the oldest ``flight-*.json`` files beyond the cap.
+
+        Age is modification time with filename as the tiebreaker, so
+        rotation is deterministic even when a burst of dumps lands
+        within one timestamp granule.  Unreadable or already-deleted
+        files are skipped — rotation is best-effort housekeeping and
+        must never turn a successful dump into a failure.
+        """
+        if self.max_dumps is None:
+            return
+        try:
+            names = [
+                name
+                for name in os.listdir(self.dump_dir)
+                if name.startswith("flight-") and name.endswith(".json")
+            ]
+        except OSError:
+            return
+        if len(names) <= self.max_dumps:
+            return
+        def age(name: str):
+            try:
+                mtime = os.path.getmtime(os.path.join(self.dump_dir, name))
+            except OSError:
+                mtime = 0.0
+            return (mtime, name)
+        names.sort(key=age)
+        for name in names[: len(names) - self.max_dumps]:
+            try:
+                os.remove(os.path.join(self.dump_dir, name))
+            except OSError:
+                pass
 
 
 # ---------------------------------------------------------------------------
@@ -218,15 +264,20 @@ _recorder = FlightRecorder()
 def enable(
     dump_dir: Optional[str] = None,
     capacity: int = DEFAULT_CAPACITY,
+    max_dumps: Optional[int] = DEFAULT_MAX_DUMPS,
 ) -> FlightRecorder:
     """Turn the flight recorder on (fresh ring) and return it.
 
     ``dump_dir`` arms :func:`auto_dump`: failure paths that call it will
     leave a postmortem file there without any further configuration.
+    At most ``max_dumps`` ``flight-*.json`` files are kept per dump
+    directory (oldest rotate out first; ``None`` disables rotation).
     """
     global _enabled, _recorder
     with _lock:
-        _recorder = FlightRecorder(capacity=capacity, dump_dir=dump_dir)
+        _recorder = FlightRecorder(
+            capacity=capacity, dump_dir=dump_dir, max_dumps=max_dumps
+        )
         _enabled = True
         return _recorder
 

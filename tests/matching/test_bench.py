@@ -145,3 +145,24 @@ def test_provenance_stamped_into_cells_and_record():
     )
     assert record["provenance"]["python"] == prov["python"]
     assert all("provenance" in c for c in record["grid"])
+
+
+def test_bench_recovery_cell_shape():
+    from repro.matching.bench import bench_recovery, format_grid
+
+    cell = bench_recovery(
+        PATTERNS, DATA * 4, shards=2, chunk_bytes=128,
+        checkpoint_chunks=2, repeats=1,
+    )
+    assert cell["restarts"] == 1
+    assert cell["replayed_bytes"] > 0
+    assert cell["clean_s"] > 0
+    assert cell["faulted_s"] > 0
+    assert cell["recovery_overhead_s"] >= 0
+    assert cell["matches"] > 0
+    text = format_grid({
+        "profile": "x", "seed": 0, "repeats": 1, "engines": [],
+        "baseline_engine": "nfa", "grid": [], "recovery": cell,
+    })
+    assert "recovery —" in text
+    assert "bytes replayed" in text

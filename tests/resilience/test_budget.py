@@ -142,3 +142,69 @@ class TestScanDeadline:
         chunked_ps = PatternSet(["ab{2,4}c"], engine="fused")
         chunked_ps.budget = Budget(deadline_s=300.0, check_bytes=7)
         assert chunked_ps.scan(data) == plain
+
+
+class TestRestartPolicy:
+    """Supervised-restart parameters: validation and backoff shape."""
+
+    def test_defaults_are_valid(self):
+        from repro.resilience import RestartPolicy
+
+        policy = RestartPolicy()
+        assert policy.max_restarts >= 0
+        assert policy.checkpoint_chunks >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_restarts": -1},
+            {"backoff_base_s": -0.1},
+            {"backoff_base_s": 1.0, "backoff_cap_s": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+            {"checkpoint_chunks": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        from repro.resilience import RestartPolicy
+
+        with pytest.raises(ValueError):
+            RestartPolicy(**kwargs)
+
+    def test_backoff_doubles_then_caps(self):
+        from repro.resilience import RestartPolicy
+
+        policy = RestartPolicy(
+            backoff_base_s=0.1, backoff_cap_s=0.5, jitter=0.0
+        )
+        delays = [policy.backoff_s(attempt) for attempt in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        import random
+
+        from repro.resilience import RestartPolicy
+
+        policy = RestartPolicy(
+            backoff_base_s=0.1, backoff_cap_s=1.0, jitter=0.5
+        )
+        delays = [
+            policy.backoff_s(1, random.Random(seed)) for seed in range(50)
+        ]
+        assert all(0.05 <= d <= 0.15 for d in delays)
+        assert policy.backoff_s(1, random.Random(7)) == policy.backoff_s(
+            1, random.Random(7)
+        )
+
+    def test_attempt_must_be_positive(self):
+        from repro.resilience import RestartPolicy
+
+        with pytest.raises(ValueError):
+            RestartPolicy().backoff_s(0)
+
+    def test_budget_carries_policy(self):
+        from repro.resilience import RestartPolicy
+
+        policy = RestartPolicy(max_restarts=1)
+        assert Budget(restart=policy).restart is policy
+        assert Budget().restart is None

@@ -130,3 +130,87 @@ class TestReporting:
         empty = compile_ruleset(["((("])  # everything quarantined
         with pytest.raises(SimulationFaultError):
             run_campaign(empty, DATA, FaultSpec(seed=0, cam_rate=0.1))
+
+
+class TestChaosSpec:
+    """Process-level chaos campaign configuration and scheduling."""
+
+    def test_unknown_kind_rejected(self):
+        from repro.resilience import ChaosSpec
+
+        with pytest.raises(SimulationFaultError):
+            ChaosSpec(kinds=("kill", "meteor"))
+
+    def test_empty_kinds_rejected(self):
+        from repro.resilience import ChaosSpec
+
+        with pytest.raises(SimulationFaultError):
+            ChaosSpec(kinds=())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_faults": -1},
+            {"shards": 0},
+            {"chunk_bytes": 0},
+            {"max_restarts": -1},
+            {"checkpoint_chunks": 0},
+            {"recv_timeout_s": 0.0},
+        ],
+    )
+    def test_bad_numbers_rejected(self, kwargs):
+        from repro.resilience import ChaosSpec
+
+        with pytest.raises(SimulationFaultError):
+            ChaosSpec(**kwargs)
+
+    def test_schedule_is_seeded_and_in_range(self):
+        from repro.resilience import ChaosSpec, chaos_schedule
+
+        spec = ChaosSpec(seed=42, kinds=("kill", "stop"), num_faults=8)
+        first = chaos_schedule(spec, num_chunks=16, num_shards=3)
+        second = chaos_schedule(spec, num_chunks=16, num_shards=3)
+        assert first == second
+        assert len(first) == 8
+        for fault in first:
+            assert 0 <= fault.chunk < 16
+            assert 0 <= fault.shard < 3
+            assert fault.kind in ("kill", "stop")
+        different = chaos_schedule(
+            ChaosSpec(seed=43, kinds=("kill", "stop"), num_faults=8),
+            num_chunks=16,
+            num_shards=3,
+        )
+        assert first != different
+
+    def test_empty_inputs_rejected(self):
+        from repro.resilience import ChaosSpec, run_chaos
+
+        with pytest.raises(SimulationFaultError):
+            run_chaos([], b"data", ChaosSpec())
+
+    def test_chaos_needs_data(self, ruleset):
+        from repro.resilience import ChaosSpec, run_chaos
+
+        with pytest.raises(SimulationFaultError):
+            run_chaos(ruleset.regexes, b"", ChaosSpec())
+
+
+class TestChaosReport:
+    def test_report_round_trips_and_formats(self, ruleset):
+        from repro.resilience import ChaosSpec, format_chaos_report, run_chaos
+
+        spec = ChaosSpec(
+            seed=1, kinds=("die",), num_faults=1, chunk_bytes=64,
+            max_restarts=1, checkpoint_chunks=2,
+        )
+        report = run_chaos(ruleset.regexes, DATA, spec)
+        assert not report.diverged
+        doc = report.to_json()
+        assert doc["diverged"] is False
+        assert doc["first_divergence"] is None
+        assert doc["golden_matches"] == doc["chaos_matches"]
+        assert len(doc["faults"]) == 1
+        text = format_chaos_report(report)
+        assert "byte-identical" in text
+        assert "kill" not in text or "die" in text

@@ -214,3 +214,58 @@ class TestDeterminism:
         second = flight.auto_dump("shard-0-died")
         assert os.path.basename(first) == "flight-shard-0-died-001.json"
         assert os.path.basename(second) == "flight-shard-0-died-002.json"
+
+
+class TestDumpRotation:
+    """``flight-*.json`` files per dump dir are capped; oldest go first."""
+
+    def test_rotation_keeps_only_newest(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path), max_dumps=3)
+        paths = []
+        for i in range(6):
+            recorder.record("tick", index=i)
+            path = recorder.dump(f"reason{i}")
+            os.utime(path, (i, i))  # deterministic ages
+            paths.append(os.path.basename(path))
+        kept = sorted(
+            n for n in os.listdir(tmp_path) if n.startswith("flight-")
+        )
+        assert len(kept) == 3
+        assert set(kept) == set(paths[3:])
+
+    def test_rotation_ignores_foreign_files(self, tmp_path):
+        (tmp_path / "flight-manual.json").write_text("{}")
+        (tmp_path / "notes.txt").write_text("keep me")
+        recorder = FlightRecorder(dump_dir=str(tmp_path), max_dumps=1)
+        os.utime(tmp_path / "flight-manual.json", (0, 0))
+        recorder.dump("crash")
+        names = sorted(os.listdir(tmp_path))
+        assert "notes.txt" in names
+        assert "flight-manual.json" not in names
+        assert sum(n.startswith("flight-") for n in names) == 1
+
+    def test_max_dumps_none_disables_rotation(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path), max_dumps=None)
+        for i in range(5):
+            recorder.dump(f"r{i}")
+        assert (
+            sum(n.startswith("flight-") for n in os.listdir(tmp_path)) == 5
+        )
+
+    def test_max_dumps_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(max_dumps=0)
+
+    def test_enable_passes_max_dumps_through(self, tmp_path):
+        recorder = flight.enable(dump_dir=str(tmp_path), max_dumps=2)
+        try:
+            assert recorder.max_dumps == 2
+            for i in range(4):
+                flight.record("tick", index=i)
+                flight.auto_dump(f"r{i}")
+            kept = [
+                n for n in os.listdir(tmp_path) if n.startswith("flight-")
+            ]
+            assert len(kept) == 2
+        finally:
+            flight.disable()

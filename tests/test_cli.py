@@ -318,3 +318,56 @@ class TestFaultsVerb:
         assert main(["faults", "ab{3}c", "--input-size", "512",
                      "--cam-rate", "0.5", "--seed", "3",
                      "--expect-divergence"]) == 0
+
+
+class TestChaosVerb:
+    def test_chaos_campaign_exits_zero_when_lossless(self, capsys):
+        assert main(["faults", "ab{2,4}c", "xy", "--chaos", "--seed", "7",
+                     "--input-size", "8192", "--chunk-bytes", "512",
+                     "--max-restarts", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "stream parity    : byte-identical" in out
+        assert "injected faults  :" in out
+
+    def test_chaos_json_report(self, capsys):
+        assert main(["faults", "ab{2,4}c", "xy", "--chaos", "--seed", "7",
+                     "--input-size", "8192", "--chunk-bytes", "512",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["seed"] == 7
+        assert doc["diverged"] is False
+        assert doc["golden_matches"] == doc["chaos_matches"]
+        assert len(doc["faults"]) == 2
+
+    def test_chaos_same_seed_same_schedule(self, capsys):
+        argv = ["faults", "ab{2,4}c", "--chaos", "--seed", "11",
+                "--input-size", "4096", "--chunk-bytes", "512", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["faults"] == second["faults"]
+
+    def test_chaos_kind_parsing_rejected_early(self, capsys):
+        assert main(["faults", "ab", "--chaos", "--chaos-kinds", "meteor",
+                     "--input-size", "256"]) == 2
+        assert "error[E_FAULT]" in capsys.readouterr().err
+
+    def test_supervision_flags_reach_the_budget(self):
+        args = build_parser().parse_args(
+            ["scan", "a", "--max-restarts", "3", "--checkpoint-chunks", "16"]
+        )
+        assert args.max_restarts == 3
+        assert args.checkpoint_chunks == 16
+        from repro.cli import _budget
+
+        budget = _budget(args)
+        assert budget.restart is not None
+        assert budget.restart.max_restarts == 3
+        assert budget.restart.checkpoint_chunks == 16
+
+    def test_no_restart_flag_means_no_policy(self):
+        args = build_parser().parse_args(["scan", "a"])
+        from repro.cli import _budget
+
+        assert _budget(args).restart is None
