@@ -31,6 +31,7 @@ from repro.matching import ENGINES  # noqa: E402
 from repro.matching.bench import (  # noqa: E402
     bench_compile_cache,
     bench_grid,
+    bench_reduction,
     format_grid,
     write_record,
 )
@@ -95,6 +96,18 @@ def main(argv=None) -> int:
         dest="check_compile",
         help="fail unless the warm-cache compile speedup is >= FACTOR",
     )
+    parser.add_argument(
+        "--reduction-patterns", type=int, default=64,
+        dest="reduction_patterns",
+        help="ruleset size for the reduced-vs-unreduced reduction cell "
+             "(0 disables the cell)",
+    )
+    parser.add_argument(
+        "--check-reduction", type=float, default=None, metavar="FRACTION",
+        dest="check_reduction",
+        help="fail unless the fused state-count reduction is >= FRACTION "
+             "(e.g. 0.10 for 10%%)",
+    )
     args = parser.parse_args(argv)
 
     engines = (
@@ -132,6 +145,13 @@ def main(argv=None) -> int:
         record["compile_cache"] = bench_compile_cache(
             profile_name=args.profile,
             num_patterns=args.compile_patterns,
+            repeats=repeats,
+            seed=args.seed,
+        )
+    if args.reduction_patterns:
+        record["reduction"] = bench_reduction(
+            profile_name=args.profile,
+            num_patterns=args.reduction_patterns,
             repeats=repeats,
             seed=args.seed,
         )
@@ -174,6 +194,23 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: prefilter speedup {prefilter_speedup} below "
                 f"--check-prefilter {args.check_prefilter}",
+                file=sys.stderr,
+            )
+            return 1
+    reduction_cell = record.get("reduction")
+    if reduction_cell is not None:
+        print(
+            f"reduction: {reduction_cell['state_reduction']:.1%} fewer "
+            f"fused states at level {reduction_cell['reduce_level']} "
+            f"({reduction_cell['unreduced']['fused_states']} -> "
+            f"{reduction_cell['reduced']['fused_states']})"
+        )
+    if args.check_reduction is not None:
+        shrink = (reduction_cell or {}).get("state_reduction")
+        if shrink is None or shrink < args.check_reduction:
+            print(
+                f"FAIL: state reduction {shrink} below "
+                f"--check-reduction {args.check_reduction}",
                 file=sys.stderr,
             )
             return 1

@@ -1,9 +1,11 @@
-"""Design-space exploration over (bv_size, unfold_threshold) — §8/Fig. 13.
+"""Design-space exploration over (bv_size, unfold_threshold, reduce) — §8.
 
 For each parameter combination the dataset is compiled and simulated on
 BVAP; compute density, EDP, and the figure of merit are normalised to a
 CAMA run of the same dataset and input.  ``best_by_fom`` reproduces the
-Table 5 selection of per-dataset optimal parameters.
+Table 5 selection of per-dataset optimal parameters.  The optional
+``reduce_levels`` axis sweeps the ``compiler.reduce`` quotient pass
+(default: the standard level only, keeping the grid Fig.-13 shaped).
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.pipeline import CompilerOptions, compile_ruleset
+from ..compiler.reduce import DEFAULT_REDUCE_LEVEL
 from ..hardware.report import SimulationReport
 from ..hardware.simulator import (
     BaselineSimulator,
@@ -37,6 +40,7 @@ class DSEPoint:
     unfold_threshold: int
     report: SimulationReport
     baseline: SimulationReport
+    reduce_level: int = DEFAULT_REDUCE_LEVEL
 
     @property
     def compute_density_norm(self) -> float:
@@ -90,8 +94,9 @@ def explore_dataset(
     unfold_thresholds: Sequence[int] = DEFAULT_UNFOLD_THRESHOLDS,
     patterns: Optional[Sequence[str]] = None,
     data: Optional[bytes] = None,
+    reduce_levels: Sequence[int] = (DEFAULT_REDUCE_LEVEL,),
 ) -> DSEResult:
-    """Sweep the two compiler knobs on one dataset (Fig. 13)."""
+    """Sweep the compiler knobs on one dataset (Fig. 13)."""
     if patterns is None:
         patterns = load_dataset(dataset, regex_count, seed)
     if data is None:
@@ -106,18 +111,24 @@ def explore_dataset(
     result = DSEResult(dataset=dataset)
     for bv_size in bv_sizes:
         for unfold_th in unfold_thresholds:
-            options = CompilerOptions(bv_size=bv_size, unfold_threshold=unfold_th)
-            ruleset = compile_ruleset(patterns, options)
-            report = BVAPSimulator(ruleset).run(data)
-            result.points.append(
-                DSEPoint(
-                    dataset=dataset,
+            for reduce_level in reduce_levels:
+                options = CompilerOptions(
                     bv_size=bv_size,
                     unfold_threshold=unfold_th,
-                    report=report,
-                    baseline=baseline,
+                    reduce_level=reduce_level,
                 )
-            )
+                ruleset = compile_ruleset(patterns, options)
+                report = BVAPSimulator(ruleset).run(data)
+                result.points.append(
+                    DSEPoint(
+                        dataset=dataset,
+                        bv_size=bv_size,
+                        unfold_threshold=unfold_th,
+                        report=report,
+                        baseline=baseline,
+                        reduce_level=reduce_level,
+                    )
+                )
     return result
 
 

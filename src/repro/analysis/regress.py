@@ -15,7 +15,11 @@ answer:
   noisy cell cannot fail the gate, a real slowdown shifts every cell;
 * an engine regresses only when its median throughput dropped by more
   than ``threshold`` (default 30%, deliberately loose for shared CI
-  hardware).
+  hardware);
+* the ``reduction`` cell joins the verdict as two pseudo-engines:
+  ``reduction-states`` (the reduced fused state count — growth past the
+  threshold fails, so a weakened ``compiler.reduce`` pass is caught) and
+  ``reduction-scan`` (the reduced fused throughput).
 
 The module doubles as the CI entry point::
 
@@ -199,7 +203,66 @@ def compare_records(
                 ratios=ratios,
             )
         )
+    _compare_reduction(old, new, threshold, report)
     return report
+
+
+def _compare_reduction(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    threshold: float,
+    report: RegressionReport,
+) -> None:
+    """Gate the ``reduction`` cell (reduced-vs-unreduced fused scan).
+
+    Two pseudo-engines join the verdict table when both records carry a
+    same-shape ``reduction`` section:
+
+    * ``reduction-states`` — ratio is old/new reduced fused-state count,
+      so a shrinking reduction (more surviving states) reads as a drop
+      and fails past the threshold;
+    * ``reduction-scan`` — the reduced fused throughput ratio, same
+      median semantics as the real engines (single cell, so the median
+      is the cell).
+    """
+    old_cell = old.get("reduction")
+    new_cell = new.get("reduction")
+    if not old_cell or not new_cell:
+        if old_cell or new_cell:
+            report.notes.append(
+                "reduction cell present in only one record; not compared"
+            )
+        return
+    if (
+        old_cell.get("num_patterns") != new_cell.get("num_patterns")
+        or old_cell.get("reduce_level") != new_cell.get("reduce_level")
+    ):
+        report.notes.append(
+            "reduction cells have different shapes; not compared"
+        )
+        return
+    report.matched_cells += 1
+    comparisons = []
+    old_states = old_cell.get("reduced", {}).get("fused_states")
+    new_states = new_cell.get("reduced", {}).get("fused_states")
+    if old_states and new_states:
+        comparisons.append(("reduction-states", old_states / new_states))
+    old_tp = old_cell.get("reduced", {}).get("throughput_mbps")
+    new_tp = new_cell.get("reduced", {}).get("throughput_mbps")
+    if old_tp and new_tp:
+        comparisons.append(("reduction-scan", new_tp / old_tp))
+    for name, ratio in comparisons:
+        report.engines.append(
+            EngineComparison(
+                engine=name,
+                cells=1,
+                median_ratio=ratio,
+                min_ratio=ratio,
+                max_ratio=ratio,
+                regressed=ratio < 1.0 - threshold,
+                ratios=[ratio],
+            )
+        )
 
 
 def format_regression(report: RegressionReport) -> str:

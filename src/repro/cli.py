@@ -33,7 +33,13 @@ from typing import Iterator, List, Optional, Sequence
 from . import telemetry
 from .telemetry import flight as flight_recorder
 from .telemetry import profiler as scan_profiler
-from .compiler import CompilerOptions, compile_ruleset, dump_config
+from .compiler import (
+    DEFAULT_REDUCE_LEVEL,
+    REDUCE_LEVELS,
+    CompilerOptions,
+    compile_ruleset,
+    dump_config,
+)
 from .hardware.report import SimulationReport
 from .hardware.simulator import (
     BaselineSimulator,
@@ -136,10 +142,17 @@ def _budget(args: argparse.Namespace) -> Budget:
     )
 
 
+def _reduce_level(args: argparse.Namespace) -> int:
+    if getattr(args, "no_reduce", False):
+        return 0
+    return getattr(args, "reduce_level", DEFAULT_REDUCE_LEVEL)
+
+
 def _compiler_options(args: argparse.Namespace) -> CompilerOptions:
     return CompilerOptions(
         bv_size=args.bv_size,
         unfold_threshold=args.unfold_threshold,
+        reduce_level=_reduce_level(args),
         budget=_budget(args),
     )
 
@@ -608,6 +621,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=(8, 16, 32, 64))
         p.add_argument("--unfold-threshold", type=int, default=4,
                        dest="unfold_threshold")
+        p.add_argument("--reduce-level", type=int,
+                       default=DEFAULT_REDUCE_LEVEL, dest="reduce_level",
+                       choices=REDUCE_LEVELS,
+                       help="automaton reduction: 0 = prune only, 1 = + "
+                            "follow merges, 2 = + left merges (default)")
+        p.add_argument("--no-reduce", action="store_true", dest="no_reduce",
+                       help="shorthand for --reduce-level 0")
         p.add_argument("--format", default="pcre", dest="fmt",
                        choices=("pcre", "prosite", "snort"),
                        help="pattern syntax of PATTERNS/@files")

@@ -28,12 +28,19 @@ from .pipeline import (
     CompiledRegex,
     CompiledRuleset,
     CompilerOptions,
+    build_scan_nfa,
     build_unfolded_nfa,
     compile_ast,
     compile_pattern,
     compile_ruleset,
     swap_words,
     virtual_width,
+)
+from .reduce import (
+    DEFAULT_REDUCE_LEVEL,
+    REDUCE_LEVELS,
+    reduce_ah,
+    reduce_nfa,
 )
 from .translate import TranslationError, translate
 
@@ -44,6 +51,9 @@ __all__ = [
     "CompiledRegex",
     "CompiledRuleset",
     "CompilerOptions",
+    "DEFAULT_REDUCE_LEVEL",
+    "REDUCE_LEVELS",
+    "build_scan_nfa",
     "decode_rows",
     "encode_class",
     "rows_for_class",
@@ -68,6 +78,8 @@ __all__ = [
     "load_config",
     "map_automata",
     "profile_automaton",
+    "reduce_ah",
+    "reduce_nfa",
     "ruleset_to_config",
     "swap_words",
     "translate",

@@ -16,11 +16,12 @@ Cache key
 * **pattern text** — the exact source string;
 * **options fingerprint** (:func:`options_fingerprint`) — every
   :class:`CompilerOptions` knob that can change the compiled artifact:
-  ``bv_size``, ``unfold_threshold``, all :class:`ArchParams` capacities,
-  and the compile-time budget limits (``max_states`` / ``max_unfold`` /
-  ``max_bv_width``).  Runtime-only knobs (deadline, scan-cache bytes,
-  dense-table states) are deliberately excluded — they never alter the
-  artifact;
+  ``bv_size``, ``unfold_threshold``, ``reduce_level`` (a reduced and an
+  unreduced automaton are different artifacts and must never cross-hit),
+  all :class:`ArchParams` capacities, and the compile-time budget limits
+  (``max_states`` / ``max_unfold`` / ``max_bv_width``).  Runtime-only
+  knobs (deadline, scan-cache bytes, dense-table states) are
+  deliberately excluded — they never alter the artifact;
 * **code version** (:func:`code_version`) — a digest over the source of
   every package that determines compiler output (``repro.regex``,
   ``repro.automata``, ``repro.compiler``), so editing any compiler pass
@@ -111,6 +112,10 @@ def options_fingerprint(options: Any) -> str:
     return repr((
         options.bv_size,
         options.unfold_threshold,
+        # The reduction level changes the compiled automaton itself, so a
+        # reduced artifact must never be served to a --no-reduce compile
+        # (or vice versa).  getattr keeps old pickled options readable.
+        getattr(options, "reduce_level", 0),
         arch.stes_per_tile,
         arch.bvs_per_tile,
         arch.tiles_per_array,

@@ -25,7 +25,6 @@ from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 from .. import telemetry
 from ..automata.ah import AHNBVA, is_counter_free, to_action_homogeneous
 from ..automata.ah import to_nfa as ah_to_nfa
-from ..automata.optimize import prune
 from ..automata.glushkov import glushkov
 from ..automata.nbva import NBVA
 from ..automata.nfa import NFA
@@ -47,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a hard import
 from .encoding import EncodingSchema, build_encoding
 from .prefilter import PatternLiterals, extract_literals
 from .mapping import ArchParams, AutomatonDemand, MappingError, MappingResult, map_automata
+from .reduce import DEFAULT_REDUCE_LEVEL, REDUCE_LEVELS, reduce_ah, reduce_nfa
 from .translate import translate
 
 
@@ -59,9 +59,18 @@ class CompilerOptions:
     arch: ArchParams = ArchParams()
     #: Resource budget enforced at phase boundaries (default: unlimited).
     budget: Budget = Budget()
+    #: Automaton reduction level (``compiler.reduce``): 0 disables the
+    #: pass (dead-state pruning only), 1 adds follow (right) merges, 2
+    #: (the default) adds left merges as well.
+    reduce_level: int = DEFAULT_REDUCE_LEVEL
 
     def __post_init__(self) -> None:
         self.rewrite_params  # validate bv_size / threshold eagerly
+        if self.reduce_level not in REDUCE_LEVELS:
+            raise ValueError(
+                f"reduce_level must be one of {REDUCE_LEVELS}, "
+                f"got {self.reduce_level!r}"
+            )
 
     @property
     def rewrite_params(self) -> RewriteParams:
@@ -107,6 +116,16 @@ class CompiledRegex:
     #: None when the pattern has no usable required literal and must stay
     #: always-on in the fused scan engine.
     literals: Optional[PatternLiterals] = None
+    #: What the ``compiler.reduce`` pass saved (states/BV-STEs/edges
+    #: before and after, pruned and merged counts per rule, and the
+    #: ``reduce_level`` it ran at); None only on artifacts produced
+    #: before the pass existed.
+    reduction: Optional[Dict[str, int]] = None
+
+    @property
+    def reduction_summary(self) -> Dict[str, int]:
+        """The reduction pass's savings (empty dict when unavailable)."""
+        return dict(self.reduction) if self.reduction else {}
 
     @property
     def num_stes(self) -> int:
@@ -233,14 +252,29 @@ def compile_ast(
             "compile.translate", "compile", regex_id=regex_id
         ) as sp:
             nbva = translate(rewritten, params)
-            ah = prune(to_action_homogeneous(nbva))
+            ah = to_action_homogeneous(nbva)
             sp.set(states=ah.num_states, bv_stes=ah.num_bv_stes())
-        budget.charge_states(ah.num_states, pattern)
-        for scope in ah.scopes:
-            budget.charge_bv_width(scope.high, pattern)
         clock.check("translate")
     except ReproError as error:
         _tag_phase(error, "translate")
+        raise
+    try:
+        with telemetry.span(
+            "compile.reduce", "compile", regex_id=regex_id
+        ) as sp:
+            ah, reduction = reduce_ah(ah, level=options.reduce_level)
+            removed = reduction["states_before"] - reduction["states_after"]
+            sp.set(states=ah.num_states, removed=removed)
+        if removed and telemetry.metrics_enabled():
+            telemetry.registry().counter(
+                "compile.reduce.states_removed"
+            ).inc(removed)
+        budget.charge_states(ah.num_states, pattern)
+        for scope in ah.scopes:
+            budget.charge_bv_width(scope.high, pattern)
+        clock.check("reduce")
+    except ReproError as error:
+        _tag_phase(error, "reduce")
         raise
     unfolded_states = _unfolded_size(parsed, unfolded_cap)
     return CompiledRegex(
@@ -252,6 +286,7 @@ def compile_ast(
         ah=ah,
         unfolded_states=unfolded_states,
         literals=extract_literals(parsed),
+        reduction=reduction,
     )
 
 
@@ -558,14 +593,20 @@ def build_unfolded_nfa(parsed: ast_mod.Regex) -> NFA:
 def build_scan_nfa(compiled: CompiledRegex) -> NFA:
     """The per-pattern NFA the fused software engine executes.
 
-    Counter-free patterns reuse the pruned AH-NBVA state graph directly
-    (it is already minimised by :func:`repro.automata.optimize.prune`);
+    Counter-free patterns reuse the reduced AH-NBVA state graph directly
+    (pruned and quotient-merged by :mod:`repro.compiler.reduce`);
     patterns that kept live bit vectors after rewriting fall back to the
-    fully unfolded Glushkov NFA, which exists for every supported regex.
+    fully unfolded Glushkov NFA, which exists for every supported regex
+    and is reduced by the same quotients at the level the pattern was
+    compiled with, so ``pattern_slice`` narrows on that path too.
     """
     if is_counter_free(compiled.ah):
         try:
             return ah_to_nfa(compiled.ah)
         except ValueError:  # malformed finalisation; unfold instead
             pass
-    return build_unfolded_nfa(compiled.parsed)
+    nfa = build_unfolded_nfa(compiled.parsed)
+    level = (compiled.reduction or {}).get("level", 0)
+    if level:
+        nfa = reduce_nfa(nfa, level=level)
+    return nfa

@@ -590,6 +590,88 @@ def bench_compile_cache(
     return record
 
 
+def bench_reduction(
+    profile_name: str = "RegexLib",
+    num_patterns: int = 64,
+    input_size: int = 1 << 16,
+    options: CompilerOptions = CompilerOptions(),
+    repeats: int = 3,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """The ``reduction`` cell: what the ``compiler.reduce`` pass buys.
+
+    Compiles the profile rule set twice — at the requested
+    ``reduce_level`` and with reduction off — and measures the state
+    count of the fused scan automaton (its combined bitset width, the
+    quantity every per-byte step pays for), the AH-NBVA STE/BV-STE
+    totals that size the hardware mapping, and the fused scan
+    throughput over the same input both ways.  The two full match
+    streams are compared first: the cell doubles as a
+    reduced-vs-unreduced differential tripwire.
+    """
+    from ..compiler.pipeline import compile_ruleset
+    from .fused import fuse_patterns
+
+    profile = PROFILES[profile_name]
+    patterns = load_dataset(profile_name, num_patterns, seed)
+    data = dataset_stream(
+        patterns, random.Random(seed + input_size), input_size,
+        profile.literal_pool,
+    )
+    reduced_options = options
+    if reduced_options.reduce_level == 0:
+        raise ValueError("bench_reduction needs a reduced configuration")
+    unreduced_options = replace(options, reduce_level=0)
+
+    variants: Dict[str, Dict[str, object]] = {}
+    streams: Dict[str, List[tuple]] = {}
+    for name, opts in (
+        ("reduced", reduced_options), ("unreduced", unreduced_options)
+    ):
+        ruleset = compile_ruleset(patterns, opts)
+        fused = fuse_patterns(ruleset.regexes)
+        ps = PatternSet(patterns, options=opts, engine="fused")
+        try:
+            streams[name] = ps.scan(data)  # also warms the matcher
+            seconds = _best_of(lambda: ps.scan(data), repeats)
+        finally:
+            ps.close()
+        variants[name] = {
+            "seconds": seconds,
+            "throughput_mbps": round(
+                len(data) / seconds / 1e6 if seconds > 0 else float("inf"), 3
+            ),
+            "fused_states": fused.num_states,
+            "stes": ruleset.num_stes,
+            "bv_stes": ruleset.num_bv_stes,
+        }
+    if streams["reduced"] != streams["unreduced"]:
+        raise AssertionError(
+            f"reduction changed the match stream: "
+            f"{len(streams['reduced'])} events reduced, "
+            f"{len(streams['unreduced'])} unreduced"
+        )
+    before = variants["unreduced"]["fused_states"]
+    after = variants["reduced"]["fused_states"]
+    cell: Dict[str, object] = {
+        "num_patterns": num_patterns,
+        "input_bytes": len(data),
+        "reduce_level": reduced_options.reduce_level,
+        "matches": len(streams["reduced"]),
+        "reduced": variants["reduced"],
+        "unreduced": variants["unreduced"],
+        "state_reduction": round(
+            (before - after) / before if before else 0.0, 4
+        ),
+        "provenance": provenance(),
+    }
+    unreduced_s = variants["unreduced"]["seconds"]
+    reduced_s = variants["reduced"]["seconds"]
+    if isinstance(reduced_s, float) and reduced_s > 0:
+        cell["reduction_speedup"] = round(unreduced_s / reduced_s, 2)
+    return cell
+
+
 def format_grid(record: Dict[str, object]) -> str:
     """Human-readable table of a :func:`bench_grid` record."""
     lines = [
@@ -653,6 +735,18 @@ def format_grid(record: Dict[str, object]) -> str:
             if pref is not None:
                 row += f"  prefilter {pref:.2f}x"
             lines.append(row)
+    reduction = record.get("reduction")
+    if reduction:
+        red = reduction["reduced"]
+        unred = reduction["unreduced"]
+        lines.append(
+            f"reduction — {reduction['num_patterns']} patterns at level "
+            f"{reduction['reduce_level']}: {unred['fused_states']} -> "
+            f"{red['fused_states']} fused states "
+            f"({reduction['state_reduction']:.1%} fewer), "
+            f"{unred['throughput_mbps']:.2f} -> "
+            f"{red['throughput_mbps']:.2f}MB/s fused scan"
+        )
     cache = record.get("compile_cache")
     if cache:
         lines.append(

@@ -15,7 +15,10 @@ rule set:
   STEs are BV-STEs.
 * **RegexLib** — community regexes (emails, phones, URLs): moderate
   counting with small bounds; the paper measures an average of 16 plain
-  STEs per regex here.
+  STEs per regex here.  Community authors write alternations unfactored
+  (``(http|https)``, ``(jpg|jpeg|gif)``), so a share of segments are
+  shared-affix groups — the redundancy the ``compiler.reduce`` pass
+  removes.
 
 Bounds are capped so the unfolded automata still fit one array (4096
 STEs), keeping every regex runnable on the CA/eAP/CAMA baselines for the
@@ -128,6 +131,7 @@ REGEXLIB = DatasetProfile(
     run_length=(3, 10),
     segments=(2, 3),
     dot_body_prob=0.35,
+    shared_affix_prob=0.2,
 )
 
 PROFILES: Dict[str, DatasetProfile] = {

@@ -49,6 +49,15 @@ class DatasetProfile:
     alternation_prob: float = 0.1
     #: Probability of a trailing optional/star decoration on a segment.
     decoration_prob: float = 0.15
+    #: Probability that a segment is an *unfactored shared-affix
+    #: alternation* — branches spelling out a common literal prefix and
+    #: suffix around a distinguishing byte, the way community rule sets
+    #: write ``(http|https)`` or ``(jpg|jpeg|gif)`` by hand instead of
+    #: factoring the affixes out.  The duplicated affix positions are
+    #: exactly what the ``compiler.reduce`` quotient pass merges.  At the
+    #: default 0.0 no extra RNG draws happen, so legacy profiles keep
+    #: byte-identical pattern streams.
+    shared_affix_prob: float = 0.0
 
 
 def _sample_bound(rng: random.Random, lo: int, hi: int) -> int:
@@ -65,7 +74,28 @@ def _literal_run(rng: random.Random, profile: DatasetProfile) -> str:
     return "".join(rng.choice(profile.literal_pool) for _ in range(length))
 
 
+def _shared_affix_group(rng: random.Random, profile: DatasetProfile) -> str:
+    """An unfactored alternation whose branches share literal affixes.
+
+    Every branch repeats the same prefix and suffix around a distinct
+    middle byte, e.g. ``(coamz|cobmz|cocmz)`` — the position-automaton
+    states for the repeated affixes are left/follow-equivalent and
+    collapse under the reduction pass, mirroring how hand-written
+    ``(http|https)``-style groups reduce.
+    """
+    prefix = "".join(
+        rng.choice(profile.literal_pool) for _ in range(rng.randint(2, 4))
+    )
+    suffix = "".join(
+        rng.choice(profile.literal_pool) for _ in range(rng.randint(2, 4))
+    )
+    middles = rng.sample(profile.literal_pool, rng.randint(2, 4))
+    return "(" + "|".join(prefix + mid + suffix for mid in middles) + ")"
+
+
 def _segment(rng: random.Random, profile: DatasetProfile) -> str:
+    if profile.shared_affix_prob and rng.random() < profile.shared_affix_prob:
+        return _shared_affix_group(rng, profile)
     text = _literal_run(rng, profile)
     if rng.random() < profile.alternation_prob:
         other = _literal_run(rng, profile)

@@ -36,6 +36,28 @@ class TestSweep:
         assert len(baselines) == 1
 
 
+class TestReduceAxis:
+    def test_reduce_levels_sweep_and_default(self, result):
+        """The optional reduce_levels axis multiplies the grid; the
+        default sweep records the standard level on every point."""
+        from repro.compiler import DEFAULT_REDUCE_LEVEL
+
+        assert {p.reduce_level for p in result.points} == {
+            DEFAULT_REDUCE_LEVEL
+        }
+        swept = explore_dataset(
+            "RegexLib",
+            regex_count=4,
+            input_length=200,
+            seed=0,
+            bv_sizes=(16,),
+            unfold_thresholds=(4,),
+            reduce_levels=(0, 2),
+        )
+        assert len(swept.points) == 2
+        assert {p.reduce_level for p in swept.points} == {0, 2}
+
+
 class TestSelection:
     def test_best_by_fom_is_minimum(self, result):
         best = result.best_by_fom()

@@ -52,6 +52,25 @@ class TestCacheKey:
         assert options_fingerprint(base) == options_fingerprint(timed)
         assert cache_key("a{3}b", base) == cache_key("a{3}b", timed)
 
+    def test_reduce_level_changes_key(self):
+        base = CompilerOptions()
+        for level in (0, 1):
+            off = CompilerOptions(reduce_level=level)
+            assert options_fingerprint(base) != options_fingerprint(off)
+            assert cache_key("a{3}b", base) != cache_key("a{3}b", off)
+
+    def test_fingerprint_covers_every_compiler_option(self):
+        """Stale-fingerprint guard: every ``CompilerOptions`` field must
+        be a deliberate include/exclude in ``options_fingerprint``.  A
+        new field lands here first — decide whether it changes the
+        compiled artifact, then extend the fingerprint (or this set)."""
+        import dataclasses
+
+        fields = {f.name for f in dataclasses.fields(CompilerOptions)}
+        fingerprinted = {"bv_size", "unfold_threshold", "reduce_level", "arch"}
+        runtime_only = {"budget"}  # limits partially fingerprinted below
+        assert fields == fingerprinted | runtime_only
+
     def test_code_version_changes_key(self):
         opts = CompilerOptions()
         assert cache_key("a{3}b", opts, version="aaaa") != cache_key(
@@ -92,6 +111,21 @@ class TestMemoryLayer:
         assert cache.evictions == 1
         assert cache.get(PATTERNS[0], opts) is None  # oldest evicted
         assert cache.get(PATTERNS[2], opts) is not None
+
+    def test_reduced_and_unreduced_artifacts_never_cross_hit(self):
+        """A reduced artifact must never satisfy a ``--no-reduce``
+        compile (or vice versa): the automata differ state-for-state."""
+        cache = CompileCache()
+        on = CompilerOptions()
+        off = CompilerOptions(reduce_level=0)
+        cache.put("(ab|cb)d", on, compile_pattern("(ab|cb)d", 0, on))
+        assert cache.get("(ab|cb)d", off) is None
+        cache.put("(ab|cb)d", off, compile_pattern("(ab|cb)d", 0, off))
+        hit_on = cache.get("(ab|cb)d", on)
+        hit_off = cache.get("(ab|cb)d", off)
+        assert hit_on.ah.num_states < hit_off.ah.num_states
+        assert hit_on.reduction_summary["merged_follow"] == 1
+        assert hit_off.reduction_summary["level"] == 0
 
     def test_rejects_degenerate_bounds(self):
         with pytest.raises(ValueError):

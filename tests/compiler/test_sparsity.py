@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler import compile_pattern, compile_ruleset
+from repro.compiler import CompilerOptions, compile_pattern, compile_ruleset
 from repro.compiler.sparsity import (
     RCB_MAX_MEAN_FANIN,
     SparsityProfile,
@@ -25,10 +25,24 @@ class TestProfile:
 
     def test_dense_alternation_profile(self):
         # 12-way alternation repeated: every branch end feeds every start.
+        # Compiled unreduced — the quotient pass would (correctly) merge
+        # the equivalent branch states away, and this test exercises the
+        # profiler on the dense shape.
+        branches = "|".join(f"{a}{b}" for a in "abcd" for b in "xyz")
+        compiled = compile_pattern(
+            f"({branches})+", options=CompilerOptions(reduce_level=0)
+        )
+        profile = profile_automaton(compiled.ah)
+        assert profile.max_fanin >= 12
+
+    def test_dense_alternation_reduces_to_sparse(self):
+        # The same ruleset under the default reduce level collapses the
+        # follow-equivalent branch states, dropping the dense fan-in.
         branches = "|".join(f"{a}{b}" for a in "abcd" for b in "xyz")
         compiled = compile_pattern(f"({branches})+")
         profile = profile_automaton(compiled.ah)
-        assert profile.max_fanin >= 12
+        assert profile.states < 12
+        assert profile.max_fanin < 12
 
     def test_density(self):
         profile = SparsityProfile(states=10, edges=25, max_fanin=5)

@@ -112,6 +112,24 @@ def test_simulator_matches_engines_on_example_7_shapes(seed):
         assert engine_events(sharded.scan(data)) == expected
 
 
+def test_simulator_reduced_ruleset_matches_unreduced():
+    """The cycle-level simulator consumes the reduced artifacts through
+    mapping/encoding like any other backend: its match events must be
+    identical with the ``compiler.reduce`` pass on and off."""
+    patterns = [pattern for pattern, _ in CORPUS]
+    data = b" ".join(data for _, data in CORPUS)
+    reduced = compile_ruleset(patterns, OPTIONS)
+    plain = compile_ruleset(
+        patterns,
+        CompilerOptions(bv_size=16, unfold_threshold=2, reduce_level=0),
+    )
+    events = sim_events(reduced, data)
+    assert events, "reduced corpus simulation found nothing"
+    assert events == sim_events(plain, data)
+    engine = PatternSet(patterns, options=OPTIONS, engine="fused")
+    assert events == engine_events(engine.scan(data))
+
+
 def test_simulator_streaming_variant_conforms_too():
     """BVAP-S (streaming reconfiguration) must not change the match
     stream, only the timing/energy accounting."""

@@ -147,6 +147,47 @@ def test_provenance_stamped_into_cells_and_record():
     assert all("provenance" in c for c in record["grid"])
 
 
+def test_bench_reduction_cell_shape():
+    from repro.compiler import CompilerOptions
+    from repro.matching.bench import bench_reduction, format_grid
+
+    cell = bench_reduction(num_patterns=4, input_size=4096, repeats=1)
+    assert set(cell) >= {
+        "num_patterns",
+        "input_bytes",
+        "reduce_level",
+        "matches",
+        "reduced",
+        "unreduced",
+        "state_reduction",
+        "provenance",
+    }
+    for variant in (cell["reduced"], cell["unreduced"]):
+        assert set(variant) == {
+            "seconds",
+            "throughput_mbps",
+            "fused_states",
+            "stes",
+            "bv_stes",
+        }
+    assert cell["reduce_level"] > 0
+    assert cell["reduced"]["fused_states"] <= cell["unreduced"]["fused_states"]
+    assert 0.0 <= cell["state_reduction"] < 1.0
+
+    with pytest.raises(ValueError):
+        bench_reduction(
+            num_patterns=2, input_size=256, repeats=1,
+            options=CompilerOptions(reduce_level=0),
+        )
+
+    text = format_grid({
+        "profile": "x", "seed": 0, "repeats": 1, "engines": [],
+        "baseline_engine": "nfa", "grid": [], "reduction": cell,
+    })
+    assert "reduction —" in text
+    assert "fewer" in text
+
+
 def test_bench_recovery_cell_shape():
     from repro.matching.bench import bench_recovery, format_grid
 

@@ -123,6 +123,55 @@ def test_golden_corpus_chunked_feed_straddles_windows(chunk):
         assert got == expected, chunk
 
 
+# --- reduced-vs-unreduced axis ------------------------------------------
+#
+# ``OPTIONS`` compiles with the default reduction level, so every test
+# above already runs the reduced pipeline; this axis pins the unreduced
+# pipeline (reduce_level=0) as the reference and re-checks the corpus,
+# including mid-stream ``feed()`` boundaries on the reduced matcher.
+
+NO_REDUCE = CompilerOptions(bv_size=16, unfold_threshold=2, reduce_level=0)
+
+
+@pytest.mark.parametrize("pattern,data", CORPUS)
+def test_golden_corpus_reduced_matches_unreduced(pattern, data):
+    reduced = compile_pattern(pattern, options=OPTIONS)
+    plain = compile_pattern(pattern, options=NO_REDUCE)
+    assert reduced.ah.num_states <= plain.ah.num_states
+    assert reduced.ah.match_ends(data) == plain.ah.match_ends(data), pattern
+    assert build_fused([reduced]).match_ends(data) == build_fused(
+        [plain]
+    ).match_ends(data), pattern
+
+
+def test_golden_corpus_reduction_saves_states_somewhere():
+    """The corpus must actually exercise the quotient pass."""
+    saved = sum(
+        compile_pattern(p, options=NO_REDUCE).ah.num_states
+        - compile_pattern(p, options=OPTIONS).ah.num_states
+        for p, _ in CORPUS
+    )
+    assert saved > 0
+
+
+@pytest.mark.parametrize("chunk", (1, 3, 7, 16))
+def test_golden_corpus_reduced_chunked_feed_matches_unreduced(chunk):
+    """Chunked feeds over the *reduced* fused rule set, with boundaries
+    straddling matches, against the unreduced one-shot reference."""
+    data = _corpus_stream()
+    plain = [
+        compile_pattern(pattern, regex_id, NO_REDUCE)
+        for regex_id, (pattern, _) in enumerate(CORPUS)
+    ]
+    expected = build_fused(plain, table_states=0, prefilter=False).scan(data)
+    matcher = build_fused(_compile_corpus())
+    got = []
+    for start in range(0, len(data), chunk):
+        for slot, end in matcher.feed(data[start:start + chunk]):
+            got.append((slot, start + end))
+    assert got == expected, chunk
+
+
 def test_golden_corpus_sharded_and_oracle_agree():
     patterns = [pattern for pattern, _ in CORPUS]
     data = _corpus_stream()

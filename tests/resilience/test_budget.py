@@ -62,11 +62,13 @@ class TestBudgetObject:
 
 class TestCompileBudgets:
     def test_max_states_quarantinable(self):
+        # States are charged after the quotient pass, so the budget
+        # judges the machine that would actually be deployed.
         options = CompilerOptions(budget=Budget(max_states=5))
         with pytest.raises(BudgetExceededError) as exc:
             compile_pattern("abcdefghij", options=options)
         assert exc.value.kind == "states"
-        assert exc.value.phase == "translate"
+        assert exc.value.phase == "reduce"
 
     def test_max_bv_width_enforced(self):
         options = CompilerOptions(budget=Budget(max_bv_width=32))
