@@ -32,6 +32,7 @@ from repro.matching.bench import (  # noqa: E402
     bench_compile_cache,
     bench_grid,
     bench_reduction,
+    bench_workloads,
     format_grid,
     write_record,
 )
@@ -97,6 +98,17 @@ def main(argv=None) -> int:
         help="fail unless the warm-cache compile speedup is >= FACTOR",
     )
     parser.add_argument(
+        "--workload-records", type=int, default=512, dest="workload_records",
+        help="records per anchored-workload cell (log_scan/ids/pii "
+             "per-record scans; 0 disables the section)",
+    )
+    parser.add_argument(
+        "--check-workload-prefilter", type=float, default=None,
+        metavar="FACTOR", dest="check_workload_prefilter",
+        help="fail unless the prefilter-vs-bitset speedup on the ids "
+             "workload's 0%% match-rate cell is >= FACTOR",
+    )
+    parser.add_argument(
         "--reduction-patterns", type=int, default=64,
         dest="reduction_patterns",
         help="ruleset size for the reduced-vs-unreduced reduction cell "
@@ -145,6 +157,16 @@ def main(argv=None) -> int:
         record["compile_cache"] = bench_compile_cache(
             profile_name=args.profile,
             num_patterns=args.compile_patterns,
+            repeats=repeats,
+            seed=args.seed,
+        )
+    if args.workload_records:
+        record["workloads"] = bench_workloads(
+            num_records=(
+                min(args.workload_records, 128)
+                if args.quick
+                else args.workload_records
+            ),
             repeats=repeats,
             seed=args.seed,
         )
@@ -211,6 +233,31 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: state reduction {shrink} below "
                 f"--check-reduction {args.check_reduction}",
+                file=sys.stderr,
+            )
+            return 1
+    workload_cells = record.get("workloads") or []
+    for cell in workload_cells:
+        if cell["match_rate"] == 0.0:
+            print(
+                f"workload {cell['workload']}: table "
+                f"{cell.get('table_speedup', 0):.2f}x / prefilter "
+                f"{cell.get('prefilter_speedup', 0):.2f}x bitset at "
+                f"0% record match rate"
+            )
+    if args.check_workload_prefilter is not None:
+        ids_zero = next(
+            (
+                c for c in workload_cells
+                if c["workload"] == "ids" and c["match_rate"] == 0.0
+            ),
+            None,
+        )
+        speedup = (ids_zero or {}).get("prefilter_speedup")
+        if speedup is None or speedup < args.check_workload_prefilter:
+            print(
+                f"FAIL: ids workload prefilter speedup {speedup} below "
+                f"--check-workload-prefilter {args.check_workload_prefilter}",
                 file=sys.stderr,
             )
             return 1

@@ -19,7 +19,11 @@ answer:
 * the ``reduction`` cell joins the verdict as two pseudo-engines:
   ``reduction-states`` (the reduced fused state count — growth past the
   threshold fails, so a weakened ``compiler.reduce`` pass is caught) and
-  ``reduction-scan`` (the reduced fused throughput).
+  ``reduction-scan`` (the reduced fused throughput);
+* the anchored ``workloads`` cells (per-record profile scans from the
+  ruleset importer) join as ``workload-<tier>`` pseudo-engines, one per
+  fused stepping tier, pooling every matched ``(workload, match_rate,
+  num_patterns)`` cell.
 
 The module doubles as the CI entry point::
 
@@ -204,6 +208,7 @@ def compare_records(
             )
         )
     _compare_reduction(old, new, threshold, report)
+    _compare_workloads(old, new, threshold, report)
     return report
 
 
@@ -261,6 +266,73 @@ def _compare_reduction(
                 max_ratio=ratio,
                 regressed=ratio < 1.0 - threshold,
                 ratios=[ratio],
+            )
+        )
+
+
+def _compare_workloads(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    threshold: float,
+    report: RegressionReport,
+) -> None:
+    """Gate the anchored ``workloads`` cells (per-record profile scans).
+
+    Workload cells are matched by ``(workload, match_rate,
+    num_patterns)`` — the record count and byte total are generator
+    details that legitimately drift.  Each fused tier joins the verdict
+    table as one ``workload-<tier>`` pseudo-engine whose ratios pool
+    every matched cell, so a single noisy profile cannot fail the gate
+    but an anchored-path slowdown (a broken start gate, a prefilter that
+    stopped arming) shifts the median.
+    """
+    old_cells = {
+        (c["workload"], float(c["match_rate"]), int(c["num_patterns"])): c
+        for c in old.get("workloads", [])
+    }
+    new_cells = {
+        (c["workload"], float(c["match_rate"]), int(c["num_patterns"])): c
+        for c in new.get("workloads", [])
+    }
+    if not old_cells or not new_cells:
+        if old_cells or new_cells:
+            report.notes.append(
+                "workload cells present in only one record; not compared"
+            )
+        return
+    shared = sorted(set(old_cells) & set(new_cells))
+    if not shared:
+        report.notes.append("no workload cells in common; nothing compared")
+        return
+    report.matched_cells += len(shared)
+    tiers = sorted(
+        {
+            name
+            for key in shared
+            for name in old_cells[key].get("timings", {})
+            if name in new_cells[key].get("timings", {})
+        }
+    )
+    for tier in tiers:
+        ratios = []
+        for key in shared:
+            before = _throughput(old_cells[key], tier)
+            after = _throughput(new_cells[key], tier)
+            if before is None or after is None:
+                continue
+            ratios.append(after / before)
+        if not ratios:
+            continue
+        median = _median(ratios)
+        report.engines.append(
+            EngineComparison(
+                engine=f"workload-{tier}",
+                cells=len(ratios),
+                median_ratio=median,
+                min_ratio=min(ratios),
+                max_ratio=max(ratios),
+                regressed=median < 1.0 - threshold,
+                ratios=ratios,
             )
         )
 

@@ -28,12 +28,24 @@ class NFA:
         transitions: per-state list of successor states.
         initial: states re-activated for start-anywhere matching.
         final: reporting states.
+        boi: initial states armed *only at stream offset 0* (the ``^``
+            start gate produced by anchor lowering).  Always a subset of
+            ``initial``; empty for un-anchored automata.
+        eoi: candidate-final states whose report is deferred until
+            end-of-input finalisation (the ``$`` gate).  Disjoint from
+            ``final`` — a state reports per-byte or at EOI, never both.
+        adjust: final states that report ``end - 1`` — the variant
+            consumed a one-byte ``\\b`` confirm byte past the real match
+            end.  Disjoint from ``final`` and ``eoi``.
     """
 
     classes: List[CharClass]
     transitions: List[List[int]]
     initial: Set[int]
     final: Set[int]
+    boi: Set[int] = field(default_factory=set)
+    eoi: Set[int] = field(default_factory=set)
+    adjust: Set[int] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         count = len(self.classes)
@@ -43,9 +55,18 @@ class NFA:
             for dst in dsts:
                 if not 0 <= dst < count:
                     raise ValueError(f"transition {src}->{dst} out of range")
-        for state in self.initial | self.final:
+        for state in self.initial | self.final | self.boi | self.eoi | self.adjust:
             if not 0 <= state < count:
                 raise ValueError(f"state {state} out of range")
+        if self.boi - self.initial:
+            raise ValueError("boi gate states must be initial states")
+        if (self.eoi | self.adjust) & self.final or self.eoi & self.adjust:
+            raise ValueError("final/eoi/adjust state sets must be disjoint")
+
+    @property
+    def gated(self) -> bool:
+        """True when anchor gates are present (positional semantics)."""
+        return bool(self.boi or self.eoi or self.adjust)
 
     @property
     def num_states(self) -> int:
@@ -75,6 +96,35 @@ class NFA:
         reporting STE produces (§3).
         """
         return self.matcher().match_ends(data)
+
+
+def union_nfas(parts: Sequence[NFA]) -> NFA:
+    """Disjoint union of homogeneous NFAs (one pattern, many variants).
+
+    States are renumbered by offsetting each part past its predecessors;
+    gate sets are carried through.  The union matches whatever any part
+    matches — used to assemble the gated variants of one anchored
+    pattern into a single scan automaton.
+    """
+    classes: List[CharClass] = []
+    transitions: List[List[int]] = []
+    initial: Set[int] = set()
+    final: Set[int] = set()
+    boi: Set[int] = set()
+    eoi: Set[int] = set()
+    adjust: Set[int] = set()
+    for part in parts:
+        offset = len(classes)
+        classes.extend(part.classes)
+        transitions.extend(
+            [dst + offset for dst in dsts] for dsts in part.transitions
+        )
+        initial |= {state + offset for state in part.initial}
+        final |= {state + offset for state in part.final}
+        boi |= {state + offset for state in part.boi}
+        eoi |= {state + offset for state in part.eoi}
+        adjust |= {state + offset for state in part.adjust}
+    return NFA(classes, transitions, initial, final, boi, eoi, adjust)
 
 
 class NFAMatcher:

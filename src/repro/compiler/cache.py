@@ -110,6 +110,12 @@ def options_fingerprint(options: Any) -> str:
     arch = options.arch
     budget = options.budget
     return repr((
+        # Anchor-semantics marker: ^/$/\b used to be stripped at parse
+        # time, so an anchored pattern compiled to the same artifact as
+        # its plain form.  Now they lower to positional gates and the
+        # artifact carries an AnchorInfo; the marker keeps artifacts
+        # from the two regimes apart even under a pinned code version.
+        "anchors-v1",
         options.bv_size,
         options.unfold_threshold,
         # The reduction level changes the compiled automaton itself, so a

@@ -27,8 +27,10 @@ from ..automata.ah import AHNBVA, is_counter_free, to_action_homogeneous
 from ..automata.ah import to_nfa as ah_to_nfa
 from ..automata.glushkov import glushkov
 from ..automata.nbva import NBVA
-from ..automata.nfa import NFA
+from ..automata.nfa import NFA, union_nfas
 from ..regex import ast as ast_mod
+from ..regex.anchors import Variant, lower_anchors
+from ..regex.charclass import CharClass
 from ..regex.parser import parse
 from ..regex.rewrite import (
     DEFAULT_MAX_UNFOLD,
@@ -100,6 +102,24 @@ def swap_words(virtual_size: int, word_bits: int = 8) -> int:
 
 
 @dataclass
+class AnchorInfo:
+    """Anchor-lowering artifacts attached to a compiled pattern.
+
+    ``source`` is the parsed AST *with* its positional assertions;
+    ``variants`` are the gated anchor-free alternatives produced by
+    :func:`repro.regex.anchors.lower_anchors`; ``scan_nfa`` is their
+    assembled union with per-state ``boi``/``eoi``/``adjust`` gates —
+    the automaton the fused scan engine executes for this pattern.
+    A pattern whose anchors are unsatisfiable (``a$b``) has zero
+    variants and a never-matching one-state ``scan_nfa``.
+    """
+
+    source: ast_mod.Regex
+    variants: Tuple[Variant, ...]
+    scan_nfa: NFA
+
+
+@dataclass
 class CompiledRegex:
     """One regex compiled through the whole pipeline."""
 
@@ -121,6 +141,12 @@ class CompiledRegex:
     #: ``reduce_level`` it ran at); None only on artifacts produced
     #: before the pass existed.
     reduction: Optional[Dict[str, int]] = None
+    #: Anchor-lowering artifacts (:class:`AnchorInfo`); None for
+    #: un-anchored patterns.  When set, ``parsed`` holds the anchor-free
+    #: union of the variant cores (so literal extraction, cost models
+    #: and demand statistics keep working) and the fused engine executes
+    #: ``anchors.scan_nfa`` instead of re-deriving an automaton.
+    anchors: Optional[AnchorInfo] = None
 
     @property
     def reduction_summary(self) -> Dict[str, int]:
@@ -232,10 +258,26 @@ def compile_ast(
     the §6 fallback for regexes whose bit-vector demand exceeds the
     hardware ("unsupported regexes can be executed via partial
     unfolding").
+
+    Anchored ASTs are lowered first (:mod:`repro.regex.anchors`) and
+    compiled through :func:`_compile_anchored`; unsupported anchor
+    placements raise :class:`UnsupportedFeatureError` here, which the
+    fault-isolation wrappers quarantine as ``E_UNSUPPORTED``.
     """
     params = options.rewrite_params
     budget = options.budget
     clock = clock if clock is not None else budget.start()
+    try:
+        lowered = lower_anchors(parsed, pattern)
+        clock.check("lower")
+    except ReproError as error:
+        _tag_phase(error, "lower")
+        raise
+    if lowered is not None:
+        return _compile_anchored(
+            parsed, lowered, pattern, regex_id, options, unfolded_cap,
+            force_unfold, clock,
+        )
     try:
         with telemetry.span("compile.rewrite", "compile", regex_id=regex_id):
             rewritten = (
@@ -288,6 +330,83 @@ def compile_ast(
         literals=extract_literals(parsed),
         reduction=reduction,
     )
+
+
+def _gate_nfa(nfa: NFA, variant: Variant) -> NFA:
+    """Attach one variant's positional gates to its reduced core NFA."""
+    boi = set(nfa.initial) if variant.boi else set()
+    if variant.eoi:
+        return NFA(nfa.classes, nfa.transitions, nfa.initial, set(),
+                   boi, set(nfa.final), set())
+    if variant.adjust:
+        return NFA(nfa.classes, nfa.transitions, nfa.initial, set(),
+                   boi, set(), set(nfa.final))
+    return NFA(nfa.classes, nfa.transitions, nfa.initial, set(nfa.final),
+               boi, set(), set())
+
+
+#: Anchor-free core whose language is empty — what an unsatisfiable
+#: anchored pattern (``a$b``) compiles to: a real automaton that can
+#: never report, not a silently-rewritten one.
+_EMPTY_CORE = ast_mod.Symbol(CharClass.empty())
+
+
+def _compile_anchored(
+    parsed: ast_mod.Regex,
+    variants: Tuple[Variant, ...],
+    pattern: str,
+    regex_id: int,
+    options: CompilerOptions,
+    unfolded_cap: int,
+    force_unfold: bool,
+    clock: BudgetClock,
+) -> CompiledRegex:
+    """Compile a pattern whose AST carried positional assertions.
+
+    The anchor-free *union* of the variant cores runs through the
+    normal pipeline — that is what sizing, mapping, literal extraction
+    and the cost models see.  The executable artifact is the gated
+    union NFA: each variant core is unfolded, Glushkov-translated and
+    reduced independently, its gates are attached post-reduce (gates
+    are uniform within one variant, so reduction cannot merge states
+    with different positional semantics), and the parts are unioned.
+    """
+    if variants:
+        union = variants[0].core
+        for variant in variants[1:]:
+            union = ast_mod.alternation(union, variant.core)
+    else:
+        union = _EMPTY_CORE
+    compiled = compile_ast(
+        union, pattern, regex_id, options, unfolded_cap,
+        force_unfold=force_unfold, clock=clock,
+    )
+    level = (compiled.reduction or {}).get("level", 0)
+    try:
+        with telemetry.span(
+            "compile.anchor", "compile", regex_id=regex_id,
+            variants=len(variants),
+        ):
+            parts = []
+            for variant in variants:
+                nfa = build_unfolded_nfa(variant.core)
+                if level:
+                    nfa = reduce_nfa(nfa, level=level)
+                parts.append(_gate_nfa(nfa, variant))
+            scan_nfa = (
+                union_nfas(parts)
+                if parts
+                else NFA([CharClass.empty()], [[]], {0}, set())
+            )
+        options.budget.charge_states(scan_nfa.num_states, pattern)
+        clock.check("anchor")
+    except ReproError as error:
+        _tag_phase(error, "anchor")
+        raise
+    compiled.anchors = AnchorInfo(
+        source=parsed, variants=variants, scan_nfa=scan_nfa
+    )
+    return compiled
 
 
 def compile_pattern_isolated(
@@ -550,7 +669,7 @@ def _try_unfold_fallback(
     ):
         return None
     try:
-        return compile_ast(
+        unfolded = compile_ast(
             regex.parsed,
             regex.pattern,
             regex.regex_id,
@@ -561,6 +680,11 @@ def _try_unfold_fallback(
         # The unfolding itself blew a budget — no fallback available; the
         # caller will quarantine the original automaton on size instead.
         return None
+    # Anchored patterns recompile from the anchor-free union core, so
+    # the gated artifacts must be carried over (the scan NFA is already
+    # per-variant unfolded and does not change under force_unfold).
+    unfolded.anchors = regex.anchors
+    return unfolded
 
 
 def _unfolded_size(parsed: ast_mod.Regex, cap: int) -> Optional[int]:
@@ -599,7 +723,14 @@ def build_scan_nfa(compiled: CompiledRegex) -> NFA:
     fully unfolded Glushkov NFA, which exists for every supported regex
     and is reduced by the same quotients at the level the pattern was
     compiled with, so ``pattern_slice`` narrows on that path too.
+
+    Anchored patterns short-circuit to the gated union NFA assembled at
+    compile time — the AH-NBVA/unfolded paths would re-derive an
+    automaton for the *un-gated* union core and lose the positional
+    semantics.
     """
+    if compiled.anchors is not None:
+        return compiled.anchors.scan_nfa
     if is_counter_free(compiled.ah):
         try:
             return ah_to_nfa(compiled.ah)

@@ -41,6 +41,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..regex.ast import (
     Alternation,
+    Anchor,
     Concat,
     Epsilon,
     Optional_,
@@ -126,6 +127,11 @@ def _max_len(node: Regex, memo: Dict[Regex, Optional[int]]) -> Optional[int]:
     result: Optional[int]
     if isinstance(node, Epsilon):
         result = 0
+    elif isinstance(node, Anchor):
+        # Zero-width, but anchor lowering may prepend/append one byte to
+        # a ``\b`` variant; budgeting 1 keeps shifted ``pre`` windows
+        # sound when hints are derived from the pre-lowering AST.
+        result = 1 if node.kind == Anchor.WORD else 0
     elif isinstance(node, Symbol):
         result = 1
     elif isinstance(node, Concat):
@@ -172,6 +178,12 @@ def _exact(
     result: Optional[FrozenSet[bytes]] = None
     if isinstance(node, Epsilon):
         result = frozenset((b"",))
+    elif isinstance(node, Anchor):
+        # ``^``/``$`` only constrain position: treating them as the empty
+        # string keeps the literal join sound.  ``\b`` lowering can add a
+        # neighbouring byte, so it contributes no exact language.
+        if node.kind != Anchor.WORD:
+            result = frozenset((b"",))
     elif isinstance(node, Symbol):
         if node.cc.size() <= _EXACT_CLASS_LIMIT:
             result = frozenset(bytes((byte,)) for byte in node.cc)

@@ -447,6 +447,101 @@ def bench_match_rates(
     return cells
 
 
+def bench_workloads(
+    profiles: Sequence[str] = ("log_scan", "ids", "pii"),
+    num_records: int = 512,
+    match_rates: Sequence[float] = (0.0, 0.05),
+    options: CompilerOptions = CompilerOptions(),
+    repeats: int = 3,
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Per-record scan cells over the anchored workload profiles.
+
+    The ruleset-importer workloads (:data:`repro.workloads.rulesets.
+    WORKLOAD_PROFILES`) pair anchored rule sets with framed-traffic
+    generators; since ``^``/``$`` are *stream* anchors, realistic
+    deployment scans one record (log line, request line, document) per
+    ``scan()`` call — which is exactly what these cells time.  Each cell
+    runs the three fused stepping tiers over the identical record list,
+    compares their full match streams (the anchored differential
+    tripwire), and quotes ``table_speedup`` / ``prefilter_speedup``
+    against pure bitset stepping.  The 0%%-match-rate cells are the
+    acceptance evidence that gated (anchored) automatons still get the
+    table and prefilter wins.
+    """
+    from ..workloads.rulesets import WORKLOAD_PROFILES
+
+    cells: List[Dict[str, object]] = []
+    for name in profiles:
+        profile = WORKLOAD_PROFILES[name]
+        patterns = list(profile.patterns)
+        for rate in match_rates:
+            rng = random.Random(seed + int(rate * 10_000))
+            records = profile.records(rng, num_records, rate)
+            total_bytes = sum(len(record) for record in records)
+            streams: Dict[str, List] = {}
+            timings: Dict[str, EngineTiming] = {}
+            for variant, cfg in FUSED_VARIANTS.items():
+                budget = replace(
+                    options.budget,
+                    max_table_states=cfg["table_states"],  # type: ignore[arg-type]
+                )
+                ps = PatternSet(
+                    patterns,
+                    options=options,
+                    engine="fused",
+                    budget=budget,
+                    prefilter=bool(cfg["prefilter"]),
+                )
+                try:
+                    stream = [
+                        (index, match.pattern_id, match.end)
+                        for index, record in enumerate(records)
+                        for match in ps.scan(record)
+                    ]
+                    streams[variant] = stream
+                    seconds = _best_of(
+                        lambda: [ps.scan(record) for record in records],
+                        repeats,
+                    )
+                finally:
+                    ps.close()
+                timings[variant] = EngineTiming(
+                    engine=variant,
+                    seconds=seconds,
+                    matches=len(stream),
+                    input_bytes=total_bytes,
+                )
+            if len({tuple(s) for s in streams.values()}) > 1:
+                counts = {v: len(s) for v, s in streams.items()}
+                raise AssertionError(
+                    f"fused tiers disagree on workload {name!r} at "
+                    f"match rate {rate}: {counts}"
+                )
+            cell: Dict[str, object] = {
+                "workload": name,
+                "num_patterns": len(patterns),
+                "records": num_records,
+                "input_bytes": total_bytes,
+                "match_rate": rate,
+                "matches": len(streams["fused-bitset"]),
+                "timings": {v: t.to_dict() for v, t in timings.items()},
+                "provenance": provenance(),
+            }
+            bitset = timings["fused-bitset"]
+            if bitset.seconds > 0:
+                for variant, key in (
+                    ("fused-table", "table_speedup"),
+                    ("fused-prefilter", "prefilter_speedup"),
+                ):
+                    if timings[variant].seconds > 0:
+                        cell[key] = round(
+                            bitset.seconds / timings[variant].seconds, 2
+                        )
+            cells.append(cell)
+    return cells
+
+
 def bench_grid(
     profile_name: str = "RegexLib",
     pattern_counts: Sequence[int] = (1, 4, 16),

@@ -69,6 +69,7 @@ from .fused import (
     append_nfas,
     fuse_patterns,
     remap_active,
+    remap_slot_mask,
     subset_fused,
 )
 from .sharded import ShardedScanner
@@ -83,7 +84,14 @@ ON_ERROR_MODES = ("raise", "quarantine")
 
 @dataclass(frozen=True)
 class Match:
-    """One reported match: which pattern matched ending at which index."""
+    """One reported match: which pattern matched ending at which index.
+
+    ``end`` is chunk-relative in :meth:`PatternSet.feed` output and may
+    be ``-1`` there when a ``\\b``-adjusted match straddles a chunk seam
+    (the match ended on the previous chunk's final byte);
+    :meth:`PatternSet.scan` and :meth:`PatternSet.finish` report absolute
+    non-negative offsets.
+    """
 
     pattern_id: int
     end: int  # 0-based index of the last matched byte
@@ -207,6 +215,7 @@ class PatternSet:
         self._fused_compiled: List[CompiledRegex] = []
         self._sharded: Optional[ShardedScanner] = None
         self._prefilter = bool(prefilter)
+        self._stream_len = 0
         if engine == "fused":
             self._fused = self._build_fused_matcher(fuse_patterns(self.compiled))
             self._fused_ids = list(self._pattern_ids)
@@ -314,6 +323,13 @@ class PatternSet:
 
     def _make_matcher(self, compiled: CompiledRegex, engine: Optional[str] = None):
         engine = engine or self.engine
+        if compiled.anchors is not None:
+            # Anchor gates are positional (stream offset 0 / end of
+            # input); the per-pattern step engines have no notion of
+            # where the stream is, so every engine hosts an anchored
+            # pattern on a single-pattern fused matcher driven through
+            # feed()/finish().
+            return self._build_fused_matcher(fuse_patterns([compiled]))
         if engine == "ah":
             return compiled.ah.matcher()
         if engine == "nbva":
@@ -350,7 +366,9 @@ class PatternSet:
                 old = self._fused
                 nfas = [build_scan_nfa(c) for c in fresh]
                 sources = [
-                    "ah" if is_counter_free(c.ah) else "unfolded"
+                    "ah"
+                    if c.anchors is None and is_counter_free(c.ah)
+                    else "unfolded"
                     for c in fresh
                 ]
                 matcher = self._build_fused_matcher(
@@ -361,6 +379,12 @@ class PatternSet:
                     old=old,
                 )
                 matcher.active = old.active
+                # Stream bookkeeping survives the rebuild: appended slots
+                # keep their positions, so the tail-emit mask carries
+                # over unchanged, and a pattern added mid-stream must not
+                # re-arm its ^ gate (offset 0 has already passed).
+                matcher._at_start = old._at_start
+                matcher._tail_emits = old._tail_emits
                 self._fused = matcher
                 self._fused_ids.extend(new_ids)
                 self._fused_compiled.extend(fresh)
@@ -411,6 +435,10 @@ class PatternSet:
                 matcher.active = remap_active(
                     old.fused, keep_slots, old.active
                 )
+                matcher._at_start = old._at_start
+                matcher._tail_emits = remap_slot_mask(
+                    old._tail_emits, keep_slots
+                )
                 self._fused = matcher
                 self._fused_ids = [
                     self._fused_ids[s] for s in keep_slots
@@ -433,6 +461,7 @@ class PatternSet:
         return {r.pattern_id: r for r in self.reports if r.quarantined}
 
     def reset(self) -> None:
+        self._stream_len = 0
         if self._sharded is not None:
             self._sharded.reset()
             return
@@ -477,25 +506,43 @@ class PatternSet:
     # -- scanning ------------------------------------------------------
 
     def scan(self, data: bytes) -> List[Match]:
-        """Scan from a fresh state; report every (pattern, end) event."""
+        """Scan from a fresh state; report every (pattern, end) event.
+
+        For anchored sets this is ``reset`` + ``feed`` + ``finish``: the
+        whole input is the stream, so ``$`` matches deferred to end of
+        input are included, merged in (end, pattern id) order.
+        """
         self.reset()
         if telemetry.enabled():
             with telemetry.span(
                 "engine.scan", "engine", engine=self.engine, symbols=len(data)
             ):
-                return self.feed(data)
-        return self.feed(data)
+                out = self.feed(data)
+        else:
+            out = self.feed(data)
+        out.extend(self.finish())
+        # Chunked engines (sharded's broadcast chunks, budget-stepped
+        # feeds) rebase a \b-adjusted seam event to the previous chunk's
+        # final byte, which lands out of order in the concatenated feed
+        # output; one sort restores the canonical (end, id) stream.
+        out.sort(key=lambda m: (m.end, m.pattern_id))
+        return out
 
     def feed(self, data: bytes) -> List[Match]:
         """Continue scanning from the current state (streaming use).
 
         Reported end offsets are relative to this chunk, for every
-        engine (streaming callers track the absolute base themselves).
-        With a ``deadline_s`` budget the clock starts at each call and
+        engine (streaming callers track the absolute base themselves);
+        a ``\\b``-adjusted match that straddles the seam reports ``-1``,
+        i.e. the previous chunk's final byte.  Anchored sets defer their
+        ``$`` matches — call :meth:`finish` once the stream ends to
+        collect them.  With a ``deadline_s`` budget the clock starts at
+        each call and
         is checked every ``check_bytes`` bytes; with a
         :class:`DegradationPolicy` the fused engine re-evaluates its
         thrash/width triggers on the same cadence.
         """
+        self._stream_len += len(data)
         clock = (
             self.budget.start() if self.budget.deadline_s is not None else None
         )
@@ -515,6 +562,32 @@ class PatternSet:
         if clock is not None:
             clock.check("scan")
         return out
+
+    def finish(self) -> List[Match]:
+        """Finalise the stream: report matches held for the ``$`` gate.
+
+        End-anchored candidates survive as live automaton states until
+        end of input; calling ``finish`` declares the stream over and
+        reports them.  Ends are absolute — the offset of the stream's
+        final byte, counted from the last :meth:`reset` across every
+        ``feed`` chunk.  Non-mutating and idempotent: the stream state is
+        left intact and un-anchored sets always return ``[]``.
+        """
+        last = self._stream_len - 1
+        pattern_ids: List[int] = []
+        if self._sharded is not None:
+            pattern_ids = [pid for pid, _end in self._sharded.finish()]
+        elif self._fused is not None:
+            ids = self._fused_ids
+            pattern_ids = [
+                ids[slot] for slot, _end in self._fused.finish()
+            ]
+        else:
+            for slot, matcher in enumerate(self._matchers):
+                if isinstance(matcher, FusedMatcher) and matcher.finish():
+                    pattern_ids.append(self._pattern_ids[slot])
+        pattern_ids.sort()
+        return [Match(pattern_id, last) for pattern_id in pattern_ids]
 
     def _feed_block(self, data: bytes, base: int) -> List[Match]:
         """One uninterrupted stretch of the feed loop."""
@@ -541,6 +614,8 @@ class PatternSet:
         out: List[Match] = []
         ids = self._pattern_ids
         matchers = self._matchers
+        if any(isinstance(m, FusedMatcher) for m in matchers):
+            return self._feed_mixed(data, base)
         for offset, symbol in enumerate(data):
             for slot, matcher in enumerate(matchers):
                 if matcher.step(symbol):
@@ -555,12 +630,52 @@ class PatternSet:
         ids = self._fused_ids
         demoted = self._demoted
         events: List[Tuple[int, int]] = []
-        for offset, symbol in enumerate(data):
-            for slot in fused.step_report(symbol):
-                events.append((base + offset, ids[slot]))
+        if fused.fused.anchored:
+            # Gated automatons are stepped through feed() (per-symbol
+            # step_report cannot honour the positional gates); demoted
+            # patterns are never anchored, so they still step per byte.
+            events.extend(
+                (base + offset, ids[slot])
+                for slot, offset in fused.feed(data)
+            )
             for pattern_id, matcher in demoted:
-                if matcher.step(symbol):
-                    events.append((base + offset, pattern_id))
+                events.extend(
+                    (base + offset, pattern_id)
+                    for offset, symbol in enumerate(data)
+                    if matcher.step(symbol)
+                )
+        else:
+            for offset, symbol in enumerate(data):
+                for slot in fused.step_report(symbol):
+                    events.append((base + offset, ids[slot]))
+                for pattern_id, matcher in demoted:
+                    if matcher.step(symbol):
+                        events.append((base + offset, pattern_id))
+        events.sort()
+        return [Match(pattern_id, end) for end, pattern_id in events]
+
+    def _feed_mixed(self, data: bytes, base: int) -> List[Match]:
+        """Per-pattern feed when anchored patterns are present.
+
+        Anchored patterns ride on single-pattern fused matchers that
+        must see whole chunks (their gates are positional), so each
+        matcher runs over the chunk independently and the events are
+        merged in (end, pattern id) order.
+        """
+        ids = self._pattern_ids
+        events: List[Tuple[int, int]] = []
+        for slot, matcher in enumerate(self._matchers):
+            if isinstance(matcher, FusedMatcher):
+                events.extend(
+                    (base + offset, ids[slot])
+                    for _slot, offset in matcher.feed(data)
+                )
+            else:
+                events.extend(
+                    (base + offset, ids[slot])
+                    for offset, symbol in enumerate(data)
+                    if matcher.step(symbol)
+                )
         events.sort()
         return [Match(pattern_id, end) for end, pattern_id in events]
 
@@ -598,10 +713,36 @@ class PatternSet:
                     # the sampled steps itself); the occupancy histogram
                     # is not observed on this path — the profile's own
                     # heatmap carries the density picture instead.
+                    # Gated automatons are sampled via one-byte feeds
+                    # inside the profiler, so positional gates hold.
                     out = [
                         Match(ids[slot], base + offset)
                         for slot, offset in prof.feed(fused, data, ids)
                     ]
+                elif fused.fused.anchored:
+                    # Gated automatons run through feed(); per-symbol
+                    # occupancy is not observable from outside the
+                    # matcher, so the histogram sees the chunk-end
+                    # density only.
+                    events = [
+                        (base + offset, ids[slot])
+                        for slot, offset in fused.feed(data)
+                    ]
+                    for pattern_id, matcher in demoted:
+                        events.extend(
+                            (base + offset, pattern_id)
+                            for offset, symbol in enumerate(data)
+                            if matcher.step(symbol)
+                        )
+                    events.sort()
+                    out = [
+                        Match(pattern_id, end) for end, pattern_id in events
+                    ]
+                    if collect and data:
+                        occupancy.observe(
+                            fused.active_count()
+                            + sum(m.active_count() for _pid, m in demoted)
+                        )
                 else:
                     events: List[Tuple[int, int]] = []
                     for offset, symbol in enumerate(data):
@@ -620,6 +761,12 @@ class PatternSet:
                     out = [
                         Match(pattern_id, end) for end, pattern_id in events
                     ]
+            elif any(isinstance(m, FusedMatcher) for m in matchers):
+                out = self._feed_mixed(data, base)
+                if collect and data:
+                    occupancy.observe(
+                        sum(m.active_count() for m in matchers)
+                    )
             else:
                 ids = self._pattern_ids
                 for offset, symbol in enumerate(data):
@@ -726,9 +873,16 @@ class PatternSet:
         active = fused.active
         best_slot, best_width = 0, -1
         for slot in range(len(self._fused_ids)):
+            if self._fused_compiled[slot].anchors is not None:
+                # Anchored slots stay fused: the per-pattern fallback
+                # engines cannot honour positional gates, and the gated
+                # slice drains to a near-empty activation anyway.
+                continue
             width = popcount(active & automaton.pattern_mask(slot))
             if width > best_width:
                 best_slot, best_width = slot, width
+        if best_width < 0:
+            return
         self._demote(best_slot, reason)
 
     def _demote(self, slot: int, reason: str) -> None:
@@ -764,6 +918,8 @@ class PatternSet:
             subset_fused(automaton, keep), old=fused
         )
         new_matcher.active = remap_active(automaton, keep, fused.active)
+        new_matcher._at_start = fused._at_start
+        new_matcher._tail_emits = remap_slot_mask(fused._tail_emits, keep)
         self._fused = new_matcher
         self._fused_ids = [self._fused_ids[i] for i in keep]
         self._fused_compiled = [self._fused_compiled[i] for i in keep]

@@ -133,6 +133,12 @@ class FusedAutomaton:
             (:class:`repro.compiler.prefilter.PatternLiterals`; ``None``
             entries stay always-on).  Empty when unknown, which disables
             prefiltering entirely.
+        boi: combined initial states armed *only at stream offset 0*
+            (the ``^`` start gate from anchor lowering).
+        eoi_finals: candidate-final state -> ``pattern_id`` for ``$``
+            variants; reported only by end-of-input finalisation.
+        adjust_finals: final state -> ``pattern_id`` for ``\\b`` confirm
+            variants; reported per-byte at ``end - 1``.
     """
 
     classes: List
@@ -144,6 +150,14 @@ class FusedAutomaton:
     sources: List[str] = field(default_factory=list)
     nfas: List[NFA] = field(default_factory=list)
     literals: List[Optional[PatternLiterals]] = field(default_factory=list)
+    boi: Set[int] = field(default_factory=set)
+    eoi_finals: Dict[int, int] = field(default_factory=dict)
+    adjust_finals: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def anchored(self) -> bool:
+        """True when any pattern carries positional (anchor) gates."""
+        return bool(self.boi or self.eoi_finals or self.adjust_finals)
 
     @property
     def num_states(self) -> int:
@@ -197,6 +211,9 @@ def fuse_nfas(
     state_pattern: List[int] = []
     finals: Dict[int, int] = {}
     offsets: List[int] = []
+    boi: Set[int] = set()
+    eoi_finals: Dict[int, int] = {}
+    adjust_finals: Dict[int, int] = {}
     for pattern_id, nfa in enumerate(nfas):
         base = len(classes)
         offsets.append(base)
@@ -208,6 +225,11 @@ def fuse_nfas(
         state_pattern.extend([pattern_id] * nfa.num_states)
         for state in nfa.final:
             finals[base + state] = pattern_id
+        boi.update(base + state for state in nfa.boi)
+        for state in nfa.eoi:
+            eoi_finals[base + state] = pattern_id
+        for state in nfa.adjust:
+            adjust_finals[base + state] = pattern_id
     if literals is not None and len(literals) != len(nfas):
         raise ValueError("literals and nfas must align")
     return FusedAutomaton(
@@ -219,6 +241,9 @@ def fuse_nfas(
         offsets=offsets,
         nfas=list(nfas),
         literals=list(literals) if literals is not None else [],
+        boi=boi,
+        eoi_finals=eoi_finals,
+        adjust_finals=adjust_finals,
     )
 
 
@@ -243,6 +268,9 @@ def append_nfas(
     finals = dict(fused.finals)
     offsets = list(fused.offsets)
     combined_nfas = list(fused.nfas)
+    boi = set(fused.boi)
+    eoi_finals = dict(fused.eoi_finals)
+    adjust_finals = dict(fused.adjust_finals)
     for nfa in nfas:
         pattern_id = len(offsets)
         base = len(classes)
@@ -255,6 +283,11 @@ def append_nfas(
         state_pattern.extend([pattern_id] * nfa.num_states)
         for state in nfa.final:
             finals[base + state] = pattern_id
+        boi.update(base + state for state in nfa.boi)
+        for state in nfa.eoi:
+            eoi_finals[base + state] = pattern_id
+        for state in nfa.adjust:
+            adjust_finals[base + state] = pattern_id
         combined_nfas.append(nfa)
     out = FusedAutomaton(
         classes=classes,
@@ -264,6 +297,9 @@ def append_nfas(
         finals=finals,
         offsets=offsets,
         nfas=combined_nfas,
+        boi=boi,
+        eoi_finals=eoi_finals,
+        adjust_finals=adjust_finals,
     )
     if fused.sources or sources is not None:
         old_sources = (
@@ -309,6 +345,21 @@ def subset_fused(fused: FusedAutomaton, keep: Sequence[int]) -> FusedAutomaton:
     return out
 
 
+def remap_slot_mask(mask: int, keep: Sequence[int]) -> int:
+    """Translate a per-slot bitmask across a ``subset_fused`` rebuild.
+
+    Bit ``keep[i]`` of ``mask`` becomes bit ``i``; dropped slots' bits
+    vanish.  Used to carry :class:`FusedMatcher` stream bookkeeping that
+    is indexed by pattern slot (``_tail_emits``) across incremental
+    removes and runtime demotions.
+    """
+    out = 0
+    for index, slot in enumerate(keep):
+        if (mask >> slot) & 1:
+            out |= 1 << index
+    return out
+
+
 def remap_active(fused: FusedAutomaton, keep: Sequence[int], active: int) -> int:
     """Translate an ``fused`` active mask onto ``subset_fused(fused, keep)``.
 
@@ -331,7 +382,13 @@ def fuse_patterns(compiled: Sequence[CompiledRegex]) -> FusedAutomaton:
     sources: List[str] = []
     for regex in compiled:
         nfas.append(build_scan_nfa(regex))
-        sources.append("ah" if is_counter_free(regex.ah) else "unfolded")
+        # Anchored patterns execute the gated per-variant unfolded union
+        # regardless of counter-freeness.
+        sources.append(
+            "ah"
+            if regex.anchors is None and is_counter_free(regex.ah)
+            else "unfolded"
+        )
     fused = fuse_nfas(nfas, literals=[regex.literals for regex in compiled])
     fused.sources = sources
     return fused
@@ -457,12 +514,21 @@ class FusedMatcher:
         self._final_mask = states_to_mask(fused.finals)
         self._succ_masks = [states_to_mask(dsts) for dsts in fused.transitions]
         self._state_pattern = fused.state_pattern
+        # -- anchor gates --------------------------------------------------
+        self._boi_mask = states_to_mask(fused.boi)
+        self._eoi_mask = states_to_mask(fused.eoi_finals)
+        self._adjust_mask = states_to_mask(fused.adjust_finals)
+        self._anchored = fused.anchored
+        #: Per-byte injection mask: ``^``-gated start states are armed
+        #: only by the dedicated stream-offset-0 step, never per byte.
+        self._inject_initial = self._initial_mask & ~self._boi_mask
         self._cache_size = cache_size
         self._cache_byte_limit = cache_bytes
         self._cache_bytes = 0
-        #: ``(active_mask, symbol) -> (next_mask, fired pattern ids)``;
-        #: reduced-injection entries share the dict under ``symbol + 256``.
-        self._cache: "OrderedDict[Tuple[int, int], Tuple[int, Tuple[int, ...]]]"
+        #: ``(active_mask, symbol) -> (next_mask, fired, fired_adjust)``
+        #: pattern-id tuples; reduced-injection entries share the dict
+        #: under ``symbol + 256``.
+        self._cache: "OrderedDict[Tuple[int, int], Tuple[int, Tuple[int, ...], Tuple[int, ...]]]"
         self._cache = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -473,7 +539,7 @@ class FusedMatcher:
             self._plan.open_initial
             if self._plan is not None
             else self._initial_mask
-        )
+        ) & ~self._boi_mask
         self.prefilter_skipped = 0
         self.prefilter_armed = 0
         # -- table tier ----------------------------------------------------
@@ -502,6 +568,7 @@ class FusedMatcher:
             self._state_ids: Dict[int, int] = {}
             self._state_masks: List[int] = []
             self._state_fired: List[Tuple[int, ...]] = []
+            self._state_fired_adj: List[Tuple[int, ...]] = []
             self._tab_full = array("i")
             if self._plan is not None:
                 self._tab_open = array("i")
@@ -511,16 +578,25 @@ class FusedMatcher:
             self._state_ids = {}
             self._state_masks = []
             self._state_fired = []
+            self._state_fired_adj = []
             self._tab_full = array("i")
         self.reset()
 
     def reset(self) -> None:
         self.active = 0
+        #: True until the first stream byte is consumed — the window in
+        #: which ``^``-gated start states may be armed.
+        self._at_start = True
+        #: Slot mask of patterns that emitted an event ending exactly at
+        #: the previous feed's final byte; suppresses cross-chunk and
+        #: finalisation duplicates of the same match end.
+        self._tail_emits = 0
 
     # -- state snapshot / restore -------------------------------------
 
-    #: Snapshot document version, bumped on shape changes.
-    STATE_VERSION = 1
+    #: Snapshot document version, bumped on shape changes (v2 added the
+    #: anchor-gate stream state: ``at_start`` and ``tail_emits``).
+    STATE_VERSION = 2
 
     def state_snapshot(self) -> Dict[str, int]:
         """The matcher's complete stream-dependent state, picklable.
@@ -539,6 +615,8 @@ class FusedMatcher:
             "version": self.STATE_VERSION,
             "active": self.active,
             "num_states": self.fused.num_states,
+            "at_start": int(self._at_start),
+            "tail_emits": self._tail_emits,
         }
 
     def restore_state(self, snapshot: Dict[str, int]) -> None:
@@ -559,10 +637,14 @@ class FusedMatcher:
                 "states"
             )
         self.active = active
+        self._at_start = bool(snapshot["at_start"])
+        self._tail_emits = snapshot["tail_emits"]
 
     # -- one combined transition -------------------------------------
 
-    def _advance(self, active: int, symbol: int) -> Tuple[int, Tuple[int, ...]]:
+    def _advance(
+        self, active: int, symbol: int
+    ) -> Tuple[int, Tuple[int, ...], Tuple[int, ...]]:
         cache = self._cache
         key = (active, symbol)
         hit = cache.get(key)
@@ -571,7 +653,7 @@ class FusedMatcher:
             cache.move_to_end(key)
             return hit
         self.cache_misses += 1
-        available = self._initial_mask
+        available = self._inject_initial
         succ = self._succ_masks
         remaining = active
         while remaining:
@@ -581,22 +663,26 @@ class FusedMatcher:
         next_mask = available & self._match_masks[symbol]
         fired = next_mask & self._final_mask
         report = self._report_ids(fired) if fired else ()
-        entry = (next_mask, report)
+        fired_adj = next_mask & self._adjust_mask
+        report_adj = self._report_ids(fired_adj) if fired_adj else ()
+        entry = (next_mask, report, report_adj)
         cache[key] = entry
-        self._cache_bytes += entry_bytes(active, next_mask, len(report))
+        self._cache_bytes += entry_bytes(
+            active, next_mask, len(report) + len(report_adj)
+        )
         while (
             len(cache) > self._cache_size
             or self._cache_bytes > self._cache_byte_limit
         ) and cache:
             old_key, old_entry = cache.popitem(last=False)
             self._cache_bytes -= entry_bytes(
-                old_key[0], old_entry[0], len(old_entry[1])
+                old_key[0], old_entry[0], len(old_entry[1]) + len(old_entry[2])
             )
         return entry
 
     def _advance_open(
         self, active: int, symbol: int
-    ) -> Tuple[int, Tuple[int, ...]]:
+    ) -> Tuple[int, Tuple[int, ...], Tuple[int, ...]]:
         """One transition with *reduced* start-state injection: only the
         always-on patterns' start states are re-armed (the prefilter arms
         gated patterns explicitly around literal occurrences).  Shares
@@ -619,16 +705,20 @@ class FusedMatcher:
         next_mask = available & self._match_masks[symbol]
         fired = next_mask & self._final_mask
         report = self._report_ids(fired) if fired else ()
-        entry = (next_mask, report)
+        fired_adj = next_mask & self._adjust_mask
+        report_adj = self._report_ids(fired_adj) if fired_adj else ()
+        entry = (next_mask, report, report_adj)
         cache[key] = entry
-        self._cache_bytes += entry_bytes(active, next_mask, len(report))
+        self._cache_bytes += entry_bytes(
+            active, next_mask, len(report) + len(report_adj)
+        )
         while (
             len(cache) > self._cache_size
             or self._cache_bytes > self._cache_byte_limit
         ) and cache:
             old_key, old_entry = cache.popitem(last=False)
             self._cache_bytes -= entry_bytes(
-                old_key[0], old_entry[0], len(old_entry[1])
+                old_key[0], old_entry[0], len(old_entry[1]) + len(old_entry[2])
             )
         return entry
 
@@ -660,6 +750,10 @@ class FusedMatcher:
         self._state_masks.append(mask)
         fired = mask & self._final_mask
         self._state_fired.append(self._report_ids(fired) if fired else ())
+        fired_adj = mask & self._adjust_mask
+        self._state_fired_adj.append(
+            self._report_ids(fired_adj) if fired_adj else ()
+        )
         self._tab_full.extend(self._blank_row)
         rows = 1
         if self._tab_open is not None:
@@ -679,9 +773,9 @@ class FusedMatcher:
         mask = self._state_masks[state]
         symbol = self._class_rep[cls]
         if armed:
-            next_mask, _report = self._advance(mask, symbol)
+            next_mask, _report, _report_adj = self._advance(mask, symbol)
         else:
-            next_mask, _report = self._advance_open(mask, symbol)
+            next_mask, _report, _report_adj = self._advance_open(mask, symbol)
         nxt = self._intern(next_mask)
         if nxt >= 0:
             row = state * self._num_classes + cls
@@ -702,6 +796,7 @@ class FusedMatcher:
         self._state_ids = {}
         self._state_masks = []
         self._state_fired = []
+        self._state_fired_adj = []
         self._tab_full = array("i")
         if self._tab_open is not None:
             self._tab_open = array("i")
@@ -755,6 +850,7 @@ class FusedMatcher:
             return self._run_bitset(data, start, end, armed, out)
         nc = self._num_classes
         fired_tab = self._state_fired
+        fired_adj_tab = self._state_fired_adj
         masks = self._state_masks
         miss0 = self.table_misses
         append = out.append
@@ -780,6 +876,10 @@ class FusedMatcher:
                 if fired:
                     for slot in fired:
                         append((slot, off))
+                fired_adj = fired_adj_tab[state]
+                if fired_adj:
+                    for slot in fired_adj:
+                        append((slot, off - 1))
         else:
             tab = self._tab_open
             can_die = self._plan is not None and self._plan.skippable
@@ -797,6 +897,10 @@ class FusedMatcher:
                 if fired:
                     for slot in fired:
                         append((slot, off))
+                fired_adj = fired_adj_tab[state]
+                if fired_adj:
+                    for slot in fired_adj:
+                        append((slot, off - 1))
                 if can_die and not masks[state]:
                     pos = off + 1
                     break
@@ -844,18 +948,24 @@ class FusedMatcher:
         if armed:
             advance = self._advance
             for off in range(start, end):
-                active, report = advance(active, data[off])
+                active, report, report_adj = advance(active, data[off])
                 if report:
                     for slot in report:
                         append((slot, off))
+                if report_adj:
+                    for slot in report_adj:
+                        append((slot, off - 1))
         else:
             advance = self._advance_open
             can_die = self._plan is not None and self._plan.skippable
             for off in range(start, end):
-                active, report = advance(active, data[off])
+                active, report, report_adj = advance(active, data[off])
                 if report:
                     for slot in report:
                         append((slot, off))
+                if report_adj:
+                    for slot in report_adj:
+                        append((slot, off - 1))
                 if can_die and not active:
                     pos = off + 1
                     break
@@ -867,13 +977,17 @@ class FusedMatcher:
     # -- matcher API ---------------------------------------------------
 
     def step(self, symbol: int) -> bool:
-        """Consume one symbol; True iff *some* pattern's match ends here."""
-        self.active, report = self._advance(self.active, symbol)
+        """Consume one symbol; True iff *some* pattern's match ends here.
+
+        Per-byte stepping has no anchor semantics — gated automatons
+        must be driven through :meth:`feed`/:meth:`finish`.
+        """
+        self.active, report, _report_adj = self._advance(self.active, symbol)
         return bool(report)
 
     def step_report(self, symbol: int) -> Tuple[int, ...]:
         """Consume one symbol; the pattern ids whose match ends here."""
-        self.active, report = self._advance(self.active, symbol)
+        self.active, report, _report_adj = self._advance(self.active, symbol)
         return report
 
     def feed(self, data: bytes) -> List[Tuple[int, int]]:
@@ -882,8 +996,18 @@ class FusedMatcher:
         Returns ``(pattern_id, end)`` events with chunk-relative end
         offsets, ordered by offset then pattern id — exactly the stream
         the per-pattern ``PatternSet.feed`` loop produces, whichever
-        stepping tier serves each byte.
+        stepping tier serves each byte.  On anchored automatons a ``\\b``
+        confirm byte can report across a chunk seam: the event end is
+        then ``-1``, meaning the final byte of the *previous* chunk.
         """
+        if self._anchored:
+            return self._feed_gated(data)
+        if data:
+            self._at_start = False
+        return self._feed_inner(data)
+
+    def _feed_inner(self, data: bytes) -> List[Tuple[int, int]]:
+        """Tier dispatch shared by the gated and un-gated feed paths."""
         if self._plan is not None:
             return self._feed_prefiltered(data)
         out: List[Tuple[int, int]] = []
@@ -895,14 +1019,99 @@ class FusedMatcher:
         active = self.active
         advance = self._advance
         for offset, symbol in enumerate(data):
-            active, report = advance(active, symbol)
+            active, report, report_adj = advance(active, symbol)
             if report:
                 for pattern_id in report:
                     out.append((pattern_id, offset))
+            if report_adj:
+                for pattern_id in report_adj:
+                    out.append((pattern_id, offset - 1))
         self.active = active
         self.bitset_steps += len(data)
         self.bitset_seconds += perf_counter() - t0
         return out
+
+    def _step_start(
+        self, symbol: int, out: List[Tuple[int, int]]
+    ) -> None:
+        """The one transition consuming stream offset 0: full injection
+        including the ``^``-gated start states.  Uncached — it runs at
+        most once per stream."""
+        available = self._initial_mask
+        succ = self._succ_masks
+        remaining = self.active
+        while remaining:
+            low = remaining & -remaining
+            available |= succ[low.bit_length() - 1]
+            remaining ^= low
+        next_mask = available & self._match_masks[symbol]
+        self.active = next_mask
+        self.bitset_steps += 1
+        fired = next_mask & self._final_mask
+        if fired:
+            for slot in self._report_ids(fired):
+                out.append((slot, 0))
+        fired_adj = next_mask & self._adjust_mask
+        if fired_adj:  # pragma: no cover - needs a nullable confirm core
+            for slot in self._report_ids(fired_adj):
+                out.append((slot, -1))
+
+    def _feed_gated(self, data: bytes) -> List[Tuple[int, int]]:
+        """Anchored feed: byte 0 of the stream gets the full-injection
+        start step, the rest runs through the normal tiers, and the
+        event stream is sorted and deduplicated (a normal final at byte
+        ``k`` and a ``\\b`` confirm final at byte ``k + 1`` report the
+        same match end; ``_tail_emits`` extends the dedup across the
+        previous chunk seam and against :meth:`finish`)."""
+        n = len(data)
+        if not n:
+            return []
+        raw: List[Tuple[int, int]] = []
+        if self._at_start:
+            self._at_start = False
+            self._step_start(data[0], raw)
+            if n > 1:
+                raw.extend(
+                    (slot, off + 1)
+                    for slot, off in self._feed_inner(data[1:])
+                )
+        else:
+            raw = self._feed_inner(data)
+        raw.sort(key=lambda event: (event[1], event[0]))
+        out: List[Tuple[int, int]] = []
+        previous: Optional[Tuple[int, int]] = None
+        tail = 0
+        suppressed = self._tail_emits
+        last = n - 1
+        for slot, end in raw:
+            if end == -1 and (suppressed >> slot) & 1:
+                continue
+            event = (slot, end)
+            if event == previous:
+                continue
+            previous = event
+            out.append(event)
+            if end == last:
+                tail |= 1 << slot
+        self._tail_emits = tail
+        return out
+
+    def finish(self) -> List[Tuple[int, int]]:
+        """End-of-input finalisation: report the ``$``-gated candidates
+        still alive, as ``(pattern_id, -1)`` events (the match ended at
+        the final byte of the stream consumed so far).  Non-mutating and
+        idempotent; patterns that already reported that end (a normal or
+        confirm final at the last byte) are suppressed.
+        """
+        fired = self.active & self._eoi_mask
+        if not fired:
+            return []
+        suppressed = self._tail_emits
+        return [
+            (slot, -1)
+            for slot in self._report_ids(fired)
+            if not (suppressed >> slot) & 1
+        ]
 
     def _feed_prefiltered(self, data: bytes) -> List[Tuple[int, int]]:
         """Tier-1 feed: sweep the chunk for required-literal occurrences,
@@ -950,9 +1159,17 @@ class FusedMatcher:
         return out
 
     def scan(self, data: bytes) -> List[Tuple[int, int]]:
-        """Fresh-state :meth:`feed`."""
+        """Fresh-state :meth:`feed`, plus end-of-input finalisation on
+        anchored automatons (``$`` candidates report at the last byte)."""
         self.reset()
-        return self.feed(data)
+        out = self.feed(data)
+        if self._anchored:
+            final = self.finish()
+            if final:
+                last = len(data) - 1
+                out.extend((slot, last) for slot, _end in final)
+                out.sort(key=lambda event: (event[1], event[0]))
+        return out
 
     def match_ends(self, data: bytes) -> List[int]:
         """End indices over all patterns (fresh scan, deduplicated)."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..regex import ast
+from ..regex.charclass import WORD as _WORD
 
 Span = Tuple[int, int]
 
@@ -50,6 +51,8 @@ def match_spans(node: ast.Regex, data: bytes) -> Set[Span]:
             return spans(sub.inner) | {(i, i) for i in range(length + 1)}
         if isinstance(sub, ast.Repeat):
             return _repeat(spans(sub.inner), sub.low, sub.high, length)
+        if isinstance(sub, ast.Anchor):
+            return _anchor_spans(sub.kind, data)
         raise TypeError(f"unknown node: {sub!r}")
 
     return spans(node)
@@ -63,6 +66,27 @@ def match_ends(node: ast.Regex, data: bytes) -> List[int]:
     """
     ends = {j - 1 for (i, j) in match_spans(node, data) if j > i}
     return sorted(ends)
+
+
+def _anchor_spans(kind: str, data: bytes) -> Set[Span]:
+    """The empty spans at which a positional assertion holds.
+
+    ``^`` holds at offset 0 only (no multiline), ``$`` at end-of-input
+    only, and ``\\b`` wherever exactly one neighbour is a word byte —
+    the positions before the start and after the end count as non-word.
+    """
+    length = len(data)
+    if kind == ast.Anchor.START:
+        return {(0, 0)}
+    if kind == ast.Anchor.END:
+        return {(length, length)}
+    word = [byte in _WORD for byte in data]
+    return {
+        (i, i)
+        for i in range(length + 1)
+        if (word[i - 1] if i > 0 else False)
+        != (word[i] if i < length else False)
+    }
 
 
 def _join(left: Set[Span], right: Set[Span]) -> Set[Span]:

@@ -256,6 +256,11 @@ def _shard_worker_main(
     * ``("restore", snapshot)`` -> ``("ok",)`` — adopt a parent-held
       checkpoint (or ``("error", message)`` on an incompatible one);
       how a restarted worker is seeded before replaying the tail.
+    * ``("finish",)`` -> ``("finished", [(pattern_id, -1), ...])`` —
+      end-of-input finalisation: matches the ``$`` gate held as live
+      candidates, reported with the
+      :meth:`~repro.matching.fused.FusedMatcher.finish` ``-1``
+      convention (the stream's final byte).  Non-mutating.
     * ``("reset",)`` -> ``("ok",)`` — rewind to the empty activation.
     * ``("ping", nonce)`` -> ``("pong", nonce)`` — watchdog heartbeat;
       the nonce echo distinguishes a live reply from stale pipe data.
@@ -309,6 +314,16 @@ def _shard_worker_main(
                     conn.send(("error", str(error)))
                 else:
                     conn.send(("ok",))
+            elif op == "finish":
+                conn.send(
+                    (
+                        "finished",
+                        [
+                            (ids[slot], end)
+                            for slot, end in matcher.finish()
+                        ],
+                    )
+                )
             elif op == "reset":
                 matcher.reset()
                 conn.send(("ok",))
@@ -370,6 +385,11 @@ class _InlineShard:
         }
         return events, time.perf_counter() - started, stats
 
+    def finish(self) -> List[Tuple[int, int]]:
+        return [
+            (self.ids[slot], end) for slot, end in self.matcher.finish()
+        ]
+
     def reset(self) -> None:
         self.matcher.reset()
 
@@ -428,6 +448,25 @@ class ShardCheckpoint:
     @property
     def active(self) -> int:
         return self.snapshot["active"] if self.snapshot else 0
+
+    @property
+    def at_start(self) -> bool:
+        """Whether stream offset 0 is still ahead at this checkpoint.
+
+        A floor checkpoint (``snapshot is None``) answers True: it is
+        installed at start/reset, before any byte.  One installed
+        mid-stream by an incremental re-fuse inherits the documented
+        empty-activation restart semantics — the shard's ``^`` gates
+        re-arm on its next chunk.
+        """
+        if self.snapshot is None:
+            return True
+        return bool(self.snapshot.get("at_start", 1))
+
+    @property
+    def tail_emits(self) -> int:
+        """The matcher's seam-dedup slot mask at this checkpoint."""
+        return self.snapshot.get("tail_emits", 0) if self.snapshot else 0
 
 
 #: Sentinel a supervised ``_recv_reply`` returns instead of degrading:
@@ -738,7 +777,11 @@ class ShardedScanner:
     def _restart_shard(self, shard: _Shard) -> None:
         """Re-fuse one shard after its pattern list changed and relaunch
         only its backend.  The restarted shard resumes from the empty
-        activation; untouched shards keep their workers and state."""
+        activation; untouched shards keep their workers and state.  A
+        mid-stream restart also rewinds the shard's stream position, so
+        anchored patterns on it re-arm their ``^`` gates at the next
+        chunk — the streaming-exactness contract only covers shards
+        whose pattern list did not change."""
         shard.automaton = fuse_patterns(shard.compiled)
         shard.pending.clear()
         self._fold_stats(shard)
@@ -1215,10 +1258,18 @@ class ShardedScanner:
             literals=list(x_auto.literals) if x_auto.literals else None,
         )
         combined_active = host_ckpt.active | (ckpt_x.active << host_states)
+        # Stream bookkeeping composes slot-wise: the adopted patterns'
+        # seam-dedup bits shift past the host's slots, and both origins
+        # checkpointed the same stream boundary so the host's at_start
+        # answers for the pair.
+        host_patterns = len(host.pattern_ids)
         combined_snapshot = {
             "version": FusedMatcher.STATE_VERSION,
             "active": combined_active,
             "num_states": combined_auto.num_states,
+            "at_start": int(host_ckpt.at_start),
+            "tail_emits": host_ckpt.tail_emits
+            | (ckpt_x.tail_emits << host_patterns),
         }
         adopted_ids = tuple(shard.pattern_ids)
         x_wm = shard.watermark
@@ -1515,6 +1566,70 @@ class ShardedScanner:
                 out.extend(self._collect(done_seq, done_base))
         self._stream_pos += len(data)
         self._record_metrics(data, out, wall_started, busy_before)
+        return out
+
+    def finish(self) -> List[Tuple[int, int]]:
+        """Finalise the stream: matches every shard held for the ``$``
+        gate, merged in pattern-id order.
+
+        Events follow the
+        :meth:`repro.matching.fused.FusedMatcher.finish` convention —
+        ``(pattern_id, -1)``, the stream's final byte.  Non-mutating and
+        only valid between feeds (no chunks in flight).  A supervised
+        shard found faulted here is healed first (its checkpoint + tail
+        replay restore the end-of-stream activation); a shard that then
+        cannot answer degrades — finalisation itself has no chunk to
+        replay.
+        """
+        self.start()
+        if self._closed:
+            raise RuntimeError("ShardedScanner is closed")
+        out: List[Tuple[int, int]] = []
+        if self.backend == "inline":
+            for shard in self._shards:
+                if shard.alive:
+                    out.extend(shard.inline.finish())
+            out.sort()
+            return out
+        waiting: List[_Shard] = []
+        for shard in self._shards:
+            if not shard.alive:
+                continue
+            if shard.fault is not None:
+                if self._supervised and self._seq > 0:
+                    # Healing replays through the last broadcast chunk;
+                    # its events were already emitted, so the watermark
+                    # dedup returns nothing new here.
+                    self._heal(shard, self._seq - 1, self._stream_pos)
+                else:
+                    self._degrade(shard, shard.fault)
+                if not shard.alive:
+                    continue
+            try:
+                shard.conn.send(("finish",))
+            except (OSError, ValueError, BrokenPipeError):
+                self._degrade(shard, "finish_failed")
+                continue
+            waiting.append(shard)
+        for shard in waiting:
+            deadline = time.monotonic() + self.recv_timeout_s
+            answered = False
+            try:
+                while time.monotonic() < deadline:
+                    remaining = deadline - time.monotonic()
+                    if not shard.conn.poll(max(min(remaining, 0.25), 0.0)):
+                        continue
+                    message = shard.conn.recv()
+                    if message[0] == "finished":
+                        out.extend(message[1])
+                        answered = True
+                        break
+                    # skip stale events/junk frames
+            except (EOFError, OSError):
+                pass
+            if not answered:
+                self._degrade(shard, "finish_failed")
+        out.sort()
         return out
 
     def _record_metrics(

@@ -1,0 +1,397 @@
+"""Lowering of positional assertions into gated automaton variants.
+
+The scan engines execute Glushkov-style position automata, which have no
+notion of stream position: every state is injectable at every byte and
+every final state reports wherever it fires.  Anchors are therefore
+*compiled away* before translation.  :func:`lower_anchors` rewrites one
+parsed AST (which may contain :class:`~repro.regex.ast.Anchor` nodes)
+into a small set of anchor-free **variants**, each carrying three gates
+the matcher enforces positionally:
+
+* ``boi`` — the variant's start positions are injected only at stream
+  offset 0 (the ``^`` start gate);
+* ``eoi`` — the variant's finals do not report per-byte; they are held
+  as candidates and emitted only by end-of-input finalisation (the
+  ``$`` deferral);
+* ``adjust`` — the variant's finals report ``end - 1``: the variant
+  consumed one extra *confirm byte* beyond the real match (the
+  lookbehind trick that makes ``\\b`` exact in a streaming automaton).
+
+The union of the variants' gated languages reproduces ``re.search``
+semantics for the supported subset.  The rules:
+
+* ``^`` — everything concatenated before it must be nullable (it is
+  projected to the empty match) or the variant is impossible; the
+  variant gains ``boi``.  ``a^b`` therefore contributes nothing, and a
+  pattern whose variants all die compiles to the **empty matcher**.
+* ``$`` — symmetric on the right; the variant gains ``eoi``.
+* ``\\b`` at the start — with a uniformly word-first core ``X``:
+  ``\\bX == (X gated to offset 0)  |  ([^\\w]X)`` (the extra leading
+  non-word byte shifts nothing: match *ends* are what engines report).
+  A uniformly non-word-first core needs a leading word byte instead
+  (and no offset-0 variant: the imaginary byte before the stream is
+  non-word).
+* ``\\b`` at the end — with a uniformly word-last core:
+  ``X\\b == (X held to end-of-input)  |  (X[^\\w] reporting end-1)``;
+  non-word-last cores take a trailing word confirm byte.
+* ``\\b`` mid-pattern — dropped when the adjacent byte classes prove
+  the boundary always holds, impossible when they prove it never
+  holds; mixed word/non-word edge classes are unsupported.
+
+Unsupported combinations (anchors under quantifiers, ``\\b`` on a
+nullable or mixed-edge core, variant explosions) raise
+:class:`~repro.resilience.errors.UnsupportedFeatureError`, which the
+ruleset machinery quarantines as ``E_UNSUPPORTED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from . import ast
+from ..resilience.errors import UnsupportedFeatureError
+from .charclass import CharClass, WORD
+
+__all__ = ["Variant", "lower_anchors", "MAX_VARIANTS"]
+
+NONWORD = ~WORD
+
+#: Ceiling on the variant fan-out of one pattern.  Real rules use one or
+#: two anchors; a pattern that explodes past this is quarantined rather
+#: than compiled into a giant union.
+MAX_VARIANTS = 16
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One anchor-free gated alternative of a lowered pattern."""
+
+    core: ast.Regex
+    boi: bool = False
+    eoi: bool = False
+    adjust: bool = False
+
+    def describe(self) -> str:
+        gates = [
+            name
+            for name, on in (
+                ("boi", self.boi), ("eoi", self.eoi), ("adjust", self.adjust)
+            )
+            if on
+        ]
+        return f"{self.core}[{','.join(gates) or 'open'}]"
+
+
+def _unsupported(message: str, pattern: str) -> UnsupportedFeatureError:
+    return UnsupportedFeatureError(message, pattern, 0)
+
+
+# ----------------------------------------------------------------------
+# First/last byte classes of an anchor-free AST
+
+
+def _first_classes(node: ast.Regex) -> CharClass:
+    """Union of the possible first bytes of non-empty matches."""
+    if isinstance(node, ast.Epsilon):
+        return CharClass.empty()
+    if isinstance(node, ast.Symbol):
+        return node.cc
+    if isinstance(node, ast.Concat):
+        first = _first_classes(node.left)
+        if ast.nullable(node.left):
+            first = first | _first_classes(node.right)
+        return first
+    if isinstance(node, ast.Alternation):
+        return _first_classes(node.left) | _first_classes(node.right)
+    if isinstance(node, (ast.Star, ast.Plus, ast.Optional_, ast.Repeat)):
+        return _first_classes(node.inner)
+    raise TypeError(f"unknown node: {node!r}")
+
+
+def _last_classes(node: ast.Regex) -> CharClass:
+    """Union of the possible last bytes of non-empty matches."""
+    if isinstance(node, ast.Epsilon):
+        return CharClass.empty()
+    if isinstance(node, ast.Symbol):
+        return node.cc
+    if isinstance(node, ast.Concat):
+        last = _last_classes(node.right)
+        if ast.nullable(node.right):
+            last = last | _last_classes(node.left)
+        return last
+    if isinstance(node, ast.Alternation):
+        return _last_classes(node.left) | _last_classes(node.right)
+    if isinstance(node, (ast.Star, ast.Plus, ast.Optional_, ast.Repeat)):
+        return _last_classes(node.inner)
+    raise TypeError(f"unknown node: {node!r}")
+
+
+def _edge_kind(classes: CharClass) -> str:
+    """'word', 'nonword', or 'mixed' for a first/last byte class set."""
+    if classes.is_empty():
+        return "mixed"  # no non-empty match: callers treat as unsupported
+    if classes.issubset(WORD):
+        return "word"
+    if not classes.overlaps(WORD):
+        return "nonword"
+    return "mixed"
+
+
+# ----------------------------------------------------------------------
+# Step 1: distribute anchored alternations into linear variants
+
+
+def _expand(node: ast.Regex, pattern: str) -> List[List[ast.Regex]]:
+    """Flatten ``node`` into alternative item sequences.
+
+    Anchor-free subtrees stay atomic (no blow-up); alternations and
+    concatenations that *contain* anchors are distributed so every
+    resulting sequence is a flat mix of anchor-free atoms and Anchor
+    markers.  Anchors under quantifiers are unsupported.
+    """
+    if not ast.has_anchors(node):
+        return [[node]]
+    if isinstance(node, ast.Anchor):
+        return [[node]]
+    if isinstance(node, ast.Concat):
+        out = []
+        for left in _expand(node.left, pattern):
+            for right in _expand(node.right, pattern):
+                out.append(left + right)
+                if len(out) > MAX_VARIANTS:
+                    raise _unsupported(
+                        "anchor distribution exceeds the variant limit",
+                        pattern,
+                    )
+        return out
+    if isinstance(node, ast.Alternation):
+        out = _expand(node.left, pattern) + _expand(node.right, pattern)
+        if len(out) > MAX_VARIANTS:
+            raise _unsupported(
+                "anchor distribution exceeds the variant limit", pattern
+            )
+        return out
+    # Star / Plus / Optional_ / Repeat with an anchor inside.
+    raise _unsupported(
+        "anchors under quantifiers are not supported", pattern
+    )
+
+
+# ----------------------------------------------------------------------
+# Step 2: resolve one linear variant
+
+
+def _resolve(
+    items: List[ast.Regex], pattern: str
+) -> Optional[Tuple[bool, bool, List[ast.Regex], bool, bool]]:
+    """Resolve ``^``/``$`` and split off edge word boundaries.
+
+    Returns ``(boi, eoi, core_items, lead_wb, trail_wb)`` or ``None``
+    when the variant is impossible (e.g. ``a^b`` / ``a$b``) or matches
+    only the empty string.  Interior ``\\b`` is decided in place via
+    adjacent byte classes.
+    """
+    boi = eoi = False
+
+    starts = [
+        i for i, item in enumerate(items)
+        if isinstance(item, ast.Anchor) and item.kind == ast.Anchor.START
+    ]
+    if starts:
+        boi = True
+        cut = max(starts)
+        for item in items[:cut]:
+            if isinstance(item, ast.Anchor):
+                if item.kind == ast.Anchor.END:
+                    return None  # $ at offset <= 0: empty-input only
+                continue  # a ^-coincident \b: re-checked at offset 0
+            if not ast.nullable(item):
+                return None  # a^b: impossible
+        kept = [
+            item for item in items[:cut]
+            if isinstance(item, ast.Anchor) and item.kind == ast.Anchor.WORD
+        ]
+        items = kept + [
+            item for item in items[cut:]
+            if not (
+                isinstance(item, ast.Anchor)
+                and item.kind == ast.Anchor.START
+            )
+        ]
+
+    ends = [
+        i for i, item in enumerate(items)
+        if isinstance(item, ast.Anchor) and item.kind == ast.Anchor.END
+    ]
+    if ends:
+        eoi = True
+        cut = min(ends)
+        for item in items[cut:]:
+            if isinstance(item, ast.Anchor):
+                continue
+            if not ast.nullable(item):
+                return None  # a$b: impossible
+        kept = [
+            item for item in items[cut:]
+            if isinstance(item, ast.Anchor) and item.kind == ast.Anchor.WORD
+        ]
+        items = items[:cut] + kept
+
+    # Only core atoms and word boundaries remain.  Locate the edges.
+    lo = 0
+    while lo < len(items) and isinstance(items[lo], ast.Anchor):
+        lo += 1
+    hi = len(items)
+    while hi > lo and isinstance(items[hi - 1], ast.Anchor):
+        hi -= 1
+    lead_wb = lo > 0
+    trail_wb = hi < len(items)
+    core_items = []
+    prefix: List[ast.Regex] = []
+    interior = items[lo:hi]
+    for index, item in enumerate(interior):
+        if not isinstance(item, ast.Anchor):
+            prefix.append(item)
+            core_items.append(item)
+            continue
+        # Interior \b: decide from the adjacent byte classes.
+        suffix = [x for x in interior[index + 1:] if not isinstance(x, ast.Anchor)]
+        before = ast.balanced_concat(list(prefix))
+        after = ast.balanced_concat(suffix)
+        if ast.nullable(before) or ast.nullable(after):
+            raise _unsupported(
+                "word boundary beside a nullable subpattern is not supported",
+                pattern,
+            )
+        left = _edge_kind(_last_classes(before))
+        right = _edge_kind(_first_classes(after))
+        if "mixed" in (left, right):
+            raise _unsupported(
+                "word boundary between mixed word/non-word classes "
+                "is not supported",
+                pattern,
+            )
+        if left == right:
+            return None  # boundary can never hold
+        # Boundary always holds: drop the anchor.
+
+    if not core_items:
+        return None  # only empty matches: never reported
+    return boi, eoi, core_items, lead_wb, trail_wb
+
+
+# ----------------------------------------------------------------------
+# Step 3: expand edge word boundaries into gated variants
+
+
+def _expand_word_edges(
+    boi: bool,
+    eoi: bool,
+    core: ast.Regex,
+    lead_wb: bool,
+    trail_wb: bool,
+    pattern: str,
+) -> List[Variant]:
+    if (lead_wb or trail_wb) and ast.nullable(core):
+        # A confirm/lead byte beside a nullable core would report the
+        # core's *empty* match, which engines never emit.
+        raise _unsupported(
+            "word boundary on a nullable pattern is not supported", pattern
+        )
+
+    heads: List[Tuple[ast.Regex, bool]] = []  # (core', boi')
+    if lead_wb:
+        kind = _edge_kind(_first_classes(core))
+        if kind == "mixed":
+            raise _unsupported(
+                "word boundary before mixed word/non-word first classes "
+                "is not supported",
+                pattern,
+            )
+        if kind == "word":
+            # Boundary holds at offset 0 or after a non-word byte.
+            heads.append((core, True))
+            if not boi:
+                heads.append((ast.Concat(ast.Symbol(NONWORD), core), False))
+        else:
+            # Non-word first byte: needs a word byte before it; the
+            # imaginary pre-stream byte is non-word, so no offset-0 form.
+            if boi:
+                return []
+            heads.append((ast.Concat(ast.Symbol(WORD), core), False))
+    else:
+        heads.append((core, boi))
+
+    out: List[Variant] = []
+    for head, head_boi in heads:
+        if not trail_wb:
+            out.append(Variant(head, boi=head_boi, eoi=eoi))
+            continue
+        kind = _edge_kind(_last_classes(core))
+        if kind == "mixed":
+            raise _unsupported(
+                "word boundary after mixed word/non-word last classes "
+                "is not supported",
+                pattern,
+            )
+        if kind == "word":
+            # Boundary holds at end-of-input or before a non-word byte.
+            out.append(Variant(head, boi=head_boi, eoi=True))
+            if not eoi:
+                out.append(
+                    Variant(
+                        ast.Concat(head, ast.Symbol(NONWORD)),
+                        boi=head_boi,
+                        adjust=True,
+                    )
+                )
+        else:
+            # Non-word-last core needs a word confirm byte; at EOI the
+            # imaginary post-stream byte is non-word, so $ cannot hold.
+            if eoi:
+                continue
+            out.append(
+                Variant(
+                    ast.Concat(head, ast.Symbol(WORD)),
+                    boi=head_boi,
+                    adjust=True,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Entry point
+
+
+def lower_anchors(
+    node: ast.Regex, pattern: str = ""
+) -> Optional[Tuple[Variant, ...]]:
+    """Lower one parsed AST into gated anchor-free variants.
+
+    Returns ``None`` when the AST contains no anchors (the pattern
+    compiles through the classic un-gated path unchanged), an empty
+    tuple when the anchors are unsatisfiable (the pattern compiles to
+    the empty matcher), and otherwise the variant set whose gated union
+    is the pattern's anchored language.
+    """
+    if not ast.has_anchors(node):
+        return None
+    variants: List[Variant] = []
+    for items in _expand(node, pattern):
+        resolved = _resolve(list(items), pattern)
+        if resolved is None:
+            continue
+        boi, eoi, core_items, lead_wb, trail_wb = resolved
+        core = ast.balanced_concat(list(core_items))
+        for variant in _expand_word_edges(
+            boi, eoi, core, lead_wb, trail_wb, pattern
+        ):
+            if variant not in variants:
+                variants.append(variant)
+        if len(variants) > MAX_VARIANTS:
+            raise _unsupported(
+                "anchor lowering exceeds the variant limit", pattern
+            )
+    return tuple(variants)

@@ -77,6 +77,35 @@ class Symbol(Regex):
 
 
 @dataclass(frozen=True)
+class Anchor(Regex):
+    """A zero-width positional assertion: ``^``, ``$``, or ``\\b``.
+
+    ``kind`` is one of ``"start"`` (``^``, stream offset 0), ``"end"``
+    (``$``, end of input) or ``"word"`` (``\\b``, a word/non-word
+    boundary over :data:`repro.regex.charclass.WORD`).  Anchors never
+    reach the Glushkov/NBVA constructions — the compiler lowers them
+    into gated automaton variants first (:mod:`repro.regex.anchors`) —
+    but they are first-class AST so the oracle can evaluate them and
+    printed ASTs re-parse.
+    """
+
+    kind: str
+
+    __slots__ = ("kind",)
+
+    START = "start"
+    END = "end"
+    WORD = "word"
+
+    def __post_init__(self) -> None:
+        if self.kind not in (self.START, self.END, self.WORD):
+            raise ValueError(f"unknown anchor kind: {self.kind!r}")
+
+    def __str__(self) -> str:
+        return {"start": "^", "end": "$", "word": "\\b"}[self.kind]
+
+
+@dataclass(frozen=True)
 class Concat(Regex):
     left: Regex
     right: Regex
@@ -185,7 +214,7 @@ def _wrap(child: Regex, parent: Regex) -> str:
     """Parenthesise a child when required for faithful printing."""
     needs = isinstance(child, Alternation) or (
         isinstance(parent, (Star, Plus, Optional_, Repeat))
-        and isinstance(child, (Concat, Star, Plus, Optional_, Repeat))
+        and isinstance(child, (Concat, Star, Plus, Optional_, Repeat, Anchor))
     )
     text = str(child)
     return f"({text})" if needs else text
@@ -277,9 +306,22 @@ def repeat(inner: Regex, low: int, high: Optional[int]) -> Regex:
     return Repeat(inner, low, high)
 
 
+def anchor(kind: str) -> Regex:
+    return Anchor(kind)
+
+
+def has_anchors(node: Regex) -> bool:
+    """True iff the subtree contains any positional assertion."""
+    return any(isinstance(sub, Anchor) for sub in node.walk())
+
+
 def nullable(node: Regex) -> bool:
-    """True iff the node's language contains the empty string."""
-    if isinstance(node, Epsilon):
+    """True iff the node's language contains the empty string.
+
+    Anchors are zero-width, hence nullable — at the positions where the
+    assertion holds they match exactly the empty string.
+    """
+    if isinstance(node, (Epsilon, Anchor)):
         return True
     if isinstance(node, Symbol):
         return False

@@ -16,13 +16,17 @@ Supports the constructs used by the paper's benchmark rule sets:
 * the case-insensitive flag, inline (``(?i)``, ``(?i:...)``) or via
   ``parse(..., ignorecase=True)``: letters in literals and classes match
   both cases
+* anchors ``^``/``$``/``\\b``, parsed as first-class
+  :class:`~repro.regex.ast.Anchor` nodes and compiled into real
+  positional constraints by :mod:`repro.regex.anchors` (start-of-stream
+  gate, end-of-input finalisation, word-boundary variants); pass
+  ``allow_anchors=False`` to make them a syntax error instead.
+  Quantifying a bare anchor (``^*``) raises the same "nothing to
+  repeat" error Python's ``re`` produces.
 
-Anchors ``^``/``$`` are accepted and stripped by default, because AP-style
-processors perform unanchored partial matching; pass
-``allow_anchors=False`` to make them a syntax error instead.
-
-Unsupported PCRE features (backreferences, lookaround, capture semantics)
-raise :class:`RegexSyntaxError`.
+Unsupported PCRE features (backreferences, lookaround, ``\\B``, capture
+semantics, the multiline flag combined with anchors) raise
+:class:`RegexSyntaxError` / :class:`UnsupportedFeatureError`.
 """
 
 from __future__ import annotations
@@ -106,6 +110,10 @@ class _Parser:
         self.pos = 0
         self.allow_anchors = allow_anchors
         self.ignorecase = ignorecase
+        self.multiline = False
+        # Set by _atom for a bare ^/$/\b token (not one wrapped in a
+        # group), so _quantified can reproduce re's "nothing to repeat".
+        self._bare_anchor = False
 
     # -- character stream ------------------------------------------------
 
@@ -147,6 +155,13 @@ class _Parser:
         node = self._alternation()
         if self._peek() is not None:
             raise self._error(f"unexpected {self._peek()!r}")
+        if self.multiline and ast.has_anchors(node):
+            # (?m) changes ^/$ to line anchors; this engine only
+            # implements stream anchors, so the combination must not
+            # silently mis-anchor — quarantine it instead.
+            raise UnsupportedFeatureError(
+                "multiline flag with anchors is not supported", self.pattern, 0
+            )
         return node
 
     def _alternation(self) -> ast.Regex:
@@ -165,6 +180,10 @@ class _Parser:
 
     def _quantified(self) -> ast.Regex:
         atom = self._atom()
+        if self._bare_anchor:
+            self._bare_anchor = False
+            self._reject_quantified_anchor()
+            return atom
         char = self._peek()
         if char == "*":
             self.pos += 1
@@ -188,6 +207,20 @@ class _Parser:
         self._eat("?")
         self._reject_stacked_quantifier()
         return atom
+
+    def _reject_quantified_anchor(self) -> None:
+        """A quantifier directly on a bare anchor token is "nothing to
+        repeat", exactly as Python's ``re`` judges ``^*`` / ``$?`` /
+        ``\\b{2}``.  A grouped anchor (``(?:^)*``) still parses — the
+        lowering pass quarantines it later."""
+        char = self._peek()
+        if char in ("*", "+", "?"):
+            raise self._error("nothing to repeat")
+        if char == "{":
+            start = self.pos
+            if self._try_bounds() is not None:
+                self.pos = start
+                raise self._error("nothing to repeat")
 
     def _reject_stacked_quantifier(self) -> None:
         """Reject a second quantifier applied directly to a quantifier.
@@ -254,12 +287,18 @@ class _Parser:
         if char == ".":
             return ast.symbol(CharClass.any())
         if char == "\\":
+            nxt = self._peek()
+            if nxt == "b":
+                self.pos += 1
+                return self._anchor(ast.Anchor.WORD, "\\b")
+            if nxt == "B":
+                raise self._unsupported(
+                    "negated word boundary \\B is not supported"
+                )
             return self._emit(self._escape())
         if char in "^$":
-            if not self.allow_anchors:
-                raise self._error(f"anchor {char!r} not allowed")
-            # Unanchored partial-match semantics: anchors are no-ops.
-            return ast.EPSILON
+            kind = ast.Anchor.START if char == "^" else ast.Anchor.END
+            return self._anchor(kind, char)
         if char in "*+?{":
             if char == "{":
                 # A brace that does not open a quantifier is a literal.
@@ -269,14 +308,21 @@ class _Parser:
             raise self._error("unbalanced ')'")
         return self._emit(CharClass.from_char(ord(char)))
 
+    def _anchor(self, kind: str, token: str) -> ast.Regex:
+        if not self.allow_anchors:
+            raise self._error(f"anchor {token!r} not allowed")
+        self._bare_anchor = True
+        return ast.anchor(kind)
+
     def _group_modifier(self) -> bool:
         """Consume a ``(?...`` modifier.
 
         Returns True when the modifier scopes to this group (the ``:``
         forms), so the caller restores flags at the closing paren.
         Supported: ``(?:`` and inline flags ``i`` (case-insensitive),
-        ``s``/``m``/``x`` (no-ops here: ``.`` is already any-byte and
-        anchors are stripped).
+        ``s``/``x`` (no-ops here: ``.`` is already any-byte), and ``m``
+        (recorded; rejected at the end of the parse if the pattern also
+        uses anchors, since line anchors are not implemented).
         """
         char = self._next()
         if char == ":":
@@ -295,7 +341,9 @@ class _Parser:
         for flag in flags:
             if flag == "i":
                 self.ignorecase = True
-            elif flag not in "smx":
+            elif flag == "m":
+                self.multiline = True
+            elif flag not in "sx":
                 raise self._unsupported(f"unsupported inline flag {flag!r}")
         return self._eat(":")
 
@@ -303,6 +351,12 @@ class _Parser:
         char = self._next()
         if char == "x":
             return CharClass.from_char(self._hex_byte())
+        if char == "b":
+            # Only reachable from bracket classes (atom-level \b is the
+            # word-boundary anchor): PCRE reads [\b] as backspace.
+            return CharClass.from_char(0x08)
+        if char == "B":
+            raise self._unsupported("\\B is not supported")
         if char in _CONTROL_ESCAPES:
             return CharClass.from_char(_CONTROL_ESCAPES[char])
         if char in _CLASS_ESCAPES:

@@ -426,6 +426,10 @@ def run_chaos(compiled, data: bytes, spec: ChaosSpec) -> ChaosReport:
             (ids[slot], pos + end) for slot, end in oracle.feed(chunk)
         )
         pos += len(chunk)
+    # End-of-input finalisation: anchored ($-gated) patterns hold their
+    # candidate matches until the stream ends, so both the oracle and
+    # the chaos run must be finalised for the comparison to cover them.
+    golden.extend((ids[slot], pos + end) for slot, end in oracle.finish())
 
     policy = RestartPolicy(
         max_restarts=spec.max_restarts,
@@ -455,6 +459,9 @@ def run_chaos(compiled, data: bytes, spec: ChaosSpec) -> ChaosReport:
                 (pid, pos + end) for pid, end in scanner.feed(chunk)
             )
             pos += len(chunk)
+        observed.extend(
+            (pid, pos + end) for pid, end in scanner.finish()
+        )
         restarts = list(scanner.restarts)
         failovers = list(scanner.failovers)
         failures = list(scanner.failures)

@@ -280,11 +280,15 @@ class ScanProfiler:
         ``matcher.feed`` so they take the matcher's real tier path
         (prefilter skip loop, dense table, or bitset stepping) and the
         profile's tier shares reflect production behaviour.  Only the
-        sampled byte itself is stepped here, through the fully-armed
-        ``matcher._advance`` — sound because arming start states at
-        extra positions only adds partials that die or re-derive the
-        same matches (NFA set semantics dedupe them), so the match
-        stream stays byte-identical to an unprofiled feed.
+        sampled byte itself is stepped here — on anchor-free automata
+        through the fully-armed ``matcher._advance`` (sound because
+        arming start states at extra positions only adds partials that
+        die or re-derive the same matches; NFA set semantics dedupe
+        them), on anchored automata through a one-byte ``matcher.feed``
+        (the gated path owns the offset-0 start step, seam dedup, and
+        end-of-input candidate bookkeeping, and byte-at-a-time feeding
+        is stream-exact by the streaming property) — so the match
+        stream stays byte-identical to an unprofiled feed either way.
 
         Returns ``(slot, end)`` events exactly as ``matcher.feed`` does;
         the caller maps slots to global pattern ids as usual.
@@ -293,6 +297,7 @@ class ScanProfiler:
         out: List[Tuple[int, int]] = []
         stride = self.stride
         clock = time.perf_counter
+        gated = matcher.fused.anchored
         # Bytes until (and including) the next sampled byte; recomputed
         # from the persistent offset so sampling stays periodic across
         # chunk boundaries.
@@ -310,12 +315,27 @@ class ScanProfiler:
                 for slot, end in matcher.feed(data[pos:sample_at]):
                     out.append((slot, pos + end))
             symbol = data[sample_at]
-            t0 = clock()
-            active, report = matcher._advance(matcher.active, symbol)
-            step_us = (clock() - t0) * 1e6
-            matcher.active = active
-            for slot in report:
-                out.append((slot, sample_at))
+            if gated:
+                t0 = clock()
+                events = matcher.feed(data[sample_at : sample_at + 1])
+                step_us = (clock() - t0) * 1e6
+                active = matcher.active
+                # A \b confirm event carries end == -1 (the previous
+                # byte); rebasing keeps that exact, -1 only surviving
+                # when the seam is this profiled chunk's own start.
+                for slot, end in events:
+                    out.append((slot, sample_at + end))
+            else:
+                t0 = clock()
+                active, report, report_adj = matcher._advance(
+                    matcher.active, symbol
+                )
+                step_us = (clock() - t0) * 1e6
+                matcher.active = active
+                for slot in report:
+                    out.append((slot, sample_at))
+                for slot in report_adj:  # pragma: no cover - gated only
+                    out.append((slot, sample_at - 1))
             self._sample(
                 matcher, binding, active, symbol, step_us,
                 binding.offset + sample_at,

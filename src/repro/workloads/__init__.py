@@ -4,6 +4,16 @@ from .datasets import DATASET_NAMES, PROFILES, load_dataset
 from .generator import DatasetProfile, generate_dataset, generate_pattern
 from .prosite import PrositeSyntaxError, prosite_to_pcre, translate_collection
 from .snort import content_to_pcre, extract_contents, extract_pcre, rules_to_patterns
+from .rulesets import (
+    WORKLOAD_PROFILES,
+    ImportedRule,
+    ImportedRuleset,
+    WorkloadProfile,
+    import_rules,
+    import_ruleset,
+    parse_rule_lines,
+    workload_records,
+)
 from .inputs import (
     activation_stream,
     alpha_stream,
@@ -15,8 +25,12 @@ from .inputs import (
 __all__ = [
     "DATASET_NAMES",
     "DatasetProfile",
+    "ImportedRule",
+    "ImportedRuleset",
     "PROFILES",
     "PrositeSyntaxError",
+    "WORKLOAD_PROFILES",
+    "WorkloadProfile",
     "activation_stream",
     "alpha_stream",
     "background_bytes",
@@ -27,8 +41,12 @@ __all__ = [
     "content_to_pcre",
     "extract_contents",
     "extract_pcre",
+    "import_rules",
+    "import_ruleset",
     "load_dataset",
+    "parse_rule_lines",
     "prosite_to_pcre",
     "rules_to_patterns",
     "translate_collection",
+    "workload_records",
 ]

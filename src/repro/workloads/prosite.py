@@ -67,8 +67,9 @@ def prosite_to_pcre(motif: str) -> str:
         if not element:
             raise PrositeSyntaxError(f"empty element in {motif!r}")
         parts.append(_translate_element(element, motif))
-    # Anchors are accepted and stripped (automata processors match
-    # anywhere, §3); the parser does the same for ^/$.
+    # ``<``/``>`` become real ^/$ constraints: the compiler lowers them
+    # into start/end gates, so an end-anchored motif only fires at the
+    # sequence boundary instead of matching anywhere.
     prefix = "^" if anchored_start else ""
     suffix = "$" if anchored_end else ""
     return prefix + "".join(parts) + suffix

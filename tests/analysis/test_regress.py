@@ -255,6 +255,84 @@ class TestCompareRecords:
         assert report.matched_cells == 3
         assert report.unmatched_new == 1
 
+    def test_workload_cells_compare_as_tier_pseudo_engines(self):
+        record = dict(BASELINE)
+        record["workloads"] = [
+            {
+                "workload": "ids",
+                "num_patterns": 4,
+                "records": 512,
+                "input_bytes": 14000,
+                "match_rate": 0.0,
+                "timings": {
+                    "fused-bitset": {"throughput_mbps": 2.0},
+                    "fused-prefilter": {"throughput_mbps": 4.0},
+                },
+            },
+            {
+                "workload": "pii",
+                "num_patterns": 3,
+                "records": 512,
+                "input_bytes": 40000,
+                "match_rate": 0.0,
+                "timings": {
+                    "fused-bitset": {"throughput_mbps": 2.5},
+                    "fused-prefilter": {"throughput_mbps": 6.0},
+                },
+            },
+        ]
+        report = compare_records(record, record)
+        assert report.ok
+        assert report.matched_cells == 5
+        prefilter = next(
+            e for e in report.engines if e.engine == "workload-fused-prefilter"
+        )
+        assert prefilter.cells == 2
+        assert prefilter.median_ratio == pytest.approx(1.0)
+
+    def test_workload_regression_detected_despite_record_count_drift(self):
+        old = dict(BASELINE)
+        old["workloads"] = [
+            {
+                "workload": "ids",
+                "num_patterns": 4,
+                "records": 512,
+                "input_bytes": 14000,
+                "match_rate": 0.0,
+                "timings": {"fused-prefilter": {"throughput_mbps": 4.0}},
+            },
+        ]
+        new = dict(BASELINE)
+        new["workloads"] = [
+            {
+                "workload": "ids",
+                "num_patterns": 4,
+                "records": 256,  # generator drift: still the same shape
+                "input_bytes": 7000,
+                "match_rate": 0.0,
+                "timings": {"fused-prefilter": {"throughput_mbps": 1.0}},
+            },
+        ]
+        report = compare_records(old, new)
+        assert not report.ok
+        assert [e.engine for e in report.regressions] == [
+            "workload-fused-prefilter"
+        ]
+
+    def test_workload_cells_in_one_record_noted_not_failed(self):
+        extended = dict(BASELINE)
+        extended["workloads"] = [
+            {
+                "workload": "ids",
+                "num_patterns": 4,
+                "match_rate": 0.0,
+                "timings": {"fused-prefilter": {"throughput_mbps": 4.0}},
+            },
+        ]
+        report = compare_records(BASELINE, extended)
+        assert report.ok
+        assert any("workload" in note for note in report.notes)
+
     def test_report_json_shape(self):
         report = compare_records(BASELINE, BASELINE)
         doc = report.to_json()

@@ -71,6 +71,31 @@ class TestCacheKey:
         runtime_only = {"budget"}  # limits partially fingerprinted below
         assert fields == fingerprinted | runtime_only
 
+    def test_fingerprint_carries_anchor_semantics_marker(self):
+        # Anchors used to be stripped at parse time; the marker keeps
+        # artifacts from the stripped regime apart from gated ones even
+        # when the code version is pinned (tests, packaged caches).
+        assert "anchors-v1" in options_fingerprint(CompilerOptions())
+
+    def test_anchored_patterns_get_distinct_keys(self):
+        opts = CompilerOptions()
+        keys = {
+            cache_key(p, opts)
+            for p in ("ab", "^ab", "ab$", "^ab$", r"\bab")
+        }
+        assert len(keys) == 5
+
+    def test_cached_anchored_artifact_keeps_gates(self):
+        cache = CompileCache()
+        opts = CompilerOptions()
+        compiled = compile_pattern("^ab$", 0, opts)
+        assert compiled.anchors is not None
+        cache.put("^ab$", opts, compiled)
+        hit = cache.get("^ab$", opts, regex_id=3)
+        assert hit is not None and hit.regex_id == 3
+        assert hit.anchors is not None
+        assert hit.anchors.scan_nfa.gated
+
     def test_code_version_changes_key(self):
         opts = CompilerOptions()
         assert cache_key("a{3}b", opts, version="aaaa") != cache_key(

@@ -13,6 +13,7 @@ from repro.matching.bench import (
     bench_cell,
     bench_grid,
     bench_match_rates,
+    bench_workloads,
     format_grid,
     read_record,
     time_engine,
@@ -106,6 +107,26 @@ def test_bench_match_rates_cell_shape():
         assert cell["prefilter_speedup"] > 0
     # The 0%-rate stream plants nothing; the 50% stream must match.
     assert cells[1]["matches"] > cells[0]["matches"]
+
+
+def test_bench_workloads_cell_shape():
+    """The anchored per-record workload cells: every fused tier timed,
+    streams compared, speedups quoted against bitset stepping."""
+    cells = bench_workloads(
+        profiles=("ids",), num_records=64, match_rates=(0.0, 0.5), repeats=1
+    )
+    assert [cell["match_rate"] for cell in cells] == [0.0, 0.5]
+    for cell in cells:
+        assert cell["workload"] == "ids"
+        assert set(cell["timings"]) == set(FUSED_VARIANTS)
+        assert cell["records"] == 64
+        assert cell["input_bytes"] > 0
+        assert "provenance" in cell
+        assert cell["table_speedup"] > 0
+        assert cell["prefilter_speedup"] > 0
+    # 0% record match rate means a fully silent anchored ruleset.
+    assert cells[0]["matches"] == 0
+    assert cells[1]["matches"] > 0
 
 
 def test_bench_grid_match_rate_headlines():

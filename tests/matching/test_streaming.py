@@ -39,8 +39,20 @@ def build_set(engine, patterns):
 SETS = {engine: build_set(engine, PATTERNS) for engine in ENGINES}
 
 
+#: The anchored axis: start gates, deferred $ finals, and \b confirm
+#: bytes must all survive arbitrary chunk cuts.  The alphabet includes a
+#: space so \b boundaries occur mid-stream, not just at the edges.
+ANCHORED_PATTERNS = ["^ab{2,4}c", "c{3,}$", r"\bab", "^(a|b){2}c$", "bc"]
+
+ANCHORED_SETS = {
+    engine: build_set(engine, ANCHORED_PATTERNS) for engine in ENGINES
+}
+
+
 def teardown_module(module):
     for pattern_set in SETS.values():
+        pattern_set.close()
+    for pattern_set in ANCHORED_SETS.values():
         pattern_set.close()
     for sets in list(_random_sets_cache.values()):
         for pattern_set in sets.values():
@@ -82,6 +94,41 @@ def test_chunked_feed_equals_scan(engine, data):
             rebased.append(Match(match.pattern_id, base + match.end))
         base += len(chunk)
     assert rebased == whole
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_anchored_chunked_feed_equals_scan(engine, data):
+    """The anchored variant must also call ``finish``: ``$`` candidates
+    are deferred until end-of-input, so the chunked side is only
+    complete after finalisation (which ``scan`` performs internally)."""
+    stream = bytes(
+        data.draw(
+            st.lists(
+                st.sampled_from(list(b"abc x")), min_size=0, max_size=60
+            ),
+            label="stream",
+        )
+    )
+    cuts = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(stream)), max_size=6
+        ),
+        label="cuts",
+    )
+    pattern_set = ANCHORED_SETS[engine]
+    whole = pattern_set.scan(stream)
+
+    pattern_set.reset()
+    rebased = []
+    base = 0
+    for chunk in chunked(stream, cuts):
+        for match in pattern_set.feed(chunk):
+            rebased.append(Match(match.pattern_id, base + match.end))
+        base += len(chunk)
+    rebased.extend(pattern_set.finish())
+    assert sorted(rebased, key=lambda m: (m.end, m.pattern_id)) == whole
 
 
 @pytest.mark.parametrize("engine", ENGINES)

@@ -174,8 +174,32 @@ class TestGroupsAndAlternation:
 
 
 class TestAnchors:
-    def test_anchors_stripped_by_default(self):
-        assert str(parse("^abc$")) == "abc"
+    def test_anchors_kept_as_assertion_nodes(self):
+        node = parse("^abc$")
+        kinds = [
+            n.kind for n in node.walk() if isinstance(n, ast.Anchor)
+        ]
+        assert kinds.count(ast.Anchor.START) == 1
+        assert kinds.count(ast.Anchor.END) == 1
+        assert str(node) == "^abc$"
+
+    def test_word_boundary_parses(self):
+        node = parse(r"\bfoo\b")
+        kinds = [
+            n.kind for n in node.walk() if isinstance(n, ast.Anchor)
+        ]
+        assert kinds == [ast.Anchor.WORD, ast.Anchor.WORD]
+
+    def test_quantified_anchor_rejected(self):
+        for pattern in ("^*a", "a$+", r"a\b{2}"):
+            with pytest.raises(RegexSyntaxError):
+                parse(pattern)
+
+    def test_multiline_flag_with_anchors_unsupported(self):
+        from repro.regex.parser import UnsupportedFeatureError
+
+        with pytest.raises(UnsupportedFeatureError):
+            parse("(?m)^abc$")
 
     def test_anchors_rejected_when_disallowed(self):
         with pytest.raises(RegexSyntaxError):

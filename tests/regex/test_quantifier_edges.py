@@ -133,27 +133,43 @@ class TestStackedQuantifierRejection:
 
 
 class TestAnchorsRegressionPin:
-    """Anchors are stripped no-ops by default (unanchored partial-match
-    semantics), and a syntax error under ``allow_anchors=False``."""
+    """Anchors are real positional constraints (they used to be silently
+    stripped to epsilon no-ops); a syntax error under
+    ``allow_anchors=False``."""
 
     @pytest.mark.parametrize(
         "anchored,plain",
         [("^ab$", "ab"), ("^a{2,3}b", "a{2,3}b"), ("a|^b$", "a|b")],
     )
-    def test_anchors_are_noops(self, anchored, plain):
-        assert str(parse(anchored)) == str(parse(plain))
+    def test_anchors_are_not_noops(self, anchored, plain):
+        # The retired behaviour stripped the anchors; the AST now keeps
+        # them and round-trips through the printer.
+        assert str(parse(anchored)) != str(parse(plain))
+        assert str(parse(anchored)) == anchored
+
+    @pytest.mark.parametrize(
+        "pattern,data,ends",
+        [
+            ("^a", b"a aa", [0]),
+            ("a$", b"a aa", [3]),
+            ("^a$", b"a", [0]),
+            ("^a$", b"aa", []),
+            ("a$b", b"ab ab", []),  # unsatisfiable: $ inside a word
+            ("(^a|b)c", b"ac bc ac", [1, 4]),
+        ],
+    )
+    def test_anchor_scan_semantics(self, pattern, data, ends):
+        from repro.matching.engine import PatternSet
+
+        assert PatternSet([pattern]).match_ends(data) == ends
 
     @pytest.mark.parametrize("pattern", ["^ab", "ab$"])
     def test_anchors_rejected_when_disallowed(self, pattern):
         with pytest.raises(RegexSyntaxError):
             parse(pattern, allow_anchors=False)
 
-    def test_quantified_anchor_parses_as_epsilon_star(self):
-        # Python rejects '^*' ("nothing to repeat"); here the anchor is
-        # stripped to an epsilon atom first, so quantifying it parses
-        # (to epsilon*) and the pattern behaves like plain 'ab'.
-        from repro.matching.oracle import match_ends
-
-        assert repo_accepts("^*ab")
-        data = b"xaby ab"
-        assert match_ends(parse("^*ab"), data) == match_ends(parse("ab"), data)
+    def test_quantified_anchor_rejected_like_re(self):
+        # Python rejects '^*' ("nothing to repeat"); now that anchors
+        # are real assertion atoms, so does this parser.
+        assert not py_accepts("^*ab")
+        assert not repo_accepts("^*ab")

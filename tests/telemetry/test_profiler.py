@@ -101,6 +101,26 @@ class TestMatchParity:
                 base += len(chunk)
         assert profiled == plain
 
+    def test_anchored_stream_unchanged_by_profiling(self):
+        """Anchored automata take the gated sampled-step path (one-byte
+        ``feed``); start gates, ``$`` finalisation, and ``\\b`` seam
+        dedup must survive profiling byte-for-byte."""
+        patterns = ["^zab{3}c", r"\bx[0-9]{2}y\b", "zq+$", "[a-f]{4}"]
+        data = b"zabbbc x12y zqqq abcdef " * 40 + b"zqq"
+        plain_ps = PatternSet(patterns, engine="fused")
+        with plain_ps:
+            plain = [(m.pattern_id, m.end) for m in plain_ps.scan(data)]
+        assert plain  # the corpus must actually fire through the gates
+        prof_ps = PatternSet(patterns, engine="fused")
+        with prof_ps:
+            with profiler.profile_session(stride=16) as active:
+                profiled = [
+                    (m.pattern_id, m.end) for m in prof_ps.scan(data)
+                ]
+                profile = active.finish(engine="fused")
+        assert profiled == plain
+        assert profile.samples > 0
+
 
 class TestAttribution:
     def test_shares_sum_to_one(self):

@@ -62,6 +62,33 @@ class TestErrors:
         assert out == ["A.", "CC"]
 
 
+class TestAnchoredMotifSemantics:
+    """``<``/``>`` motifs only fire at the sequence ends now that the
+    compiler lowers anchors into real gates (they used to be stripped
+    and matched anywhere)."""
+
+    def test_end_anchored_motif_only_fires_at_sequence_end(self):
+        pattern = prosite_to_pcre("C-x(2)-C>.")
+        ps = PatternSet([pattern])
+        # Interior occurrence: held as a candidate, never reported.
+        assert [m.end for m in ps.scan(b"ACAKCDD")] == []
+        # Same motif flush with the sequence end: reported at finish.
+        assert [m.end for m in ps.scan(b"ADCAKC")] == [5]
+
+    def test_start_anchored_motif_only_fires_at_offset_zero(self):
+        pattern = prosite_to_pcre("<M-x(2)-K.")
+        ps = PatternSet([pattern])
+        assert [m.end for m in ps.scan(b"MAAKCMAAK")] == [3]
+        assert [m.end for m in ps.scan(b"CMAAK")] == []
+
+    def test_fully_anchored_motif(self):
+        pattern = prosite_to_pcre("<M-x(2)-K>.")
+        ps = PatternSet([pattern])
+        assert [m.end for m in ps.scan(b"MAAK")] == [3]
+        assert [m.end for m in ps.scan(b"MAAKC")] == []
+        assert [m.end for m in ps.scan(b"CMAAK")] == []
+
+
 class TestEndToEnd:
     def test_translated_motif_matches(self):
         pattern = prosite_to_pcre("C-x(2)-C.")

@@ -1,0 +1,153 @@
+"""Ruleset importer and workload-profile tests."""
+
+import os
+import random
+
+import pytest
+
+from repro.matching import PatternSet
+from repro.workloads import (
+    WORKLOAD_PROFILES,
+    import_rules,
+    import_ruleset,
+    parse_rule_lines,
+)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "data", "sample.rules")
+
+
+class TestParseRuleLines:
+    def test_metadata_extracted(self):
+        rules = parse_rule_lines(
+            [
+                'alert tcp any any -> any any (msg:"admin probe"; '
+                'pcre:"/^GET \\/admin/"; sid:2001; rev:1;)',
+            ]
+        )
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.pattern == r"^GET \/admin"
+        assert rule.sid == 2001
+        assert rule.msg == "admin probe"
+        assert rule.lineno == 1
+        assert rule.source == "pcre"
+
+    def test_flags_folded_as_prefix(self):
+        rules = parse_rule_lines(
+            ['x (pcre:"/cmd\\.exe$/i"; sid:1;)', 'x (pcre:"/^a/smR"; sid:2;)']
+        )
+        assert rules[0].pattern == r"(?i)cmd\.exe$"
+        # s and m survive (m so the compiler can quarantine line anchors);
+        # Snort buffer modifiers like R are dropped.
+        assert rules[1].pattern == "(?sm)^a"
+
+    def test_content_becomes_literal_rule(self):
+        rules = parse_rule_lines(
+            ['x (content:"../.."; sid:3;)'], include_contents=True
+        )
+        assert len(rules) == 1
+        assert rules[0].source == "content"
+        assert rules[0].pattern == r"\.\./\.\."
+
+    def test_comments_and_blanks_skipped(self):
+        assert parse_rule_lines(["# comment", "", "   "]) == []
+
+
+class TestImportRuleset:
+    @pytest.fixture(scope="class")
+    def imported(self):
+        return import_ruleset(FIXTURE)
+
+    def test_fixture_splits_into_accepted_and_quarantined(self, imported):
+        summary = imported.summary
+        # 5 compilable patterns: 3 anchored pcre + 1 content + \bwget\b.
+        assert summary.compiled == 5
+        assert summary.quarantined == 3
+        assert summary.by_code() == {"E_UNSUPPORTED": 2, "E_SYNTAX": 1}
+
+    def test_reports_align_with_rules(self, imported):
+        assert len(imported.reports) == len(imported.rules)
+        for index, report in enumerate(imported.reports):
+            assert report.pattern_id == index
+            assert report.pattern == imported.rules[index].pattern
+        for index in imported.compiled:
+            assert imported.reports[index].ok
+
+    def test_quarantined_rules_carry_metadata(self, imported):
+        quarantined_sids = {
+            imported.rules[r.pattern_id].sid for r in imported.quarantined
+        }
+        assert quarantined_sids == {2005, 2006, 2007}
+
+    def test_to_json_shape(self, imported):
+        record = imported.to_json()
+        assert record["compiled"] == 5
+        assert record["quarantined"] == 3
+        assert set(record["by_code"]) == {"E_UNSUPPORTED", "E_SYNTAX"}
+        assert len(record["rules"]) == len(record["reports"]) == 8
+        assert all("pattern" in r and "lineno" in r for r in record["rules"])
+        assert all("status" in r for r in record["reports"])
+
+    def test_accepted_patterns_scan(self, imported):
+        ps = PatternSet(imported.accepted_patterns)
+        assert ps.scan(b"GET /admin/config HTTP/1.1")
+        assert ps.scan(b"ran wget here")
+        assert not ps.scan(b"ran wgetter here")  # \b holds on both sides
+        assert not ps.scan(b"plain GET /index.html HTTP/1.1")
+
+    def test_anchored_rule_only_fires_at_record_start(self, imported):
+        ps = PatternSet(imported.accepted_patterns)
+        assert ps.scan(b"GET /admin HTTP/1.1")
+        assert not ps.scan(b"log: GET /admin HTTP/1.1")
+
+
+class TestWorkloadProfiles:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_PROFILES))
+    def test_profile_patterns_compile(self, name):
+        profile = WORKLOAD_PROFILES[name]
+        ps = PatternSet(list(profile.patterns))
+        assert ps.patterns == list(profile.patterns)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_PROFILES))
+    def test_match_rate_contract(self, name):
+        profile = WORKLOAD_PROFILES[name]
+        ps = PatternSet(list(profile.patterns))
+        rng = random.Random(5)
+        assert all(
+            not ps.scan(record)
+            for record in profile.records(rng, 200, match_rate=0.0)
+        )
+        assert all(
+            ps.scan(record)
+            for record in profile.records(rng, 200, match_rate=1.0)
+        )
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_PROFILES))
+    def test_records_agree_with_python_re(self, name):
+        import re as pyre
+
+        profile = WORKLOAD_PROFILES[name]
+        ps = PatternSet(list(profile.patterns))
+        rng = random.Random(11)
+        for record in profile.records(rng, 300, match_rate=0.5):
+            text = record.decode("latin-1")
+            expected = any(
+                bool(pyre.search(p, text)) for p in profile.patterns
+            )
+            assert bool(ps.scan(record)) == expected, record
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_PROFILES))
+    def test_ruleset_lines_round_trip(self, name):
+        profile = WORKLOAD_PROFILES[name]
+        imported = import_rules(
+            profile.ruleset_lines(), include_contents=False
+        )
+        assert imported.summary.quarantined == 0
+        assert imported.accepted_patterns == list(profile.patterns)
+        assert [r.sid for r in imported.accepted] == [
+            1000 + i for i in range(len(profile.patterns))
+        ]
+
+    def test_bad_match_rate_rejected(self):
+        with pytest.raises(ValueError):
+            WORKLOAD_PROFILES["ids"].records(random.Random(0), 1, 1.5)
